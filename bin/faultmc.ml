@@ -1,0 +1,282 @@
+(* faultmc — command-line front end of the cross-level Monte Carlo
+   fault-attack evaluation framework.
+
+   Subcommands:
+     info          processor netlist and pre-characterization summary
+     evaluate      estimate the System Security Factor
+     characterize  per-register lifetime/contamination statistics (Fig 4)
+     sweep         temporal / spatial attack-accuracy sweeps (Fig 11)
+     harden        critical registers and hardening trade-off
+     experiments   regenerate every paper figure and table *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* Shared argument definitions. *)
+
+let samples_arg default =
+  let doc = "Number of Monte Carlo fault-attack runs." in
+  Arg.(value & opt int default & info [ "n"; "samples" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are fully deterministic for a fixed seed)." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let benchmark_arg =
+  let doc =
+    "Benchmark program: $(b,write) (illegal memory write), $(b,read) (illegal memory read) or \
+     $(b,exec) (illegal execution of privileged code)."
+  in
+  let parse = function
+    | "write" -> Ok Fmc_isa.Programs.illegal_write
+    | "read" -> Ok Fmc_isa.Programs.illegal_read
+    | "exec" -> Ok Fmc_isa.Programs.illegal_exec
+    | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (expected write|read|exec)" s))
+  in
+  let print fmt (p : Fmc_isa.Programs.t) = Format.fprintf fmt "%s" p.Fmc_isa.Programs.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Fmc_isa.Programs.illegal_write
+    & info [ "b"; "benchmark" ] ~docv:"BENCH" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Sampling strategy: $(b,random), $(b,cone) (fan-in-cone restricted), $(b,importance), or \
+     $(b,mixed) (the paper's hybrid of importance sampling and analytical evaluation)."
+  in
+  let parse = function
+    | "random" -> Ok Fmc.Sampler.Random
+    | "cone" -> Ok Fmc.Sampler.Fanin_cone
+    | "importance" -> Ok Fmc.Sampler.default_importance
+    | "mixed" -> Ok Fmc.Sampler.default_mixed
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt s = Format.fprintf fmt "%s" (Fmc.Sampler.strategy_name s) in
+  Arg.(value & opt (conv (parse, print)) Fmc.Sampler.default_mixed & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
+
+(* Context construction is shared by all commands. *)
+let with_context f =
+  let ctx = Fmc.Experiments.context () in
+  f ctx;
+  0
+
+let prepared ctx benchmark strategy =
+  let engine = Fmc.Experiments.engine_for ctx benchmark in
+  let prep =
+    Fmc.Sampler.prepare
+      ~static_vuln:(Fmc.Engine.static_vulnerable engine)
+      strategy
+      (Fmc.Experiments.default_attack ctx)
+      (Fmc.Experiments.precharac ctx)
+      ~placement:(Fmc.Engine.placement engine)
+  in
+  (engine, prep)
+
+(* info *)
+
+let info_cmd =
+  let run () =
+    with_context @@ fun ctx ->
+    let circuit = Fmc.Experiments.circuit ctx in
+    Format.fprintf ppf "%a@." Fmc_netlist.Netlist.pp_summary circuit.Fmc_cpu.Circuit.net;
+    let pre = Fmc.Experiments.precharac ctx in
+    let lt = Fmc.Precharac.lifetimes pre in
+    Format.fprintf ppf "responding signals: %d@.cone registers: %d@.memory-type fraction: %.1f%%@."
+      (List.length (Fmc.Precharac.responding_signals pre))
+      (Array.length (Fmc.Precharac.cone_registers pre))
+      (100. *. Fmc.Lifetime.memory_fraction lt);
+    let engine = Fmc.Experiments.engine_for ctx Fmc_isa.Programs.illegal_write in
+    let g = Fmc.Engine.golden engine in
+    Format.fprintf ppf "illegal-write golden run: target cycle %d, halt cycle %d@."
+      (Fmc.Golden.target_cycle g) (Fmc.Golden.halt_cycle g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show the evaluated system and its pre-characterization.")
+    Term.(const run $ const ())
+
+(* evaluate *)
+
+let evaluate_cmd =
+  let run benchmark strategy samples seed half_width json csv_prefix =
+    with_context @@ fun ctx ->
+    let engine, prep = prepared ctx benchmark strategy in
+    let report =
+      match half_width with
+      | Some hw -> Fmc.Ssf.estimate_until engine prep ~half_width:hw ~z:1.96 ~seed
+      | None -> Fmc.Ssf.estimate engine prep ~samples ~seed
+    in
+    if json then print_endline (Fmc.Export.report_json report)
+    else begin
+      Format.fprintf ppf "benchmark: %s@.%a@." benchmark.Fmc_isa.Programs.name Fmc.Report.ssf_report
+        report;
+      let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+      Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi
+    end;
+    match csv_prefix with
+    | None -> ()
+    | Some prefix ->
+        let write name contents =
+          let oc = open_out name in
+          output_string oc contents;
+          close_out oc;
+          Format.fprintf ppf "wrote %s@." name
+        in
+        write (prefix ^ "-trace.csv") (Fmc.Export.trace_csv report);
+        write (prefix ^ "-contributions.csv") (Fmc.Export.contributions_csv report)
+  in
+  let half_width =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "half-width" ] ~docv:"HW"
+          ~doc:"Sample until the 95% confidence half-width drops below $(docv) (overrides -n).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let csv_prefix =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PREFIX" ~doc:"Also write PREFIX-trace.csv and PREFIX-contributions.csv.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Estimate the System Security Factor of a benchmark.")
+    Term.(const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json $ csv_prefix)
+
+(* characterize *)
+
+let characterize_cmd =
+  let run verbose =
+    with_context @@ fun ctx ->
+    Format.fprintf ppf "%a@." Fmc.Report.fig4 (Fmc.Experiments.fig4 ctx);
+    if verbose then begin
+      let pre = Fmc.Experiments.precharac ctx in
+      Format.fprintf ppf "per-register statistics:@.";
+      Array.iter
+        (fun (s : Fmc.Lifetime.stats) ->
+          Format.fprintf ppf "  %-16s lifetime %6.1f  contamination %5.1f  %s@."
+            (Printf.sprintf "%s[%d]" s.Fmc.Lifetime.group s.Fmc.Lifetime.bit)
+            s.Fmc.Lifetime.lifetime s.Fmc.Lifetime.contamination
+            (if s.Fmc.Lifetime.memory_type then "memory-type" else "computation-type"))
+        (Fmc.Lifetime.all (Fmc.Precharac.lifetimes pre))
+    end
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-register statistics.") in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Register error-lifetime / contamination characterization (Fig 4).")
+    Term.(const run $ verbose)
+
+(* sweep *)
+
+let sweep_cmd =
+  let run samples seed =
+    with_context @@ fun ctx ->
+    Format.fprintf ppf "%a@." Fmc.Report.fig11 (Fmc.Experiments.fig11 ~samples ~seed ctx)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Temporal and spatial attack-accuracy sweeps (Fig 11).")
+    Term.(const run $ samples_arg 3000 $ seed_arg)
+
+(* harden *)
+
+let harden_cmd =
+  let run samples seed =
+    with_context @@ fun ctx ->
+    Format.fprintf ppf "%a@." Fmc.Report.headline (Fmc.Experiments.headline ~samples ~seed ctx)
+  in
+  Cmd.v
+    (Cmd.info "harden" ~doc:"Identify critical registers and evaluate hardening plans.")
+    Term.(const run $ samples_arg 6000 $ seed_arg)
+
+(* trace *)
+
+let trace_cmd =
+  let run benchmark cycles out =
+    with_context @@ fun ctx ->
+    let circuit = Fmc.Experiments.circuit ctx in
+    let netsys = Fmc_cpu.Netsys.create circuit benchmark in
+    let sim = Fmc_cpu.Netsys.sim netsys in
+    let net = circuit.Fmc_cpu.Circuit.net in
+    let signals =
+      List.map
+        (fun (name, _) -> { Fmc_gatesim.Vcd.name; nodes = Fmc_netlist.Netlist.register_group net name })
+        Fmc_cpu.Arch.groups
+      @ [
+          { Fmc_gatesim.Vcd.name = "data_viol"; nodes = [| circuit.Fmc_cpu.Circuit.data_viol |] };
+          { Fmc_gatesim.Vcd.name = "instr_viol"; nodes = [| circuit.Fmc_cpu.Circuit.instr_viol |] };
+          { Fmc_gatesim.Vcd.name = "dmem_addr"; nodes = circuit.Fmc_cpu.Circuit.dmem_addr };
+          { Fmc_gatesim.Vcd.name = "dmem_we"; nodes = [| circuit.Fmc_cpu.Circuit.dmem_we |] };
+        ]
+    in
+    (* Drive the instruction/memory ports per cycle exactly like Netsys,
+       and commit the data-memory write before each clock edge. *)
+    let drive _ _ = Fmc_cpu.Netsys.settle netsys in
+    let before_latch _ sim =
+      if Fmc_gatesim.Cycle_sim.value sim circuit.Fmc_cpu.Circuit.dmem_we then begin
+        let dmem = Fmc_cpu.Netsys.dmem netsys in
+        let addr = Fmc_gatesim.Cycle_sim.read_bus sim circuit.Fmc_cpu.Circuit.dmem_addr in
+        dmem.(addr land (Array.length dmem - 1)) <-
+          Fmc_gatesim.Cycle_sim.read_bus sim circuit.Fmc_cpu.Circuit.dmem_wdata
+      end
+    in
+    let vcd = Fmc_gatesim.Vcd.record ~before_latch sim ~cycles ~drive ~signals in
+    let oc = open_out out in
+    output_string oc vcd;
+    close_out oc;
+    Format.fprintf ppf "wrote %d cycles of %s to %s@." cycles benchmark.Fmc_isa.Programs.name out
+  in
+  let cycles = Arg.(value & opt int 200 & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Cycles to trace.") in
+  let out = Arg.(value & opt string "trace.vcd" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output VCD file.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a gate-level VCD waveform of a benchmark run.")
+    Term.(const run $ benchmark_arg $ cycles $ out)
+
+(* dot *)
+
+let dot_cmd =
+  let run depth out =
+    with_context @@ fun ctx ->
+    let circuit = Fmc.Experiments.circuit ctx in
+    let net = circuit.Fmc_cpu.Circuit.net in
+    let dot =
+      if depth = 0 then
+        Fmc_netlist.Dot.cone_to_dot net
+          (Fmc_netlist.Cone.fanin net ~roots:(Fmc_cpu.Circuit.responding_signals circuit))
+      else Fmc_netlist.Dot.to_dot net
+    in
+    let oc = open_out out in
+    output_string oc dot;
+    close_out oc;
+    Format.fprintf ppf "wrote %s (%d bytes); render with: dot -Tsvg %s -o out.svg@." out
+      (String.length dot) out
+  in
+  let full = Arg.(value & opt int 0 & info [ "full" ] ~docv:"0|1" ~doc:"1 = whole netlist, 0 = responding-signal cone.") in
+  let out = Arg.(value & opt string "netlist.dot" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output dot file.") in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the responding-signal cone (or whole netlist) as Graphviz.")
+    Term.(const run $ full $ out)
+
+(* experiments *)
+
+let experiments_cmd =
+  let run fast =
+    with_context @@ fun ctx ->
+    let scale n = if fast then max 200 (n / 10) else n in
+    Format.fprintf ppf "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Fmc.Report.fig4 (Fmc.Experiments.fig4 ctx)
+      Fmc.Report.fig7
+      (Fmc.Experiments.fig7 ~strikes:(scale 3000) ctx)
+      Fmc.Report.fig8 (Fmc.Experiments.fig8 ctx) Fmc.Report.fig9
+      (Fmc.Experiments.fig9 ~samples:(scale 10_000) ctx)
+      Fmc.Report.fig10
+      (Fmc.Experiments.fig10 ~samples:(scale 8000) ctx)
+      Fmc.Report.fig11
+      (Fmc.Experiments.fig11 ~samples:(scale 4000) ctx)
+      Fmc.Report.headline
+      (Fmc.Experiments.headline ~samples:(scale 10_000) ctx)
+  in
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Reduced sample counts (smoke test).") in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate every figure and table of the paper's evaluation.")
+    Term.(const run $ fast)
+
+let () =
+  let doc = "cross-level Monte Carlo fault-attack vulnerability evaluation" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
+    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; trace_cmd; dot_cmd; experiments_cmd ]))

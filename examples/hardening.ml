@@ -1,0 +1,46 @@
+(* Design-optimization loop: identify the security-critical registers of
+   the MPU-protected processor and quantify the hardening trade-off — the
+   paper's §6 headline ("3% of registers carry >95% of the SSF; hardening
+   them buys ~6.5x security for <2% area").
+
+   Run: dune exec examples/hardening.exe *)
+
+module N = Fmc_netlist.Netlist
+
+let () =
+  let ctx = Fmc.Experiments.context () in
+  let engine = Fmc.Experiments.engine_for ctx Fmc_isa.Programs.illegal_write in
+  let net = (Fmc.Experiments.circuit ctx).Fmc_cpu.Circuit.net in
+  let prepared =
+    Fmc.Sampler.prepare
+      ~static_vuln:(Fmc.Engine.static_vulnerable engine)
+      Fmc.Sampler.default_mixed
+      (Fmc.Experiments.default_attack ctx)
+      (Fmc.Experiments.precharac ctx)
+      ~placement:(Fmc.Engine.placement engine)
+  in
+
+  (* Pilot run: attribute successful attacks to the register bits they
+     corrupted. *)
+  let pilot = Fmc.Ssf.estimate engine prepared ~samples:6000 ~seed:1 in
+  Format.printf "baseline SSF: %.4f (%d successes / %d runs)@.@." pilot.Fmc.Ssf.ssf
+    pilot.Fmc.Ssf.successes pilot.Fmc.Ssf.n;
+
+  Format.printf "critical register bits (covering 95%% of the success weight):@.";
+  List.iter
+    (fun ((group, bit), w) -> Format.printf "  %-16s weight %.4f@." (Printf.sprintf "%s[%d]" group bit) w)
+    (Fmc.Ssf.contribution_coverage pilot ~fraction:0.95);
+
+  (* Evaluate hardening plans of growing coverage. *)
+  Format.printf "@.%-10s %-6s %-10s %-10s %-11s %-9s@." "coverage" "#regs" "SSF before" "SSF after"
+    "reduction" "area +%";
+  List.iter
+    (fun coverage ->
+      let plan = Fmc.Harden.default_plan net pilot ~coverage in
+      let ev = Fmc.Harden.evaluate engine prepared ~plan ~samples:6000 ~seed:2 in
+      Format.printf "%-10.2f %-6d %-10.4f %-10.4f %-11.1f %-9.2f@." coverage
+        (Array.length plan.Fmc.Harden.registers)
+        ev.Fmc.Harden.baseline.Fmc.Ssf.ssf ev.Fmc.Harden.hardened.Fmc.Ssf.ssf
+        ev.Fmc.Harden.ssf_reduction
+        (100. *. ev.Fmc.Harden.area_overhead))
+    [ 0.5; 0.75; 0.95 ]

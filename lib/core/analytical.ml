@@ -1,0 +1,22 @@
+module Arch = Fmc_cpu.Arch
+module Programs = Fmc_isa.Programs
+
+let evaluate ~program ~corrupted =
+  match (program.Programs.attack, program.Programs.user_code_range) with
+  | None, _ | _, None -> false
+  | Some (addr, perm), Some (lo, hi) ->
+      let perm =
+        match perm with
+        | Programs.Attack_read -> Arch.Read
+        | Programs.Attack_write -> Arch.Write
+        | Programs.Attack_exec -> Arch.Exec
+      in
+      let access_granted = Arch.mpu_allows corrupted ~addr ~perm in
+      let code_executable =
+        let ok = ref true in
+        for pc = lo to hi do
+          if not (Arch.mpu_allows corrupted ~addr:pc ~perm:Arch.Exec) then ok := false
+        done;
+        !ok
+      in
+      access_granted && code_executable

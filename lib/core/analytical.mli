@@ -1,0 +1,16 @@
+(** Analytical outcome evaluation for memory-type register errors
+    (paper §4, Observation 3; §5.2).
+
+    When every flipped register is memory-type, the error sits still until
+    the target cycle, so no simulation is needed: the attack outcome is a
+    pure function of the corrupted system configuration and the benchmark.
+    Concretely, the attack succeeds iff the corrupted MPU configuration now
+    {e grants} the benchmark's malicious access while the user program
+    remains executable (otherwise the fetch traps first and the payload
+    never runs). Flips confined to memory-type registers outside the MPU
+    bank cannot reach the responding signals (zero contamination) and fail. *)
+
+val evaluate : program:Fmc_isa.Programs.t -> corrupted:Fmc_cpu.Arch.t -> bool
+(** [corrupted] is the architectural state right after the injection cycle
+    (flips applied). Returns the attack-success indicator [e]. Benchmarks
+    without attack metadata always evaluate to [false]. *)

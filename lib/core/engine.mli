@@ -1,0 +1,111 @@
+(** The cross-level fault-propagation engine (paper §5, Fig. 5).
+
+    One fault-attack run:
+    + restart RTL simulation from the golden checkpoint nearest to the
+      injection cycle [Te = Tt - t] and warm up to [Te];
+    + resolve the radiated disc [(g, r)] on the placement; flip struck
+      flip-flops directly (direct SEUs);
+    + switch to gate level for the injection cycle: transfer the
+      architectural state into the netlist, settle, propagate the voltage
+      transients ([Fmc_gatesim.Transient]), and collect the registers that
+      latch errors;
+    + classify: no flips — masked; flips confined to memory-type
+      registers — analytical evaluation; otherwise inject the flips back
+      into the RTL state and resume RTL simulation to completion;
+    + the attack succeeded iff a benchmark observable differs from the
+      golden run.
+
+    Hardened registers (paper §6) drop each would-be flip with probability
+    [1 - 1/resilience]. *)
+
+type t
+
+val create :
+  ?checkpoint_every:int ->
+  ?placement_seed:int ->
+  precharac:Precharac.t ->
+  Fmc_isa.Programs.t ->
+  t
+(** Builds the golden run, placement and transient-timing configuration for
+    a benchmark, sharing the (benchmark-independent) pre-characterization. *)
+
+val golden : t -> Golden.t
+val placement : t -> Fmc_layout.Placement.t
+val precharac : t -> Precharac.t
+val circuit : t -> Fmc_cpu.Circuit.t
+val transient_config : t -> Fmc_gatesim.Transient.config
+val program : t -> Fmc_isa.Programs.t
+
+type outcome =
+  | Masked  (** no register error at the end of the injection cycle *)
+  | Analytical of bool  (** memory-type-only flips, evaluated without simulation *)
+  | Resumed of bool  (** RTL simulation resumed; payload of both: success *)
+
+type run_result = {
+  sample : Sampler.sample;
+  te : int;  (** injection cycle *)
+  outcome : outcome;
+  success : bool;
+  flips : (string * int) list;  (** (group, bit) register errors after [Te] *)
+  direct : Fmc_netlist.Netlist.node array;  (** directly struck flip-flops (post-hardening) *)
+  latched : Fmc_netlist.Netlist.node array;  (** flip-flops that latched transients (post-hardening) *)
+  struck_cells : int;  (** cells inside the radiated disc *)
+}
+
+val run_sample :
+  t ->
+  ?cell_filter:(Fmc_netlist.Netlist.node -> bool) ->
+  ?impact_cycles:int ->
+  ?hardened:(Fmc_netlist.Netlist.node -> bool) ->
+  ?resilience:float ->
+  Fmc_prelude.Rng.t ->
+  Sampler.sample ->
+  run_result
+(** [cell_filter] restricts which struck cells take effect (used by the
+    comb-vs-seq population studies of Fig. 10). [impact_cycles] (default 1)
+    models a sustained radiation event: direct upsets land once, fresh
+    transients are injected on each of the impacted cycles (paper §3.2's
+    multi-cycle extension point). [resilience] defaults to 10 (a hardened
+    flip keeps 1/10 of flips); only consulted for registers selected by
+    [hardened]. *)
+
+type glitch_result = {
+  g_te : int;
+  g_success : bool;
+  g_stale : (string * int) list;  (** register bits that kept stale state *)
+}
+
+val run_glitch : t -> te:int -> period:float -> glitch_result
+(** Clock-glitch attack run (the paper's alternative injection technique):
+    the cycle at [te] is clocked with a shortened [period]; flip-flops on
+    paths longer than [period - setup] keep stale state ({!Fmc_gatesim.Glitch}),
+    then the RTL run resumes and the usual observable comparison decides
+    success. The memory port samples at the nominal edge. Deterministic. *)
+
+val glitch_critical_path : t -> float
+(** Longest-path delay of the netlist under the engine's timing config. *)
+
+val causal_flips : t -> run_result -> (string * int) list
+(** Leave-one-out counterfactual attribution for a successful run: replay
+    the injection deterministically and resume the RTL run once per flipped
+    bit with that bit restored; returns the bits whose restoration defeats
+    the attack. Falls back to the full flip set for failed runs and for
+    jointly-caused successes (no single bit necessary). Only valid for
+    results produced without hardening (the replay is deterministic). *)
+
+val static_vulnerable : t -> Fmc_netlist.Netlist.node -> bool
+(** Analytical single-bit vulnerability scan (pre-characterization step 3,
+    "considering the system configuration, faulty registers and
+    benchmarks"): true for a flip-flop whose lone flip, applied to the
+    golden state at the target cycle, lets the benchmark's malicious
+    access pass the hardware check (privilege-mode escalation or an MPU
+    region widened over the protected address) while the user program
+    stays executable. These bits are deterministic attack wins whenever
+    the error persists to [Tt]; the importance sampler uses them as a
+    vulnerability prior. *)
+
+val gate_flips_only :
+  t -> Fmc_prelude.Rng.t -> Sampler.sample -> Fmc_netlist.Netlist.node array * Fmc_netlist.Netlist.node array
+(** Gate-level-only evaluation of a strike at the injection cycle:
+    [(latched, direct)] flip sets with no downstream run — the error-pattern
+    studies of Fig. 7 use this. *)

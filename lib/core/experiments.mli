@@ -1,0 +1,124 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation section (§6). Each function returns plain data; printing
+    lives in {!Report}. The shared {!context} carries the one-time work
+    (processor netlist, pre-characterization, placement).
+
+    Experiment index (see DESIGN.md):
+    - {!fig4} — error-lifetime / contamination histograms;
+    - {!fig7} — bit-error patterns and comb-vs-seq pattern counts;
+    - {!fig8} — importance-sampling distribution over timing distances and
+      sample-space reduction per unrolled depth;
+    - {!fig9} — convergence and variance of the three strategies;
+    - {!fig10} — outcome breakdown of combinational strikes and the
+      register-vs-comb SSF comparison;
+    - {!fig11} — SSF vs temporal and spatial accuracy of the attack;
+    - {!headline} — critical-register identification and hardening. *)
+
+type context
+
+val context : ?seed:int -> unit -> context
+(** Builds the processor, runs pre-characterization. Deterministic. *)
+
+val circuit : context -> Fmc_cpu.Circuit.t
+val precharac : context -> Precharac.t
+
+val engine_for : context -> Fmc_isa.Programs.t -> Engine.t
+(** Cached per benchmark. *)
+
+val default_block : context -> Fmc_netlist.Netlist.node array
+(** The paper's target sub-block: cells around the responding signals
+    (half of the placed die by default). *)
+
+val default_attack : context -> Attack.t
+
+(** {2 Figure 4} *)
+
+type fig4 = {
+  lifetime_hist : (float * float) array;  (** (bin center, probability) *)
+  contamination_hist : (float * float) array;
+  memory_fraction : float;
+}
+
+val fig4 : context -> fig4
+
+(** {2 Figure 7} *)
+
+type fig7 = {
+  strikes : int;
+  with_errors : int;  (** strikes leaving at least one register error *)
+  single_bit : float;  (** fractions of error patterns, summing to 1 *)
+  single_byte : float;
+  multi_byte : float;
+  full_byte : int;  (** single-byte patterns covering all 8 bits *)
+  comb_only_patterns : int;  (** distinct patterns: comb strikes only *)
+  seq_only_patterns : int;
+  common_patterns : int;
+}
+
+val fig7 : ?strikes:int -> ?seed:int -> context -> fig7
+
+(** {2 Figure 8} *)
+
+type fig8 = {
+  g_t : (int * float) list;  (** importance temporal sampling distribution *)
+  per_depth : (int * int * int * int) list;
+      (** (depth, total registers, fan-in-cone registers, fan-in-cone
+          computation-type registers) *)
+}
+
+val fig8 : context -> fig8
+
+(** {2 Figure 9} *)
+
+type fig9_row = {
+  strategy : string;
+  ssf : float;
+  variance : float;
+  successes : int;
+  trace : (int * float) list;
+}
+
+type fig9 = { rows : fig9_row list; speedup_vs_random : (string * float) list }
+
+val fig9 :
+  ?samples:int -> ?seed:int -> ?benchmark:Fmc_isa.Programs.t -> context -> fig9
+
+(** {2 Figure 10} *)
+
+type fig10 = {
+  comb_masked : float;  (** outcome fractions of comb-cell strikes *)
+  comb_mem_only : float;
+  comb_resumed : float;
+  reg_successes : int;  (** register-cell strikes: successes and SSF *)
+  reg_ssf : float;
+  comb_successes : int;
+  comb_ssf : float;
+  samples_each : int;
+}
+
+val fig10 : ?samples:int -> ?seed:int -> context -> fig10
+
+(** {2 Figure 11} *)
+
+type fig11 = {
+  temporal : (int * float * float) list;
+      (** (range, normalized SSF write, normalized SSF read); normalized to
+          the widest range *)
+  spatial : (string * float * float) list;
+      (** (label from uniform to delta, normalized SSF write / read);
+          normalized to uniform *)
+}
+
+val fig11 : ?samples:int -> ?seed:int -> context -> fig11
+
+(** {2 Headline: critical registers and hardening} *)
+
+type headline = {
+  critical : ((string * int) * float) list;  (** bits covering 95% of SSF *)
+  critical_fraction : float;  (** |critical| / all flip-flops *)
+  coverage : float;  (** fraction of success weight they carry *)
+  plans : (float * Harden.evaluation) list;
+      (** hardening evaluated at several attribution-coverage points *)
+}
+
+val headline : ?samples:int -> ?seed:int -> context -> headline

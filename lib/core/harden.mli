@@ -1,0 +1,36 @@
+(** Countermeasure evaluation (paper §6).
+
+    From an SSF report's per-register success attribution, pick the
+    critical registers (the few that carry almost all the SSF), replace
+    them with error-resilient cells — modeled after the built-in
+    soft-error-resilience designs the paper cites: [resilience]× fewer
+    retained flips at [area_factor]× cell area — and re-estimate SSF to
+    quantify the security-vs-area trade-off. *)
+
+type plan = {
+  registers : Fmc_netlist.Netlist.node array;  (** flip-flops to harden *)
+  resilience : float;  (** flips survive with probability 1/resilience *)
+  area_factor : float;
+}
+
+val critical_registers :
+  Fmc_netlist.Netlist.t -> Ssf.report -> coverage:float -> Fmc_netlist.Netlist.node array
+(** Flip-flop nodes of the smallest contribution prefix covering
+    [coverage] of the success weight. *)
+
+val default_plan : Fmc_netlist.Netlist.t -> Ssf.report -> coverage:float -> plan
+(** [resilience = 10], [area_factor = 3] (paper's cited numbers). *)
+
+type evaluation = {
+  plan : plan;
+  baseline : Ssf.report;
+  hardened : Ssf.report;
+  ssf_reduction : float;  (** baseline SSF / hardened SSF; [infinity] if hardened SSF is 0 *)
+  area_overhead : float;  (** extra area / total block area *)
+  register_fraction : float;  (** hardened / total flip-flops *)
+}
+
+val evaluate :
+  Engine.t -> Sampler.prepared -> plan:plan -> samples:int -> seed:int -> evaluation
+(** Runs the baseline and hardened estimates with the same seed (common
+    random numbers, so the comparison is low-variance). *)

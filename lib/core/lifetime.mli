@@ -1,0 +1,61 @@
+(** Error lifetime and contamination measurement (paper §4, Observation 3
+    and pre-characterization step 3).
+
+    For each flip-flop of interest, a single-bit error is injected at
+    several cycles of the synthetic benchmark's RTL run; the faulty run is
+    co-simulated against the golden run and two parameters are collected:
+
+    - {e error lifetime}: cycles until the architectural states re-converge
+      (capped at [horizon]; the cap means "effectively forever");
+    - {e error contamination number}: how many {e other} flip-flops ever
+      differ from the golden run within the horizon.
+
+    Registers with long lifetime and ~zero contamination are
+    {e memory-type} (their errors sit still: evaluate analytically);
+    the rest are {e computation-type} (sampled). *)
+
+type stats = {
+  dff : Fmc_netlist.Netlist.node;
+  group : string;
+  bit : int;
+  lifetime : float;  (** mean over trials, cycles; [horizon] = never masked *)
+  contamination : float;  (** mean over trials *)
+  memory_type : bool;
+}
+
+type t
+
+type config = {
+  trials : int;  (** injection cycles per flip-flop *)
+  horizon : int;  (** co-simulation window, cycles *)
+  lifetime_threshold : float;  (** memory-type needs lifetime >= this *)
+  contamination_threshold : float;  (** ... and contamination <= this *)
+}
+
+val default_config : config
+(** 3 trials, horizon 200, thresholds 50 / 0.5. *)
+
+val characterize :
+  ?config:config ->
+  Fmc_netlist.Netlist.t ->
+  golden:Golden.t ->
+  dffs:Fmc_netlist.Netlist.node array ->
+  rng:Fmc_prelude.Rng.t ->
+  t
+(** Injection cycles are drawn uniformly from the golden run's active
+    window (cycle 1 .. halt). *)
+
+val stats : t -> Fmc_netlist.Netlist.node -> stats
+(** Raises [Not_found] for an uncharacterized flip-flop. *)
+
+val all : t -> stats array
+
+val memory_type : t -> Fmc_netlist.Netlist.node -> bool
+(** False for uncharacterized flip-flops (conservative: sampled, not
+    analytical). *)
+
+val lifetime : t -> Fmc_netlist.Netlist.node -> float
+(** 0 for uncharacterized flip-flops. *)
+
+val memory_fraction : t -> float
+(** Fraction of characterized flip-flops classified memory-type. *)

@@ -1,0 +1,154 @@
+let bar fraction =
+  let f = Float.max 0. (Float.min 1. fraction) in
+  let n = int_of_float (f *. 40.) in
+  String.make n '#'
+
+let fig4 ppf (r : Experiments.fig4) =
+  Format.fprintf ppf "@[<v>== Fig 4(a): error-lifetime distribution (probability per bin) ==@,";
+  Array.iter
+    (fun (center, p) -> Format.fprintf ppf "  %6.1f | %-40s %.3f@," center (bar p) p)
+    r.Experiments.lifetime_hist;
+  Format.fprintf ppf "== Fig 4(b): error-contamination distribution ==@,";
+  Array.iter
+    (fun (center, p) -> Format.fprintf ppf "  %6.1f | %-40s %.3f@," center (bar p) p)
+    r.Experiments.contamination_hist;
+  Format.fprintf ppf "memory-type register fraction: %.1f%%@,@]" (100. *. r.Experiments.memory_fraction)
+
+let fig7 ppf (r : Experiments.fig7) =
+  Format.fprintf ppf
+    "@[<v>== Fig 7(a): bit-error patterns at the end of the injection cycle ==@,\
+     strikes: %d (with register errors: %d)@,\
+     \  single-bit : %5.1f%%  %s@,\
+     \  single-byte: %5.1f%%  %s@,\
+     \  multi-byte : %5.1f%%  %s@,\
+     single-byte patterns covering a whole byte: %d@,\
+     == Fig 7(b): distinct error patterns, comb vs sequential strikes ==@,"
+    r.Experiments.strikes r.Experiments.with_errors
+    (100. *. r.Experiments.single_bit)
+    (bar r.Experiments.single_bit)
+    (100. *. r.Experiments.single_byte)
+    (bar r.Experiments.single_byte)
+    (100. *. r.Experiments.multi_byte)
+    (bar r.Experiments.multi_byte)
+    r.Experiments.full_byte;
+  let total =
+    max 1 (r.Experiments.comb_only_patterns + r.Experiments.seq_only_patterns + r.Experiments.common_patterns)
+  in
+  let pct n = 100. *. float_of_int n /. float_of_int total in
+  Format.fprintf ppf
+    "  comb-only: %d (%.1f%%)@,  common   : %d (%.1f%%)@,  seq-only : %d (%.1f%%)@,@]"
+    r.Experiments.comb_only_patterns
+    (pct r.Experiments.comb_only_patterns)
+    r.Experiments.common_patterns
+    (pct r.Experiments.common_patterns)
+    r.Experiments.seq_only_patterns
+    (pct r.Experiments.seq_only_patterns)
+
+let fig8 ppf (r : Experiments.fig8) =
+  Format.fprintf ppf "@[<v>== Fig 8(a): sampling distribution g_T over timing distance ==@,";
+  let peak = List.fold_left (fun acc (_, p) -> Float.max acc p) 1e-12 r.Experiments.g_t in
+  List.iter
+    (fun (t, p) ->
+      if t <= 20 || p > 0.001 then
+        Format.fprintf ppf "  t=%2d | %-40s %.4f@," t (bar (p /. peak)) p)
+    r.Experiments.g_t;
+  Format.fprintf ppf "== Fig 8(b): sample-space reduction per unrolled depth ==@,";
+  Format.fprintf ppf "  depth | total regs | fan-in cone | cone comp-type@,";
+  List.iter
+    (fun (d, total, cone, comp) ->
+      if d <= 20 then Format.fprintf ppf "  %5d | %10d | %11d | %14d@," d total cone comp)
+    r.Experiments.per_depth;
+  Format.fprintf ppf "@]"
+
+let fig9 ppf (r : Experiments.fig9) =
+  Format.fprintf ppf "@[<v>== Fig 9: convergence of the sampling strategies ==@,";
+  List.iter
+    (fun (row : Experiments.fig9_row) ->
+      Format.fprintf ppf "-- %s: running estimate --@," row.Experiments.strategy;
+      let every = max 1 (List.length row.Experiments.trace / 10) in
+      List.iteri
+        (fun i (n, est) ->
+          if i mod every = 0 || i = List.length row.Experiments.trace - 1 then
+            Format.fprintf ppf "   n=%6d  SSF=%.5f@," n est)
+        row.Experiments.trace)
+    r.Experiments.rows;
+  Format.fprintf ppf "-- Fig 9(b): statistics --@,";
+  Format.fprintf ppf "  %-12s %10s %12s %10s %14s@," "strategy" "SSF" "sample var" "successes" "var speedup";
+  List.iter2
+    (fun (row : Experiments.fig9_row) (_, speedup) ->
+      Format.fprintf ppf "  %-12s %10.5f %12.3e %10d %13.1fx@," row.Experiments.strategy
+        row.Experiments.ssf row.Experiments.variance row.Experiments.successes speedup)
+    r.Experiments.rows r.Experiments.speedup_vs_random;
+  Format.fprintf ppf "@]"
+
+let fig10 ppf (r : Experiments.fig10) =
+  Format.fprintf ppf
+    "@[<v>== Fig 10(a): outcomes of combinational-gate strikes ==@,\
+     \  masked          : %5.1f%%  %s@,\
+     \  mem-type only   : %5.1f%%  %s@,\
+     \  RTL resume      : %5.1f%%  %s@,\
+     == Fig 10(b): SSF by strike population (%d samples each) ==@,\
+     \  %-12s %10s %8s@,\
+     \  %-12s %10d %8.4f@,\
+     \  %-12s %10d %8.4f@,\
+     \  comb / register SSF ratio: %.2f@,@]"
+    (100. *. r.Experiments.comb_masked)
+    (bar r.Experiments.comb_masked)
+    (100. *. r.Experiments.comb_mem_only)
+    (bar r.Experiments.comb_mem_only)
+    (100. *. r.Experiments.comb_resumed)
+    (bar r.Experiments.comb_resumed)
+    r.Experiments.samples_each "population" "# success" "SSF" "registers" r.Experiments.reg_successes
+    r.Experiments.reg_ssf "comb gates" r.Experiments.comb_successes r.Experiments.comb_ssf
+    (if r.Experiments.reg_ssf > 0. then r.Experiments.comb_ssf /. r.Experiments.reg_ssf else 0.)
+
+let fig11 ppf (r : Experiments.fig11) =
+  Format.fprintf ppf "@[<v>== Fig 11(a): normalized SSF vs temporal-accuracy range ==@,";
+  Format.fprintf ppf "  range | mem-write | mem-read@,";
+  List.iter
+    (fun (w, sw, sr) -> Format.fprintf ppf "  %5d | %9.2f | %8.2f@," w sw sr)
+    r.Experiments.temporal;
+  Format.fprintf ppf "== Fig 11(b): normalized SSF vs spatial accuracy ==@,";
+  Format.fprintf ppf "  %-10s | mem-write | mem-read@," "aim";
+  List.iter
+    (fun (label, sw, sr) -> Format.fprintf ppf "  %-10s | %9.2f | %8.2f@," label sw sr)
+    r.Experiments.spatial;
+  Format.fprintf ppf "@]"
+
+let headline ppf (r : Experiments.headline) =
+  Format.fprintf ppf "@[<v>== Critical registers and hardening (paper §6 headline) ==@,";
+  Format.fprintf ppf "critical register bits (cover %.1f%% of SSF): %d (%.1f%% of all flip-flops)@,"
+    (100. *. r.Experiments.coverage)
+    (List.length r.Experiments.critical)
+    (100. *. r.Experiments.critical_fraction);
+  List.iteri
+    (fun i ((group, bit), w) ->
+      if i < 15 then Format.fprintf ppf "  %-14s contribution %.4f@," (Printf.sprintf "%s[%d]" group bit) w)
+    r.Experiments.critical;
+  Format.fprintf ppf "hardening plans (10x resilient cells at 3x area):@,";
+  Format.fprintf ppf "  %-9s %-6s %-7s %-11s %-11s %-10s %-8s@," "coverage" "#regs" "reg %"
+    "SSF before" "SSF after" "reduction" "area +%";
+  List.iter
+    (fun (coverage, (h : Harden.evaluation)) ->
+      Format.fprintf ppf "  %-9.2f %-6d %-7.1f %-11.5f %-11.5f %-9.1fx %-8.2f@," coverage
+        (Array.length h.Harden.plan.Harden.registers)
+        (100. *. h.Harden.register_fraction)
+        h.Harden.baseline.Ssf.ssf h.Harden.hardened.Ssf.ssf h.Harden.ssf_reduction
+        (100. *. h.Harden.area_overhead))
+    r.Experiments.plans;
+  Format.fprintf ppf "@]"
+
+let ssf_report ppf (r : Ssf.report) =
+  Format.fprintf ppf
+    "@[<v>strategy: %s@,samples: %d (effective: %.0f)@,SSF: %.5f@,sample variance: %.3e@,\
+     successes: %d@,outcomes: masked %d / analytical %d / resumed %d@,\
+     successes via direct register strikes: %d, via transients only: %d@,"
+    r.Ssf.strategy r.Ssf.n r.Ssf.ess r.Ssf.ssf r.Ssf.variance r.Ssf.successes
+    r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed
+    r.Ssf.success_by_direct r.Ssf.success_by_comb;
+  Format.fprintf ppf "top contributing register bits:@,";
+  List.iteri
+    (fun i ((group, bit), w) ->
+      if i < 10 then Format.fprintf ppf "  %-14s %.4f@," (Printf.sprintf "%s[%d]" group bit) w)
+    r.Ssf.contributions;
+  Format.fprintf ppf "@]"

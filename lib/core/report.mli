@@ -1,0 +1,17 @@
+(** Plain-text rendering of experiment results, shaped like the paper's
+    tables and figure series (ASCII bars for distributions, aligned tables
+    for the statistics). All printers write to a [Format] formatter. *)
+
+val fig4 : Format.formatter -> Experiments.fig4 -> unit
+val fig7 : Format.formatter -> Experiments.fig7 -> unit
+val fig8 : Format.formatter -> Experiments.fig8 -> unit
+val fig9 : Format.formatter -> Experiments.fig9 -> unit
+val fig10 : Format.formatter -> Experiments.fig10 -> unit
+val fig11 : Format.formatter -> Experiments.fig11 -> unit
+val headline : Format.formatter -> Experiments.headline -> unit
+
+val ssf_report : Format.formatter -> Ssf.report -> unit
+(** Generic SSF report (used by the CLI and examples). *)
+
+val bar : float -> string
+(** A proportional ASCII bar for a value in [\[0, 1\]]. *)

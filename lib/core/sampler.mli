@@ -1,0 +1,98 @@
+(** Sampling strategies over the attack-parameter space (paper §3.3, §4).
+
+    - [Random]: draw directly from the attacker model [f_{T,P}]
+      (plain Monte Carlo, the baseline of Fig. 9);
+    - [Fanin_cone]: restrict the center-cell choice to the responding
+      signals' cone slice [Omega_t] (pre-characterization step 1 only);
+    - [Importance]: the paper's full two-step scheme,
+      [g_T(t) = omega_t / sum omega] with
+      [omega_t = sum_{g in Omega_t} (1 + alpha Corr_t(g, rs)
+      delta(L(g) >= beta t))], then [g_{P|T}] proportional to the same
+      per-cell weights.
+
+    Radius, pulse width and intra-cycle strike time are technique
+    variation, sampled identically under every strategy, so they cancel in
+    the importance weights. Draws carry the exact weight
+    [f_{T,P} / g_{T,P}] so that the weighted estimator stays unbiased over
+    the cone-restricted support (outside it the attack cannot reach the
+    responding signals — paper Observation 1). *)
+
+type strategy =
+  | Random
+  | Fanin_cone
+  | Importance of { alpha : float; beta : float; dead_weight : float; gamma : float }
+  | Mixed of { alpha : float; beta : float; dead_weight : float; v_allocation : float }
+      (** the paper's full "Our" scheme: hybrid of importance Monte Carlo
+          and the analytical pre-characterization, realized as a stratified
+          estimator. Block cells whose disc can flip an analytically
+          vulnerable register bit form the {e vulnerable} stratum (sampled
+          with probability [v_allocation], uniformly within); the rest is
+          sampled with the correlation/lifetime importance scheme. The
+          estimator combines strata by their exact [f]-masses, so the
+          near-deterministic analytical component contributes almost no
+          variance. *)
+      (** [alpha] scales the correlation bonus, [beta] the lifetime
+          threshold [delta(L(g) >= beta t)] — both per the paper's formula.
+          [dead_weight] (in (0, 1]) additionally scales down cells whose
+          measured error lifetime cannot reach the target cycle
+          ([L(g) < beta t]); the paper leaves those at baseline weight,
+          but Observation 3 says their attacks fail, so sampling them
+          rarely (with the exact [f/g] correction keeping the estimator
+          unbiased) is a strict refinement. Set [dead_weight = 1.] for the
+          paper's literal formula. [gamma] is the bonus for register bits
+          the analytical pre-characterization marks as single-flip policy
+          defeats ([Engine.static_vulnerable]); 0 disables the prior. *)
+
+val strategy_name : strategy -> string
+
+val default_importance : strategy
+(** [Importance { alpha = 8.; beta = 1.; dead_weight = 0.1; gamma = 60. }]. *)
+
+val default_mixed : strategy
+(** [Mixed { alpha = 8.; beta = 1.; dead_weight = 0.1; v_allocation = 0.5 }]. *)
+
+type stratum = All | Vulnerable | Rest
+
+type sample = {
+  t : int;  (** timing distance *)
+  center : Fmc_netlist.Netlist.node;
+  radius : float;
+  width : float;  (** transient pulse width, ps *)
+  time_frac : float;  (** strike start as a fraction of the clock period *)
+  weight : float;
+      (** importance weight: [f/g] for single-stratum strategies, the
+          within-stratum [f(.|s)/g] for [Mixed] *)
+  stratum : stratum;  (** [All] except under [Mixed] *)
+}
+
+type prepared
+
+val prepare :
+  ?static_vuln:(Fmc_netlist.Netlist.node -> bool) ->
+  strategy ->
+  Attack.t ->
+  Precharac.t ->
+  placement:Fmc_layout.Placement.t ->
+  prepared
+(** Precomputes the per-depth candidate sets and weight tables. Importance
+    scores are smoothed over each center's radiated neighborhood (largest
+    attack radius) so that a disc covering a critical cell is never
+    under-sampled. Raises [Invalid_argument] if a cone-based strategy has
+    an empty sample space (no overlap between the target block and any
+    [Omega_t]). *)
+
+val draw : prepared -> Fmc_prelude.Rng.t -> sample
+
+val name : prepared -> string
+(** {!strategy_name} of the prepared strategy. *)
+
+val strata : prepared -> (stratum * float) list
+(** The strata and their exact [f]-masses: [\[(All, 1.)\]] except under
+    [Mixed]. The estimator combines per-stratum means with these masses. *)
+
+val temporal_pmf : prepared -> (int * float) list
+(** The realized sampling distribution [g_T] over timing distances
+    (Fig. 8a). For [Random] this is just [f_T]. *)
+
+val sample_space_size : prepared -> int
+(** Total number of (t, center) pairs with non-zero sampling probability. *)

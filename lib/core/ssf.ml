@@ -1,0 +1,227 @@
+module Welford = Fmc_prelude.Stats.Welford
+module Rng = Fmc_prelude.Rng
+
+type outcome_counts = { masked : int; mem_only : int; resumed : int }
+
+type report = {
+  strategy : string;
+  n : int;
+  ssf : float;
+  variance : float;
+  successes : int;
+  ess : float;
+  trace : (int * float) list;
+  outcomes : outcome_counts;
+  contributions : ((string * int) * float) list;
+  success_by_direct : int;
+  success_by_comb : int;
+}
+
+let estimate ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles ?hardened ?resilience
+    engine prepared ~samples ~seed =
+  if samples <= 0 then invalid_arg "Ssf.estimate: non-positive sample count";
+  let rng = Rng.create seed in
+  let strata = Sampler.strata prepared in
+  (* One accumulator per stratum; the stratified estimate combines the
+     per-stratum means with their exact f-masses, and the reported variance
+     is the effective per-sample variance n * Var(estimate) so it is
+     directly comparable to plain Monte Carlo's indicator variance. *)
+  let accs = List.map (fun (s, m) -> (s, m, Welford.create ())) strata in
+  let acc_of stratum =
+    let _, _, w = List.find (fun (s, _, _) -> s = stratum) accs in
+    w
+  in
+  let current_estimate () =
+    List.fold_left (fun acc (_, m, w) -> acc +. (m *. Welford.mean w)) 0. accs
+  in
+  let trace = ref [] in
+  let masked = ref 0 and mem_only = ref 0 and resumed = ref 0 in
+  let successes = ref 0 in
+  let by_direct = ref 0 and by_comb = ref 0 in
+  let sum_w = ref 0. and sum_w2 = ref 0. in
+  let contributions = Hashtbl.create 64 in
+  for i = 1 to samples do
+    let sample = Sampler.draw prepared rng in
+    let result = Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample in
+    let e = if result.Engine.success then 1. else 0. in
+    (* Kish effective sample size over the drawn weights (f-mass scaled so
+       strata weigh in proportionally). *)
+    let w = List.assoc sample.Sampler.stratum strata *. sample.Sampler.weight in
+    sum_w := !sum_w +. w;
+    sum_w2 := !sum_w2 +. (w *. w);
+    Welford.add (acc_of sample.Sampler.stratum) (sample.Sampler.weight *. e);
+    (match result.Engine.outcome with
+    | Engine.Masked -> incr masked
+    | Engine.Analytical _ -> incr mem_only
+    | Engine.Resumed _ -> incr resumed);
+    if result.Engine.success then begin
+      incr successes;
+      if Array.length result.Engine.direct > 0 then incr by_direct else incr by_comb;
+      (* Contribution mass in f-terms: within-stratum weight times the
+         stratum mass, split evenly across the run's flipped bits so that
+         incidental co-flips don't each collect full credit. *)
+      let mass = List.assoc sample.Sampler.stratum strata in
+      let attributed =
+        (* Leave-one-out causal attribution strips incidental co-flips; it
+           replays deterministically, so it is disabled when hardening
+           randomness is in play, and also under a cell filter (the replay
+           would not see the filter). *)
+        if causal && hardened = None && cell_filter = None && impact_cycles = None then
+          Engine.causal_flips engine result
+        else result.Engine.flips
+      in
+      let share = mass *. sample.Sampler.weight /. float_of_int (max 1 (List.length attributed)) in
+      List.iter
+        (fun key ->
+          let cur = try Hashtbl.find contributions key with Not_found -> 0. in
+          Hashtbl.replace contributions key (cur +. share))
+        attributed
+    end;
+    if i mod trace_every = 0 || i = samples then trace := (i, current_estimate ()) :: !trace
+  done;
+  let ssf_value = current_estimate () in
+  let variance_value =
+    (* n * Var(stratified estimator); collapses to the plain sample
+       variance when there is a single stratum. *)
+    let n = float_of_int samples in
+    List.fold_left
+      (fun acc (_, m, w) ->
+        let n_s = float_of_int (max 1 (Welford.count w)) in
+        acc +. (m *. m *. Welford.variance w /. n_s))
+      0. accs
+    *. n
+  in
+  let contributions =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) contributions []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    strategy = Sampler.name prepared;
+    n = samples;
+    ssf = ssf_value;
+    variance = variance_value;
+    successes = !successes;
+    ess = (if !sum_w2 > 0. then !sum_w *. !sum_w /. !sum_w2 else float_of_int samples);
+    trace = List.rev !trace;
+    outcomes = { masked = !masked; mem_only = !mem_only; resumed = !resumed };
+    contributions;
+    success_by_direct = !by_direct;
+    success_by_comb = !by_comb;
+  }
+
+let merge_reports (reports : report list) =
+  match reports with
+  | [] -> invalid_arg "Ssf.merge_reports: empty"
+  | first :: _ ->
+      let n = List.fold_left (fun acc r -> acc + r.n) 0 reports in
+      (* Recombine the stratified estimate: per-sample weighted values are
+         not retained, so merge via the variance-weighted formulas on the
+         per-report summaries (each report is a stratified estimate over
+         the same strata with the same masses; averaging the estimates with
+         sample-count weights is exact for the mean, and the pooled
+         effective variance follows the same weighting). *)
+      let ssf = List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.ssf)) 0. reports /. float_of_int n in
+      let variance =
+        List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.variance)) 0. reports
+        /. float_of_int n
+      in
+      let successes = List.fold_left (fun acc r -> acc + r.successes) 0 reports in
+      let outcomes =
+        List.fold_left
+          (fun acc r ->
+            {
+              masked = acc.masked + r.outcomes.masked;
+              mem_only = acc.mem_only + r.outcomes.mem_only;
+              resumed = acc.resumed + r.outcomes.resumed;
+            })
+          { masked = 0; mem_only = 0; resumed = 0 } reports
+      in
+      let contributions =
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (k, w) ->
+                let cur = try Hashtbl.find tbl k with Not_found -> 0. in
+                Hashtbl.replace tbl k (cur +. w))
+              r.contributions)
+          reports;
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+      in
+      let trace =
+        (* Per-domain partial traces laid out at cumulative sample offsets:
+           x stays in [0, n], y is the owning domain's running estimate. *)
+        let _, rev =
+          List.fold_left
+            (fun (offset, acc) r ->
+              (offset + r.n, List.rev_append (List.map (fun (k, e) -> (offset + k, e)) r.trace) acc))
+            (0, []) reports
+        in
+        List.sort compare rev
+      in
+      {
+        strategy = first.strategy;
+        n;
+        ssf;
+        variance;
+        successes;
+        trace;
+        outcomes;
+        contributions;
+        success_by_direct = List.fold_left (fun acc r -> acc + r.success_by_direct) 0 reports;
+        success_by_comb = List.fold_left (fun acc r -> acc + r.success_by_comb) 0 reports;
+        ess = List.fold_left (fun acc r -> acc +. r.ess) 0. reports;
+      }
+
+let estimate_parallel ?domains ?causal ~engine_factory prepared ~samples ~seed =
+  let domains =
+    match domains with Some d -> max 1 d | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  if samples <= 0 then invalid_arg "Ssf.estimate_parallel: non-positive sample count";
+  let per = samples / domains and extra = samples mod domains in
+  let spawned =
+    List.init domains (fun i ->
+        let n = per + (if i < extra then 1 else 0) in
+        Domain.spawn (fun () ->
+            if n = 0 then None
+            else begin
+              let engine = engine_factory () in
+              Some (estimate ?causal engine prepared ~samples:n ~seed:(seed + (7919 * (i + 1))))
+            end))
+  in
+  let reports = List.filter_map Domain.join spawned in
+  merge_reports reports
+
+let confidence_interval report ~z =
+  let half = z *. sqrt (report.variance /. float_of_int (max 1 report.n)) in
+  (Float.max 0. (report.ssf -. half), Float.min 1. (report.ssf +. half))
+
+let estimate_until ?trace_every ?causal ?(batch = 500) ?(max_samples = 200_000) engine prepared
+    ~half_width ~z ~seed =
+  if half_width <= 0. then invalid_arg "Ssf.estimate_until: non-positive half_width";
+  if batch <= 0 then invalid_arg "Ssf.estimate_until: non-positive batch";
+  (* Deterministic growth: re-estimate with a growing sample count so the
+     stream stays reproducible (estimation cost is linear in the final n,
+     and the doubling schedule keeps the total within ~4x of one pass). *)
+  let rec go n =
+    let report = estimate ?trace_every ?causal engine prepared ~samples:n ~seed in
+    let lo, hi = confidence_interval report ~z in
+    if (hi -. lo) /. 2. <= half_width || n >= max_samples then report
+    else go (min max_samples (max (n + batch) (2 * n)))
+  in
+  go batch
+
+let contribution_coverage report ~fraction =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. report.contributions in
+  if total <= 0. then []
+  else begin
+    let rec take acc covered = function
+      | [] -> List.rev acc
+      | (k, w) :: rest ->
+          let covered = covered +. w in
+          let acc = (k, w) :: acc in
+          if covered >= fraction *. total then List.rev acc else take acc covered rest
+    in
+    take [] 0. report.contributions
+  end

@@ -1,0 +1,97 @@
+(** System Security Factor estimation (paper §3.3).
+
+    [SSF = E_{T,P}(E)], estimated by the finite-sample mean of the
+    (importance-weighted) success indicator. The report carries everything
+    the paper's evaluation section reads off a run: the estimate, the
+    sample variance (the convergence-rate driver of the LLN bound), the
+    running-estimate trace (Fig. 9a), the outcome breakdown (Fig. 10a) and
+    per-register success attribution (the "3% registers, 95% SSF"
+    analysis). *)
+
+type outcome_counts = {
+  masked : int;  (** no register error survived the injection cycle *)
+  mem_only : int;  (** analytical evaluation sufficed *)
+  resumed : int;  (** RTL simulation had to resume *)
+}
+
+type report = {
+  strategy : string;
+  n : int;
+  ssf : float;
+  variance : float;  (** unbiased sample variance of the weighted indicator *)
+  successes : int;  (** raw count of successful attack runs *)
+  ess : float;
+      (** Kish effective sample size of the drawn importance weights,
+          [n] under plain Monte Carlo; a low [ess/n] warns that the
+          sampling distribution is poorly matched to [f] *)
+  trace : (int * float) list;  (** (samples so far, running estimate) *)
+  outcomes : outcome_counts;
+  contributions : ((string * int) * float) list;
+      (** per register bit: summed weight over successful runs it was
+          corrupted in, descending *)
+  success_by_direct : int;  (** successes whose strike flipped a register directly *)
+  success_by_comb : int;  (** successes caused purely by combinational transients *)
+}
+
+val estimate :
+  ?trace_every:int ->
+  ?causal:bool ->
+  ?cell_filter:(Fmc_netlist.Netlist.node -> bool) ->
+  ?impact_cycles:int ->
+  ?hardened:(Fmc_netlist.Netlist.node -> bool) ->
+  ?resilience:float ->
+  Engine.t ->
+  Sampler.prepared ->
+  samples:int ->
+  seed:int ->
+  report
+(** Deterministic for fixed arguments. [causal] (default true) applies
+    leave-one-out counterfactual attribution to successful runs so that the
+    contribution list reflects causal bits rather than incidental co-flips;
+    it is automatically disabled when [hardened] is supplied. Raises
+    [Invalid_argument] on a non-positive sample count. *)
+
+val estimate_parallel :
+  ?domains:int ->
+  ?causal:bool ->
+  engine_factory:(unit -> Engine.t) ->
+  Sampler.prepared ->
+  samples:int ->
+  seed:int ->
+  report
+(** Multicore estimation: splits the samples across [domains] (default: the
+    machine's recommended domain count) OCaml domains, each with its own
+    engine instance and an independent RNG stream, then merges the
+    per-domain accumulators. [engine_factory] MUST build a fresh engine on
+    every call (engines carry mutable simulator state; sharing one across
+    domains races) — e.g.
+    [fun () -> Engine.create ~precharac program]. The
+    result is deterministic for a fixed [(domains, samples, seed)] triple —
+    but differs from the sequential {!estimate} stream, and the trace is
+    coarser (per-domain checkpoints). *)
+
+val confidence_interval : report -> z:float -> float * float
+(** Normal-approximation confidence interval for the SSF estimate:
+    [estimate -/+ z * sqrt(variance / n)] clamped to [\[0, 1\]]. [z = 1.96]
+    for 95%. *)
+
+val estimate_until :
+  ?trace_every:int ->
+  ?causal:bool ->
+  ?batch:int ->
+  ?max_samples:int ->
+  Engine.t ->
+  Sampler.prepared ->
+  half_width:float ->
+  z:float ->
+  seed:int ->
+  report
+(** The paper's stopping rule made concrete: keep sampling (in batches,
+    default 500) until the confidence interval's half-width drops below
+    [half_width], or [max_samples] (default 200_000) is reached. The
+    returned report covers all samples taken. Raises [Invalid_argument] on
+    a non-positive [half_width]. *)
+
+val contribution_coverage : report -> fraction:float -> ((string * int) * float) list
+(** The smallest prefix of [contributions] covering at least [fraction] of
+    the total success weight. *)

@@ -1,0 +1,214 @@
+module Isa = Fmc_isa.Isa
+module Hdl = Fmc_hdl.Hdl
+module Vec = Fmc_hdl.Vec
+open Hdl
+
+type t = {
+  net : Fmc_netlist.Netlist.t;
+  instr : Fmc_netlist.Netlist.node array;
+  dmem_rdata : Fmc_netlist.Netlist.node array;
+  pc : Fmc_netlist.Netlist.node array;
+  dmem_addr : Fmc_netlist.Netlist.node array;
+  dmem_wdata : Fmc_netlist.Netlist.node array;
+  dmem_we : Fmc_netlist.Netlist.node;
+  dmem_re : Fmc_netlist.Netlist.node;
+  halted : Fmc_netlist.Netlist.node;
+  data_viol : Fmc_netlist.Netlist.node;
+  instr_viol : Fmc_netlist.Netlist.node;
+  priv_viol : Fmc_netlist.Netlist.node;
+}
+
+let build () =
+  let ctx = Hdl.create () in
+  let instr = Hdl.input ctx "instr" 16 in
+  let rdata = Hdl.input ctx "dmem_rdata" 16 in
+
+  (* Architectural registers — names and widths must match Arch.groups. *)
+  let pc_r = Hdl.reg ctx ~group:"pc" ~width:16 ~init:0 in
+  let regs = Array.init 8 (fun i -> Hdl.reg ctx ~group:(Printf.sprintf "reg%d" i) ~width:16 ~init:0) in
+  let mode_r = Hdl.reg ctx ~group:"mode" ~width:1 ~init:1 in
+  let epc_r = Hdl.reg ctx ~group:"epc" ~width:16 ~init:0 in
+  let cause_r = Hdl.reg ctx ~group:"cause" ~width:2 ~init:0 in
+  let halted_r = Hdl.reg ctx ~group:"halted" ~width:1 ~init:0 in
+  let base_r = Array.init 2 (fun i -> Hdl.reg ctx ~group:(Printf.sprintf "mpu_base%d" i) ~width:16 ~init:0) in
+  let limit_r = Array.init 2 (fun i -> Hdl.reg ctx ~group:(Printf.sprintf "mpu_limit%d" i) ~width:16 ~init:0) in
+  let ctrl_r = Array.init 2 (fun i -> Hdl.reg ctx ~group:(Printf.sprintf "mpu_ctrl%d" i) ~width:4 ~init:0) in
+
+  let pcv = Hdl.q pc_r in
+  let modev = (Hdl.q mode_r).(0) in
+  let haltedv = (Hdl.q halted_r).(0) in
+  let epcv = Hdl.q epc_r in
+  let causev = Hdl.q cause_r in
+  let regq = Array.map Hdl.q regs in
+
+  (* Decode fields. *)
+  let opv = Vec.bits instr ~lo:12 ~hi:16 in
+  let is_op = Vec.decode opv in
+  let rd_idx = Vec.bits instr ~lo:9 ~hi:12 in
+  let ra_idx = Vec.bits instr ~lo:6 ~hi:9 in
+  let rb_idx = Vec.bits instr ~lo:3 ~hi:6 in
+  let imm8 = Vec.bits instr ~lo:0 ~hi:8 in
+  let imm6 = Vec.bits instr ~lo:0 ~hi:6 in
+  let imm9 = Vec.bits instr ~lo:0 ~hi:9 in
+  let syscode = Vec.bits instr ~lo:0 ~hi:4 in
+  let sys_dec = Vec.decode syscode in
+  let is_sys = is_op.(0x0) in
+  let is_halt_i = is_sys &: sys_dec.(0) in
+  let is_trapret = is_sys &: sys_dec.(1) in
+  let is_retu = is_sys &: sys_dec.(3) in
+  let is_ld = is_op.(0xA) and is_st = is_op.(0xB) in
+  let is_brz = is_op.(0xC) and is_brnz = is_op.(0xD) in
+  let is_jalr = is_op.(0xE) and is_mpuw = is_op.(0xF) in
+
+  (* Register-file read ports. *)
+  let val_rd = Vec.mux_tree ~sel:rd_idx regq in
+  let val_ra = Vec.mux_tree ~sel:ra_idx regq in
+  let val_rb = Vec.mux_tree ~sel:rb_idx regq in
+
+  (* MPU region check: ctrl bits are [enable; read; write; exec]. *)
+  let allows addr perm_bit =
+    let region i =
+      let ctrl = Hdl.q ctrl_r.(i) in
+      Hdl.and_reduce
+        [| ctrl.(0); Vec.uge addr (Hdl.q base_r.(i)); Vec.ule addr (Hdl.q limit_r.(i)); ctrl.(perm_bit) |]
+    in
+    region 0 |: region 1
+  in
+
+  let user = ~:modev in
+  let running = ~:haltedv in
+  let exec_ok = modev |: allows pcv 3 in
+  let instr_viol = running &: ~:exec_ok in
+  let exec_active = running &: exec_ok in
+
+  let mem_addr = Vec.add val_ra (Vec.zext imm6 16) in
+  let read_ok = modev |: allows mem_addr 1 in
+  let write_ok = modev |: allows mem_addr 2 in
+  let data_viol = exec_active &: ((is_ld &: ~:read_ok) |: (is_st &: ~:write_ok)) in
+  let is_priv_instr = is_mpuw |: is_trapret |: is_retu in
+  let priv_viol = exec_active &: (user &: is_priv_instr) in
+  let viol = instr_viol |: data_viol |: priv_viol in
+  let effective = exec_active &: ~:viol in
+
+  (* ALU / result computation. *)
+  let add_res = Vec.add val_ra val_rb in
+  let sub_res = Vec.sub val_ra val_rb in
+  let and_res = Vec.and_v val_ra val_rb in
+  let or_res = Vec.or_v val_ra val_rb in
+  let xor_res = Vec.xor_v val_ra val_rb in
+  let shamt = Vec.bits val_rb ~lo:0 ~hi:4 in
+  let shl_res = Vec.sll val_ra ~amount:shamt in
+  let shr_res = Vec.srl val_ra ~amount:shamt in
+  let ldi_res = Vec.zext imm8 16 in
+  let lui_res = Vec.concat [ Vec.bits val_rd ~lo:0 ~hi:8; imm8 ] in
+  let pc1 = Vec.add pcv (Vec.of_int ctx ~width:16 1) in
+  let result =
+    Vec.mux_tree ~sel:opv
+      [|
+        val_rd (* 0x0 sys: don't care *);
+        ldi_res;
+        lui_res;
+        add_res;
+        sub_res;
+        and_res;
+        or_res;
+        xor_res;
+        shl_res;
+        shr_res;
+        rdata (* 0xA ld *);
+        val_rd (* 0xB st: don't care *);
+        val_rd (* 0xC brz *);
+        val_rd (* 0xD brnz *);
+        pc1 (* 0xE jalr link *);
+        val_rd (* 0xF mpuw *);
+      |]
+  in
+  let writes_rd =
+    Hdl.or_reduce
+      [|
+        is_op.(0x1); is_op.(0x2); is_op.(0x3); is_op.(0x4); is_op.(0x5); is_op.(0x6); is_op.(0x7);
+        is_op.(0x8); is_op.(0x9); is_ld; is_jalr;
+      |]
+  in
+  let rd_we = effective &: writes_rd in
+  let rd_onehot = Vec.decode rd_idx in
+  Array.iteri
+    (fun i r -> Hdl.connect r (Vec.mux2v (rd_we &: rd_onehot.(i)) regq.(i) result))
+    regs;
+
+  (* Branch / next-pc. The branch source register lives in the rd slot. *)
+  let rd_zero = Vec.is_zero val_rd in
+  let br_taken = (is_brz &: rd_zero) |: (is_brnz &: ~:rd_zero) in
+  let br_target = Vec.add pc1 (Vec.sext imm9 16) in
+  let epc1 = Vec.add epcv (Vec.of_int ctx ~width:16 1) in
+  let pc_exec =
+    (* Mutually exclusive selectors; cascade of 2:1 muxes. *)
+    let sel c a b = Vec.mux2v c b a in
+    sel ((is_brz |: is_brnz) &: br_taken) br_target
+      (sel is_jalr val_ra (sel is_trapret epc1 (sel is_halt_i pcv pc1)))
+  in
+  let trap_pc = Vec.of_int ctx ~width:16 Isa.trap_vector in
+  let pc_next = Vec.mux2v haltedv (Vec.mux2v viol pc_exec trap_pc) pcv in
+  Hdl.connect pc_r pc_next;
+
+  (* Trap bookkeeping and privilege mode. *)
+  let halted_next = [| haltedv |: (effective &: is_halt_i) |] in
+  Hdl.connect halted_r halted_next;
+  let drop_mode = effective &: (is_trapret |: is_retu) in
+  let mode_next = [| mux2 viol (mux2 drop_mode modev (Hdl.gnd ctx)) (Hdl.vdd ctx) |] in
+  Hdl.connect mode_r mode_next;
+  Hdl.connect epc_r (Vec.mux2v viol epcv pcv);
+  (* Cause encoding: data=01, instr=10, priv=11 — the viols are mutually
+     exclusive so plain ORs give the priority-free exact code. *)
+  let cause_code = [| data_viol |: priv_viol; instr_viol |: priv_viol |] in
+  Hdl.connect cause_r (Vec.mux2v viol causev cause_code);
+
+  (* MPU configuration writes. *)
+  let mpuw_eff = effective &: is_mpuw in
+  let fld_onehot = Vec.decode rd_idx in
+  let connect_field r fld width_src =
+    let en = mpuw_eff &: fld_onehot.(fld) in
+    Hdl.connect r (Vec.mux2v en (Hdl.q r) width_src)
+  in
+  connect_field base_r.(0) Isa.fld_base0 val_ra;
+  connect_field limit_r.(0) Isa.fld_limit0 val_ra;
+  connect_field ctrl_r.(0) Isa.fld_ctrl0 (Vec.bits val_ra ~lo:0 ~hi:4);
+  connect_field base_r.(1) Isa.fld_base1 val_ra;
+  connect_field limit_r.(1) Isa.fld_limit1 val_ra;
+  connect_field ctrl_r.(1) Isa.fld_ctrl1 (Vec.bits val_ra ~lo:0 ~hi:4);
+
+  (* Memory port. *)
+  let dmem_re = effective &: is_ld in
+  let dmem_we = effective &: is_st in
+
+  (* Primary outputs. *)
+  Hdl.output ctx "pc" pcv;
+  Hdl.output ctx "dmem_addr" mem_addr;
+  Hdl.output ctx "dmem_wdata" val_rd;
+  Hdl.output1 ctx "dmem_we" dmem_we;
+  Hdl.output1 ctx "dmem_re" dmem_re;
+  Hdl.output1 ctx "halted" haltedv;
+  Hdl.output1 ctx "mode" modev;
+  Hdl.output ctx "cause" causev;
+  Hdl.output1 ctx "data_viol" data_viol;
+  Hdl.output1 ctx "instr_viol" instr_viol;
+  Hdl.output1 ctx "priv_viol" priv_viol;
+
+  let net = Hdl.elaborate ctx in
+  let n = Hdl.node_of_signal in
+  {
+    net;
+    instr = Array.map n instr;
+    dmem_rdata = Array.map n rdata;
+    pc = Array.map n pcv;
+    dmem_addr = Array.map n mem_addr;
+    dmem_wdata = Array.map n val_rd;
+    dmem_we = n dmem_we;
+    dmem_re = n dmem_re;
+    halted = n haltedv;
+    data_viol = n data_viol;
+    instr_viol = n instr_viol;
+    priv_viol = n priv_viol;
+  }
+
+let responding_signals t = [ t.data_viol; t.instr_viol; t.priv_viol ]

@@ -1,0 +1,37 @@
+(** The processor as a gate-level netlist.
+
+    Structurally identical in behaviour to {!Model} (enforced by the
+    co-simulation test suite): same architectural registers (flip-flop
+    groups named per {!Arch.groups}), same next-state functions, same
+    memory-port protocol. This is the level the radiation strikes hit
+    (paper §5.3): combinational MPU checks, regfile muxes, ALU — all real
+    gates that transients traverse.
+
+    Ports (netlist inputs/outputs):
+    - in  [instr\[16\]] — instruction word at the current [pc];
+    - in  [dmem_rdata\[16\]] — data-memory read value at [dmem_addr];
+    - out [pc\[16\]], [dmem_addr\[16\]], [dmem_wdata\[16\]], [dmem_we],
+      [dmem_re], [halted], [mode];
+    - out [data_viol], [instr_viol], [priv_viol] — the responding signals
+      of the security mechanism (paper §4, Observation 1). *)
+
+type t = {
+  net : Fmc_netlist.Netlist.t;
+  instr : Fmc_netlist.Netlist.node array;
+  dmem_rdata : Fmc_netlist.Netlist.node array;
+  pc : Fmc_netlist.Netlist.node array;
+  dmem_addr : Fmc_netlist.Netlist.node array;
+  dmem_wdata : Fmc_netlist.Netlist.node array;
+  dmem_we : Fmc_netlist.Netlist.node;
+  dmem_re : Fmc_netlist.Netlist.node;
+  halted : Fmc_netlist.Netlist.node;
+  data_viol : Fmc_netlist.Netlist.node;
+  instr_viol : Fmc_netlist.Netlist.node;
+  priv_viol : Fmc_netlist.Netlist.node;
+}
+
+val build : unit -> t
+(** Elaborate a fresh processor netlist. *)
+
+val responding_signals : t -> Fmc_netlist.Netlist.node list
+(** The violation-flag nodes, the roots of the pre-characterization cones. *)

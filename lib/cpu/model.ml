@@ -1,0 +1,147 @@
+module Isa = Fmc_isa.Isa
+
+type outcome = {
+  data_viol : bool;
+  instr_viol : bool;
+  priv_viol : bool;
+  store : (int * int) option;
+  load_addr : int option;
+}
+
+let quiet = { data_viol = false; instr_viol = false; priv_viol = false; store = None; load_addr = None }
+
+let mask16 v = v land 0xffff
+
+let trap (st : Arch.t) cause =
+  st.epc <- st.pc;
+  st.cause <- cause;
+  st.mode <- 1;
+  st.pc <- Isa.trap_vector
+
+let step (st : Arch.t) ~fetch ~load ~store =
+  if st.halted then quiet
+  else begin
+    let word = fetch st.pc in
+    let user = st.mode = 0 in
+    if user && not (Arch.mpu_allows st ~addr:st.pc ~perm:Arch.Exec) then begin
+      trap st Isa.cause_instr;
+      { quiet with instr_viol = true }
+    end
+    else begin
+      let pc1 = mask16 (st.pc + 1) in
+      match Isa.decode word with
+      | Isa.Halt ->
+          st.halted <- true;
+          quiet
+      | Isa.Nop ->
+          st.pc <- pc1;
+          quiet
+      | Isa.Trapret ->
+          if user then begin
+            trap st Isa.cause_priv;
+            { quiet with priv_viol = true }
+          end
+          else begin
+            st.pc <- mask16 (st.epc + 1);
+            st.mode <- 0;
+            quiet
+          end
+      | Isa.Retu ->
+          if user then begin
+            trap st Isa.cause_priv;
+            { quiet with priv_viol = true }
+          end
+          else begin
+            st.mode <- 0;
+            st.pc <- pc1;
+            quiet
+          end
+      | Isa.Ldi (rd, imm) ->
+          st.regs.(rd) <- imm;
+          st.pc <- pc1;
+          quiet
+      | Isa.Lui (rd, imm) ->
+          st.regs.(rd) <- mask16 ((imm lsl 8) lor (st.regs.(rd) land 0xff));
+          st.pc <- pc1;
+          quiet
+      | Isa.Add (rd, ra, rb) ->
+          st.regs.(rd) <- mask16 (st.regs.(ra) + st.regs.(rb));
+          st.pc <- pc1;
+          quiet
+      | Isa.Sub (rd, ra, rb) ->
+          st.regs.(rd) <- mask16 (st.regs.(ra) - st.regs.(rb));
+          st.pc <- pc1;
+          quiet
+      | Isa.And_ (rd, ra, rb) ->
+          st.regs.(rd) <- st.regs.(ra) land st.regs.(rb);
+          st.pc <- pc1;
+          quiet
+      | Isa.Or_ (rd, ra, rb) ->
+          st.regs.(rd) <- st.regs.(ra) lor st.regs.(rb);
+          st.pc <- pc1;
+          quiet
+      | Isa.Xor_ (rd, ra, rb) ->
+          st.regs.(rd) <- st.regs.(ra) lxor st.regs.(rb);
+          st.pc <- pc1;
+          quiet
+      | Isa.Shl (rd, ra, rb) ->
+          st.regs.(rd) <- mask16 (st.regs.(ra) lsl (st.regs.(rb) land 15));
+          st.pc <- pc1;
+          quiet
+      | Isa.Shr (rd, ra, rb) ->
+          st.regs.(rd) <- mask16 st.regs.(ra) lsr (st.regs.(rb) land 15);
+          st.pc <- pc1;
+          quiet
+      | Isa.Ld (rd, ra, off) ->
+          let addr = mask16 (st.regs.(ra) + off) in
+          if user && not (Arch.mpu_allows st ~addr ~perm:Arch.Read) then begin
+            trap st Isa.cause_data;
+            { quiet with data_viol = true }
+          end
+          else begin
+            st.regs.(rd) <- mask16 (load addr);
+            st.pc <- pc1;
+            { quiet with load_addr = Some addr }
+          end
+      | Isa.St (rd, ra, off) ->
+          let addr = mask16 (st.regs.(ra) + off) in
+          if user && not (Arch.mpu_allows st ~addr ~perm:Arch.Write) then begin
+            trap st Isa.cause_data;
+            { quiet with data_viol = true }
+          end
+          else begin
+            store addr st.regs.(rd);
+            st.pc <- pc1;
+            { quiet with store = Some (addr, st.regs.(rd)) }
+          end
+      | Isa.Brz (r, off) ->
+          st.pc <- (if st.regs.(r) = 0 then mask16 (pc1 + off) else pc1);
+          quiet
+      | Isa.Brnz (r, off) ->
+          st.pc <- (if st.regs.(r) <> 0 then mask16 (pc1 + off) else pc1);
+          quiet
+      | Isa.Jalr (rd, ra) ->
+          let target = st.regs.(ra) in
+          st.regs.(rd) <- pc1;
+          st.pc <- target;
+          quiet
+      | Isa.Mpuw (fld, ra) ->
+          if user then begin
+            trap st Isa.cause_priv;
+            { quiet with priv_viol = true }
+          end
+          else begin
+            let v = st.regs.(ra) in
+            (match fld with
+            | 0 -> st.mpu_base.(0) <- v
+            | 1 -> st.mpu_limit.(0) <- v
+            | 2 -> st.mpu_ctrl.(0) <- v land 0xf
+            | 3 -> st.mpu_base.(1) <- v
+            | 4 -> st.mpu_limit.(1) <- v
+            | 5 -> st.mpu_ctrl.(1) <- v land 0xf
+            | _ -> ());
+            st.pc <- pc1;
+            quiet
+          end
+    end
+  end

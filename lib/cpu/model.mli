@@ -1,0 +1,22 @@
+(** Behavioral (RTL-level) single-cycle processor model.
+
+    One call to {!step} is one clock cycle and mirrors, bit for bit, the
+    next-state functions of the gate netlist in {!Circuit} — the
+    co-simulation test in the test suite enforces the equivalence. This is
+    the fast simulator the cross-level engine uses for golden runs,
+    checkpoints, warm-up to the injection cycle and post-injection
+    propagation (the paper's Synopsys VCS role). *)
+
+type outcome = {
+  data_viol : bool;  (** responding signal: illegal data access detected *)
+  instr_viol : bool;  (** responding signal: illegal fetch detected *)
+  priv_viol : bool;  (** responding signal: privileged instr in user mode *)
+  store : (int * int) option;  (** performed data-memory write *)
+  load_addr : int option;  (** performed data-memory read *)
+}
+
+val step :
+  Arch.t -> fetch:(int -> int) -> load:(int -> int) -> store:(int -> int -> unit) -> outcome
+(** Execute one cycle. When halted, nothing happens (no fetch) and the
+    outcome is all-quiet. On a violation the instruction is squashed and
+    the trap state update occurs instead. *)

@@ -1,0 +1,55 @@
+module Cycle_sim = Fmc_gatesim.Cycle_sim
+
+type t = {
+  circuit : Circuit.t;
+  sim : Cycle_sim.t;
+  imem : int array;
+  dmem : int array;
+  mutable cycle : int;
+}
+
+let create circuit (program : Fmc_isa.Programs.t) =
+  let dmem = Array.make program.Fmc_isa.Programs.dmem_size 0 in
+  List.iter (fun (a, v) -> dmem.(a) <- v land 0xffff) program.Fmc_isa.Programs.dmem_init;
+  { circuit; sim = Cycle_sim.create circuit.Circuit.net; imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0 }
+
+let circuit t = t.circuit
+let sim t = t.sim
+let dmem t = t.dmem
+let cycle t = t.cycle
+
+let halted t = Cycle_sim.read_group t.sim "halted" = 1
+
+let load_arch t st =
+  List.iter (fun (name, _) -> Cycle_sim.write_group t.sim name (Arch.get_group st name)) Arch.groups
+
+let read_arch t =
+  let st = Arch.create () in
+  List.iter (fun (name, _) -> Arch.set_group st name (Cycle_sim.read_group t.sim name)) Arch.groups;
+  st
+
+let dmask t addr = addr land (Array.length t.dmem - 1)
+
+let settle t =
+  let pc = Cycle_sim.read_group t.sim "pc" in
+  let word = if pc >= 0 && pc < Array.length t.imem then t.imem.(pc) else 0 in
+  Cycle_sim.set_input_bus t.sim t.circuit.Circuit.instr word;
+  (* First pass resolves the data address (which never depends on rdata);
+     second pass folds the memory answer back in. *)
+  Cycle_sim.set_input_bus t.sim t.circuit.Circuit.dmem_rdata 0;
+  Cycle_sim.eval_comb t.sim;
+  let addr = Cycle_sim.read_bus t.sim t.circuit.Circuit.dmem_addr in
+  Cycle_sim.set_input_bus t.sim t.circuit.Circuit.dmem_rdata t.dmem.(dmask t addr);
+  Cycle_sim.eval_comb t.sim
+
+let step t =
+  settle t;
+  if Cycle_sim.value t.sim t.circuit.Circuit.dmem_we then begin
+    let addr = Cycle_sim.read_bus t.sim t.circuit.Circuit.dmem_addr in
+    t.dmem.(dmask t addr) <- Cycle_sim.read_bus t.sim t.circuit.Circuit.dmem_wdata
+  end;
+  Cycle_sim.latch t.sim;
+  t.cycle <- t.cycle + 1
+
+let read_output t name =
+  if Cycle_sim.value t.sim (Fmc_netlist.Netlist.output t.circuit.Circuit.net name) then 1 else 0

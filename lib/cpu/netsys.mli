@@ -1,0 +1,38 @@
+(** Gate-level full system: the {!Circuit} netlist driven cycle-by-cycle
+    with the same behavioral memories as {!System}.
+
+    Used for (a) the RTL-vs-gate co-simulation equivalence tests and (b) the
+    single injection cycle of the cross-level engine, where the
+    architectural state is transferred into the netlist registers, the
+    cycle is evaluated at gate level, and the (possibly corrupted) next
+    state is read back. *)
+
+type t
+
+val create : Circuit.t -> Fmc_isa.Programs.t -> t
+(** The circuit can be shared across instances (the simulator state is
+    per-[t]). *)
+
+val circuit : t -> Circuit.t
+val sim : t -> Fmc_gatesim.Cycle_sim.t
+val dmem : t -> int array
+val cycle : t -> int
+val halted : t -> bool
+
+val load_arch : t -> Arch.t -> unit
+(** Write an architectural state into the netlist registers. *)
+
+val read_arch : t -> Arch.t
+(** Read the netlist registers back into a fresh architectural state. *)
+
+val settle : t -> unit
+(** Drive [instr] from the current [pc], resolve the data-memory read
+    (two-pass combinational evaluation), leaving all combinational values
+    settled for probing — the pre-injection point of the cross-level
+    engine. *)
+
+val step : t -> unit
+(** {!settle}, commit the data-memory write if any, clock the registers. *)
+
+val read_output : t -> string -> int
+(** Settled value of a single-bit named output (e.g. ["data_viol"]). *)

@@ -1,0 +1,61 @@
+type t = {
+  program : Fmc_isa.Programs.t;
+  st : Arch.t;
+  imem : int array;
+  dmem : int array;
+  mutable cycle : int;
+}
+
+let create (program : Fmc_isa.Programs.t) =
+  let dmem = Array.make program.Fmc_isa.Programs.dmem_size 0 in
+  List.iter (fun (a, v) -> dmem.(a) <- v land 0xffff) program.Fmc_isa.Programs.dmem_init;
+  { program; st = Arch.create (); imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0 }
+
+let program t = t.program
+let state t = t.st
+let dmem t = t.dmem
+let cycle t = t.cycle
+let halted t = t.st.Arch.halted
+
+let fetch t pc = if pc >= 0 && pc < Array.length t.imem then t.imem.(pc) else 0
+
+let dmask t addr = addr land (Array.length t.dmem - 1)
+
+let load t addr = t.dmem.(dmask t addr)
+let store t addr v = t.dmem.(dmask t addr) <- v land 0xffff
+
+let step t =
+  let outcome = Model.step t.st ~fetch:(fetch t) ~load:(load t) ~store:(store t) in
+  t.cycle <- t.cycle + 1;
+  outcome
+
+let run t ~max_cycles =
+  let used = ref 0 in
+  while (not (halted t)) && !used < max_cycles do
+    ignore (step t);
+    incr used
+  done;
+  !used
+
+let run_to_cycle t target =
+  if target < t.cycle then invalid_arg "System.run_to_cycle: target cycle is in the past";
+  while t.cycle < target do
+    ignore (step t)
+  done
+
+let advance_externally t = t.cycle <- t.cycle + 1
+
+type checkpoint = { cp_cycle : int; cp_state : Arch.t; cp_dmem : int array }
+
+let checkpoint t = { cp_cycle = t.cycle; cp_state = Arch.copy t.st; cp_dmem = Array.copy t.dmem }
+
+let restore t cp =
+  t.cycle <- cp.cp_cycle;
+  Array.blit cp.cp_dmem 0 t.dmem 0 (Array.length t.dmem);
+  let src = cp.cp_state in
+  List.iter (fun (name, _) -> Arch.set_group t.st name (Arch.get_group src name)) Arch.groups
+
+let checkpoint_cycle cp = cp.cp_cycle
+let checkpoint_state cp = Arch.copy cp.cp_state
+
+let observable_values t = List.map (fun a -> t.dmem.(dmask t a)) t.program.Fmc_isa.Programs.observable

@@ -1,0 +1,54 @@
+(** RTL-level full system: processor model + instruction/data memories,
+    running a {!Fmc_isa.Programs.t} benchmark.
+
+    Memories are behavioral (testbench-side), as in the paper's VCS setup;
+    a checkpoint therefore bundles the architectural registers, the data
+    memory image and the cycle number. Fetch from an address outside the
+    program image returns 0, which decodes as HALT — a runaway faulty
+    execution self-terminates. *)
+
+type t
+
+val create : Fmc_isa.Programs.t -> t
+(** Fresh system at reset with [dmem_init] applied. *)
+
+val program : t -> Fmc_isa.Programs.t
+val state : t -> Arch.t
+(** The live architectural state (mutable; mutations take effect). *)
+
+val dmem : t -> int array
+(** The live data memory (mutable). *)
+
+val cycle : t -> int
+val halted : t -> bool
+
+val fetch : t -> int -> int
+val load : t -> int -> int
+val store : t -> int -> int -> unit
+
+val step : t -> Model.outcome
+(** One cycle (no-op when halted, but still counts a cycle). *)
+
+val run : t -> max_cycles:int -> int
+(** Step until halted or the budget is exhausted; returns cycles consumed
+    by this call. *)
+
+val run_to_cycle : t -> int -> unit
+(** Advance to an absolute cycle number. Raises [Invalid_argument] if the
+    target is in the past. *)
+
+val advance_externally : t -> unit
+(** Count one cycle that was executed outside this system (the cross-level
+    engine evaluates the injection cycle at gate level and writes the
+    resulting state/memory back). *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+val checkpoint_cycle : checkpoint -> int
+val checkpoint_state : checkpoint -> Arch.t
+(** A copy — safe to inspect. *)
+
+val observable_values : t -> int list
+(** Values at the benchmark's observable dmem addresses, in order. *)

@@ -1,0 +1,65 @@
+module Isa = Fmc_isa.Isa
+
+type entry = {
+  cycle : int;
+  pc : int;
+  instr : Fmc_isa.Isa.t option;
+  mode : int;
+  data_viol : bool;
+  instr_viol : bool;
+  priv_viol : bool;
+  store : (int * int) option;
+  load_addr : int option;
+}
+
+let record_from sys ~cycles =
+  let entries = ref [] in
+  let n = ref 0 in
+  while !n < cycles && not (System.halted sys) do
+    let cycle = System.cycle sys in
+    let st = System.state sys in
+    let pc = st.Arch.pc in
+    let mode = st.Arch.mode in
+    let word = System.fetch sys pc in
+    let outcome = System.step sys in
+    entries :=
+      {
+        cycle;
+        pc;
+        instr = Some (Isa.decode word);
+        mode;
+        data_viol = outcome.Model.data_viol;
+        instr_viol = outcome.Model.instr_viol;
+        priv_viol = outcome.Model.priv_viol;
+        store = outcome.Model.store;
+        load_addr = outcome.Model.load_addr;
+      }
+      :: !entries;
+    incr n
+  done;
+  List.rev !entries
+
+let record program ~cycles = record_from (System.create program) ~cycles
+
+let pp_entry ppf e =
+  let viol =
+    match (e.data_viol, e.instr_viol, e.priv_viol) with
+    | true, _, _ -> " !DATA-VIOL"
+    | _, true, _ -> " !INSTR-VIOL"
+    | _, _, true -> " !PRIV-VIOL"
+    | _ -> ""
+  in
+  let mem =
+    match (e.store, e.load_addr) with
+    | Some (a, v), _ -> Printf.sprintf "  M[%04x] <- %04x" a v
+    | _, Some a -> Printf.sprintf "  <- M[%04x]" a
+    | _ -> ""
+  in
+  Format.fprintf ppf "%5d  %c %04x  %-20s%s%s" e.cycle
+    (if e.mode = 1 then 'P' else 'U')
+    e.pc
+    (match e.instr with Some i -> Isa.to_string i | None -> "(halted)")
+    mem viol
+
+let pp ppf entries =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) entries

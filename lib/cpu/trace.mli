@@ -1,0 +1,28 @@
+(** Per-cycle execution tracing of the RTL system (debugging aid).
+
+    Records, for each cycle: the program counter, the fetched instruction
+    (disassembled), the privilege mode, any responding-signal assertion and
+    the performed memory access. Render with {!pp} for a classic simulator
+    log. *)
+
+type entry = {
+  cycle : int;
+  pc : int;
+  instr : Fmc_isa.Isa.t option;  (** [None] once halted *)
+  mode : int;  (** privilege at the start of the cycle *)
+  data_viol : bool;
+  instr_viol : bool;
+  priv_viol : bool;
+  store : (int * int) option;
+  load_addr : int option;
+}
+
+val record : Fmc_isa.Programs.t -> cycles:int -> entry list
+(** Run a fresh system for up to [cycles] cycles (stops after halt) and
+    return the trace. *)
+
+val record_from : System.t -> cycles:int -> entry list
+(** Continue tracing an existing system (useful after an injection). *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> entry list -> unit

@@ -1,0 +1,69 @@
+let rounds = 4
+
+let sbox = [| 0xC; 0x5; 0x6; 0xB; 0x9; 0x0; 0xA; 0xD; 0x3; 0xE; 0xF; 0x8; 0x4; 0x7; 0x1; 0x2 |]
+
+let inv_sbox =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) sbox;
+  inv
+
+let permute_bit i = if i = 15 then 15 else 4 * i mod 15
+
+let mask16 v = v land 0xffff
+
+let sbox_layer v =
+  let out = ref 0 in
+  for nib = 0 to 3 do
+    out := !out lor (sbox.((v lsr (4 * nib)) land 0xf) lsl (4 * nib))
+  done;
+  !out
+
+let inv_sbox_layer v =
+  let out = ref 0 in
+  for nib = 0 to 3 do
+    out := !out lor (inv_sbox.((v lsr (4 * nib)) land 0xf) lsl (4 * nib))
+  done;
+  !out
+
+let permute v =
+  let out = ref 0 in
+  for i = 0 to 15 do
+    if (v lsr i) land 1 = 1 then out := !out lor (1 lsl permute_bit i)
+  done;
+  !out
+
+let inv_permute v =
+  let out = ref 0 in
+  for i = 0 to 15 do
+    if (v lsr permute_bit i) land 1 = 1 then out := !out lor (1 lsl i)
+  done;
+  !out
+
+let rotl16 v n =
+  let n = n land 15 in
+  mask16 ((v lsl n) lor (v lsr (16 - n)))
+
+let round_key ~key r = rotl16 key r lxor r
+
+let whitening_key ~key = rotl16 key rounds lxor rounds
+
+let encrypt ~key pt =
+  let s = ref (mask16 pt) in
+  for r = 0 to rounds - 2 do
+    s := permute (sbox_layer (!s lxor round_key ~key r))
+  done;
+  sbox_layer (!s lxor round_key ~key (rounds - 1)) lxor whitening_key ~key
+
+let decrypt ~key ct =
+  let s = ref (inv_sbox_layer (mask16 ct lxor whitening_key ~key) lxor round_key ~key (rounds - 1)) in
+  for r = rounds - 2 downto 0 do
+    s := inv_sbox_layer (inv_permute !s) lxor round_key ~key r
+  done;
+  !s
+
+let last_round_input ~key ~plaintext =
+  let s = ref (mask16 plaintext) in
+  for r = 0 to rounds - 2 do
+    s := permute (sbox_layer (!s lxor round_key ~key r))
+  done;
+  !s lxor round_key ~key (rounds - 1)

@@ -1,0 +1,52 @@
+(** TOYSPN — a 16-bit, 4-round substitution–permutation cipher.
+
+    The paper's second attack scenario targets information leakage from
+    cryptographic modules (differential fault analysis on AES/DES/RC4 in
+    its references). TOYSPN is this repo's stand-in: small enough to build
+    as a netlist and to break by hand, structured like the real targets —
+    PRESENT's 4-bit S-box, a bit permutation, XOR round keys, and a final
+    whitening key, so the classic last-round DFA applies verbatim.
+
+    One encryption:
+    {v
+    s_0     = plaintext
+    s_{r+1} = P(S(s_r xor rk_r))          r = 0 .. rounds-2
+    cipher  = S(s_{R-1} xor rk_{R-1}) xor wk
+    v}
+    with [rk_r = rotl16(key, r) xor r] and the whitening key
+    [wk = rotl16(key, rounds) xor rounds]. All values are 16-bit; S applies
+    the S-box to each nibble; P is a fixed bit permutation. *)
+
+val rounds : int
+(** 4. *)
+
+val sbox : int array
+(** PRESENT's S-box, 16 entries. *)
+
+val inv_sbox : int array
+
+val permute_bit : int -> int
+(** Destination position of bit [i] under P (a PRESENT-style
+    [4*i mod 15] spread; bit 15 fixed). *)
+
+val sbox_layer : int -> int
+val inv_sbox_layer : int -> int
+val permute : int -> int
+val inv_permute : int -> int
+
+val rotl16 : int -> int -> int
+
+val round_key : key:int -> int -> int
+(** [round_key ~key r] is [rk_r]. *)
+
+val whitening_key : key:int -> int
+(** [wk]. *)
+
+val encrypt : key:int -> int -> int
+(** Reference encryption of one 16-bit block. *)
+
+val decrypt : key:int -> int -> int
+
+val last_round_input : key:int -> plaintext:int -> int
+(** The value [s_{R-1} xor rk_{R-1}] entering the final S-box layer — the
+    state a last-round DFA fault perturbs. *)

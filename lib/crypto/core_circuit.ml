@@ -1,0 +1,104 @@
+module Hdl = Fmc_hdl.Hdl
+module Vec = Fmc_hdl.Vec
+open Hdl
+
+type t = {
+  net : Fmc_netlist.Netlist.t;
+  load : Fmc_netlist.Netlist.node;
+  pt : Fmc_netlist.Netlist.node array;
+  key_in : Fmc_netlist.Netlist.node array;
+  ct : Fmc_netlist.Netlist.node array;
+  done_ : Fmc_netlist.Netlist.node;
+  busy : Fmc_netlist.Netlist.node;
+}
+
+(* One 4-bit S-box as four 16:1 mux trees over constant bits. *)
+let sbox4 ctx nib =
+  Array.init 4 (fun out_bit ->
+      let cases =
+        Array.init 16 (fun v -> [| Hdl.const ctx ((Cipher.sbox.(v) lsr out_bit) land 1 = 1) |])
+      in
+      (Vec.mux_tree ~sel:nib cases).(0))
+
+let sbox_layer ctx state =
+  let out = Array.make 16 (Hdl.gnd ctx) in
+  for nib = 0 to 3 do
+    let inp = Array.sub state (4 * nib) 4 in
+    let res = sbox4 ctx inp in
+    Array.blit res 0 out (4 * nib) 4
+  done;
+  out
+
+let permute state = Array.init 16 (fun j ->
+    (* out bit j comes from the input bit i with permute_bit i = j *)
+    let rec find i = if Cipher.permute_bit i = j then i else find (i + 1) in
+    state.(find 0))
+
+let build () =
+  let ctx = Hdl.create () in
+  let load = Hdl.input1 ctx "load" in
+  let pt = Hdl.input ctx "pt" 16 in
+  let key_in = Hdl.input ctx "key_in" 16 in
+  let state_r = Hdl.reg ctx ~group:"cstate" ~width:16 ~init:0 in
+  let key_r = Hdl.reg ctx ~group:"ckey" ~width:16 ~init:0 in
+  let round_r = Hdl.reg ctx ~group:"round" ~width:3 ~init:0 in
+  let busy_r = Hdl.reg ctx ~group:"busy" ~width:1 ~init:0 in
+  let done_r = Hdl.reg ctx ~group:"done" ~width:1 ~init:0 in
+  let state = Hdl.q state_r and key = Hdl.q key_r and round = Hdl.q round_r in
+  let busy = (Hdl.q busy_r).(0) and done_q = (Hdl.q done_r).(0) in
+
+  (* Round key: rk = rotl16(key, round) xor round, selected by the round
+     counter (8 wiring-only cases xored with the round constant). *)
+  let rk_cases =
+    Array.init 8 (fun r ->
+        let rotated = Array.init 16 (fun j -> key.((j - r + 16) mod 16)) in
+        Vec.xor_v rotated (Vec.of_int ctx ~width:16 r))
+  in
+  let rk = Vec.mux_tree ~sel:round rk_cases in
+  let wk =
+    let rotated = Array.init 16 (fun j -> key.((j - Cipher.rounds + 16) mod 16)) in
+    Vec.xor_v rotated (Vec.of_int ctx ~width:16 Cipher.rounds)
+  in
+
+  let xored = Vec.xor_v state rk in
+  let sboxed = sbox_layer ctx xored in
+  let middle = permute sboxed in
+  let final = Vec.xor_v sboxed wk in
+  let last = Vec.eq round (Vec.of_int ctx ~width:3 (Cipher.rounds - 1)) in
+  let round_out = Vec.mux2v last middle final in
+
+  let state_next = Vec.mux2v load (Vec.mux2v busy state round_out) pt in
+  let key_next = Vec.mux2v load key key_in in
+  let round_next =
+    Vec.mux2v load
+      (Vec.mux2v busy round (Vec.add round (Vec.of_int ctx ~width:3 1)))
+      (Vec.zero ctx 3)
+  in
+  let busy_next = [| mux2 load (busy &: ~:last) (Hdl.vdd ctx) |] in
+  let done_next = [| mux2 load (done_q |: (busy &: last)) (Hdl.gnd ctx) |] in
+  Hdl.connect state_r state_next;
+  Hdl.connect key_r key_next;
+  Hdl.connect round_r round_next;
+  Hdl.connect busy_r busy_next;
+  Hdl.connect done_r done_next;
+
+  Hdl.output ctx "ct" state;
+  Hdl.output1 ctx "done" done_q;
+  Hdl.output1 ctx "busy" busy;
+  (* Expose the xor layer for DFA-targeted injection. *)
+  Array.iteri (fun i s -> Hdl.output1 ctx (Printf.sprintf "xr[%d]" i) s) xored;
+
+  let net = Hdl.elaborate ctx in
+  let n = Hdl.node_of_signal in
+  {
+    net;
+    load = n load;
+    pt = Array.map n pt;
+    key_in = Array.map n key_in;
+    ct = Array.map n state;
+    done_ = n done_q;
+    busy = n busy;
+  }
+
+let last_round_xor_gates t =
+  Array.init 16 (fun i -> Fmc_netlist.Netlist.output t.net (Printf.sprintf "xr[%d]" i))

@@ -1,0 +1,22 @@
+(** The TOYSPN core as a gate-level netlist (one round per cycle),
+    bit-exact with {!Core_model}.
+
+    Ports: inputs [load], [pt\[16\]], [key_in\[16\]]; outputs [ct\[16\]]
+    (the state register — the ciphertext once [done] is high), [done],
+    [busy]. Register groups as in {!Core_model.groups}. *)
+
+type t = {
+  net : Fmc_netlist.Netlist.t;
+  load : Fmc_netlist.Netlist.node;
+  pt : Fmc_netlist.Netlist.node array;
+  key_in : Fmc_netlist.Netlist.node array;
+  ct : Fmc_netlist.Netlist.node array;
+  done_ : Fmc_netlist.Netlist.node;
+  busy : Fmc_netlist.Netlist.node;
+}
+
+val build : unit -> t
+
+val last_round_xor_gates : t -> Fmc_netlist.Netlist.node array
+(** The gates of the state-xor-roundkey layer — the classic DFA injection
+    surface (perturbing the last S-box layer's input). *)

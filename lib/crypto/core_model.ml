@@ -1,0 +1,60 @@
+type t = {
+  mutable state : int;
+  mutable key : int;
+  mutable round : int;
+  mutable busy : bool;
+  mutable done_ : bool;
+}
+
+let create () = { state = 0; key = 0; round = 0; busy = false; done_ = false }
+
+let copy t = { state = t.state; key = t.key; round = t.round; busy = t.busy; done_ = t.done_ }
+
+let equal a b =
+  a.state = b.state && a.key = b.key && a.round = b.round && a.busy = b.busy && a.done_ = b.done_
+
+let groups = [ ("cstate", 16); ("ckey", 16); ("round", 3); ("busy", 1); ("done", 1) ]
+
+let get_group t = function
+  | "cstate" -> t.state
+  | "ckey" -> t.key
+  | "round" -> t.round
+  | "busy" -> if t.busy then 1 else 0
+  | "done" -> if t.done_ then 1 else 0
+  | name -> invalid_arg ("Core_model: unknown group " ^ name)
+
+let set_group t name v =
+  match name with
+  | "cstate" -> t.state <- v land 0xffff
+  | "ckey" -> t.key <- v land 0xffff
+  | "round" -> t.round <- v land 0x7
+  | "busy" -> t.busy <- v land 1 = 1
+  | "done" -> t.done_ <- v land 1 = 1
+  | name -> invalid_arg ("Core_model: unknown group " ^ name)
+
+let step t ~load ~plaintext ~key_in =
+  if load then begin
+    t.state <- plaintext land 0xffff;
+    t.key <- key_in land 0xffff;
+    t.round <- 0;
+    t.busy <- true;
+    t.done_ <- false
+  end
+  else if t.busy then begin
+    let rk = Cipher.round_key ~key:t.key t.round in
+    let last = t.round = Cipher.rounds - 1 in
+    if last then begin
+      t.state <- Cipher.sbox_layer (t.state lxor rk) lxor Cipher.whitening_key ~key:t.key;
+      t.busy <- false;
+      t.done_ <- true
+    end
+    else t.state <- Cipher.permute (Cipher.sbox_layer (t.state lxor rk));
+    t.round <- (t.round + 1) land 0x7
+  end
+
+let encrypt t ~key pt =
+  step t ~load:true ~plaintext:pt ~key_in:key;
+  while t.busy do
+    step t ~load:false ~plaintext:0 ~key_in:0
+  done;
+  t.state

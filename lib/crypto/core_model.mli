@@ -1,0 +1,33 @@
+(** Behavioral (RTL-level) model of the TOYSPN core.
+
+    One {!step} is one clock cycle, bit-exact with {!Core_circuit} (enforced
+    by the co-simulation tests). The core is a one-round-per-cycle engine:
+    pulse [load] with plaintext and key, then [Cipher.rounds] cycles later
+    [done_] rises and [state] holds the ciphertext. *)
+
+type t = {
+  mutable state : int;  (** 16-bit working state / ciphertext *)
+  mutable key : int;  (** 16-bit key register *)
+  mutable round : int;  (** 3-bit round counter *)
+  mutable busy : bool;
+  mutable done_ : bool;
+}
+
+val create : unit -> t
+(** All-zero reset. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val groups : (string * int) list
+(** Register groups shared with the netlist: [cstate], [ckey], [round],
+    [busy], [done]. *)
+
+val get_group : t -> string -> int
+val set_group : t -> string -> int -> unit
+
+val step : t -> load:bool -> plaintext:int -> key_in:int -> unit
+
+val encrypt : t -> key:int -> int -> int
+(** Drive a full encryption (load + rounds cycles); returns the
+    ciphertext. The model is left in the done state. *)

@@ -1,0 +1,48 @@
+let popcount4 v =
+  let v = (v land 0x5) + ((v lsr 1) land 0x5) in
+  (v land 0x3) + ((v lsr 2) land 0x3)
+
+let nibble_candidates ~correct ~faulty ~nibble =
+  let c = (correct lsr (4 * nibble)) land 0xf in
+  let c' = (faulty lsr (4 * nibble)) land 0xf in
+  if c = c' then List.init 16 Fun.id
+  else
+    List.filter
+      (fun k ->
+        let delta = Cipher.inv_sbox.(c lxor k) lxor Cipher.inv_sbox.(c' lxor k) in
+        popcount4 delta = 1)
+      (List.init 16 Fun.id)
+
+type state = { correct : int; sets : int list array }
+
+let start ~correct = { correct; sets = Array.init 4 (fun _ -> List.init 16 Fun.id) }
+
+let observe st ~faulty =
+  let sets =
+    Array.mapi
+      (fun nibble set ->
+        let cand = nibble_candidates ~correct:st.correct ~faulty ~nibble in
+        List.filter (fun k -> List.mem k cand) set)
+      st.sets
+  in
+  { st with sets }
+
+let candidates st = Array.map (fun s -> s) st.sets
+
+let informative ~correct ~faulty =
+  faulty <> correct
+  && List.exists
+       (fun nibble -> List.length (nibble_candidates ~correct ~faulty ~nibble) < 16)
+       [ 0; 1; 2; 3 ]
+
+let recovered_whitening_key st =
+  let rec build nibble acc =
+    if nibble = 4 then Some acc
+    else
+      match st.sets.(nibble) with
+      | [ k ] -> build (nibble + 1) (acc lor (k lsl (4 * nibble)))
+      | _ -> None
+  in
+  build 0 0
+
+let master_key_of_whitening wk = Cipher.rotl16 (wk lxor Cipher.rounds) (16 - Cipher.rounds)

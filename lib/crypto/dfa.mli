@@ -1,0 +1,39 @@
+(** Last-round differential fault analysis on TOYSPN.
+
+    The attacker knows a correct ciphertext [c] and faulty ciphertexts
+    [c'] produced by perturbing the input of the final S-box layer (the
+    paper's scenario 2: [Te] = injection during encryption, [Tt] =
+    ciphertext observation). Under the standard single-bit fault model,
+    for each nibble the whitening-key candidates [k] are those for which
+
+    {v inv_sbox(c xor k) xor inv_sbox(c' xor k) v}
+
+    has Hamming weight 1. Intersecting candidate sets over several faulty
+    ciphertexts pins the key nibble; four nibbles give the whitening key,
+    which inverts to the master key. *)
+
+val nibble_candidates : correct:int -> faulty:int -> nibble:int -> int list
+(** Whitening-key candidates (0..15) for one nibble, or all 16 when the
+    nibble is unaffected ([c' = c] there — no information). *)
+
+type state
+(** Accumulated knowledge: per-nibble candidate sets. *)
+
+val start : correct:int -> state
+
+val observe : state -> faulty:int -> state
+(** Fold in one faulty ciphertext. Faulty ciphertexts equal to the correct
+    one carry no information. *)
+
+val candidates : state -> int list array
+(** Current per-nibble candidate sets (4 entries). *)
+
+val informative : correct:int -> faulty:int -> bool
+(** Does this faulty ciphertext narrow at least one nibble below 16
+    candidates? The per-strike leakage indicator of the evaluation. *)
+
+val recovered_whitening_key : state -> int option
+(** The whitening key once every nibble is pinned to one candidate. *)
+
+val master_key_of_whitening : int -> int
+(** Invert the key schedule: [wk -> key]. *)

@@ -1,0 +1,29 @@
+(** Gate-level execution harness for the TOYSPN core, with optional
+    transient injection — the crypto counterpart of the processor's
+    cross-level engine (gate level only: an encryption is just
+    [Cipher.rounds + 1] cycles, so there is nothing to checkpoint). *)
+
+type t
+
+val create : Core_circuit.t -> t
+(** The circuit may be shared; simulation state is per-[t]. *)
+
+val circuit : t -> Core_circuit.t
+val sim : t -> Fmc_gatesim.Cycle_sim.t
+
+val encrypt : t -> key:int -> int -> int
+(** Fault-free netlist encryption. *)
+
+val encrypt_with_strikes :
+  t ->
+  key:int ->
+  plaintext:int ->
+  cycle:int ->
+  strikes:Fmc_gatesim.Transient.strike list ->
+  Fmc_gatesim.Transient.config ->
+  int
+(** Run an encryption, injecting [strikes] during cycle [cycle]
+    (0 = the load cycle, 1 = round 0, ...; direct flip-flop strikes flip
+    state at the start of that cycle). Returns the (possibly faulty)
+    ciphertext after the core reports done, or the state after a bounded
+    number of cycles if the fault derails the control FSM. *)

@@ -1,0 +1,41 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+
+type timing = { net : N.t; arrivals : float array }
+
+let static_timing net config =
+  let arrivals = Array.make (N.num_nodes net) 0. in
+  Array.iter
+    (fun g ->
+      match N.kind net g with
+      | K.Gate gate ->
+          let latest = Array.fold_left (fun acc f -> Float.max acc arrivals.(f)) 0. (N.fanins net g) in
+          arrivals.(g) <- latest +. Transient.gate_delay config gate
+      | K.Input | K.Const _ | K.Dff _ -> ())
+    (N.gates net);
+  { net; arrivals }
+
+let arrival t node = t.arrivals.(node)
+
+let critical_path t = Array.fold_left Float.max 0. t.arrivals
+
+let violated t config sim ~period =
+  if period <= 0. then invalid_arg "Glitch.violated: non-positive period";
+  let deadline = period -. config.Transient.setup_time in
+  let out = ref [] in
+  Array.iter
+    (fun d ->
+      let dnode = N.dff_d t.net d in
+      if t.arrivals.(dnode) > deadline && Cycle_sim.value sim dnode <> Cycle_sim.value sim d then
+        out := d :: !out)
+    (N.dffs t.net);
+  Array.of_list (List.rev !out)
+
+let latch_with_glitch t config sim ~period =
+  let stale = violated t config sim ~period in
+  let keep = Array.map (fun d -> Cycle_sim.value sim d) stale in
+  Cycle_sim.latch sim;
+  Array.iteri
+    (fun i d -> if Cycle_sim.value sim d <> keep.(i) then Cycle_sim.flip sim d)
+    stale;
+  stale

@@ -1,0 +1,37 @@
+(** Clock-glitch (timing-violation) fault injection.
+
+    The paper's holistic model (§3.2) covers clock-modification attacks:
+    for those, the technique parameters are the amplitude/duration of the
+    glitch — here, the {e effective period} of the one shortened cycle.
+    A glitch makes the capture edge arrive early; every flip-flop whose
+    data arrives later than [period - setup_time] misses the new value and
+    retains its previous state (the classic setup-violation model used by
+    TVVF-style analyses).
+
+    Static per-node arrival times come from the same delay model as the
+    transient engine, so the two techniques are directly comparable. The
+    model only affects register capture; the external memory port is
+    assumed to sample at the nominal edge (see DESIGN.md). *)
+
+type timing
+
+val static_timing : Fmc_netlist.Netlist.t -> Transient.config -> timing
+(** Longest-path arrival time of every node under the config's delay
+    model (computed once per netlist). *)
+
+val arrival : timing -> Fmc_netlist.Netlist.node -> float
+
+val critical_path : timing -> float
+(** Arrival of the slowest node — glitch periods above
+    [critical_path + setup] are harmless. *)
+
+val violated : timing -> Transient.config -> Cycle_sim.t -> period:float -> Fmc_netlist.Netlist.node array
+(** Flip-flops that would miss the glitched edge {e and} whose D value
+    differs from their current Q (a violation with an unchanged value is
+    harmless). Call after [Cycle_sim.eval_comb]. Ascending node order.
+    Raises [Invalid_argument] if [period <= 0]. *)
+
+val latch_with_glitch : timing -> Transient.config -> Cycle_sim.t -> period:float -> Fmc_netlist.Netlist.node array
+(** Clock the simulator with a glitched edge: violated flip-flops keep
+    their old value, the rest latch normally. Returns the flip-flops that
+    kept stale state (same set as {!violated}). *)

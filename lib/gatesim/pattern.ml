@@ -1,0 +1,44 @@
+module N = Fmc_netlist.Netlist
+
+type t = Single_bit | Single_byte | Multi_byte
+
+let byte_of net d =
+  let group, bit = N.dff_group net d in
+  (group, bit / 8)
+
+let classify net ~flips =
+  match Array.length flips with
+  | 0 -> None
+  | 1 -> Some Single_bit
+  | _ ->
+      let first = byte_of net flips.(0) in
+      if Array.for_all (fun d -> byte_of net d = first) flips then Some Single_byte
+      else Some Multi_byte
+
+let to_string = function
+  | Single_bit -> "single-bit"
+  | Single_byte -> "single-byte"
+  | Multi_byte -> "multi-byte"
+
+let fills_whole_byte net ~flips =
+  match Array.length flips with
+  | 0 -> false
+  | _ ->
+      let group, byte = byte_of net flips.(0) in
+      if not (Array.for_all (fun d -> byte_of net d = (group, byte)) flips) then false
+      else begin
+        let members = N.register_group net group in
+        let width = Array.length members in
+        let byte_bits = min 8 (width - (byte * 8)) in
+        Array.length flips = byte_bits
+      end
+
+let key net ~flips =
+  let names =
+    Array.to_list flips
+    |> List.map (fun d ->
+           let group, bit = N.dff_group net d in
+           Printf.sprintf "%s[%d]" group bit)
+    |> List.sort compare
+  in
+  String.concat "," names

@@ -1,0 +1,26 @@
+(** Bit-error pattern classification (paper Fig. 7).
+
+    After one injection cycle the set of flipped flip-flops forms an error
+    pattern. The paper buckets patterns as single-bit, single-byte (all
+    flips within one aligned 8-bit byte of one architectural register) and
+    multi-byte, and separately compares patterns caused by strikes on
+    combinational gates vs on sequential cells. *)
+
+type t = Single_bit | Single_byte | Multi_byte
+
+val classify : Fmc_netlist.Netlist.t -> flips:Fmc_netlist.Netlist.node array -> t option
+(** [None] when [flips] is empty. Flips must be flip-flop nodes. *)
+
+val to_string : t -> string
+
+val byte_of : Fmc_netlist.Netlist.t -> Fmc_netlist.Netlist.node -> string * int
+(** [(group, bit / 8)] of a flip-flop: its architectural byte. *)
+
+val fills_whole_byte : Fmc_netlist.Netlist.t -> flips:Fmc_netlist.Netlist.node array -> bool
+(** True iff the flips cover {e every} bit of the byte they share (only
+    meaningful for single-byte patterns; used for the paper's observation
+    that no single-byte error covers all 8 bits). *)
+
+val key : Fmc_netlist.Netlist.t -> flips:Fmc_netlist.Netlist.node array -> string
+(** Canonical string identity of a pattern (sorted [group\[bit\]] list), for
+    counting distinct patterns across runs. *)

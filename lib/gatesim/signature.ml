@@ -1,0 +1,34 @@
+module N = Fmc_netlist.Netlist
+module Bitvec = Fmc_prelude.Bitvec
+
+type t = {
+  cycles : int;
+  values : Bitvec.t array;  (* per node: settled value at each cycle *)
+  switches : Bitvec.t array;  (* per node: value.(c) <> value.(c-1) *)
+}
+
+let record sim ~cycles ~drive =
+  if cycles <= 0 then invalid_arg "Signature.record: cycles must be positive";
+  let net = Cycle_sim.netlist sim in
+  let n = N.num_nodes net in
+  let values = Array.init n (fun _ -> Bitvec.create cycles) in
+  let switches = Array.init n (fun _ -> Bitvec.create cycles) in
+  let prev = Array.make n false in
+  for c = 0 to cycles - 1 do
+    drive c sim;
+    Cycle_sim.eval_comb sim;
+    for node = 0 to n - 1 do
+      let v = Cycle_sim.value sim node in
+      Bitvec.set values.(node) c v;
+      if c > 0 && v <> prev.(node) then Bitvec.set switches.(node) c true;
+      prev.(node) <- v
+    done;
+    Cycle_sim.latch sim
+  done;
+  { cycles; values; switches }
+
+let cycles t = t.cycles
+let signature t node = t.switches.(node)
+let values t node = t.values.(node)
+
+let correlation t ~node ~rs ~shift = Bitvec.correlation t.switches.(node) t.switches.(rs) ~shift

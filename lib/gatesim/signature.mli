@@ -1,0 +1,27 @@
+(** Switching-signature recording (paper §4, Observation 2).
+
+    The switching signature of a circuit node is a bit vector over simulated
+    cycles: bit [i] is set iff the node's settled logic value changed
+    between cycle [i-1] and cycle [i] (bit 0 is always clear). Signatures
+    feed the bit-flip correlation [Corr_i(g, rs)] computed with
+    [Fmc_prelude.Bitvec.correlation]. *)
+
+type t
+
+val record :
+  Cycle_sim.t -> cycles:int -> drive:(int -> Cycle_sim.t -> unit) -> t
+(** [record sim ~cycles ~drive] runs [cycles] steps; before each cycle [c],
+    [drive c sim] must set the primary inputs (the simulator then evaluates
+    and latches). The register state of [sim] advances. Raises
+    [Invalid_argument] if [cycles <= 0]. *)
+
+val cycles : t -> int
+
+val signature : t -> Fmc_netlist.Netlist.node -> Fmc_prelude.Bitvec.t
+(** Switching signature of any node (gate, flip-flop, input). *)
+
+val values : t -> Fmc_netlist.Netlist.node -> Fmc_prelude.Bitvec.t
+(** Recorded settled value per cycle, same indexing. *)
+
+val correlation : t -> node:Fmc_netlist.Netlist.node -> rs:Fmc_netlist.Netlist.node -> shift:int -> float
+(** [Corr_shift(node, rs)] per the paper's formula. *)

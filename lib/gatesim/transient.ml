@@ -1,0 +1,187 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+
+type config = {
+  clock_period : float;
+  setup_time : float;
+  hold_time : float;
+  delay_inv : float;
+  delay_simple : float;
+  delay_complex : float;
+  attenuation : float;
+  attenuation_threshold : float;
+  min_width : float;
+  max_pulses_per_net : int;
+}
+
+let gate_delay config = function
+  | K.Not | K.Buf -> config.delay_inv
+  | K.And | K.Or | K.Nand | K.Nor -> config.delay_simple
+  | K.Xor | K.Xnor | K.Mux -> config.delay_complex
+
+let default_config net =
+  let base =
+    {
+      clock_period = 0.;
+      setup_time = 30.;
+      hold_time = 20.;
+      delay_inv = 40.;
+      delay_simple = 60.;
+      delay_complex = 90.;
+      attenuation = 20.;
+      attenuation_threshold = 120.;
+      min_width = 30.;
+      max_pulses_per_net = 8;
+    }
+  in
+  (* True critical path: longest accumulated gate delay over the topological
+     order (a signed-off design meets timing with ~20% slack on top). *)
+  let arrival = Array.make (N.num_nodes net) 0. in
+  let critical = ref 0. in
+  Array.iter
+    (fun g ->
+      match N.kind net g with
+      | K.Gate gate ->
+          let latest = Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0. (N.fanins net g) in
+          arrival.(g) <- latest +. gate_delay base gate;
+          if arrival.(g) > !critical then critical := arrival.(g)
+      | K.Input | K.Const _ | K.Dff _ -> ())
+    (N.gates net);
+  { base with clock_period = (!critical *. 1.2) +. base.setup_time +. base.hold_time }
+
+type strike = { node : N.node; time : float; width : float }
+
+type pulse = { start : float; width : float }
+
+type result = {
+  latched : N.node array;
+  direct : N.node array;
+  seeded : int;
+  reached_dff : int;
+  watched_hits : N.node array;
+}
+
+(* Merge a pulse into a per-net list, coalescing overlaps and bounding the
+   list length (drop the narrowest pulse when full). *)
+let add_pulse config pulses p =
+  let overlaps a b = a.start <= b.start +. b.width && b.start <= a.start +. a.width in
+  let merged, rest =
+    List.partition (fun existing -> overlaps existing p) pulses
+  in
+  let p =
+    List.fold_left
+      (fun acc e ->
+        let start = Float.min acc.start e.start in
+        let stop = Float.max (acc.start +. acc.width) (e.start +. e.width) in
+        { start; width = stop -. start })
+      p merged
+  in
+  let out = p :: rest in
+  if List.length out <= config.max_pulses_per_net then out
+  else begin
+    let sorted = List.sort (fun a b -> compare b.width a.width) out in
+    List.filteri (fun i _ -> i < config.max_pulses_per_net) sorted
+  end
+
+(* Does a pulse on fan-in [idx] of gate [g] propagate, given settled values? *)
+let sensitized sim net g idx =
+  let fanins = N.fanins net g in
+  match N.kind net g with
+  | K.Gate gate -> begin
+      match gate with
+      | K.Not | K.Buf -> true
+      | K.Xor | K.Xnor -> true
+      | K.And | K.Nand | K.Or | K.Nor -> begin
+          match K.controlling_value gate with
+          | Some c ->
+              let blocked = ref false in
+              Array.iteri
+                (fun j f -> if j <> idx && Cycle_sim.value sim f = c then blocked := true)
+                fanins;
+              not !blocked
+          | None -> true
+        end
+      | K.Mux ->
+          let sel = Cycle_sim.value sim fanins.(0) in
+          if idx = 0 then Cycle_sim.value sim fanins.(1) <> Cycle_sim.value sim fanins.(2)
+          else if idx = 1 then not sel
+          else sel
+    end
+  | _ -> false
+
+let attenuate config p =
+  if p.width >= config.attenuation_threshold then Some p
+  else begin
+    let width = p.width -. config.attenuation in
+    if width < config.min_width then None else Some { p with width }
+  end
+
+let inject ?(watch = [||]) sim config ~strikes =
+  let net = Cycle_sim.netlist sim in
+  let n = N.num_nodes net in
+  let pulses : pulse list array = Array.make n [] in
+  let direct = ref [] in
+  let seeded = ref 0 in
+  List.iter
+    (fun { node; time; width } ->
+      if width <= 0. then invalid_arg "Transient.inject: non-positive strike width";
+      if time < 0. then invalid_arg "Transient.inject: negative strike time";
+      match N.kind net node with
+      | K.Dff _ -> direct := node :: !direct
+      | K.Gate _ ->
+          pulses.(node) <- add_pulse config pulses.(node) { start = time; width };
+          incr seeded
+      | K.Input | K.Const _ -> ())
+    strikes;
+  (* Topological sweep: prepend pulses arriving from fan-ins to each gate's
+     own (seeded) pulses. Seeded pulses on a gate are treated as born at the
+     gate output, so they are not re-delayed. *)
+  Array.iter
+    (fun g ->
+      match N.kind net g with
+      | K.Gate gate ->
+          let fanins = N.fanins net g in
+          Array.iteri
+            (fun idx f ->
+              match pulses.(f) with
+              | [] -> ()
+              | incoming ->
+                  if sensitized sim net g idx then
+                    List.iter
+                      (fun p ->
+                        match attenuate config p with
+                        | None -> ()
+                        | Some p ->
+                            let p = { p with start = p.start +. gate_delay config gate } in
+                            pulses.(g) <- add_pulse config pulses.(g) p)
+                      incoming)
+            fanins
+      | _ -> ())
+    (N.gates net);
+  (* Latching-window check at every flip-flop's D input. *)
+  let win_lo = config.clock_period -. config.setup_time in
+  let win_hi = config.clock_period +. config.hold_time in
+  let latched = ref [] in
+  let reached = ref 0 in
+  Array.iter
+    (fun d ->
+      let dnode = N.dff_d net d in
+      match pulses.(dnode) with
+      | [] -> ()
+      | ps ->
+          reached := !reached + List.length ps;
+          let hits p = p.start < win_hi && p.start +. p.width > win_lo in
+          if List.exists hits ps then latched := d :: !latched)
+    (N.dffs net);
+  let hits p = p.start < win_hi && p.start +. p.width > win_lo in
+  let watched_hits =
+    Array.to_list watch |> List.filter (fun node -> List.exists hits pulses.(node))
+  in
+  let sort_nodes l = Array.of_list (List.sort_uniq compare l) in
+  {
+    latched = sort_nodes !latched;
+    direct = sort_nodes !direct;
+    seeded = !seeded;
+    reached_dff = !reached;
+    watched_hits = sort_nodes watched_hits;
+  }

@@ -1,0 +1,71 @@
+(** Gate-level voltage-transient (SET) injection and propagation
+    (paper §3.2 and §5.3).
+
+    A radiation strike deposits a voltage pulse at the output of every
+    impacted gate. Pulses travel through the combinational netlist in
+    topological order and are subject to the three classic masking effects:
+
+    - {e logical masking} — a pulse dies at a gate whose other inputs hold a
+      controlling value (for a mux: an unselected data input, or a select
+      pulse when both data inputs agree);
+    - {e electrical masking} — pulses narrower than
+      [attenuation_threshold] lose [attenuation] of width per traversed
+      gate and die below [min_width];
+    - {e latching-window masking} — a pulse reaching a flip-flop's D input
+      flips the stored bit only if it overlaps the setup/hold window around
+      the next clock edge.
+
+    A strike that lands on a flip-flop cell itself is a direct SEU and is
+    reported in [direct] rather than simulated as a pulse.
+
+    [inject] must be called after [Cycle_sim.eval_comb] so that settled
+    fault-free values are available for the sensitization tests; it does not
+    modify the simulator. *)
+
+type config = {
+  clock_period : float;  (** ps; the latch window sits at its end *)
+  setup_time : float;
+  hold_time : float;
+  delay_inv : float;  (** Not/Buf propagation delay *)
+  delay_simple : float;  (** And/Or/Nand/Nor *)
+  delay_complex : float;  (** Xor/Xnor/Mux *)
+  attenuation : float;  (** width lost per gate when below threshold *)
+  attenuation_threshold : float;
+  min_width : float;
+  max_pulses_per_net : int;
+}
+
+val default_config : Fmc_netlist.Netlist.t -> config
+(** Sizes [clock_period] so the longest combinational path meets timing with
+    ~20% slack — i.e., the circuit "meets timing", as a signed-off design
+    would. *)
+
+val gate_delay : config -> Fmc_netlist.Kind.gate -> float
+
+type strike = {
+  node : Fmc_netlist.Netlist.node;
+  time : float;  (** pulse start, within [\[0, clock_period)] *)
+  width : float;
+}
+
+type result = {
+  latched : Fmc_netlist.Netlist.node array;
+      (** flip-flops whose D input latched a pulse, ascending id *)
+  direct : Fmc_netlist.Netlist.node array;
+      (** flip-flops struck directly, ascending id *)
+  seeded : int;  (** pulses deposited on combinational gates *)
+  reached_dff : int;  (** pulses that arrived at some D input (latched or not) *)
+  watched_hits : Fmc_netlist.Netlist.node array;
+      (** watched nodes with a pulse overlapping the latch window *)
+}
+
+val inject : ?watch:Fmc_netlist.Netlist.node array -> Cycle_sim.t -> config -> strikes:strike list -> result
+(** Raises [Invalid_argument] on a strike with non-positive width or
+    negative time. Strikes on inputs/constants are ignored (the paper's
+    model only radiates cells).
+
+    [watch] nodes model additional synchronous sample points outside the
+    netlist's flip-flops — e.g. the write port of an external memory, which
+    commits on the same clock edge: a watched node is reported in
+    [watched_hits] when a pulse on it overlaps the setup/hold window, i.e.
+    when the external element would capture the corrupted value. *)

@@ -1,0 +1,59 @@
+type signal = { name : string; nodes : Fmc_netlist.Netlist.node array }
+
+(* VCD identifier characters: printable ASCII '!' .. '~'. *)
+let ident i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    if i < base then Char.chr (first + i) :: acc
+    else go (i / base) (Char.chr (first + (i mod base)) :: acc)
+  in
+  let chars = go i [] in
+  String.init (List.length chars) (List.nth chars)
+
+let bus_value sim nodes =
+  (* MSB-first bit string, as VCD wants. *)
+  String.init (Array.length nodes) (fun i ->
+      if Cycle_sim.value sim nodes.(Array.length nodes - 1 - i) then '1' else '0')
+
+let record ?(before_latch = fun _ _ -> ()) sim ~cycles ~drive ~signals =
+  if cycles <= 0 then invalid_arg "Vcd.record: cycles must be positive";
+  if signals = [] then invalid_arg "Vcd.record: no signals";
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem names s.name then invalid_arg "Vcd.record: duplicate signal name";
+      Hashtbl.replace names s.name ())
+    signals;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date faultmc $end\n$version fmc_gatesim.Vcd $end\n$timescale 1ns $end\n";
+  Buffer.add_string buf "$scope module top $end\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" (Array.length s.nodes) (ident i)
+           (if Array.length s.nodes > 1 then
+              Printf.sprintf "%s [%d:0]" s.name (Array.length s.nodes - 1)
+            else s.name)))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let last = Hashtbl.create 16 in
+  for c = 0 to cycles - 1 do
+    drive c sim;
+    Cycle_sim.eval_comb sim;
+    Buffer.add_string buf (Printf.sprintf "#%d\n" c);
+    List.iteri
+      (fun i s ->
+        let v = bus_value sim s.nodes in
+        let changed = match Hashtbl.find_opt last i with Some prev -> prev <> v | None -> true in
+        if changed then begin
+          Hashtbl.replace last i v;
+          if Array.length s.nodes > 1 then
+            Buffer.add_string buf (Printf.sprintf "b%s %s\n" v (ident i))
+          else Buffer.add_string buf (Printf.sprintf "%s%s\n" v (ident i))
+        end)
+      signals;
+    before_latch c sim;
+    Cycle_sim.latch sim
+  done;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" cycles);
+  Buffer.contents buf

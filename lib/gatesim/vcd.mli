@@ -1,0 +1,22 @@
+(** VCD (Value Change Dump) waveform export.
+
+    Records selected buses over a cycle simulation and renders a standard
+    VCD file loadable by GTKWave & co. — the debugging companion every
+    simulator release needs. One timestep per clock cycle. *)
+
+type signal = { name : string; nodes : Fmc_netlist.Netlist.node array }
+(** A named bus (LSB first); single-bit signals are 1-element arrays. *)
+
+val record :
+  ?before_latch:(int -> Cycle_sim.t -> unit) ->
+  Cycle_sim.t ->
+  cycles:int ->
+  drive:(int -> Cycle_sim.t -> unit) ->
+  signals:signal list ->
+  string
+(** Run [cycles] steps (driving inputs via [drive] before each), sampling
+    the settled value of every signal each cycle; returns the VCD document.
+    [before_latch] runs after sampling and before the clock edge — the hook
+    for testbench-side effects such as committing a memory write. The
+    simulator state advances. Raises [Invalid_argument] on an empty signal
+    list, a non-positive cycle count, or duplicate signal names. *)

@@ -1,0 +1,110 @@
+module B = Fmc_netlist.Builder
+module K = Fmc_netlist.Kind
+
+type t = { builder : B.t; uid : int }
+
+type signal = { ctx : t; node : B.node }
+
+let next_uid = ref 0
+
+let create () =
+  incr next_uid;
+  { builder = B.create (); uid = !next_uid }
+
+let same_ctx a b =
+  if a.ctx.uid <> b.ctx.uid then invalid_arg "Hdl: signals from different contexts"
+
+let wrap ctx node = { ctx; node }
+
+let input1 ctx name = wrap ctx (B.add_input ctx.builder ~name)
+
+let input ctx name width =
+  if width <= 0 then invalid_arg "Hdl.input: width must be positive";
+  Array.init width (fun i -> input1 ctx (Printf.sprintf "%s[%d]" name i))
+
+let const ctx b = wrap ctx (B.add_const ctx.builder b)
+let vdd ctx = const ctx true
+let gnd ctx = const ctx false
+
+let gate1 kind a = wrap a.ctx (B.add_gate a.ctx.builder kind [| a.node |])
+
+let gate2 kind a b =
+  same_ctx a b;
+  wrap a.ctx (B.add_gate a.ctx.builder kind [| a.node; b.node |])
+
+let ( ~: ) a = gate1 K.Not a
+let ( &: ) a b = gate2 K.And a b
+let ( |: ) a b = gate2 K.Or a b
+let ( ^: ) a b = gate2 K.Xor a b
+let xnor2 a b = gate2 K.Xnor a b
+let nand2 a b = gate2 K.Nand a b
+let nor2 a b = gate2 K.Nor a b
+
+let mux2 sel d0 d1 =
+  same_ctx sel d0;
+  same_ctx sel d1;
+  wrap sel.ctx (B.add_gate sel.ctx.builder K.Mux [| sel.node; d0.node; d1.node |])
+
+let reduce op a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Hdl.reduce: empty array";
+  (* Balanced tree keeps logic depth logarithmic, which matters for the
+     transient-propagation timing model. *)
+  let rec go lo hi =
+    if hi - lo = 1 then a.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      op (go lo mid) (go mid hi)
+    end
+  in
+  go 0 n
+
+let and_reduce a = reduce ( &: ) a
+let or_reduce a = reduce ( |: ) a
+let xor_reduce a = reduce ( ^: ) a
+
+type reg = { ctx : t; dffs : B.node array; qs : signal array; mutable connected : bool }
+
+let reg ctx ~group ~width ~init =
+  if width <= 0 then invalid_arg "Hdl.reg: width must be positive";
+  if init < 0 || (width < 63 && init lsr width <> 0) then
+    invalid_arg (Printf.sprintf "Hdl.reg: init %d does not fit in %d bits" init width);
+  let dffs =
+    Array.init width (fun bit ->
+        B.add_dff ctx.builder ~group ~bit ~init:((init lsr bit) land 1 = 1))
+  in
+  { ctx; dffs; qs = Array.map (wrap ctx) dffs; connected = false }
+
+let q r = r.qs
+
+let connect r d =
+  if r.connected then invalid_arg "Hdl.connect: register already connected";
+  if Array.length d <> Array.length r.dffs then
+    invalid_arg
+      (Printf.sprintf "Hdl.connect: width mismatch (%d flip-flops, %d bits)" (Array.length r.dffs)
+         (Array.length d));
+  Array.iteri
+    (fun i s ->
+      same_ctx r.qs.(0) s;
+      B.connect_dff r.ctx.builder r.dffs.(i) ~d:s.node)
+    d;
+  r.connected <- true
+
+let output1 ctx name (s : signal) =
+  if s.ctx.uid <> ctx.uid then invalid_arg "Hdl.output1: signal from different context";
+  B.set_output ctx.builder ~name s.node
+
+let output ctx name v =
+  Array.iteri (fun i s -> output1 ctx (Printf.sprintf "%s[%d]" name i) s) v
+
+let elaborate ctx = Fmc_netlist.Netlist.of_builder ctx.builder
+
+let input_bus net name width =
+  Array.init width (fun i -> Fmc_netlist.Netlist.input_by_name net (Printf.sprintf "%s[%d]" name i))
+
+let output_bus net name width =
+  Array.init width (fun i -> Fmc_netlist.Netlist.output net (Printf.sprintf "%s[%d]" name i))
+
+let node_of_signal s = s.node
+
+let ctx_of (s : signal) = s.ctx

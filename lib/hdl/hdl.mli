@@ -1,0 +1,86 @@
+(** Structural hardware construction eDSL.
+
+    A thin, width-unchecked scalar layer over [Fmc_netlist.Builder]: signals
+    are single-bit nets tied to a construction context. Multi-bit buses are
+    arrays of signals (LSB first) and live in {!Vec}. The eDSL is how the
+    processor netlist (and any user circuit) is described; [elaborate]
+    freezes everything into an [Fmc_netlist.Netlist.t].
+
+    Conventions:
+    - bit [i] of a multi-bit input/output named ["x"] becomes the netlist
+      input/output named ["x\[i\]"];
+    - registers are declared with {!reg} (giving their Q outputs) and get
+      their next-state value with {!connect}, enabling feedback;
+    - all signals of one circuit must come from the same context; mixing
+      contexts raises [Invalid_argument]. *)
+
+type t
+(** Construction context. *)
+
+type signal
+(** A single-bit net. *)
+
+val create : unit -> t
+
+val input1 : t -> string -> signal
+val input : t -> string -> int -> signal array
+(** [input ctx name width] declares a [width]-bit input bus, LSB first. *)
+
+val const : t -> bool -> signal
+val vdd : t -> signal
+val gnd : t -> signal
+
+val ( ~: ) : signal -> signal
+val ( &: ) : signal -> signal -> signal
+val ( |: ) : signal -> signal -> signal
+val ( ^: ) : signal -> signal -> signal
+val xnor2 : signal -> signal -> signal
+val nand2 : signal -> signal -> signal
+val nor2 : signal -> signal -> signal
+
+val mux2 : signal -> signal -> signal -> signal
+(** [mux2 sel d0 d1] is [d1] when [sel] else [d0]. *)
+
+val and_reduce : signal array -> signal
+(** Balanced AND tree. Raises [Invalid_argument] on an empty array. *)
+
+val or_reduce : signal array -> signal
+val xor_reduce : signal array -> signal
+
+type reg
+(** A declared register bank: Q outputs available immediately, D connected
+    later. *)
+
+val reg : t -> group:string -> width:int -> init:int -> reg
+(** Declares [width] flip-flops in register group [group] with reset value
+    [init] (bit [i] of [init] initializes flip-flop [i]). Raises
+    [Invalid_argument] if a group name is reused or [init] does not fit. *)
+
+val q : reg -> signal array
+(** Q outputs, LSB first. *)
+
+val connect : reg -> signal array -> unit
+(** Set the next-state bus. Raises [Invalid_argument] on width mismatch or
+    double connection. *)
+
+val output1 : t -> string -> signal -> unit
+val output : t -> string -> signal array -> unit
+
+val elaborate : t -> Fmc_netlist.Netlist.t
+(** Freeze. Raises like [Fmc_netlist.Netlist.of_builder] (unconnected
+    registers, combinational cycles). *)
+
+(** {2 Netlist-side helpers} *)
+
+val input_bus : Fmc_netlist.Netlist.t -> string -> int -> Fmc_netlist.Netlist.node array
+(** [input_bus net name width] resolves the node ids of a bus declared with
+    {!input}. Raises [Not_found] if any bit is missing. *)
+
+val output_bus : Fmc_netlist.Netlist.t -> string -> int -> Fmc_netlist.Netlist.node array
+
+val node_of_signal : signal -> Fmc_netlist.Netlist.node
+(** The underlying builder/netlist node id (stable across {!elaborate}). *)
+
+val ctx_of : signal -> t
+(** The context a signal belongs to (for combinators that need to mint
+    constants). *)

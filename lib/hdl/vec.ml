@@ -1,0 +1,164 @@
+open Hdl
+
+type t = Hdl.signal array
+
+let width = Array.length
+
+let check_nonempty v op = if Array.length v = 0 then invalid_arg ("Vec." ^ op ^ ": empty bus")
+
+let check_same a b op =
+  check_nonempty a op;
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: width mismatch (%d vs %d)" op (Array.length a) (Array.length b))
+
+let of_int ctx ~width:w v =
+  if w <= 0 then invalid_arg "Vec.of_int: width must be positive";
+  if v < 0 || (w < 62 && v lsr w <> 0) then
+    invalid_arg (Printf.sprintf "Vec.of_int: %d does not fit in %d bits" v w);
+  Array.init w (fun i -> const ctx ((v lsr i) land 1 = 1))
+
+let zero ctx w = of_int ctx ~width:w 0
+let ones ctx w = Array.init w (fun _ -> vdd ctx)
+
+let not_v a = Array.map ( ~: ) a
+
+let map2 op a b name =
+  check_same a b name;
+  Array.init (Array.length a) (fun i -> op a.(i) b.(i))
+
+let and_v a b = map2 ( &: ) a b "and_v"
+let or_v a b = map2 ( |: ) a b "or_v"
+let xor_v a b = map2 ( ^: ) a b "xor_v"
+
+let mux2v sel d0 d1 = map2 (fun a b -> mux2 sel a b) d0 d1 "mux2v"
+
+let add_c a b ~cin =
+  check_same a b "add_c";
+  let w = Array.length a in
+  let sum = Array.make w cin in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let axb = a.(i) ^: b.(i) in
+    sum.(i) <- axb ^: !carry;
+    carry := a.(i) &: b.(i) |: (!carry &: axb)
+  done;
+  (sum, !carry)
+
+let add a b =
+  check_same a b "add";
+  let ctx = ctx_of a.(0) in
+  fst (add_c a b ~cin:(gnd ctx))
+
+let sub a b =
+  check_same a b "sub";
+  let ctx = ctx_of a.(0) in
+  fst (add_c a (not_v b) ~cin:(vdd ctx))
+
+let eq a b =
+  check_same a b "eq";
+  and_reduce (Array.init (Array.length a) (fun i -> xnor2 a.(i) b.(i)))
+
+let neq a b = ~:(eq a b)
+
+let ult a b =
+  check_same a b "ult";
+  (* a < b  <=>  no carry out of a + ~b + 1, i.e. borrow set. *)
+  let ctx = ctx_of a.(0) in
+  let _, carry = add_c a (not_v b) ~cin:(vdd ctx) in
+  ~:carry
+
+let uge a b = ~:(ult a b)
+let ugt a b = ult b a
+let ule a b = ~:(ult b a)
+
+let is_zero a =
+  check_nonempty a "is_zero";
+  ~:(or_reduce a)
+
+let bits v ~lo ~hi =
+  if lo < 0 || hi > Array.length v || lo >= hi then
+    invalid_arg (Printf.sprintf "Vec.bits: bad range [%d, %d) of %d" lo hi (Array.length v));
+  Array.sub v lo (hi - lo)
+
+let bit v i =
+  if i < 0 || i >= Array.length v then invalid_arg "Vec.bit: index out of range";
+  v.(i)
+
+let concat parts =
+  let v = Array.concat parts in
+  check_nonempty v "concat";
+  v
+
+let repeat s n =
+  if n <= 0 then invalid_arg "Vec.repeat: count must be positive";
+  Array.make n s
+
+let zext v w =
+  check_nonempty v "zext";
+  let cur = Array.length v in
+  if w < cur then invalid_arg "Vec.zext: target narrower than bus"
+  else if w = cur then v
+  else begin
+    let ctx = ctx_of v.(0) in
+    Array.append v (Array.init (w - cur) (fun _ -> gnd ctx))
+  end
+
+let sext v w =
+  check_nonempty v "sext";
+  let cur = Array.length v in
+  if w < cur then invalid_arg "Vec.sext: target narrower than bus"
+  else if w = cur then v
+  else Array.append v (Array.make (w - cur) v.(cur - 1))
+
+let sll_const v n =
+  check_nonempty v "sll_const";
+  if n < 0 then invalid_arg "Vec.sll_const: negative shift";
+  let w = Array.length v in
+  let ctx = ctx_of v.(0) in
+  Array.init w (fun i -> if i < n then gnd ctx else v.(i - n))
+
+let srl_const v n =
+  check_nonempty v "srl_const";
+  if n < 0 then invalid_arg "Vec.srl_const: negative shift";
+  let w = Array.length v in
+  let ctx = ctx_of v.(0) in
+  Array.init w (fun i -> if i + n < w then v.(i + n) else gnd ctx)
+
+let barrel shift_stage v ~amount =
+  check_nonempty v "barrel";
+  check_nonempty amount "barrel";
+  (* Stage k shifts by 2^k when amount bit k is set. *)
+  let acc = ref v in
+  Array.iteri (fun k sel -> acc := mux2v sel !acc (shift_stage !acc (1 lsl k))) amount;
+  !acc
+
+let sll v ~amount = barrel sll_const v ~amount
+let srl v ~amount = barrel srl_const v ~amount
+
+let mux_tree ~sel cases =
+  check_nonempty sel "mux_tree";
+  let k = Array.length sel in
+  if Array.length cases <> 1 lsl k then
+    invalid_arg
+      (Printf.sprintf "Vec.mux_tree: %d cases for %d select bits" (Array.length cases) k);
+  let w = Array.length cases.(0) in
+  Array.iter
+    (fun c -> if Array.length c <> w then invalid_arg "Vec.mux_tree: case width mismatch")
+    cases;
+  (* Fold select bits LSB first, halving the case count each level. *)
+  let rec go cases bit =
+    if Array.length cases = 1 then cases.(0)
+    else begin
+      let half = Array.length cases / 2 in
+      let next = Array.init half (fun i -> mux2v sel.(bit) cases.(2 * i) cases.((2 * i) + 1)) in
+      go next (bit + 1)
+    end
+  in
+  go cases 0
+
+let decode sel =
+  check_nonempty sel "decode";
+  let k = Array.length sel in
+  let n = 1 lsl k in
+  Array.init n (fun v ->
+      and_reduce (Array.init k (fun b -> if (v lsr b) land 1 = 1 then sel.(b) else ~:(sel.(b)))))

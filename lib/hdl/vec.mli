@@ -1,0 +1,78 @@
+(** Width-checked multi-bit combinators over {!Hdl} signals.
+
+    A bus is a [Hdl.signal array], LSB first. All binary operations check
+    that widths match and raise [Invalid_argument] otherwise. Arithmetic is
+    unsigned, modulo [2^width] (ripple-carry), matching the semantics of the
+    RTL processor model so the two levels agree bit-for-bit. *)
+
+type t = Hdl.signal array
+
+val width : t -> int
+
+val of_int : Hdl.t -> width:int -> int -> t
+(** Constant bus. Raises [Invalid_argument] if the value does not fit. *)
+
+val zero : Hdl.t -> int -> t
+val ones : Hdl.t -> int -> t
+
+val not_v : t -> t
+val and_v : t -> t -> t
+val or_v : t -> t -> t
+val xor_v : t -> t -> t
+
+val mux2v : Hdl.signal -> t -> t -> t
+(** [mux2v sel d0 d1] per-bit. *)
+
+val add : t -> t -> t
+(** Sum modulo [2^width]. *)
+
+val add_c : t -> t -> cin:Hdl.signal -> t * Hdl.signal
+(** Ripple-carry sum with carry-in; returns (sum, carry-out). *)
+
+val sub : t -> t -> t
+(** Difference modulo [2^width] (two's complement). *)
+
+val eq : t -> t -> Hdl.signal
+val neq : t -> t -> Hdl.signal
+
+val ult : t -> t -> Hdl.signal
+(** Unsigned [a < b]. *)
+
+val ule : t -> t -> Hdl.signal
+val uge : t -> t -> Hdl.signal
+val ugt : t -> t -> Hdl.signal
+
+val is_zero : t -> Hdl.signal
+
+val bits : t -> lo:int -> hi:int -> t
+(** Slice [\[lo, hi)]. Raises [Invalid_argument] on a bad range. *)
+
+val bit : t -> int -> Hdl.signal
+
+val concat : t list -> t
+(** LSB-first concatenation: [concat \[low; high\]]. *)
+
+val repeat : Hdl.signal -> int -> t
+
+val zext : t -> int -> t
+(** Zero-extend to a wider width (identity if already that width). *)
+
+val sext : t -> int -> t
+
+val sll_const : t -> int -> t
+(** Shift left by a constant, zero-filling; width preserved. *)
+
+val srl_const : t -> int -> t
+
+val sll : t -> amount:t -> t
+(** Barrel shifter: shift left by a bus value (zero fill, width preserved). *)
+
+val srl : t -> amount:t -> t
+
+val mux_tree : sel:t -> t array -> t
+(** [mux_tree ~sel cases] selects [cases.(sel)]; [cases] must have exactly
+    [2^width sel] entries of equal width. *)
+
+val decode : t -> Hdl.signal array
+(** One-hot decode: output [i] is high iff the bus value equals [i];
+    [2^width] outputs. *)

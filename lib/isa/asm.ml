@@ -1,0 +1,54 @@
+type item =
+  | I of Isa.t
+  | Label of string
+  | Brz_to of Isa.reg * string
+  | Brnz_to of Isa.reg * string
+  | Li16 of Isa.reg * int
+
+let size = function
+  | Label _ -> 0
+  | Li16 _ -> 2
+  | I _ | Brz_to _ | Brnz_to _ -> 1
+
+let assemble items =
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 16 in
+  let addr = ref 0 in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name ->
+          if Hashtbl.mem labels name then
+            invalid_arg (Printf.sprintf "Asm.assemble: duplicate label %s" name)
+          else Hashtbl.replace labels name !addr
+      | _ -> ());
+      addr := !addr + size item)
+    items;
+  let resolve name here =
+    match Hashtbl.find_opt labels name with
+    | Some target -> target - (here + 1)
+    | None -> invalid_arg (Printf.sprintf "Asm.assemble: undefined label %s" name)
+  in
+  (* Pass 2: encode. *)
+  let words = ref [] in
+  let addr = ref 0 in
+  let emit instr =
+    words := Isa.encode instr :: !words;
+    incr addr
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ -> ()
+      | I instr -> emit instr
+      | Brz_to (ra, name) -> emit (Isa.Brz (ra, resolve name !addr))
+      | Brnz_to (ra, name) -> emit (Isa.Brnz (ra, resolve name !addr))
+      | Li16 (rd, v) ->
+          if v < 0 || v > 0xffff then
+            invalid_arg (Printf.sprintf "Asm.assemble: li16 value %d out of range" v);
+          emit (Isa.Ldi (rd, v land 0xff));
+          emit (Isa.Lui (rd, (v lsr 8) land 0xff)))
+    items;
+  Array.of_list (List.rev !words)
+
+let disassemble words = Array.map Isa.decode words

@@ -1,0 +1,22 @@
+(** Two-pass combinator assembler with symbolic labels.
+
+    Programs are lists of {!item}s; labels mark addresses, and branch items
+    reference them symbolically (offsets are resolved in the second pass).
+    [li16] expands to the LDI/LUI pair that loads a full 16-bit constant. *)
+
+type item =
+  | I of Isa.t  (** a concrete instruction *)
+  | Label of string
+  | Brz_to of Isa.reg * string
+  | Brnz_to of Isa.reg * string
+  | Li16 of Isa.reg * int  (** expands to 2 instructions (LDI + LUI) *)
+
+val size : item -> int
+(** Words the item occupies (0 for labels). *)
+
+val assemble : item list -> int array
+(** Encoded program, one 16-bit word per instruction. Raises
+    [Invalid_argument] on duplicate or undefined labels, out-of-range
+    branch offsets, or encoding errors. *)
+
+val disassemble : int array -> Isa.t array

@@ -1,0 +1,185 @@
+type reg = int
+
+type t =
+  | Halt
+  | Trapret
+  | Nop
+  | Retu
+  | Ldi of reg * int
+  | Lui of reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Brz of reg * int
+  | Brnz of reg * int
+  | Jalr of reg * reg
+  | Mpuw of int * reg
+
+let fld_base0 = 0
+let fld_limit0 = 1
+let fld_ctrl0 = 2
+let fld_base1 = 3
+let fld_limit1 = 4
+let fld_ctrl1 = 5
+
+let ctrl_enable = 1
+let ctrl_read = 2
+let ctrl_write = 4
+let ctrl_exec = 8
+
+let trap_vector = 2
+
+let cause_data = 1
+let cause_instr = 2
+let cause_priv = 3
+
+(* Opcode map. *)
+let op_sys = 0x0
+let op_ldi = 0x1
+let op_lui = 0x2
+let op_add = 0x3
+let op_sub = 0x4
+let op_and = 0x5
+let op_or = 0x6
+let op_xor = 0x7
+let op_shl = 0x8
+let op_shr = 0x9
+let op_ld = 0xA
+let op_st = 0xB
+let op_brz = 0xC
+let op_brnz = 0xD
+let op_jalr = 0xE
+let op_mpuw = 0xF
+
+let sys_halt = 0
+let sys_trapret = 1
+let sys_nop = 2
+let sys_retu = 3
+
+let check_reg r =
+  if r < 0 || r > 7 then invalid_arg (Printf.sprintf "Isa.encode: register r%d out of range" r)
+
+let check_imm name v width =
+  if v < 0 || v lsr width <> 0 then
+    invalid_arg (Printf.sprintf "Isa.encode: %s %d does not fit in %d bits" name v width)
+
+let check_simm name v width =
+  let lo = -(1 lsl (width - 1)) and hi = (1 lsl (width - 1)) - 1 in
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Isa.encode: %s %d out of [%d, %d]" name v lo hi)
+
+let word op rd ra rb = (op lsl 12) lor (rd lsl 9) lor (ra lsl 6) lor (rb lsl 3)
+
+let alu op rd ra rb =
+  check_reg rd;
+  check_reg ra;
+  check_reg rb;
+  word op rd ra rb
+
+let encode = function
+  | Halt -> (op_sys lsl 12) lor sys_halt
+  | Trapret -> (op_sys lsl 12) lor sys_trapret
+  | Nop -> (op_sys lsl 12) lor sys_nop
+  | Retu -> (op_sys lsl 12) lor sys_retu
+  | Ldi (rd, imm) ->
+      check_reg rd;
+      check_imm "imm8" imm 8;
+      (op_ldi lsl 12) lor (rd lsl 9) lor imm
+  | Lui (rd, imm) ->
+      check_reg rd;
+      check_imm "imm8" imm 8;
+      (op_lui lsl 12) lor (rd lsl 9) lor imm
+  | Add (rd, ra, rb) -> alu op_add rd ra rb
+  | Sub (rd, ra, rb) -> alu op_sub rd ra rb
+  | And_ (rd, ra, rb) -> alu op_and rd ra rb
+  | Or_ (rd, ra, rb) -> alu op_or rd ra rb
+  | Xor_ (rd, ra, rb) -> alu op_xor rd ra rb
+  | Shl (rd, ra, rb) -> alu op_shl rd ra rb
+  | Shr (rd, ra, rb) -> alu op_shr rd ra rb
+  | Ld (rd, ra, off) ->
+      check_reg rd;
+      check_reg ra;
+      check_imm "offset" off 6;
+      (op_ld lsl 12) lor (rd lsl 9) lor (ra lsl 6) lor off
+  | St (rd, ra, off) ->
+      check_reg rd;
+      check_reg ra;
+      check_imm "offset" off 6;
+      (op_st lsl 12) lor (rd lsl 9) lor (ra lsl 6) lor off
+  | Brz (ra, off) ->
+      check_reg ra;
+      check_simm "branch offset" off 9;
+      (op_brz lsl 12) lor (ra lsl 9) lor (off land 0x1ff)
+  | Brnz (ra, off) ->
+      check_reg ra;
+      check_simm "branch offset" off 9;
+      (op_brnz lsl 12) lor (ra lsl 9) lor (off land 0x1ff)
+  | Jalr (rd, ra) ->
+      check_reg rd;
+      check_reg ra;
+      word op_jalr rd ra 0
+  | Mpuw (fld, ra) ->
+      if fld < 0 || fld > 5 then invalid_arg "Isa.encode: MPU field out of range";
+      check_reg ra;
+      word op_mpuw fld ra 0
+
+let sext v width = if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let decode w =
+  if w < 0 || w > 0xffff then invalid_arg "Isa.decode: not a 16-bit word";
+  let op = (w lsr 12) land 0xf in
+  let rd = (w lsr 9) land 0x7 in
+  let ra = (w lsr 6) land 0x7 in
+  let rb = (w lsr 3) land 0x7 in
+  let imm8 = w land 0xff in
+  let imm6 = w land 0x3f in
+  let simm9 = sext (w land 0x1ff) 9 in
+  if op = op_sys then begin
+    match w land 0xf with
+    | c when c = sys_halt -> Halt
+    | c when c = sys_trapret -> Trapret
+    | c when c = sys_retu -> Retu
+    | _ -> Nop
+  end
+  else if op = op_ldi then Ldi (rd, imm8)
+  else if op = op_lui then Lui (rd, imm8)
+  else if op = op_add then Add (rd, ra, rb)
+  else if op = op_sub then Sub (rd, ra, rb)
+  else if op = op_and then And_ (rd, ra, rb)
+  else if op = op_or then Or_ (rd, ra, rb)
+  else if op = op_xor then Xor_ (rd, ra, rb)
+  else if op = op_shl then Shl (rd, ra, rb)
+  else if op = op_shr then Shr (rd, ra, rb)
+  else if op = op_ld then Ld (rd, ra, imm6)
+  else if op = op_st then St (rd, ra, imm6)
+  else if op = op_brz then Brz ((w lsr 9) land 0x7, simm9)
+  else if op = op_brnz then Brnz ((w lsr 9) land 0x7, simm9)
+  else if op = op_jalr then Jalr (rd, ra)
+  else Mpuw (rd, ra)
+
+let to_string = function
+  | Halt -> "halt"
+  | Trapret -> "trapret"
+  | Nop -> "nop"
+  | Retu -> "retu"
+  | Ldi (rd, i) -> Printf.sprintf "ldi r%d, %d" rd i
+  | Lui (rd, i) -> Printf.sprintf "lui r%d, %d" rd i
+  | Add (rd, ra, rb) -> Printf.sprintf "add r%d, r%d, r%d" rd ra rb
+  | Sub (rd, ra, rb) -> Printf.sprintf "sub r%d, r%d, r%d" rd ra rb
+  | And_ (rd, ra, rb) -> Printf.sprintf "and r%d, r%d, r%d" rd ra rb
+  | Or_ (rd, ra, rb) -> Printf.sprintf "or r%d, r%d, r%d" rd ra rb
+  | Xor_ (rd, ra, rb) -> Printf.sprintf "xor r%d, r%d, r%d" rd ra rb
+  | Shl (rd, ra, rb) -> Printf.sprintf "shl r%d, r%d, r%d" rd ra rb
+  | Shr (rd, ra, rb) -> Printf.sprintf "shr r%d, r%d, r%d" rd ra rb
+  | Ld (rd, ra, o) -> Printf.sprintf "ld r%d, %d(r%d)" rd o ra
+  | St (rd, ra, o) -> Printf.sprintf "st r%d, %d(r%d)" rd o ra
+  | Brz (ra, o) -> Printf.sprintf "brz r%d, %d" ra o
+  | Brnz (ra, o) -> Printf.sprintf "brnz r%d, %d" ra o
+  | Jalr (rd, ra) -> Printf.sprintf "jalr r%d, r%d" rd ra
+  | Mpuw (fld, ra) -> Printf.sprintf "mpuw f%d, r%d" fld ra

@@ -1,0 +1,91 @@
+(** The 16-bit instruction set of the evaluation processor.
+
+    This plays the role of the commercial processor's ISA in the paper: big
+    enough to host an MPU-protected memory-access security policy and
+    realistic workloads, small enough to implement twice (behavioral RTL
+    model and gate netlist) with bit-exact agreement.
+
+    Encoding (16-bit words, fields MSB-to-LSB):
+    {v
+    op(4) | rd(3) | ra(3) | rb(3)  | pad(3)   ALU / JALR / MPUW
+    op(4) | rd(3) | pad(1)| imm8(8)           LDI / LUI
+    op(4) | rd(3) | ra(3) | imm6(6)           LD / ST
+    op(4) | ra(3) | simm9(9)                  BRZ / BRNZ
+    op(4) | pad(8)        | imm4(4)           SYS (HALT/TRAPRET/NOP/RETU)
+    v}
+
+    Architectural registers: [r0..r7] (16-bit), [pc], [epc], [cause] (2-bit),
+    [mode] (1 = privileged), [halted], and the MPU bank: two regions of
+    [base], [limit] (inclusive), [ctrl]. All reset to 0 except [mode] which
+    resets to privileged.
+
+    Security semantics (the MPU policy under attack):
+    - in user mode every data access must be granted by an enabled region
+      ([base <= addr <= limit] with the matching permission bit); every
+      instruction fetch needs the exec permission;
+    - MPUW / TRAPRET / RETU are privileged;
+    - a violation raises the responding signal, squashes the instruction's
+      architectural effect and traps: [epc <- pc], [cause <- code],
+      [mode <- privileged], [pc <- trap_vector]. *)
+
+type reg = int
+(** Register index 0..7. *)
+
+type t =
+  | Halt
+  | Trapret  (** privileged: [pc <- epc + 1; mode <- user] *)
+  | Nop
+  | Retu  (** privileged: drop to user mode, [pc <- pc + 1] *)
+  | Ldi of reg * int  (** [rd <- zext imm8] *)
+  | Lui of reg * int  (** [rd <- (imm8 << 8) lor (rd land 0xff)] *)
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg  (** [rd <- ra lsl (rb land 15)] *)
+  | Shr of reg * reg * reg  (** logical *)
+  | Ld of reg * reg * int  (** [rd <- dmem\[ra + imm6\]] *)
+  | St of reg * reg * int  (** [dmem\[ra + imm6\] <- rd] *)
+  | Brz of reg * int  (** [if ra = 0 then pc <- pc + 1 + simm9] *)
+  | Brnz of reg * int
+  | Jalr of reg * reg  (** [rd <- pc + 1; pc <- ra] *)
+  | Mpuw of int * reg  (** [mpu\[field\] <- ra]; privileged *)
+
+(** MPU register-file field indices for {!Mpuw}. *)
+
+val fld_base0 : int
+val fld_limit0 : int
+val fld_ctrl0 : int
+val fld_base1 : int
+val fld_limit1 : int
+val fld_ctrl1 : int
+
+(** MPU [ctrl] permission bits. *)
+
+val ctrl_enable : int
+val ctrl_read : int
+val ctrl_write : int
+val ctrl_exec : int
+
+val trap_vector : int
+(** PC value loaded on a trap (= 2). *)
+
+(** Trap cause codes. *)
+
+val cause_data : int  (** 1: data-access violation *)
+
+val cause_instr : int  (** 2: instruction-fetch violation *)
+
+val cause_priv : int  (** 3: privileged instruction in user mode *)
+
+val encode : t -> int
+(** 16-bit word. Raises [Invalid_argument] when a field is out of range
+    (register index, immediate width, branch offset). *)
+
+val decode : int -> t
+(** Total: every 16-bit word decodes (unused encodings fall into the
+    closest instruction; SYS with an unknown code decodes as {!Nop}).
+    Raises [Invalid_argument] outside [\[0, 0xffff\]]. *)
+
+val to_string : t -> string

@@ -1,0 +1,256 @@
+open Asm
+
+type attack_perm = Attack_read | Attack_write | Attack_exec
+
+type t = {
+  name : string;
+  imem : int array;
+  dmem_size : int;
+  dmem_init : (int * int) list;
+  observable : int list;
+  max_cycles : int;
+  attack : (int * attack_perm) option;
+  user_code_range : (int * int) option;
+}
+
+let secret_addr = 0x300
+let secret_value = 0x5EC7
+let out_addr = 0x110
+let user_data_base = 0x100
+let user_data_limit = 0x1ff
+
+let dmem_size = 1024
+
+(* Pseudo-random but fixed initial contents for the user data window, so the
+   busy-work loop creates genuine switching activity. *)
+let user_data_init =
+  List.init 16 (fun i -> (user_data_base + i, (i * 7919) land 0xffff))
+
+(* Common prologue: reset jump, trap handler, MPU configuration, secret
+   initialization, privilege drop. [handler] is the trap-handler body,
+   [user] the user-mode program. The user code region is granted execute
+   permission via MPU region 1. *)
+let with_boot ~handler ~user =
+  let prologue_head =
+    [ Brz_to (0, "boot"); I Isa.Nop; (* address 2 = trap vector *) Label "trap"; I handler ]
+  in
+  let boot =
+    [
+      Label "boot";
+      (* Region 0: user data window, read+write. *)
+      Li16 (1, user_data_base);
+      I (Isa.Mpuw (Isa.fld_base0, 1));
+      Li16 (1, user_data_limit);
+      I (Isa.Mpuw (Isa.fld_limit0, 1));
+      I (Isa.Ldi (1, Isa.ctrl_enable lor Isa.ctrl_read lor Isa.ctrl_write));
+      I (Isa.Mpuw (Isa.fld_ctrl0, 1));
+      (* Secret value in the protected word. *)
+      Li16 (2, secret_addr);
+      Li16 (3, secret_value);
+      I (Isa.St (3, 2, 0));
+      (* Region 1: execute permission over the user program; bounds are
+         patched below once layout is known. *)
+      Label "patch_base";
+      Li16 (1, 0);
+      I (Isa.Mpuw (Isa.fld_base1, 1));
+      Label "patch_limit";
+      Li16 (1, 0);
+      I (Isa.Mpuw (Isa.fld_limit1, 1));
+      I (Isa.Ldi (1, Isa.ctrl_enable lor Isa.ctrl_exec));
+      I (Isa.Mpuw (Isa.fld_ctrl1, 1));
+      (* Scrub temporaries and drop to user mode; user code starts at the
+         next address. *)
+      I (Isa.Ldi (1, 0));
+      I (Isa.Ldi (2, 0));
+      I (Isa.Ldi (3, 0));
+      I Isa.Retu;
+      Label "user";
+    ]
+  in
+  let items = prologue_head @ boot @ user in
+  (* Two-step assembly: first to learn label addresses, then re-assemble
+     with the exec-region bounds patched in. *)
+  let addr_of label =
+    let a = ref 0 and found = ref (-1) in
+    List.iter
+      (fun item ->
+        (match item with Label l when l = label -> found := !a | _ -> ());
+        a := !a + size item)
+      items;
+    if !found < 0 then invalid_arg ("Programs.with_boot: missing label " ^ label);
+    !found
+  in
+  let user_start = addr_of "user" in
+  let total_words = List.fold_left (fun acc i -> acc + size i) 0 items in
+  let user_limit =
+    (* An explicit "user_end" label bounds the exec region (code after it is
+       privileged-only); otherwise the region covers the whole tail. *)
+    let a = ref 0 and found = ref (-1) in
+    List.iter
+      (fun item ->
+        (match item with Label "user_end" -> found := !a | _ -> ());
+        a := !a + size item)
+      items;
+    if !found >= 0 then !found - 1 else total_words - 1
+  in
+  let items =
+    let rec rewrite = function
+      | Label "patch_base" :: Li16 (r, _) :: rest -> Label "patch_base" :: Li16 (r, user_start) :: rewrite rest
+      | Label "patch_limit" :: Li16 (r, _) :: rest ->
+          Label "patch_limit" :: Li16 (r, user_limit) :: rewrite rest
+      | item :: rest -> item :: rewrite rest
+      | [] -> []
+    in
+    rewrite items
+  in
+  (assemble items, (user_start, user_limit), addr_of)
+
+(* Busy-work: checksum and write-back over the user data window. Uses
+   r1 (pointer), r2 (loop count), r3 (accumulator), r4 (scratch), r5 (one). *)
+let busy_work =
+  [
+    Li16 (1, user_data_base);
+    I (Isa.Ldi (2, 12));
+    I (Isa.Ldi (3, 0));
+    I (Isa.Ldi (5, 1));
+    Label "loop";
+    I (Isa.Ld (4, 1, 0));
+    I (Isa.Add (3, 3, 4));
+    I (Isa.Shl (4, 3, 5));
+    I (Isa.Xor_ (3, 3, 4));
+    I (Isa.St (3, 1, 32));
+    I (Isa.Add (1, 1, 5));
+    I (Isa.Sub (2, 2, 5));
+    Brnz_to (2, "loop");
+  ]
+
+let illegal_write =
+  let user =
+    busy_work
+    @ [
+        (* The attack payload: store to the protected word. *)
+        Li16 (6, secret_addr);
+        I (Isa.Ldi (7, 0xAB));
+        I (Isa.St (7, 6, 0));
+        (* Post-work the attacker would run on success. *)
+        I (Isa.St (3, 1, 0));
+        I Isa.Halt;
+      ]
+  in
+  let imem, range, _ = with_boot ~handler:Isa.Halt ~user in
+  {
+    name = "illegal-write";
+    imem;
+    dmem_size;
+    dmem_init = user_data_init;
+    observable = [ secret_addr ];
+    max_cycles = 400;
+    attack = Some (secret_addr, Attack_write);
+    user_code_range = Some range;
+  }
+
+let illegal_read =
+  let user =
+    busy_work
+    @ [
+        (* Load the secret, leak it into the user-visible cell. *)
+        Li16 (6, secret_addr);
+        I (Isa.Ld (7, 6, 0));
+        Li16 (5, out_addr);
+        I (Isa.St (7, 5, 0));
+        I Isa.Halt;
+      ]
+  in
+  let imem, range, _ = with_boot ~handler:Isa.Halt ~user in
+  {
+    name = "illegal-read";
+    imem;
+    dmem_size;
+    dmem_init = user_data_init;
+    observable = [ out_addr ];
+    max_cycles = 400;
+    attack = Some (secret_addr, Attack_read);
+    user_code_range = Some range;
+  }
+
+let synthetic =
+  let user =
+    [
+      Li16 (1, user_data_base);
+      I (Isa.Ldi (2, 40));
+      I (Isa.Ldi (3, 0x35));
+      I (Isa.Ldi (5, 1));
+      Li16 (6, secret_addr);
+      Label "loop";
+      I (Isa.Ld (4, 1, 0));
+      I (Isa.Xor_ (3, 3, 4));
+      I (Isa.Add (3, 3, 2));
+      I (Isa.Shr (4, 3, 5));
+      I (Isa.Or_ (3, 3, 4));
+      I (Isa.St (3, 1, 32));
+      (* Periodic illegal access: the handler skips it via trapret, so the
+         responding signal pulses and execution continues. *)
+      I (Isa.St (3, 6, 0));
+      I (Isa.Ld (4, 6, 0));
+      I (Isa.Add (1, 1, 5));
+      I (Isa.Sub (2, 2, 5));
+      Brnz_to (2, "loop");
+      I Isa.Halt;
+    ]
+  in
+  let imem, range, _ = with_boot ~handler:Isa.Trapret ~user in
+  {
+    name = "synthetic";
+    imem;
+    dmem_size;
+    dmem_init = user_data_init;
+    observable = [];
+    max_cycles = 1200;
+    attack = None;
+    user_code_range = Some range;
+  }
+
+let service_addr_ref = ref 0
+
+let illegal_exec =
+  let user =
+    busy_work
+    @ [
+        (* The attack payload: jump into the privileged service routine,
+           which lives outside the user exec region. *)
+        Label "load_target";
+        Li16 (6, 0);
+        I (Isa.Jalr (7, 6));
+        I Isa.Halt;
+        Label "user_end";
+        (* Privileged service routine: writes a completion token to the
+           user-visible cell, then halts. Only reachable by defeating the
+           exec check. *)
+        Label "service";
+        Li16 (1, out_addr);
+        I (Isa.Ldi (2, 0x77));
+        I (Isa.St (2, 1, 0));
+        I Isa.Halt;
+      ]
+  in
+  let imem, range, addr_of = with_boot ~handler:Isa.Halt ~user in
+  let service = addr_of "service" in
+  service_addr_ref := service;
+  (* Patch the Li16 at "load_target" with the service address (two-pass like
+     the boot bounds): the Li16 occupies the two words at addr_of
+     "load_target". *)
+  let target = addr_of "load_target" in
+  imem.(target) <- Isa.encode (Isa.Ldi (6, service land 0xff));
+  imem.(target + 1) <- Isa.encode (Isa.Lui (6, (service lsr 8) land 0xff));
+  {
+    name = "illegal-exec";
+    imem;
+    dmem_size;
+    dmem_init = user_data_init;
+    observable = [ out_addr ];
+    max_cycles = 400;
+    attack = Some (service, Attack_exec);
+    user_code_range = Some range;
+  }
+
+let service_addr = !service_addr_ref

@@ -1,0 +1,67 @@
+(** Benchmark programs (paper §6).
+
+    Each benchmark bundles an instruction image (boot code that configures
+    the MPU and drops to user mode, plus the attacker-chosen user workload),
+    an initial data image, and the security-relevant metadata the framework
+    needs: which data addresses are observable for the attack-success test
+    and how long to run.
+
+    Memory map (dmem, word-addressed):
+    - [0x100 .. 0x1ff] — user read/write region (MPU region 0);
+    - [0x300] — the protected secret word (no region covers it);
+    - [0x110] — [out_addr], the user-writable cell the read benchmark leaks
+      into.
+
+    imem: MPU region 1 grants user execute permission exactly over the user
+    program. The trap vector (address 2) holds the handler: [Halt] for the
+    attack benchmarks (violation detected, system stops), [Trapret] for the
+    synthetic characterization workload (skip and continue, so responding
+    signals keep switching). *)
+
+type attack_perm = Attack_read | Attack_write | Attack_exec
+
+type t = {
+  name : string;
+  imem : int array;  (** encoded program, address 0 upward *)
+  dmem_size : int;
+  dmem_init : (int * int) list;  (** (address, value) words set before reset *)
+  observable : int list;
+      (** dmem addresses whose final value decides attack success: a
+          difference vs the golden run means the security policy was
+          bypassed *)
+  max_cycles : int;  (** simulation budget (golden runs halt well before) *)
+  attack : (int * attack_perm) option;
+      (** the malicious access (address, kind) the user program attempts —
+          drives the analytical evaluation of memory-type register errors *)
+  user_code_range : (int * int) option;
+      (** imem range \[first, last\] of the user program (the MPU exec
+          region); the analytical evaluator checks it stays executable
+          under a corrupted configuration *)
+}
+
+val secret_addr : int
+val secret_value : int
+val out_addr : int
+val user_data_base : int
+val user_data_limit : int
+
+val illegal_write : t
+(** User code attempts [st] to the protected address (paper's "Memory
+    Write" benchmark). *)
+
+val illegal_read : t
+(** User code attempts [ld] from the protected address and leaks the value
+    to [out_addr] ("Memory Read"). *)
+
+val illegal_exec : t
+(** User code jumps into a privileged service routine that lives outside
+    the user exec region; in the golden run the fetch traps. An attack
+    that defeats the exec check (or escalates privilege) runs the routine,
+    whose store to [out_addr] is the observable. *)
+
+val service_addr : int
+(** imem address of the privileged routine targeted by {!illegal_exec}. *)
+
+val synthetic : t
+(** Mixed ALU/memory/branch workload with periodic illegal accesses that
+    the handler skips — drives the pre-characterization simulations. *)

@@ -1,0 +1,30 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+
+let gate_area = function
+  | K.Not | K.Buf -> 1.0
+  | K.And | K.Or -> 1.5
+  | K.Nand | K.Nor -> 1.25
+  | K.Xor | K.Xnor -> 2.5
+  | K.Mux -> 2.25
+
+let dff_area = 6.0
+
+let node_area net node =
+  match N.kind net node with
+  | K.Gate g -> gate_area g
+  | K.Dff _ -> dff_area
+  | K.Input | K.Const _ -> 0.
+
+let total net =
+  let sum = ref 0. in
+  for i = 0 to N.num_nodes net - 1 do
+    sum := !sum +. node_area net i
+  done;
+  !sum
+
+let registers_total net =
+  Array.fold_left (fun acc d -> acc +. node_area net d) 0. (N.dffs net)
+
+let hardened_overhead net ~hardened ~factor =
+  Array.fold_left (fun acc d -> acc +. (node_area net d *. (factor -. 1.))) 0. hardened

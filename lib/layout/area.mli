@@ -1,0 +1,23 @@
+(** Unit-area model for overhead accounting (paper §6).
+
+    Only {e relative} area matters for the paper's "<2% area overhead"
+    claim, so cells carry unit areas in the spirit of a standard-cell
+    library (an inverter is 1, a flip-flop several inverters, a hardened
+    flip-flop [hardening_factor] times a normal one). *)
+
+val gate_area : Fmc_netlist.Kind.gate -> float
+val dff_area : float
+
+val node_area : Fmc_netlist.Netlist.t -> Fmc_netlist.Netlist.node -> float
+(** 0 for inputs and constants. *)
+
+val total : Fmc_netlist.Netlist.t -> float
+(** Sum over all cells. *)
+
+val registers_total : Fmc_netlist.Netlist.t -> float
+
+val hardened_overhead :
+  Fmc_netlist.Netlist.t -> hardened:Fmc_netlist.Netlist.node array -> factor:float -> float
+(** Extra area (in the same units) of replacing [hardened] flip-flops with
+    cells [factor] times larger — e.g. [factor = 3.] per the paper's
+    built-in soft-error-resilience references. *)

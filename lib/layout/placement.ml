@@ -1,0 +1,68 @@
+module N = Fmc_netlist.Netlist
+module Rng = Fmc_prelude.Rng
+
+type t = {
+  net : N.t;
+  xs : float array;  (* per node; NaN when unplaced *)
+  ys : float array;
+  placed : N.node array;
+  width : float;
+  height : float;
+}
+
+let place ?(seed = 0) net =
+  let n = N.num_nodes net in
+  let xs = Array.make n nan and ys = Array.make n nan in
+  (* Row-major fill of a near-square die. Register groups stay contiguous
+     (a placer keeps the bits of one register bit-sliced side by side),
+     and those runs are shuffled seed-deterministically into the sea of
+     combinational gates — so a radiation disc can cover several bits of
+     one register, or registers together with nearby logic (paper Fig. 7
+     needs both behaviours). *)
+  let cells = Array.append (N.dffs net) (N.gates net) in
+  let rng = Rng.create seed in
+  let group_runs =
+    List.map (fun (_, members) -> Array.copy members) (N.register_groups net)
+  in
+  let gate_items = Array.to_list (Array.map (fun g -> [| g |]) (N.gates net)) in
+  let items = Array.of_list (group_runs @ gate_items) in
+  Rng.shuffle rng items;
+  let ordered = Array.concat (Array.to_list items) in
+  let total = Array.length ordered in
+  let cols = max 1 (int_of_float (ceil (sqrt (float_of_int total)))) in
+  Array.iteri
+    (fun i c ->
+      xs.(c) <- float_of_int (i mod cols);
+      ys.(c) <- float_of_int (i / cols))
+    ordered;
+  let width = float_of_int cols in
+  let height = float_of_int (max 1 ((total + cols - 1) / cols)) in
+  let placed = Array.copy cells in
+  Array.sort compare placed;
+  { net; xs; ys; placed; width; height }
+
+let netlist t = t.net
+
+let is_placed t node = not (Float.is_nan t.xs.(node))
+
+let position t node =
+  if not (is_placed t node) then invalid_arg "Placement.position: unplaced node";
+  (t.xs.(node), t.ys.(node))
+
+let cells t = t.placed
+
+let distance t a b =
+  let xa, ya = position t a and xb, yb = position t b in
+  Float.hypot (xa -. xb) (ya -. yb)
+
+let within t ~center ~radius =
+  if radius < 0. then invalid_arg "Placement.within: negative radius";
+  let cx, cy = position t center in
+  let hit = ref [] in
+  Array.iter
+    (fun c ->
+      if Float.hypot (t.xs.(c) -. cx) (t.ys.(c) -. cy) <= radius then hit := c :: !hit)
+    t.placed;
+  Array.of_list (List.rev !hit)
+
+let extent t = (t.width, t.height)

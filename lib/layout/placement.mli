@@ -1,0 +1,34 @@
+(** Physical placement of the netlist (substitute for the standard-cell
+    placement the paper's radiated-region model [18] assumes).
+
+    Cells (combinational gates and flip-flops) are placed on a unit grid:
+    column = logic level (dataflow order left-to-right, as a real placer
+    tends to produce), rows fill within a column in a deterministic
+    seed-controlled order. A radiation strike with center cell [g] and
+    radius [r] impacts every cell within Euclidean distance [r] of [g]'s
+    position — the paper's [p = \[g, r\]] parameterization. *)
+
+type t
+
+val place : ?seed:int -> Fmc_netlist.Netlist.t -> t
+(** Deterministic for a fixed netlist and seed. *)
+
+val netlist : t -> Fmc_netlist.Netlist.t
+
+val position : t -> Fmc_netlist.Netlist.node -> float * float
+(** Raises [Invalid_argument] for nodes that are not placed (inputs,
+    constants). *)
+
+val is_placed : t -> Fmc_netlist.Netlist.node -> bool
+
+val cells : t -> Fmc_netlist.Netlist.node array
+(** All placed cells. *)
+
+val distance : t -> Fmc_netlist.Netlist.node -> Fmc_netlist.Netlist.node -> float
+
+val within : t -> center:Fmc_netlist.Netlist.node -> radius:float -> Fmc_netlist.Netlist.node array
+(** Cells within [radius] of [center] (including [center] itself), ascending
+    id. Raises [Invalid_argument] if [center] is unplaced or [radius < 0]. *)
+
+val extent : t -> float * float
+(** Bounding box (width, height) of the placement. *)

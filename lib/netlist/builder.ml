@@ -1,0 +1,114 @@
+type node = int
+
+type entry = {
+  kind : Kind.t;
+  mutable fanins : node array;
+  input_name : string option;
+  dff_group : (string * int) option;
+  mutable dff_connected : bool;
+}
+
+type t = {
+  mutable entries : entry array;
+  mutable len : int;
+  mutable outputs : (string * node) list;
+  mutable const0 : node option;
+  mutable const1 : node option;
+  groups_seen : (string * int, unit) Hashtbl.t;
+}
+
+let dummy_entry =
+  { kind = Kind.Input; fanins = [||]; input_name = None; dff_group = None; dff_connected = false }
+
+let create () =
+  {
+    entries = Array.make 64 dummy_entry;
+    len = 0;
+    outputs = [];
+    const0 = None;
+    const1 = None;
+    groups_seen = Hashtbl.create 16;
+  }
+
+let num_nodes t = t.len
+
+let push t entry =
+  if t.len = Array.length t.entries then begin
+    let bigger = Array.make (2 * t.len) dummy_entry in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(t.len) <- entry;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check_node t n op =
+  if n < 0 || n >= t.len then invalid_arg (Printf.sprintf "Builder.%s: dangling node id %d" op n)
+
+let add_input t ~name =
+  push t { kind = Kind.Input; fanins = [||]; input_name = Some name; dff_group = None; dff_connected = false }
+
+let add_const t b =
+  let cached = if b then t.const1 else t.const0 in
+  match cached with
+  | Some n -> n
+  | None ->
+      let n =
+        push t
+          { kind = Kind.Const b; fanins = [||]; input_name = None; dff_group = None; dff_connected = false }
+      in
+      if b then t.const1 <- Some n else t.const0 <- Some n;
+      n
+
+let add_gate t gate fanins =
+  let n = Array.length fanins in
+  (match Kind.gate_arity gate with
+  | Some a when n <> a ->
+      invalid_arg (Printf.sprintf "Builder.add_gate: %s expects %d fan-ins, got %d" (Kind.gate_to_string gate) a n)
+  | Some _ -> ()
+  | None -> if n < 2 then invalid_arg "Builder.add_gate: variadic gate needs >= 2 fan-ins");
+  Array.iter (fun f -> check_node t f "add_gate") fanins;
+  push t
+    { kind = Kind.Gate gate; fanins = Array.copy fanins; input_name = None; dff_group = None; dff_connected = false }
+
+let add_dff t ~group ~bit ~init =
+  if Hashtbl.mem t.groups_seen (group, bit) then
+    invalid_arg (Printf.sprintf "Builder.add_dff: duplicate register %s[%d]" group bit);
+  Hashtbl.add t.groups_seen (group, bit) ();
+  push t
+    { kind = Kind.Dff { init }; fanins = [||]; input_name = None; dff_group = Some (group, bit); dff_connected = false }
+
+let connect_dff t n ~d =
+  check_node t n "connect_dff";
+  check_node t d "connect_dff";
+  let e = t.entries.(n) in
+  (match e.kind with
+  | Kind.Dff _ -> ()
+  | _ -> invalid_arg "Builder.connect_dff: node is not a flip-flop");
+  if e.dff_connected then invalid_arg "Builder.connect_dff: flip-flop already connected";
+  e.fanins <- [| d |];
+  e.dff_connected <- true
+
+let set_output t ~name n =
+  check_node t n "set_output";
+  if List.mem_assoc name t.outputs then
+    invalid_arg (Printf.sprintf "Builder.set_output: duplicate output name %s" name);
+  t.outputs <- (name, n) :: t.outputs
+
+let kind t n =
+  check_node t n "kind";
+  t.entries.(n).kind
+
+let fanins t n =
+  check_node t n "fanins";
+  Array.copy t.entries.(n).fanins
+
+let input_name t n =
+  check_node t n "input_name";
+  t.entries.(n).input_name
+
+let dff_group t n =
+  check_node t n "dff_group";
+  t.entries.(n).dff_group
+
+let outputs t = List.rev t.outputs

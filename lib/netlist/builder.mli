@@ -1,0 +1,46 @@
+(** Mutable netlist construction.
+
+    The builder hands out node ids as integers. Flip-flops are declared
+    first (so their outputs can feed logic that computes their own next
+    state) and get their D input connected later with {!connect_dff}; the
+    two-phase protocol is what lets [Fmc_hdl] describe feedback through
+    registers. [Netlist.of_builder] checks that every flip-flop was
+    connected and that the combinational part is acyclic. *)
+
+type t
+
+type node = int
+(** Node id; dense, starting at 0, in creation order. *)
+
+val create : unit -> t
+
+val num_nodes : t -> int
+
+val add_input : t -> name:string -> node
+
+val add_const : t -> bool -> node
+(** Constants are hash-consed: at most one node per polarity. *)
+
+val add_gate : t -> Kind.gate -> node array -> node
+(** Raises [Invalid_argument] on an arity violation or a dangling fan-in
+    id. *)
+
+val add_dff : t -> group:string -> bit:int -> init:bool -> node
+(** Declare a flip-flop belonging to register group [group] at bit position
+    [bit]. The pair [(group, bit)] must be unique. *)
+
+val connect_dff : t -> node -> d:node -> unit
+(** Set the D input. Raises [Invalid_argument] if the node is not a
+    flip-flop or is already connected. *)
+
+val set_output : t -> name:string -> node -> unit
+(** Mark a node as a named primary output / observable signal. A name can
+    only be set once. *)
+
+(** Read-back accessors used by [Netlist.of_builder]. *)
+
+val kind : t -> node -> Kind.t
+val fanins : t -> node -> node array
+val input_name : t -> node -> string option
+val dff_group : t -> node -> (string * int) option
+val outputs : t -> (string * node) list

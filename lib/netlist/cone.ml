@@ -1,0 +1,84 @@
+type t = {
+  gates : Netlist.node array;
+  registers : Netlist.node array;
+  inputs : Netlist.node array;
+}
+
+let of_sets n gates registers inputs =
+  let collect mask =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if mask.(i) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  { gates = collect gates; registers = collect registers; inputs = collect inputs }
+
+let fanin net ~roots =
+  let n = Netlist.num_nodes net in
+  let visited = Array.make n false in
+  let gates = Array.make n false in
+  let registers = Array.make n false in
+  let inputs = Array.make n false in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      match Netlist.kind net i with
+      | Kind.Gate _ ->
+          gates.(i) <- true;
+          Array.iter visit (Netlist.fanins net i)
+      | Kind.Dff _ -> registers.(i) <- true
+      | Kind.Input -> inputs.(i) <- true
+      | Kind.Const _ -> ()
+    end
+  in
+  List.iter visit roots;
+  of_sets n gates registers inputs
+
+let fanout net ~roots =
+  let n = Netlist.num_nodes net in
+  let visited = Array.make n false in
+  let gates = Array.make n false in
+  let registers = Array.make n false in
+  let rec visit i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      match Netlist.kind net i with
+      | Kind.Gate _ ->
+          gates.(i) <- true;
+          Array.iter visit (Netlist.fanouts net i)
+      | Kind.Dff _ -> registers.(i) <- true
+      | Kind.Input | Kind.Const _ ->
+          (* A root input still spreads forward. *)
+          Array.iter visit (Netlist.fanouts net i)
+    end
+  in
+  (* Roots themselves are starting points, not members (unless reached again
+     through the graph); spread from their fan-outs, but record a root
+     flip-flop's own latching relationship naturally: a root gate is in the
+     cone. *)
+  List.iter
+    (fun r ->
+      match Netlist.kind net r with
+      | Kind.Gate _ ->
+          visited.(r) <- true;
+          gates.(r) <- true;
+          Array.iter visit (Netlist.fanouts net r)
+      | Kind.Dff _ | Kind.Input | Kind.Const _ -> Array.iter visit (Netlist.fanouts net r))
+    roots;
+  of_sets n gates registers (Array.make n false)
+
+let size t = Array.length t.gates + Array.length t.registers + Array.length t.inputs
+
+let mem_sorted a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true else if a.(mid) < x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 (Array.length a)
+
+let mem_gate t x = mem_sorted t.gates x
+let mem_register t x = mem_sorted t.registers x

@@ -1,0 +1,26 @@
+(** Combinational cone extraction (paper §4, Observation 1).
+
+    A {e fan-in cone} of a node set is every combinational gate that can
+    influence those nodes within a single cycle, plus the {e frontier}:
+    the flip-flops and primary inputs at the sequential boundary. The
+    {e fan-out cone} is the forward dual: gates reachable in the same cycle
+    and the flip-flops that latch any of them. *)
+
+type t = {
+  gates : Netlist.node array;  (** combinational gates in the cone, ascending id *)
+  registers : Netlist.node array;  (** frontier flip-flops, ascending id *)
+  inputs : Netlist.node array;  (** frontier primary inputs, ascending id *)
+}
+
+val fanin : Netlist.t -> roots:Netlist.node list -> t
+(** Backward cone. A root that is itself a flip-flop or input appears in the
+    frontier; a root gate appears in [gates]. *)
+
+val fanout : Netlist.t -> roots:Netlist.node list -> t
+(** Forward cone. [registers] are the flip-flops whose D input is inside the
+    cone (i.e., that would latch a corrupted value); [inputs] is always
+    empty. *)
+
+val size : t -> int
+val mem_gate : t -> Netlist.node -> bool
+val mem_register : t -> Netlist.node -> bool

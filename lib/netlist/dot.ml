@@ -1,0 +1,49 @@
+let node_attrs net highlighted n =
+  let shape, label =
+    match Netlist.kind net n with
+    | Kind.Input ->
+        let name = match Netlist.input_name net n with Some s -> s | None -> Printf.sprintf "in%d" n in
+        ("triangle", name)
+    | Kind.Const b -> ("diamond", if b then "1" else "0")
+    | Kind.Gate g -> ("ellipse", Kind.gate_to_string g)
+    | Kind.Dff _ ->
+        let group, bit = Netlist.dff_group net n in
+        ("box", Printf.sprintf "%s[%d]" group bit)
+  in
+  let color = if Hashtbl.mem highlighted n then ", style=filled, fillcolor=\"#ffb3b3\"" else "" in
+  Printf.sprintf "  n%d [shape=%s, label=\"%s\"%s];" n shape (String.escaped label) color
+
+let to_dot ?(highlight = []) ?only net =
+  let highlighted = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace highlighted n ()) highlight;
+  let members = Hashtbl.create 64 in
+  let nodes =
+    match only with
+    | Some ns ->
+        List.iter (fun n -> Hashtbl.replace members n ()) ns;
+        ns
+    | None ->
+        let all = List.init (Netlist.num_nodes net) Fun.id in
+        List.iter (fun n -> Hashtbl.replace members n ()) all;
+        all
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph netlist {\n  rankdir=LR;\n";
+  List.iter (fun n -> Buffer.add_string buf (node_attrs net highlighted n ^ "\n")) nodes;
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun f ->
+          if Hashtbl.mem members f then
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f n))
+        (Netlist.fanins net n))
+    nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let cone_to_dot net (cone : Cone.t) =
+  let only =
+    Array.to_list cone.Cone.gates @ Array.to_list cone.Cone.registers
+    @ Array.to_list cone.Cone.inputs
+  in
+  to_dot ~only net

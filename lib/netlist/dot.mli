@@ -1,0 +1,18 @@
+(** Graphviz export of a netlist (debugging / documentation aid).
+
+    Renders the gate graph as a [digraph]: inputs as triangles, flip-flops
+    as boxes labeled [group\[bit\]], gates as ellipses labeled with their
+    kind, constants as diamonds. Optionally highlights a node set (e.g. a
+    cone or a radiated disc) in red. Intended for small netlists or cones —
+    render with [dot -Tsvg]. *)
+
+val to_dot :
+  ?highlight:Netlist.node list ->
+  ?only:Netlist.node list ->
+  Netlist.t ->
+  string
+(** [only] restricts the rendering to the given nodes (edges between
+    them); by default the whole netlist is emitted. *)
+
+val cone_to_dot : Netlist.t -> Cone.t -> string
+(** Render a cone (its gates, frontier registers and inputs). *)

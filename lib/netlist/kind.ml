@@ -1,0 +1,53 @@
+type gate = And | Or | Nand | Nor | Xor | Xnor | Not | Buf | Mux
+
+type t = Input | Const of bool | Gate of gate | Dff of { init : bool }
+
+let gate_arity = function
+  | Not | Buf -> Some 1
+  | Mux -> Some 3
+  | And | Or | Nand | Nor | Xor | Xnor -> None
+
+let is_combinational = function Gate _ | Const _ -> true | Input | Dff _ -> false
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Xor | Xnor | Not | Buf | Mux -> None
+
+let check_arity gate n =
+  match gate_arity gate with
+  | Some a when n <> a ->
+      invalid_arg (Printf.sprintf "Kind.eval: %d fan-ins for arity-%d gate" n a)
+  | Some _ -> ()
+  | None -> if n < 2 then invalid_arg "Kind.eval: variadic gate needs >= 2 fan-ins"
+
+let eval gate inputs =
+  let n = Array.length inputs in
+  check_arity gate n;
+  match gate with
+  | And -> Array.for_all Fun.id inputs
+  | Or -> Array.exists Fun.id inputs
+  | Nand -> not (Array.for_all Fun.id inputs)
+  | Nor -> not (Array.exists Fun.id inputs)
+  | Xor -> Array.fold_left ( <> ) false inputs
+  | Xnor -> not (Array.fold_left ( <> ) false inputs)
+  | Not -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Mux -> if inputs.(0) then inputs.(2) else inputs.(1)
+
+let gate_to_string = function
+  | And -> "and"
+  | Or -> "or"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Xor -> "xor"
+  | Xnor -> "xnor"
+  | Not -> "not"
+  | Buf -> "buf"
+  | Mux -> "mux"
+
+let to_string = function
+  | Input -> "input"
+  | Const b -> if b then "const1" else "const0"
+  | Gate g -> gate_to_string g
+  | Dff { init } -> Printf.sprintf "dff(init=%b)" init

@@ -1,0 +1,44 @@
+(** Node kinds of the gate-level IR.
+
+    A node is a single-output cell: a primary input, a combinational gate, a
+    constant, or a D flip-flop. Multi-bit values are arrays of nodes (see
+    [Fmc_hdl]). *)
+
+type gate =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Not
+  | Buf
+  | Mux  (** fan-ins [\[| sel; d0; d1 |\]]; output is [d1] when [sel] else [d0] *)
+
+type t =
+  | Input
+  | Const of bool
+  | Gate of gate
+  | Dff of { init : bool }
+      (** Rising-edge D flip-flop; the clock is implicit (single global
+          clock, as in the paper's setting). *)
+
+val gate_arity : gate -> int option
+(** [None] means variadic with at least two fan-ins (And/Or/Nand/Nor/Xor/Xnor);
+    [Some n] is an exact arity. *)
+
+val is_combinational : t -> bool
+(** True for [Gate _] and [Const _]. *)
+
+val controlling_value : gate -> bool option
+(** The input value that forces the gate output regardless of other inputs:
+    [Some false] for And/Nand, [Some true] for Or/Nor, [None] for
+    Xor/Xnor/Not/Buf/Mux. Used by the logical-masking test of the transient
+    simulator. *)
+
+val eval : gate -> bool array -> bool
+(** Evaluate a gate on concrete fan-in values. Raises [Invalid_argument] on
+    an arity violation. *)
+
+val gate_to_string : gate -> string
+val to_string : t -> string

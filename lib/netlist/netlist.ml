@@ -1,0 +1,209 @@
+type node = int
+
+type t = {
+  kinds : Kind.t array;
+  fanins : node array array;
+  fanouts : node array array;
+  inputs : node array;
+  dffs : node array;
+  gates : node array;  (* topological order *)
+  consts : node array;
+  outputs : (string * node) list;
+  input_names : (string, node) Hashtbl.t;
+  groups : (string, node array) Hashtbl.t;
+  levels : int array;
+  max_level : int;
+}
+
+exception Combinational_cycle of node list
+
+let topo_sort_gates kinds fanins fanouts =
+  let n = Array.length kinds in
+  let is_gate i = match kinds.(i) with Kind.Gate _ -> true | _ -> false in
+  (* In-degree counting only combinational-gate fan-ins. *)
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if is_gate i then
+      Array.iter (fun f -> if is_gate f then indeg.(i) <- indeg.(i) + 1) fanins.(i)
+  done;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if is_gate i && indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr seen;
+    Array.iter
+      (fun j ->
+        if is_gate j then begin
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then Queue.add j queue
+        end)
+      fanouts.(i)
+  done;
+  let total_gates = ref 0 in
+  for i = 0 to n - 1 do
+    if is_gate i then incr total_gates
+  done;
+  if !seen <> !total_gates then begin
+    (* Report the nodes still holding positive in-degree as the cycle. *)
+    let stuck = ref [] in
+    for i = n - 1 downto 0 do
+      if is_gate i && indeg.(i) > 0 then stuck := i :: !stuck
+    done;
+    raise (Combinational_cycle !stuck)
+  end;
+  Array.of_list (List.rev !order)
+
+let of_builder b =
+  let n = Builder.num_nodes b in
+  let kinds = Array.init n (Builder.kind b) in
+  let fanins = Array.init n (Builder.fanins b) in
+  (* Every flip-flop must have been connected. *)
+  Array.iteri
+    (fun i k ->
+      match k with
+      | Kind.Dff _ when Array.length fanins.(i) = 0 ->
+          let group, bit =
+            match Builder.dff_group b i with Some gb -> gb | None -> ("?", -1)
+          in
+          invalid_arg (Printf.sprintf "Netlist.of_builder: unconnected flip-flop %s[%d]" group bit)
+      | _ -> ())
+    kinds;
+  let fanout_lists = Array.make n [] in
+  for i = n - 1 downto 0 do
+    Array.iter (fun f -> fanout_lists.(f) <- i :: fanout_lists.(f)) fanins.(i)
+  done;
+  let fanouts = Array.map Array.of_list fanout_lists in
+  let gates = topo_sort_gates kinds fanins fanouts in
+  let collect p =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if p kinds.(i) then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let inputs = collect (function Kind.Input -> true | _ -> false) in
+  let dffs = collect (function Kind.Dff _ -> true | _ -> false) in
+  let consts = collect (function Kind.Const _ -> true | _ -> false) in
+  let input_names = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match Builder.input_name b i with
+      | Some name -> Hashtbl.replace input_names name i
+      | None -> ())
+    inputs;
+  let group_members = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match Builder.dff_group b i with
+      | Some (g, bit) ->
+          let cur = try Hashtbl.find group_members g with Not_found -> [] in
+          Hashtbl.replace group_members g ((bit, i) :: cur)
+      | None -> ())
+    dffs;
+  let groups = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun g members ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) members in
+      (* Bits must be dense 0..k-1 so group values round-trip as integers. *)
+      List.iteri
+        (fun expect (bit, _) ->
+          if bit <> expect then
+            invalid_arg (Printf.sprintf "Netlist.of_builder: group %s has non-dense bit indices" g))
+        sorted;
+      Hashtbl.replace groups g (Array.of_list (List.map snd sorted)))
+    group_members;
+  let levels = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let deepest = Array.fold_left (fun acc f -> max acc levels.(f)) 0 fanins.(i) in
+      levels.(i) <- deepest + 1)
+    gates;
+  let max_level = Array.fold_left max 0 levels in
+  {
+    kinds;
+    fanins;
+    fanouts;
+    inputs;
+    dffs;
+    gates;
+    consts;
+    outputs = Builder.outputs b;
+    input_names;
+    groups;
+    levels;
+    max_level;
+  }
+
+let num_nodes t = Array.length t.kinds
+let kind t i = t.kinds.(i)
+let fanins t i = t.fanins.(i)
+let fanouts t i = t.fanouts.(i)
+let inputs t = t.inputs
+let dffs t = t.dffs
+let gates t = t.gates
+let consts t = t.consts
+let outputs t = t.outputs
+let output t name = List.assoc name t.outputs
+let input_by_name t name = Hashtbl.find t.input_names name
+let input_name t i = match t.kinds.(i) with
+  | Kind.Input ->
+      Hashtbl.fold (fun name id acc -> if id = i then Some name else acc) t.input_names None
+  | _ -> None
+
+let dff_init t i =
+  match t.kinds.(i) with
+  | Kind.Dff { init } -> init
+  | _ -> invalid_arg "Netlist.dff_init: not a flip-flop"
+
+let dff_d t i =
+  match t.kinds.(i) with
+  | Kind.Dff _ -> t.fanins.(i).(0)
+  | _ -> invalid_arg "Netlist.dff_d: not a flip-flop"
+
+let dff_group t i =
+  match t.kinds.(i) with
+  | Kind.Dff _ -> begin
+      let found = ref None in
+      Hashtbl.iter
+        (fun g members -> Array.iteri (fun bit id -> if id = i then found := Some (g, bit)) members)
+        t.groups;
+      match !found with
+      | Some gb -> gb
+      | None -> invalid_arg "Netlist.dff_group: flip-flop without a group"
+    end
+  | _ -> invalid_arg "Netlist.dff_group: not a flip-flop"
+
+let register_group t name = Hashtbl.find t.groups name
+
+let register_groups t =
+  Hashtbl.fold (fun name members acc -> (name, members) :: acc) t.groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let level t i = t.levels.(i)
+let max_level t = t.max_level
+
+let count_by_kind t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun k ->
+      let name =
+        match k with
+        | Kind.Dff _ -> "dff"
+        | Kind.Const _ -> "const"
+        | k -> Kind.to_string k
+      in
+      Hashtbl.replace tbl name (1 + (try Hashtbl.find tbl name with Not_found -> 0)))
+    t.kinds;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>nodes: %d (gates %d, dffs %d, inputs %d)@,max logic depth: %d@,"
+    (num_nodes t) (Array.length t.gates) (Array.length t.dffs) (Array.length t.inputs) t.max_level;
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %-6s %d@," k v) (count_by_kind t);
+  Format.fprintf ppf "@]"

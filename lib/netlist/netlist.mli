@@ -1,0 +1,71 @@
+(** Frozen (immutable) gate-level netlist.
+
+    Produced from a {!Builder.t}; validates that all flip-flops are
+    connected and the combinational part is acyclic, and precomputes the
+    structures every downstream pass needs: topological evaluation order,
+    fan-out lists, logic levels, and the register-group name map that ties
+    netlist flip-flops to the RTL model's architectural registers. *)
+
+type t
+
+type node = int
+
+exception Combinational_cycle of node list
+(** Raised by {!of_builder} with (part of) an offending cycle. *)
+
+val of_builder : Builder.t -> t
+(** Raises [Invalid_argument] if some flip-flop was never connected, or
+    {!Combinational_cycle}. *)
+
+val num_nodes : t -> int
+val kind : t -> node -> Kind.t
+val fanins : t -> node -> node array
+(** Shared array — callers must not mutate. *)
+
+val fanouts : t -> node -> node array
+(** Shared array — callers must not mutate. *)
+
+val inputs : t -> node array
+val dffs : t -> node array
+val gates : t -> node array
+(** Combinational gates (excluding constants), in topological order: every
+    gate appears after all of its combinational fan-ins. This is the
+    evaluation order of the cycle simulator. *)
+
+val consts : t -> node array
+
+val outputs : t -> (string * node) list
+val output : t -> string -> node
+(** Raises [Not_found]. *)
+
+val input_by_name : t -> string -> node
+(** Raises [Not_found]. *)
+
+val input_name : t -> node -> string option
+
+val dff_init : t -> node -> bool
+(** Raises [Invalid_argument] if the node is not a flip-flop. *)
+
+val dff_d : t -> node -> node
+(** The D fan-in of a flip-flop. Raises [Invalid_argument] otherwise. *)
+
+val dff_group : t -> node -> string * int
+(** [(group, bit)] of a flip-flop. Raises [Invalid_argument] otherwise. *)
+
+val register_group : t -> string -> node array
+(** Flip-flops of a group ordered by bit index (bit 0 first). Raises
+    [Not_found] for an unknown group. *)
+
+val register_groups : t -> (string * node array) list
+(** All groups, sorted by name. *)
+
+val level : t -> node -> int
+(** Logic depth: 0 for inputs/flip-flops/constants; [1 + max fan-in level]
+    for gates. *)
+
+val max_level : t -> int
+
+val count_by_kind : t -> (string * int) list
+(** Human-readable structural statistics, sorted by kind name. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+let voter_suffix k = Printf.sprintf "##tmr%d" k
+
+let protect net ~registers =
+  Array.iter
+    (fun r ->
+      match Netlist.kind net r with
+      | Kind.Dff _ -> ()
+      | _ -> invalid_arg "Tmr.protect: node is not a flip-flop")
+    registers;
+  let protected_set = Hashtbl.create (Array.length registers) in
+  Array.iter (fun r -> Hashtbl.replace protected_set r ()) registers;
+  let b = Builder.create () in
+  let n = Netlist.num_nodes net in
+  (* First pass: recreate every node (gates get placeholder fan-ins fixed in
+     pass two? The builder is append-only, so instead recreate in the
+     original id order — fan-ins of combinational nodes always refer to
+     already-created nodes except through flip-flops, which are created on
+     first reference too. Simplest robust scheme: create all inputs,
+     constants and flip-flops first, then gates in topological order. *)
+  let map = Array.make n (-1) in
+  let shadow1 = Hashtbl.create 16 and shadow2 = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let name = match Netlist.input_name net i with Some s -> s | None -> Printf.sprintf "in%d" i in
+      map.(i) <- Builder.add_input b ~name)
+    (Netlist.inputs net);
+  Array.iter
+    (fun i ->
+      match Netlist.kind net i with
+      | Kind.Const v -> map.(i) <- Builder.add_const b v
+      | _ -> assert false)
+    (Netlist.consts net);
+  Array.iter
+    (fun i ->
+      let group, bit = Netlist.dff_group net i in
+      let init = Netlist.dff_init net i in
+      map.(i) <- Builder.add_dff b ~group ~bit ~init;
+      if Hashtbl.mem protected_set i then begin
+        Hashtbl.replace shadow1 i (Builder.add_dff b ~group:(group ^ voter_suffix 1) ~bit ~init);
+        Hashtbl.replace shadow2 i (Builder.add_dff b ~group:(group ^ voter_suffix 2) ~bit ~init)
+      end)
+    (Netlist.dffs net);
+  (* Voters: consumers of a protected flip-flop read the majority of the
+     three copies instead of the primary Q. *)
+  let read = Array.make n (-1) in
+  Array.iteri (fun i m -> read.(i) <- m) map;
+  Array.iter
+    (fun i ->
+      if Hashtbl.mem protected_set i then begin
+        let a = map.(i) and b1 = Hashtbl.find shadow1 i and b2 = Hashtbl.find shadow2 i in
+        let ab = Builder.add_gate b Kind.And [| a; b1 |] in
+        let ac = Builder.add_gate b Kind.And [| a; b2 |] in
+        let bc = Builder.add_gate b Kind.And [| b1; b2 |] in
+        read.(i) <- Builder.add_gate b Kind.Or [| ab; ac; bc |]
+      end)
+    (Netlist.dffs net);
+  (* Gates in topological order: every combinational fan-in is already
+     mapped; flip-flop fan-ins read through their voter. *)
+  Array.iter
+    (fun g ->
+      match Netlist.kind net g with
+      | Kind.Gate kind ->
+          let fanins = Array.map (fun f -> read.(f)) (Netlist.fanins net g) in
+          map.(g) <- Builder.add_gate b kind fanins;
+          read.(g) <- map.(g)
+      | _ -> assert false)
+    (Netlist.gates net);
+  (* Connect D inputs: all three copies latch the same (voted-world) D. *)
+  Array.iter
+    (fun i ->
+      let d = read.(Netlist.dff_d net i) in
+      Builder.connect_dff b map.(i) ~d;
+      if Hashtbl.mem protected_set i then begin
+        Builder.connect_dff b (Hashtbl.find shadow1 i) ~d;
+        Builder.connect_dff b (Hashtbl.find shadow2 i) ~d
+      end)
+    (Netlist.dffs net);
+  (* Outputs follow the voted view. *)
+  List.iter (fun (name, node) -> Builder.set_output b ~name read.(node)) (Netlist.outputs net);
+  Netlist.of_builder b

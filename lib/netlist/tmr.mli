@@ -1,0 +1,22 @@
+(** Structural triple-modular-redundancy transform.
+
+    [protect net ~registers] rebuilds the netlist with each selected
+    flip-flop triplicated: three copies latch the same D input and a
+    majority voter replaces the original Q everywhere it was consumed. A
+    single latched upset (or a direct strike on one copy) is then outvoted
+    — the structural counterpart of the resilience-factor model used by
+    [Fmc.Harden], verifiable with the actual transient engine instead of a
+    probability.
+
+    Voter cost: 3 AND gates + one 3-input OR and two extra flip-flops per
+    protected bit. Copy k of group [g] is named ["g##tmr<k>"] (k = 1, 2); the
+    original group keeps its name, so state mapping by group name still
+    addresses the primary copy. *)
+
+val protect : Netlist.t -> registers:Netlist.node array -> Netlist.t
+(** Raises [Invalid_argument] if some node in [registers] is not a
+    flip-flop. The result preserves all input/output names and register
+    groups (plus the shadow groups). Node ids are {e not} preserved. *)
+
+val voter_suffix : int -> string
+(** The group-name suffix of shadow copy [k]. *)

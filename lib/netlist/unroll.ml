@@ -1,0 +1,83 @@
+type level = { gates : Netlist.node array; registers : Netlist.node array }
+
+type t = { fanin_levels : level array; fanout_levels : level array }
+
+let compute net ~roots ~depth ~fanout_depth =
+  if depth < 0 || fanout_depth < 0 then invalid_arg "Unroll.compute: negative depth";
+  (* Level 0 backwards. *)
+  let cone0 = Cone.fanin net ~roots in
+  let fwd0 = Cone.fanout net ~roots in
+  let level0 =
+    let gate_set = Hashtbl.create 64 in
+    Array.iter (fun g -> Hashtbl.replace gate_set g ()) cone0.Cone.gates;
+    Array.iter (fun g -> Hashtbl.replace gate_set g ()) fwd0.Cone.gates;
+    let gates = Hashtbl.fold (fun g () acc -> g :: acc) gate_set [] in
+    { gates = Array.of_list (List.sort compare gates); registers = [||] }
+  in
+  (* Backward levels: registers feeding level [i-1]'s logic belong to level
+     [i]; the gates computing their D inputs belong to level [i] too. *)
+  let fanin_levels = Array.make (depth + 1) level0 in
+  let frontier = ref cone0.Cone.registers in
+  (try
+     for i = 1 to depth do
+       let regs = !frontier in
+       if Array.length regs = 0 then begin
+         for j = i to depth do
+           fanin_levels.(j) <- { gates = [||]; registers = [||] }
+         done;
+         raise Exit
+       end;
+       let d_roots = Array.to_list (Array.map (Netlist.dff_d net) regs) in
+       let cone = Cone.fanin net ~roots:d_roots in
+       (* A D input that is directly another flip-flop's output puts that
+          flip-flop in the frontier; a D input that is an input/const gives
+          no gates. *)
+       fanin_levels.(i) <- { gates = cone.Cone.gates; registers = regs };
+       frontier := cone.Cone.registers
+     done
+   with Exit -> ());
+  (* Forward levels: flip-flops latching level [-(k)]'s logic belong to level
+     [-(k+1)] together with their forward logic. *)
+  let fanout_levels = Array.make fanout_depth { gates = [||]; registers = [||] } in
+  let fwd_frontier = ref fwd0.Cone.registers in
+  (try
+     for k = 0 to fanout_depth - 1 do
+       let regs = !fwd_frontier in
+       if Array.length regs = 0 then begin
+         for j = k to fanout_depth - 1 do
+           fanout_levels.(j) <- { gates = [||]; registers = [||] }
+         done;
+         raise Exit
+       end;
+       let cone = Cone.fanout net ~roots:(Array.to_list regs) in
+       fanout_levels.(k) <- { gates = cone.Cone.gates; registers = regs };
+       fwd_frontier := cone.Cone.registers
+     done
+   with Exit -> ());
+  { fanin_levels; fanout_levels }
+
+let level_at t i =
+  if i >= 0 then begin
+    if i >= Array.length t.fanin_levels then invalid_arg "Unroll.level_at: depth out of range";
+    t.fanin_levels.(i)
+  end
+  else begin
+    let k = -i - 1 in
+    if k >= Array.length t.fanout_levels then invalid_arg "Unroll.level_at: fanout depth out of range";
+    t.fanout_levels.(k)
+  end
+
+let omega t i =
+  let l = level_at t i in
+  Array.append l.gates l.registers
+
+let dedup_union proj t =
+  let set = Hashtbl.create 256 in
+  let add level = Array.iter (fun x -> Hashtbl.replace set x ()) (proj level) in
+  Array.iter add t.fanin_levels;
+  Array.iter add t.fanout_levels;
+  let out = Hashtbl.fold (fun x () acc -> x :: acc) set [] in
+  Array.of_list (List.sort compare out)
+
+let all_registers t = dedup_union (fun l -> l.registers) t
+let all_gates t = dedup_union (fun l -> l.gates) t

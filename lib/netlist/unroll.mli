@@ -1,0 +1,43 @@
+(** Per-depth cones over the implicitly unrolled netlist (paper §4).
+
+    Level [i >= 0] (fan-in side) holds the circuit elements whose corruption
+    [i] cycles before the target cycle can reach the responding signals:
+
+    - [gates]: a voltage transient during cycle [Tt - i] on one of these
+      gates can corrupt the responding signal at [Tt];
+    - [registers]: a bit flip present in one of these flip-flops during
+      cycle [Tt - i] (i.e., latched at the end of [Tt - i - 1] or struck
+      directly) does the same.
+
+    Level 0 additionally contains the same-cycle fan-out gates of the
+    responding signals, because a transient there can corrupt the latched
+    consequence of the responding signal in the same cycle. Negative levels
+    ([fanout_levels]) carry the forward side: elements whose corruption
+    [|i|] cycles {e after} [Tt] can still suppress the system's reaction. *)
+
+type level = { gates : Netlist.node array; registers : Netlist.node array }
+
+type t = {
+  fanin_levels : level array;  (** index = unroll depth [i], length [depth + 1] *)
+  fanout_levels : level array;  (** index [k] = depth [-(k+1)] *)
+}
+
+val compute :
+  Netlist.t -> roots:Netlist.node list -> depth:int -> fanout_depth:int -> t
+(** [compute net ~roots ~depth ~fanout_depth] unrolls [depth] cycles
+    backwards and [fanout_depth] cycles forwards from the responding-signal
+    nodes [roots]. Raises [Invalid_argument] on negative depths. *)
+
+val level_at : t -> int -> level
+(** [level_at t i] for [i >= 0] is [fanin_levels.(i)]; for [i < 0] it is
+    [fanout_levels.(-i - 1)]. Raises [Invalid_argument] when out of the
+    computed range. *)
+
+val omega : t -> int -> Netlist.node array
+(** The paper's sample space slice [Omega_i]: gates and registers of level
+    [i], concatenated (gates first). *)
+
+val all_registers : t -> Netlist.node array
+(** Union of registers over all computed levels, ascending, deduplicated. *)
+
+val all_gates : t -> Netlist.node array

@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of the framework (attack-parameter sampling,
+    synthetic workload generation, placement jitter) draws from an explicit
+    [Rng.t], so whole experiments replay bit-identically from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] returns a statistically independent generator and advances [t].
+    Use one split per subsystem so adding draws in one place does not perturb
+    another. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,66 @@
+module Welford = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+
+  let merge a b =
+    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 = a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n) in
+      { n; mean; m2 }
+    end
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; bins : int; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; bins; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let raw = int_of_float (floor ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int t.bins)) in
+    let bin = max 0 (min (t.bins - 1) raw) in
+    t.counts.(bin) <- t.counts.(bin) + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+  let counts t = Array.copy t.counts
+
+  let probabilities t =
+    if t.total = 0 then Array.make t.bins 0.
+    else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+  let bin_center t i =
+    let width = (t.hi -. t.lo) /. float_of_int t.bins in
+    t.lo +. ((float_of_int i +. 0.5) *. width)
+end
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let sum = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a in
+    sum /. float_of_int (n - 1)
+  end

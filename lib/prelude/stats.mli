@@ -1,0 +1,47 @@
+(** Streaming statistics used by the Monte Carlo estimators.
+
+    {!Welford} maintains numerically stable running mean/variance — the SSF
+    estimate and its sample variance [sigma_E^2] in the paper's LLN bound.
+    {!Histogram} bins the pre-characterization parameters for Fig. 4-style
+    summaries. *)
+
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** [0.] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+  val stddev : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all samples were added to one. *)
+end
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** Uniform bins over [\[lo, hi)]; samples outside are clamped into the
+      first/last bin. Raises [Invalid_argument] if [bins <= 0] or
+      [hi <= lo]. *)
+
+  val add : t -> float -> unit
+  val total : t -> int
+
+  val counts : t -> int array
+
+  val probabilities : t -> float array
+  (** Bin counts normalized by the total; all zeros when empty. *)
+
+  val bin_center : t -> int -> float
+end
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance of an array; [0.] with fewer than two items. *)

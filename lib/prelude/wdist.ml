@@ -1,0 +1,51 @@
+type t = { pmf : float array; cdf : float array }
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Wdist.create: empty weight array";
+  Array.iter
+    (fun w ->
+      if not (Float.is_finite w) || w < 0. then
+        invalid_arg "Wdist.create: weights must be finite and non-negative")
+    weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Wdist.create: all weights are zero";
+  let pmf = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { pmf; cdf }
+
+let length t = Array.length t.pmf
+
+let pmf t i = t.pmf.(i)
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) > u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+    end
+  in
+  let i = search 0 (Array.length t.cdf - 1) in
+  (* Skip zero-probability indices that share a cdf value with a predecessor. *)
+  let rec forward i = if t.pmf.(i) > 0. then i else forward (i + 1) in
+  let rec backward i = if t.pmf.(i) > 0. then i else backward (i - 1) in
+  if t.pmf.(i) > 0. then i
+  else if i + 1 < Array.length t.pmf then forward (i + 1)
+  else backward i
+
+let support t =
+  let acc = ref [] in
+  for i = Array.length t.pmf - 1 downto 0 do
+    if t.pmf.(i) > 0. then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,24 @@
+(** Discrete weighted distributions with O(log n) sampling.
+
+    This is the sampling backend for the importance distributions [g_T] and
+    [g_{P|T}] of the paper: the omega-weights are loaded once, normalized,
+    and then sampled via binary search over the cumulative table. The pmf is
+    exposed so that importance weights [f/g] can be computed exactly. *)
+
+type t
+
+val create : float array -> t
+(** [create weights] normalizes non-negative weights into a distribution.
+    Raises [Invalid_argument] if the array is empty, any weight is negative
+    or not finite, or all weights are zero. *)
+
+val length : t -> int
+
+val pmf : t -> int -> float
+(** Probability of index [i]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw an index according to the distribution. *)
+
+val support : t -> int list
+(** Indices with non-zero probability, in increasing order. *)

@@ -1,0 +1,280 @@
+(* Tests for the TOYSPN crypto substrate: cipher algebra, RTL-vs-gate
+   equivalence of the core, and last-round differential fault analysis. *)
+
+module Cipher = Fmc_crypto.Cipher
+module Model = Fmc_crypto.Core_model
+module Circuit = Fmc_crypto.Core_circuit
+module Harness = Fmc_crypto.Harness
+module Dfa = Fmc_crypto.Dfa
+module Sim = Fmc_gatesim.Cycle_sim
+module Transient = Fmc_gatesim.Transient
+module N = Fmc_netlist.Netlist
+module Rng = Fmc_prelude.Rng
+
+let circuit = lazy (Circuit.build ())
+
+(* ------------------------------------------------------------------ *)
+(* Cipher algebra *)
+
+let test_sbox_bijective () =
+  let seen = Array.make 16 false in
+  Array.iter (fun v -> seen.(v) <- true) Cipher.sbox;
+  Alcotest.(check bool) "sbox is a permutation" true (Array.for_all Fun.id seen);
+  for v = 0 to 15 do
+    Alcotest.(check int) "inv_sbox inverts" v Cipher.inv_sbox.(Cipher.sbox.(v))
+  done
+
+let test_permute_bijective () =
+  let seen = Array.make 16 false in
+  for i = 0 to 15 do
+    seen.(Cipher.permute_bit i) <- true
+  done;
+  Alcotest.(check bool) "permute_bit is a permutation" true (Array.for_all Fun.id seen)
+
+let test_layers_invert () =
+  for _ = 1 to 50 do
+    let v = Random.int 0x10000 in
+    Alcotest.(check int) "sbox layer" v (Cipher.inv_sbox_layer (Cipher.sbox_layer v));
+    Alcotest.(check int) "permute layer" v (Cipher.inv_permute (Cipher.permute v))
+  done
+
+let test_known_vector_stability () =
+  (* Freeze one vector so accidental cipher changes are caught loudly
+     (there is no external test vector for a made-up cipher; stability is
+     what matters for the DFA tests). *)
+  let ct = Cipher.encrypt ~key:0xBEEF 0x1234 in
+  Alcotest.(check int) "decrypt inverts" 0x1234 (Cipher.decrypt ~key:0xBEEF ct);
+  Alcotest.(check bool) "nontrivial" true (ct <> 0x1234)
+
+let test_rotl () =
+  Alcotest.(check int) "rotl 0" 0x8001 (Cipher.rotl16 0x8001 0);
+  Alcotest.(check int) "rotl 1" 0x0003 (Cipher.rotl16 0x8001 1);
+  Alcotest.(check int) "rotl 16 = id" 0x8001 (Cipher.rotl16 0x8001 16)
+
+let cipher_props =
+  [
+    QCheck.Test.make ~name:"decrypt . encrypt = id" ~count:500
+      QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+      (fun (key, pt) -> Cipher.decrypt ~key (Cipher.encrypt ~key pt) = pt);
+    QCheck.Test.make ~name:"encryption is key-sensitive" ~count:200
+      QCheck.(triple (int_bound 0xffff) (int_bound 0xffff) (int_bound 0xffff))
+      (fun (k1, k2, pt) ->
+        QCheck.assume (k1 <> k2);
+        (* Toy cipher: different keys almost always give different
+           ciphertexts; a collision would only be suspicious in bulk. *)
+        Cipher.encrypt ~key:k1 pt <> Cipher.encrypt ~key:k2 pt
+        || Cipher.encrypt ~key:k1 (pt lxor 1) <> Cipher.encrypt ~key:k2 (pt lxor 1));
+    QCheck.Test.make ~name:"last_round_input consistent with encrypt" ~count:300
+      QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+      (fun (key, pt) ->
+        let y = Cipher.last_round_input ~key ~plaintext:pt in
+        Cipher.sbox_layer y lxor Cipher.whitening_key ~key = Cipher.encrypt ~key pt);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Model vs reference, model vs netlist *)
+
+let test_model_matches_reference () =
+  let m = Model.create () in
+  for _ = 1 to 100 do
+    let key = Random.int 0x10000 and pt = Random.int 0x10000 in
+    Alcotest.(check int) "model = reference" (Cipher.encrypt ~key pt) (Model.encrypt m ~key pt)
+  done
+
+let test_model_groups () =
+  let m = Model.create () in
+  List.iter
+    (fun (name, width) ->
+      let v = 0x1B5D land ((1 lsl width) - 1) in
+      Model.set_group m name v;
+      Alcotest.(check int) name v (Model.get_group m name))
+    Model.groups
+
+let test_model_done_timing () =
+  let m = Model.create () in
+  Model.step m ~load:true ~plaintext:0x1111 ~key_in:0x2222;
+  Alcotest.(check bool) "busy after load" true m.Model.busy;
+  for _ = 1 to Cipher.rounds - 1 do
+    Model.step m ~load:false ~plaintext:0 ~key_in:0;
+    Alcotest.(check bool) "still busy" true m.Model.busy
+  done;
+  Model.step m ~load:false ~plaintext:0 ~key_in:0;
+  Alcotest.(check bool) "done after R rounds" true m.Model.done_;
+  Alcotest.(check bool) "not busy" false m.Model.busy;
+  (* Idle cycles change nothing. *)
+  let snap = Model.copy m in
+  Model.step m ~load:false ~plaintext:0 ~key_in:0;
+  Alcotest.(check bool) "idle is a no-op" true (Model.equal snap m)
+
+let cosim_once key pt =
+  let c = Lazy.force circuit in
+  let sim = Sim.create c.Circuit.net in
+  let m = Model.create () in
+  for cyc = 0 to Cipher.rounds + 2 do
+    let load = cyc = 0 in
+    Sim.set_input sim c.Circuit.load load;
+    Sim.set_input_bus sim c.Circuit.pt pt;
+    Sim.set_input_bus sim c.Circuit.key_in key;
+    Sim.eval_comb sim;
+    Sim.latch sim;
+    Model.step m ~load ~plaintext:pt ~key_in:key;
+    List.iter
+      (fun (name, _) ->
+        if Sim.read_group sim name <> Model.get_group m name then
+          Alcotest.failf "cycle %d: group %s diverged (gate %d vs model %d)" cyc name
+            (Sim.read_group sim name) (Model.get_group m name))
+      Model.groups
+  done
+
+let test_cosim_fixed () = cosim_once 0xBEEF 0x1234
+
+let cosim_prop =
+  QCheck.Test.make ~name:"netlist = model for random key/plaintext" ~count:60
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (key, pt) ->
+      cosim_once key pt;
+      true)
+
+let test_harness_encrypt () =
+  let h = Harness.create (Lazy.force circuit) in
+  for _ = 1 to 30 do
+    let key = Random.int 0x10000 and pt = Random.int 0x10000 in
+    Alcotest.(check int) "harness = reference" (Cipher.encrypt ~key pt) (Harness.encrypt h ~key pt)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* DFA *)
+
+(* Ideal fault model: flip one bit of the last-round S-box input, compute
+   the faulty ciphertext at spec level. *)
+let ideal_faulty ~key ~pt ~bit =
+  let y = Cipher.last_round_input ~key ~plaintext:pt in
+  Cipher.sbox_layer (y lxor (1 lsl bit)) lxor Cipher.whitening_key ~key
+
+let test_dfa_candidates_contain_truth () =
+  for _ = 1 to 100 do
+    let key = Random.int 0x10000 and pt = Random.int 0x10000 in
+    let wk = Cipher.whitening_key ~key in
+    let bit = Random.int 16 in
+    let c = Cipher.encrypt ~key pt in
+    let c' = ideal_faulty ~key ~pt ~bit in
+    let nibble = bit / 4 in
+    let cands = Dfa.nibble_candidates ~correct:c ~faulty:c' ~nibble in
+    Alcotest.(check bool) "true key nibble among candidates" true
+      (List.mem ((wk lsr (4 * nibble)) land 0xf) cands);
+    Alcotest.(check bool) "informative" true (List.length cands < 16)
+  done
+
+let test_dfa_recovers_key_with_ideal_faults () =
+  let key = 0xC0DE in
+  let pt = 0x5A5A in
+  let c = Cipher.encrypt ~key pt in
+  let st = ref (Dfa.start ~correct:c) in
+  (* Feed single-bit faults on every bit: plenty to pin all four nibbles. *)
+  for bit = 0 to 15 do
+    st := Dfa.observe !st ~faulty:(ideal_faulty ~key ~pt ~bit)
+  done;
+  (match Dfa.recovered_whitening_key !st with
+  | Some wk ->
+      Alcotest.(check int) "whitening key" (Cipher.whitening_key ~key) wk;
+      Alcotest.(check int) "master key" key (Dfa.master_key_of_whitening wk)
+  | None ->
+      let sizes = Array.map List.length (Dfa.candidates !st) in
+      Alcotest.failf "key not pinned; candidate set sizes %d %d %d %d" sizes.(0) sizes.(1)
+        sizes.(2) sizes.(3))
+
+let test_dfa_uninformative_cases () =
+  Alcotest.(check bool) "identical ciphertexts" false (Dfa.informative ~correct:0x1234 ~faulty:0x1234);
+  let st = Dfa.start ~correct:0x1234 in
+  let st = Dfa.observe st ~faulty:0x1234 in
+  Array.iter
+    (fun set -> Alcotest.(check int) "no pruning" 16 (List.length set))
+    (Dfa.candidates st)
+
+let test_master_key_inversion () =
+  for _ = 1 to 50 do
+    let key = Random.int 0x10000 in
+    Alcotest.(check int) "wk inverts" key (Dfa.master_key_of_whitening (Cipher.whitening_key ~key))
+  done
+
+(* Gate-level DFA: strike the exposed xor layer during the last round and
+   run the real analysis on the observed faulty ciphertexts. *)
+let test_dfa_on_gate_level_faults () =
+  let c = Lazy.force circuit in
+  let h = Harness.create c in
+  let key = 0xFACE and pt = 0x0123 in
+  let correct = Cipher.encrypt ~key pt in
+  Alcotest.(check int) "gate-level correct ct" correct (Harness.encrypt h ~key pt);
+  let config = Transient.default_config c.Circuit.net in
+  let xr = Circuit.last_round_xor_gates c in
+  let rng = Rng.create 4 in
+  let st = ref (Dfa.start ~correct) in
+  let informative = ref 0 and total = ref 0 in
+  (* The last round executes in cycle rounds (load = cycle 0). *)
+  let last_cycle = Cipher.rounds in
+  for _ = 1 to 1200 do
+    let node = Rng.choose rng xr in
+    let time = Rng.float rng config.Transient.clock_period in
+    let faulty =
+      Harness.encrypt_with_strikes h ~key ~plaintext:pt ~cycle:last_cycle
+        ~strikes:[ { Transient.node; time; width = 150. +. Rng.float rng 150. } ]
+        config
+    in
+    incr total;
+    if Dfa.informative ~correct ~faulty then begin
+      incr informative;
+      st := Dfa.observe !st ~faulty
+    end
+  done;
+  Alcotest.(check bool) "some strikes are informative" true (!informative > 10);
+  (* The candidate sets must still contain the true whitening key... *)
+  let wk = Cipher.whitening_key ~key in
+  Array.iteri
+    (fun nibble set ->
+      Alcotest.(check bool)
+        (Printf.sprintf "nibble %d keeps the truth" nibble)
+        true
+        (List.mem ((wk lsr (4 * nibble)) land 0xf) set))
+    (Dfa.candidates !st);
+  (* ... and enough faults pin the key completely. *)
+  match Dfa.recovered_whitening_key !st with
+  | Some got ->
+      Alcotest.(check int) "recovered whitening key" wk got;
+      Alcotest.(check int) "recovered master key" key (Dfa.master_key_of_whitening got)
+  | None ->
+      let sizes = Array.map List.length (Dfa.candidates !st) in
+      Alcotest.failf "gate-level DFA did not converge: sizes %d %d %d %d (informative %d/%d)"
+        sizes.(0) sizes.(1) sizes.(2) sizes.(3) !informative !total
+
+let () =
+  Random.self_init ();
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "crypto"
+    [
+      ( "cipher",
+        [
+          Alcotest.test_case "sbox bijective" `Quick test_sbox_bijective;
+          Alcotest.test_case "permutation bijective" `Quick test_permute_bijective;
+          Alcotest.test_case "layers invert" `Quick test_layers_invert;
+          Alcotest.test_case "roundtrip vector" `Quick test_known_vector_stability;
+          Alcotest.test_case "rotl16" `Quick test_rotl;
+        ] );
+      ("cipher-props", q cipher_props);
+      ( "core",
+        [
+          Alcotest.test_case "model matches reference" `Quick test_model_matches_reference;
+          Alcotest.test_case "model groups" `Quick test_model_groups;
+          Alcotest.test_case "done timing" `Quick test_model_done_timing;
+          Alcotest.test_case "cosim fixed vector" `Quick test_cosim_fixed;
+          Alcotest.test_case "harness encrypt" `Quick test_harness_encrypt;
+        ] );
+      ("core-props", q [ cosim_prop ]);
+      ( "dfa",
+        [
+          Alcotest.test_case "candidates contain truth" `Quick test_dfa_candidates_contain_truth;
+          Alcotest.test_case "ideal faults recover key" `Quick test_dfa_recovers_key_with_ideal_faults;
+          Alcotest.test_case "uninformative cases" `Quick test_dfa_uninformative_cases;
+          Alcotest.test_case "whitening-key inversion" `Quick test_master_key_inversion;
+          Alcotest.test_case "gate-level faults recover key" `Slow test_dfa_on_gate_level_faults;
+        ] );
+    ]

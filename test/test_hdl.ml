@@ -1,0 +1,227 @@
+(* Tests for the structural eDSL: every combinator is checked against its
+   integer semantics by elaborating a small circuit and simulating it. *)
+
+module Hdl = Fmc_hdl.Hdl
+module Vec = Fmc_hdl.Vec
+module N = Fmc_netlist.Netlist
+module Sim = Fmc_gatesim.Cycle_sim
+
+(* Build a combinational circuit [f] over two w-bit inputs, returning an
+   evaluator (a, b) -> output integer. *)
+let comb2 ~w ~out_w f =
+  let ctx = Hdl.create () in
+  let a = Hdl.input ctx "a" w in
+  let b = Hdl.input ctx "b" w in
+  Hdl.output ctx "o" (f ctx a b);
+  let net = Hdl.elaborate ctx in
+  let sim = Sim.create net in
+  let ain = Hdl.input_bus net "a" w and bin = Hdl.input_bus net "b" w in
+  let onodes = Hdl.output_bus net "o" out_w in
+  fun x y ->
+    Sim.set_input_bus sim ain x;
+    Sim.set_input_bus sim bin y;
+    Sim.eval_comb sim;
+    Sim.read_bus sim onodes
+
+let comb1 ~w ~out_w f =
+  let g = comb2 ~w ~out_w (fun ctx a _ -> f ctx a) in
+  fun x -> g x 0
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let test_const_and_logic () =
+  let f = comb2 ~w:4 ~out_w:4 (fun _ a b -> Vec.and_v a b) in
+  Alcotest.(check int) "and" 0b1000 (f 0b1100 0b1010);
+  let f = comb2 ~w:4 ~out_w:4 (fun _ a b -> Vec.or_v a b) in
+  Alcotest.(check int) "or" 0b1110 (f 0b1100 0b1010);
+  let f = comb2 ~w:4 ~out_w:4 (fun _ a b -> Vec.xor_v a b) in
+  Alcotest.(check int) "xor" 0b0110 (f 0b1100 0b1010);
+  let f = comb1 ~w:4 ~out_w:4 (fun _ a -> Vec.not_v a) in
+  Alcotest.(check int) "not" 0b0011 (f 0b1100);
+  let f = comb1 ~w:4 ~out_w:4 (fun ctx _ -> Vec.of_int ctx ~width:4 9) in
+  Alcotest.(check int) "const" 9 (f 0)
+
+let test_mux_and_reduce () =
+  let f = comb2 ~w:4 ~out_w:1 (fun _ a _ -> [| Hdl.and_reduce a |]) in
+  Alcotest.(check int) "and_reduce all ones" 1 (f 0b1111 0);
+  Alcotest.(check int) "and_reduce not all" 0 (f 0b1101 0);
+  let f = comb2 ~w:4 ~out_w:1 (fun _ a _ -> [| Hdl.or_reduce a |]) in
+  Alcotest.(check int) "or_reduce" 1 (f 0b0100 0);
+  Alcotest.(check int) "or_reduce zero" 0 (f 0 0);
+  let f = comb2 ~w:4 ~out_w:1 (fun _ a _ -> [| Hdl.xor_reduce a |]) in
+  Alcotest.(check int) "xor_reduce odd parity" 1 (f 0b0111 0);
+  Alcotest.(check int) "xor_reduce even parity" 0 (f 0b0101 0);
+  let f = comb2 ~w:4 ~out_w:4 (fun _ a b -> Vec.mux2v (Vec.bit a 0) (Vec.srl_const a 1) b) in
+  (* sel = a.(0): 0 -> a >> 1, 1 -> b *)
+  Alcotest.(check int) "mux sel=0" 0b0110 (f 0b1100 0b0001);
+  Alcotest.(check int) "mux sel=1" 0b0001 (f 0b1101 0b0001)
+
+let test_arith_known () =
+  let add = comb2 ~w:8 ~out_w:8 (fun _ a b -> Vec.add a b) in
+  Alcotest.(check int) "add" 77 (add 33 44);
+  Alcotest.(check int) "add wraps" 4 (add 250 10);
+  let sub = comb2 ~w:8 ~out_w:8 (fun _ a b -> Vec.sub a b) in
+  Alcotest.(check int) "sub" 11 (sub 44 33);
+  Alcotest.(check int) "sub wraps" 246 (sub 33 43)
+
+let test_compare_known () =
+  let lt = comb2 ~w:8 ~out_w:1 (fun _ a b -> [| Vec.ult a b |]) in
+  Alcotest.(check int) "ult true" 1 (lt 3 5);
+  Alcotest.(check int) "ult false" 0 (lt 5 3);
+  Alcotest.(check int) "ult equal" 0 (lt 7 7);
+  let eq = comb2 ~w:8 ~out_w:1 (fun _ a b -> [| Vec.eq a b |]) in
+  Alcotest.(check int) "eq" 1 (eq 42 42);
+  Alcotest.(check int) "neq" 0 (eq 42 41)
+
+let test_shifts_known () =
+  let sll = comb2 ~w:8 ~out_w:8 (fun _ a b -> Vec.sll a ~amount:(Vec.bits b ~lo:0 ~hi:3)) in
+  Alcotest.(check int) "sll 0" 0b1011 (sll 0b1011 0);
+  Alcotest.(check int) "sll 3" 0b1011000 (sll 0b1011 3);
+  Alcotest.(check int) "sll 7" 0b10000000 (sll 0b1011 7);
+  let srl = comb2 ~w:8 ~out_w:8 (fun _ a b -> Vec.srl a ~amount:(Vec.bits b ~lo:0 ~hi:3)) in
+  Alcotest.(check int) "srl 2" 0b10 (srl 0b1011 2);
+  Alcotest.(check int) "srl 7" 1 (srl 0b10000000 7)
+
+let test_slice_concat () =
+  let f = comb1 ~w:8 ~out_w:4 (fun _ a -> Vec.bits a ~lo:2 ~hi:6) in
+  Alcotest.(check int) "bits [2,6)" 0b1011 (f 0b10101100);
+  let f = comb1 ~w:4 ~out_w:8 (fun _ a -> Vec.concat [ a; Vec.not_v a ]) in
+  Alcotest.(check int) "concat" 0b01011010 (f 0b1010);
+  let f = comb1 ~w:4 ~out_w:8 (fun _ a -> Vec.zext a 8) in
+  Alcotest.(check int) "zext" 0b1010 (f 0b1010);
+  let f = comb1 ~w:4 ~out_w:8 (fun _ a -> Vec.sext a 8) in
+  Alcotest.(check int) "sext negative" 0b11111010 (f 0b1010);
+  Alcotest.(check int) "sext positive" 0b0101 (f 0b0101)
+
+let test_mux_tree_decode () =
+  let f =
+    comb2 ~w:8 ~out_w:8 (fun ctx _ b ->
+        let cases = Array.init 4 (fun i -> Vec.of_int ctx ~width:8 (10 * (i + 1))) in
+        Vec.mux_tree ~sel:(Vec.bits b ~lo:0 ~hi:2) cases)
+  in
+  for i = 0 to 3 do
+    Alcotest.(check int) (Printf.sprintf "case %d" i) (10 * (i + 1)) (f 0 i)
+  done;
+  let f = comb1 ~w:3 ~out_w:8 (fun _ a -> Vec.decode a) in
+  for v = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "decode %d" v) (1 lsl v) (f v)
+  done
+
+let test_width_checks () =
+  let ctx = Hdl.create () in
+  let a = Hdl.input ctx "a" 4 in
+  let b = Hdl.input ctx "b" 5 in
+  Alcotest.check_raises "add width" (Invalid_argument "Vec.add: width mismatch (4 vs 5)") (fun () ->
+      ignore (Vec.add a b));
+  Alcotest.check_raises "mux_tree cases" (Invalid_argument "Vec.mux_tree: 3 cases for 2 select bits")
+    (fun () -> ignore (Vec.mux_tree ~sel:(Vec.bits a ~lo:0 ~hi:2) (Array.make 3 a)))
+
+let test_context_mixing_rejected () =
+  let c1 = Hdl.create () and c2 = Hdl.create () in
+  let a = Hdl.input1 c1 "a" and b = Hdl.input1 c2 "b" in
+  Alcotest.check_raises "cross-context" (Invalid_argument "Hdl: signals from different contexts")
+    (fun () -> ignore Hdl.(a &: b))
+
+let test_register_loop () =
+  (* A 4-bit counter: r <- r + 1 each cycle. *)
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx ~group:"cnt" ~width:4 ~init:0 in
+  Hdl.connect r (Vec.add (Hdl.q r) (Vec.of_int ctx ~width:4 1));
+  let net = Hdl.elaborate ctx in
+  let sim = Sim.create net in
+  for expect = 0 to 20 do
+    Alcotest.(check int) (Printf.sprintf "count %d" expect) (expect mod 16) (Sim.read_group sim "cnt");
+    Sim.step sim
+  done
+
+let test_register_init_and_reset () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx ~group:"r" ~width:8 ~init:0xA5 in
+  Hdl.connect r (Vec.not_v (Hdl.q r));
+  let net = Hdl.elaborate ctx in
+  let sim = Sim.create net in
+  Alcotest.(check int) "init" 0xA5 (Sim.read_group sim "r");
+  Sim.step sim;
+  Alcotest.(check int) "toggled" 0x5A (Sim.read_group sim "r");
+  Sim.reset sim;
+  Alcotest.(check int) "reset" 0xA5 (Sim.read_group sim "r")
+
+(* Properties: arithmetic against OCaml ints, across random widths. *)
+let arith_props =
+  let run name f =
+    QCheck.Test.make ~name ~count:300
+      QCheck.(triple (int_range 1 12) (int_bound ((1 lsl 12) - 1)) (int_bound ((1 lsl 12) - 1)))
+      f
+  in
+  [
+    run "add matches integer addition" (fun (w, x, y) ->
+        let x = mask w x and y = mask w y in
+        let f = comb2 ~w ~out_w:w (fun _ a b -> Vec.add a b) in
+        f x y = mask w (x + y));
+    run "sub matches integer subtraction" (fun (w, x, y) ->
+        let x = mask w x and y = mask w y in
+        let f = comb2 ~w ~out_w:w (fun _ a b -> Vec.sub a b) in
+        f x y = mask w (x - y));
+    run "ult matches integer comparison" (fun (w, x, y) ->
+        let x = mask w x and y = mask w y in
+        let f = comb2 ~w ~out_w:1 (fun _ a b -> [| Vec.ult a b |]) in
+        f x y = if x < y then 1 else 0);
+    run "ule/uge/ugt consistent" (fun (w, x, y) ->
+        let x = mask w x and y = mask w y in
+        let f =
+          comb2 ~w ~out_w:3 (fun _ a b -> [| Vec.ule a b; Vec.uge a b; Vec.ugt a b |])
+        in
+        let v = f x y in
+        v land 1 = (if x <= y then 1 else 0)
+        && (v lsr 1) land 1 = (if x >= y then 1 else 0)
+        && (v lsr 2) land 1 = if x > y then 1 else 0);
+    run "barrel sll matches lsl" (fun (w, x, y) ->
+        let x = mask w x in
+        let sh_bits = 3 in
+        let sh = y land ((1 lsl sh_bits) - 1) in
+        let f =
+          comb2 ~w:(max w sh_bits) ~out_w:w (fun ctx a b ->
+              ignore ctx;
+              Vec.sll (Vec.bits a ~lo:0 ~hi:w) ~amount:(Vec.bits b ~lo:0 ~hi:sh_bits))
+        in
+        f x sh = mask w (x lsl sh));
+    run "barrel srl matches lsr" (fun (w, x, y) ->
+        let x = mask w x in
+        let sh = y land 7 in
+        let f =
+          comb2 ~w:(max w 3) ~out_w:w (fun _ a b ->
+              Vec.srl (Vec.bits a ~lo:0 ~hi:w) ~amount:(Vec.bits b ~lo:0 ~hi:3))
+        in
+        f x sh = x lsr sh);
+    run "is_zero" (fun (w, x, _) ->
+        let x = mask w x in
+        let f = comb2 ~w ~out_w:1 (fun _ a _ -> [| Vec.is_zero a |]) in
+        f x 0 = if x = 0 then 1 else 0);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "hdl"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "constants and logic" `Quick test_const_and_logic;
+          Alcotest.test_case "mux and reductions" `Quick test_mux_and_reduce;
+          Alcotest.test_case "arithmetic" `Quick test_arith_known;
+          Alcotest.test_case "comparisons" `Quick test_compare_known;
+          Alcotest.test_case "shifts" `Quick test_shifts_known;
+          Alcotest.test_case "slices and concat" `Quick test_slice_concat;
+          Alcotest.test_case "mux_tree and decode" `Quick test_mux_tree_decode;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "width checks" `Quick test_width_checks;
+          Alcotest.test_case "context mixing rejected" `Quick test_context_mixing_rejected;
+        ] );
+      ( "registers",
+        [
+          Alcotest.test_case "counter feedback loop" `Quick test_register_loop;
+          Alcotest.test_case "init and reset" `Quick test_register_init_and_reset;
+        ] );
+      ("props", q arith_props);
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the ISA: encode/decode roundtrip, field validation, the
+   assembler's label resolution, and benchmark program structure. *)
+
+module Isa = Fmc_isa.Isa
+module Asm = Fmc_isa.Asm
+module Programs = Fmc_isa.Programs
+
+let all_sample_instrs =
+  [
+    Isa.Halt;
+    Isa.Trapret;
+    Isa.Nop;
+    Isa.Retu;
+    Isa.Ldi (3, 0xFF);
+    Isa.Ldi (0, 0);
+    Isa.Lui (7, 0x12);
+    Isa.Add (1, 2, 3);
+    Isa.Sub (7, 6, 5);
+    Isa.And_ (0, 0, 0);
+    Isa.Or_ (4, 4, 4);
+    Isa.Xor_ (2, 5, 1);
+    Isa.Shl (3, 3, 4);
+    Isa.Shr (6, 1, 2);
+    Isa.Ld (5, 2, 63);
+    Isa.St (1, 7, 0);
+    Isa.Brz (4, -256);
+    Isa.Brz (4, 255);
+    Isa.Brnz (0, -1);
+    Isa.Jalr (6, 3);
+    Isa.Mpuw (0, 1);
+    Isa.Mpuw (5, 7);
+  ]
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun instr ->
+      let w = Isa.encode instr in
+      Alcotest.(check bool) "16-bit" true (w >= 0 && w <= 0xffff);
+      Alcotest.(check string) (Isa.to_string instr) (Isa.to_string instr)
+        (Isa.to_string (Isa.decode w)))
+    all_sample_instrs
+
+let test_encode_validation () =
+  let inv f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad reg" true (inv (fun () -> Isa.encode (Isa.Add (8, 0, 0))));
+  Alcotest.(check bool) "negative reg" true (inv (fun () -> Isa.encode (Isa.Add (-1, 0, 0))));
+  Alcotest.(check bool) "imm8 too big" true (inv (fun () -> Isa.encode (Isa.Ldi (0, 256))));
+  Alcotest.(check bool) "imm6 too big" true (inv (fun () -> Isa.encode (Isa.Ld (0, 0, 64))));
+  Alcotest.(check bool) "branch too far" true (inv (fun () -> Isa.encode (Isa.Brz (0, 256))));
+  Alcotest.(check bool) "branch too far back" true (inv (fun () -> Isa.encode (Isa.Brz (0, -257))));
+  Alcotest.(check bool) "mpu field" true (inv (fun () -> Isa.encode (Isa.Mpuw (6, 0))));
+  Alcotest.(check bool) "decode range" true (inv (fun () -> Isa.decode 0x10000))
+
+let test_word_zero_is_halt () =
+  (* Fetching uninitialized memory must self-terminate. *)
+  Alcotest.(check string) "zero decodes to halt" "halt" (Isa.to_string (Isa.decode 0))
+
+let test_unknown_sys_is_nop () =
+  Alcotest.(check string) "sys 9" "nop" (Isa.to_string (Isa.decode 0x0009))
+
+let test_asm_labels () =
+  let prog =
+    [
+      Asm.I (Isa.Ldi (1, 3));
+      Asm.Label "loop";
+      Asm.I (Isa.Sub (1, 1, 2));
+      Asm.Brnz_to (1, "loop");
+      Asm.I Isa.Halt;
+    ]
+  in
+  let words = Asm.assemble prog in
+  Alcotest.(check int) "length" 4 (Array.length words);
+  (match Isa.decode words.(2) with
+  | Isa.Brnz (1, -2) -> ()
+  | i -> Alcotest.failf "expected brnz r1,-2 got %s" (Isa.to_string i));
+  (* Forward reference. *)
+  let fwd = [ Asm.Brz_to (0, "end"); Asm.I Isa.Nop; Asm.Label "end"; Asm.I Isa.Halt ] in
+  let words = Asm.assemble fwd in
+  match Isa.decode words.(0) with
+  | Isa.Brz (0, 1) -> ()
+  | i -> Alcotest.failf "expected brz r0,1 got %s" (Isa.to_string i)
+
+let test_asm_li16 () =
+  let words = Asm.assemble [ Asm.Li16 (4, 0xBEEF) ] in
+  Alcotest.(check int) "two words" 2 (Array.length words);
+  (match Isa.decode words.(0) with
+  | Isa.Ldi (4, 0xEF) -> ()
+  | i -> Alcotest.failf "expected ldi got %s" (Isa.to_string i));
+  match Isa.decode words.(1) with
+  | Isa.Lui (4, 0xBE) -> ()
+  | i -> Alcotest.failf "expected lui got %s" (Isa.to_string i)
+
+let test_asm_errors () =
+  let inv msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  inv "Asm.assemble: duplicate label x" (fun () ->
+      ignore (Asm.assemble [ Asm.Label "x"; Asm.Label "x" ]));
+  inv "Asm.assemble: undefined label nowhere" (fun () ->
+      ignore (Asm.assemble [ Asm.Brz_to (0, "nowhere") ]));
+  inv "Asm.assemble: li16 value 65536 out of range" (fun () ->
+      ignore (Asm.assemble [ Asm.Li16 (0, 0x10000) ]))
+
+let test_benchmarks_assemble () =
+  List.iter
+    (fun (p : Programs.t) ->
+      Alcotest.(check bool) (p.Programs.name ^ " nonempty") true (Array.length p.Programs.imem > 8);
+      Alcotest.(check bool) (p.Programs.name ^ " fits") true (Array.length p.Programs.imem < 256);
+      (* All words decode. *)
+      Array.iter (fun w -> ignore (Isa.decode w)) p.Programs.imem;
+      (* Address 2 (the trap vector) holds the expected handler. *)
+      let handler = Isa.decode p.Programs.imem.(Isa.trap_vector) in
+      let expect = if p.Programs.name = "synthetic" then "trapret" else "halt" in
+      Alcotest.(check string) (p.Programs.name ^ " handler") expect (Isa.to_string handler))
+    [ Programs.illegal_write; Programs.illegal_read; Programs.illegal_exec; Programs.synthetic ]
+
+let test_illegal_exec_layout () =
+  let p = Programs.illegal_exec in
+  (match p.Programs.user_code_range with
+  | Some (lo, hi) ->
+      Alcotest.(check bool) "service outside user region" true
+        (Programs.service_addr < lo || Programs.service_addr > hi);
+      Alcotest.(check bool) "service inside image" true
+        (Programs.service_addr < Array.length p.Programs.imem)
+  | None -> Alcotest.fail "missing user range");
+  match p.Programs.attack with
+  | Some (addr, Programs.Attack_exec) -> Alcotest.(check int) "attack target" Programs.service_addr addr
+  | _ -> Alcotest.fail "expected an exec attack"
+
+let test_benchmark_metadata () =
+  Alcotest.(check (list int)) "write observable" [ Programs.secret_addr ]
+    Programs.illegal_write.Programs.observable;
+  Alcotest.(check (list int)) "read observable" [ Programs.out_addr ]
+    Programs.illegal_read.Programs.observable;
+  Alcotest.(check bool) "secret outside user window" true
+    (Programs.secret_addr > Programs.user_data_limit);
+  Alcotest.(check bool) "out inside user window" true
+    (Programs.out_addr >= Programs.user_data_base && Programs.out_addr <= Programs.user_data_limit)
+
+(* Property: encode/decode is the identity on all valid instructions. *)
+let roundtrip_props =
+  let gen_instr =
+    QCheck.Gen.(
+      let reg = int_range 0 7 in
+      oneof
+        [
+          return Isa.Halt;
+          return Isa.Trapret;
+          return Isa.Nop;
+          return Isa.Retu;
+          map2 (fun r i -> Isa.Ldi (r, i)) reg (int_range 0 255);
+          map2 (fun r i -> Isa.Lui (r, i)) reg (int_range 0 255);
+          map3 (fun a b c -> Isa.Add (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Sub (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.And_ (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Or_ (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Xor_ (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Shl (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Shr (a, b, c)) reg reg reg;
+          map3 (fun a b c -> Isa.Ld (a, b, c)) reg reg (int_range 0 63);
+          map3 (fun a b c -> Isa.St (a, b, c)) reg reg (int_range 0 63);
+          map2 (fun r i -> Isa.Brz (r, i)) reg (int_range (-256) 255);
+          map2 (fun r i -> Isa.Brnz (r, i)) reg (int_range (-256) 255);
+          map2 (fun a b -> Isa.Jalr (a, b)) reg reg;
+          map2 (fun f r -> Isa.Mpuw (f, r)) (int_range 0 5) reg;
+        ])
+  in
+  [
+    QCheck.Test.make ~name:"encode/decode roundtrip" ~count:1000
+      (QCheck.make ~print:Isa.to_string gen_instr)
+      (fun instr -> Isa.decode (Isa.encode instr) = instr);
+    QCheck.Test.make ~name:"decode is total on 16-bit words" ~count:1000
+      QCheck.(int_bound 0xffff)
+      (fun w ->
+        let i = Isa.decode w in
+        ignore (Isa.to_string i);
+        true);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "sample roundtrip" `Quick test_roundtrip_samples;
+          Alcotest.test_case "field validation" `Quick test_encode_validation;
+          Alcotest.test_case "word 0 is halt" `Quick test_word_zero_is_halt;
+          Alcotest.test_case "unknown sys code is nop" `Quick test_unknown_sys_is_nop;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "label resolution" `Quick test_asm_labels;
+          Alcotest.test_case "li16 expansion" `Quick test_asm_li16;
+          Alcotest.test_case "error reporting" `Quick test_asm_errors;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "benchmarks assemble" `Quick test_benchmarks_assemble;
+          Alcotest.test_case "benchmark metadata" `Quick test_benchmark_metadata;
+          Alcotest.test_case "illegal-exec layout" `Quick test_illegal_exec_layout;
+        ] );
+      ("props", q roundtrip_props);
+    ]

@@ -1,0 +1,144 @@
+(* Tests for placement and the area model. *)
+
+module N = Fmc_netlist.Netlist
+module Hdl = Fmc_hdl.Hdl
+module Vec = Fmc_hdl.Vec
+module Placement = Fmc_layout.Placement
+module Area = Fmc_layout.Area
+module K = Fmc_netlist.Kind
+
+let small_net () =
+  let ctx = Hdl.create () in
+  let a = Hdl.input ctx "a" 4 in
+  let b = Hdl.input ctx "b" 4 in
+  let r = Hdl.reg ctx ~group:"r" ~width:4 ~init:0 in
+  Hdl.connect r (Vec.add (Vec.and_v a b) (Hdl.q r));
+  Hdl.output ctx "o" (Hdl.q r);
+  Hdl.elaborate ctx
+
+let test_every_cell_placed () =
+  let net = small_net () in
+  let p = Placement.place net in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "gate placed" true (Placement.is_placed p c))
+    (N.gates net);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "dff placed" true (Placement.is_placed p c))
+    (N.dffs net);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "input unplaced" false (Placement.is_placed p c))
+    (N.inputs net);
+  Alcotest.(check int) "cells = gates + dffs"
+    (Array.length (N.gates net) + Array.length (N.dffs net))
+    (Array.length (Placement.cells p))
+
+let test_placement_deterministic () =
+  let net = small_net () in
+  let p1 = Placement.place ~seed:7 net in
+  let p2 = Placement.place ~seed:7 net in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "same position" true (Placement.position p1 c = Placement.position p2 c))
+    (Placement.cells p1)
+
+let test_placement_seed_changes_rows () =
+  let net = small_net () in
+  let p1 = Placement.place ~seed:1 net in
+  let p2 = Placement.place ~seed:2 net in
+  let moved =
+    Array.exists (fun c -> Placement.position p1 c <> Placement.position p2 c) (Placement.cells p1)
+  in
+  Alcotest.(check bool) "some cell moved" true moved
+
+let test_no_overlaps () =
+  let net = small_net () in
+  let p = Placement.place net in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun c ->
+      let pos = Placement.position p c in
+      Alcotest.(check bool) "unique position" false (Hashtbl.mem seen pos);
+      Hashtbl.replace seen pos ())
+    (Placement.cells p)
+
+let test_within_radius () =
+  let net = small_net () in
+  let p = Placement.place net in
+  let center = (Placement.cells p).(0) in
+  let r0 = Placement.within p ~center ~radius:0. in
+  Alcotest.(check (array int)) "radius 0 is the center" [| center |] r0;
+  let all = Placement.within p ~center ~radius:1e9 in
+  Alcotest.(check int) "huge radius covers everything" (Array.length (Placement.cells p)) (Array.length all);
+  (* Monotonicity. *)
+  let r2 = Placement.within p ~center ~radius:2. in
+  let r4 = Placement.within p ~center ~radius:4. in
+  Alcotest.(check bool) "monotone" true (Array.for_all (fun c -> Array.mem c r4) r2);
+  Alcotest.check_raises "negative radius" (Invalid_argument "Placement.within: negative radius")
+    (fun () -> ignore (Placement.within p ~center ~radius:(-1.)))
+
+let test_distance_symmetry () =
+  let net = small_net () in
+  let p = Placement.place net in
+  let cells = Placement.cells p in
+  let a = cells.(0) and b = cells.(Array.length cells - 1) in
+  Alcotest.(check (float 1e-9)) "symmetric" (Placement.distance p a b) (Placement.distance p b a);
+  Alcotest.(check (float 1e-9)) "self distance" 0. (Placement.distance p a a)
+
+let test_area_model () =
+  Alcotest.(check bool) "xor costs more than inverter" true (Area.gate_area K.Xor > Area.gate_area K.Not);
+  Alcotest.(check bool) "dff is the largest" true
+    (Area.dff_area > Area.gate_area K.Xor);
+  let net = small_net () in
+  let total = Area.total net in
+  let regs = Area.registers_total net in
+  Alcotest.(check bool) "positive" true (total > 0.);
+  Alcotest.(check (float 1e-9)) "register area" (4. *. Area.dff_area) regs;
+  Alcotest.(check bool) "registers less than total" true (regs < total)
+
+let test_hardening_overhead () =
+  let net = small_net () in
+  let dffs = N.dffs net in
+  let one = Area.hardened_overhead net ~hardened:[| dffs.(0) |] ~factor:3. in
+  Alcotest.(check (float 1e-9)) "one reg at 3x adds 2 dff areas" (2. *. Area.dff_area) one;
+  let none = Area.hardened_overhead net ~hardened:[||] ~factor:3. in
+  Alcotest.(check (float 1e-9)) "empty set" 0. none
+
+(* Property: the CPU netlist places fully, disc queries behave. *)
+let cpu_props =
+  let circuit = lazy (Fmc_cpu.Circuit.build ()) in
+  [
+    QCheck.Test.make ~name:"cpu netlist: disc query matches distance predicate" ~count:20
+      QCheck.(pair (int_range 0 5000) (float_range 0. 10.))
+      (fun (pick, radius) ->
+        let c = Lazy.force circuit in
+        let p = Placement.place c.Fmc_cpu.Circuit.net in
+        let cells = Placement.cells p in
+        let center = cells.(pick mod Array.length cells) in
+        let got = Placement.within p ~center ~radius in
+        let expect =
+          Array.to_list cells
+          |> List.filter (fun x -> Placement.distance p center x <= radius)
+        in
+        Array.to_list got = expect);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "layout"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "every cell placed" `Quick test_every_cell_placed;
+          Alcotest.test_case "deterministic for a seed" `Quick test_placement_deterministic;
+          Alcotest.test_case "seed changes rows" `Quick test_placement_seed_changes_rows;
+          Alcotest.test_case "no overlapping positions" `Quick test_no_overlaps;
+          Alcotest.test_case "disc query" `Quick test_within_radius;
+          Alcotest.test_case "distance symmetry" `Quick test_distance_symmetry;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "relative areas" `Quick test_area_model;
+          Alcotest.test_case "hardening overhead" `Quick test_hardening_overhead;
+        ] );
+      ("props", q cpu_props);
+    ]
