@@ -97,13 +97,60 @@ let info_cmd =
 (* evaluate *)
 
 let evaluate_cmd =
-  let run benchmark strategy samples seed half_width json csv_prefix =
+  let run benchmark strategy samples seed half_width json csv_prefix checkpoint checkpoint_every
+      resume journal sample_budget =
     with_context @@ fun ctx ->
     let engine, prep = prepared ctx benchmark strategy in
+    let campaign_mode =
+      checkpoint <> None || resume <> None || journal <> None || sample_budget <> None
+    in
     let report =
-      match half_width with
-      | Some hw -> Fmc.Ssf.estimate_until engine prep ~half_width:hw ~z:1.96 ~seed
-      | None -> Fmc.Ssf.estimate engine prep ~samples ~seed
+      match (half_width, campaign_mode) with
+      | Some hw, false -> Fmc.Ssf.estimate_until engine prep ~half_width:hw ~z:1.96 ~seed
+      | Some _, true ->
+          prerr_endline "faultmc: --half-width cannot be combined with campaign options";
+          exit 2
+      | None, false -> Fmc.Ssf.estimate engine prep ~samples ~seed
+      | None, true ->
+          if checkpoint_every <= 0 then begin
+            prerr_endline "faultmc: --checkpoint-every must be positive";
+            exit 2
+          end;
+          let config =
+            {
+              Fmc.Campaign.checkpoint_path = checkpoint;
+              checkpoint_every;
+              journal_path = journal;
+              sample_budget;
+              handle_signals = true;
+            }
+          in
+          let result =
+            try
+              match resume with
+              | Some path -> Fmc.Campaign.resume ~config engine prep ~path
+              | None -> Fmc.Campaign.run ~config engine prep ~samples ~seed
+            with
+            | Fmc.Campaign.Corrupt_checkpoint msg ->
+                Format.eprintf "faultmc: unusable checkpoint: %s@." msg;
+                exit 2
+            | Sys_error msg ->
+                Format.eprintf "faultmc: %s@." msg;
+                exit 2
+          in
+          (match result.Fmc.Campaign.status with
+          | Fmc.Campaign.Completed -> ()
+          | Fmc.Campaign.Interrupted ->
+              Format.eprintf "campaign interrupted after %d samples%s@."
+                result.Fmc.Campaign.report.Fmc.Ssf.n
+                (match checkpoint with
+                | Some p -> Printf.sprintf "; resume with --resume %s" p
+                | None -> " (no checkpoint was configured)"));
+          let q = List.length result.Fmc.Campaign.quarantined in
+          if q > 0 then
+            Format.eprintf "%d sample(s) quarantined%s@." q
+              (match journal with Some p -> Printf.sprintf "; details in %s" p | None -> "");
+          result.Fmc.Campaign.report
     in
     if json then print_endline (Fmc.Export.report_json report)
     else begin
@@ -135,9 +182,51 @@ let evaluate_cmd =
   let csv_prefix =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PREFIX" ~doc:"Also write PREFIX-trace.csv and PREFIX-contributions.csv.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically write a durable campaign checkpoint to $(docv) (atomic rename-on-write); \
+             an interrupted run continues bit-exactly with $(b,--resume).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint period in samples.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a checkpointed campaign from $(docv). The benchmark and strategy must match \
+             the original run; $(b,-n) and $(b,--seed) are taken from the checkpoint.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per quarantined (crashed or timed-out) sample to $(docv).")
+  in
+  let sample_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Per-sample RTL cycle budget: a sample whose resumed simulation exceeds $(docv) cycles \
+             is quarantined as timed out instead of aborting the campaign.")
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Estimate the System Security Factor of a benchmark.")
-    Term.(const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json $ csv_prefix)
+    Term.(
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json
+      $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget)
 
 (* characterize *)
 

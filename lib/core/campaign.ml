@@ -1,0 +1,347 @@
+module Rng = Fmc_prelude.Rng
+module System = Fmc_cpu.System
+
+type disposition = Crashed of string | Timed_out
+
+type quarantine_entry = {
+  q_index : int;
+  q_disposition : disposition;
+  q_stratum : Sampler.stratum;
+  q_t : int;
+  q_center : Fmc_netlist.Netlist.node;
+  q_radius : float;
+  q_width : float;
+  q_time_frac : float;
+  q_weight : float;
+}
+
+type config = {
+  checkpoint_path : string option;
+  checkpoint_every : int;
+  journal_path : string option;
+  sample_budget : int option;
+  handle_signals : bool;
+}
+
+let default_config =
+  {
+    checkpoint_path = None;
+    checkpoint_every = 1000;
+    journal_path = None;
+    sample_budget = None;
+    handle_signals = true;
+  }
+
+type status = Completed | Interrupted
+
+type result = { report : Ssf.report; status : status; quarantined : quarantine_entry list }
+
+let checkpoint_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint serialization: a line-oriented, versioned text format.
+   Floats are written as hex float literals ("%h"), which round-trip
+   bit-exactly through [float_of_string]; the RNG state is the SplitMix64
+   int64 word. The file is written to a sibling ".tmp" and atomically
+   renamed into place, so a kill mid-write can never destroy the previous
+   good checkpoint. *)
+
+exception Corrupt_checkpoint of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_checkpoint msg -> Some (Printf.sprintf "Campaign.Corrupt_checkpoint(%s)" msg)
+    | _ -> None)
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_checkpoint msg)) fmt
+
+let stratum_name = function
+  | Sampler.All -> "all"
+  | Sampler.Vulnerable -> "vulnerable"
+  | Sampler.Rest -> "rest"
+
+let stratum_of_name = function
+  | "all" -> Sampler.All
+  | "vulnerable" -> Sampler.Vulnerable
+  | "rest" -> Sampler.Rest
+  | s -> corrupt "unknown stratum %S" s
+
+let hexf = Printf.sprintf "%h"
+
+let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     let pr fmt = Printf.fprintf oc fmt in
+     pr "faultmc-campaign %d\n" checkpoint_version;
+     pr "strategy %s\n" strategy;
+     pr "seed %d\n" seed;
+     pr "samples %d\n" s.Ssf.Tally.snap_total;
+     pr "trace_every %d\n" s.Ssf.Tally.snap_trace_every;
+     pr "rng %Ld\n" rng_state;
+     pr "processed %d\n" s.Ssf.Tally.snap_processed;
+     pr "counts %d %d %d %d %d %d %d\n" s.Ssf.Tally.snap_masked s.Ssf.Tally.snap_mem_only
+       s.Ssf.Tally.snap_resumed s.Ssf.Tally.snap_quarantined s.Ssf.Tally.snap_successes
+       s.Ssf.Tally.snap_by_direct s.Ssf.Tally.snap_by_comb;
+     pr "weights %s %s\n" (hexf s.Ssf.Tally.snap_sum_w) (hexf s.Ssf.Tally.snap_sum_w2);
+     pr "strata %d\n" (List.length s.Ssf.Tally.snap_strata);
+     List.iter2
+       (fun (stratum, mass) ((n, mean, m2), (pn, pmean, pm2)) ->
+         pr "stratum %s %s %d %s %s %d %s %s\n" (stratum_name stratum) (hexf mass) n (hexf mean)
+           (hexf m2) pn (hexf pmean) (hexf pm2))
+       s.Ssf.Tally.snap_strata
+       (List.combine s.Ssf.Tally.snap_accs s.Ssf.Tally.snap_pess);
+     pr "contributions %d\n" (List.length s.Ssf.Tally.snap_contributions);
+     List.iter
+       (fun ((group, bit), w) -> pr "contribution %s %d %s\n" group bit (hexf w))
+       s.Ssf.Tally.snap_contributions;
+     pr "trace %d\n" (List.length s.Ssf.Tally.snap_trace);
+     List.iter (fun (i, e) -> pr "tracepoint %d %s\n" i (hexf e)) s.Ssf.Tally.snap_trace;
+     pr "end\n"
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+type checkpoint = {
+  ck_strategy : string;
+  ck_seed : int;
+  ck_rng : int64;
+  ck_snapshot : Ssf.Tally.snapshot;
+}
+
+let read_checkpoint path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let lineno = ref 0 in
+  let line () =
+    incr lineno;
+    try input_line ic with End_of_file -> corrupt "truncated checkpoint at line %d" !lineno
+  in
+  let fields key =
+    let l = line () in
+    match String.split_on_char ' ' l with
+    | k :: rest when k = key -> rest
+    | k :: _ -> corrupt "line %d: expected %S, found %S" !lineno key k
+    | [] -> corrupt "line %d: empty line, expected %S" !lineno key
+  in
+  let one key =
+    match fields key with [ v ] -> v | l -> corrupt "line %d: %s wants 1 field, got %d" !lineno key (List.length l)
+  in
+  let int_of key v = try int_of_string v with _ -> corrupt "line %d: bad int %S in %s" !lineno v key in
+  let float_of key v = try float_of_string v with _ -> corrupt "line %d: bad float %S in %s" !lineno v key in
+  (match fields "faultmc-campaign" with
+  | [ v ] when int_of "version" v = checkpoint_version -> ()
+  | [ v ] -> corrupt "unsupported checkpoint version %s (this binary reads v%d)" v checkpoint_version
+  | _ -> corrupt "malformed header");
+  let strategy = one "strategy" in
+  let seed = int_of "seed" (one "seed") in
+  let samples = int_of "samples" (one "samples") in
+  let trace_every = int_of "trace_every" (one "trace_every") in
+  let rng =
+    let v = one "rng" in
+    try Int64.of_string v with _ -> corrupt "line %d: bad rng state %S" !lineno v
+  in
+  let processed = int_of "processed" (one "processed") in
+  let masked, mem_only, resumed, quarantined, successes, by_direct, by_comb =
+    match fields "counts" with
+    | [ a; b; c; d; e; f; g ] ->
+        ( int_of "counts" a, int_of "counts" b, int_of "counts" c, int_of "counts" d,
+          int_of "counts" e, int_of "counts" f, int_of "counts" g )
+    | _ -> corrupt "line %d: counts wants 7 fields" !lineno
+  in
+  let sum_w, sum_w2 =
+    match fields "weights" with
+    | [ a; b ] -> (float_of "weights" a, float_of "weights" b)
+    | _ -> corrupt "line %d: weights wants 2 fields" !lineno
+  in
+  let n_strata = int_of "strata" (one "strata") in
+  let strata = ref [] and accs = ref [] and pess = ref [] in
+  for _ = 1 to n_strata do
+    match fields "stratum" with
+    | [ name; mass; n; mean; m2; pn; pmean; pm2 ] ->
+        strata := (stratum_of_name name, float_of "stratum" mass) :: !strata;
+        accs := (int_of "stratum" n, float_of "stratum" mean, float_of "stratum" m2) :: !accs;
+        pess := (int_of "stratum" pn, float_of "stratum" pmean, float_of "stratum" pm2) :: !pess
+    | _ -> corrupt "line %d: stratum wants 8 fields" !lineno
+  done;
+  let n_contrib = int_of "contributions" (one "contributions") in
+  let contribs = ref [] in
+  for _ = 1 to n_contrib do
+    match fields "contribution" with
+    | [ group; bit; w ] ->
+        contribs := ((group, int_of "contribution" bit), float_of "contribution" w) :: !contribs
+    | _ -> corrupt "line %d: contribution wants 3 fields" !lineno
+  done;
+  let n_trace = int_of "trace" (one "trace") in
+  let trace = ref [] in
+  for _ = 1 to n_trace do
+    match fields "tracepoint" with
+    | [ i; e ] -> trace := (int_of "tracepoint" i, float_of "tracepoint" e) :: !trace
+    | _ -> corrupt "line %d: tracepoint wants 2 fields" !lineno
+  done;
+  (match fields "end" with [] -> () | _ -> corrupt "line %d: trailing fields after end" !lineno);
+  {
+    ck_strategy = strategy;
+    ck_seed = seed;
+    ck_rng = rng;
+    ck_snapshot =
+      {
+        Ssf.Tally.snap_total = samples;
+        snap_trace_every = trace_every;
+        snap_processed = processed;
+        snap_strata = List.rev !strata;
+        snap_accs = List.rev !accs;
+        snap_pess = List.rev !pess;
+        snap_masked = masked;
+        snap_mem_only = mem_only;
+        snap_resumed = resumed;
+        snap_quarantined = quarantined;
+        snap_successes = successes;
+        snap_by_direct = by_direct;
+        snap_by_comb = by_comb;
+        snap_sum_w = sum_w;
+        snap_sum_w2 = sum_w2;
+        snap_contributions = List.rev !contribs;
+        snap_trace = List.rev !trace;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Failure journal: one JSON object per quarantined sample, appended and
+   flushed immediately so the journal survives the very crash it logs. *)
+
+let json_string s = "\"" ^ Export.json_escape s ^ "\""
+
+let journal_line (q : quarantine_entry) =
+  let disposition, error =
+    match q.q_disposition with
+    | Timed_out -> ("timed_out", "per-sample cycle budget exhausted")
+    | Crashed msg -> ("crashed", msg)
+  in
+  Printf.sprintf
+    "{\"index\":%d,\"disposition\":%s,\"error\":%s,\"sample\":{\"stratum\":%s,\"t\":%d,\"center\":%d,\"radius\":%.17g,\"width\":%.17g,\"time_frac\":%.17g,\"weight\":%.17g}}"
+    q.q_index (json_string disposition) (json_string error)
+    (json_string (stratum_name q.q_stratum))
+    q.q_t q.q_center q.q_radius q.q_width q.q_time_frac q.q_weight
+
+(* ------------------------------------------------------------------ *)
+(* Supervised per-sample evaluation. *)
+
+let evaluate_guarded ~causal ?sample_budget ?fault_hook engine rng i sample =
+  match
+    (match fault_hook with Some h -> h i sample | None -> ());
+    let result = Engine.run_sample engine ?cycle_budget:sample_budget rng sample in
+    let attributed =
+      if result.Engine.success && causal then Engine.causal_flips engine result
+      else result.Engine.flips
+    in
+    (result, attributed)
+  with
+  | r -> Ok r
+  | exception System.Cycle_budget_exhausted _ -> Error Timed_out
+  | exception Sys.Break -> raise Sys.Break
+  | exception e -> Error (Crashed (Printexc.to_string e))
+
+let install_handlers flag =
+  let install s =
+    try Some (s, Sys.signal s (Sys.Signal_handle (fun _ -> flag := true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  List.filter_map install [ Sys.sigint; Sys.sigterm ]
+
+let restore_handlers saved =
+  List.iter (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ()) saved
+
+let run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed =
+  if config.checkpoint_every <= 0 then invalid_arg "Campaign: non-positive checkpoint_every";
+  let samples = Ssf.Tally.total tally in
+  let strategy = Sampler.name prepared in
+  let journal_oc =
+    Option.map (fun p -> open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 p)
+      config.journal_path
+  in
+  let flush_checkpoint () =
+    match config.checkpoint_path with
+    | None -> ()
+    | Some path ->
+        write_checkpoint path ~seed ~strategy ~rng_state:(Rng.state rng) (Ssf.Tally.snapshot tally)
+  in
+  let quarantines = ref [] in
+  let interrupted = ref false in
+  let saved = if config.handle_signals then install_handlers interrupted else [] in
+  Fun.protect
+    ~finally:(fun () ->
+      restore_handlers saved;
+      Option.iter close_out_noerr journal_oc)
+  @@ fun () ->
+  let should_stop () =
+    !interrupted || (match stop with Some f -> f (Ssf.Tally.processed tally) | None -> false)
+  in
+  let stopped = ref false in
+  while (not !stopped) && Ssf.Tally.processed tally < samples do
+    if should_stop () then stopped := true
+    else begin
+      let i = Ssf.Tally.processed tally + 1 in
+      let sample = Sampler.draw prepared rng in
+      (match
+         evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook engine rng i
+           sample
+       with
+      | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
+      | Error disposition ->
+          Ssf.Tally.quarantine tally sample;
+          let entry =
+            {
+              q_index = i;
+              q_disposition = disposition;
+              q_stratum = sample.Sampler.stratum;
+              q_t = sample.Sampler.t;
+              q_center = sample.Sampler.center;
+              q_radius = sample.Sampler.radius;
+              q_width = sample.Sampler.width;
+              q_time_frac = sample.Sampler.time_frac;
+              q_weight = sample.Sampler.weight;
+            }
+          in
+          quarantines := entry :: !quarantines;
+          Option.iter
+            (fun oc ->
+              output_string oc (journal_line entry);
+              output_char oc '\n';
+              flush oc)
+            journal_oc);
+      (* The checkpoint is taken after the sample's draws and statistics
+         landed, so the stored RNG state resumes with the next sample and
+         the continuation is bit-exact. *)
+      if i mod config.checkpoint_every = 0 then flush_checkpoint ()
+    end
+  done;
+  flush_checkpoint ();
+  {
+    report = Ssf.Tally.report tally ~strategy;
+    status = (if Ssf.Tally.processed tally >= samples then Completed else Interrupted);
+    quarantined = List.rev !quarantines;
+  }
+
+let run ?(config = default_config) ?trace_every ?(causal = true) ?fault_hook ?stop engine prepared
+    ~samples ~seed =
+  if samples <= 0 then invalid_arg "Campaign.run: non-positive sample count";
+  let rng = Rng.create seed in
+  let tally = Ssf.Tally.create ?trace_every prepared ~total:samples in
+  run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed
+
+let resume ?config ?(causal = true) ?fault_hook ?stop engine prepared ~path =
+  let ck = read_checkpoint path in
+  if ck.ck_strategy <> Sampler.name prepared then
+    corrupt "checkpoint was taken under strategy %S, not %S (the sample stream would diverge)"
+      ck.ck_strategy (Sampler.name prepared);
+  let config =
+    let c = Option.value config ~default:default_config in
+    (* Keep writing to the checkpoint we resumed from unless redirected. *)
+    if c.checkpoint_path = None then { c with checkpoint_path = Some path } else c
+  in
+  let rng = Rng.of_state ck.ck_rng in
+  let tally = Ssf.Tally.restore ck.ck_snapshot in
+  run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed

@@ -1,0 +1,113 @@
+(** Fault-tolerant campaign runner: a supervised, resumable wrapper around
+    the {!Ssf} estimator for long Monte Carlo campaigns.
+
+    Three failure modes of a long campaign are handled:
+
+    + {b process death} — the accumulated statistics are periodically
+      serialized to a durable checkpoint (atomic rename-on-write), and
+      {!resume} continues a campaign {e bit-exactly}: an interrupted +
+      resumed run produces the same report as an uninterrupted one;
+    + {b pathological samples} — a sample whose evaluation raises or blows
+      a configurable cycle budget is quarantined (recorded in the failure
+      journal, excluded from the honest estimate, folded into the
+      conservative [ssf_upper] bound) instead of killing the campaign;
+    + {b operator interruption} — SIGINT/SIGTERM request a graceful stop:
+      the in-flight sample finishes, a final checkpoint is flushed, and
+      the partial report is returned with status {!Interrupted}.
+
+    {2 Checkpoint format}
+
+    A versioned line-oriented text file (header [faultmc-campaign 1]).
+    Every float is a hex float literal ([%h]) so the round-trip through
+    [float_of_string] is bit-exact; the RNG state is the raw SplitMix64
+    int64 word. Checkpoints are written to [path ^ ".tmp"] and renamed into
+    place, so a crash mid-write never corrupts the previous checkpoint.
+    Unknown versions and malformed files raise {!Corrupt_checkpoint}.
+
+    {2 Failure journal}
+
+    One JSON object per quarantined sample (JSON Lines), appended and
+    flushed immediately:
+    [{"index":..,"disposition":"crashed"|"timed_out","error":..,
+      "sample":{"stratum":..,"t":..,"center":..,"radius":..,"width":..,
+      "time_frac":..,"weight":..}}]. *)
+
+type disposition =
+  | Crashed of string  (** the evaluation raised; payload: the exception *)
+  | Timed_out  (** the per-sample cycle budget was exhausted *)
+
+type quarantine_entry = {
+  q_index : int;  (** 1-based sample index within the campaign *)
+  q_disposition : disposition;
+  q_stratum : Sampler.stratum;
+  q_t : int;
+  q_center : Fmc_netlist.Netlist.node;
+  q_radius : float;
+  q_width : float;
+  q_time_frac : float;
+  q_weight : float;
+}
+
+type config = {
+  checkpoint_path : string option;  (** where to durably snapshot state *)
+  checkpoint_every : int;  (** snapshot period in samples (default 1000) *)
+  journal_path : string option;  (** JSONL failure journal, append mode *)
+  sample_budget : int option;
+      (** per-sample RTL cycle budget; exceeding it quarantines the sample
+          as [Timed_out] (see {!Engine.run_sample}'s [cycle_budget]) *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM handlers for graceful stop (default true;
+          disable inside tests or when the host owns signal handling) *)
+}
+
+val default_config : config
+(** No checkpointing, no journal, no budget, signals handled. *)
+
+type status =
+  | Completed  (** all requested samples were consumed *)
+  | Interrupted  (** stopped early by a signal or the [stop] predicate *)
+
+type result = {
+  report : Ssf.report;  (** quarantined samples count in [n] and [outcomes.quarantined] *)
+  status : status;
+  quarantined : quarantine_entry list;  (** chronological *)
+}
+
+exception Corrupt_checkpoint of string
+
+val run :
+  ?config:config ->
+  ?trace_every:int ->
+  ?causal:bool ->
+  ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?stop:(int -> bool) ->
+  Engine.t ->
+  Sampler.prepared ->
+  samples:int ->
+  seed:int ->
+  result
+(** Run a fresh campaign. With no quarantines and no interruption the
+    report is identical to [Ssf.estimate ~causal engine prepared ~samples
+    ~seed]. [stop] is polled with the processed-sample count before each
+    draw (a [true] stops the campaign exactly like a signal would);
+    [fault_hook] runs inside the per-sample guard before evaluation — an
+    exception it raises quarantines that sample (test fault-injection
+    point). Raises [Invalid_argument] on a non-positive sample count or
+    checkpoint period. *)
+
+val resume :
+  ?config:config ->
+  ?causal:bool ->
+  ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?stop:(int -> bool) ->
+  Engine.t ->
+  Sampler.prepared ->
+  path:string ->
+  result
+(** Continue a checkpointed campaign from [path]. The engine and prepared
+    sampler must be reconstructed identically to the original run (same
+    benchmark, strategy and parameters) — the checkpoint carries the
+    strategy name and refuses a mismatch, but cannot verify the rest.
+    Unless [config] overrides [checkpoint_path], further checkpoints are
+    written back to [path]. Raises {!Corrupt_checkpoint} on a malformed,
+    truncated or version-mismatched file. *)

@@ -138,7 +138,7 @@ let state_bit_diffs faulty golden_state =
     Arch.groups
 
 let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) ?(resilience = 10.)
-    rng (sample : Sampler.sample) =
+    ?cycle_budget rng (sample : Sampler.sample) =
   if impact_cycles < 1 then invalid_arg "Engine.run_sample: impact_cycles must be >= 1";
   let te = Golden.target_cycle t.golden - sample.Sampler.t in
   if te < 1 then
@@ -189,7 +189,12 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
       end
       else begin
         let budget = t.program.Fmc_isa.Programs.max_cycles + 100 in
+        (* The optional watchdog bounds the RTL resume loop so a pathological
+           sample raises [System.Cycle_budget_exhausted] instead of running
+           away; the campaign runner quarantines it. *)
+        System.set_watchdog sys cycle_budget;
         ignore (System.run sys ~max_cycles:(max 1 (budget - System.cycle sys)));
+        System.set_watchdog sys None;
         let e = observables_differ t sys in
         (Resumed e, e)
       end

@@ -58,6 +58,7 @@ val run_sample :
   ?impact_cycles:int ->
   ?hardened:(Fmc_netlist.Netlist.node -> bool) ->
   ?resilience:float ->
+  ?cycle_budget:int ->
   Fmc_prelude.Rng.t ->
   Sampler.sample ->
   run_result
@@ -67,7 +68,12 @@ val run_sample :
     transients are injected on each of the impacted cycles (paper §3.2's
     multi-cycle extension point). [resilience] defaults to 10 (a hardened
     flip keeps 1/10 of flips); only consulted for registers selected by
-    [hardened]. *)
+    [hardened]. [cycle_budget] arms a watchdog on the RTL resume phase:
+    when the resumed run consumes more than that many cycles the sample
+    raises {!Fmc_cpu.System.Cycle_budget_exhausted} — the campaign runner
+    ({!Campaign}) turns this into a [Timed_out] quarantine instead of an
+    aborted run. Unset means the benchmark's own [max_cycles + 100] cap
+    alone bounds the resume. *)
 
 type glitch_result = {
   g_te : int;

@@ -32,12 +32,15 @@ let report_json (r : Ssf.report) =
   Buffer.add_string buf (Printf.sprintf "\"strategy\":\"%s\"," (json_escape r.Ssf.strategy));
   Buffer.add_string buf (Printf.sprintf "\"samples\":%d," r.Ssf.n);
   Buffer.add_string buf (Printf.sprintf "\"ssf\":%.8f," r.Ssf.ssf);
+  Buffer.add_string buf (Printf.sprintf "\"ssf_upper_bound\":%.8f," r.Ssf.ssf_upper);
   Buffer.add_string buf (Printf.sprintf "\"variance\":%.8e," r.Ssf.variance);
   Buffer.add_string buf (Printf.sprintf "\"successes\":%d," r.Ssf.successes);
   Buffer.add_string buf (Printf.sprintf "\"effective_samples\":%.2f," r.Ssf.ess);
   Buffer.add_string buf
-    (Printf.sprintf "\"outcomes\":{\"masked\":%d,\"analytical\":%d,\"resumed\":%d},"
-       r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed);
+    (Printf.sprintf
+       "\"outcomes\":{\"masked\":%d,\"analytical\":%d,\"resumed\":%d,\"quarantined\":%d},"
+       r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed
+       r.Ssf.outcomes.Ssf.quarantined);
   Buffer.add_string buf
     (Printf.sprintf "\"success_by_direct\":%d,\"success_by_comb\":%d," r.Ssf.success_by_direct
        r.Ssf.success_by_comb);

@@ -10,7 +10,14 @@ val contributions_csv : Ssf.report -> string
 (** ["register,bit,weight\n"] rows, descending weight. *)
 
 val report_json : Ssf.report -> string
-(** The full report as a JSON object (trace and contributions included). *)
+(** The full report as a JSON object (trace, contributions, outcome
+    breakdown including the campaign runner's [quarantined] bucket, and the
+    conservative [ssf_upper_bound]). *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes,
+    backslashes, control characters). Shared with {!Campaign}'s failure
+    journal. *)
 
 val fig11_csv : Experiments.fig11 -> string
 (** Both sweeps as one CSV with a [sweep] discriminator column. *)

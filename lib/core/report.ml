@@ -141,11 +141,14 @@ let headline ppf (r : Experiments.headline) =
 let ssf_report ppf (r : Ssf.report) =
   Format.fprintf ppf
     "@[<v>strategy: %s@,samples: %d (effective: %.0f)@,SSF: %.5f@,sample variance: %.3e@,\
-     successes: %d@,outcomes: masked %d / analytical %d / resumed %d@,\
+     successes: %d@,outcomes: masked %d / analytical %d / resumed %d / quarantined %d@,\
      successes via direct register strikes: %d, via transients only: %d@,"
     r.Ssf.strategy r.Ssf.n r.Ssf.ess r.Ssf.ssf r.Ssf.variance r.Ssf.successes
     r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed
-    r.Ssf.success_by_direct r.Ssf.success_by_comb;
+    r.Ssf.outcomes.Ssf.quarantined r.Ssf.success_by_direct r.Ssf.success_by_comb;
+  if r.Ssf.outcomes.Ssf.quarantined > 0 then
+    Format.fprintf ppf "SSF upper bound (quarantined counted as successes): %.5f@,"
+      r.Ssf.ssf_upper;
   Format.fprintf ppf "top contributing register bits:@,";
   List.iteri
     (fun i ((group, bit), w) ->

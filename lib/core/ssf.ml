@@ -1,15 +1,18 @@
 module Welford = Fmc_prelude.Stats.Welford
 module Rng = Fmc_prelude.Rng
 
-type outcome_counts = { masked : int; mem_only : int; resumed : int }
+type outcome_counts = { masked : int; mem_only : int; resumed : int; quarantined : int }
 
 type report = {
   strategy : string;
   n : int;
   ssf : float;
+  ssf_upper : float;
   variance : float;
   successes : int;
   ess : float;
+  sum_w : float;
+  sum_w2 : float;
   trace : (int * float) list;
   outcomes : outcome_counts;
   contributions : ((string * int) * float) list;
@@ -17,97 +20,265 @@ type report = {
   success_by_comb : int;
 }
 
+(* Weight-descending with a deterministic key tie-break, so the final list
+   does not depend on hash-table iteration order (which differs between an
+   uninterrupted run and a checkpoint-resumed one). *)
+let sort_contributions l =
+  List.sort
+    (fun ((ka : string * int), a) (kb, b) ->
+      match compare (b : float) a with 0 -> compare ka kb | c -> c)
+    l
+
+module Tally = struct
+  type t = {
+    total : int;
+    trace_every : int;
+    strata : (Sampler.stratum * float) array;
+    (* One accumulator per stratum; the stratified estimate combines the
+       per-stratum means with their exact f-masses, and the reported
+       variance is the effective per-sample variance n * Var(estimate) so it
+       is directly comparable to plain Monte Carlo's indicator variance. *)
+    accs : Welford.t array;
+    (* Pessimistic shadow accumulators: identical to [accs] except that
+       quarantined samples are counted as full-weight successes. Their
+       combined mean is the conservative SSF upper bound. *)
+    pess : Welford.t array;
+    index : int array;  (* stratum tag -> position in [strata]/[accs] *)
+    mutable processed : int;
+    mutable masked : int;
+    mutable mem_only : int;
+    mutable resumed : int;
+    mutable quarantined : int;
+    mutable successes : int;
+    mutable by_direct : int;
+    mutable by_comb : int;
+    mutable sum_w : float;
+    mutable sum_w2 : float;
+    contributions : (string * int, float) Hashtbl.t;
+    mutable trace : (int * float) list;  (* newest first *)
+  }
+
+  type snapshot = {
+    snap_total : int;
+    snap_trace_every : int;
+    snap_processed : int;
+    snap_strata : (Sampler.stratum * float) list;
+    snap_accs : (int * float * float) list;
+    snap_pess : (int * float * float) list;
+    snap_masked : int;
+    snap_mem_only : int;
+    snap_resumed : int;
+    snap_quarantined : int;
+    snap_successes : int;
+    snap_by_direct : int;
+    snap_by_comb : int;
+    snap_sum_w : float;
+    snap_sum_w2 : float;
+    snap_contributions : ((string * int) * float) list;
+    snap_trace : (int * float) list;  (* chronological *)
+  }
+
+  let tag = function Sampler.All -> 0 | Sampler.Vulnerable -> 1 | Sampler.Rest -> 2
+
+  let make_index strata =
+    let index = Array.make 3 (-1) in
+    Array.iteri (fun i (s, _) -> index.(tag s) <- i) strata;
+    index
+
+  let of_strata ?(trace_every = 50) strata_list ~total =
+    let strata = Array.of_list strata_list in
+    {
+      total;
+      trace_every;
+      strata;
+      accs = Array.map (fun _ -> Welford.create ()) strata;
+      pess = Array.map (fun _ -> Welford.create ()) strata;
+      index = make_index strata;
+      processed = 0;
+      masked = 0;
+      mem_only = 0;
+      resumed = 0;
+      quarantined = 0;
+      successes = 0;
+      by_direct = 0;
+      by_comb = 0;
+      sum_w = 0.;
+      sum_w2 = 0.;
+      contributions = Hashtbl.create 64;
+      trace = [];
+    }
+
+  let create ?trace_every prepared ~total = of_strata ?trace_every (Sampler.strata prepared) ~total
+
+  let slot t stratum =
+    let i = t.index.(tag stratum) in
+    if i < 0 then invalid_arg "Ssf.Tally: sample from a stratum unknown to this tally";
+    i
+
+  let combined t accs =
+    let acc = ref 0. in
+    Array.iteri (fun i (_, m) -> acc := !acc +. (m *. Welford.mean accs.(i))) t.strata;
+    !acc
+
+  let current_estimate t = combined t t.accs
+
+  let processed t = t.processed
+  let total t = t.total
+  let quarantined t = t.quarantined
+
+  let bump_trace t =
+    if t.processed mod t.trace_every = 0 || t.processed = t.total then
+      t.trace <- (t.processed, current_estimate t) :: t.trace
+
+  let record t (sample : Sampler.sample) (result : Engine.run_result) ~attributed =
+    t.processed <- t.processed + 1;
+    let i = slot t sample.Sampler.stratum in
+    let _, mass = t.strata.(i) in
+    let e = if result.Engine.success then 1. else 0. in
+    (* Kish effective sample size over the drawn weights (f-mass scaled so
+       strata weigh in proportionally). *)
+    let w = mass *. sample.Sampler.weight in
+    t.sum_w <- t.sum_w +. w;
+    t.sum_w2 <- t.sum_w2 +. (w *. w);
+    Welford.add t.accs.(i) (sample.Sampler.weight *. e);
+    Welford.add t.pess.(i) (sample.Sampler.weight *. e);
+    (match result.Engine.outcome with
+    | Engine.Masked -> t.masked <- t.masked + 1
+    | Engine.Analytical _ -> t.mem_only <- t.mem_only + 1
+    | Engine.Resumed _ -> t.resumed <- t.resumed + 1);
+    if result.Engine.success then begin
+      t.successes <- t.successes + 1;
+      if Array.length result.Engine.direct > 0 then t.by_direct <- t.by_direct + 1
+      else t.by_comb <- t.by_comb + 1;
+      (* Contribution mass in f-terms: within-stratum weight times the
+         stratum mass, split evenly across the run's flipped bits so that
+         incidental co-flips don't each collect full credit. *)
+      let share = mass *. sample.Sampler.weight /. float_of_int (max 1 (List.length attributed)) in
+      List.iter
+        (fun key ->
+          let cur = try Hashtbl.find t.contributions key with Not_found -> 0. in
+          Hashtbl.replace t.contributions key (cur +. share))
+        attributed
+    end;
+    bump_trace t
+
+  let quarantine t (sample : Sampler.sample) =
+    t.processed <- t.processed + 1;
+    t.quarantined <- t.quarantined + 1;
+    let i = slot t sample.Sampler.stratum in
+    (* The honest accumulators skip the sample entirely (it is reported in
+       its own outcome bucket); the pessimistic shadow counts it as a
+       success with its full weight, giving the conservative bound. *)
+    Welford.add t.pess.(i) sample.Sampler.weight;
+    bump_trace t
+
+  let report t ~strategy =
+    let n = t.processed in
+    let ssf_value = current_estimate t in
+    let variance_value =
+      (* n * Var(stratified estimator); collapses to the plain sample
+         variance when there is a single stratum. *)
+      let acc = ref 0. in
+      Array.iteri
+        (fun i (_, m) ->
+          let w = t.accs.(i) in
+          let n_s = float_of_int (max 1 (Welford.count w)) in
+          acc := !acc +. (m *. m *. Welford.variance w /. n_s))
+        t.strata;
+      !acc *. float_of_int n
+    in
+    let contributions =
+      sort_contributions (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.contributions [])
+    in
+    {
+      strategy;
+      n;
+      ssf = ssf_value;
+      ssf_upper = (if t.quarantined = 0 then ssf_value else combined t t.pess);
+      variance = variance_value;
+      successes = t.successes;
+      ess = (if t.sum_w2 > 0. then t.sum_w *. t.sum_w /. t.sum_w2 else float_of_int n);
+      sum_w = t.sum_w;
+      sum_w2 = t.sum_w2;
+      trace = List.rev t.trace;
+      outcomes =
+        { masked = t.masked; mem_only = t.mem_only; resumed = t.resumed; quarantined = t.quarantined };
+      contributions;
+      success_by_direct = t.by_direct;
+      success_by_comb = t.by_comb;
+    }
+
+  let snapshot t =
+    {
+      snap_total = t.total;
+      snap_trace_every = t.trace_every;
+      snap_processed = t.processed;
+      snap_strata = Array.to_list t.strata;
+      snap_accs = Array.to_list (Array.map Welford.state t.accs);
+      snap_pess = Array.to_list (Array.map Welford.state t.pess);
+      snap_masked = t.masked;
+      snap_mem_only = t.mem_only;
+      snap_resumed = t.resumed;
+      snap_quarantined = t.quarantined;
+      snap_successes = t.successes;
+      snap_by_direct = t.by_direct;
+      snap_by_comb = t.by_comb;
+      snap_sum_w = t.sum_w;
+      snap_sum_w2 = t.sum_w2;
+      snap_contributions = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.contributions [];
+      snap_trace = List.rev t.trace;
+    }
+
+  let restore s =
+    if List.length s.snap_accs <> List.length s.snap_strata
+       || List.length s.snap_pess <> List.length s.snap_strata
+    then invalid_arg "Ssf.Tally.restore: accumulator/strata arity mismatch";
+    let strata = Array.of_list s.snap_strata in
+    let contributions = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace contributions k v) s.snap_contributions;
+    {
+      total = s.snap_total;
+      trace_every = s.snap_trace_every;
+      strata;
+      accs = Array.of_list (List.map Welford.of_state s.snap_accs);
+      pess = Array.of_list (List.map Welford.of_state s.snap_pess);
+      index = make_index strata;
+      processed = s.snap_processed;
+      masked = s.snap_masked;
+      mem_only = s.snap_mem_only;
+      resumed = s.snap_resumed;
+      quarantined = s.snap_quarantined;
+      successes = s.snap_successes;
+      by_direct = s.snap_by_direct;
+      by_comb = s.snap_by_comb;
+      sum_w = s.snap_sum_w;
+      sum_w2 = s.snap_sum_w2;
+      contributions;
+      trace = List.rev s.snap_trace;
+    }
+end
+
 let estimate ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles ?hardened ?resilience
     engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Ssf.estimate: non-positive sample count";
   let rng = Rng.create seed in
-  let strata = Sampler.strata prepared in
-  (* One accumulator per stratum; the stratified estimate combines the
-     per-stratum means with their exact f-masses, and the reported variance
-     is the effective per-sample variance n * Var(estimate) so it is
-     directly comparable to plain Monte Carlo's indicator variance. *)
-  let accs = List.map (fun (s, m) -> (s, m, Welford.create ())) strata in
-  let acc_of stratum =
-    let _, _, w = List.find (fun (s, _, _) -> s = stratum) accs in
-    w
-  in
-  let current_estimate () =
-    List.fold_left (fun acc (_, m, w) -> acc +. (m *. Welford.mean w)) 0. accs
-  in
-  let trace = ref [] in
-  let masked = ref 0 and mem_only = ref 0 and resumed = ref 0 in
-  let successes = ref 0 in
-  let by_direct = ref 0 and by_comb = ref 0 in
-  let sum_w = ref 0. and sum_w2 = ref 0. in
-  let contributions = Hashtbl.create 64 in
-  for i = 1 to samples do
+  let tally = Tally.create ~trace_every prepared ~total:samples in
+  for _ = 1 to samples do
     let sample = Sampler.draw prepared rng in
     let result = Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample in
-    let e = if result.Engine.success then 1. else 0. in
-    (* Kish effective sample size over the drawn weights (f-mass scaled so
-       strata weigh in proportionally). *)
-    let w = List.assoc sample.Sampler.stratum strata *. sample.Sampler.weight in
-    sum_w := !sum_w +. w;
-    sum_w2 := !sum_w2 +. (w *. w);
-    Welford.add (acc_of sample.Sampler.stratum) (sample.Sampler.weight *. e);
-    (match result.Engine.outcome with
-    | Engine.Masked -> incr masked
-    | Engine.Analytical _ -> incr mem_only
-    | Engine.Resumed _ -> incr resumed);
-    if result.Engine.success then begin
-      incr successes;
-      if Array.length result.Engine.direct > 0 then incr by_direct else incr by_comb;
-      (* Contribution mass in f-terms: within-stratum weight times the
-         stratum mass, split evenly across the run's flipped bits so that
-         incidental co-flips don't each collect full credit. *)
-      let mass = List.assoc sample.Sampler.stratum strata in
-      let attributed =
-        (* Leave-one-out causal attribution strips incidental co-flips; it
-           replays deterministically, so it is disabled when hardening
-           randomness is in play, and also under a cell filter (the replay
-           would not see the filter). *)
-        if causal && hardened = None && cell_filter = None && impact_cycles = None then
-          Engine.causal_flips engine result
-        else result.Engine.flips
-      in
-      let share = mass *. sample.Sampler.weight /. float_of_int (max 1 (List.length attributed)) in
-      List.iter
-        (fun key ->
-          let cur = try Hashtbl.find contributions key with Not_found -> 0. in
-          Hashtbl.replace contributions key (cur +. share))
-        attributed
-    end;
-    if i mod trace_every = 0 || i = samples then trace := (i, current_estimate ()) :: !trace
+    let attributed =
+      (* Leave-one-out causal attribution strips incidental co-flips; it
+         replays deterministically, so it is disabled when hardening
+         randomness is in play, and also under a cell filter (the replay
+         would not see the filter). *)
+      if result.Engine.success
+         && causal && hardened = None && cell_filter = None && impact_cycles = None
+      then Engine.causal_flips engine result
+      else result.Engine.flips
+    in
+    Tally.record tally sample result ~attributed
   done;
-  let ssf_value = current_estimate () in
-  let variance_value =
-    (* n * Var(stratified estimator); collapses to the plain sample
-       variance when there is a single stratum. *)
-    let n = float_of_int samples in
-    List.fold_left
-      (fun acc (_, m, w) ->
-        let n_s = float_of_int (max 1 (Welford.count w)) in
-        acc +. (m *. m *. Welford.variance w /. n_s))
-      0. accs
-    *. n
-  in
-  let contributions =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) contributions []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
-  in
-  {
-    strategy = Sampler.name prepared;
-    n = samples;
-    ssf = ssf_value;
-    variance = variance_value;
-    successes = !successes;
-    ess = (if !sum_w2 > 0. then !sum_w *. !sum_w /. !sum_w2 else float_of_int samples);
-    trace = List.rev !trace;
-    outcomes = { masked = !masked; mem_only = !mem_only; resumed = !resumed };
-    contributions;
-    success_by_direct = !by_direct;
-    success_by_comb = !by_comb;
-  }
+  Tally.report tally ~strategy:(Sampler.name prepared)
 
 let merge_reports (reports : report list) =
   match reports with
@@ -121,6 +292,10 @@ let merge_reports (reports : report list) =
          sample-count weights is exact for the mean, and the pooled
          effective variance follows the same weighting). *)
       let ssf = List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.ssf)) 0. reports /. float_of_int n in
+      let ssf_upper =
+        List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.ssf_upper)) 0. reports
+        /. float_of_int n
+      in
       let variance =
         List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.variance)) 0. reports
         /. float_of_int n
@@ -133,9 +308,16 @@ let merge_reports (reports : report list) =
               masked = acc.masked + r.outcomes.masked;
               mem_only = acc.mem_only + r.outcomes.mem_only;
               resumed = acc.resumed + r.outcomes.resumed;
+              quarantined = acc.quarantined + r.outcomes.quarantined;
             })
-          { masked = 0; mem_only = 0; resumed = 0 } reports
+          { masked = 0; mem_only = 0; resumed = 0; quarantined = 0 }
+          reports
       in
+      (* Pool the Kish ESS from the raw weight sums: per-report ESS values
+         are not additive when weight scales differ across reports, but the
+         defining sums are. *)
+      let sum_w = List.fold_left (fun acc r -> acc +. r.sum_w) 0. reports in
+      let sum_w2 = List.fold_left (fun acc r -> acc +. r.sum_w2) 0. reports in
       let contributions =
         let tbl = Hashtbl.create 64 in
         List.iter
@@ -146,8 +328,7 @@ let merge_reports (reports : report list) =
                 Hashtbl.replace tbl k (cur +. w))
               r.contributions)
           reports;
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        sort_contributions (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
       in
       let trace =
         (* Per-domain partial traces laid out at cumulative sample offsets:
@@ -164,6 +345,7 @@ let merge_reports (reports : report list) =
         strategy = first.strategy;
         n;
         ssf;
+        ssf_upper;
         variance;
         successes;
         trace;
@@ -171,26 +353,81 @@ let merge_reports (reports : report list) =
         contributions;
         success_by_direct = List.fold_left (fun acc r -> acc + r.success_by_direct) 0 reports;
         success_by_comb = List.fold_left (fun acc r -> acc + r.success_by_comb) 0 reports;
-        ess = List.fold_left (fun acc r -> acc +. r.ess) 0. reports;
+        ess = (if sum_w2 > 0. then sum_w *. sum_w /. sum_w2 else float_of_int n);
+        sum_w;
+        sum_w2;
       }
 
-let estimate_parallel ?domains ?causal ~engine_factory prepared ~samples ~seed =
+let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?batch_hook
+    ~engine_factory prepared ~samples ~seed =
   let domains =
     match domains with Some d -> max 1 d | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
   if samples <= 0 then invalid_arg "Ssf.estimate_parallel: non-positive sample count";
-  let per = samples / domains and extra = samples mod domains in
-  let spawned =
-    List.init domains (fun i ->
-        let n = per + (if i < extra then 1 else 0) in
-        Domain.spawn (fun () ->
-            if n = 0 then None
-            else begin
-              let engine = engine_factory () in
-              Some (estimate ?causal engine prepared ~samples:n ~seed:(seed + (7919 * (i + 1))))
-            end))
+  if batch <= 0 then invalid_arg "Ssf.estimate_parallel: non-positive batch";
+  let n_batches = (samples + batch - 1) / batch in
+  let size b = if b = n_batches - 1 then samples - (batch * (n_batches - 1)) else batch in
+  (* Supervised work queue: per-batch seeds depend only on the batch index,
+     so the merged result is deterministic no matter which domain ends up
+     running which batch, and a crashed domain's completed batches survive
+     (each lives in its own slot of [results]). A failed batch is re-queued
+     with bounded retries; the worker that crashed continues on a fresh
+     engine, since an exception may have left the shared simulator state of
+     its old one poisoned. *)
+  let mutex = Mutex.create () in
+  let pending = Queue.create () in
+  for b = 0 to n_batches - 1 do
+    Queue.add b pending
+  done;
+  let attempts = Array.make n_batches 0 in
+  let results = Array.make n_batches None in
+  let failures = ref [] in
+  let pop () =
+    Mutex.protect mutex (fun () -> if Queue.is_empty pending then None else Some (Queue.pop pending))
   in
-  let reports = List.filter_map Domain.join spawned in
+  let backoff k =
+    (* Exponential backoff before handing the batch back to the queue. *)
+    for _ = 1 to (1 lsl min k 10) * 4096 do
+      Domain.cpu_relax ()
+    done
+  in
+  let worker () =
+    let engine = ref (engine_factory ()) in
+    let rec loop () =
+      match pop () with
+      | None -> ()
+      | Some b ->
+          (match
+             (match batch_hook with Some h -> h b | None -> ());
+             estimate ?causal !engine prepared ~samples:(size b) ~seed:(seed + (7919 * (b + 1)))
+           with
+          | r ->
+              Mutex.protect mutex (fun () -> results.(b) <- Some r);
+              loop ()
+          | exception e ->
+              let msg = Printexc.to_string e in
+              let retry =
+                Mutex.protect mutex (fun () ->
+                    attempts.(b) <- attempts.(b) + 1;
+                    failures := (b, msg) :: !failures;
+                    attempts.(b) <= max_batch_retries)
+              in
+              engine := engine_factory ();
+              if retry then begin
+                backoff attempts.(b);
+                Mutex.protect mutex (fun () -> Queue.add b pending)
+              end;
+              loop ())
+    in
+    loop ()
+  in
+  let spawned = List.init (min domains n_batches) (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join spawned;
+  let reports = List.filter_map Fun.id (Array.to_list results) in
+  if reports = [] then
+    failwith
+      (Printf.sprintf "Ssf.estimate_parallel: every batch failed permanently (last error: %s)"
+         (match !failures with (_, m) :: _ -> m | [] -> "unknown"));
   merge_reports reports
 
 let confidence_interval report ~z =

@@ -12,18 +12,30 @@ type outcome_counts = {
   masked : int;  (** no register error survived the injection cycle *)
   mem_only : int;  (** analytical evaluation sufficed *)
   resumed : int;  (** RTL simulation had to resume *)
+  quarantined : int;
+      (** samples whose evaluation crashed or timed out and was isolated by
+          the campaign runner ({!Campaign}); always 0 for direct
+          {!estimate} runs. The four buckets partition the [n] samples. *)
 }
 
 type report = {
   strategy : string;
   n : int;
   ssf : float;
+  ssf_upper : float;
+      (** conservative SSF bound that counts every quarantined sample as a
+          full-weight success; equals [ssf] when nothing was quarantined *)
   variance : float;  (** unbiased sample variance of the weighted indicator *)
   successes : int;  (** raw count of successful attack runs *)
   ess : float;
       (** Kish effective sample size of the drawn importance weights,
           [n] under plain Monte Carlo; a low [ess/n] warns that the
           sampling distribution is poorly matched to [f] *)
+  sum_w : float;  (** raw sum of drawn f-scaled weights, [ess]'s numerator root *)
+  sum_w2 : float;
+      (** raw sum of squared weights; carried so {!merge_reports} can pool
+          ESS exactly as [(Σw)² / Σw²] instead of summing per-report ESS
+          values (wrong whenever weight scales differ across reports) *)
   trace : (int * float) list;  (** (samples so far, running estimate) *)
   outcomes : outcome_counts;
   contributions : ((string * int) * float) list;
@@ -32,6 +44,71 @@ type report = {
   success_by_direct : int;  (** successes whose strike flipped a register directly *)
   success_by_comb : int;  (** successes caused purely by combinational transients *)
 }
+
+(** The incremental estimator state behind {!estimate}, exposed so the
+    fault-tolerant campaign runner ({!Campaign}) can drive the same
+    statistics one sample at a time, quarantine pathological samples, and
+    durably snapshot/restore the whole accumulator mid-run. A tally fed the
+    same (sample, result, attribution) stream as {!estimate} produces a
+    bit-identical report. *)
+module Tally : sig
+  type t
+
+  (** The complete, serializable accumulator state. Every float must be
+      persisted exactly (e.g. hex float formatting) for a resumed campaign
+      to be bit-identical to an uninterrupted one. [snap_accs] /
+      [snap_pess] are Welford [(count, mean, m2)] triples aligned with
+      [snap_strata]; [snap_trace] is chronological. *)
+  type snapshot = {
+    snap_total : int;
+    snap_trace_every : int;
+    snap_processed : int;
+    snap_strata : (Sampler.stratum * float) list;
+    snap_accs : (int * float * float) list;
+    snap_pess : (int * float * float) list;
+    snap_masked : int;
+    snap_mem_only : int;
+    snap_resumed : int;
+    snap_quarantined : int;
+    snap_successes : int;
+    snap_by_direct : int;
+    snap_by_comb : int;
+    snap_sum_w : float;
+    snap_sum_w2 : float;
+    snap_contributions : ((string * int) * float) list;
+    snap_trace : (int * float) list;
+  }
+
+  val create : ?trace_every:int -> Sampler.prepared -> total:int -> t
+  (** Fresh tally for a campaign of [total] samples ([trace_every]
+      defaults to 50, matching {!estimate}). *)
+
+  val processed : t -> int
+  (** Samples consumed so far, including quarantined ones. *)
+
+  val total : t -> int
+  val quarantined : t -> int
+
+  val record : t -> Sampler.sample -> Engine.run_result -> attributed:(string * int) list -> unit
+  (** Fold one evaluated sample into the estimate. [attributed] is the flip
+      list credited in the contribution table (the caller decides between
+      causal attribution and the raw flip set, exactly as {!estimate}
+      does). *)
+
+  val quarantine : t -> Sampler.sample -> unit
+  (** Consume one sample slot without folding it into the honest estimate:
+      the sample counts in [n] and the [quarantined] bucket, and enters the
+      pessimistic accumulators as a full-weight success so [ssf_upper]
+      stays a sound conservative bound. *)
+
+  val report : t -> strategy:string -> report
+
+  val snapshot : t -> snapshot
+
+  val restore : snapshot -> t
+  (** Rebuild a tally that continues exactly where [snapshot] left off.
+      Raises [Invalid_argument] on an internally inconsistent snapshot. *)
+end
 
 val estimate :
   ?trace_every:int ->
@@ -51,24 +128,41 @@ val estimate :
     it is automatically disabled when [hardened] is supplied. Raises
     [Invalid_argument] on a non-positive sample count. *)
 
+val merge_reports : report list -> report
+(** Pool split-run reports (parallel domains, checkpointed shards) into one:
+    sample-count-weighted means for the estimates, summed counters, summed
+    contribution tables, and the ESS recomputed from the pooled weight sums
+    [(Σw)² / Σw²]. Raises [Invalid_argument] on an empty list. *)
+
 val estimate_parallel :
   ?domains:int ->
   ?causal:bool ->
+  ?batch:int ->
+  ?max_batch_retries:int ->
+  ?batch_hook:(int -> unit) ->
   engine_factory:(unit -> Engine.t) ->
   Sampler.prepared ->
   samples:int ->
   seed:int ->
   report
-(** Multicore estimation: splits the samples across [domains] (default: the
-    machine's recommended domain count) OCaml domains, each with its own
-    engine instance and an independent RNG stream, then merges the
-    per-domain accumulators. [engine_factory] MUST build a fresh engine on
-    every call (engines carry mutable simulator state; sharing one across
-    domains races) — e.g.
-    [fun () -> Engine.create ~precharac program]. The
-    result is deterministic for a fixed [(domains, samples, seed)] triple —
-    but differs from the sequential {!estimate} stream, and the trace is
-    coarser (per-domain checkpoints). *)
+(** Supervised multicore estimation. The samples are cut into batches of
+    [batch] (default 500) whose seeds depend only on the batch index;
+    [domains] worker domains (default: the machine's recommended domain
+    count) pull batches from a shared queue and stream finished reports
+    back to the supervisor. A batch that raises is re-queued with
+    exponential backoff up to [max_batch_retries] (default 2) extra
+    attempts, and the worker that crashed continues on a freshly built
+    engine — completed batches are never lost to a crashed domain, and a
+    permanently failing batch is dropped from the pooled report rather
+    than aborting the run (the run only fails if {e every} batch fails).
+    [engine_factory] MUST build a fresh engine on every call (engines carry
+    mutable simulator state; sharing one across domains races) — e.g.
+    [fun () -> Engine.create ~precharac program]. [batch_hook] runs at the
+    start of every batch attempt and is a fault-injection point for tests.
+    The result is deterministic for a fixed [(batch, samples, seed)] triple
+    independent of [domains] and scheduling — but differs from the
+    sequential {!estimate} stream, and the trace is coarser (per-batch
+    checkpoints). *)
 
 val confidence_interval : report -> z:float -> float * float
 (** Normal-approximation confidence interval for the SSF estimate:

@@ -9,6 +9,7 @@ type t = {
 }
 
 let create circuit (program : Fmc_isa.Programs.t) =
+  System.validate_dmem_size ~who:"Netsys.create" program.Fmc_isa.Programs.dmem_size;
   let dmem = Array.make program.Fmc_isa.Programs.dmem_size 0 in
   List.iter (fun (a, v) -> dmem.(a) <- v land 0xffff) program.Fmc_isa.Programs.dmem_init;
   { circuit; sim = Cycle_sim.create circuit.Circuit.net; imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0 }

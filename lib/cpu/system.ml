@@ -4,12 +4,31 @@ type t = {
   imem : int array;
   dmem : int array;
   mutable cycle : int;
+  mutable watchdog : int;  (* remaining step budget; negative = unlimited *)
 }
 
+exception Cycle_budget_exhausted of int
+
+let () =
+  Printexc.register_printer (function
+    | Cycle_budget_exhausted cycle ->
+        Some (Printf.sprintf "Fmc_cpu.System.Cycle_budget_exhausted(cycle %d)" cycle)
+    | _ -> None)
+
+let validate_dmem_size ~who size =
+  (* Memory addresses are masked with [addr land (size - 1)] throughout the
+     framework (RTL and gate level); any other size silently aliases. *)
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "%s: dmem_size %d is not a positive power of two (address masking would silently alias)"
+         who size)
+
 let create (program : Fmc_isa.Programs.t) =
+  validate_dmem_size ~who:"System.create" program.Fmc_isa.Programs.dmem_size;
   let dmem = Array.make program.Fmc_isa.Programs.dmem_size 0 in
   List.iter (fun (a, v) -> dmem.(a) <- v land 0xffff) program.Fmc_isa.Programs.dmem_init;
-  { program; st = Arch.create (); imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0 }
+  { program; st = Arch.create (); imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0; watchdog = -1 }
 
 let program t = t.program
 let state t = t.st
@@ -24,7 +43,15 @@ let dmask t addr = addr land (Array.length t.dmem - 1)
 let load t addr = t.dmem.(dmask t addr)
 let store t addr v = t.dmem.(dmask t addr) <- v land 0xffff
 
+let set_watchdog t budget =
+  match budget with
+  | None -> t.watchdog <- -1
+  | Some n when n < 0 -> invalid_arg "System.set_watchdog: negative budget"
+  | Some n -> t.watchdog <- n
+
 let step t =
+  if t.watchdog = 0 then raise (Cycle_budget_exhausted t.cycle);
+  if t.watchdog > 0 then t.watchdog <- t.watchdog - 1;
   let outcome = Model.step t.st ~fetch:(fetch t) ~load:(load t) ~store:(store t) in
   t.cycle <- t.cycle + 1;
   outcome

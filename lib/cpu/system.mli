@@ -9,8 +9,23 @@
 
 type t
 
+exception Cycle_budget_exhausted of int
+(** Raised by {!step} (and therefore {!run} / {!run_to_cycle}) when the
+    watchdog budget set via {!set_watchdog} runs out; carries the cycle at
+    exhaustion. Used by the campaign runner to quarantine pathological
+    samples instead of letting them monopolize a domain. *)
+
+val validate_dmem_size : who:string -> int -> unit
+(** Reject a data-memory size that is not a positive power of two with a
+    clear [Invalid_argument] ([who] prefixes the message). Shared by every
+    component that allocates a masked dmem image. *)
+
 val create : Fmc_isa.Programs.t -> t
-(** Fresh system at reset with [dmem_init] applied. *)
+(** Fresh system at reset with [dmem_init] applied. Raises
+    [Invalid_argument] when the benchmark's [dmem_size] is not a positive
+    power of two — memory addresses are masked with
+    [addr land (dmem_size - 1)] across the framework, which silently
+    aliases for any other size. *)
 
 val program : t -> Fmc_isa.Programs.t
 val state : t -> Arch.t
@@ -25,6 +40,13 @@ val halted : t -> bool
 val fetch : t -> int -> int
 val load : t -> int -> int
 val store : t -> int -> int -> unit
+
+val set_watchdog : t -> int option -> unit
+(** [set_watchdog t (Some n)] arms a step budget: the next [n] calls to
+    {!step} proceed normally, after which {!step} raises
+    {!Cycle_budget_exhausted}. [None] disarms (the default). The budget is
+    transient execution state — it is not part of a {!checkpoint}. Raises
+    [Invalid_argument] on a negative budget. *)
 
 val step : t -> Model.outcome
 (** One cycle (no-op when halted, but still counts a cycle). *)

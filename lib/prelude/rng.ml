@@ -20,6 +20,10 @@ let split t = { state = int64 t }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

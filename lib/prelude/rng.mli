@@ -16,6 +16,16 @@ val split : t -> t
 
 val copy : t -> t
 
+val state : t -> int64
+(** The full generator state (SplitMix64 carries a single 64-bit word).
+    Together with {!of_state} this makes the stream durably snapshottable:
+    persisting the state and restoring it later continues the exact same
+    draw sequence. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} snapshot. Unlike {!create}, the
+    value is used verbatim (no seed mixing). *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

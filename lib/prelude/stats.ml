@@ -14,6 +14,9 @@ module Welford = struct
   let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
 
+  let state t = (t.n, t.mean, t.m2)
+  let of_state (n, mean, m2) = { n; mean; m2 }
+
   let merge a b =
     if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
     else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }

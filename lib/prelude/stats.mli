@@ -21,6 +21,13 @@ module Welford : sig
 
   val merge : t -> t -> t
   (** Combine two accumulators as if all samples were added to one. *)
+
+  val state : t -> int * float * float
+  (** [(count, mean, m2)] — the complete accumulator state, exact enough to
+      persist (e.g. with hex float formatting) and later {!of_state} back
+      bit-for-bit. *)
+
+  val of_state : int * float * float -> t
 end
 
 module Histogram : sig

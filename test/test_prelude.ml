@@ -192,6 +192,19 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
 
+let test_rng_state_roundtrip () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 37 do
+    ignore (Rng.int64 rng)
+  done;
+  (* Snapshotting mid-stream and restoring must continue the exact draws. *)
+  let restored = Rng.of_state (Rng.state rng) in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d after restore" i)
+      (Rng.int64 rng) (Rng.int64 restored)
+  done
+
 let test_rng_choose () =
   let rng = Rng.create 1 in
   Alcotest.(check int) "singleton" 7 (Rng.choose rng [| 7 |]);
@@ -350,6 +363,7 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "split independence" `Quick test_rng_split_independence;
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "state snapshot/restore" `Quick test_rng_state_roundtrip;
           Alcotest.test_case "choose" `Quick test_rng_choose;
         ] );
       ( "stats",
