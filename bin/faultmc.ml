@@ -7,6 +7,7 @@
      characterize  per-register lifetime/contamination statistics (Fig 4)
      sweep         temporal / spatial attack-accuracy sweeps (Fig 11)
      harden        critical registers and hardening trade-off
+     lint          static-analysis passes over the benchmark netlists
      experiments   regenerate every paper figure and table *)
 
 open Cmdliner
@@ -341,6 +342,106 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Export the responding-signal cone (or whole netlist) as Graphviz.")
     Term.(const run $ full $ out)
 
+(* lint *)
+
+let lint_targets = function
+  | "cpu" | "crypto" | "all" -> true
+  | _ -> false
+
+let build_lint_target = function
+  | "cpu" ->
+      let circuit = Fmc_cpu.Circuit.build () in
+      Fmc_analysis.Pass.target ~name:"cpu"
+        ~responding:(Fmc_cpu.Circuit.responding_signals circuit)
+        circuit.Fmc_cpu.Circuit.net
+  | "crypto" ->
+      let core = Fmc_crypto.Core_circuit.build () in
+      (* TOYSPN has no in-circuit detection mechanism: certify against the
+         primary outputs (ciphertext, done, busy). *)
+      Fmc_analysis.Pass.target ~name:"crypto" core.Fmc_crypto.Core_circuit.net
+  | t -> invalid_arg ("build_lint_target: " ^ t)
+
+let lint_cmd =
+  let run target passes json fail_on list_passes =
+    if list_passes then begin
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "%-22s %-5s %s@." p.Fmc_analysis.Pass.name
+            (Fmc_analysis.Diagnostic.severity_to_string p.Fmc_analysis.Pass.default_severity)
+            p.Fmc_analysis.Pass.doc)
+        Fmc_analysis.Registry.all;
+      0
+    end
+    else if not (lint_targets target) then begin
+      Format.eprintf "faultmc lint: unknown target %S (expected cpu|crypto|all)@." target;
+      2
+    end
+    else
+      match Fmc_analysis.Registry.select passes with
+      | Error msg ->
+          Format.eprintf "faultmc lint: %s@." msg;
+          2
+      | Ok selected ->
+          let names = if target = "all" then [ "cpu"; "crypto" ] else [ target ] in
+          let worst = ref 0 in
+          let reports =
+            List.map
+              (fun name ->
+                let tgt = build_lint_target name in
+                let diags = Fmc_analysis.Reporter.run selected tgt in
+                worst := max !worst (Fmc_analysis.Reporter.exit_code ~fail_on diags);
+                (tgt, diags))
+              names
+          in
+          if json then begin
+            let bodies =
+              List.map (fun (tgt, diags) -> Fmc_analysis.Reporter.to_json ~target:tgt diags) reports
+            in
+            print_endline ("[" ^ String.concat "," bodies ^ "]")
+          end
+          else
+            List.iter
+              (fun (tgt, diags) ->
+                Format.fprintf ppf "%a@." (fun ppf -> Fmc_analysis.Reporter.pp_report ppf ~target:tgt) diags)
+              reports;
+          !worst
+  in
+  let target =
+    Arg.(
+      value & opt string "all"
+      & info [ "t"; "target" ] ~docv:"TARGET"
+          ~doc:"Netlist to lint: $(b,cpu), $(b,crypto), or $(b,all).")
+  in
+  let passes =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "pass" ] ~docv:"PASS"
+          ~doc:"Run only the named pass (repeatable; default: every registered pass).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the reports as a JSON array.") in
+  let fail_on =
+    let parse s =
+      match Fmc_analysis.Diagnostic.severity_of_string s with
+      | Some sev -> Ok sev
+      | None -> Error (`Msg (Printf.sprintf "unknown severity %S (expected info|warn|error)" s))
+    in
+    let print fmt s = Format.fprintf fmt "%s" (Fmc_analysis.Diagnostic.severity_to_string s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Fmc_analysis.Diagnostic.Error
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:"Exit non-zero when a finding reaches $(docv): $(b,info), $(b,warn) or $(b,error).")
+  in
+  let list_passes =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the registered passes and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (structural lints, security coverage certificate, TMR \
+          verifier) over the benchmark netlists.")
+    Term.(const run $ target $ passes $ json $ fail_on $ list_passes)
+
 (* experiments *)
 
 let experiments_cmd =
@@ -368,4 +469,4 @@ let () =
   let doc = "cross-level Monte Carlo fault-attack vulnerability evaluation" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
-    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; trace_cmd; dot_cmd; experiments_cmd ]))
+    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; trace_cmd; dot_cmd; experiments_cmd ]))

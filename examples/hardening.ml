@@ -5,7 +5,6 @@
 
    Run: dune exec examples/hardening.exe *)
 
-module N = Fmc_netlist.Netlist
 
 let () =
   let ctx = Fmc.Experiments.context () in

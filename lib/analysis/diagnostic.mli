@@ -1,0 +1,47 @@
+(** Findings emitted by static-analysis passes.
+
+    A diagnostic ties a human-readable message to its provenance in the
+    netlist: the offending node ids and the register-group names involved,
+    plus optional numeric facts (used by certificate-style passes whose
+    JSON output is consumed by other tools and by the cross-check tests). *)
+
+type severity = Info | Warning | Error
+
+val severity_compare : severity -> severity -> int
+(** Orders [Info < Warning < Error]. *)
+
+val severity_to_string : severity -> string
+(** ["info"], ["warn"], ["error"]. *)
+
+val severity_of_string : string -> severity option
+(** Accepts the {!severity_to_string} forms plus ["warning"],
+    case-insensitively. *)
+
+type t = {
+  pass : string;  (** name of the pass that produced the finding *)
+  severity : severity;
+  message : string;
+  nodes : Fmc_netlist.Netlist.node list;  (** offending node ids, if any *)
+  groups : string list;  (** register groups involved, if any *)
+  data : (string * float) list;  (** machine-readable facts (certificates) *)
+}
+
+val make :
+  pass:string ->
+  severity:severity ->
+  ?nodes:Fmc_netlist.Netlist.node list ->
+  ?groups:string list ->
+  ?data:(string * float) list ->
+  string ->
+  t
+
+val max_severity : t list -> severity option
+(** [None] on an empty list. *)
+
+val count : severity -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+(** One finding, single line plus optional provenance suffix. *)
+
+val to_json : t -> string
+(** One finding as a JSON object. *)

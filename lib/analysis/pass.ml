@@ -1,0 +1,21 @@
+type target = {
+  name : string;
+  net : Fmc_netlist.Netlist.t;
+  responding : Fmc_netlist.Netlist.node list;
+}
+
+let target ?(responding = []) ~name net = { name; net; responding }
+
+let roots t =
+  match t.responding with
+  | [] -> List.map snd (Fmc_netlist.Netlist.outputs t.net)
+  | rs -> rs
+
+type t = {
+  name : string;
+  doc : string;
+  default_severity : Diagnostic.severity;
+  run : target -> Diagnostic.t list;
+}
+
+let run p target = p.run target

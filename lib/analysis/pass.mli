@@ -1,0 +1,35 @@
+(** The pass interface of the static-analysis framework.
+
+    A pass is a pure function from an analysis {!target} (a frozen netlist
+    plus the security metadata the netlist itself does not carry) to a list
+    of {!Diagnostic.t}. Passes must not mutate the netlist and must be
+    deterministic: the lint CLI and CI depend on reproducible output. *)
+
+type target = {
+  name : string;  (** display name, e.g. ["cpu"] or ["crypto"] *)
+  net : Fmc_netlist.Netlist.t;
+  responding : Fmc_netlist.Netlist.node list;
+      (** roots of the security cones (paper §4, Observation 1): the
+          responding signals whose fan-in/fan-out cones bound where a fault
+          can affect SSF. May be empty when the target has no designated
+          security mechanism; cone-based passes then fall back to the
+          primary outputs. *)
+}
+
+val target :
+  ?responding:Fmc_netlist.Netlist.node list -> name:string -> Fmc_netlist.Netlist.t -> target
+
+val roots : target -> Fmc_netlist.Netlist.node list
+(** [responding] if non-empty, otherwise the primary-output nodes. *)
+
+type t = {
+  name : string;  (** unique registry key, kebab-case *)
+  doc : string;  (** one-line description shown by [faultmc lint --list] *)
+  default_severity : Diagnostic.severity;
+      (** severity of this pass's ordinary findings (certificate passes may
+          additionally emit [Error] findings for outright violations) *)
+  run : target -> Diagnostic.t list;
+}
+
+val run : t -> target -> Diagnostic.t list
+(** Run one pass; diagnostics are returned in a deterministic order. *)

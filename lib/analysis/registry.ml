@@ -1,0 +1,20 @@
+let all = Structural.all @ Security.all
+
+let find name = List.find_opt (fun p -> p.Pass.name = name) all
+
+let names () = List.map (fun p -> p.Pass.name) all
+
+let select = function
+  | [] -> Ok all
+  | requested ->
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+            match find name with
+            | Some p -> resolve (p :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "unknown pass %S (available: %s)" name
+                     (String.concat ", " (names ()))))
+      in
+      resolve [] requested

@@ -1,0 +1,16 @@
+(** The pass registry: every pass the lint driver knows about.
+
+    Order is significant only for reporting (structural lints first, then
+    the security analyses); passes are independent of each other. *)
+
+val all : Pass.t list
+
+val find : string -> Pass.t option
+(** Look up a pass by its registry name. *)
+
+val names : unit -> string list
+(** Registry names, in registry order. *)
+
+val select : string list -> (Pass.t list, string) result
+(** Resolve a list of pass names; [Error] names the first unknown pass and
+    the valid names. An empty selection means every pass. *)

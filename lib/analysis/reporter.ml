@@ -1,0 +1,33 @@
+module D = Diagnostic
+
+let run passes target = List.concat_map (fun p -> Pass.run p target) passes
+
+let pp_report ppf ~(target : Pass.target) diags =
+  Format.fprintf ppf "@[<v>lint: target %s (%d nodes, %d flip-flops)@," target.Pass.name
+    (Fmc_netlist.Netlist.num_nodes target.Pass.net)
+    (Array.length (Fmc_netlist.Netlist.dffs target.Pass.net));
+  List.iter (fun d -> Format.fprintf ppf "  %a@," D.pp d) diags;
+  Format.fprintf ppf "  %d error(s), %d warning(s), %d info@]" (D.count D.Error diags)
+    (D.count D.Warning diags) (D.count D.Info diags)
+
+let to_json ~(target : Pass.target) diags =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"target\":\"%s\",\"nodes\":%d,\"flip_flops\":%d,\"diagnostics\":["
+       target.Pass.name
+       (Fmc_netlist.Netlist.num_nodes target.Pass.net)
+       (Array.length (Fmc_netlist.Netlist.dffs target.Pass.net)));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (D.to_json d))
+    diags;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"summary\":{\"error\":%d,\"warn\":%d,\"info\":%d}}"
+       (D.count D.Error diags) (D.count D.Warning diags) (D.count D.Info diags));
+  Buffer.contents buf
+
+let exceeds ~fail_on diags =
+  List.exists (fun d -> D.severity_compare d.D.severity fail_on >= 0) diags
+
+let exit_code ~fail_on diags = if exceeds ~fail_on diags then 1 else 0

@@ -1,0 +1,20 @@
+(** Driving passes over a target and rendering the findings.
+
+    Exit-code convention (used by [faultmc lint] and CI): [0] when no
+    diagnostic reaches the [fail_on] severity, [1] otherwise; argument
+    errors use the CLI's own codes. *)
+
+val run : Pass.t list -> Pass.target -> Diagnostic.t list
+(** Run the passes in order and concatenate their findings. *)
+
+val pp_report : Format.formatter -> target:Pass.target -> Diagnostic.t list -> unit
+(** Human-readable report: header, one line per finding, severity totals. *)
+
+val to_json : target:Pass.target -> Diagnostic.t list -> string
+(** [{"target":..., "nodes":..., "diagnostics":[...], "summary":{...}}]. *)
+
+val exceeds : fail_on:Diagnostic.severity -> Diagnostic.t list -> bool
+(** True when some finding is at least as severe as [fail_on]. *)
+
+val exit_code : fail_on:Diagnostic.severity -> Diagnostic.t list -> int
+(** [1] when {!exceeds}, else [0]. *)

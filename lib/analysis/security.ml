@@ -1,0 +1,251 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+module Cone = Fmc_netlist.Cone
+module Tmr = Fmc_netlist.Tmr
+module D = Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* Coverage certificate *)
+
+(* Backward sequential closure: registers that can influence [roots] within
+   [depth] cycles ([None] = any number: iterate to the fixpoint). Each round
+   roots the single-cycle fan-in cone at the D drivers of the registers
+   found in the previous round. *)
+let backward_closure ?depth net ~roots =
+  let visible = Hashtbl.create 64 in
+  let frontier = ref roots in
+  let rounds = ref 0 in
+  while !frontier <> [] && (match depth with Some d -> !rounds < d | None -> true) do
+    incr rounds;
+    let cone = Cone.fanin net ~roots:!frontier in
+    let fresh =
+      Array.to_list cone.Cone.registers |> List.filter (fun r -> not (Hashtbl.mem visible r))
+    in
+    List.iter (fun r -> Hashtbl.replace visible r ()) fresh;
+    frontier := List.map (N.dff_d net) fresh
+  done;
+  visible
+
+(* Forward dual: registers that [roots] can influence. [Cone.fanout] spreads
+   through a register root's consumers directly, so the next round roots at
+   the fresh registers themselves. *)
+let forward_closure ?depth net ~roots =
+  let visible = Hashtbl.create 64 in
+  let frontier = ref roots in
+  let rounds = ref 0 in
+  while !frontier <> [] && (match depth with Some d -> !rounds < d | None -> true) do
+    incr rounds;
+    let cone = Cone.fanout net ~roots:!frontier in
+    let fresh =
+      Array.to_list cone.Cone.registers |> List.filter (fun r -> not (Hashtbl.mem visible r))
+    in
+    List.iter (fun r -> Hashtbl.replace visible r ()) fresh;
+    frontier := fresh
+  done;
+  visible
+
+let visible_registers ?fanin_depth ?fanout_depth net ~roots =
+  let bwd = backward_closure ?depth:fanin_depth net ~roots in
+  let fwd = forward_closure ?depth:fanout_depth net ~roots in
+  N.dffs net |> Array.to_list
+  |> List.filter (fun r -> Hashtbl.mem bwd r || Hashtbl.mem fwd r)
+  |> Array.of_list
+
+type coverage = { group : string; total : int; invisible : int }
+
+let coverage (t : Pass.target) =
+  let net = t.Pass.net in
+  let visible = visible_registers net ~roots:(Pass.roots t) in
+  let vis = Hashtbl.create (Array.length visible) in
+  Array.iter (fun r -> Hashtbl.replace vis r ()) visible;
+  List.map
+    (fun (group, members) ->
+      let invisible =
+        Array.fold_left (fun acc m -> if Hashtbl.mem vis m then acc else acc + 1) 0 members
+      in
+      { group; total = Array.length members; invisible })
+    (N.register_groups net)
+
+let coverage_certificate =
+  let run (t : Pass.target) =
+    let covs = coverage t in
+    let preamble =
+      if t.Pass.responding = [] then
+        [
+          D.make ~pass:"coverage-certificate" ~severity:D.Info
+            "target declares no responding signals; certifying against the primary outputs";
+        ]
+      else []
+    in
+    let per_group =
+      List.map
+        (fun c ->
+          D.make ~pass:"coverage-certificate" ~severity:D.Info ~groups:[ c.group ]
+            ~data:
+              [
+                ("total", float_of_int c.total);
+                ("invisible", float_of_int c.invisible);
+                ("fraction_invisible", float_of_int c.invisible /. float_of_int (max 1 c.total));
+              ]
+            (Printf.sprintf "group %s: %d/%d flip-flops provably SSF-invisible" c.group c.invisible
+               c.total))
+        covs
+    in
+    let total = List.fold_left (fun acc c -> acc + c.total) 0 covs in
+    let invisible = List.fold_left (fun acc c -> acc + c.invisible) 0 covs in
+    let summary =
+      D.make ~pass:"coverage-certificate" ~severity:D.Info
+        ~data:
+          [
+            ("total", float_of_int total);
+            ("invisible", float_of_int invisible);
+            ("fraction_invisible", float_of_int invisible /. float_of_int (max 1 total));
+          ]
+        (Printf.sprintf
+           "certificate: %d/%d flip-flops are outside the responding-signal cones (faults there \
+            cannot affect SSF)"
+           invisible total)
+    in
+    preamble @ per_group @ [ summary ]
+  in
+  {
+    Pass.name = "coverage-certificate";
+    doc = "per-group count of flip-flops provably outside the responding-signal cones";
+    default_severity = D.Info;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TMR verifier *)
+
+let strip_suffix name k =
+  let suf = Tmr.voter_suffix k in
+  let nl = String.length name and sl = String.length suf in
+  if nl > sl && String.sub name (nl - sl) sl = suf then Some (String.sub name 0 (nl - sl))
+  else None
+
+let is_shadow name = strip_suffix name 1 <> None || strip_suffix name 2 <> None
+
+(* The AND gate combining exactly copies [a] and [b], if any. *)
+let pair_and net a b =
+  let want = List.sort compare [ a; b ] in
+  Array.to_list (N.fanouts net a)
+  |> List.find_opt (fun g ->
+         match N.kind net g with
+         | K.Gate K.And -> List.sort compare (Array.to_list (N.fanins net g)) = want
+         | _ -> false)
+
+let majority_voter net p s1 s2 =
+  match (pair_and net p s1, pair_and net p s2, pair_and net s1 s2) with
+  | Some ab, Some ac, Some bc -> (
+      let want = List.sort compare [ ab; ac; bc ] in
+      Array.to_list (N.fanouts net ab)
+      |> List.find_opt (fun g ->
+             match N.kind net g with
+             | K.Gate K.Or -> List.sort compare (Array.to_list (N.fanins net g)) = want
+             | _ -> false)
+      |> function
+      | Some voter -> Some (voter, [ ab; ac; bc ])
+      | None -> None)
+  | _ -> None
+
+let tmr_verifier =
+  let err msg ~nodes ~groups = D.make ~pass:"tmr-verifier" ~severity:D.Error ~nodes ~groups msg in
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let groups = N.register_groups net in
+    let find g = List.assoc_opt g groups in
+    let is_output i = List.exists (fun (_, o) -> o = i) (N.outputs net) in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    (* Orphan shadows: a ##tmr copy whose base group is gone. *)
+    List.iter
+      (fun (name, members) ->
+        match (strip_suffix name 1, strip_suffix name 2) with
+        | Some base, _ | _, Some base ->
+            if find base = None then
+              emit
+                (err ~nodes:(Array.to_list members) ~groups:[ name ]
+                   (Printf.sprintf "shadow group %s has no base group %s" name base))
+        | None, None -> ())
+      groups;
+    List.iter
+      (fun (base, primary) ->
+        if not (is_shadow base) then
+          match (find (base ^ Tmr.voter_suffix 1), find (base ^ Tmr.voter_suffix 2)) with
+          | None, None -> ()
+          | Some _, None | None, Some _ ->
+              emit
+                (err ~nodes:(Array.to_list primary) ~groups:[ base ]
+                   (Printf.sprintf "group %s has only one shadow copy: not a triplication" base))
+          | Some s1, Some s2 ->
+              let w = Array.length primary in
+              if Array.length s1 <> w || Array.length s2 <> w then
+                emit
+                  (err ~nodes:(Array.to_list primary) ~groups:[ base ]
+                     (Printf.sprintf "group %s: replica widths differ (%d, %d, %d)" base w
+                        (Array.length s1) (Array.length s2)))
+              else begin
+                let clean = ref true in
+                for i = 0 to w - 1 do
+                  let p = primary.(i) and a = s1.(i) and b = s2.(i) in
+                  let bit = Printf.sprintf "%s[%d]" base i in
+                  if N.dff_init net a <> N.dff_init net p || N.dff_init net b <> N.dff_init net p
+                  then begin
+                    clean := false;
+                    emit
+                      (err ~nodes:[ p; a; b ] ~groups:[ base ]
+                         (Printf.sprintf "%s: replica init values differ" bit))
+                  end;
+                  if N.dff_d net a <> N.dff_d net p || N.dff_d net b <> N.dff_d net p then begin
+                    clean := false;
+                    emit
+                      (err ~nodes:[ p; a; b ] ~groups:[ base ]
+                         (Printf.sprintf "%s: replicas do not latch the same D signal" bit))
+                  end;
+                  match majority_voter net p a b with
+                  | None ->
+                      clean := false;
+                      emit
+                        (err ~nodes:[ p; a; b ] ~groups:[ base ]
+                           (Printf.sprintf "%s: missing or degenerate 2-of-3 majority voter" bit))
+                  | Some (_, voter_ands) ->
+                      List.iter
+                        (fun copy ->
+                          let bypassers =
+                            Array.to_list (N.fanouts net copy)
+                            |> List.filter (fun g -> not (List.mem g voter_ands))
+                          in
+                          let exported = is_output copy in
+                          if bypassers <> [] || exported then begin
+                            clean := false;
+                            emit
+                              (err ~nodes:(copy :: bypassers) ~groups:[ base ]
+                                 (Printf.sprintf
+                                    "%s: replica Q consumed outside its voter%s — single point of \
+                                     failure bypasses the vote"
+                                    bit
+                                    (if exported then " (exported as a primary output)" else "")))
+                          end)
+                        [ p; a; b ]
+                done;
+                if !clean then
+                  emit
+                    (D.make ~pass:"tmr-verifier" ~severity:D.Info ~groups:[ base ]
+                       ~data:[ ("width", float_of_int w) ]
+                       (Printf.sprintf
+                          "group %s: true triplication verified (%d bits, independent voters, no \
+                           bypass)"
+                          base w))
+              end)
+      groups;
+    List.rev !diags
+  in
+  {
+    Pass.name = "tmr-verifier";
+    doc = "structural verification of TMR-protected register groups";
+    default_severity = D.Error;
+    run;
+  }
+
+let all = [ coverage_certificate; tmr_verifier ]

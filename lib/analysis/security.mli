@@ -1,0 +1,54 @@
+(** Security analyses over the netlist (paper §4, Observation 1).
+
+    {2 Coverage certificate}
+
+    The paper's pre-characterization proves that a fault outside the
+    fan-in/fan-out cones of the responding signals cannot affect the System
+    Security Factor: it can neither change whether a violation is flagged
+    (fan-in side) nor be influenced by the flagging logic (fan-out side).
+    The sampler uses this dynamically to restrict its sample space; the
+    certificate pass surfaces the same fact as a checkable artifact: for
+    each register group, how many flip-flops are {e provably SSF-invisible}
+    — outside both the backward and the forward sequential closure of the
+    responding signals. The closures iterate {!Fmc_netlist.Cone.fanin} /
+    {!Fmc_netlist.Cone.fanout} through the register boundary to a fixpoint,
+    so the certificate holds at any attack depth (it is a superset-proof of
+    the depth-bounded [Fmc.Precharac] cone).
+
+    {2 TMR verifier}
+
+    Structurally checks a {!Fmc_netlist.Tmr}-protected netlist: every
+    register group with shadow copies must be truly triplicated (three
+    copies, same width, same init, latching the same D), voted through a
+    dedicated 2-of-3 majority voter per bit, with no consumer bypassing the
+    voter (a bypass is a single point of failure that voids the
+    protection). *)
+
+type coverage = {
+  group : string;
+  total : int;  (** flip-flops in the group *)
+  invisible : int;  (** provably SSF-invisible flip-flops *)
+}
+
+val coverage : Pass.target -> coverage list
+(** Per-group certificate data, sorted by group name. Uses
+    {!Pass.roots} — the responding signals, or the primary outputs when the
+    target declares none. *)
+
+val visible_registers :
+  ?fanin_depth:int ->
+  ?fanout_depth:int ->
+  Fmc_netlist.Netlist.t ->
+  roots:Fmc_netlist.Netlist.node list ->
+  Fmc_netlist.Netlist.node array
+(** The union of the backward and forward sequential closures of [roots]:
+    every flip-flop a fault must touch (directly or transitively) to affect
+    logic observable at the roots. Ascending node order. The optional
+    depths bound the number of register-boundary crossings per direction
+    (mirroring [Fmc.Precharac]'s [depth]/[fanout_depth]); omitted means
+    iterate to the fixpoint, which is what the certificate pass uses. *)
+
+val coverage_certificate : Pass.t
+val tmr_verifier : Pass.t
+
+val all : Pass.t list

@@ -1,0 +1,285 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+module D = Diagnostic
+
+let describe net i = Printf.sprintf "%s#%d" (K.to_string (N.kind net i)) i
+
+(* ------------------------------------------------------------------ *)
+(* dead-gate *)
+
+let dead_gate =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let n = N.num_nodes net in
+    let useful = Array.make n false in
+    let rec mark i =
+      if not useful.(i) then begin
+        useful.(i) <- true;
+        Array.iter mark (N.fanins net i)
+      end
+    in
+    List.iter (fun (_, o) -> mark o) (N.outputs net);
+    Array.iter mark (N.dffs net);
+    let diags = ref [] in
+    Array.iter
+      (fun g ->
+        if not useful.(g) then
+          diags :=
+            D.make ~pass:"dead-gate" ~severity:D.Warning ~nodes:[ g ]
+              (Printf.sprintf "gate %s has no path to any flip-flop or primary output"
+                 (describe net g))
+            :: !diags)
+      (N.gates net);
+    List.rev !diags
+  in
+  {
+    Pass.name = "dead-gate";
+    doc = "combinational gates that cannot reach any flip-flop or primary output";
+    default_severity = D.Warning;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* const-gate: bounded constant propagation + identity folds *)
+
+(* Three-valued evaluation: [None] is unknown, [Some b] a proven constant. *)
+let eval3 kind (vals : bool option array) =
+  let all_known () = Array.for_all Option.is_some vals in
+  let forced v = Array.exists (fun x -> x = Some v) vals in
+  match kind with
+  | K.And -> if forced false then Some false else if all_known () then Some true else None
+  | K.Nand -> if forced false then Some true else if all_known () then Some false else None
+  | K.Or -> if forced true then Some true else if all_known () then Some false else None
+  | K.Nor -> if forced true then Some false else if all_known () then Some true else None
+  | K.Xor | K.Xnor ->
+      if all_known () then
+        let x = Array.fold_left (fun acc v -> acc <> Option.get v) false vals in
+        Some (if kind = K.Xor then x else not x)
+      else None
+  | K.Not -> Option.map not vals.(0)
+  | K.Buf -> vals.(0)
+  | K.Mux -> (
+      match vals.(0) with
+      | Some sel -> if sel then vals.(2) else vals.(1)
+      | None -> (
+          match (vals.(1), vals.(2)) with
+          | Some a, Some b when a = b -> Some a
+          | _ -> None))
+
+(* If the gate output provably equals one of its fan-ins given the known
+   constants, return that fan-in. *)
+let identity_fanin kind fanins (vals : bool option array) =
+  let unknowns = ref [] in
+  Array.iteri (fun i v -> if v = None then unknowns := i :: !unknowns) vals;
+  match (kind, !unknowns) with
+  | (K.And | K.Or), [ i ] ->
+      (* All other fan-ins known and non-controlling, else eval3 was const. *)
+      Some fanins.(i)
+  | K.Xor, [ i ] ->
+      let parity =
+        Array.fold_left (fun acc v -> match v with Some b -> acc <> b | None -> acc) false vals
+      in
+      if not parity then Some fanins.(i) else None
+  | K.Buf, _ -> Some fanins.(0)
+  | K.Mux, _ -> (
+      match vals.(0) with
+      | Some sel -> Some (if sel then fanins.(2) else fanins.(1))
+      | None -> if fanins.(1) = fanins.(2) then Some fanins.(1) else None)
+  | (K.And | K.Or), _ ->
+      (* x AND x AND ... x folds to x. *)
+      let first = fanins.(0) in
+      if Array.for_all (fun f -> f = first) fanins then Some first else None
+  | _ -> None
+
+let const_gate =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let n = N.num_nodes net in
+    let value = Array.make n None in
+    Array.iter
+      (fun c -> match N.kind net c with K.Const v -> value.(c) <- Some v | _ -> ())
+      (N.consts net);
+    let diags = ref [] in
+    Array.iter
+      (fun g ->
+        match N.kind net g with
+        | K.Gate kind -> (
+            let fanins = N.fanins net g in
+            let vals = Array.map (fun f -> value.(f)) fanins in
+            match eval3 kind vals with
+            | Some v ->
+                value.(g) <- Some v;
+                diags :=
+                  D.make ~pass:"const-gate" ~severity:D.Warning ~nodes:[ g ]
+                    (Printf.sprintf "gate %s always outputs %b" (describe net g) v)
+                  :: !diags
+            | None -> (
+                match identity_fanin kind fanins vals with
+                | Some f ->
+                    diags :=
+                      D.make ~pass:"const-gate" ~severity:D.Info ~nodes:[ g; f ]
+                        (Printf.sprintf "gate %s is identity-foldable to its fan-in node %d"
+                           (describe net g) f)
+                      :: !diags
+                | None -> ()))
+        | _ -> ())
+      (N.gates net);
+    List.rev !diags
+  in
+  {
+    Pass.name = "const-gate";
+    doc = "constant-driven gates (bounded constant propagation) and identity folds";
+    default_severity = D.Warning;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* floating-input *)
+
+let floating_input =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let is_output i = List.exists (fun (_, o) -> o = i) (N.outputs net) in
+    let diags = ref [] in
+    Array.iter
+      (fun i ->
+        if Array.length (N.fanouts net i) = 0 && not (is_output i) then
+          let name = match N.input_name net i with Some s -> s | None -> Printf.sprintf "#%d" i in
+          diags :=
+            D.make ~pass:"floating-input" ~severity:D.Warning ~nodes:[ i ]
+              (Printf.sprintf "primary input %s drives nothing" name)
+            :: !diags)
+      (N.inputs net);
+    List.rev !diags
+  in
+  {
+    Pass.name = "floating-input";
+    doc = "primary inputs that drive no logic and no output";
+    default_severity = D.Warning;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* unread-register *)
+
+let unread_register =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let is_output i = List.exists (fun (_, o) -> o = i) (N.outputs net) in
+    List.filter_map
+      (fun (group, members) ->
+        let in_group = Hashtbl.create (Array.length members) in
+        Array.iter (fun m -> Hashtbl.replace in_group m ()) members;
+        let observable =
+          Array.exists
+            (fun m ->
+              is_output m
+              || Array.exists (fun r -> not (Hashtbl.mem in_group r)) (N.fanouts net m))
+            members
+        in
+        if observable then None
+        else
+          Some
+            (D.make ~pass:"unread-register" ~severity:D.Warning ~groups:[ group ]
+               ~nodes:(Array.to_list members)
+               (Printf.sprintf
+                  "register group %s (%d bits) is never read outside itself: write-only state"
+                  group (Array.length members))))
+      (N.register_groups net)
+  in
+  {
+    Pass.name = "unread-register";
+    doc = "register groups whose outputs are consumed by nothing outside the group";
+    default_severity = D.Warning;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* duplicate-gate *)
+
+let commutative = function
+  | K.And | K.Or | K.Nand | K.Nor | K.Xor | K.Xnor -> true
+  | K.Not | K.Buf | K.Mux -> false
+
+let duplicate_gate =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let seen = Hashtbl.create 256 in
+    Array.iter
+      (fun g ->
+        match N.kind net g with
+        | K.Gate kind ->
+            let fanins = Array.copy (N.fanins net g) in
+            if commutative kind then Array.sort compare fanins;
+            let key =
+              K.gate_to_string kind ^ ":"
+              ^ String.concat "," (List.map string_of_int (Array.to_list fanins))
+            in
+            let cur = try Hashtbl.find seen key with Not_found -> [] in
+            Hashtbl.replace seen key (g :: cur)
+        | _ -> ())
+      (N.gates net);
+    let sets =
+      Hashtbl.fold (fun _ nodes acc -> if List.length nodes > 1 then List.rev nodes :: acc else acc)
+        seen []
+      |> List.sort compare
+    in
+    List.map
+      (fun nodes ->
+        let rep = List.hd nodes in
+        D.make ~pass:"duplicate-gate" ~severity:D.Info ~nodes
+          (Printf.sprintf "%d structurally identical %s gates (representative %s): sharing opportunity"
+             (List.length nodes)
+             (K.to_string (N.kind net rep))
+             (describe net rep)))
+      sets
+  in
+  {
+    Pass.name = "duplicate-gate";
+    doc = "structurally identical gates that could share one instance";
+    default_severity = D.Info;
+    run;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fanout-hotspot *)
+
+let hotspot_threshold net =
+  let cells = Array.append (N.gates net) (N.dffs net) in
+  let counts = Array.map (fun c -> float_of_int (Array.length (N.fanouts net c))) cells in
+  let n = float_of_int (max 1 (Array.length counts)) in
+  let mean = Array.fold_left ( +. ) 0. counts /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. counts /. n
+  in
+  max 32 (int_of_float (ceil (mean +. (8. *. sqrt var))))
+
+let fanout_hotspot =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let threshold = hotspot_threshold net in
+    let diags = ref [] in
+    Array.iter
+      (fun c ->
+        let fo = Array.length (N.fanouts net c) in
+        if fo > threshold then
+          diags :=
+            D.make ~pass:"fanout-hotspot" ~severity:D.Warning ~nodes:[ c ]
+              ~data:[ ("fanout", float_of_int fo); ("threshold", float_of_int threshold) ]
+              (Printf.sprintf
+                 "cell %s fans out to %d consumers (threshold %d): a single strike has reach the \
+                  disc-radius model under-represents"
+                 (describe net c) fo threshold)
+            :: !diags)
+      (Array.append (N.gates net) (N.dffs net));
+    List.rev !diags
+  in
+  {
+    Pass.name = "fanout-hotspot";
+    doc = "cells whose fan-out count is a statistical outlier for the placement";
+    default_severity = D.Warning;
+    run;
+  }
+
+let all =
+  [ dead_gate; const_gate; floating_input; unread_register; duplicate_gate; fanout_hotspot ]

@@ -1,0 +1,33 @@
+(** Structural lint passes: netlist hygiene defects that the frozen-netlist
+    validation of [Netlist.of_builder] (connectivity, acyclicity) does not
+    catch, but that waste simulation work or distort the fault model.
+
+    - [dead_gate]: combinational gates from which no flip-flop D input and
+      no primary output is reachable — dead logic that still gets placed
+      and simulated, diluting the radiation-strike sample space.
+    - [const_gate]: gates whose output is provably constant under bounded
+      constant propagation from the [Const] nodes, plus gates foldable to
+      one of their fan-ins (identity folds).
+    - [floating_input]: primary inputs driving nothing.
+    - [unread_register]: register groups whose flip-flop outputs are never
+      consumed — write-only state, invisible to every observable.
+    - [duplicate_gate]: structurally identical gates (same kind, same
+      fan-in multiset for commutative kinds) — sharing opportunities.
+    - [fanout_hotspot]: cells whose fan-out count is a statistical outlier;
+      a single strike on such a cell has a reach the disc-radius model
+      under-represents (the disc covers neighbours, not the fan-out tree). *)
+
+val dead_gate : Pass.t
+val const_gate : Pass.t
+val floating_input : Pass.t
+val unread_register : Pass.t
+val duplicate_gate : Pass.t
+val fanout_hotspot : Pass.t
+
+val hotspot_threshold : Fmc_netlist.Netlist.t -> int
+(** The fan-out count above which [fanout_hotspot] flags a cell:
+    [max 32 (mean + 8 * stddev)] over all placed cells (gates and
+    flip-flops). Exposed for the test suite. *)
+
+val all : Pass.t list
+(** The passes above, in the order listed. *)

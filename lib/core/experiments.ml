@@ -3,7 +3,6 @@ module K = Fmc_netlist.Kind
 module Unroll = Fmc_netlist.Unroll
 module Circuit = Fmc_cpu.Circuit
 module Programs = Fmc_isa.Programs
-module Placement = Fmc_layout.Placement
 module Pattern = Fmc_gatesim.Pattern
 module Rng = Fmc_prelude.Rng
 module Histogram = Fmc_prelude.Stats.Histogram
@@ -12,14 +11,13 @@ type context = {
   circuit : Circuit.t;
   precharac : Precharac.t;
   engines : (string, Engine.t) Hashtbl.t;
-  seed : int;
 }
 
 let context ?(seed = 2017) () =
   let circuit = Circuit.build () in
   let rng = Rng.create seed in
   let precharac = Precharac.run circuit ~rng in
-  { circuit; precharac; engines = Hashtbl.create 4; seed }
+  { circuit; precharac; engines = Hashtbl.create 4 }
 
 let circuit ctx = ctx.circuit
 let precharac ctx = ctx.precharac

@@ -74,7 +74,8 @@ val elaborate : t -> Fmc_netlist.Netlist.t
 
 val input_bus : Fmc_netlist.Netlist.t -> string -> int -> Fmc_netlist.Netlist.node array
 (** [input_bus net name width] resolves the node ids of a bus declared with
-    {!input}. Raises [Not_found] if any bit is missing. *)
+    {!input}. Raises [Invalid_argument] (naming the missing bit and the
+    available inputs) if any bit is missing. *)
 
 val output_bus : Fmc_netlist.Netlist.t -> string -> int -> Fmc_netlist.Netlist.node array
 

@@ -148,8 +148,25 @@ let dffs t = t.dffs
 let gates t = t.gates
 let consts t = t.consts
 let outputs t = t.outputs
-let output t name = List.assoc name t.outputs
-let input_by_name t name = Hashtbl.find t.input_names name
+
+(* A typo'd signal name used to die as a bare [Not_found]; name the missing
+   key and what would have matched instead. *)
+let unknown_key fn what name available =
+  invalid_arg
+    (Printf.sprintf "Netlist.%s: unknown %s %S (available: %s)" fn what name
+       (String.concat ", " (List.sort compare available)))
+
+let output t name =
+  match List.assoc_opt name t.outputs with
+  | Some node -> node
+  | None -> unknown_key "output" "output" name (List.map fst t.outputs)
+
+let input_by_name t name =
+  match Hashtbl.find_opt t.input_names name with
+  | Some node -> node
+  | None ->
+      unknown_key "input_by_name" "input" name
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.input_names [])
 let input_name t i = match t.kinds.(i) with
   | Kind.Input ->
       Hashtbl.fold (fun name id acc -> if id = i then Some name else acc) t.input_names None
@@ -178,7 +195,12 @@ let dff_group t i =
     end
   | _ -> invalid_arg "Netlist.dff_group: not a flip-flop"
 
-let register_group t name = Hashtbl.find t.groups name
+let register_group t name =
+  match Hashtbl.find_opt t.groups name with
+  | Some members -> members
+  | None ->
+      unknown_key "register_group" "register group" name
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [])
 
 let register_groups t =
   Hashtbl.fold (fun name members acc -> (name, members) :: acc) t.groups []

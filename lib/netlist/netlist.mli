@@ -36,10 +36,12 @@ val consts : t -> node array
 
 val outputs : t -> (string * node) list
 val output : t -> string -> node
-(** Raises [Not_found]. *)
+(** Raises [Invalid_argument] for an unknown output name; the message lists
+    the available names. *)
 
 val input_by_name : t -> string -> node
-(** Raises [Not_found]. *)
+(** Raises [Invalid_argument] for an unknown input name; the message lists
+    the available names. *)
 
 val input_name : t -> node -> string option
 
@@ -54,7 +56,8 @@ val dff_group : t -> node -> string * int
 
 val register_group : t -> string -> node array
 (** Flip-flops of a group ordered by bit index (bit 0 first). Raises
-    [Not_found] for an unknown group. *)
+    [Invalid_argument] for an unknown group; the message lists the
+    available group names. *)
 
 val register_groups : t -> (string * node array) list
 (** All groups, sorted by name. *)

@@ -1,0 +1,405 @@
+(* Tests for the static-analysis pass framework: seeded-defect tests (each
+   lint must fire on a netlist built with exactly that defect), clean-
+   benchmark tests (the CPU and crypto netlists carry no ERROR-level
+   findings), the coverage-certificate cross-check against iterated
+   [Cone.fanin]/[Cone.fanout] ground truth, and the TMR verifier against
+   both the genuine [Tmr.protect] output and deliberately corrupted
+   triplications. *)
+
+open Fmc_netlist
+open Fmc_analysis
+module K = Kind
+module B = Builder
+module N = Netlist
+module D = Diagnostic
+
+let run_pass pass net = Pass.run pass (Pass.target ~name:"test" net)
+
+let by_pass name diags = List.filter (fun d -> d.D.pass = name) diags
+
+let severity = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (D.severity_to_string s))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic basics *)
+
+let test_severity_order () =
+  Alcotest.(check bool) "info < warn" true (D.severity_compare D.Info D.Warning < 0);
+  Alcotest.(check bool) "warn < error" true (D.severity_compare D.Warning D.Error < 0);
+  Alcotest.(check (option severity)) "of_string warn" (Some D.Warning) (D.severity_of_string "WARN");
+  Alcotest.(check (option severity)) "of_string warning" (Some D.Warning)
+    (D.severity_of_string "warning");
+  Alcotest.(check (option severity)) "of_string junk" None (D.severity_of_string "fatal");
+  let d = D.make ~pass:"p" ~severity:D.Error ~nodes:[ 1; 2 ] ~groups:[ "g" ] "boom" in
+  Alcotest.(check (option severity)) "max severity" (Some D.Error) (D.max_severity [ d ]);
+  Alcotest.(check int) "exit on error" 1 (Reporter.exit_code ~fail_on:D.Error [ d ]);
+  Alcotest.(check int) "no exit below threshold" 0
+    (Reporter.exit_code ~fail_on:D.Error [ D.make ~pass:"p" ~severity:D.Warning "meh" ]);
+  let json = D.to_json d in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json severity" true (contains "\"severity\":\"error\"");
+  Alcotest.(check bool) "json nodes" true (contains "\"nodes\":[1,2]")
+
+let test_registry () =
+  Alcotest.(check int) "eight passes" 8 (List.length Registry.all);
+  Alcotest.(check bool) "find dead-gate" true (Registry.find "dead-gate" <> None);
+  (match Registry.select [ "tmr-verifier"; "dead-gate" ] with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "order kept" "tmr-verifier" a.Pass.name;
+      Alcotest.(check string) "second" "dead-gate" b.Pass.name
+  | _ -> Alcotest.fail "selection failed");
+  match Registry.select [ "bogus" ] with
+  | Error msg -> Alcotest.(check bool) "names listed" true (String.length msg > 20)
+  | Ok _ -> Alcotest.fail "bogus pass accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Seeded structural defects *)
+
+(* Base circuit every defect builder starts from: i -> q -> output. *)
+let with_base f =
+  let b = B.create () in
+  let i = B.add_input b ~name:"i" in
+  let q = B.add_dff b ~group:"q" ~bit:0 ~init:false in
+  B.connect_dff b q ~d:i;
+  B.set_output b ~name:"o" q;
+  f b i q
+
+let test_dead_gate () =
+  let net, dead =
+    with_base (fun b i _ ->
+        let dead = B.add_gate b K.Not [| i |] in
+        (N.of_builder b, dead))
+  in
+  let diags = by_pass "dead-gate" (run_pass Structural.dead_gate net) in
+  Alcotest.(check int) "one dead gate" 1 (List.length diags);
+  Alcotest.(check (list int)) "provenance" [ dead ] (List.hd diags).D.nodes;
+  (* The base circuit alone is clean. *)
+  let clean = with_base (fun b _ _ -> N.of_builder b) in
+  Alcotest.(check int) "clean base" 0 (List.length (run_pass Structural.dead_gate clean))
+
+let test_const_gate () =
+  let net, const_g, ident_g =
+    with_base (fun b i _ ->
+        let one = B.add_const b true in
+        let zero = B.add_const b false in
+        let const_g = B.add_gate b K.And [| one; zero |] in
+        let ident_g = B.add_gate b K.Xor [| i; zero |] in
+        let sink = B.add_gate b K.Or [| const_g; ident_g |] in
+        B.set_output b ~name:"sink" sink;
+        (N.of_builder b, const_g, ident_g))
+  in
+  let diags = run_pass Structural.const_gate net in
+  let consts = List.filter (fun d -> d.D.severity = D.Warning) diags in
+  let idents = List.filter (fun d -> d.D.severity = D.Info) diags in
+  Alcotest.(check (list int)) "constant gate" [ const_g ] (List.hd consts).D.nodes;
+  Alcotest.(check bool) "identity fold found" true
+    (List.exists (fun d -> List.mem ident_g d.D.nodes) idents)
+
+let test_floating_input () =
+  let net, floating =
+    with_base (fun b _ _ ->
+        let floating = B.add_input b ~name:"nc" in
+        (N.of_builder b, floating))
+  in
+  let diags = by_pass "floating-input" (run_pass Structural.floating_input net) in
+  Alcotest.(check int) "one floating input" 1 (List.length diags);
+  Alcotest.(check (list int)) "provenance" [ floating ] (List.hd diags).D.nodes
+
+let test_unread_register () =
+  let net =
+    with_base (fun b i _ ->
+        let dead_q = B.add_dff b ~group:"wo" ~bit:0 ~init:false in
+        B.connect_dff b dead_q ~d:i;
+        N.of_builder b)
+  in
+  let diags = by_pass "unread-register" (run_pass Structural.unread_register net) in
+  Alcotest.(check int) "one unread group" 1 (List.length diags);
+  Alcotest.(check (list string)) "group named" [ "wo" ] (List.hd diags).D.groups
+
+let test_duplicate_gate () =
+  let net, d1, d2 =
+    with_base (fun b i q ->
+        (* Same AND twice, once with commuted fan-ins. *)
+        let d1 = B.add_gate b K.And [| i; q |] in
+        let d2 = B.add_gate b K.And [| q; i |] in
+        let sink = B.add_gate b K.Or [| d1; d2 |] in
+        B.set_output b ~name:"sink" sink;
+        (N.of_builder b, d1, d2))
+  in
+  let diags = by_pass "duplicate-gate" (run_pass Structural.duplicate_gate net) in
+  Alcotest.(check int) "one duplicate set" 1 (List.length diags);
+  Alcotest.(check (list int)) "both gates listed" [ d1; d2 ] (List.hd diags).D.nodes
+
+let test_fanout_hotspot () =
+  let net, hub =
+    with_base (fun b _ q ->
+        (* Fan q out to 64 inverters folded into an OR tree. *)
+        let stage = Array.init 64 (fun _ -> B.add_gate b K.Not [| q |]) in
+        let folded = Array.fold_left (fun acc g -> B.add_gate b K.Or [| acc; g |]) stage.(0) stage in
+        B.set_output b ~name:"tree" folded;
+        (N.of_builder b, q))
+  in
+  Alcotest.(check bool) "threshold sane" true (Structural.hotspot_threshold net >= 32);
+  let diags = by_pass "fanout-hotspot" (run_pass Structural.fanout_hotspot net) in
+  Alcotest.(check bool) "hub flagged" true
+    (List.exists (fun d -> d.D.nodes = [ hub ]) diags);
+  let clean = with_base (fun b _ _ -> N.of_builder b) in
+  Alcotest.(check int) "clean base" 0 (List.length (run_pass Structural.fanout_hotspot clean))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage certificate *)
+
+(* Two register chains: [vis] feeds the responding gate, [invis] only feeds
+   a separate output and is fed by its own input — no path in either
+   direction to the responding gate. *)
+let split_net () =
+  let b = B.create () in
+  let i = B.add_input b ~name:"i" in
+  let j = B.add_input b ~name:"j" in
+  let vis = B.add_dff b ~group:"vis" ~bit:0 ~init:false in
+  let invis = Array.init 2 (fun bit -> B.add_dff b ~group:"invis" ~bit ~init:false) in
+  let responding = B.add_gate b K.And [| vis; i |] in
+  B.connect_dff b vis ~d:responding;
+  let other = B.add_gate b K.Xor [| invis.(0); j |] in
+  B.connect_dff b invis.(0) ~d:other;
+  B.connect_dff b invis.(1) ~d:invis.(0);
+  B.set_output b ~name:"alarm" responding;
+  B.set_output b ~name:"other" invis.(1);
+  (N.of_builder b, responding)
+
+let test_coverage_split () =
+  let net, responding = split_net () in
+  let t = Pass.target ~name:"split" ~responding:[ responding ] net in
+  let covs = Security.coverage t in
+  let find g = List.find (fun c -> c.Security.group = g) covs in
+  Alcotest.(check int) "vis total" 1 (find "vis").Security.total;
+  Alcotest.(check int) "vis all visible" 0 (find "vis").Security.invisible;
+  Alcotest.(check int) "invis total" 2 (find "invis").Security.total;
+  Alcotest.(check int) "invis all invisible" 2 (find "invis").Security.invisible;
+  (* The certificate pass reports the same numbers in its data fields. *)
+  let diags = by_pass "coverage-certificate" (Pass.run Security.coverage_certificate t) in
+  let for_group g =
+    List.find (fun d -> d.D.groups = [ g ]) diags
+  in
+  Alcotest.(check (option (float 0.))) "invis data" (Some 2.)
+    (List.assoc_opt "invisible" (for_group "invis").D.data);
+  Alcotest.(check (option (float 0.))) "vis data" (Some 0.)
+    (List.assoc_opt "invisible" (for_group "vis").D.data)
+
+(* Ground truth via iterated single-cycle [Cone.fanin]/[Cone.fanout] calls:
+   an independent re-derivation of the sequential closure the certificate
+   computes internally. *)
+let visible_ground_truth net ~roots =
+  let module Tbl = Hashtbl in
+  let seen = Tbl.create 64 in
+  let rec backward roots =
+    let cone = Cone.fanin net ~roots in
+    let fresh =
+      Array.to_list cone.Cone.registers |> List.filter (fun r -> not (Tbl.mem seen (`B r)))
+    in
+    if fresh <> [] then begin
+      List.iter (fun r -> Tbl.replace seen (`B r) ()) fresh;
+      backward (List.map (N.dff_d net) fresh)
+    end
+  in
+  let rec forward roots =
+    let cone = Cone.fanout net ~roots in
+    let fresh =
+      Array.to_list cone.Cone.registers |> List.filter (fun r -> not (Tbl.mem seen (`F r)))
+    in
+    if fresh <> [] then begin
+      List.iter (fun r -> Tbl.replace seen (`F r) ()) fresh;
+      forward fresh
+    end
+  in
+  backward roots;
+  forward roots;
+  Array.to_list (N.dffs net)
+  |> List.filter (fun r -> Tbl.mem seen (`B r) || Tbl.mem seen (`F r))
+
+let check_coverage_against_cones name (t : Pass.target) =
+  let truth = visible_ground_truth t.Pass.net ~roots:(Pass.roots t) in
+  let vis = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace vis r ()) truth;
+  List.iter
+    (fun c ->
+      let members = N.register_group t.Pass.net c.Security.group in
+      let expect =
+        Array.fold_left (fun acc m -> if Hashtbl.mem vis m then acc else acc + 1) 0 members
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s group %s invisible count" name c.Security.group)
+        expect c.Security.invisible)
+    (Security.coverage t)
+
+let cpu_target () =
+  let circuit = Fmc_cpu.Circuit.build () in
+  Pass.target ~name:"cpu"
+    ~responding:(Fmc_cpu.Circuit.responding_signals circuit)
+    circuit.Fmc_cpu.Circuit.net
+
+let crypto_target () =
+  let core = Fmc_crypto.Core_circuit.build () in
+  Pass.target ~name:"crypto" core.Fmc_crypto.Core_circuit.net
+
+let test_coverage_cross_check () =
+  check_coverage_against_cones "split"
+    (let net, responding = split_net () in
+     Pass.target ~name:"split" ~responding:[ responding ] net);
+  check_coverage_against_cones "cpu" (cpu_target ());
+  check_coverage_against_cones "crypto" (crypto_target ())
+
+(* ------------------------------------------------------------------ *)
+(* Clean benchmarks *)
+
+let test_benchmarks_error_free () =
+  List.iter
+    (fun t ->
+      let diags = Reporter.run Registry.all t in
+      Alcotest.(check int)
+        (Printf.sprintf "%s has no ERROR findings" t.Pass.name)
+        0 (D.count D.Error diags);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s produces findings" t.Pass.name)
+        true (diags <> []))
+    [ cpu_target (); crypto_target () ]
+
+(* ------------------------------------------------------------------ *)
+(* TMR verifier *)
+
+let counter_net () =
+  let b = B.create () in
+  let q = Array.init 4 (fun bit -> B.add_dff b ~group:"cnt" ~bit ~init:false) in
+  let one = B.add_const b true in
+  let carry = ref one in
+  Array.iter
+    (fun qi ->
+      let s = B.add_gate b K.Xor [| qi; !carry |] in
+      carry := B.add_gate b K.And [| qi; !carry |];
+      B.connect_dff b qi ~d:s)
+    q;
+  B.set_output b ~name:"msb" q.(3);
+  N.of_builder b
+
+let tmr_errors net =
+  List.filter (fun d -> d.D.severity = D.Error) (run_pass Security.tmr_verifier net)
+
+let test_tmr_genuine_passes () =
+  let net = counter_net () in
+  let tmr = Tmr.protect net ~registers:(N.dffs net) in
+  let diags = run_pass Security.tmr_verifier tmr in
+  Alcotest.(check int) "no errors on genuine TMR" 0 (D.count D.Error diags);
+  Alcotest.(check bool) "verification certificate emitted" true
+    (List.exists
+       (fun d -> d.D.severity = D.Info && d.D.groups = [ "cnt" ])
+       diags);
+  (* An unprotected netlist is silently out of scope. *)
+  Alcotest.(check int) "plain netlist: nothing to verify" 0 (List.length (run_pass Security.tmr_verifier net))
+
+(* Hand-built single-bit triplication with injectable defects. *)
+let manual_tmr ?(bypass = false) ?(skew_d = false) ?(skew_init = false) ?(missing = false) () =
+  let b = B.create () in
+  let i = B.add_input b ~name:"i" in
+  let p = B.add_dff b ~group:"x" ~bit:0 ~init:false in
+  let s1 = B.add_dff b ~group:("x" ^ Tmr.voter_suffix 1) ~bit:0 ~init:false in
+  if missing then begin
+    B.connect_dff b p ~d:i;
+    B.connect_dff b s1 ~d:i;
+    B.set_output b ~name:"o" p
+  end
+  else begin
+    let s2 = B.add_dff b ~group:("x" ^ Tmr.voter_suffix 2) ~bit:0 ~init:skew_init in
+    let ab = B.add_gate b K.And [| p; s1 |] in
+    let ac = B.add_gate b K.And [| p; s2 |] in
+    let bc = B.add_gate b K.And [| s1; s2 |] in
+    let v = B.add_gate b K.Or [| ab; ac; bc |] in
+    B.connect_dff b p ~d:i;
+    B.connect_dff b s1 ~d:i;
+    B.connect_dff b s2 ~d:(if skew_d then B.add_gate b K.Not [| i |] else i);
+    B.set_output b ~name:"o" v;
+    if bypass then B.set_output b ~name:"leak" p
+  end;
+  N.of_builder b
+
+let assert_tmr_error ~name ~needle net =
+  let errors = tmr_errors net in
+  Alcotest.(check bool) (name ^ ": error fired") true (errors <> []);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (name ^ ": message mentions " ^ needle)
+    true
+    (List.exists (fun d -> contains d.D.message needle) errors)
+
+let test_tmr_corruptions_flagged () =
+  Alcotest.(check int) "well-formed manual TMR is clean" 0
+    (List.length (tmr_errors (manual_tmr ())));
+  assert_tmr_error ~name:"bypass" ~needle:"outside its voter" (manual_tmr ~bypass:true ());
+  assert_tmr_error ~name:"skewed D" ~needle:"same D" (manual_tmr ~skew_d:true ());
+  assert_tmr_error ~name:"skewed init" ~needle:"init" (manual_tmr ~skew_init:true ());
+  assert_tmr_error ~name:"missing copy" ~needle:"only one shadow" (manual_tmr ~missing:true ())
+
+let test_tmr_partial_protection () =
+  (* Protect one whole group and leave another untouched: the unprotected
+     group must neither confuse the pass nor be claimed as verified. *)
+  let net =
+    let b = B.create () in
+    let i = B.add_input b ~name:"i" in
+    let c0 = B.add_dff b ~group:"cnt" ~bit:0 ~init:false in
+    let c1 = B.add_dff b ~group:"cnt" ~bit:1 ~init:false in
+    let aux = B.add_dff b ~group:"aux" ~bit:0 ~init:false in
+    B.connect_dff b c0 ~d:i;
+    B.connect_dff b c1 ~d:c0;
+    B.connect_dff b aux ~d:c1;
+    B.set_output b ~name:"o" aux;
+    N.of_builder b
+  in
+  let tmr = Tmr.protect net ~registers:(N.register_group net "cnt") in
+  let diags = run_pass Security.tmr_verifier tmr in
+  Alcotest.(check int) "no errors" 0 (D.count D.Error diags);
+  Alcotest.(check bool) "cnt verified" true
+    (List.exists (fun d -> d.D.severity = D.Info && d.D.groups = [ "cnt" ]) diags);
+  Alcotest.(check bool) "aux not claimed" true
+    (not (List.exists (fun d -> d.D.groups = [ "aux" ]) diags))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "severity order and reporting" `Quick test_severity_order;
+          Alcotest.test_case "registry lookup and selection" `Quick test_registry;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "dead gate" `Quick test_dead_gate;
+          Alcotest.test_case "const and identity gates" `Quick test_const_gate;
+          Alcotest.test_case "floating input" `Quick test_floating_input;
+          Alcotest.test_case "unread register group" `Quick test_unread_register;
+          Alcotest.test_case "duplicate gates" `Quick test_duplicate_gate;
+          Alcotest.test_case "fanout hotspot" `Quick test_fanout_hotspot;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "split netlist certificate" `Quick test_coverage_split;
+          Alcotest.test_case "cross-check against cone ground truth" `Quick
+            test_coverage_cross_check;
+          Alcotest.test_case "benchmarks are ERROR-free" `Quick test_benchmarks_error_free;
+        ] );
+      ( "tmr",
+        [
+          Alcotest.test_case "genuine Tmr output verifies" `Quick test_tmr_genuine_passes;
+          Alcotest.test_case "corrupted triplications flagged" `Quick test_tmr_corruptions_flagged;
+          Alcotest.test_case "partial protection verifies" `Quick test_tmr_partial_protection;
+        ] );
+    ]

@@ -8,7 +8,6 @@ module Harness = Fmc_crypto.Harness
 module Dfa = Fmc_crypto.Dfa
 module Sim = Fmc_gatesim.Cycle_sim
 module Transient = Fmc_gatesim.Transient
-module N = Fmc_netlist.Netlist
 module Rng = Fmc_prelude.Rng
 
 let circuit = lazy (Circuit.build ())

@@ -3,7 +3,6 @@
 
 module Hdl = Fmc_hdl.Hdl
 module Vec = Fmc_hdl.Vec
-module N = Fmc_netlist.Netlist
 module Sim = Fmc_gatesim.Cycle_sim
 
 (* Build a combinational circuit [f] over two w-bit inputs, returning an

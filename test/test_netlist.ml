@@ -137,6 +137,18 @@ let test_group_density_enforced () =
 (* ------------------------------------------------------------------ *)
 (* Frozen netlist invariants *)
 
+let test_netlist_unknown_names () =
+  let net, _, _, _, _, _, _, _ = tiny () in
+  Alcotest.check_raises "unknown output"
+    (Invalid_argument "Netlist.output: unknown output \"nope\" (available: o)") (fun () ->
+      ignore (N.output net "nope"));
+  Alcotest.check_raises "unknown input"
+    (Invalid_argument "Netlist.input_by_name: unknown input \"c\" (available: a, b)") (fun () ->
+      ignore (N.input_by_name net "c"));
+  Alcotest.check_raises "unknown group"
+    (Invalid_argument "Netlist.register_group: unknown register group \"r9\" (available: r0, r1)")
+    (fun () -> ignore (N.register_group net "r9"))
+
 let test_netlist_structure () =
   let net, a, bb, q0, q1, g1, g2, g3 = tiny () in
   Alcotest.(check int) "num nodes" 7 (N.num_nodes net);
@@ -495,6 +507,26 @@ let netlist_props =
             let d = N.dff_d net r in
             d = root || Cone.mem_gate cone d)
           cone.Cone.registers);
+    (* Duality (paper §4, Observation 1): a gate lies in the forward cone of
+       a register exactly when that register lies in the sequential frontier
+       of the gate's backward cone — both say "there is a purely
+       combinational path from r's Q to g". *)
+    QCheck.Test.make ~name:"fanin and fanout cones are duals" ~count:30
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Fmc_prelude.Rng.create seed in
+        let net = random_netlist rng ~num_inputs:3 ~num_regs:4 ~num_gates:30 in
+        let ok = ref true in
+        Array.iter
+          (fun r ->
+            let forward = Cone.fanout net ~roots:[ r ] in
+            Array.iter
+              (fun g ->
+                let backward = Cone.fanin net ~roots:[ g ] in
+                if Cone.mem_gate forward g <> Cone.mem_register backward r then ok := false)
+              (N.gates net))
+          (N.dffs net);
+        !ok);
   ]
 
 let () =
@@ -519,6 +551,7 @@ let () =
         ] );
       ( "netlist",
         [
+          Alcotest.test_case "unknown names rejected helpfully" `Quick test_netlist_unknown_names;
           Alcotest.test_case "structure accessors" `Quick test_netlist_structure;
           Alcotest.test_case "topological order" `Quick test_netlist_topo_order;
           Alcotest.test_case "fanouts" `Quick test_netlist_fanouts;
