@@ -8,6 +8,7 @@
      sweep         temporal / spatial attack-accuracy sweeps (Fig 11)
      harden        critical registers and hardening trade-off
      lint          static-analysis passes over the benchmark netlists
+     bench         standard benchmarks under full observability (BENCH_<rev>.json)
      experiments   regenerate every paper figure and table *)
 
 open Cmdliner
@@ -56,6 +57,66 @@ let strategy_arg =
   let print fmt s = Format.fprintf fmt "%s" (Fmc.Sampler.strategy_name s) in
   Arg.(value & opt (conv (parse, print)) Fmc.Sampler.default_mixed & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
 
+(* Observability arguments, shared by evaluate and bench. *)
+
+let metrics_out_arg =
+  let doc =
+    "Write the run's final metrics to $(docv): Prometheus text exposition format, or JSON when \
+     $(docv) ends in $(b,.json)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write the run's phase spans as Chrome trace_event JSON to $(docv) (loadable in Perfetto or \
+     chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Convergence telemetry on stderr: $(b,jsonl) (one JSON object per trace tick), $(b,human) (a \
+     status line per tick), or $(b,off)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("human", `Human); ("off", `Off) ]) `Off
+    & info [ "progress" ] ~docv:"MODE" ~doc)
+
+let build_obs ~metrics_out ~trace_out ~progress =
+  let metrics = Option.map (fun _ -> Fmc_obs.Metrics.create ()) metrics_out in
+  let tracer = Option.map (fun _ -> Fmc_obs.Span.create ()) trace_out in
+  let progress =
+    match progress with
+    | `Off -> None
+    | `Jsonl -> Some (Fmc_obs.Progress.jsonl_sink stderr)
+    | `Human -> Some (Fmc_obs.Progress.human_sink stderr)
+  in
+  Fmc_obs.Obs.create ?metrics ?tracer ?progress ()
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let flush_obs_outputs ~metrics_out ~trace_out (obs : Fmc_obs.Obs.t) =
+  (match (metrics_out, obs.Fmc_obs.Obs.metrics) with
+  | Some path, Some reg ->
+      let snap = Fmc_obs.Metrics.snapshot reg in
+      let body =
+        if Filename.check_suffix path ".json" then Fmc_obs.Metrics.to_json snap
+        else Fmc_obs.Metrics.to_prometheus snap
+      in
+      write_file path body;
+      Format.fprintf ppf "wrote %s@." path
+  | _ -> ());
+  match (trace_out, obs.Fmc_obs.Obs.tracer) with
+  | Some path, Some tr ->
+      write_file path (Fmc_obs.Span.to_chrome_json (Fmc_obs.Span.events tr));
+      Format.fprintf ppf "wrote %s (%d spans, %d dropped)@." path (Fmc_obs.Span.recorded tr)
+        (Fmc_obs.Span.dropped tr)
+  | _ -> ()
+
 (* Context construction is shared by all commands. *)
 let with_context f =
   let ctx = Fmc.Experiments.context () in
@@ -99,19 +160,20 @@ let info_cmd =
 
 let evaluate_cmd =
   let run benchmark strategy samples seed half_width json csv_prefix checkpoint checkpoint_every
-      resume journal sample_budget =
+      resume journal sample_budget metrics_out trace_out progress =
     with_context @@ fun ctx ->
     let engine, prep = prepared ctx benchmark strategy in
+    let obs = build_obs ~metrics_out ~trace_out ~progress in
     let campaign_mode =
       checkpoint <> None || resume <> None || journal <> None || sample_budget <> None
     in
     let report =
       match (half_width, campaign_mode) with
-      | Some hw, false -> Fmc.Ssf.estimate_until engine prep ~half_width:hw ~z:1.96 ~seed
+      | Some hw, false -> Fmc.Ssf.estimate_until ~obs engine prep ~half_width:hw ~z:1.96 ~seed
       | Some _, true ->
           prerr_endline "faultmc: --half-width cannot be combined with campaign options";
           exit 2
-      | None, false -> Fmc.Ssf.estimate engine prep ~samples ~seed
+      | None, false -> Fmc.Ssf.estimate ~obs engine prep ~samples ~seed
       | None, true ->
           if checkpoint_every <= 0 then begin
             prerr_endline "faultmc: --checkpoint-every must be positive";
@@ -129,8 +191,8 @@ let evaluate_cmd =
           let result =
             try
               match resume with
-              | Some path -> Fmc.Campaign.resume ~config engine prep ~path
-              | None -> Fmc.Campaign.run ~config engine prep ~samples ~seed
+              | Some path -> Fmc.Campaign.resume ~config ~obs engine prep ~path
+              | None -> Fmc.Campaign.run ~config ~obs engine prep ~samples ~seed
             with
             | Fmc.Campaign.Corrupt_checkpoint msg ->
                 Format.eprintf "faultmc: unusable checkpoint: %s@." msg;
@@ -151,6 +213,9 @@ let evaluate_cmd =
           if q > 0 then
             Format.eprintf "%d sample(s) quarantined%s@." q
               (match journal with Some p -> Printf.sprintf "; details in %s" p | None -> "");
+          if not json then
+            Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
+              result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
           result.Fmc.Campaign.report
     in
     if json then print_endline (Fmc.Export.report_json report)
@@ -160,17 +225,16 @@ let evaluate_cmd =
       let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
       Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi
     end;
-    match csv_prefix with
+    (match csv_prefix with
     | None -> ()
     | Some prefix ->
         let write name contents =
-          let oc = open_out name in
-          output_string oc contents;
-          close_out oc;
+          write_file name contents;
           Format.fprintf ppf "wrote %s@." name
         in
         write (prefix ^ "-trace.csv") (Fmc.Export.trace_csv report);
-        write (prefix ^ "-contributions.csv") (Fmc.Export.contributions_csv report)
+        write (prefix ^ "-contributions.csv") (Fmc.Export.contributions_csv report));
+    flush_obs_outputs ~metrics_out ~trace_out obs
   in
   let half_width =
     Arg.(
@@ -227,7 +291,8 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~doc:"Estimate the System Security Factor of a benchmark.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json
-      $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget)
+      $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget
+      $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* characterize *)
 
@@ -442,6 +507,122 @@ let lint_cmd =
           verifier) over the benchmark netlists.")
     Term.(const run $ target $ passes $ json $ fail_on $ list_passes)
 
+(* bench *)
+
+let bench_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when String.length sha >= 7 -> String.sub sha 0 7
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "dev"
+      with _ -> "dev")
+
+let bench_cmd =
+  let run samples out_dir seed =
+    with_context @@ fun ctx ->
+    (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let strategy = Fmc.Sampler.default_mixed in
+    let bench_one idx (program : Fmc_isa.Programs.t) =
+      let engine, prep = prepared ctx program strategy in
+      let reg = Fmc_obs.Metrics.create () in
+      let tracer = Fmc_obs.Span.create ~tid:(idx + 1) () in
+      let conv_path =
+        Filename.concat out_dir ("convergence-" ^ program.Fmc_isa.Programs.name ^ ".jsonl")
+      in
+      let conv_oc = open_out conv_path in
+      let obs =
+        Fmc_obs.Obs.create ~metrics:reg ~tracer
+          ~progress:(Fmc_obs.Progress.jsonl_sink conv_oc) ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let report = Fmc.Ssf.estimate ~obs engine prep ~samples ~seed in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      close_out conv_oc;
+      let sps = if elapsed > 0. then float_of_int samples /. elapsed else 0. in
+      Format.fprintf ppf "bench %s: SSF %.5f, %.2f s (%.0f samples/s); wrote %s@."
+        program.Fmc_isa.Programs.name report.Fmc.Ssf.ssf elapsed sps conv_path;
+      ( program.Fmc_isa.Programs.name,
+        report,
+        elapsed,
+        Fmc_obs.Metrics.snapshot reg,
+        Fmc_obs.Span.events tracer,
+        Fmc_obs.Span.totals tracer )
+    in
+    let results =
+      List.mapi bench_one [ Fmc_isa.Programs.illegal_write; Fmc_isa.Programs.illegal_read ]
+    in
+    let rev = bench_rev () in
+    let buf = Buffer.create 2048 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pr "{\"schema\":\"faultmc-bench-v1\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
+      (Fmc_obs.Jsonx.escape rev)
+      (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
+      samples seed;
+    List.iteri
+      (fun i (name, (report : Fmc.Ssf.report), elapsed, _, _, totals) ->
+        if i > 0 then pr ",";
+        let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+        let sps = if elapsed > 0. then float_of_int report.Fmc.Ssf.n /. elapsed else 0. in
+        pr
+          "{\"name\":\"%s\",\"samples\":%d,\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"ess\":%.2f,\"phases\":["
+          (Fmc_obs.Jsonx.escape name) report.Fmc.Ssf.n elapsed sps report.Fmc.Ssf.ssf lo hi
+          report.Fmc.Ssf.ess;
+        List.iteri
+          (fun j (span, (count, total_us)) ->
+            if j > 0 then pr ",";
+            pr "{\"span\":\"%s\",\"count\":%d,\"total_us\":%.3f,\"mean_us\":%.3f}"
+              (Fmc_obs.Jsonx.escape span) count total_us
+              (if count > 0 then total_us /. float_of_int count else 0.))
+          totals;
+        pr "]}")
+      results;
+    pr "]}";
+    let bench_path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" rev) in
+    write_file bench_path (Buffer.contents buf);
+    Format.fprintf ppf "wrote %s@." bench_path;
+    let merged_metrics =
+      List.fold_left
+        (fun acc (_, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
+        [] results
+    in
+    let prom_path = Filename.concat out_dir "metrics.prom" in
+    let mjson_path = Filename.concat out_dir "metrics.json" in
+    write_file prom_path (Fmc_obs.Metrics.to_prometheus merged_metrics);
+    write_file mjson_path (Fmc_obs.Metrics.to_json merged_metrics);
+    let all_events = List.concat_map (fun (_, _, _, _, events, _) -> events) results in
+    let trace_path = Filename.concat out_dir "trace.json" in
+    write_file trace_path (Fmc_obs.Span.to_chrome_json all_events);
+    Format.fprintf ppf "wrote %s, %s, %s@." prom_path mjson_path trace_path
+  in
+  let samples =
+    let doc = "Samples per benchmark: an integer, or $(b,small) (300, the CI smoke size)." in
+    let parse = function
+      | "small" -> Ok 300
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Ok n
+          | _ -> Error (`Msg (Printf.sprintf "expected a positive integer or \"small\", got %S" s)))
+    in
+    let print fmt n = Format.fprintf fmt "%d" n in
+    Arg.(value & opt (conv (parse, print)) 2000 & info [ "n"; "samples" ] ~docv:"N" ~doc)
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "out-dir" ] ~docv:"DIR" ~doc:"Directory for the bench artifacts (created if missing).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the standard benchmarks under full observability and write BENCH_<rev>.json \
+          (per-phase timings, throughput, SSF + CI) plus metrics, trace and convergence artifacts.")
+    Term.(const run $ samples $ out_dir $ seed_arg)
+
 (* experiments *)
 
 let experiments_cmd =
@@ -469,4 +650,4 @@ let () =
   let doc = "cross-level Monte Carlo fault-attack vulnerability evaluation" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
-    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; trace_cmd; dot_cmd; experiments_cmd ]))
+    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; bench_cmd; trace_cmd; dot_cmd; experiments_cmd ]))

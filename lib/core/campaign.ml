@@ -1,5 +1,7 @@
 module Rng = Fmc_prelude.Rng
 module System = Fmc_cpu.System
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
 
 type disposition = Crashed of string | Timed_out
 
@@ -34,9 +36,15 @@ let default_config =
 
 type status = Completed | Interrupted
 
-type result = { report : Ssf.report; status : status; quarantined : quarantine_entry list }
+type result = {
+  report : Ssf.report;
+  status : status;
+  quarantined : quarantine_entry list;
+  elapsed_s : float;
+  samples_per_sec : float;
+}
 
-let checkpoint_version = 1
+let checkpoint_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialization: a line-oriented, versioned text format.
@@ -80,9 +88,10 @@ let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
      pr "trace_every %d\n" s.Ssf.Tally.snap_trace_every;
      pr "rng %Ld\n" rng_state;
      pr "processed %d\n" s.Ssf.Tally.snap_processed;
-     pr "counts %d %d %d %d %d %d %d\n" s.Ssf.Tally.snap_masked s.Ssf.Tally.snap_mem_only
-       s.Ssf.Tally.snap_resumed s.Ssf.Tally.snap_quarantined s.Ssf.Tally.snap_successes
-       s.Ssf.Tally.snap_by_direct s.Ssf.Tally.snap_by_comb;
+     pr "counts %d %d %d %d %d %d %d %d %d\n" s.Ssf.Tally.snap_masked s.Ssf.Tally.snap_mem_only
+       s.Ssf.Tally.snap_resumed s.Ssf.Tally.snap_quarantined s.Ssf.Tally.snap_q_crashed
+       s.Ssf.Tally.snap_q_timed_out s.Ssf.Tally.snap_successes s.Ssf.Tally.snap_by_direct
+       s.Ssf.Tally.snap_by_comb;
      pr "weights %s %s\n" (hexf s.Ssf.Tally.snap_sum_w) (hexf s.Ssf.Tally.snap_sum_w2);
      pr "strata %d\n" (List.length s.Ssf.Tally.snap_strata);
      List.iter2
@@ -144,12 +153,13 @@ let read_checkpoint path =
     try Int64.of_string v with _ -> corrupt "line %d: bad rng state %S" !lineno v
   in
   let processed = int_of "processed" (one "processed") in
-  let masked, mem_only, resumed, quarantined, successes, by_direct, by_comb =
+  let masked, mem_only, resumed, quarantined, q_crashed, q_timed_out, successes, by_direct, by_comb =
     match fields "counts" with
-    | [ a; b; c; d; e; f; g ] ->
+    | [ a; b; c; d; e; f; g; h; i ] ->
         ( int_of "counts" a, int_of "counts" b, int_of "counts" c, int_of "counts" d,
-          int_of "counts" e, int_of "counts" f, int_of "counts" g )
-    | _ -> corrupt "line %d: counts wants 7 fields" !lineno
+          int_of "counts" e, int_of "counts" f, int_of "counts" g, int_of "counts" h,
+          int_of "counts" i )
+    | _ -> corrupt "line %d: counts wants 9 fields" !lineno
   in
   let sum_w, sum_w2 =
     match fields "weights" with
@@ -198,6 +208,8 @@ let read_checkpoint path =
         snap_mem_only = mem_only;
         snap_resumed = resumed;
         snap_quarantined = quarantined;
+        snap_q_crashed = q_crashed;
+        snap_q_timed_out = q_timed_out;
         snap_successes = successes;
         snap_by_direct = by_direct;
         snap_by_comb = by_comb;
@@ -254,10 +266,18 @@ let install_handlers flag =
 let restore_handlers saved =
   List.iter (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ()) saved
 
-let run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed =
+let run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed =
   if config.checkpoint_every <= 0 then invalid_arg "Campaign: non-positive checkpoint_every";
   let samples = Ssf.Tally.total tally in
   let strategy = Sampler.name prepared in
+  let t_start = Fmc_obs.Clock.now () in
+  let base_processed = Ssf.Tally.processed tally in
+  let ck_counter =
+    match obs.Obs.metrics with
+    | None -> None
+    | Some reg ->
+        Some (Metrics.counter reg ~help:"durable campaign checkpoints written" "fmc_checkpoints_total")
+  in
   let journal_oc =
     Option.map (fun p -> open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 p)
       config.journal_path
@@ -266,13 +286,20 @@ let run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed 
     match config.checkpoint_path with
     | None -> ()
     | Some path ->
-        write_checkpoint path ~seed ~strategy ~rng_state:(Rng.state rng) (Ssf.Tally.snapshot tally)
+        Option.iter Metrics.inc ck_counter;
+        Obs.span obs ~cat:"campaign" "checkpoint_write" (fun () ->
+            write_checkpoint path ~seed ~strategy ~rng_state:(Rng.state rng)
+              (Ssf.Tally.snapshot tally))
   in
   let quarantines = ref [] in
   let interrupted = ref false in
   let saved = if config.handle_signals then install_handlers interrupted else [] in
+  (* Engine phase spans land in the same sinks for the campaign's duration. *)
+  let saved_obs = if Obs.enabled obs then Some (Engine.obs engine) else None in
+  Option.iter (fun _ -> Engine.set_obs engine obs) saved_obs;
   Fun.protect
     ~finally:(fun () ->
+      Option.iter (Engine.set_obs engine) saved_obs;
       restore_handlers saved;
       Option.iter close_out_noerr journal_oc)
   @@ fun () ->
@@ -284,14 +311,17 @@ let run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed 
     if should_stop () then stopped := true
     else begin
       let i = Ssf.Tally.processed tally + 1 in
-      let sample = Sampler.draw prepared rng in
+      let sample = Sampler.draw ~obs prepared rng in
       (match
          evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook engine rng i
            sample
        with
       | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
       | Error disposition ->
-          Ssf.Tally.quarantine tally sample;
+          let reason =
+            match disposition with Timed_out -> Ssf.Q_timed_out | Crashed _ -> Ssf.Q_crashed
+          in
+          Ssf.Tally.quarantine tally sample ~reason;
           let entry =
             {
               q_index = i;
@@ -319,20 +349,24 @@ let run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed 
     end
   done;
   flush_checkpoint ();
+  let elapsed_s = Fmc_obs.Clock.now () -. t_start in
+  let done_here = Ssf.Tally.processed tally - base_processed in
   {
     report = Ssf.Tally.report tally ~strategy;
     status = (if Ssf.Tally.processed tally >= samples then Completed else Interrupted);
     quarantined = List.rev !quarantines;
+    elapsed_s;
+    samples_per_sec = (if elapsed_s > 0. then float_of_int done_here /. elapsed_s else 0.);
   }
 
-let run ?(config = default_config) ?trace_every ?(causal = true) ?fault_hook ?stop engine prepared
-    ~samples ~seed =
+let run ?(config = default_config) ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?fault_hook
+    ?stop engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Campaign.run: non-positive sample count";
   let rng = Rng.create seed in
-  let tally = Ssf.Tally.create ?trace_every prepared ~total:samples in
-  run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed
+  let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:samples in
+  run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed
 
-let resume ?config ?(causal = true) ?fault_hook ?stop engine prepared ~path =
+let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?stop engine prepared ~path =
   let ck = read_checkpoint path in
   if ck.ck_strategy <> Sampler.name prepared then
     corrupt "checkpoint was taken under strategy %S, not %S (the sample stream would diverge)"
@@ -343,5 +377,5 @@ let resume ?config ?(causal = true) ?fault_hook ?stop engine prepared ~path =
     if c.checkpoint_path = None then { c with checkpoint_path = Some path } else c
   in
   let rng = Rng.of_state ck.ck_rng in
-  let tally = Ssf.Tally.restore ck.ck_snapshot in
-  run_loop config ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed
+  let tally = Ssf.Tally.restore ~obs ck.ck_snapshot in
+  run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed

@@ -17,7 +17,9 @@
 
     {2 Checkpoint format}
 
-    A versioned line-oriented text file (header [faultmc-campaign 1]).
+    A versioned line-oriented text file (header [faultmc-campaign 2];
+    v2 added the per-reason quarantine counts to the [counts] line —
+    older checkpoints are refused rather than silently misread).
     Every float is a hex float literal ([%h]) so the round-trip through
     [float_of_string] is bit-exact; the RNG state is the raw SplitMix64
     int64 word. Checkpoints are written to [path ^ ".tmp"] and renamed into
@@ -71,12 +73,18 @@ type result = {
   report : Ssf.report;  (** quarantined samples count in [n] and [outcomes.quarantined] *)
   status : status;
   quarantined : quarantine_entry list;  (** chronological *)
+  elapsed_s : float;  (** wall-clock duration of this run/resume segment *)
+  samples_per_sec : float;
+      (** throughput of this segment: samples processed here over
+          [elapsed_s] (a resumed campaign does not count the samples or
+          downtime before its checkpoint); 0 when [elapsed_s] is 0 *)
 }
 
 exception Corrupt_checkpoint of string
 
 val run :
   ?config:config ->
+  ?obs:Fmc_obs.Obs.t ->
   ?trace_every:int ->
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
@@ -92,11 +100,18 @@ val run :
     draw (a [true] stops the campaign exactly like a signal would);
     [fault_hook] runs inside the per-sample guard before evaluation — an
     exception it raises quarantines that sample (test fault-injection
-    point). Raises [Invalid_argument] on a non-positive sample count or
-    checkpoint period. *)
+    point). [obs] (default disabled) attaches observability: the tally's
+    convergence telemetry, a ["checkpoint_write"] span plus
+    [fmc_checkpoints_total] counter per durable checkpoint, and the
+    engine's phase spans (the handle is installed on [engine] for the
+    campaign's duration, restoring the previous one after). Observability
+    never touches the RNG — the report stays bit-identical. Raises
+    [Invalid_argument] on a non-positive sample count or checkpoint
+    period. *)
 
 val resume :
   ?config:config ->
+  ?obs:Fmc_obs.Obs.t ->
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
   ?stop:(int -> bool) ->

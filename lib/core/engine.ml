@@ -10,6 +10,37 @@ module System = Fmc_cpu.System
 module Arch = Fmc_cpu.Arch
 module Programs = Fmc_isa.Programs
 module Rng = Fmc_prelude.Rng
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+
+(* Pre-resolved metric cells for the engine's phase counters (rebuilt by
+   [set_obs]; hot paths touch plain record fields only). *)
+type einst = {
+  e_restores : Metrics.counter;
+  e_rtl_cycles : Metrics.counter;
+  e_gate_cycles : Metrics.counter;
+  e_sample_us : Metrics.histogram;
+}
+
+let make_einst (obs : Obs.t) =
+  match obs.Obs.metrics with
+  | None -> None
+  | Some reg ->
+      Some
+        {
+          e_restores =
+            Metrics.counter reg ~help:"golden checkpoint restores" "fmc_restores_total";
+          e_rtl_cycles =
+            Metrics.counter reg ~help:"RTL cycles stepped (replay windows and resumes)"
+              "fmc_rtl_cycles_total";
+          e_gate_cycles =
+            Metrics.counter reg ~help:"gate-level injection cycles evaluated"
+              "fmc_gate_cycles_total";
+          e_sample_us =
+            Metrics.histogram reg ~help:"end-to-end run_sample latency (us)"
+              ~buckets:[| 10.; 30.; 100.; 300.; 1000.; 3000.; 10000.; 100000. |]
+              "fmc_sample_duration_us";
+        }
 
 type t = {
   precharac : Precharac.t;
@@ -20,7 +51,18 @@ type t = {
   program : Programs.t;
   golden : Golden.t;
   netsys : Netsys.t;  (* reused across samples; state rewritten per run *)
+  (* Mutable so cached/shared engines (e.g. Experiments' per-benchmark
+     cache) can be instrumented per run; [Ssf.estimate] installs its
+     handle for the duration of a run and restores the previous one. *)
+  mutable obs : Obs.t;
+  mutable einst : einst option;
 }
+
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  t.einst <- make_einst obs
 
 let create ?(checkpoint_every = 16) ?(placement_seed = 1) ~precharac program =
   let circuit = Precharac.circuit precharac in
@@ -29,7 +71,18 @@ let create ?(checkpoint_every = 16) ?(placement_seed = 1) ~precharac program =
   let golden = Golden.run ~checkpoint_every program in
   let netsys = Netsys.create circuit program in
   let timing = Glitch.static_timing circuit.Circuit.net tconfig in
-  { precharac; circuit; placement; tconfig; timing; program; golden; netsys }
+  {
+    precharac;
+    circuit;
+    placement;
+    tconfig;
+    timing;
+    program;
+    golden;
+    netsys;
+    obs = Obs.disabled;
+    einst = None;
+  }
 
 let golden t = t.golden
 let placement t = t.placement
@@ -153,8 +206,19 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
       struck_cells = 0;
     }
   else begin
+    let t_begin = match t.einst with None -> 0. | Some _ -> Fmc_obs.Clock.now_us () in
+    let on_step =
+      match t.einst with
+      | None -> None
+      | Some ei -> Some (fun () -> Metrics.inc ei.e_rtl_cycles)
+    in
+    let restore cycle =
+      (match t.einst with None -> () | Some ei -> Metrics.inc ei.e_restores);
+      Obs.span t.obs ~cat:"engine" "restore" (fun () ->
+          Golden.restore_at ?on_step t.golden cycle)
+    in
     let net = t.circuit.Circuit.net in
-    let sys = Golden.restore_at t.golden te in
+    let sys = restore te in
     let dff_hits, gate_hits, struck_cells = partition_disc ?cell_filter t sample.Sampler.center sample.Sampler.radius in
     let survives dff = (not (hardened dff)) || Rng.float rng 1.0 < 1. /. resilience in
     let direct = List.filter survives dff_hits in
@@ -165,7 +229,11 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
     List.iter (apply_flip sys net) direct;
     let latched = ref [] in
     for _ = 1 to impact_cycles do
-      let latched_raw = gate_level_cycle t sys sample gate_hits in
+      let latched_raw =
+        (match t.einst with None -> () | Some ei -> Metrics.inc ei.e_gate_cycles);
+        Obs.span t.obs ~cat:"engine" "gate_cycle" (fun () ->
+            gate_level_cycle t sys sample gate_hits)
+      in
       let survivors = List.filter survives (Array.to_list latched_raw) in
       (* Latched errors corrupt the post-cycle state before the next
          impacted cycle executes. *)
@@ -174,9 +242,12 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
     done;
     let latched = List.sort_uniq compare !latched in
     (* Exact error set vs the golden run just past the impact window. *)
-    let golden_ref = Golden.restore_at t.golden (te + impact_cycles) in
-    let flips = state_bit_diffs (System.state sys) (System.state golden_ref) in
-    let mem_clean = System.dmem sys = System.dmem golden_ref in
+    let flips, mem_clean =
+      Obs.span t.obs ~cat:"engine" "masking" (fun () ->
+          let golden_ref = restore (te + impact_cycles) in
+          ( state_bit_diffs (System.state sys) (System.state golden_ref),
+            System.dmem sys = System.dmem golden_ref ))
+    in
     let flip_nodes = List.map (fun (g, b) -> (N.register_group net g).(b)) flips in
     let outcome, success =
       if flips = [] && mem_clean then (Masked, false)
@@ -184,7 +255,10 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
         flips <> [] && mem_clean
         && List.for_all (Precharac.memory_type t.precharac) flip_nodes
       then begin
-        let e = Analytical.evaluate ~program:t.program ~corrupted:(System.state sys) in
+        let e =
+          Obs.span t.obs ~cat:"engine" "analytical" (fun () ->
+              Analytical.evaluate ~program:t.program ~corrupted:(System.state sys))
+        in
         (Analytical e, e)
       end
       else begin
@@ -192,13 +266,19 @@ let run_sample t ?cell_filter ?(impact_cycles = 1) ?(hardened = fun _ -> false) 
         (* The optional watchdog bounds the RTL resume loop so a pathological
            sample raises [System.Cycle_budget_exhausted] instead of running
            away; the campaign runner quarantines it. *)
-        System.set_watchdog sys cycle_budget;
-        ignore (System.run sys ~max_cycles:(max 1 (budget - System.cycle sys)));
-        System.set_watchdog sys None;
-        let e = observables_differ t sys in
+        let e =
+          Obs.span t.obs ~cat:"engine" "rtl_resume" (fun () ->
+              System.set_watchdog sys cycle_budget;
+              ignore (System.run sys ~max_cycles:(max 1 (budget - System.cycle sys)));
+              System.set_watchdog sys None;
+              observables_differ t sys)
+        in
         (Resumed e, e)
       end
     in
+    (match t.einst with
+    | None -> ()
+    | Some ei -> Metrics.observe ei.e_sample_us (Fmc_obs.Clock.now_us () -. t_begin));
     {
       sample;
       te;
@@ -254,7 +334,9 @@ let glitch_critical_path t = Glitch.critical_path t.timing
    individually necessary (jointly caused successes) or the run failed. *)
 let causal_flips t (r : run_result) =
   if (not r.success) || r.flips = [] || r.te < 1 then r.flips
-  else begin
+  else
+    Obs.span t.obs ~cat:"engine" "causal" @@ fun () ->
+    begin
     let net = t.circuit.Circuit.net in
     let sys = Golden.restore_at t.golden r.te in
     Array.iter (apply_flip sys net) r.direct;

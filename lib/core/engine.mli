@@ -29,6 +29,20 @@ val create :
 (** Builds the golden run, placement and transient-timing configuration for
     a benchmark, sharing the (benchmark-independent) pre-characterization. *)
 
+val obs : t -> Fmc_obs.Obs.t
+(** The engine's observability handle ({!Fmc_obs.Obs.disabled} until
+    {!set_obs}). *)
+
+val set_obs : t -> Fmc_obs.Obs.t -> unit
+(** Install an observability handle: subsequent {!run_sample} calls record
+    phase spans (restore / gate_cycle / masking / analytical / rtl_resume)
+    and bump the engine counters ([fmc_restores_total],
+    [fmc_rtl_cycles_total], [fmc_gate_cycles_total],
+    [fmc_sample_duration_us]). Callers rarely need this directly:
+    {!Ssf.estimate} installs its [?obs] on the engine for the run's
+    duration and restores the previous handle afterwards. Observability
+    never consumes randomness — results are bit-identical either way. *)
+
 val golden : t -> Golden.t
 val placement : t -> Fmc_layout.Placement.t
 val precharac : t -> Precharac.t

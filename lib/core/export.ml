@@ -38,9 +38,10 @@ let report_json (r : Ssf.report) =
   Buffer.add_string buf (Printf.sprintf "\"effective_samples\":%.2f," r.Ssf.ess);
   Buffer.add_string buf
     (Printf.sprintf
-       "\"outcomes\":{\"masked\":%d,\"analytical\":%d,\"resumed\":%d,\"quarantined\":%d},"
+       "\"outcomes\":{\"masked\":%d,\"analytical\":%d,\"resumed\":%d,\"quarantined\":%d,\"quarantined_crashed\":%d,\"quarantined_timed_out\":%d},"
        r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed
-       r.Ssf.outcomes.Ssf.quarantined);
+       r.Ssf.outcomes.Ssf.quarantined r.Ssf.outcomes.Ssf.q_crashed
+       r.Ssf.outcomes.Ssf.q_timed_out);
   Buffer.add_string buf
     (Printf.sprintf "\"success_by_direct\":%d,\"success_by_comb\":%d," r.Ssf.success_by_direct
        r.Ssf.success_by_comb);

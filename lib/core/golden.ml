@@ -53,9 +53,11 @@ let nearest_checkpoint t cycle =
      multiples, so index idx is at cycle idx * interval <= cycle. *)
   t.checkpoints.(idx)
 
-let restore_at t cycle =
+let restore_at ?on_step t cycle =
   if cycle < 0 then invalid_arg "Golden.restore_at: negative cycle";
   let sys = System.create t.program in
+  (* Hook installed before the replay window so the warm-up cycles count. *)
+  (match on_step with None -> () | Some _ -> System.set_on_step sys on_step);
   System.restore sys (nearest_checkpoint t cycle);
   System.run_to_cycle sys cycle;
   sys

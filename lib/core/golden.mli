@@ -29,9 +29,13 @@ val final_state : t -> Fmc_cpu.Arch.t
 val nearest_checkpoint : t -> int -> Fmc_cpu.System.checkpoint
 (** The latest checkpoint at or before the given cycle. *)
 
-val restore_at : t -> int -> Fmc_cpu.System.t
+val restore_at : ?on_step:(unit -> unit) -> t -> int -> Fmc_cpu.System.t
 (** A fresh system advanced to exactly the given cycle via the nearest
-    checkpoint. Raises [Invalid_argument] on a negative cycle. *)
+    checkpoint. [on_step] (an observability hook, see
+    {!Fmc_cpu.System.set_on_step}) is installed before the replay window,
+    so it also counts the warm-up cycles and stays armed on the returned
+    system for any later resume. Raises [Invalid_argument] on a negative
+    cycle. *)
 
 val state_at : t -> int -> Fmc_cpu.Arch.t
 (** Architectural state at the start of a cycle (copy). *)

@@ -146,9 +146,12 @@ let ssf_report ppf (r : Ssf.report) =
     r.Ssf.strategy r.Ssf.n r.Ssf.ess r.Ssf.ssf r.Ssf.variance r.Ssf.successes
     r.Ssf.outcomes.Ssf.masked r.Ssf.outcomes.Ssf.mem_only r.Ssf.outcomes.Ssf.resumed
     r.Ssf.outcomes.Ssf.quarantined r.Ssf.success_by_direct r.Ssf.success_by_comb;
-  if r.Ssf.outcomes.Ssf.quarantined > 0 then
+  if r.Ssf.outcomes.Ssf.quarantined > 0 then begin
+    Format.fprintf ppf "quarantine reasons: crashed %d / cycle-budget timeout %d@,"
+      r.Ssf.outcomes.Ssf.q_crashed r.Ssf.outcomes.Ssf.q_timed_out;
     Format.fprintf ppf "SSF upper bound (quarantined counted as successes): %.5f@,"
-      r.Ssf.ssf_upper;
+      r.Ssf.ssf_upper
+  end;
   Format.fprintf ppf "top contributing register bits:@,";
   List.iteri
     (fun i ((group, bit), w) ->

@@ -225,7 +225,7 @@ let draw_cone p (m : cone_machinery) rng ~stratum ~stratum_mass ~radius ~width ~
   let f = p.f_t t *. p.block_pmf center /. stratum_mass in
   { t; center; radius; width; time_frac; weight = f /. (g_t *. g_cell); stratum }
 
-let draw p rng =
+let draw_raw p rng =
   let radius = Dist.sample_float p.attack.Attack.radius rng in
   let width = Dist.sample_float p.attack.Attack.width rng in
   let time_frac = Rng.float rng 1.0 in
@@ -248,6 +248,13 @@ let draw p rng =
         { t; center; radius; width; time_frac; weight = f_cond /. g_cell; stratum = Vulnerable }
       end
       else draw_cone p rest rng ~stratum:Rest ~stratum_mass:(1. -. m_v) ~radius ~width ~time_frac
+
+let draw ?(obs = Fmc_obs.Obs.disabled) p rng =
+  (* The RNG stream is consumed entirely inside [draw_raw], so tracing the
+     draw (or not) cannot perturb the sample sequence. *)
+  match obs.Fmc_obs.Obs.tracer with
+  | None -> draw_raw p rng
+  | Some _ -> Fmc_obs.Obs.span obs ~cat:"sampler" "draw" (fun () -> draw_raw p rng)
 
 let name p = strategy_name p.strategy
 

@@ -81,7 +81,10 @@ val prepare :
     an empty sample space (no overlap between the target block and any
     [Omega_t]). *)
 
-val draw : prepared -> Fmc_prelude.Rng.t -> sample
+val draw : ?obs:Fmc_obs.Obs.t -> prepared -> Fmc_prelude.Rng.t -> sample
+(** [obs] (default {!Fmc_obs.Obs.disabled}) wraps the draw in a ["draw"]
+    span when a tracer is attached; it never touches the RNG stream, so an
+    instrumented run draws the identical sample sequence. *)
 
 val name : prepared -> string
 (** {!strategy_name} of the prepared strategy. *)

@@ -1,7 +1,18 @@
 module Welford = Fmc_prelude.Stats.Welford
 module Rng = Fmc_prelude.Rng
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
 
-type outcome_counts = { masked : int; mem_only : int; resumed : int; quarantined : int }
+type quarantine_reason = Q_crashed | Q_timed_out
+
+type outcome_counts = {
+  masked : int;
+  mem_only : int;
+  resumed : int;
+  quarantined : int;
+  q_crashed : int;
+  q_timed_out : int;
+}
 
 type report = {
   strategy : string;
@@ -30,6 +41,66 @@ let sort_contributions l =
     l
 
 module Tally = struct
+  (* Pre-resolved metric cells, so the per-sample cost with metrics enabled
+     is plain field updates — no hashtable lookups in the hot loop. *)
+  type inst = {
+    i_samples : Metrics.counter;
+    i_successes : Metrics.counter;
+    i_masked : Metrics.counter;
+    i_analytical : Metrics.counter;
+    i_resumed : Metrics.counter;
+    i_quarantined : Metrics.counter;
+    i_q_crashed : Metrics.counter;
+    i_q_timed_out : Metrics.counter;
+    i_draws_all : Metrics.counter;
+    i_draws_vulnerable : Metrics.counter;
+    i_draws_rest : Metrics.counter;
+    i_weights : Metrics.histogram;
+    i_ssf : Metrics.gauge;
+    i_ess : Metrics.gauge;
+  }
+
+  let make_inst (obs : Obs.t) =
+    match obs.Obs.metrics with
+    | None -> None
+    | Some reg ->
+        Some
+          {
+            i_samples = Metrics.counter reg ~help:"samples folded into the campaign" "fmc_samples_total";
+            i_successes = Metrics.counter reg ~help:"successful fault attacks" "fmc_successes_total";
+            i_masked =
+              Metrics.counter reg ~help:"samples with no surviving register error"
+                "fmc_outcome_masked_total";
+            i_analytical =
+              Metrics.counter reg ~help:"samples settled by analytical evaluation"
+                "fmc_outcome_analytical_total";
+            i_resumed =
+              Metrics.counter reg ~help:"samples that resumed RTL simulation"
+                "fmc_outcome_resumed_total";
+            i_quarantined =
+              Metrics.counter reg ~help:"samples quarantined by the campaign runner"
+                "fmc_outcome_quarantined_total";
+            i_q_crashed =
+              Metrics.counter reg ~help:"quarantines from the crash guard"
+                "fmc_quarantine_crashed_total";
+            i_q_timed_out =
+              Metrics.counter reg ~help:"quarantines from the cycle-budget watchdog"
+                "fmc_quarantine_timed_out_total";
+            i_draws_all =
+              Metrics.counter reg ~help:"draws from the unstratified space" "fmc_draws_all_total";
+            i_draws_vulnerable =
+              Metrics.counter reg ~help:"draws from the vulnerable stratum"
+                "fmc_draws_vulnerable_total";
+            i_draws_rest =
+              Metrics.counter reg ~help:"draws from the rest stratum" "fmc_draws_rest_total";
+            i_weights =
+              Metrics.histogram reg ~help:"drawn importance weights f/g"
+                ~buckets:[| 0.01; 0.03; 0.1; 0.3; 1.; 3.; 10.; 100. |]
+                "fmc_is_weight";
+            i_ssf = Metrics.gauge reg ~help:"running SSF estimate" "fmc_ssf_estimate";
+            i_ess = Metrics.gauge reg ~help:"Kish effective sample size" "fmc_ess";
+          }
+
   type t = {
     total : int;
     trace_every : int;
@@ -49,6 +120,8 @@ module Tally = struct
     mutable mem_only : int;
     mutable resumed : int;
     mutable quarantined : int;
+    mutable q_crashed : int;
+    mutable q_timed_out : int;
     mutable successes : int;
     mutable by_direct : int;
     mutable by_comb : int;
@@ -56,6 +129,10 @@ module Tally = struct
     mutable sum_w2 : float;
     contributions : (string * int, float) Hashtbl.t;
     mutable trace : (int * float) list;  (* newest first *)
+    obs : Obs.t;
+    inst : inst option;
+    start : float;  (* wall clock at tally creation/restore (segment start) *)
+    base : int;  (* [processed] at segment start; >0 for resumed campaigns *)
   }
 
   type snapshot = {
@@ -69,6 +146,8 @@ module Tally = struct
     snap_mem_only : int;
     snap_resumed : int;
     snap_quarantined : int;
+    snap_q_crashed : int;
+    snap_q_timed_out : int;
     snap_successes : int;
     snap_by_direct : int;
     snap_by_comb : int;
@@ -85,7 +164,7 @@ module Tally = struct
     Array.iteri (fun i (s, _) -> index.(tag s) <- i) strata;
     index
 
-  let of_strata ?(trace_every = 50) strata_list ~total =
+  let of_strata ?(obs = Obs.disabled) ?(trace_every = 50) strata_list ~total =
     let strata = Array.of_list strata_list in
     {
       total;
@@ -99,6 +178,8 @@ module Tally = struct
       mem_only = 0;
       resumed = 0;
       quarantined = 0;
+      q_crashed = 0;
+      q_timed_out = 0;
       successes = 0;
       by_direct = 0;
       by_comb = 0;
@@ -106,9 +187,14 @@ module Tally = struct
       sum_w2 = 0.;
       contributions = Hashtbl.create 64;
       trace = [];
+      obs;
+      inst = make_inst obs;
+      start = Fmc_obs.Clock.now ();
+      base = 0;
     }
 
-  let create ?trace_every prepared ~total = of_strata ?trace_every (Sampler.strata prepared) ~total
+  let create ?obs ?trace_every prepared ~total =
+    of_strata ?obs ?trace_every (Sampler.strata prepared) ~total
 
   let slot t stratum =
     let i = t.index.(tag stratum) in
@@ -126,12 +212,74 @@ module Tally = struct
   let total t = t.total
   let quarantined t = t.quarantined
 
+  let kish t = if t.sum_w2 > 0. then t.sum_w *. t.sum_w /. t.sum_w2 else float_of_int t.processed
+
+  (* n * Var(stratified estimator); collapses to the plain sample variance
+     when there is a single stratum. Shared by [report] and the running
+     CI half-width of the convergence telemetry. *)
+  let effective_variance t =
+    let acc = ref 0. in
+    Array.iteri
+      (fun i (_, m) ->
+        let w = t.accs.(i) in
+        let n_s = float_of_int (max 1 (Welford.count w)) in
+        acc := !acc +. (m *. m *. Welford.variance w /. n_s))
+      t.strata;
+    !acc *. float_of_int t.processed
+
+  let emit_progress t est =
+    (match t.inst with
+    | Some i ->
+        Metrics.set i.i_ssf est;
+        Metrics.set i.i_ess (kish t)
+    | None -> ());
+    match t.obs.Obs.progress with
+    | None -> ()
+    | Some _ ->
+        let n = t.processed in
+        let nf = float_of_int (max 1 n) in
+        let elapsed = Float.max 0. (Fmc_obs.Clock.now () -. t.start) in
+        let here = n - t.base in
+        Obs.emit t.obs
+          {
+            Fmc_obs.Progress.n;
+            total = t.total;
+            estimate = est;
+            half_width = 1.96 *. sqrt (Float.max 0. (effective_variance t) /. nf);
+            ess = kish t;
+            accept_rate = float_of_int (n - t.quarantined) /. nf;
+            quarantine_rate = float_of_int t.quarantined /. nf;
+            samples_per_sec = (if elapsed > 0. then float_of_int here /. elapsed else 0.);
+            elapsed_s = elapsed;
+          }
+
   let bump_trace t =
-    if t.processed mod t.trace_every = 0 || t.processed = t.total then
-      t.trace <- (t.processed, current_estimate t) :: t.trace
+    if t.processed mod t.trace_every = 0 || t.processed = t.total then begin
+      let est = current_estimate t in
+      t.trace <- (t.processed, est) :: t.trace;
+      if Obs.enabled t.obs then emit_progress t est
+    end
+
+  let bump_draw inst (sample : Sampler.sample) =
+    Metrics.inc inst.i_samples;
+    Metrics.observe inst.i_weights sample.Sampler.weight;
+    match sample.Sampler.stratum with
+    | Sampler.All -> Metrics.inc inst.i_draws_all
+    | Sampler.Vulnerable -> Metrics.inc inst.i_draws_vulnerable
+    | Sampler.Rest -> Metrics.inc inst.i_draws_rest
 
   let record t (sample : Sampler.sample) (result : Engine.run_result) ~attributed =
     t.processed <- t.processed + 1;
+    (match t.inst with
+    | Some inst ->
+        bump_draw inst sample;
+        if result.Engine.success then Metrics.inc inst.i_successes;
+        Metrics.inc
+          (match result.Engine.outcome with
+          | Engine.Masked -> inst.i_masked
+          | Engine.Analytical _ -> inst.i_analytical
+          | Engine.Resumed _ -> inst.i_resumed)
+    | None -> ());
     let i = slot t sample.Sampler.stratum in
     let _, mass = t.strata.(i) in
     let e = if result.Engine.success then 1. else 0. in
@@ -162,9 +310,18 @@ module Tally = struct
     end;
     bump_trace t
 
-  let quarantine t (sample : Sampler.sample) =
+  let quarantine t (sample : Sampler.sample) ~reason =
     t.processed <- t.processed + 1;
     t.quarantined <- t.quarantined + 1;
+    (match reason with
+    | Q_crashed -> t.q_crashed <- t.q_crashed + 1
+    | Q_timed_out -> t.q_timed_out <- t.q_timed_out + 1);
+    (match t.inst with
+    | Some inst ->
+        bump_draw inst sample;
+        Metrics.inc inst.i_quarantined;
+        Metrics.inc (match reason with Q_crashed -> inst.i_q_crashed | Q_timed_out -> inst.i_q_timed_out)
+    | None -> ());
     let i = slot t sample.Sampler.stratum in
     (* The honest accumulators skip the sample entirely (it is reported in
        its own outcome bucket); the pessimistic shadow counts it as a
@@ -175,18 +332,7 @@ module Tally = struct
   let report t ~strategy =
     let n = t.processed in
     let ssf_value = current_estimate t in
-    let variance_value =
-      (* n * Var(stratified estimator); collapses to the plain sample
-         variance when there is a single stratum. *)
-      let acc = ref 0. in
-      Array.iteri
-        (fun i (_, m) ->
-          let w = t.accs.(i) in
-          let n_s = float_of_int (max 1 (Welford.count w)) in
-          acc := !acc +. (m *. m *. Welford.variance w /. n_s))
-        t.strata;
-      !acc *. float_of_int n
-    in
+    let variance_value = effective_variance t in
     let contributions =
       sort_contributions (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.contributions [])
     in
@@ -197,12 +343,19 @@ module Tally = struct
       ssf_upper = (if t.quarantined = 0 then ssf_value else combined t t.pess);
       variance = variance_value;
       successes = t.successes;
-      ess = (if t.sum_w2 > 0. then t.sum_w *. t.sum_w /. t.sum_w2 else float_of_int n);
+      ess = kish t;
       sum_w = t.sum_w;
       sum_w2 = t.sum_w2;
       trace = List.rev t.trace;
       outcomes =
-        { masked = t.masked; mem_only = t.mem_only; resumed = t.resumed; quarantined = t.quarantined };
+        {
+          masked = t.masked;
+          mem_only = t.mem_only;
+          resumed = t.resumed;
+          quarantined = t.quarantined;
+          q_crashed = t.q_crashed;
+          q_timed_out = t.q_timed_out;
+        };
       contributions;
       success_by_direct = t.by_direct;
       success_by_comb = t.by_comb;
@@ -220,6 +373,8 @@ module Tally = struct
       snap_mem_only = t.mem_only;
       snap_resumed = t.resumed;
       snap_quarantined = t.quarantined;
+      snap_q_crashed = t.q_crashed;
+      snap_q_timed_out = t.q_timed_out;
       snap_successes = t.successes;
       snap_by_direct = t.by_direct;
       snap_by_comb = t.by_comb;
@@ -229,7 +384,7 @@ module Tally = struct
       snap_trace = List.rev t.trace;
     }
 
-  let restore s =
+  let restore ?(obs = Obs.disabled) s =
     if List.length s.snap_accs <> List.length s.snap_strata
        || List.length s.snap_pess <> List.length s.snap_strata
     then invalid_arg "Ssf.Tally.restore: accumulator/strata arity mismatch";
@@ -248,6 +403,8 @@ module Tally = struct
       mem_only = s.snap_mem_only;
       resumed = s.snap_resumed;
       quarantined = s.snap_quarantined;
+      q_crashed = s.snap_q_crashed;
+      q_timed_out = s.snap_q_timed_out;
       successes = s.snap_successes;
       by_direct = s.snap_by_direct;
       by_comb = s.snap_by_comb;
@@ -255,16 +412,28 @@ module Tally = struct
       sum_w2 = s.snap_sum_w2;
       contributions;
       trace = List.rev s.snap_trace;
+      obs;
+      inst = make_inst obs;
+      start = Fmc_obs.Clock.now ();
+      (* Throughput telemetry covers this segment only: a resumed campaign
+         should not average in the wall-clock gap since the checkpoint. *)
+      base = s.snap_processed;
     }
 end
 
-let estimate ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles ?hardened ?resilience
-    engine prepared ~samples ~seed =
+let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles
+    ?hardened ?resilience engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Ssf.estimate: non-positive sample count";
   let rng = Rng.create seed in
-  let tally = Tally.create ~trace_every prepared ~total:samples in
+  let tally = Tally.create ~obs ~trace_every prepared ~total:samples in
+  (* Route the handle into the engine's phase instrumentation for the
+     duration of this run (restoring whatever the engine carried before),
+     so callers only ever thread one [?obs]. *)
+  let saved = if Obs.enabled obs then Some (Engine.obs engine) else None in
+  Option.iter (fun _ -> Engine.set_obs engine obs) saved;
+  Fun.protect ~finally:(fun () -> Option.iter (Engine.set_obs engine) saved) @@ fun () ->
   for _ = 1 to samples do
-    let sample = Sampler.draw prepared rng in
+    let sample = Sampler.draw ~obs prepared rng in
     let result = Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample in
     let attributed =
       (* Leave-one-out causal attribution strips incidental co-flips; it
@@ -309,8 +478,10 @@ let merge_reports (reports : report list) =
               mem_only = acc.mem_only + r.outcomes.mem_only;
               resumed = acc.resumed + r.outcomes.resumed;
               quarantined = acc.quarantined + r.outcomes.quarantined;
+              q_crashed = acc.q_crashed + r.outcomes.q_crashed;
+              q_timed_out = acc.q_timed_out + r.outcomes.q_timed_out;
             })
-          { masked = 0; mem_only = 0; resumed = 0; quarantined = 0 }
+          { masked = 0; mem_only = 0; resumed = 0; quarantined = 0; q_crashed = 0; q_timed_out = 0 }
           reports
       in
       (* Pool the Kish ESS from the raw weight sums: per-report ESS values
@@ -359,7 +530,7 @@ let merge_reports (reports : report list) =
       }
 
 let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?batch_hook
-    ~engine_factory prepared ~samples ~seed =
+    ?(obs = Obs.disabled) ~engine_factory prepared ~samples ~seed =
   let domains =
     match domains with Some d -> max 1 d | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
@@ -391,7 +562,20 @@ let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?
       Domain.cpu_relax ()
     done
   in
-  let worker () =
+  (* Workers observe into private forks (registries and tracers are
+     single-domain); the supervisor absorbs them after the join, so the
+     merged metrics cover all batches and the trace carries one tid per
+     worker. The progress sink intentionally does not fork. *)
+  let forked = ref [] in
+  let worker widx () =
+    let wobs =
+      if not (Obs.enabled obs) then Obs.disabled
+      else begin
+        let o = Obs.fork obs ~tid:(widx + 1) in
+        Mutex.protect mutex (fun () -> forked := o :: !forked);
+        o
+      end
+    in
     let engine = ref (engine_factory ()) in
     let rec loop () =
       match pop () with
@@ -399,7 +583,8 @@ let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?
       | Some b ->
           (match
              (match batch_hook with Some h -> h b | None -> ());
-             estimate ?causal !engine prepared ~samples:(size b) ~seed:(seed + (7919 * (b + 1)))
+             estimate ~obs:wobs ?causal !engine prepared ~samples:(size b)
+               ~seed:(seed + (7919 * (b + 1)))
            with
           | r ->
               Mutex.protect mutex (fun () -> results.(b) <- Some r);
@@ -421,8 +606,9 @@ let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?
     in
     loop ()
   in
-  let spawned = List.init (min domains n_batches) (fun _ -> Domain.spawn worker) in
+  let spawned = List.init (min domains n_batches) (fun i -> Domain.spawn (worker i)) in
   List.iter Domain.join spawned;
+  List.iter (Obs.absorb obs) (List.rev !forked);
   let reports = List.filter_map Fun.id (Array.to_list results) in
   if reports = [] then
     failwith
@@ -434,15 +620,17 @@ let confidence_interval report ~z =
   let half = z *. sqrt (report.variance /. float_of_int (max 1 report.n)) in
   (Float.max 0. (report.ssf -. half), Float.min 1. (report.ssf +. half))
 
-let estimate_until ?trace_every ?causal ?(batch = 500) ?(max_samples = 200_000) engine prepared
+let estimate_until ?obs ?trace_every ?causal ?(batch = 500) ?(max_samples = 200_000) engine prepared
     ~half_width ~z ~seed =
   if half_width <= 0. then invalid_arg "Ssf.estimate_until: non-positive half_width";
   if batch <= 0 then invalid_arg "Ssf.estimate_until: non-positive batch";
   (* Deterministic growth: re-estimate with a growing sample count so the
      stream stays reproducible (estimation cost is linear in the final n,
-     and the doubling schedule keeps the total within ~4x of one pass). *)
+     and the doubling schedule keeps the total within ~4x of one pass).
+     Metrics and spans accumulate over every pass — they report the work
+     actually done, which for the doubling schedule exceeds the final n. *)
   let rec go n =
-    let report = estimate ?trace_every ?causal engine prepared ~samples:n ~seed in
+    let report = estimate ?obs ?trace_every ?causal engine prepared ~samples:n ~seed in
     let lo, hi = confidence_interval report ~z in
     if (hi -. lo) /. 2. <= half_width || n >= max_samples then report
     else go (min max_samples (max (n + batch) (2 * n)))

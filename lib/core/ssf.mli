@@ -8,6 +8,10 @@
     per-register success attribution (the "3% registers, 95% SSF"
     analysis). *)
 
+type quarantine_reason =
+  | Q_crashed  (** the evaluation raised (crash guard) *)
+  | Q_timed_out  (** the per-sample cycle budget ran out (watchdog) *)
+
 type outcome_counts = {
   masked : int;  (** no register error survived the injection cycle *)
   mem_only : int;  (** analytical evaluation sufficed *)
@@ -16,6 +20,10 @@ type outcome_counts = {
       (** samples whose evaluation crashed or timed out and was isolated by
           the campaign runner ({!Campaign}); always 0 for direct
           {!estimate} runs. The four buckets partition the [n] samples. *)
+  q_crashed : int;  (** quarantines attributed to the crash guard *)
+  q_timed_out : int;
+      (** quarantines attributed to the cycle-budget watchdog;
+          [q_crashed + q_timed_out = quarantined] *)
 }
 
 type report = {
@@ -70,6 +78,8 @@ module Tally : sig
     snap_mem_only : int;
     snap_resumed : int;
     snap_quarantined : int;
+    snap_q_crashed : int;
+    snap_q_timed_out : int;
     snap_successes : int;
     snap_by_direct : int;
     snap_by_comb : int;
@@ -79,9 +89,14 @@ module Tally : sig
     snap_trace : (int * float) list;
   }
 
-  val create : ?trace_every:int -> Sampler.prepared -> total:int -> t
+  val create : ?obs:Fmc_obs.Obs.t -> ?trace_every:int -> Sampler.prepared -> total:int -> t
   (** Fresh tally for a campaign of [total] samples ([trace_every]
-      defaults to 50, matching {!estimate}). *)
+      defaults to 50, matching {!estimate}). [obs] (default disabled)
+      attaches observability: per-outcome counters, the importance-weight
+      histogram and running SSF/ESS gauges in the metrics registry, and a
+      convergence {!Fmc_obs.Progress.point} pushed at every trace bump.
+      Observability never touches the statistics — an instrumented tally
+      produces a bit-identical report. *)
 
   val processed : t -> int
   (** Samples consumed so far, including quarantined ones. *)
@@ -95,22 +110,25 @@ module Tally : sig
       causal attribution and the raw flip set, exactly as {!estimate}
       does). *)
 
-  val quarantine : t -> Sampler.sample -> unit
+  val quarantine : t -> Sampler.sample -> reason:quarantine_reason -> unit
   (** Consume one sample slot without folding it into the honest estimate:
-      the sample counts in [n] and the [quarantined] bucket, and enters the
-      pessimistic accumulators as a full-weight success so [ssf_upper]
-      stays a sound conservative bound. *)
+      the sample counts in [n], the [quarantined] bucket and the [reason]'s
+      sub-bucket, and enters the pessimistic accumulators as a full-weight
+      success so [ssf_upper] stays a sound conservative bound. *)
 
   val report : t -> strategy:string -> report
 
   val snapshot : t -> snapshot
 
-  val restore : snapshot -> t
+  val restore : ?obs:Fmc_obs.Obs.t -> snapshot -> t
   (** Rebuild a tally that continues exactly where [snapshot] left off.
+      Observability starts fresh (metrics count this segment's work;
+      throughput telemetry excludes the downtime since the snapshot).
       Raises [Invalid_argument] on an internally inconsistent snapshot. *)
 end
 
 val estimate :
+  ?obs:Fmc_obs.Obs.t ->
   ?trace_every:int ->
   ?causal:bool ->
   ?cell_filter:(Fmc_netlist.Netlist.node -> bool) ->
@@ -122,7 +140,12 @@ val estimate :
   samples:int ->
   seed:int ->
   report
-(** Deterministic for fixed arguments. [causal] (default true) applies
+(** Deterministic for fixed arguments, including under [obs]:
+    observability reads the sample stream but never the RNG, so an
+    instrumented run returns the bit-identical report. While the run is in
+    flight the handle is also installed on [engine] (its previous handle is
+    restored afterwards), so the engine's phase spans and cycle counters
+    land in the same sinks. [causal] (default true) applies
     leave-one-out counterfactual attribution to successful runs so that the
     contribution list reflects causal bits rather than incidental co-flips;
     it is automatically disabled when [hardened] is supplied. Raises
@@ -140,6 +163,7 @@ val estimate_parallel :
   ?batch:int ->
   ?max_batch_retries:int ->
   ?batch_hook:(int -> unit) ->
+  ?obs:Fmc_obs.Obs.t ->
   engine_factory:(unit -> Engine.t) ->
   Sampler.prepared ->
   samples:int ->
@@ -162,7 +186,11 @@ val estimate_parallel :
     The result is deterministic for a fixed [(batch, samples, seed)] triple
     independent of [domains] and scheduling — but differs from the
     sequential {!estimate} stream, and the trace is coarser (per-batch
-    checkpoints). *)
+    checkpoints). Under [obs], every worker observes into a private fork of
+    the handle (tid = worker index + 1) that the supervisor merges back
+    after the join: counters and histograms sum across workers, trace
+    events interleave with per-worker tids, and the progress sink stays
+    supervisor-only (no interleaved emission). *)
 
 val confidence_interval : report -> z:float -> float * float
 (** Normal-approximation confidence interval for the SSF estimate:
@@ -170,6 +198,7 @@ val confidence_interval : report -> z:float -> float * float
     for 95%. *)
 
 val estimate_until :
+  ?obs:Fmc_obs.Obs.t ->
   ?trace_every:int ->
   ?causal:bool ->
   ?batch:int ->

@@ -5,6 +5,7 @@ type t = {
   dmem : int array;
   mutable cycle : int;
   mutable watchdog : int;  (* remaining step budget; negative = unlimited *)
+  mutable on_step : (unit -> unit) option;  (* observability hook; not checkpointed *)
 }
 
 exception Cycle_budget_exhausted of int
@@ -28,7 +29,15 @@ let create (program : Fmc_isa.Programs.t) =
   validate_dmem_size ~who:"System.create" program.Fmc_isa.Programs.dmem_size;
   let dmem = Array.make program.Fmc_isa.Programs.dmem_size 0 in
   List.iter (fun (a, v) -> dmem.(a) <- v land 0xffff) program.Fmc_isa.Programs.dmem_init;
-  { program; st = Arch.create (); imem = program.Fmc_isa.Programs.imem; dmem; cycle = 0; watchdog = -1 }
+  {
+    program;
+    st = Arch.create ();
+    imem = program.Fmc_isa.Programs.imem;
+    dmem;
+    cycle = 0;
+    watchdog = -1;
+    on_step = None;
+  }
 
 let program t = t.program
 let state t = t.st
@@ -49,9 +58,12 @@ let set_watchdog t budget =
   | Some n when n < 0 -> invalid_arg "System.set_watchdog: negative budget"
   | Some n -> t.watchdog <- n
 
+let set_on_step t hook = t.on_step <- hook
+
 let step t =
   if t.watchdog = 0 then raise (Cycle_budget_exhausted t.cycle);
   if t.watchdog > 0 then t.watchdog <- t.watchdog - 1;
+  (match t.on_step with None -> () | Some f -> f ());
   let outcome = Model.step t.st ~fetch:(fetch t) ~load:(load t) ~store:(store t) in
   t.cycle <- t.cycle + 1;
   outcome

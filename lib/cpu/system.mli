@@ -48,6 +48,12 @@ val set_watchdog : t -> int option -> unit
     transient execution state — it is not part of a {!checkpoint}. Raises
     [Invalid_argument] on a negative budget. *)
 
+val set_on_step : t -> (unit -> unit) option -> unit
+(** Install (or clear) a per-step observability hook, invoked once at the
+    start of every {!step} that passes the watchdog. Like the watchdog it
+    is transient execution state: not part of a {!checkpoint}, and the
+    default ([None]) costs a single branch per cycle. *)
+
 val step : t -> Model.outcome
 (** One cycle (no-op when halted, but still counts a cycle). *)
 

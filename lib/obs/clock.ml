@@ -1,0 +1,9 @@
+let source = ref Unix.gettimeofday
+let epoch = ref (Unix.gettimeofday ())
+
+let set_source f =
+  source := f;
+  epoch := f ()
+
+let now () = !source ()
+let now_us () = (!source () -. !epoch) *. 1e6

@@ -1,0 +1,20 @@
+(** The observability layer's single time source.
+
+    Every timestamp in {!Metrics}, {!Span} and the telemetry sinks flows
+    through this module so tests can substitute a deterministic fake clock
+    and assert on exact durations. The default source is
+    [Unix.gettimeofday]. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the wall-clock source (seconds, monotonically non-decreasing).
+    The microsecond epoch for {!now_us} is re-anchored at the source's
+    current value, so a fake clock starting at any offset yields span
+    timestamps starting near 0. *)
+
+val now : unit -> float
+(** Current time in seconds from the active source. *)
+
+val now_us : unit -> float
+(** Microseconds since the source was installed (process start for the
+    default source). Kept relative so the double mantissa retains
+    sub-microsecond resolution over long campaigns. *)

@@ -1,0 +1,12 @@
+(** Tiny JSON rendering helpers shared by the exporters. Every string in
+    the observability layer is program-controlled (metric names, span
+    labels, help text), so escaping is a formality — but a correct one. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between JSON double quotes. *)
+
+val number : float -> string
+(** Render a finite float as a JSON number: integral values print without
+    a fractional part ([3] not [3.]), everything else with [%.12g]
+    precision. Non-finite values render as [0] (JSON has no Inf/NaN; the
+    metrics layer never produces them from finite observations). *)

@@ -1,0 +1,43 @@
+(** The observability handle threaded through the Monte Carlo pipeline.
+
+    A single record bundles the three optional sinks so instrumented code
+    takes one [?obs] parameter. {!disabled} is the default everywhere: an
+    instrumentation site on the disabled path costs a single branch on an
+    option (plus, for spans, the closure the call site builds) — no
+    registry lookups, no clock reads.
+
+    For multicore runs, {!fork} derives a fresh single-domain handle per
+    worker (private registry + tracer under the worker's [tid]; the
+    progress sink is dropped — interleaved emission is the supervisor's
+    job) and {!absorb} folds the worker handles back after the join. *)
+
+type t = {
+  metrics : Metrics.registry option;
+  tracer : Span.tracer option;
+  progress : Progress.sink option;
+}
+
+val disabled : t
+(** All sinks off. *)
+
+val create :
+  ?metrics:Metrics.registry -> ?tracer:Span.tracer -> ?progress:Progress.sink -> unit -> t
+
+val enabled : t -> bool
+(** True if any sink is attached. *)
+
+val span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [Span.with_span] when a tracer is attached, plain [f ()] otherwise. *)
+
+val fork : t -> tid:int -> t
+(** Worker-private handle: a fresh registry if the parent has one, a fresh
+    tracer (parent's capacity, the given [tid]) if the parent has one, no
+    progress sink. [fork disabled ~tid] is {!disabled}. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] merges the child's registry snapshot and trace
+    events into the parent's corresponding sinks (no-op per sink when
+    either side lacks it). *)
+
+val emit : t -> Progress.point -> unit
+(** Push a convergence point to the progress sink, if any. *)

@@ -1,0 +1,35 @@
+type point = {
+  n : int;
+  total : int;
+  estimate : float;
+  half_width : float;
+  ess : float;
+  accept_rate : float;
+  quarantine_rate : float;
+  samples_per_sec : float;
+  elapsed_s : float;
+}
+
+type sink = point -> unit
+
+let to_jsonl p =
+  Printf.sprintf
+    "{\"n\":%d,\"total\":%d,\"ssf\":%.8f,\"ci_half_width\":%.8f,\"ess\":%.2f,\"accept_rate\":%.6f,\"quarantine_rate\":%.6f,\"samples_per_sec\":%.1f,\"elapsed_s\":%.3f}"
+    p.n p.total p.estimate p.half_width p.ess p.accept_rate p.quarantine_rate p.samples_per_sec
+    p.elapsed_s
+
+let to_human p =
+  Printf.sprintf "[%7.1fs] %d/%d  SSF %.5f ±%.5f  ESS %.0f  %.0f samples/s%s" p.elapsed_s p.n
+    p.total p.estimate p.half_width p.ess p.samples_per_sec
+    (if p.quarantine_rate > 0. then Printf.sprintf "  (quarantined %.1f%%)" (100. *. p.quarantine_rate)
+     else "")
+
+let jsonl_sink oc p =
+  output_string oc (to_jsonl p);
+  output_char oc '\n';
+  flush oc
+
+let human_sink oc p =
+  output_string oc (to_human p);
+  output_char oc '\n';
+  flush oc

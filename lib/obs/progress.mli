@@ -1,0 +1,29 @@
+(** Convergence telemetry: one {!point} per [trace_every] samples of an
+    estimation run, pushed to a pluggable sink. The JSONL rendering is the
+    machine-readable convergence stream ([faultmc --progress jsonl], the
+    bench artifacts); the human rendering is a one-line status ticker. *)
+
+type point = {
+  n : int;  (** samples processed so far (includes quarantined) *)
+  total : int;  (** campaign target *)
+  estimate : float;  (** running SSF *)
+  half_width : float;  (** 95% normal-approximation CI half-width *)
+  ess : float;  (** Kish effective sample size so far *)
+  accept_rate : float;  (** fraction of processed samples folded into the estimate *)
+  quarantine_rate : float;
+  samples_per_sec : float;  (** throughput since this tally (segment) started *)
+  elapsed_s : float;
+}
+
+type sink = point -> unit
+
+val to_jsonl : point -> string
+(** One JSON object, no trailing newline. *)
+
+val to_human : point -> string
+
+val jsonl_sink : out_channel -> sink
+(** Writes [to_jsonl] plus a newline and flushes (the stream must survive
+    a crash mid-campaign). *)
+
+val human_sink : out_channel -> sink

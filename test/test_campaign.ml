@@ -35,6 +35,9 @@ let check_reports_equal (a : Ssf.report) (b : Ssf.report) =
   Alcotest.(check int) "resumed" a.Ssf.outcomes.Ssf.resumed b.Ssf.outcomes.Ssf.resumed;
   Alcotest.(check int) "quarantined" a.Ssf.outcomes.Ssf.quarantined
     b.Ssf.outcomes.Ssf.quarantined;
+  Alcotest.(check int) "q_crashed" a.Ssf.outcomes.Ssf.q_crashed b.Ssf.outcomes.Ssf.q_crashed;
+  Alcotest.(check int) "q_timed_out" a.Ssf.outcomes.Ssf.q_timed_out
+    b.Ssf.outcomes.Ssf.q_timed_out;
   Alcotest.(check int) "by_direct" a.Ssf.success_by_direct b.Ssf.success_by_direct;
   Alcotest.(check int) "by_comb" a.Ssf.success_by_comb b.Ssf.success_by_comb;
   Alcotest.(check (list (pair int (float 0.)))) "trace" a.Ssf.trace b.Ssf.trace;
@@ -85,6 +88,8 @@ let test_quarantine_accounting () =
   let r = Campaign.run ~config ~fault_hook e prep ~samples:300 ~seed:11 in
   let o = r.Campaign.report.Ssf.outcomes in
   Alcotest.(check int) "quarantined count" 6 o.Ssf.quarantined;
+  Alcotest.(check int) "all attributed to the crash guard" 6 o.Ssf.q_crashed;
+  Alcotest.(check int) "none to the watchdog" 0 o.Ssf.q_timed_out;
   Alcotest.(check int) "buckets partition n" 300
     (o.Ssf.masked + o.Ssf.mem_only + o.Ssf.resumed + o.Ssf.quarantined);
   Alcotest.(check int) "entries match" 6 (List.length r.Campaign.quarantined);
@@ -131,6 +136,8 @@ let test_cycle_budget_timeout () =
   Alcotest.(check int) "masked unchanged" baseline.Ssf.outcomes.Ssf.masked o.Ssf.masked;
   Alcotest.(check int) "analytical unchanged" baseline.Ssf.outcomes.Ssf.mem_only o.Ssf.mem_only;
   Alcotest.(check bool) "most resumes time out" true (o.Ssf.quarantined > o.Ssf.resumed);
+  Alcotest.(check int) "all attributed to the watchdog" o.Ssf.quarantined o.Ssf.q_timed_out;
+  Alcotest.(check int) "none to the crash guard" 0 o.Ssf.q_crashed;
   List.iter
     (fun (q : Campaign.quarantine_entry) ->
       Alcotest.(check bool) "timed out" true (q.Campaign.q_disposition = Campaign.Timed_out))
@@ -172,6 +179,65 @@ let test_dmem_power_of_two_guard () =
      protected word at 0x300). *)
   ignore (System.create { Programs.illegal_write with Programs.dmem_size = 2048 })
 
+let test_observability_invariance () =
+  (* Full instrumentation must never perturb the statistics: metrics,
+     spans and progress read the sample stream but not the RNG, so the
+     report is bit-identical to an uninstrumented run. *)
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let baseline = Campaign.run ~config:no_signals e prep ~samples:300 ~seed:11 in
+  let reg = Fmc_obs.Metrics.create () in
+  let tracer = Fmc_obs.Span.create ~capacity:256 () in
+  let points = ref 0 in
+  let obs =
+    Fmc_obs.Obs.create ~metrics:reg ~tracer ~progress:(fun _ -> incr points) ()
+  in
+  let instrumented = Campaign.run ~config:no_signals ~obs e prep ~samples:300 ~seed:11 in
+  check_reports_equal baseline.Campaign.report instrumented.Campaign.report;
+  (* ...and the sinks actually saw the run. *)
+  Alcotest.(check bool) "progress points emitted" true (!points > 0);
+  Alcotest.(check bool) "spans recorded" true (Fmc_obs.Span.recorded tracer > 0);
+  let samples_total =
+    match List.assoc_opt "fmc_samples_total" (Fmc_obs.Metrics.snapshot reg) with
+    | Some (_, Fmc_obs.Metrics.Counter v) -> v
+    | _ -> Alcotest.fail "fmc_samples_total missing"
+  in
+  Alcotest.(check (float 0.)) "sample counter" 300. samples_total;
+  Alcotest.(check bool) "engine handle restored" true
+    (not (Fmc_obs.Obs.enabled (Engine.obs e)));
+  (* Wall-clock accounting is monotone and consistent. *)
+  Alcotest.(check bool) "elapsed measured" true (instrumented.Campaign.elapsed_s >= 0.);
+  Alcotest.(check bool) "throughput finite" true
+    (Float.is_finite instrumented.Campaign.samples_per_sec)
+
+let test_parallel_obs_merge () =
+  (* Every worker domain observes into a private fork of the handle; the
+     supervisor absorbs them after the join, so the merged metrics cover
+     the whole run and the merged trace interleaves per-worker tids. *)
+  let prep = prepare Sampler.default_mixed in
+  let factory () =
+    Engine.create ~precharac:(Experiments.precharac (Lazy.force ctx)) Programs.illegal_write
+  in
+  let reg = Fmc_obs.Metrics.create () in
+  let tracer = Fmc_obs.Span.create ~capacity:4096 () in
+  let obs = Fmc_obs.Obs.create ~metrics:reg ~tracer () in
+  let baseline =
+    Ssf.estimate_parallel ~domains:2 ~causal:false ~engine_factory:factory prep ~samples:600
+      ~seed:5
+  in
+  let r =
+    Ssf.estimate_parallel ~domains:2 ~causal:false ~obs ~engine_factory:factory prep
+      ~samples:600 ~seed:5
+  in
+  exact "deterministic under obs" baseline.Ssf.ssf r.Ssf.ssf;
+  (match List.assoc_opt "fmc_samples_total" (Fmc_obs.Metrics.snapshot reg) with
+  | Some (_, Fmc_obs.Metrics.Counter v) -> exact "workers' counters merged" 600. v
+  | _ -> Alcotest.fail "fmc_samples_total missing");
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Fmc_obs.Span.ev_tid) (Fmc_obs.Span.events tracer))
+  in
+  Alcotest.(check bool) "per-worker tids present" true (List.length tids >= 1 && List.for_all (fun t -> t >= 1) tids)
+
 let test_corrupt_checkpoint_rejected () =
   with_tmp "corrupt" @@ fun path ->
   let oc = open_out path in
@@ -204,6 +270,8 @@ let () =
           Alcotest.test_case "quarantine accounting" `Slow test_quarantine_accounting;
           Alcotest.test_case "cycle-budget timeout" `Slow test_cycle_budget_timeout;
           Alcotest.test_case "merge pooled ess" `Slow test_merge_reports_pooled_ess;
+          Alcotest.test_case "observability invariance" `Slow test_observability_invariance;
+          Alcotest.test_case "parallel obs merge" `Slow test_parallel_obs_merge;
           Alcotest.test_case "dmem power-of-two guard" `Quick test_dmem_power_of_two_guard;
           Alcotest.test_case "corrupt checkpoint rejected" `Quick test_corrupt_checkpoint_rejected;
         ] );

@@ -1,0 +1,406 @@
+(* Tests for the Fmc_obs observability library: histogram semantics and
+   quantiles, snapshot merge algebra (incl. qcheck associativity /
+   commutativity), span ring-buffer behavior, and well-formedness of the
+   Prometheus / JSON / Chrome-trace renderings. *)
+
+module Metrics = Fmc_obs.Metrics
+module Span = Fmc_obs.Span
+module Progress = Fmc_obs.Progress
+module Obs = Fmc_obs.Obs
+module Clock = Fmc_obs.Clock
+
+let exact = Alcotest.(check (float 0.))
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON syntax checker: enough to certify the emitted strings
+   are parseable JSON without pulling in a JSON library. Returns the
+   value's end position or raises [Failure]. *)
+
+let check_json s =
+  let n = String.length s in
+  let fail i msg = failwith (Printf.sprintf "json error at %d: %s" i msg) in
+  let rec skip_ws i = if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then skip_ws (i + 1) else i in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "eof"
+    else
+      match s.[i] with
+      | '{' -> obj (skip_ws (i + 1)) true
+      | '[' -> arr (skip_ws (i + 1)) true
+      | '"' -> string_lit (i + 1)
+      | 't' -> lit i "true"
+      | 'f' -> lit i "false"
+      | 'n' -> lit i "null"
+      | '-' | '0' .. '9' -> number i
+      | c -> fail i (Printf.sprintf "unexpected %C" c)
+  and lit i l =
+    if i + String.length l <= n && String.sub s i (String.length l) = l then i + String.length l
+    else fail i ("expected " ^ l)
+  and number i =
+    let j = ref (if s.[i] = '-' then i + 1 else i) in
+    let digits k = let k0 = !j in (j := k); while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      if !j = k0 && false then () else if !j = k then fail k "digit expected"
+    in
+    digits !j;
+    if !j < n && s.[!j] = '.' then (incr j; digits !j);
+    if !j < n && (s.[!j] = 'e' || s.[!j] = 'E') then begin
+      incr j;
+      if !j < n && (s.[!j] = '+' || s.[!j] = '-') then incr j;
+      digits !j
+    end;
+    !j
+  and string_lit i =
+    if i >= n then fail i "unterminated string"
+    else
+      match s.[i] with
+      | '"' -> i + 1
+      | '\\' ->
+          if i + 1 >= n then fail i "dangling escape"
+          else (
+            match s.[i + 1] with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> string_lit (i + 2)
+            | 'u' ->
+                if i + 5 < n then string_lit (i + 6) else fail i "short \\u escape"
+            | c -> fail i (Printf.sprintf "bad escape %C" c))
+      | c when Char.code c < 0x20 -> fail i "raw control char in string"
+      | _ -> string_lit (i + 1)
+  and obj i first =
+    if i < n && s.[i] = '}' then i + 1
+    else begin
+      let i = if first then i else skip_ws i in
+      if i >= n || s.[i] <> '"' then fail i "object key expected";
+      let i = skip_ws (string_lit (i + 1)) in
+      if i >= n || s.[i] <> ':' then fail i "colon expected";
+      let i = skip_ws (value (i + 1)) in
+      if i < n && s.[i] = ',' then obj (skip_ws (i + 1)) false
+      else if i < n && s.[i] = '}' then i + 1
+      else fail i "comma or } expected"
+    end
+  and arr i first =
+    if i < n && s.[i] = ']' then i + 1
+    else begin
+      let i = skip_ws (if first then i else i) in
+      let i = skip_ws (value i) in
+      if i < n && s.[i] = ',' then arr (skip_ws (i + 1)) false
+      else if i < n && s.[i] = ']' then i + 1
+      else fail i "comma or ] expected"
+    end
+  in
+  let last = skip_ws (value 0) in
+  if last <> n then failwith (Printf.sprintf "trailing garbage at %d" last)
+
+let valid_json what s =
+  match check_json s with
+  | () -> ()
+  | exception Failure msg -> Alcotest.failf "%s is not valid JSON (%s): %s" what msg s
+
+(* ------------------------------------------------------------------ *)
+(* Histograms. *)
+
+let test_histogram_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 10.; 20.; 30. |] "h" in
+  (* Upper bounds are inclusive: an observation equal to a bound lands in
+     that bucket, one just above spills into the next. *)
+  List.iter (Metrics.observe h) [ 10.; 10.0000001; 20.; 30.; 31.; 1e9 ];
+  match Metrics.snapshot reg with
+  | [ ("h", (_, Metrics.Histo d)) ] ->
+      Alcotest.(check (array int)) "per-bucket counts" [| 1; 2; 1; 2 |] d.Metrics.counts;
+      Alcotest.(check int) "count" 6 d.Metrics.count;
+      exact "sum" (10. +. 10.0000001 +. 20. +. 30. +. 31. +. 1e9) d.Metrics.sum
+  | _ -> Alcotest.fail "unexpected snapshot shape"
+
+let test_histogram_quantile () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 10.; 20.; 30. |] "h" in
+  for v = 1 to 30 do
+    Metrics.observe h (float_of_int v)
+  done;
+  let d =
+    match Metrics.snapshot reg with
+    | [ ("h", (_, Metrics.Histo d)) ] -> d
+    | _ -> Alcotest.fail "unexpected snapshot shape"
+  in
+  (* Uniform mass over (0, 30]: the interpolated median is 15, the first
+     decile 3, the maximum the last bound. *)
+  Alcotest.(check (float 1e-9)) "median" 15. (Metrics.quantile d 0.5);
+  Alcotest.(check (float 1e-9)) "q10" 3. (Metrics.quantile d 0.1);
+  Alcotest.(check (float 1e-9)) "q100" 30. (Metrics.quantile d 1.);
+  (* Overflow observations clamp to the last finite bound. *)
+  Metrics.observe h 1e12;
+  let d =
+    match Metrics.snapshot reg with
+    | [ ("h", (_, Metrics.Histo d)) ] -> d
+    | _ -> assert false
+  in
+  Alcotest.(check (float 1e-9)) "overflow clamps" 30. (Metrics.quantile d 1.);
+  exact "empty histogram" 0.
+    (Metrics.quantile { Metrics.buckets = [| 1. |]; counts = [| 0; 0 |]; sum = 0.; count = 0 } 0.5);
+  Alcotest.(check bool) "out-of-range q raises" true
+    (try
+       ignore (Metrics.quantile d 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_registry_guards () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c" in
+  Alcotest.(check bool) "negative add raises" true
+    (try
+       Metrics.add c (-1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad name raises" true
+    (try
+       ignore (Metrics.counter reg "bad name");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge reg "c");
+       false
+     with Invalid_argument _ -> true);
+  ignore (Metrics.histogram reg ~buckets:[| 1.; 2. |] "h");
+  Alcotest.(check bool) "bucket mismatch raises" true
+    (try
+       ignore (Metrics.histogram reg ~buckets:[| 1.; 3. |] "h");
+       false
+     with Invalid_argument _ -> true);
+  (* Idempotent re-registration returns the same cell. *)
+  Metrics.inc c;
+  Metrics.inc (Metrics.counter reg "c");
+  match List.assoc_opt "c" (Metrics.snapshot reg) with
+  | Some (_, Metrics.Counter v) -> exact "shared cell" 2. v
+  | _ -> Alcotest.fail "counter missing"
+
+(* ------------------------------------------------------------------ *)
+(* Merge algebra across simulated worker snapshots. *)
+
+let worker_snapshot ~samples ~gauge_v ~obs =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"samples" "fmc_samples_total" in
+  let g = Metrics.gauge reg "fmc_ssf_estimate" in
+  let h = Metrics.histogram reg ~buckets:[| 1.; 10. |] "fmc_is_weight" in
+  for _ = 1 to samples do
+    Metrics.inc c
+  done;
+  Metrics.set g gauge_v;
+  List.iter (Metrics.observe h) obs;
+  Metrics.snapshot reg
+
+let test_merge_workers () =
+  let a = worker_snapshot ~samples:120 ~gauge_v:0.25 ~obs:[ 0.5; 5.; 50. ] in
+  let b = worker_snapshot ~samples:80 ~gauge_v:0.75 ~obs:[ 0.1; 0.2 ] in
+  let m = Metrics.merge a b in
+  (match List.assoc_opt "fmc_samples_total" m with
+  | Some (help, Metrics.Counter v) ->
+      exact "counters sum" 200. v;
+      Alcotest.(check string) "help survives" "samples" help
+  | _ -> Alcotest.fail "counter lost");
+  (match List.assoc_opt "fmc_ssf_estimate" m with
+  | Some (_, Metrics.Gauge v) -> exact "gauges keep max" 0.75 v
+  | _ -> Alcotest.fail "gauge lost");
+  (match List.assoc_opt "fmc_is_weight" m with
+  | Some (_, Metrics.Histo d) ->
+      Alcotest.(check (array int)) "histograms add element-wise" [| 3; 1; 1 |] d.Metrics.counts;
+      Alcotest.(check int) "count" 5 d.Metrics.count
+  | _ -> Alcotest.fail "histogram lost");
+  (* Disjoint names are kept from both sides. *)
+  let only = worker_snapshot ~samples:1 ~gauge_v:0. ~obs:[] in
+  let extra_reg = Metrics.create () in
+  ignore (Metrics.counter extra_reg "zz_extra");
+  let m2 = Metrics.merge only (Metrics.snapshot extra_reg) in
+  Alcotest.(check int) "union of names" 4 (List.length m2);
+  (* [absorb] agrees with [merge]. *)
+  let reg = Metrics.create () in
+  Metrics.absorb reg a;
+  Metrics.absorb reg b;
+  Alcotest.(check bool) "absorb = merge" true (Metrics.snapshot reg = m)
+
+let small_snapshot_gen =
+  (* A fixed name universe with a fixed kind per name (so any two
+     generated snapshots are merge-compatible), each name optionally
+     present (exercising the disjoint-name paths). Small-integer floats
+     keep FP addition exact, so associativity holds bitwise, not just
+     approximately. *)
+  QCheck.Gen.(
+    let counter v = ("alpha", ("", Metrics.Counter (float_of_int v))) in
+    let gauge v = ("beta", ("", Metrics.Gauge (float_of_int v))) in
+    let histo (a, b) =
+      ( "gamma",
+        ( "",
+          Metrics.Histo
+            {
+              Metrics.buckets = [| 1.; 2. |];
+              counts = [| a; b; 0 |];
+              sum = float_of_int (a + b);
+              count = a + b;
+            } ) )
+    in
+    map3
+      (fun c g h -> List.filter_map Fun.id [ c; g; h ])
+      (opt (map counter (int_bound 50)))
+      (opt (map gauge (int_bound 50)))
+      (opt (map histo (pair (int_bound 20) (int_bound 20)))))
+
+let qcheck_merge_assoc_comm =
+  let gen =
+    QCheck.make
+      ~print:(fun (a, b, c) ->
+        Printf.sprintf "%s / %s / %s" (Metrics.to_json a) (Metrics.to_json b) (Metrics.to_json c))
+      QCheck.Gen.(triple small_snapshot_gen small_snapshot_gen small_snapshot_gen)
+  in
+  QCheck.Test.make ~name:"merge is associative and commutative" ~count:500 gen (fun (a, b, c) ->
+      Metrics.merge a (Metrics.merge b c) = Metrics.merge (Metrics.merge a b) c
+      && Metrics.merge a b = Metrics.merge b a)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and the trace export. *)
+
+let with_fake_clock f =
+  let t = ref 1000. in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:(fun () -> Clock.set_source Unix.gettimeofday) (fun () -> f t)
+
+let test_span_ring () =
+  with_fake_clock @@ fun t ->
+  let tr = Span.create ~capacity:4 ~tid:3 () in
+  for i = 1 to 10 do
+    Span.with_span tr (Printf.sprintf "s%d" i) (fun () -> t := !t +. 0.001)
+  done;
+  Alcotest.(check int) "recorded" 10 (Span.recorded tr);
+  Alcotest.(check int) "dropped" 6 (Span.dropped tr);
+  let evs = Span.events tr in
+  Alcotest.(check (list string)) "ring keeps the most recent, oldest first"
+    [ "s7"; "s8"; "s9"; "s10" ]
+    (List.map (fun e -> e.Span.ev_name) evs);
+  Alcotest.(check bool) "timestamps ascend" true
+    (let ts = List.map (fun e -> e.Span.ev_ts_us) evs in
+     List.sort compare ts = ts);
+  (* Aggregate totals are exact despite the wrap. *)
+  Alcotest.(check int) "totals count all spans" 10
+    (List.fold_left (fun acc (_, (c, _)) -> acc + c) 0 (Span.totals tr));
+  (* A raising span is still recorded. *)
+  (try Span.with_span tr "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "raised span recorded" 11 (Span.recorded tr)
+
+let test_trace_json () =
+  with_fake_clock @@ fun t ->
+  let tr = Span.create ~tid:2 () in
+  Span.with_span tr ~cat:"engine" "restore" (fun () -> t := !t +. 0.000123);
+  Span.with_span tr "needs \"escaping\"\n" (fun () -> ());
+  let json = Span.to_chrome_json (Span.events tr) in
+  valid_json "chrome trace" json;
+  Alcotest.(check bool) "has displayTimeUnit" true
+    (String.length json > 20 && String.sub json 0 20 = "{\"displayTimeUnit\":\"");
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "complete events" true (contains "\"ph\":\"X\"");
+  Alcotest.(check bool) "tid carried" true (contains "\"tid\":2");
+  Alcotest.(check bool) "duration in us" true (contains "\"dur\":123.000")
+
+let test_span_absorb () =
+  with_fake_clock @@ fun t ->
+  let parent = Span.create ~capacity:16 ~tid:0 () in
+  let child = Span.create ~capacity:16 ~tid:1 () in
+  Span.with_span parent "p" (fun () -> t := !t +. 1e-3);
+  Span.with_span child "c" (fun () -> t := !t +. 1e-3);
+  Span.absorb parent child;
+  Alcotest.(check int) "events merged" 2 (List.length (Span.events parent));
+  Alcotest.(check (list string)) "totals merged" [ "c"; "p" ]
+    (List.map fst (Span.totals parent))
+
+(* ------------------------------------------------------------------ *)
+(* Renderings and the Obs handle. *)
+
+let test_prometheus_format () =
+  let snap = worker_snapshot ~samples:3 ~gauge_v:0.5 ~obs:[ 0.5; 5.; 50. ] in
+  let text = Metrics.to_prometheus snap in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "help" true (has "# HELP fmc_samples_total samples");
+  Alcotest.(check bool) "type counter" true (has "# TYPE fmc_samples_total counter");
+  Alcotest.(check bool) "counter value" true (has "fmc_samples_total 3");
+  Alcotest.(check bool) "type histogram" true (has "# TYPE fmc_is_weight histogram");
+  (* Buckets are cumulative and terminated by +Inf. *)
+  Alcotest.(check bool) "le=1" true (has "fmc_is_weight_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "le=10 cumulative" true (has "fmc_is_weight_bucket{le=\"10\"} 2");
+  Alcotest.(check bool) "+Inf total" true (has "fmc_is_weight_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "count series" true (has "fmc_is_weight_count 3");
+  valid_json "metrics json" (Metrics.to_json snap)
+
+let test_progress_jsonl () =
+  let p =
+    {
+      Progress.n = 50;
+      total = 400;
+      estimate = 0.031;
+      half_width = 0.012;
+      ess = 42.5;
+      accept_rate = 0.99;
+      quarantine_rate = 0.01;
+      samples_per_sec = 1234.5;
+      elapsed_s = 0.04;
+    }
+  in
+  let line = Progress.to_jsonl p in
+  valid_json "progress point" line;
+  List.iter
+    (fun key ->
+      let sub = "\"" ^ key ^ "\":" in
+      let n = String.length sub and m = String.length line in
+      let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+      Alcotest.(check bool) (key ^ " present") true (go 0))
+    [ "n"; "total"; "ssf"; "ci_half_width"; "ess"; "accept_rate"; "quarantine_rate";
+      "samples_per_sec"; "elapsed_s" ]
+
+let test_obs_handle () =
+  Alcotest.(check bool) "disabled is disabled" false (Obs.enabled Obs.disabled);
+  exact "span passthrough" 42. (Obs.span Obs.disabled "x" (fun () -> 42.));
+  Alcotest.(check bool) "fork of disabled is disabled" false
+    (Obs.enabled (Obs.fork Obs.disabled ~tid:5));
+  let reg = Metrics.create () in
+  let tracer = Span.create ~capacity:8 () in
+  let parent = Obs.create ~metrics:reg ~tracer () in
+  let worker = Obs.fork parent ~tid:7 in
+  (match worker.Obs.tracer with
+  | Some tr -> Alcotest.(check int) "worker tid" 7 (Span.tid tr)
+  | None -> Alcotest.fail "fork lost the tracer");
+  (match worker.Obs.metrics with
+  | Some wreg ->
+      Metrics.inc (Metrics.counter wreg "fmc_samples_total");
+      Obs.span worker "w" (fun () -> ())
+  | None -> Alcotest.fail "fork lost the registry");
+  Obs.absorb parent worker;
+  (match List.assoc_opt "fmc_samples_total" (Metrics.snapshot reg) with
+  | Some (_, Metrics.Counter v) -> exact "worker counter absorbed" 1. v
+  | _ -> Alcotest.fail "counter not absorbed");
+  Alcotest.(check int) "worker span absorbed" 1 (List.length (Span.events tracer))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantile;
+          Alcotest.test_case "registry guards" `Quick test_registry_guards;
+          Alcotest.test_case "merge across worker snapshots" `Quick test_merge_workers;
+          QCheck_alcotest.to_alcotest qcheck_merge_assoc_comm;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_span_ring;
+          Alcotest.test_case "chrome trace json" `Quick test_trace_json;
+          Alcotest.test_case "absorb" `Quick test_span_absorb;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_format;
+          Alcotest.test_case "progress jsonl" `Quick test_progress_jsonl;
+          Alcotest.test_case "obs handle" `Quick test_obs_handle;
+        ] );
+    ]
