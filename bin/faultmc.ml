@@ -9,6 +9,8 @@
      harden        critical registers and hardening trade-off
      lint          static-analysis passes over the benchmark netlists
      bench         standard benchmarks under full observability (BENCH_<rev>.json)
+     serve         distributed-campaign coordinator (shard leases over TCP/Unix sockets)
+     worker        distributed-campaign worker (leases shards from a coordinator)
      experiments   regenerate every paper figure and table *)
 
 open Cmdliner
@@ -108,12 +110,13 @@ let flush_obs_outputs ~metrics_out ~trace_out (obs : Fmc_obs.Obs.t) =
         else Fmc_obs.Metrics.to_prometheus snap
       in
       write_file path body;
-      Format.fprintf ppf "wrote %s@." path
+      (* Notice goes to stderr so `--json` stdout stays machine-parseable. *)
+      Format.eprintf "wrote %s@." path
   | _ -> ());
   match (trace_out, obs.Fmc_obs.Obs.tracer) with
   | Some path, Some tr ->
       write_file path (Fmc_obs.Span.to_chrome_json (Fmc_obs.Span.events tr));
-      Format.fprintf ppf "wrote %s (%d spans, %d dropped)@." path (Fmc_obs.Span.recorded tr)
+      Format.eprintf "wrote %s (%d spans, %d dropped)@." path (Fmc_obs.Span.recorded tr)
         (Fmc_obs.Span.dropped tr)
   | _ -> ()
 
@@ -156,85 +159,170 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show the evaluated system and its pre-characterization.")
     Term.(const run $ const ())
 
+(* Distributed-campaign plumbing shared by evaluate/serve/worker. *)
+
+let default_shard_size = 1000
+
+let dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget =
+  Fmc_dist.Protocol.fingerprint
+    ~strategy:(Fmc.Sampler.strategy_name strategy)
+    ~benchmark:benchmark.Fmc_isa.Programs.name ~samples ~seed ~shard_size ~sample_budget
+
+let parse_addr_or_die s =
+  match Fmc_dist.Wire.parse_addr s with
+  | Ok a -> a
+  | Error msg ->
+      Format.eprintf "faultmc: %s@." msg;
+      exit 2
+
+let addr_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Fmc_dist.Wire.parse_addr s) in
+  let print fmt a = Format.fprintf fmt "%s" (Fmc_dist.Wire.addr_to_string a) in
+  Arg.conv (parse, print)
+
+let shard_size_arg =
+  let doc =
+    "Shard size in samples: the campaign is cut into contiguous shards of $(docv), each evaluated \
+     under its own RNG substream. Must agree between coordinator, workers and any local reference \
+     run for the reports to be bit-identical."
+  in
+  Arg.(value & opt int default_shard_size & info [ "shard-size" ] ~docv:"N" ~doc)
+
 (* evaluate *)
 
 let evaluate_cmd =
   let run benchmark strategy samples seed half_width json csv_prefix checkpoint checkpoint_every
-      resume journal sample_budget metrics_out trace_out progress =
-    with_context @@ fun ctx ->
-    let engine, prep = prepared ctx benchmark strategy in
+      resume journal sample_budget connect shard_size metrics_out trace_out progress =
     let obs = build_obs ~metrics_out ~trace_out ~progress in
-    let campaign_mode =
-      checkpoint <> None || resume <> None || journal <> None || sample_budget <> None
+    let render report =
+      if json then print_endline (Fmc.Export.report_json report)
+      else begin
+        Format.fprintf ppf "benchmark: %s@.%a@." benchmark.Fmc_isa.Programs.name
+          Fmc.Report.ssf_report report;
+        let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+        Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi
+      end;
+      (match csv_prefix with
+      | None -> ()
+      | Some prefix ->
+          let write name contents =
+            write_file name contents;
+            Format.fprintf ppf "wrote %s@." name
+          in
+          write (prefix ^ "-trace.csv") (Fmc.Export.trace_csv report);
+          write (prefix ^ "-contributions.csv") (Fmc.Export.contributions_csv report));
+      flush_obs_outputs ~metrics_out ~trace_out obs
     in
-    let report =
-      match (half_width, campaign_mode) with
-      | Some hw, false -> Fmc.Ssf.estimate_until ~obs engine prep ~half_width:hw ~z:1.96 ~seed
-      | Some _, true ->
-          prerr_endline "faultmc: --half-width cannot be combined with campaign options";
+    let campaign_mode = checkpoint <> None || resume <> None || journal <> None in
+    match connect with
+    | Some addrstr ->
+        (* Report client: no engine, no context — fetch the finished
+           campaign's shard blobs from the coordinator and merge locally
+           through the same Merge path the coordinator itself uses. *)
+        if campaign_mode || half_width <> None then begin
+          prerr_endline "faultmc: --connect only combines with the campaign-identity options";
           exit 2
-      | None, false -> Fmc.Ssf.estimate ~obs engine prep ~samples ~seed
-      | None, true ->
-          if checkpoint_every <= 0 then begin
-            prerr_endline "faultmc: --checkpoint-every must be positive";
-            exit 2
-          end;
-          let config =
-            {
-              Fmc.Campaign.checkpoint_path = checkpoint;
-              checkpoint_every;
-              journal_path = journal;
-              sample_budget;
-              handle_signals = true;
-            }
-          in
-          let result =
-            try
-              match resume with
-              | Some path -> Fmc.Campaign.resume ~config ~obs engine prep ~path
-              | None -> Fmc.Campaign.run ~config ~obs engine prep ~samples ~seed
-            with
-            | Fmc.Campaign.Corrupt_checkpoint msg ->
-                Format.eprintf "faultmc: unusable checkpoint: %s@." msg;
-                exit 2
-            | Sys_error msg ->
-                Format.eprintf "faultmc: %s@." msg;
-                exit 2
-          in
-          (match result.Fmc.Campaign.status with
-          | Fmc.Campaign.Completed -> ()
-          | Fmc.Campaign.Interrupted ->
-              Format.eprintf "campaign interrupted after %d samples%s@."
-                result.Fmc.Campaign.report.Fmc.Ssf.n
-                (match checkpoint with
-                | Some p -> Printf.sprintf "; resume with --resume %s" p
-                | None -> " (no checkpoint was configured)"));
-          let q = List.length result.Fmc.Campaign.quarantined in
-          if q > 0 then
-            Format.eprintf "%d sample(s) quarantined%s@." q
-              (match journal with Some p -> Printf.sprintf "; details in %s" p | None -> "");
-          if not json then
-            Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
-              result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
-          result.Fmc.Campaign.report
-    in
-    if json then print_endline (Fmc.Export.report_json report)
-    else begin
-      Format.fprintf ppf "benchmark: %s@.%a@." benchmark.Fmc_isa.Programs.name Fmc.Report.ssf_report
-        report;
-      let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
-      Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi
-    end;
-    (match csv_prefix with
-    | None -> ()
-    | Some prefix ->
-        let write name contents =
-          write_file name contents;
-          Format.fprintf ppf "wrote %s@." name
+        end;
+        let addr = parse_addr_or_die addrstr in
+        let fingerprint =
+          dist_fingerprint ~benchmark ~strategy ~samples ~seed
+            ~shard_size:(Option.value shard_size ~default:default_shard_size)
+            ~sample_budget
         in
-        write (prefix ^ "-trace.csv") (Fmc.Export.trace_csv report);
-        write (prefix ^ "-contributions.csv") (Fmc.Export.contributions_csv report));
-    flush_obs_outputs ~metrics_out ~trace_out obs
+        let config = Fmc_dist.Worker.default_config ~addr ~worker_name:"report-client" in
+        (match Fmc_dist.Worker.fetch_report ~obs config ~fingerprint with
+        | Error msg ->
+            Format.eprintf "faultmc: %s@." msg;
+            exit 1
+        | Ok (shards, quarantined, elapsed_s) -> (
+            match
+              Fmc_dist.Merge.report_of_blobs ~strategy:(Fmc.Sampler.strategy_name strategy) shards
+            with
+            | Error msg ->
+                Format.eprintf "faultmc: %s@." msg;
+                exit 1
+            | Ok report ->
+                let q = List.length quarantined in
+                if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
+                if not json then
+                  Format.fprintf ppf "campaign wall clock: %.2f s (distributed)@." elapsed_s;
+                render report;
+                0))
+    | None -> (
+        with_context @@ fun ctx ->
+        let engine, prep = prepared ctx benchmark strategy in
+        let report =
+          match (half_width, shard_size, campaign_mode) with
+          | Some hw, None, false when sample_budget = None ->
+              Fmc.Ssf.estimate_until ~obs engine prep ~half_width:hw ~z:1.96 ~seed
+          | Some _, _, _ ->
+              prerr_endline "faultmc: --half-width cannot be combined with campaign options";
+              exit 2
+          | None, Some sz, _ ->
+              if campaign_mode then begin
+                prerr_endline
+                  "faultmc: --shard-size cannot be combined with --checkpoint/--resume/--journal";
+                exit 2
+              end;
+              (* The single-process reference for a distributed run with
+                 the same (samples, seed, shard size): bit-identical. *)
+              let result =
+                Fmc.Campaign.estimate_sharded ~obs ?sample_budget engine prep ~samples ~seed
+                  ~shard_size:sz
+              in
+              let q = List.length result.Fmc.Campaign.quarantined in
+              if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
+              if not json then
+                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
+                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
+              result.Fmc.Campaign.report
+          | None, None, false when sample_budget = None ->
+              Fmc.Ssf.estimate ~obs engine prep ~samples ~seed
+          | None, None, _ ->
+              if checkpoint_every <= 0 then begin
+                prerr_endline "faultmc: --checkpoint-every must be positive";
+                exit 2
+              end;
+              let config =
+                {
+                  Fmc.Campaign.checkpoint_path = checkpoint;
+                  checkpoint_every;
+                  journal_path = journal;
+                  sample_budget;
+                  handle_signals = true;
+                }
+              in
+              let result =
+                try
+                  match resume with
+                  | Some path -> Fmc.Campaign.resume ~config ~obs engine prep ~path
+                  | None -> Fmc.Campaign.run ~config ~obs engine prep ~samples ~seed
+                with
+                | Fmc.Campaign.Corrupt_checkpoint msg ->
+                    Format.eprintf "faultmc: unusable checkpoint: %s@." msg;
+                    exit 2
+                | Sys_error msg ->
+                    Format.eprintf "faultmc: %s@." msg;
+                    exit 2
+              in
+              (match result.Fmc.Campaign.status with
+              | Fmc.Campaign.Completed -> ()
+              | Fmc.Campaign.Interrupted ->
+                  Format.eprintf "campaign interrupted after %d samples%s@."
+                    result.Fmc.Campaign.report.Fmc.Ssf.n
+                    (match checkpoint with
+                    | Some p -> Printf.sprintf "; resume with --resume %s" p
+                    | None -> " (no checkpoint was configured)"));
+              let q = List.length result.Fmc.Campaign.quarantined in
+              if q > 0 then
+                Format.eprintf "%d sample(s) quarantined%s@." q
+                  (match journal with Some p -> Printf.sprintf "; details in %s" p | None -> "");
+              if not json then
+                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
+                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
+              result.Fmc.Campaign.report
+        in
+        render report)
   in
   let half_width =
     Arg.(
@@ -287,12 +375,32 @@ let evaluate_cmd =
             "Per-sample RTL cycle budget: a sample whose resumed simulation exceeds $(docv) cycles \
              is quarantined as timed out instead of aborting the campaign.")
   in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Fetch a distributed campaign's report from the coordinator at $(docv) (HOST:PORT or \
+             unix:PATH) instead of evaluating locally. The campaign-identity options (benchmark, \
+             strategy, -n, --seed, --sample-budget) must match the coordinator's.")
+  in
+  let shard_size_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:
+            "Evaluate locally through the sharded path: cut the campaign into shards of $(docv) \
+             samples, each under its own RNG substream, and merge — the bit-exact single-process \
+             reference for a distributed run with the same shard size.")
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Estimate the System Security Factor of a benchmark.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json
-      $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget
-      $ metrics_out_arg $ trace_out_arg $ progress_arg)
+      $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget $ connect
+      $ shard_size_opt $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* characterize *)
 
@@ -623,6 +731,167 @@ let bench_cmd =
           (per-phase timings, throughput, SSF + CI) plus metrics, trace and convergence artifacts.")
     Term.(const run $ samples $ out_dir $ seed_arg)
 
+(* serve *)
+
+let serve_cmd =
+  let run benchmark strategy samples seed addr shard_size ttl linger checkpoint sample_budget json
+      metrics_out trace_out =
+    let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
+    let plan =
+      try Fmc.Ssf.shard_plan ~samples ~shard_size
+      with Invalid_argument msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 2
+    in
+    let fingerprint =
+      dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
+    in
+    if not json then
+      Format.fprintf ppf "serving %d samples as %d shard(s) of <=%d on %s@." samples
+        (Array.length plan) shard_size (Fmc_dist.Wire.addr_to_string addr);
+    let config =
+      { Fmc_dist.Coordinator.addr; ttl_s = ttl; checkpoint_path = checkpoint; linger_s = linger }
+    in
+    let outcome =
+      try Fmc_dist.Coordinator.serve ~obs config ~fingerprint ~plan
+      with Failure msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 2
+    in
+    match
+      Fmc_dist.Merge.report_of_blobs
+        ~strategy:(Fmc.Sampler.strategy_name strategy)
+        outcome.Fmc_dist.Coordinator.oc_shards
+    with
+    | Error msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 1
+    | Ok report ->
+        let q = List.length outcome.Fmc_dist.Coordinator.oc_quarantined in
+        if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
+        if json then print_endline (Fmc.Export.report_json report)
+        else begin
+          Format.fprintf ppf "benchmark: %s@.%a@." benchmark.Fmc_isa.Programs.name
+            Fmc.Report.ssf_report report;
+          let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+          Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi;
+          Format.fprintf ppf "campaign wall clock: %.2f s@."
+            outcome.Fmc_dist.Coordinator.oc_elapsed_s
+        end;
+        flush_obs_outputs ~metrics_out ~trace_out obs;
+        0
+  in
+  let addr =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR" ~doc:"Listen address: HOST:PORT or unix:PATH.")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 30.
+      & info [ "lease-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Lease lifetime without a heartbeat; an expired lease's shard is re-issued to another \
+             worker under a bumped epoch.")
+  in
+  let linger =
+    Arg.(
+      value & opt float 5.
+      & info [ "linger" ] ~docv:"SECONDS"
+          ~doc:"Keep answering report fetches this long after the campaign completes.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Durable coordinator state, written after every accepted shard; restarting with a \
+             matching campaign resumes without re-running finished shards.")
+  in
+  let sample_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"CYCLES"
+          ~doc:"Per-sample RTL cycle budget workers must apply (part of the campaign identity).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the final report as JSON.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Coordinate a distributed campaign: lease sample shards to workers, fence stale results, \
+          merge bit-exactly.")
+    Term.(
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
+      $ shard_size_arg $ ttl $ linger $ checkpoint $ sample_budget $ json $ metrics_out_arg
+      $ trace_out_arg)
+
+(* worker *)
+
+let worker_cmd =
+  let run benchmark strategy samples seed addr shard_size sample_budget name heartbeat_every
+      metrics_out trace_out progress =
+    with_context @@ fun ctx ->
+    let engine, prep = prepared ctx benchmark strategy in
+    let obs = build_obs ~metrics_out ~trace_out ~progress in
+    let fingerprint =
+      dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
+    in
+    let name =
+      match name with Some n -> n | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
+    in
+    let config =
+      { (Fmc_dist.Worker.default_config ~addr ~worker_name:name) with heartbeat_every }
+    in
+    match Fmc_dist.Worker.run ~obs ?sample_budget config ~fingerprint engine prep ~seed with
+    | accepted ->
+        Format.fprintf ppf "worker %s: %d shard result(s) accepted@." name accepted;
+        flush_obs_outputs ~metrics_out ~trace_out obs
+    | exception Fmc_dist.Worker.Rejected reason ->
+        Format.eprintf "faultmc: coordinator rejected us: %s@." reason;
+        exit 2
+    | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "faultmc: coordinator connection failed: %s@." (Unix.error_message e);
+        exit 1
+  in
+  let addr =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR" ~doc:"Coordinator address: HOST:PORT or unix:PATH.")
+  in
+  let sample_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"CYCLES"
+          ~doc:"Per-sample RTL cycle budget (must match the coordinator's).")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Worker name for leases and metrics (default: worker-<pid>).")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 100
+      & info [ "heartbeat-every" ] ~docv:"N"
+          ~doc:"Samples between lease heartbeats (0 disables heartbeating).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run distributed-campaign shards for a coordinator. The benchmark, strategy, -n, --seed, \
+          --shard-size and --sample-budget must match the coordinator's campaign.")
+    Term.(
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
+      $ shard_size_arg $ sample_budget $ name_arg $ heartbeat_every $ metrics_out_arg $ trace_out_arg
+      $ progress_arg)
+
 (* experiments *)
 
 let experiments_cmd =
@@ -650,4 +919,5 @@ let () =
   let doc = "cross-level Monte Carlo fault-attack vulnerability evaluation" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
-    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; bench_cmd; trace_cmd; dot_cmd; experiments_cmd ]))
+    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; bench_cmd;
+      serve_cmd; worker_cmd; trace_cmd; dot_cmd; experiments_cmd ]))

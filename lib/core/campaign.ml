@@ -44,15 +44,18 @@ type result = {
   samples_per_sec : float;
 }
 
-let checkpoint_version = 2
+let checkpoint_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialization: a line-oriented, versioned text format.
-   Floats are written as hex float literals ("%h"), which round-trip
-   bit-exactly through [float_of_string]; the RNG state is the SplitMix64
-   int64 word. The file is written to a sibling ".tmp" and atomically
-   renamed into place, so a kill mid-write can never destroy the previous
-   good checkpoint. *)
+   Since v3 the whole tally state is the shared {!Ssf.Tally.to_string}
+   codec (the same serializer the distributed wire protocol ships shard
+   results with); the checkpoint adds a campaign header (strategy, seed,
+   RNG state) around it. Floats are hex float literals ("%h"), which
+   round-trip bit-exactly through [float_of_string]; the RNG state is the
+   SplitMix64 int64 word. The file is written to a sibling ".tmp" and
+   atomically renamed into place, so a kill mid-write can never destroy
+   the previous good checkpoint. *)
 
 exception Corrupt_checkpoint of string
 
@@ -62,17 +65,6 @@ let () =
     | _ -> None)
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_checkpoint msg)) fmt
-
-let stratum_name = function
-  | Sampler.All -> "all"
-  | Sampler.Vulnerable -> "vulnerable"
-  | Sampler.Rest -> "rest"
-
-let stratum_of_name = function
-  | "all" -> Sampler.All
-  | "vulnerable" -> Sampler.Vulnerable
-  | "rest" -> Sampler.Rest
-  | s -> corrupt "unknown stratum %S" s
 
 let hexf = Printf.sprintf "%h"
 
@@ -84,28 +76,8 @@ let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
      pr "faultmc-campaign %d\n" checkpoint_version;
      pr "strategy %s\n" strategy;
      pr "seed %d\n" seed;
-     pr "samples %d\n" s.Ssf.Tally.snap_total;
-     pr "trace_every %d\n" s.Ssf.Tally.snap_trace_every;
      pr "rng %Ld\n" rng_state;
-     pr "processed %d\n" s.Ssf.Tally.snap_processed;
-     pr "counts %d %d %d %d %d %d %d %d %d\n" s.Ssf.Tally.snap_masked s.Ssf.Tally.snap_mem_only
-       s.Ssf.Tally.snap_resumed s.Ssf.Tally.snap_quarantined s.Ssf.Tally.snap_q_crashed
-       s.Ssf.Tally.snap_q_timed_out s.Ssf.Tally.snap_successes s.Ssf.Tally.snap_by_direct
-       s.Ssf.Tally.snap_by_comb;
-     pr "weights %s %s\n" (hexf s.Ssf.Tally.snap_sum_w) (hexf s.Ssf.Tally.snap_sum_w2);
-     pr "strata %d\n" (List.length s.Ssf.Tally.snap_strata);
-     List.iter2
-       (fun (stratum, mass) ((n, mean, m2), (pn, pmean, pm2)) ->
-         pr "stratum %s %s %d %s %s %d %s %s\n" (stratum_name stratum) (hexf mass) n (hexf mean)
-           (hexf m2) pn (hexf pmean) (hexf pm2))
-       s.Ssf.Tally.snap_strata
-       (List.combine s.Ssf.Tally.snap_accs s.Ssf.Tally.snap_pess);
-     pr "contributions %d\n" (List.length s.Ssf.Tally.snap_contributions);
-     List.iter
-       (fun ((group, bit), w) -> pr "contribution %s %d %s\n" group bit (hexf w))
-       s.Ssf.Tally.snap_contributions;
-     pr "trace %d\n" (List.length s.Ssf.Tally.snap_trace);
-     List.iter (fun (i, e) -> pr "tracepoint %d %s\n" i (hexf e)) s.Ssf.Tally.snap_trace;
+     output_string oc (Ssf.Tally.to_string s);
      pr "end\n"
    with e ->
      close_out_noerr oc;
@@ -139,86 +111,33 @@ let read_checkpoint path =
     match fields key with [ v ] -> v | l -> corrupt "line %d: %s wants 1 field, got %d" !lineno key (List.length l)
   in
   let int_of key v = try int_of_string v with _ -> corrupt "line %d: bad int %S in %s" !lineno v key in
-  let float_of key v = try float_of_string v with _ -> corrupt "line %d: bad float %S in %s" !lineno v key in
   (match fields "faultmc-campaign" with
   | [ v ] when int_of "version" v = checkpoint_version -> ()
   | [ v ] -> corrupt "unsupported checkpoint version %s (this binary reads v%d)" v checkpoint_version
   | _ -> corrupt "malformed header");
   let strategy = one "strategy" in
   let seed = int_of "seed" (one "seed") in
-  let samples = int_of "samples" (one "samples") in
-  let trace_every = int_of "trace_every" (one "trace_every") in
   let rng =
     let v = one "rng" in
     try Int64.of_string v with _ -> corrupt "line %d: bad rng state %S" !lineno v
   in
-  let processed = int_of "processed" (one "processed") in
-  let masked, mem_only, resumed, quarantined, q_crashed, q_timed_out, successes, by_direct, by_comb =
-    match fields "counts" with
-    | [ a; b; c; d; e; f; g; h; i ] ->
-        ( int_of "counts" a, int_of "counts" b, int_of "counts" c, int_of "counts" d,
-          int_of "counts" e, int_of "counts" f, int_of "counts" g, int_of "counts" h,
-          int_of "counts" i )
-    | _ -> corrupt "line %d: counts wants 9 fields" !lineno
+  (* The rest of the file up to the "end" marker is the shared tally codec. *)
+  let buf = Buffer.create 1024 in
+  let rec collect () =
+    match line () with
+    | "end" -> ()
+    | l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n';
+        collect ()
   in
-  let sum_w, sum_w2 =
-    match fields "weights" with
-    | [ a; b ] -> (float_of "weights" a, float_of "weights" b)
-    | _ -> corrupt "line %d: weights wants 2 fields" !lineno
+  collect ();
+  let snapshot =
+    match Ssf.Tally.of_string (Buffer.contents buf) with
+    | Ok s -> s
+    | Error msg -> corrupt "tally state: %s" msg
   in
-  let n_strata = int_of "strata" (one "strata") in
-  let strata = ref [] and accs = ref [] and pess = ref [] in
-  for _ = 1 to n_strata do
-    match fields "stratum" with
-    | [ name; mass; n; mean; m2; pn; pmean; pm2 ] ->
-        strata := (stratum_of_name name, float_of "stratum" mass) :: !strata;
-        accs := (int_of "stratum" n, float_of "stratum" mean, float_of "stratum" m2) :: !accs;
-        pess := (int_of "stratum" pn, float_of "stratum" pmean, float_of "stratum" pm2) :: !pess
-    | _ -> corrupt "line %d: stratum wants 8 fields" !lineno
-  done;
-  let n_contrib = int_of "contributions" (one "contributions") in
-  let contribs = ref [] in
-  for _ = 1 to n_contrib do
-    match fields "contribution" with
-    | [ group; bit; w ] ->
-        contribs := ((group, int_of "contribution" bit), float_of "contribution" w) :: !contribs
-    | _ -> corrupt "line %d: contribution wants 3 fields" !lineno
-  done;
-  let n_trace = int_of "trace" (one "trace") in
-  let trace = ref [] in
-  for _ = 1 to n_trace do
-    match fields "tracepoint" with
-    | [ i; e ] -> trace := (int_of "tracepoint" i, float_of "tracepoint" e) :: !trace
-    | _ -> corrupt "line %d: tracepoint wants 2 fields" !lineno
-  done;
-  (match fields "end" with [] -> () | _ -> corrupt "line %d: trailing fields after end" !lineno);
-  {
-    ck_strategy = strategy;
-    ck_seed = seed;
-    ck_rng = rng;
-    ck_snapshot =
-      {
-        Ssf.Tally.snap_total = samples;
-        snap_trace_every = trace_every;
-        snap_processed = processed;
-        snap_strata = List.rev !strata;
-        snap_accs = List.rev !accs;
-        snap_pess = List.rev !pess;
-        snap_masked = masked;
-        snap_mem_only = mem_only;
-        snap_resumed = resumed;
-        snap_quarantined = quarantined;
-        snap_q_crashed = q_crashed;
-        snap_q_timed_out = q_timed_out;
-        snap_successes = successes;
-        snap_by_direct = by_direct;
-        snap_by_comb = by_comb;
-        snap_sum_w = sum_w;
-        snap_sum_w2 = sum_w2;
-        snap_contributions = List.rev !contribs;
-        snap_trace = List.rev !trace;
-      };
-  }
+  { ck_strategy = strategy; ck_seed = seed; ck_rng = rng; ck_snapshot = snapshot }
 
 (* ------------------------------------------------------------------ *)
 (* Failure journal: one JSON object per quarantined sample, appended and
@@ -235,8 +154,63 @@ let journal_line (q : quarantine_entry) =
   Printf.sprintf
     "{\"index\":%d,\"disposition\":%s,\"error\":%s,\"sample\":{\"stratum\":%s,\"t\":%d,\"center\":%d,\"radius\":%.17g,\"width\":%.17g,\"time_frac\":%.17g,\"weight\":%.17g}}"
     q.q_index (json_string disposition) (json_string error)
-    (json_string (stratum_name q.q_stratum))
+    (json_string (Sampler.stratum_name q.q_stratum))
     q.q_t q.q_center q.q_radius q.q_width q.q_time_frac q.q_weight
+
+(* Compact single-line quarantine-entry codec, shared by the distributed
+   wire protocol and the coordinator checkpoint. Numeric fields are fixed
+   position; a crash message is the (possibly space-containing) tail of
+   the line, with newlines flattened so the entry stays one line. *)
+
+let quarantine_entry_to_string (q : quarantine_entry) =
+  let base =
+    Printf.sprintf "%d %s %s %d %d %s %s %s %s" q.q_index
+      (match q.q_disposition with Timed_out -> "timed_out" | Crashed _ -> "crashed")
+      (Sampler.stratum_name q.q_stratum)
+      q.q_t q.q_center (hexf q.q_radius) (hexf q.q_width) (hexf q.q_time_frac) (hexf q.q_weight)
+  in
+  match q.q_disposition with
+  | Timed_out -> base
+  | Crashed msg -> base ^ " " ^ String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let quarantine_entry_of_string line =
+  let bad msg = Error (Printf.sprintf "quarantine entry %S: %s" line msg) in
+  match String.split_on_char ' ' line with
+  | index :: disposition :: stratum :: t :: center :: radius :: width :: time_frac :: weight :: rest
+    -> (
+      match
+        ( int_of_string_opt index,
+          Sampler.stratum_of_name stratum,
+          int_of_string_opt t,
+          int_of_string_opt center,
+          float_of_string_opt radius,
+          float_of_string_opt width,
+          float_of_string_opt time_frac,
+          float_of_string_opt weight )
+      with
+      | Some index, Some stratum, Some t, Some center, Some radius, Some width, Some time_frac,
+        Some weight -> (
+          let entry disposition =
+            Ok
+              {
+                q_index = index;
+                q_disposition = disposition;
+                q_stratum = stratum;
+                q_t = t;
+                q_center = center;
+                q_radius = radius;
+                q_width = width;
+                q_time_frac = time_frac;
+                q_weight = weight;
+              }
+          in
+          match (disposition, rest) with
+          | "timed_out", [] -> entry Timed_out
+          | "timed_out", _ -> bad "unexpected trailing fields on a timed_out entry"
+          | "crashed", rest -> entry (Crashed (String.concat " " rest))
+          | d, _ -> bad (Printf.sprintf "unknown disposition %S" d))
+      | _ -> bad "malformed numeric or stratum field")
+  | _ -> bad "too few fields"
 
 (* ------------------------------------------------------------------ *)
 (* Supervised per-sample evaluation. *)
@@ -365,6 +339,100 @@ let run ?(config = default_config) ?(obs = Obs.disabled) ?trace_every ?(causal =
   let rng = Rng.create seed in
   let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:samples in
   run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Shard-seeded execution: the unit of work of a distributed campaign.
+   A shard is a contiguous sample-index range [start, start+len) of the
+   plan {!Ssf.shard_plan} cuts a campaign into; its draws come from the
+   dedicated SplitMix64 substream [Rng.substream ~seed ~shard], so the
+   evaluated samples depend only on (seed, shard) — never on which
+   process runs the shard, how often its lease was re-issued, or what the
+   other shards are doing. Re-running a shard is therefore always safe:
+   it reproduces the identical snapshot. *)
+
+type shard_result = {
+  sh_shard : int;
+  sh_start : int;
+  sh_len : int;
+  sh_snapshot : Ssf.Tally.snapshot;
+  sh_quarantined : quarantine_entry list;
+}
+
+let run_shard ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
+    ?on_sample engine prepared ~seed ~shard ~start ~len =
+  if len <= 0 then invalid_arg "Campaign.run_shard: non-positive shard length";
+  if start < 0 then invalid_arg "Campaign.run_shard: negative shard start";
+  let rng = Rng.substream ~seed:(Int64.of_int seed) ~shard in
+  let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:len in
+  let quarantines = ref [] in
+  let saved_obs = if Obs.enabled obs then Some (Engine.obs engine) else None in
+  Option.iter (fun _ -> Engine.set_obs engine obs) saved_obs;
+  Fun.protect ~finally:(fun () -> Option.iter (Engine.set_obs engine) saved_obs) @@ fun () ->
+  Obs.span obs ~cat:"dist" "shard" (fun () ->
+      for i = 1 to len do
+        let gi = start + i in
+        let sample = Sampler.draw ~obs prepared rng in
+        (match evaluate_guarded ~causal ?sample_budget ?fault_hook engine rng gi sample with
+        | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
+        | Error disposition ->
+            let reason =
+              match disposition with Timed_out -> Ssf.Q_timed_out | Crashed _ -> Ssf.Q_crashed
+            in
+            Ssf.Tally.quarantine tally sample ~reason;
+            quarantines :=
+              {
+                q_index = gi;
+                q_disposition = disposition;
+                q_stratum = sample.Sampler.stratum;
+                q_t = sample.Sampler.t;
+                q_center = sample.Sampler.center;
+                q_radius = sample.Sampler.radius;
+                q_width = sample.Sampler.width;
+                q_time_frac = sample.Sampler.time_frac;
+                q_weight = sample.Sampler.weight;
+              }
+              :: !quarantines);
+        (* The progress hook runs outside the crash guard: an exception it
+           raises (e.g. a worker abandoning a lost lease) aborts the shard
+           instead of quarantining the current sample. *)
+        match on_sample with Some h -> h i | None -> ()
+      done);
+  {
+    sh_shard = shard;
+    sh_start = start;
+    sh_len = len;
+    sh_snapshot = Ssf.Tally.snapshot tally;
+    sh_quarantined = List.rev !quarantines;
+  }
+
+let shard_report ~strategy (s : Ssf.Tally.snapshot) =
+  Ssf.Tally.report (Ssf.Tally.restore s) ~strategy
+
+let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
+    ?(shard_size = 1000) engine prepared ~samples ~seed =
+  if samples <= 0 then invalid_arg "Campaign.estimate_sharded: non-positive sample count";
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let t_start = Fmc_obs.Clock.now () in
+  let shards =
+    Array.to_list
+      (Array.mapi
+         (fun shard (start, len) ->
+           run_shard ~obs ?trace_every ~causal ?sample_budget ?fault_hook engine prepared ~seed
+             ~shard ~start ~len)
+         plan)
+  in
+  let strategy = Sampler.name prepared in
+  let report =
+    Ssf.merge_reports (List.map (fun sh -> shard_report ~strategy sh.sh_snapshot) shards)
+  in
+  let elapsed_s = Fmc_obs.Clock.now () -. t_start in
+  {
+    report;
+    status = Completed;
+    quarantined = List.concat_map (fun sh -> sh.sh_quarantined) shards;
+    elapsed_s;
+    samples_per_sec = (if elapsed_s > 0. then float_of_int samples /. elapsed_s else 0.);
+  }
 
 let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?stop engine prepared ~path =
   let ck = read_checkpoint path in

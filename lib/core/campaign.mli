@@ -17,14 +17,18 @@
 
     {2 Checkpoint format}
 
-    A versioned line-oriented text file (header [faultmc-campaign 2];
-    v2 added the per-reason quarantine counts to the [counts] line —
-    older checkpoints are refused rather than silently misread).
-    Every float is a hex float literal ([%h]) so the round-trip through
-    [float_of_string] is bit-exact; the RNG state is the raw SplitMix64
-    int64 word. Checkpoints are written to [path ^ ".tmp"] and renamed into
-    place, so a crash mid-write never corrupts the previous checkpoint.
-    Unknown versions and malformed files raise {!Corrupt_checkpoint}.
+    A versioned line-oriented text file (header [faultmc-campaign 3];
+    v3 factored the whole tally state out into the shared
+    {!Ssf.Tally.to_string} codec — the same serializer the distributed
+    campaign service ([Fmc_dist]) ships shard results and coordinator
+    state with — leaving the checkpoint a campaign header (strategy,
+    seed, RNG state) around that blob. Older versions are refused rather
+    than silently misread. Every float is a hex float literal ([%h]) so
+    the round-trip through [float_of_string] is bit-exact; the RNG state
+    is the raw SplitMix64 int64 word. Checkpoints are written to
+    [path ^ ".tmp"] and renamed into place, so a crash mid-write never
+    corrupts the previous checkpoint. Unknown versions and malformed
+    files raise {!Corrupt_checkpoint}.
 
     {2 Failure journal}
 
@@ -108,6 +112,90 @@ val run :
     never touches the RNG — the report stays bit-identical. Raises
     [Invalid_argument] on a non-positive sample count or checkpoint
     period. *)
+
+val journal_line : quarantine_entry -> string
+(** The failure journal's JSON rendering of one entry (no trailing
+    newline) — exposed so the distributed coordinator can journal entries
+    reported by remote workers in the exact format local campaigns use. *)
+
+val quarantine_entry_to_string : quarantine_entry -> string
+(** Compact single-line text codec for a quarantine entry, shared by the
+    distributed wire protocol and the coordinator checkpoint. A crash
+    message survives verbatim except that newlines are flattened to
+    spaces. *)
+
+val quarantine_entry_of_string :
+  string -> (quarantine_entry, string) Stdlib.result
+(** Decode {!quarantine_entry_to_string}'s encoding. *)
+
+(** {2 Shard-seeded execution}
+
+    The unit of work of a distributed campaign ([Fmc_dist]). A shard is a
+    contiguous sample-index range of the {!Ssf.shard_plan} cut, evaluated
+    under its own SplitMix64 substream [Rng.substream ~seed ~shard] — so
+    the drawn samples depend only on [(seed, shard)], never on which
+    process runs the shard or how often its lease was re-issued, and
+    re-running a shard reproduces the bit-identical snapshot. *)
+
+type shard_result = {
+  sh_shard : int;
+  sh_start : int;  (** global index of the shard's first sample *)
+  sh_len : int;
+  sh_snapshot : Ssf.Tally.snapshot;
+  sh_quarantined : quarantine_entry list;
+      (** chronological; [q_index] values are global sample indices *)
+}
+
+val run_shard :
+  ?obs:Fmc_obs.Obs.t ->
+  ?trace_every:int ->
+  ?causal:bool ->
+  ?sample_budget:int ->
+  ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?on_sample:(int -> unit) ->
+  Engine.t ->
+  Sampler.prepared ->
+  seed:int ->
+  shard:int ->
+  start:int ->
+  len:int ->
+  shard_result
+(** Evaluate one shard with the same per-sample supervision as {!run}
+    (crash guard, cycle-budget watchdog, quarantine accounting).
+    [on_sample] is called with the within-shard sample count (1-based)
+    after every consumed sample, {e outside} the crash guard — a worker
+    uses it to send heartbeats, and may raise from it to abandon the
+    shard (e.g. on a lost lease) without quarantining the current sample.
+    Raises [Invalid_argument] on a non-positive [len] or negative
+    [start]. *)
+
+val shard_report : strategy:string -> Ssf.Tally.snapshot -> Ssf.report
+(** [Ssf.Tally.report] of a restored snapshot: how both the coordinator
+    and {!estimate_sharded} turn a shard's (possibly wire-decoded)
+    snapshot into a mergeable report. Restoring then reporting is
+    bit-exact, so the merged campaign report cannot depend on whether a
+    snapshot crossed a process boundary. *)
+
+val estimate_sharded :
+  ?obs:Fmc_obs.Obs.t ->
+  ?trace_every:int ->
+  ?causal:bool ->
+  ?sample_budget:int ->
+  ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?shard_size:int ->
+  Engine.t ->
+  Sampler.prepared ->
+  samples:int ->
+  seed:int ->
+  result
+(** The single-process reference for a distributed campaign: run every
+    shard of [Ssf.shard_plan ~samples ~shard_size] (default 1000) in
+    order, then pool the per-shard reports with {!Ssf.merge_reports}. A
+    distributed run with the same [(samples, seed, shard_size)] produces
+    the bit-identical report — same [ssf], [variance], [sum_w], [sum_w2],
+    outcome counts, trace and contributions — independent of worker
+    count, scheduling or mid-campaign worker deaths. Raises
+    [Invalid_argument] on non-positive [samples] or [shard_size]. *)
 
 val resume :
   ?config:config ->

@@ -22,6 +22,14 @@ let default_mixed = Mixed { alpha = 8.; beta = 1.; dead_weight = 0.1; v_allocati
 
 type stratum = All | Vulnerable | Rest
 
+let stratum_name = function All -> "all" | Vulnerable -> "vulnerable" | Rest -> "rest"
+
+let stratum_of_name = function
+  | "all" -> Some All
+  | "vulnerable" -> Some Vulnerable
+  | "rest" -> Some Rest
+  | _ -> None
+
 type sample = {
   t : int;
   center : N.node;

@@ -53,6 +53,13 @@ val default_mixed : strategy
 
 type stratum = All | Vulnerable | Rest
 
+val stratum_name : stratum -> string
+(** Stable lowercase name, shared by the checkpoint/wire codecs and the
+    failure journal. *)
+
+val stratum_of_name : string -> stratum option
+(** Inverse of {!stratum_name}; [None] for an unknown name. *)
+
 type sample = {
   t : int;  (** timing distance *)
   center : Fmc_netlist.Netlist.node;

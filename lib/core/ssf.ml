@@ -419,6 +419,144 @@ module Tally = struct
          should not average in the wall-clock gap since the checkpoint. *)
       base = s.snap_processed;
     }
+
+  (* ---------------------------------------------------------------- *)
+  (* Snapshot codec: the line-oriented text encoding shared verbatim by
+     the durable campaign checkpoint (Campaign, v3) and the distributed
+     wire protocol (Fmc_dist). Floats are hex float literals ("%h"),
+     which round-trip bit-exactly through [float_of_string], so a
+     decoded snapshot restores the identical accumulator. *)
+
+  let hexf = Printf.sprintf "%h"
+
+  let to_string (s : snapshot) =
+    let buf = Buffer.create 1024 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pr "samples %d\n" s.snap_total;
+    pr "trace_every %d\n" s.snap_trace_every;
+    pr "processed %d\n" s.snap_processed;
+    pr "counts %d %d %d %d %d %d %d %d %d\n" s.snap_masked s.snap_mem_only s.snap_resumed
+      s.snap_quarantined s.snap_q_crashed s.snap_q_timed_out s.snap_successes s.snap_by_direct
+      s.snap_by_comb;
+    pr "weights %s %s\n" (hexf s.snap_sum_w) (hexf s.snap_sum_w2);
+    pr "strata %d\n" (List.length s.snap_strata);
+    List.iter2
+      (fun (stratum, mass) ((n, mean, m2), (pn, pmean, pm2)) ->
+        pr "stratum %s %s %d %s %s %d %s %s\n" (Sampler.stratum_name stratum) (hexf mass) n
+          (hexf mean) (hexf m2) pn (hexf pmean) (hexf pm2))
+      s.snap_strata
+      (List.combine s.snap_accs s.snap_pess);
+    pr "contributions %d\n" (List.length s.snap_contributions);
+    List.iter
+      (fun ((group, bit), w) -> pr "contribution %s %d %s\n" group bit (hexf w))
+      s.snap_contributions;
+    pr "trace %d\n" (List.length s.snap_trace);
+    List.iter (fun (i, e) -> pr "tracepoint %d %s\n" i (hexf e)) s.snap_trace;
+    Buffer.contents buf
+
+  exception Bad of string
+
+  let of_string text =
+    let lines = String.split_on_char '\n' text in
+    (* Tolerate a trailing newline but nothing else after the trace block. *)
+    let lines = ref (List.filter (fun l -> l <> "") lines) in
+    let lineno = ref 0 in
+    let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+    let fields key =
+      match !lines with
+      | [] -> bad "truncated snapshot: expected %S" key
+      | l :: rest -> (
+          incr lineno;
+          lines := rest;
+          match String.split_on_char ' ' l with
+          | k :: v when k = key -> v
+          | k :: _ -> bad "line %d: expected %S, found %S" !lineno key k
+          | [] -> bad "line %d: empty line, expected %S" !lineno key)
+    in
+    let one key =
+      match fields key with
+      | [ v ] -> v
+      | l -> bad "line %d: %s wants 1 field, got %d" !lineno key (List.length l)
+    in
+    let int_of key v =
+      try int_of_string v with _ -> bad "line %d: bad int %S in %s" !lineno v key
+    in
+    let float_of key v =
+      try float_of_string v with _ -> bad "line %d: bad float %S in %s" !lineno v key
+    in
+    match
+      let total = int_of "samples" (one "samples") in
+      let trace_every = int_of "trace_every" (one "trace_every") in
+      let processed = int_of "processed" (one "processed") in
+      let masked, mem_only, resumed, quarantined, q_crashed, q_timed_out, successes, by_direct, by_comb
+          =
+        match fields "counts" with
+        | [ a; b; c; d; e; f; g; h; i ] ->
+            ( int_of "counts" a, int_of "counts" b, int_of "counts" c, int_of "counts" d,
+              int_of "counts" e, int_of "counts" f, int_of "counts" g, int_of "counts" h,
+              int_of "counts" i )
+        | _ -> bad "line %d: counts wants 9 fields" !lineno
+      in
+      let sum_w, sum_w2 =
+        match fields "weights" with
+        | [ a; b ] -> (float_of "weights" a, float_of "weights" b)
+        | _ -> bad "line %d: weights wants 2 fields" !lineno
+      in
+      let n_strata = int_of "strata" (one "strata") in
+      let strata = ref [] and accs = ref [] and pess = ref [] in
+      for _ = 1 to n_strata do
+        match fields "stratum" with
+        | [ name; mass; n; mean; m2; pn; pmean; pm2 ] ->
+            let stratum =
+              match Sampler.stratum_of_name name with
+              | Some s -> s
+              | None -> bad "line %d: unknown stratum %S" !lineno name
+            in
+            strata := (stratum, float_of "stratum" mass) :: !strata;
+            accs := (int_of "stratum" n, float_of "stratum" mean, float_of "stratum" m2) :: !accs;
+            pess := (int_of "stratum" pn, float_of "stratum" pmean, float_of "stratum" pm2) :: !pess
+        | _ -> bad "line %d: stratum wants 8 fields" !lineno
+      done;
+      let n_contrib = int_of "contributions" (one "contributions") in
+      let contribs = ref [] in
+      for _ = 1 to n_contrib do
+        match fields "contribution" with
+        | [ group; bit; w ] ->
+            contribs := ((group, int_of "contribution" bit), float_of "contribution" w) :: !contribs
+        | _ -> bad "line %d: contribution wants 3 fields" !lineno
+      done;
+      let n_trace = int_of "trace" (one "trace") in
+      let trace = ref [] in
+      for _ = 1 to n_trace do
+        match fields "tracepoint" with
+        | [ i; e ] -> trace := (int_of "tracepoint" i, float_of "tracepoint" e) :: !trace
+        | _ -> bad "line %d: tracepoint wants 2 fields" !lineno
+      done;
+      if !lines <> [] then bad "line %d: trailing data after the trace block" !lineno;
+      {
+        snap_total = total;
+        snap_trace_every = trace_every;
+        snap_processed = processed;
+        snap_strata = List.rev !strata;
+        snap_accs = List.rev !accs;
+        snap_pess = List.rev !pess;
+        snap_masked = masked;
+        snap_mem_only = mem_only;
+        snap_resumed = resumed;
+        snap_quarantined = quarantined;
+        snap_q_crashed = q_crashed;
+        snap_q_timed_out = q_timed_out;
+        snap_successes = successes;
+        snap_by_direct = by_direct;
+        snap_by_comb = by_comb;
+        snap_sum_w = sum_w;
+        snap_sum_w2 = sum_w2;
+        snap_contributions = List.rev !contribs;
+        snap_trace = List.rev !trace;
+      }
+    with
+    | s -> Ok s
+    | exception Bad msg -> Error msg
 end
 
 let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles
@@ -449,6 +587,48 @@ let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_fi
   done;
   Tally.report tally ~strategy:(Sampler.name prepared)
 
+(* Permutation-invariant float reduction: sort the addends before folding.
+   IEEE addition is commutative, so any two argument lists that are
+   permutations of each other produce the bit-identical sum — which makes
+   a merged report independent of the order its parts arrived in (worker
+   completion order in a distributed campaign, batch completion order in
+   {!estimate_parallel}). *)
+let canonical_sum xs = List.fold_left ( +. ) 0. (List.sort compare xs)
+
+(* Merge the running-estimate traces by {e local sample index}: sweep the
+   union of the per-report trace indices in ascending order, keep each
+   report's latest (count, estimate) pair, and emit the pooled running
+   estimate at every step. The x coordinate is the total number of samples
+   finished across all parts at that step, so a distributed convergence
+   plot lines up with the single-process one — and, unlike offsetting each
+   trace by the cumulative n of the reports before it, the result does not
+   depend on the order of the report list. *)
+let merge_traces (reports : report list) =
+  let parts = Array.of_list (List.map (fun r -> Array.of_list r.trace) reports) in
+  let cursor = Array.make (Array.length parts) 0 in
+  let cur = Array.make (Array.length parts) (0, 0.) in
+  let indices =
+    List.sort_uniq compare (List.concat_map (fun r -> List.map fst r.trace) reports)
+  in
+  List.map
+    (fun k ->
+      Array.iteri
+        (fun p points ->
+          (* Per-part traces are chronological, so a cursor sweep visits
+             every point exactly once across the whole merge. *)
+          while cursor.(p) < Array.length points && fst points.(cursor.(p)) <= k do
+            cur.(p) <- points.(cursor.(p));
+            cursor.(p) <- cursor.(p) + 1
+          done)
+        parts;
+      let total = Array.fold_left (fun acc (c, _) -> acc + c) 0 cur in
+      let est =
+        canonical_sum (Array.to_list (Array.map (fun (c, e) -> float_of_int c *. e) cur))
+        /. float_of_int (max 1 total)
+      in
+      (total, est))
+    indices
+
 let merge_reports (reports : report list) =
   match reports with
   | [] -> invalid_arg "Ssf.merge_reports: empty"
@@ -459,16 +639,13 @@ let merge_reports (reports : report list) =
          per-report summaries (each report is a stratified estimate over
          the same strata with the same masses; averaging the estimates with
          sample-count weights is exact for the mean, and the pooled
-         effective variance follows the same weighting). *)
-      let ssf = List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.ssf)) 0. reports /. float_of_int n in
-      let ssf_upper =
-        List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.ssf_upper)) 0. reports
-        /. float_of_int n
-      in
-      let variance =
-        List.fold_left (fun acc r -> acc +. (float_of_int r.n *. r.variance)) 0. reports
-        /. float_of_int n
-      in
+         effective variance follows the same weighting). Every float
+         reduction goes through {!canonical_sum}, so the merged report is
+         bit-identical under any permutation of [reports]. *)
+      let csum f = canonical_sum (List.map f reports) in
+      let ssf = csum (fun r -> float_of_int r.n *. r.ssf) /. float_of_int n in
+      let ssf_upper = csum (fun r -> float_of_int r.n *. r.ssf_upper) /. float_of_int n in
+      let variance = csum (fun r -> float_of_int r.n *. r.variance) /. float_of_int n in
       let successes = List.fold_left (fun acc r -> acc + r.successes) 0 reports in
       let outcomes =
         List.fold_left
@@ -487,31 +664,24 @@ let merge_reports (reports : report list) =
       (* Pool the Kish ESS from the raw weight sums: per-report ESS values
          are not additive when weight scales differ across reports, but the
          defining sums are. *)
-      let sum_w = List.fold_left (fun acc r -> acc +. r.sum_w) 0. reports in
-      let sum_w2 = List.fold_left (fun acc r -> acc +. r.sum_w2) 0. reports in
+      let sum_w = csum (fun r -> r.sum_w) in
+      let sum_w2 = csum (fun r -> r.sum_w2) in
       let contributions =
+        (* Collect every report's weight per key and canonical-sum each
+           bucket, so a key credited by several reports pools to the same
+           float no matter the report order. *)
         let tbl = Hashtbl.create 64 in
         List.iter
           (fun r ->
             List.iter
               (fun (k, w) ->
-                let cur = try Hashtbl.find tbl k with Not_found -> 0. in
-                Hashtbl.replace tbl k (cur +. w))
+                let cur = try Hashtbl.find tbl k with Not_found -> [] in
+                Hashtbl.replace tbl k (w :: cur))
               r.contributions)
           reports;
-        sort_contributions (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+        sort_contributions (Hashtbl.fold (fun k ws acc -> (k, canonical_sum ws) :: acc) tbl [])
       in
-      let trace =
-        (* Per-domain partial traces laid out at cumulative sample offsets:
-           x stays in [0, n], y is the owning domain's running estimate. *)
-        let _, rev =
-          List.fold_left
-            (fun (offset, acc) r ->
-              (offset + r.n, List.rev_append (List.map (fun (k, e) -> (offset + k, e)) r.trace) acc))
-            (0, []) reports
-        in
-        List.sort compare rev
-      in
+      let trace = merge_traces reports in
       {
         strategy = first.strategy;
         n;
@@ -528,6 +698,14 @@ let merge_reports (reports : report list) =
         sum_w;
         sum_w2;
       }
+
+let shard_plan ~samples ~shard_size =
+  if samples <= 0 then invalid_arg "Ssf.shard_plan: non-positive sample count";
+  if shard_size <= 0 then invalid_arg "Ssf.shard_plan: non-positive shard size";
+  let shards = (samples + shard_size - 1) / shard_size in
+  Array.init shards (fun i ->
+      let start = i * shard_size in
+      (start, min shard_size (samples - start)))
 
 let estimate_parallel ?domains ?causal ?(batch = 500) ?(max_batch_retries = 2) ?batch_hook
     ?(obs = Obs.disabled) ~engine_factory prepared ~samples ~seed =

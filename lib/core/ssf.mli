@@ -125,7 +125,29 @@ module Tally : sig
       Observability starts fresh (metrics count this segment's work;
       throughput telemetry excludes the downtime since the snapshot).
       Raises [Invalid_argument] on an internally inconsistent snapshot. *)
+
+  val to_string : snapshot -> string
+  (** The canonical line-oriented text encoding of a snapshot, shared
+      verbatim by the durable campaign checkpoint ({!Campaign}, format v3)
+      and the distributed wire protocol ([Fmc_dist]) — one serializer, not
+      two. Floats are hex float literals ([%h]), so
+      [of_string (to_string s) = Ok s] round-trips every accumulator
+      bit-exactly. *)
+
+  val of_string : string -> (snapshot, string) result
+  (** Decode {!to_string}'s encoding. [Error msg] names the first offending
+      line of a truncated, reordered or malformed snapshot. *)
 end
+
+val shard_plan : samples:int -> shard_size:int -> (int * int) array
+(** Cut a campaign into contiguous sample-index shards: [(start, len)]
+    pairs covering [\[0, samples)] in order, every shard of size
+    [shard_size] except a possibly shorter last one. Shard [i] of a
+    campaign with seed [s] is always evaluated under
+    [Rng.substream ~seed:(Int64.of_int s) ~shard:i]
+    (see {!Campaign.run_shard}), so the plan — not the process layout —
+    determines every draw. Raises [Invalid_argument] on non-positive
+    arguments. *)
 
 val estimate :
   ?obs:Fmc_obs.Obs.t ->
@@ -152,10 +174,18 @@ val estimate :
     [Invalid_argument] on a non-positive sample count. *)
 
 val merge_reports : report list -> report
-(** Pool split-run reports (parallel domains, checkpointed shards) into one:
-    sample-count-weighted means for the estimates, summed counters, summed
-    contribution tables, and the ESS recomputed from the pooled weight sums
-    [(Σw)² / Σw²]. Raises [Invalid_argument] on an empty list. *)
+(** Pool split-run reports (parallel domains, checkpointed shards,
+    distributed workers) into one: sample-count-weighted means for the
+    estimates, summed counters, summed contribution tables, and the ESS
+    recomputed from the pooled weight sums [(Σw)² / Σw²]. Every float
+    reduction sorts its addends first, so the merged report is
+    {e bit-identical under any permutation} of the input list — worker or
+    batch completion order cannot change the result. The running-estimate
+    [trace] is merged by local sample index (each point is the pooled
+    estimate over every part's latest trace entry, plotted at the total
+    number of samples finished across parts), so distributed and local
+    convergence plots agree. Raises [Invalid_argument] on an empty
+    list. *)
 
 val estimate_parallel :
   ?domains:int ->

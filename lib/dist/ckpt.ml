@@ -1,0 +1,99 @@
+(* Durable coordinator state: the campaign fingerprint plus every
+   accepted shard result, written with the same atomic tmp+rename
+   discipline and the same embedded serializers (Ssf.Tally.to_string,
+   Campaign.quarantine_entry_to_string) as the single-process campaign
+   checkpoint. Restoring seeds the lease table's Done set, so a crashed
+   coordinator resumes without re-running finished shards — and because
+   shard results depend only on (seed, shard), the resumed campaign's
+   merged report is still bit-identical. *)
+
+open Fmc
+
+let format_version = 1
+
+type state = {
+  st_fingerprint : string;
+  st_shards : (int * string) list;  (* ascending shard id, tally blobs *)
+  st_quarantined : Campaign.quarantine_entry list;
+}
+
+let blob_lines blob =
+  match List.rev (String.split_on_char '\n' blob) with
+  | "" :: rest -> List.rev rest
+  | parts -> List.rev parts
+
+let save ~path state =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "faultmc-dist %d\n" format_version;
+      Printf.fprintf oc "fingerprint %s\n" state.st_fingerprint;
+      Printf.fprintf oc "shards %d\n" (List.length state.st_shards);
+      List.iter
+        (fun (i, blob) ->
+          let ls = blob_lines blob in
+          Printf.fprintf oc "shard %d %d\n" i (List.length ls);
+          List.iter (fun l -> output_string oc (l ^ "\n")) ls)
+        state.st_shards;
+      Printf.fprintf oc "quarantined %d\n" (List.length state.st_quarantined);
+      List.iter
+        (fun e -> output_string oc (Campaign.quarantine_entry_to_string e ^ "\n"))
+        state.st_quarantined;
+      output_string oc "end\n";
+      flush oc);
+  Sys.rename tmp path
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let load ~path =
+  let ic = open_in path in
+  let next () = try input_line ic with End_of_file -> bad "truncated checkpoint" in
+  let parse () =
+    (match String.split_on_char ' ' (next ()) with
+    | [ "faultmc-dist"; v ] when int_of_string_opt v = Some format_version -> ()
+    | _ -> bad "not a faultmc-dist v%d checkpoint" format_version);
+    let fp_line = next () in
+    let st_fingerprint =
+      if String.length fp_line >= 12 && String.sub fp_line 0 12 = "fingerprint " then
+        String.sub fp_line 12 (String.length fp_line - 12)
+      else bad "expected fingerprint line"
+    in
+    let count kw =
+      match String.split_on_char ' ' (next ()) with
+      | [ k; n ] when k = kw -> (
+          match int_of_string_opt n with Some i when i >= 0 -> i | _ -> bad "bad %s count" kw)
+      | _ -> bad "expected %s line" kw
+    in
+    let nshards = count "shards" in
+    let st_shards =
+      List.init nshards (fun _ ->
+          match String.split_on_char ' ' (next ()) with
+          | [ "shard"; i; n ] -> (
+              match (int_of_string_opt i, int_of_string_opt n) with
+              | Some i, Some n when n >= 0 ->
+                  let buf = Buffer.create 1024 in
+                  for _ = 1 to n do
+                    Buffer.add_string buf (next ());
+                    Buffer.add_char buf '\n'
+                  done;
+                  (i, Buffer.contents buf)
+              | _ -> bad "bad shard header")
+          | _ -> bad "expected shard line")
+    in
+    let nq = count "quarantined" in
+    let st_quarantined =
+      List.init nq (fun _ ->
+          match Campaign.quarantine_entry_of_string (next ()) with
+          | Ok e -> e
+          | Error m -> bad "quarantine entry: %s" m)
+    in
+    if next () <> "end" then bad "missing end marker";
+    { st_fingerprint; st_shards; st_quarantined }
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> match parse () with s -> Ok s | exception Bad m -> Error m)

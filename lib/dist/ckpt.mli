@@ -1,0 +1,22 @@
+(** Durable coordinator checkpoint: fingerprint + accepted shard results.
+
+    Written atomically ([path ^ ".tmp"] then rename) after every
+    accepted shard, embedding the shared [Ssf.Tally.to_string] and
+    quarantine-entry serializers. A restarted coordinator whose
+    checkpoint fingerprint matches its campaign resumes with those
+    shards pre-completed; since shard results depend only on
+    [(seed, shard)], the final merged report is unchanged. *)
+
+open Fmc
+
+val format_version : int
+
+type state = {
+  st_fingerprint : string;
+  st_shards : (int * string) list;
+      (** [(shard id, tally blob)], ascending shard id *)
+  st_quarantined : Campaign.quarantine_entry list;
+}
+
+val save : path:string -> state -> unit
+val load : path:string -> (state, string) result

@@ -1,0 +1,358 @@
+(* The campaign coordinator: owns the sample plan, leases shards to
+   workers, fences stale completions, merges accepted results.
+
+   Concurrency model: one listener loop (the caller's thread) accepting
+   connections and sweeping expired leases on a short tick; one thread
+   per connection running the request/reply protocol. All shared state
+   (lease table, accepted blobs, quarantine log, metrics) lives behind
+   one mutex — the critical sections are table lookups and small writes,
+   far off the hot path (workers do the actual Monte Carlo work).
+
+   Exactly-once: Lease.complete is the single gate. A Shard_done whose
+   epoch is stale is counted, acked negatively and dropped; a duplicate
+   of the accepted epoch is acked positively (the worker may have missed
+   the first ack) but not re-merged. Since shard results depend only on
+   (seed, shard), any accepted result for a shard is THE result. *)
+
+open Fmc
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+
+type config = {
+  addr : Wire.addr;
+  ttl_s : float;  (* lease deadline without a heartbeat *)
+  checkpoint_path : string option;
+  linger_s : float;  (* keep serving Fetch_report after completion *)
+}
+
+let default_config addr =
+  { addr; ttl_s = 30.; checkpoint_path = None; linger_s = 5. }
+
+type outcome = {
+  oc_shards : (int * string) list;
+  oc_quarantined : Campaign.quarantine_entry list;
+  oc_elapsed_s : float;
+}
+
+(* -- metrics ------------------------------------------------------------ *)
+
+type mx = {
+  registry : Metrics.registry option;
+  leases_issued : Metrics.counter option;
+  leases_expired : Metrics.counter option;
+  stale_results : Metrics.counter option;
+  shards_completed : Metrics.counter option;
+  heartbeats : Metrics.counter option;
+  bytes_sent : Metrics.counter option;
+  bytes_received : Metrics.counter option;
+  in_flight : Metrics.gauge option;
+  workers_connected : Metrics.gauge option;
+}
+
+let mx_create (obs : Obs.t) =
+  match obs.Obs.metrics with
+  | None ->
+      {
+        registry = None;
+        leases_issued = None;
+        leases_expired = None;
+        stale_results = None;
+        shards_completed = None;
+        heartbeats = None;
+        bytes_sent = None;
+        bytes_received = None;
+        in_flight = None;
+        workers_connected = None;
+      }
+  | Some r ->
+      let c ?help name = Some (Metrics.counter r ?help name) in
+      let g ?help name = Some (Metrics.gauge r ?help name) in
+      {
+        registry = Some r;
+        leases_issued = c ~help:"shard leases handed out" "fmc_dist_leases_issued_total";
+        leases_expired = c ~help:"leases lost to missed heartbeats" "fmc_dist_leases_expired_total";
+        stale_results = c ~help:"shard results rejected by epoch fencing" "fmc_dist_stale_results_total";
+        shards_completed = c ~help:"shard results accepted into the merge" "fmc_dist_shards_completed_total";
+        heartbeats = c ~help:"heartbeats received" "fmc_dist_heartbeats_total";
+        bytes_sent = c ~help:"protocol bytes sent" "fmc_dist_bytes_sent_total";
+        bytes_received = c ~help:"protocol bytes received" "fmc_dist_bytes_received_total";
+        in_flight = g ~help:"shards currently leased" "fmc_dist_shards_in_flight";
+        workers_connected = g ~help:"open worker connections" "fmc_dist_workers_connected";
+      }
+
+let cinc c = Option.iter Metrics.inc c
+let cadd c v = Option.iter (fun c -> Metrics.add c (float_of_int v)) c
+let gset g v = Option.iter (fun g -> Metrics.set g (float_of_int v)) g
+
+let sanitize_metric_part s =
+  String.map
+    (fun ch ->
+      match ch with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch | _ -> '_')
+    s
+
+(* -- shared state ------------------------------------------------------- *)
+
+type state = {
+  mutex : Mutex.t;
+  lease : Lease.t;
+  blobs : (int, string) Hashtbl.t;
+  mutable quarantined : Campaign.quarantine_entry list;  (* reverse arrival *)
+  mutable connected : int;
+  mutable finished_at : float option;
+  started_at : float;
+  fingerprint : string;
+  config : config;
+  mx : mx;
+  (* worker -> (last heartbeat time, shard, epoch, samples_done) for the
+     per-worker throughput gauge *)
+  rates : (string, float * int * int * int) Hashtbl.t;
+}
+
+let locked st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+
+let checkpoint_locked st =
+  match st.config.checkpoint_path with
+  | None -> ()
+  | Some path ->
+      let shards =
+        Hashtbl.fold (fun i b acc -> (i, b) :: acc) st.blobs []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      Ckpt.save ~path
+        {
+          Ckpt.st_fingerprint = st.fingerprint;
+          st_shards = shards;
+          st_quarantined = List.rev st.quarantined;
+        }
+
+let sorted_quarantined st =
+  List.sort
+    (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
+    (List.rev st.quarantined)
+
+let report_msg st =
+  let shards =
+    Hashtbl.fold (fun i b acc -> (i, b) :: acc) st.blobs []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  Protocol.Report
+    {
+      shards;
+      quarantined = sorted_quarantined st;
+      elapsed_s = Unix.gettimeofday () -. st.started_at;
+    }
+
+let note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done =
+  match st.mx.registry with
+  | None -> ()
+  | Some r ->
+      (match Hashtbl.find_opt st.rates worker with
+      | Some (t0, s0, e0, d0)
+        when s0 = shard && e0 = epoch && samples_done > d0 && now > t0 ->
+          let rate = float_of_int (samples_done - d0) /. (now -. t0) in
+          Metrics.set
+            (Metrics.gauge r
+               ~help:"per-worker throughput from heartbeat deltas"
+               ("fmc_dist_worker_samples_per_sec:" ^ sanitize_metric_part worker))
+            rate
+      | _ -> ());
+      Hashtbl.replace st.rates worker (now, shard, epoch, samples_done)
+
+(* -- per-connection protocol -------------------------------------------- *)
+
+exception Done_serving
+
+let handle_msg st ~worker msg =
+  let now = Unix.gettimeofday () in
+  match (msg : Protocol.client_msg) with
+  | Protocol.Hello _ -> Protocol.Reject { reason = "duplicate hello" }
+  | Protocol.Request_shard ->
+      locked st (fun () ->
+          let expired = Lease.sweep st.lease ~now in
+          if expired > 0 then cadd st.mx.leases_expired expired;
+          let reply =
+            match Lease.acquire st.lease ~now ~worker with
+            | `Assign { Lease.shard; epoch; start; len } ->
+                cinc st.mx.leases_issued;
+                Protocol.Assign { shard; epoch; start; len }
+            | `Finished -> Protocol.No_work { finished = true }
+            | `Wait -> Protocol.No_work { finished = false }
+          in
+          gset st.mx.in_flight (Lease.in_flight st.lease);
+          reply)
+  | Protocol.Heartbeat { shard; epoch; samples_done } ->
+      locked st (fun () ->
+          cinc st.mx.heartbeats;
+          match Lease.heartbeat st.lease ~now ~shard ~epoch with
+          | `Ok ->
+              note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done;
+              Protocol.Ack { accepted = true; reason = "" }
+          | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
+  | Protocol.Shard_done { shard; epoch; tally; quarantined } ->
+      locked st (fun () ->
+          (* Validate before committing: a blob that does not decode must
+             not consume the shard's one accepted completion. *)
+          match Ssf.Tally.of_string tally with
+          | Error msg ->
+              Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
+          | Ok _ -> (
+              match Lease.complete st.lease ~shard ~epoch with
+              | `Accepted ->
+                  Hashtbl.replace st.blobs shard tally;
+                  st.quarantined <- List.rev_append quarantined st.quarantined;
+                  cinc st.mx.shards_completed;
+                  gset st.mx.in_flight (Lease.in_flight st.lease);
+                  checkpoint_locked st;
+                  if Lease.finished st.lease && st.finished_at = None then
+                    st.finished_at <- Some now;
+                  Protocol.Ack { accepted = true; reason = "" }
+              | `Duplicate -> Protocol.Ack { accepted = true; reason = "duplicate" }
+              | `Stale ->
+                  cinc st.mx.stale_results;
+                  Protocol.Ack { accepted = false; reason = "stale epoch" }
+              | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown shard" }))
+  | Protocol.Fetch_report ->
+      locked st (fun () ->
+          if Lease.finished st.lease then report_msg st else Protocol.Report_pending)
+  | Protocol.Goodbye -> raise Done_serving
+
+let send conn msg =
+  let tag, payload = Protocol.encode_server msg in
+  Wire.write_frame conn ~tag payload
+
+let handle_conn st fd =
+  let conn =
+    Wire.conn fd
+      ~on_sent:(fun n -> locked st (fun () -> cadd st.mx.bytes_sent n))
+      ~on_recv:(fun n -> locked st (fun () -> cadd st.mx.bytes_received n))
+  in
+  let finally () =
+    Wire.close conn;
+    locked st (fun () ->
+        st.connected <- st.connected - 1;
+        gset st.mx.workers_connected st.connected)
+  in
+  locked st (fun () ->
+      st.connected <- st.connected + 1;
+      gset st.mx.workers_connected st.connected);
+  Fun.protect ~finally (fun () ->
+      try
+        (* First frame must be a valid, matching Hello. *)
+        let tag, payload = Wire.read_frame conn in
+        let worker =
+          match Protocol.decode_client tag payload with
+          | Ok (Protocol.Hello { version; worker; fingerprint }) ->
+              if version <> Protocol.version then begin
+                send conn
+                  (Protocol.Reject
+                     { reason = Printf.sprintf "protocol version %d, want %d" version Protocol.version });
+                raise Done_serving
+              end
+              else if fingerprint <> st.fingerprint then begin
+                send conn (Protocol.Reject { reason = "campaign fingerprint mismatch" });
+                raise Done_serving
+              end
+              else begin
+                send conn (Protocol.Welcome { version = Protocol.version });
+                worker
+              end
+          | Ok _ | Error _ ->
+              send conn (Protocol.Reject { reason = "expected hello" });
+              raise Done_serving
+        in
+        let rec loop () =
+          let tag, payload = Wire.read_frame conn in
+          (match Protocol.decode_client tag payload with
+          | Ok msg -> send conn (handle_msg st ~worker msg)
+          | Error msg -> send conn (Protocol.Reject { reason = msg }));
+          loop ()
+        in
+        loop ()
+      with Done_serving | Wire.Closed | Unix.Unix_error _ | Sys_error _ -> ())
+
+(* -- the serve loop ----------------------------------------------------- *)
+
+let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
+  if Array.length plan = 0 then invalid_arg "Coordinator.serve: empty plan";
+  let lease = Lease.create ~plan ~ttl:config.ttl_s in
+  let st =
+    {
+      mutex = Mutex.create ();
+      lease;
+      blobs = Hashtbl.create 64;
+      quarantined = [];
+      connected = 0;
+      finished_at = None;
+      started_at = Unix.gettimeofday ();
+      fingerprint;
+      config;
+      mx = mx_create obs;
+      rates = Hashtbl.create 8;
+    }
+  in
+  (* Resume: pre-complete every checkpointed shard whose fingerprint
+     matches. A mismatched checkpoint is a hard error — silently starting
+     a different campaign over it would discard durable results. *)
+  (match config.checkpoint_path with
+  | Some path when Sys.file_exists path -> (
+      match Ckpt.load ~path with
+      | Error msg -> failwith (Printf.sprintf "corrupt coordinator checkpoint %s: %s" path msg)
+      | Ok ck ->
+          if ck.Ckpt.st_fingerprint <> fingerprint then
+            failwith
+              (Printf.sprintf "checkpoint %s belongs to a different campaign (fingerprint mismatch)" path);
+          List.iter
+            (fun (i, blob) ->
+              if i >= 0 && i < Array.length plan then begin
+                Hashtbl.replace st.blobs i blob;
+                Lease.force_complete st.lease ~shard:i
+              end)
+            ck.Ckpt.st_shards;
+          st.quarantined <- List.rev ck.Ckpt.st_quarantined;
+          if Lease.finished st.lease then st.finished_at <- Some st.started_at)
+  | _ -> ());
+  let sock = Wire.listen config.addr in
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    match config.addr with
+    | Wire.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      Obs.span obs ~cat:"dist" "serve" (fun () ->
+          let running = ref true in
+          while !running do
+            let readable, _, _ =
+              try Unix.select [ sock ] [] [] 0.2
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            (match readable with
+            | [ _ ] ->
+                let fd, _ = Unix.accept sock in
+                ignore (Thread.create (fun () -> handle_conn st fd) ())
+            | _ -> ());
+            let now = Unix.gettimeofday () in
+            locked st (fun () ->
+                let expired = Lease.sweep st.lease ~now in
+                if expired > 0 then cadd st.mx.leases_expired expired;
+                gset st.mx.in_flight (Lease.in_flight st.lease);
+                match st.finished_at with
+                | Some t when now -. t >= config.linger_s && st.connected = 0 -> running := false
+                | Some t when now -. t >= 4. *. config.linger_s ->
+                    (* Workers that never said goodbye do not hold the
+                       coordinator hostage forever. *)
+                    running := false
+                | _ -> ())
+          done));
+  locked st (fun () ->
+      let shards =
+        Hashtbl.fold (fun i b acc -> (i, b) :: acc) st.blobs []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      {
+        oc_shards = shards;
+        oc_quarantined = sorted_quarantined st;
+        oc_elapsed_s = Unix.gettimeofday () -. st.started_at;
+      })

@@ -1,0 +1,53 @@
+(** The distributed campaign coordinator ([faultmc serve]).
+
+    Owns the sample plan and the lease table; workers connect, lease
+    shards, stream heartbeats and shard results back. Completions fence
+    on lease epochs (see {!Lease}) so exactly one result per shard
+    enters the merge — the merged report is bit-identical to
+    [Campaign.estimate_sharded] over the same plan, independent of
+    worker count, scheduling or mid-campaign deaths.
+
+    Threading: {!serve} runs the accept/sweep loop on the calling thread
+    and spawns one thread per connection; shared state sits behind one
+    mutex. The coordinator does no Monte Carlo work itself and never
+    needs an engine — it validates, fences, stores and merges. *)
+
+open Fmc
+
+type config = {
+  addr : Wire.addr;
+  ttl_s : float;
+      (** lease lifetime without a heartbeat; an expired lease is
+          re-issued under a bumped epoch *)
+  checkpoint_path : string option;
+      (** durable coordinator state ({!Ckpt}), written after every
+          accepted shard; an existing matching checkpoint is resumed *)
+  linger_s : float;
+      (** after the last shard completes, keep answering [Fetch_report]
+          this long (and until the last client disconnects, capped at
+          4x) so report clients and goodbyes drain *)
+}
+
+val default_config : Wire.addr -> config
+(** ttl 30s, no checkpoint, linger 5s. *)
+
+type outcome = {
+  oc_shards : (int * string) list;
+      (** accepted [(shard, tally blob)] results, ascending shard id —
+          feed {!Merge.report_of_blobs} *)
+  oc_quarantined : Campaign.quarantine_entry list;
+      (** sorted by global sample index *)
+  oc_elapsed_s : float;  (** wall clock of this serve segment *)
+}
+
+val serve :
+  ?obs:Fmc_obs.Obs.t -> config -> fingerprint:string -> plan:(int * int) array -> outcome
+(** Serve the campaign to completion. [fingerprint]
+    ({!Protocol.fingerprint}) gates worker hellos; [plan] is
+    [Ssf.shard_plan ~samples ~shard_size] — the same cut every worker
+    and the single-process reference use. Under [obs], exposes the
+    [fmc_dist_*] counters/gauges (leases issued/expired, stale results,
+    shards completed, heartbeats, wire bytes both ways, in-flight
+    shards, connected workers, per-worker samples/sec) and a ["serve"]
+    span. Raises [Failure] on a corrupt or mismatched checkpoint and
+    [Invalid_argument] on an empty plan. *)

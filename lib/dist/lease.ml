@@ -1,0 +1,109 @@
+(* Shard lease table with epoch fencing.
+
+   Every shard moves through Unleased -> Leased -> Done. A lease carries
+   an epoch number that only ever grows for its shard: when a lease
+   expires (no heartbeat before the deadline) the shard returns to
+   Unleased and the next assignment is issued under a bumped epoch, so a
+   completion arriving later from the presumed-dead worker fences on the
+   stale epoch and is rejected. Exactly one completion is ever accepted
+   per shard, which is what makes the merged report independent of
+   worker deaths and re-deliveries.
+
+   The table is pure state over an injected clock (`now` parameters), so
+   the fencing logic is unit-testable without timers. Thread safety is
+   the caller's job (the coordinator holds its mutex around calls). *)
+
+type assignment = { shard : int; epoch : int; start : int; len : int }
+
+type slot =
+  | Unleased
+  | Leased of { epoch : int; worker : string; deadline : float }
+  | Done of { epoch : int }
+
+type t = {
+  plan : (int * int) array;
+  ttl : float;
+  slots : slot array;
+  epochs : int array;  (* highest epoch ever issued per shard *)
+  mutable done_count : int;
+}
+
+let create ~plan ~ttl =
+  if ttl <= 0. then invalid_arg "Lease.create: non-positive ttl";
+  if Array.length plan = 0 then invalid_arg "Lease.create: empty plan";
+  {
+    plan;
+    ttl;
+    slots = Array.make (Array.length plan) Unleased;
+    epochs = Array.make (Array.length plan) 0;
+    done_count = 0;
+  }
+
+let total t = Array.length t.plan
+let completed t = t.done_count
+let finished t = t.done_count = total t
+
+let in_flight t =
+  Array.fold_left (fun n -> function Leased _ -> n + 1 | _ -> n) 0 t.slots
+
+let sweep t ~now =
+  let expired = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Leased { deadline; _ } when deadline < now ->
+          t.slots.(i) <- Unleased;
+          incr expired
+      | _ -> ())
+    t.slots;
+  !expired
+
+let acquire t ~now ~worker =
+  ignore (sweep t ~now);
+  if finished t then `Finished
+  else begin
+    let free = ref None in
+    Array.iteri
+      (fun i slot -> if !free = None && slot = Unleased then free := Some i)
+      t.slots;
+    match !free with
+    | None -> `Wait
+    | Some i ->
+        let epoch = t.epochs.(i) + 1 in
+        t.epochs.(i) <- epoch;
+        t.slots.(i) <- Leased { epoch; worker; deadline = now +. t.ttl };
+        let start, len = t.plan.(i) in
+        `Assign { shard = i; epoch; start; len }
+  end
+
+let heartbeat t ~now ~shard ~epoch =
+  if shard < 0 || shard >= total t then `Stale
+  else
+    match t.slots.(shard) with
+    | Leased l when l.epoch = epoch ->
+        t.slots.(shard) <- Leased { l with deadline = now +. t.ttl };
+        `Ok
+    | _ -> `Stale
+
+let complete t ~shard ~epoch =
+  if shard < 0 || shard >= total t then `Unknown
+  else
+    match t.slots.(shard) with
+    | Leased { epoch = e; _ } when e = epoch ->
+        t.slots.(shard) <- Done { epoch };
+        t.done_count <- t.done_count + 1;
+        `Accepted
+    | Done { epoch = e } when e = epoch -> `Duplicate
+    | Done _ | Leased _ | Unleased -> `Stale
+
+let force_complete t ~shard =
+  if shard < 0 || shard >= total t then invalid_arg "Lease.force_complete: bad shard";
+  (match t.slots.(shard) with
+  | Done _ -> ()
+  | Unleased | Leased _ ->
+      t.slots.(shard) <- Done { epoch = t.epochs.(shard) };
+      t.done_count <- t.done_count + 1)
+
+let holder t ~shard =
+  if shard < 0 || shard >= total t then None
+  else match t.slots.(shard) with Leased { worker; _ } -> Some worker | _ -> None

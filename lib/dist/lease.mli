@@ -1,0 +1,51 @@
+(** Shard lease table with epoch fencing (DESIGN.md §10).
+
+    State machine per shard: [Unleased -> Leased -> Done], with
+    [Leased -> Unleased] on expiry. Each (re-)assignment bumps the
+    shard's epoch, and {!complete} only accepts the currently-leased
+    epoch — a completion from an expired lease returns [`Stale] and is
+    discarded, so exactly one result per shard ever enters the merge.
+
+    Time is injected ([now] parameters, same clock everywhere), making
+    the fencing logic deterministic under test. Not thread-safe: the
+    coordinator serializes access under its state mutex. *)
+
+type assignment = { shard : int; epoch : int; start : int; len : int }
+
+type t
+
+val create : plan:(int * int) array -> ttl:float -> t
+(** [plan] is [Ssf.shard_plan]'s [(start, len)] array; [ttl] the
+    heartbeat deadline in the [now] clock's units. Raises
+    [Invalid_argument] on an empty plan or non-positive ttl. *)
+
+val acquire : t -> now:float -> worker:string -> [ `Assign of assignment | `Finished | `Wait ]
+(** Lease the first available shard (expiring overdue leases first).
+    [`Wait]: nothing available but the campaign is unfinished —
+    every remaining shard is in flight. *)
+
+val heartbeat : t -> now:float -> shard:int -> epoch:int -> [ `Ok | `Stale ]
+(** Extend a live lease's deadline to [now + ttl]. [`Stale] means the
+    lease was lost (expired and possibly re-issued) — the worker must
+    abandon the shard. *)
+
+val complete : t -> shard:int -> epoch:int -> [ `Accepted | `Duplicate | `Stale | `Unknown ]
+(** Record a shard result. [`Accepted] exactly once per shard;
+    [`Duplicate] for a re-delivery of the accepted epoch (safe to ack —
+    the result is bit-identical by construction); [`Stale] for a fenced
+    epoch; [`Unknown] for a shard outside the plan. *)
+
+val sweep : t -> now:float -> int
+(** Expire overdue leases; returns how many expired (for the
+    [fmc_dist_leases_expired_total] counter). *)
+
+val force_complete : t -> shard:int -> unit
+(** Mark a shard done without a lease — checkpoint restore only. *)
+
+val finished : t -> bool
+val completed : t -> int
+val in_flight : t -> int
+val total : t -> int
+
+val holder : t -> shard:int -> string option
+(** The worker currently holding the shard's lease, if any. *)

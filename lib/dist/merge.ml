@@ -1,0 +1,31 @@
+(* From wire/checkpoint tally blobs to the final campaign report: decode
+   every shard snapshot, turn each into a report under the campaign's
+   strategy, and pool through Ssf.merge_reports. merge_reports is
+   permutation-invariant and Tally.of_string round-trips bit-exactly, so
+   this merge produces the bit-identical report to a single-process
+   Campaign.estimate_sharded run over the same plan — the whole
+   correctness claim of the distributed service reduces to this one
+   function being deterministic. *)
+
+open Fmc
+
+let snapshots_of_blobs blobs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare (a : int) b) blobs in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (i, blob) :: tl -> (
+        match Ssf.Tally.of_string blob with
+        | Ok s -> go ((i, s) :: acc) tl
+        | Error msg -> Error (Printf.sprintf "shard %d: %s" i msg))
+  in
+  go [] sorted
+
+let report_of_blobs ~strategy blobs =
+  if blobs = [] then Error "no shard results to merge"
+  else
+    match snapshots_of_blobs blobs with
+    | Error _ as e -> e
+    | Ok snaps ->
+        Ok
+          (Ssf.merge_reports
+             (List.map (fun (_, s) -> Campaign.shard_report ~strategy s) snaps))

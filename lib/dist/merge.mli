@@ -1,0 +1,20 @@
+(** Bit-exact cross-process merging: wire/checkpoint blobs to one report.
+
+    Used identically by [faultmc serve] (printing the final report),
+    [faultmc evaluate --connect] (rendering a fetched report) and the
+    tests — one merge path, so a report cannot depend on where it was
+    assembled. *)
+
+open Fmc
+
+val snapshots_of_blobs :
+  (int * string) list -> ((int * Ssf.Tally.snapshot) list, string) result
+(** Decode [(shard id, Ssf.Tally.to_string blob)] pairs, sorted into
+    ascending shard order. [Error] names the first undecodable shard. *)
+
+val report_of_blobs : strategy:string -> (int * string) list -> (Ssf.report, string) result
+(** The merged campaign report: each decoded snapshot becomes a report
+    via {!Campaign.shard_report} and the list pools through
+    {!Ssf.merge_reports}. Bit-identical to
+    [Campaign.estimate_sharded] over the same [(samples, seed,
+    shard_size)] regardless of which processes produced the blobs. *)

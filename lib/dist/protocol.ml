@@ -1,0 +1,263 @@
+(* Message layer of the coordinator/worker protocol: typed messages and
+   their (tag, payload) encoding over Wire frames.
+
+   Payloads are line-oriented text, reusing the repo's serializers where
+   state crosses the wire: tally snapshots travel as verbatim
+   Ssf.Tally.to_string blobs (line-counted so they embed safely) and
+   quarantine entries as Campaign.quarantine_entry_to_string lines — the
+   same codecs the durable checkpoints use, so a snapshot is bit-exact no
+   matter how many process boundaries it crossed. *)
+
+open Fmc
+
+let version = 1
+
+type client_msg =
+  | Hello of { version : int; worker : string; fingerprint : string }
+  | Request_shard
+  | Heartbeat of { shard : int; epoch : int; samples_done : int }
+  | Shard_done of {
+      shard : int;
+      epoch : int;
+      tally : string;
+      quarantined : Campaign.quarantine_entry list;
+    }
+  | Fetch_report
+  | Goodbye
+
+type server_msg =
+  | Welcome of { version : int }
+  | Assign of { shard : int; epoch : int; start : int; len : int }
+  | No_work of { finished : bool }
+  | Ack of { accepted : bool; reason : string }
+  | Report of {
+      shards : (int * string) list;
+      quarantined : Campaign.quarantine_entry list;
+      elapsed_s : float;
+    }
+  | Report_pending
+  | Reject of { reason : string }
+
+let fingerprint ~strategy ~benchmark ~samples ~seed ~shard_size ~sample_budget =
+  Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
+    version strategy benchmark samples seed shard_size
+    (match sample_budget with Some b -> string_of_int b | None -> "-")
+
+(* -- payload helpers ---------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* Split into lines, dropping a trailing empty line (the artifact of a
+   final '\n'), but keeping interior empties so line counts stay honest. *)
+let lines_of s =
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | parts -> (
+      match List.rev parts with
+      | "" :: rest -> List.rev rest
+      | _ -> parts)
+
+let blob_lines blob = lines_of blob
+
+let restore_blob lines = String.concat "\n" lines ^ "\n"
+
+(* Cursor over a line list. *)
+type cursor = { mutable rest : string list }
+
+let next c =
+  match c.rest with
+  | [] -> bad "truncated payload"
+  | l :: tl ->
+      c.rest <- tl;
+      l
+
+let take c n = List.init n (fun _ -> next c)
+
+let int_of what s =
+  match int_of_string_opt s with Some i -> i | None -> bad "bad %s %S" what s
+
+let float_of what s =
+  match float_of_string_opt s with Some f -> f | None -> bad "bad %s %S" what s
+
+let fields line = String.split_on_char ' ' line
+
+let expect_kw kw line =
+  match fields line with
+  | k :: rest when k = kw -> rest
+  | _ -> bad "expected %S line, got %S" kw line
+
+let rest_of_line kw line =
+  let plen = String.length kw + 1 in
+  if String.length line >= plen && String.sub line 0 plen = kw ^ " " then
+    String.sub line plen (String.length line - plen)
+  else if line = kw then ""
+  else bad "expected %S line, got %S" kw line
+
+let quarantine_of_line line =
+  match Campaign.quarantine_entry_of_string line with
+  | Ok e -> e
+  | Error msg -> bad "quarantine entry: %s" msg
+
+let emit_blob buf label blob =
+  let ls = blob_lines blob in
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" label (List.length ls));
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    ls
+
+let emit_quarantined buf entries =
+  Buffer.add_string buf (Printf.sprintf "quarantined %d\n" (List.length entries));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Campaign.quarantine_entry_to_string e);
+      Buffer.add_char buf '\n')
+    entries
+
+let read_quarantined c =
+  match expect_kw "quarantined" (next c) with
+  | [ n ] -> List.init (int_of "quarantine count" n) (fun _ -> quarantine_of_line (next c))
+  | _ -> bad "malformed quarantined line"
+
+(* -- client messages ---------------------------------------------------- *)
+
+let encode_client = function
+  | Hello { version; worker; fingerprint } ->
+      ( 'H',
+        Printf.sprintf "version %d\nworker %s\nfingerprint %s\n" version
+          (one_line worker) (one_line fingerprint) )
+  | Request_shard -> ('R', "")
+  | Heartbeat { shard; epoch; samples_done } ->
+      ('B', Printf.sprintf "%d %d %d\n" shard epoch samples_done)
+  | Shard_done { shard; epoch; tally; quarantined } ->
+      let buf = Buffer.create (String.length tally + 256) in
+      Buffer.add_string buf (Printf.sprintf "shard %d epoch %d\n" shard epoch);
+      emit_blob buf "tally" tally;
+      emit_quarantined buf quarantined;
+      ('D', Buffer.contents buf)
+  | Fetch_report -> ('F', "")
+  | Goodbye -> ('G', "")
+
+let decode_client tag payload =
+  let c = { rest = lines_of payload } in
+  match tag with
+  | 'H' -> (
+      match expect_kw "version" (next c) with
+      | [ v ] ->
+          let worker = rest_of_line "worker" (next c) in
+          let fingerprint = rest_of_line "fingerprint" (next c) in
+          Ok (Hello { version = int_of "version" v; worker; fingerprint })
+      | _ -> bad "malformed version line")
+  | 'R' -> Ok Request_shard
+  | 'B' -> (
+      match fields (next c) with
+      | [ s; e; d ] ->
+          Ok
+            (Heartbeat
+               {
+                 shard = int_of "shard" s;
+                 epoch = int_of "epoch" e;
+                 samples_done = int_of "samples_done" d;
+               })
+      | _ -> bad "malformed heartbeat")
+  | 'D' -> (
+      match fields (next c) with
+      | [ "shard"; s; "epoch"; e ] -> (
+          match expect_kw "tally" (next c) with
+          | [ n ] ->
+              let tally = restore_blob (take c (int_of "tally line count" n)) in
+              let quarantined = read_quarantined c in
+              Ok
+                (Shard_done
+                   { shard = int_of "shard" s; epoch = int_of "epoch" e; tally; quarantined })
+          | _ -> bad "malformed tally line")
+      | _ -> bad "malformed shard_done header")
+  | 'F' -> Ok Fetch_report
+  | 'G' -> Ok Goodbye
+  | t -> bad "unknown client tag %C" t
+
+let decode_client tag payload =
+  match decode_client tag payload with
+  | r -> r
+  | exception Bad msg -> Error msg
+
+(* -- server messages ---------------------------------------------------- *)
+
+let encode_server = function
+  | Welcome { version } -> ('W', Printf.sprintf "version %d\n" version)
+  | Assign { shard; epoch; start; len } ->
+      ('A', Printf.sprintf "%d %d %d %d\n" shard epoch start len)
+  | No_work { finished } -> ('N', if finished then "finished\n" else "wait\n")
+  | Ack { accepted; reason } ->
+      ('K', Printf.sprintf "%s %s\n" (if accepted then "ok" else "no") (one_line reason))
+  | Report { shards; quarantined; elapsed_s } ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf (Printf.sprintf "elapsed %h\n" elapsed_s);
+      Buffer.add_string buf (Printf.sprintf "shards %d\n" (List.length shards));
+      List.iter (fun (i, blob) -> emit_blob buf (Printf.sprintf "shard %d" i) blob) shards;
+      emit_quarantined buf quarantined;
+      ('P', Buffer.contents buf)
+  | Report_pending -> ('Y', "")
+  | Reject { reason } -> ('X', one_line reason ^ "\n")
+
+let decode_server tag payload =
+  let c = { rest = lines_of payload } in
+  match tag with
+  | 'W' -> (
+      match expect_kw "version" (next c) with
+      | [ v ] -> Ok (Welcome { version = int_of "version" v })
+      | _ -> bad "malformed version line")
+  | 'A' -> (
+      match fields (next c) with
+      | [ s; e; st; l ] ->
+          Ok
+            (Assign
+               {
+                 shard = int_of "shard" s;
+                 epoch = int_of "epoch" e;
+                 start = int_of "start" st;
+                 len = int_of "len" l;
+               })
+      | _ -> bad "malformed assign")
+  | 'N' -> (
+      match next c with
+      | "finished" -> Ok (No_work { finished = true })
+      | "wait" -> Ok (No_work { finished = false })
+      | l -> bad "malformed no_work %S" l)
+  | 'K' -> (
+      match fields (next c) with
+      | verdict :: reason ->
+          Ok (Ack { accepted = verdict = "ok"; reason = String.concat " " reason })
+      | [] -> bad "malformed ack")
+  | 'P' -> (
+      match expect_kw "elapsed" (next c) with
+      | [ e ] -> (
+          let elapsed_s = float_of "elapsed" e in
+          match expect_kw "shards" (next c) with
+          | [ n ] ->
+              let shards =
+                List.init (int_of "shard count" n) (fun _ ->
+                    match fields (next c) with
+                    | [ "shard"; i; lines ] ->
+                        ( int_of "shard id" i,
+                          restore_blob (take c (int_of "shard line count" lines)) )
+                    | _ -> bad "malformed shard header")
+              in
+              let quarantined = read_quarantined c in
+              Ok (Report { shards; quarantined; elapsed_s })
+          | _ -> bad "malformed shards line")
+      | _ -> bad "malformed elapsed line")
+  | 'Y' -> Ok Report_pending
+  | 'X' -> Ok (Reject { reason = String.concat " " (fields (next c)) })
+  | t -> bad "unknown server tag %C" t
+
+let decode_server tag payload =
+  match decode_server tag payload with
+  | r -> r
+  | exception Bad msg -> Error msg

@@ -1,0 +1,65 @@
+(** Typed messages of the coordinator/worker protocol and their
+    (tag byte, payload) codec over {!Wire} frames.
+
+    The protocol is versioned: a {!Hello} carrying a different
+    {!version}, or a campaign fingerprint the coordinator does not
+    recognise, is answered with {!Reject} and the connection is closed.
+    Tally snapshots travel as verbatim [Ssf.Tally.to_string] blobs and
+    quarantine entries as [Campaign.quarantine_entry_to_string] lines —
+    the same serializers the durable checkpoint uses, so shard state is
+    bit-exact across process boundaries. *)
+
+open Fmc
+
+val version : int
+
+type client_msg =
+  | Hello of { version : int; worker : string; fingerprint : string }
+      (** must be the first message on every connection *)
+  | Request_shard
+  | Heartbeat of { shard : int; epoch : int; samples_done : int }
+      (** renews the lease; answered with {!Ack} — [accepted = false]
+          means the lease was lost and the worker must abandon the
+          shard *)
+  | Shard_done of {
+      shard : int;
+      epoch : int;
+      tally : string;  (** [Ssf.Tally.to_string] of the shard snapshot *)
+      quarantined : Campaign.quarantine_entry list;
+    }
+  | Fetch_report
+  | Goodbye
+
+type server_msg =
+  | Welcome of { version : int }
+  | Assign of { shard : int; epoch : int; start : int; len : int }
+  | No_work of { finished : bool }
+      (** [finished]: the campaign is complete; otherwise every remaining
+          shard is leased out — retry after a delay *)
+  | Ack of { accepted : bool; reason : string }
+  | Report of {
+      shards : (int * string) list;
+          (** [(shard id, tally blob)] in ascending shard order *)
+      quarantined : Campaign.quarantine_entry list;
+      elapsed_s : float;
+    }
+  | Report_pending  (** campaign not finished yet — poll again *)
+  | Reject of { reason : string }
+
+val fingerprint :
+  strategy:string ->
+  benchmark:string ->
+  samples:int ->
+  seed:int ->
+  shard_size:int ->
+  sample_budget:int option ->
+  string
+(** The campaign identity compared on {!Hello}: every parameter that
+    must agree between coordinator and worker for the shard results to
+    be meaningful (the sample plan, the seed, and the evaluation knobs
+    that change per-sample outcomes). Includes the protocol version. *)
+
+val encode_client : client_msg -> char * string
+val decode_client : char -> string -> (client_msg, string) result
+val encode_server : server_msg -> char * string
+val decode_server : char -> string -> (server_msg, string) result

@@ -1,0 +1,121 @@
+(* Byte-level transport for the distributed campaign service: address
+   parsing/listening/connecting plus the length-prefixed frame codec.
+   Everything above this layer deals in (tag, payload) pairs; everything
+   below is Unix. *)
+
+exception Closed
+
+(* A frame is 4 bytes of big-endian payload length, 1 tag byte, then the
+   payload. The length covers the payload only. The cap is far above any
+   legitimate message (the largest frames carry tally snapshots, tens of
+   kilobytes) and exists so a corrupt or hostile length word cannot make
+   us allocate gigabytes. *)
+let max_frame = 64 * 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  on_sent : int -> unit;
+  on_recv : int -> unit;
+}
+
+let ignore_count (_ : int) = ()
+
+let conn ?(on_sent = ignore_count) ?(on_recv = ignore_count) fd =
+  { fd; on_sent; on_recv }
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let rec read_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.read fd buf off len in
+    if n = 0 then raise Closed;
+    read_all fd buf (off + n) (len - n)
+  end
+
+let write_frame t ~tag payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Wire.write_frame: oversized frame";
+  let buf = Bytes.create (5 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.set buf 4 tag;
+  Bytes.blit_string payload 0 buf 5 len;
+  write_all t.fd buf 0 (Bytes.length buf);
+  t.on_sent (Bytes.length buf)
+
+let read_frame t =
+  let header = Bytes.create 5 in
+  read_all t.fd header 0 5;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 || len > max_frame then raise Closed;
+  let tag = Bytes.get header 4 in
+  let payload = Bytes.create len in
+  read_all t.fd payload 0 len;
+  t.on_recv (5 + len);
+  (tag, Bytes.unsafe_to_string payload)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* -- addresses ---------------------------------------------------------- *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: expected HOST:PORT or unix:PATH" s)
+  | Some i ->
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if scheme = "unix" then
+        if rest = "" then Error "bad address: empty unix socket path"
+        else Ok (Unix_path rest)
+      else begin
+        match int_of_string_opt rest with
+        | Some port when port > 0 && port < 65536 -> Ok (Tcp (scheme, port))
+        | _ -> Error (Printf.sprintf "bad address %S: invalid port %S" s rest)
+      end
+
+let addr_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Unix_path path -> "unix:" ^ path
+
+let sockaddr_of = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let listen addr =
+  let domain = match addr with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true);
+  Unix.bind sock (sockaddr_of addr);
+  Unix.listen sock 16;
+  sock
+
+let connect ?(attempts = 1) ?(delay_s = 0.5) addr =
+  let domain = match addr with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET in
+  let rec go n =
+    let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (sockaddr_of addr) with
+    | () -> sock
+    | exception e ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        if n >= attempts then raise e
+        else begin
+          Unix.sleepf delay_s;
+          go (n + 1)
+        end
+  in
+  go 1

@@ -1,0 +1,45 @@
+(** Byte transport for the distributed campaign service (DESIGN.md §10).
+
+    A frame is [4-byte big-endian payload length][1 tag byte][payload].
+    The tag identifies the message ({!Protocol} owns the tag space); the
+    payload is an opaque string. Length words above {!max_frame} tear the
+    connection down rather than allocating attacker-controlled amounts. *)
+
+exception Closed
+(** Peer closed the connection (EOF mid-frame counts) or sent a frame
+    violating the length cap. *)
+
+val max_frame : int
+
+type conn
+
+val conn : ?on_sent:(int -> unit) -> ?on_recv:(int -> unit) -> Unix.file_descr -> conn
+(** Wrap a connected socket. [on_sent]/[on_recv] observe the exact wire
+    byte counts (header included) of each frame — the hook the metrics
+    counters ([fmc_dist_bytes_sent_total] / [..._received_total]) hang
+    off. *)
+
+val write_frame : conn -> tag:char -> string -> unit
+val read_frame : conn -> char * string
+val close : conn -> unit
+
+(** {2 Addresses} *)
+
+type addr =
+  | Tcp of string * int
+  | Unix_path of string  (** a filesystem Unix-domain socket *)
+
+val parse_addr : string -> (addr, string) result
+(** ["HOST:PORT"] or ["unix:PATH"]. *)
+
+val addr_to_string : addr -> string
+(** Inverse of {!parse_addr}. *)
+
+val listen : addr -> Unix.file_descr
+(** Bound, listening socket. A stale Unix socket path is unlinked first;
+    TCP sockets get [SO_REUSEADDR]. *)
+
+val connect : ?attempts:int -> ?delay_s:float -> addr -> Unix.file_descr
+(** Connect, retrying up to [attempts] times (default 1) [delay_s] apart
+    (default 0.5) — lets a worker start before its coordinator is
+    listening. Raises the last connection error. *)

@@ -1,0 +1,154 @@
+(* The distributed campaign worker ([faultmc worker]): connect, lease
+   shards, run them on the local engine, stream results back.
+
+   Heartbeats ride the run_shard on_sample hook (every heartbeat_every
+   samples), synchronously over the protocol connection; a negative ack
+   means the coordinator expired our lease, so the shard is abandoned
+   mid-run by raising Lease_lost out of the hook — run_shard invokes the
+   hook outside its crash guard precisely so this aborts the shard
+   instead of quarantining a sample. The abandoned work is harmless: the
+   re-issued lease re-runs the shard from its substream and produces the
+   bit-identical snapshot. *)
+
+open Fmc
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+
+exception Lease_lost
+exception Rejected of string
+
+type config = {
+  addr : Wire.addr;
+  worker_name : string;
+  heartbeat_every : int;  (* samples between heartbeats; 0 disables *)
+  retry_delay_s : float;  (* backoff when every shard is leased out *)
+  connect_attempts : int;
+}
+
+let default_config ~addr ~worker_name =
+  { addr; worker_name; heartbeat_every = 100; retry_delay_s = 0.5; connect_attempts = 20 }
+
+let protocol_error what = failwith ("protocol error: unexpected reply to " ^ what)
+
+let wire_conn (obs : Obs.t) fd =
+  match obs.Obs.metrics with
+  | None -> Wire.conn fd
+  | Some r ->
+      let sent = Metrics.counter r ~help:"protocol bytes sent" "fmc_dist_bytes_sent_total" in
+      let received =
+        Metrics.counter r ~help:"protocol bytes received" "fmc_dist_bytes_received_total"
+      in
+      Wire.conn fd
+        ~on_sent:(fun n -> Metrics.add sent (float_of_int n))
+        ~on_recv:(fun n -> Metrics.add received (float_of_int n))
+
+let send conn msg =
+  let tag, payload = Protocol.encode_client msg in
+  Wire.write_frame conn ~tag payload
+
+let recv conn what =
+  let tag, payload = Wire.read_frame conn in
+  match Protocol.decode_server tag payload with
+  | Ok msg -> msg
+  | Error msg -> failwith ("protocol error: " ^ msg ^ " (reply to " ^ what ^ ")")
+
+let handshake conn ~worker ~fingerprint =
+  send conn (Protocol.Hello { version = Protocol.version; worker; fingerprint });
+  match recv conn "hello" with
+  | Protocol.Welcome _ -> ()
+  | Protocol.Reject { reason } -> raise (Rejected reason)
+  | _ -> protocol_error "hello"
+
+let connect ?(obs = Obs.disabled) config ~fingerprint =
+  let fd =
+    Wire.connect ~attempts:config.connect_attempts ~delay_s:config.retry_delay_s config.addr
+  in
+  let conn = wire_conn obs fd in
+  (match handshake conn ~worker:config.worker_name ~fingerprint with
+  | () -> ()
+  | exception e ->
+      Wire.close conn;
+      raise e);
+  conn
+
+let run ?(obs = Obs.disabled) ?causal ?sample_budget config ~fingerprint engine prepared
+    ~seed =
+  let conn = connect ~obs config ~fingerprint in
+  let completed = ref 0 in
+  let run_one (a : Protocol.server_msg) =
+    match a with
+    | Protocol.Assign { shard; epoch; start; len } ->
+        let on_sample i =
+          if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
+            send conn (Protocol.Heartbeat { shard; epoch; samples_done = i });
+            match recv conn "heartbeat" with
+            | Protocol.Ack { accepted = true; _ } -> ()
+            | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
+            | _ -> protocol_error "heartbeat"
+          end
+        in
+        (match
+           Campaign.run_shard ~obs ?causal ?sample_budget ~on_sample engine prepared ~seed
+             ~shard ~start ~len
+         with
+        | sh ->
+            send conn
+              (Protocol.Shard_done
+                 {
+                   shard;
+                   epoch;
+                   tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
+                   quarantined = sh.Campaign.sh_quarantined;
+                 });
+            (match recv conn "shard_done" with
+            | Protocol.Ack { accepted; _ } -> if accepted then incr completed
+            | _ -> protocol_error "shard_done")
+        | exception Lease_lost -> ());
+        `Continue
+    | Protocol.No_work { finished = true } -> `Finished
+    | Protocol.No_work { finished = false } ->
+        Unix.sleepf config.retry_delay_s;
+        `Continue
+    | Protocol.Reject { reason } -> raise (Rejected reason)
+    | _ -> protocol_error "request_shard"
+  in
+  Fun.protect
+    ~finally:(fun () -> Wire.close conn)
+    (fun () ->
+      let rec loop () =
+        send conn Protocol.Request_shard;
+        match run_one (recv conn "request_shard") with
+        | `Continue -> loop ()
+        | `Finished -> send conn Protocol.Goodbye
+      in
+      loop ());
+  !completed
+
+let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.5) ?(timeout_s = 600.) config
+    ~fingerprint =
+  match connect ~obs config ~fingerprint with
+  | exception Rejected reason -> Error ("rejected by coordinator: " ^ reason)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("cannot reach coordinator: " ^ Unix.error_message e)
+  | conn ->
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      Fun.protect
+        ~finally:(fun () -> Wire.close conn)
+        (fun () ->
+          let rec poll () =
+            send conn Protocol.Fetch_report;
+            match recv conn "fetch_report" with
+            | Protocol.Report { shards; quarantined; elapsed_s } ->
+                (try send conn Protocol.Goodbye with Wire.Closed | Unix.Unix_error _ -> ());
+                Ok (shards, quarantined, elapsed_s)
+            | Protocol.Report_pending ->
+                if Unix.gettimeofday () > deadline then
+                  Error "timed out waiting for the campaign to finish"
+                else begin
+                  Unix.sleepf poll_s;
+                  poll ()
+                end
+            | Protocol.Reject { reason } -> Error ("rejected: " ^ reason)
+            | _ -> Error "protocol error: unexpected reply to fetch_report"
+          in
+          try poll () with Wire.Closed -> Error "coordinator closed the connection")

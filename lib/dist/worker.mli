@@ -1,0 +1,58 @@
+(** The distributed campaign worker ([faultmc worker]) and the report
+    client ([faultmc evaluate --connect]).
+
+    A worker builds its engine/prepared sampler locally (the same way a
+    local campaign would), connects, and loops: lease a shard, run it
+    under the shard's RNG substream via {!Campaign.run_shard}, stream
+    the tally snapshot + quarantine entries back. Heartbeats are sent
+    from the per-sample hook; a negatively-acked heartbeat (lost lease)
+    abandons the shard mid-run — the re-issued lease reproduces the
+    bit-identical result elsewhere. *)
+
+open Fmc
+
+exception Rejected of string
+(** The coordinator refused the connection (protocol version or campaign
+    fingerprint mismatch). *)
+
+type config = {
+  addr : Wire.addr;
+  worker_name : string;
+  heartbeat_every : int;  (** samples between heartbeats; 0 disables *)
+  retry_delay_s : float;  (** backoff when all shards are leased out *)
+  connect_attempts : int;  (** connect retries (worker may start first) *)
+}
+
+val default_config : addr:Wire.addr -> worker_name:string -> config
+(** heartbeat every 100 samples, 0.5s retry, 20 connect attempts. *)
+
+val run :
+  ?obs:Fmc_obs.Obs.t ->
+  ?causal:bool ->
+  ?sample_budget:int ->
+  config ->
+  fingerprint:string ->
+  Engine.t ->
+  Sampler.prepared ->
+  seed:int ->
+  int
+(** Work until the coordinator reports the campaign finished; returns
+    the number of shard results this worker got accepted. [causal],
+    [sample_budget] and [seed] must match the fingerprint's campaign
+    (the fingerprint encodes them — a mismatch is rejected at hello).
+    Under [obs], counts wire bytes and inherits {!Campaign.run_shard}'s
+    spans and tally metrics. Raises {!Rejected} or [Failure] on protocol
+    errors, [Unix.Unix_error] if the coordinator is unreachable. *)
+
+val fetch_report :
+  ?obs:Fmc_obs.Obs.t ->
+  ?poll_s:float ->
+  ?timeout_s:float ->
+  config ->
+  fingerprint:string ->
+  ((int * string) list * Campaign.quarantine_entry list * float, string) result
+(** Poll the coordinator (every [poll_s], default 0.5s, up to
+    [timeout_s], default 600) until the campaign finishes; returns the
+    per-shard tally blobs (ascending shard id), the quarantine log
+    (sorted by global sample index) and the coordinator's elapsed
+    seconds — feed the blobs to {!Merge.report_of_blobs}. *)

@@ -115,6 +115,8 @@ let snapshot reg =
     reg []
   |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
 
+let find (s : snapshot) name = Option.map snd (List.assoc_opt name s)
+
 let merge_value name a b =
   match (a, b) with
   | Counter x, Counter y -> Counter (x +. y)

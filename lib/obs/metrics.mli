@@ -56,6 +56,11 @@ type snapshot = (string * (string * value)) list
 val snapshot : registry -> snapshot
 (** An immutable copy of the registry's current state. *)
 
+val find : snapshot -> string -> value option
+(** Look up the named metric in a snapshot. Convenience for tests and
+    tooling that assert on a single series without walking the whole
+    association list. *)
+
 val merge : snapshot -> snapshot -> snapshot
 (** Pointwise combination: counters add, gauges keep the max, histograms
     add element-wise (same buckets required), help strings keep the

@@ -18,6 +18,23 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+(* Shard substreams space their start states along a second Weyl sequence
+   (a different odd constant than the per-draw gamma) and scramble with
+   mix64, so shard k's stream is not a shifted window of shard j's: the
+   start states land pseudo-randomly in the 2^64 state ring and the per-
+   draw increment walks each stream from there. Shards of one campaign
+   collide only if two start states come within (draw count x gamma) of
+   each other, which for realistic campaign sizes has probability
+   ~ n_draws / 2^64 per pair. *)
+let shard_gamma = 0xd1342543de82ef95L
+
+let substream ~seed ~shard =
+  if shard < 0 then invalid_arg "Rng.substream: negative shard";
+  let start =
+    mix64 (Int64.add (mix64 seed) (Int64.mul shard_gamma (Int64.of_int (shard + 1))))
+  in
+  { state = start }
+
 let copy t = { state = t.state }
 
 let state t = t.state

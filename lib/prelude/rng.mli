@@ -16,6 +16,16 @@ val split : t -> t
 
 val copy : t -> t
 
+val substream : seed:int64 -> shard:int -> t
+(** [substream ~seed ~shard] is the deterministic generator of shard
+    [shard] of campaign [seed]: shard start states are spaced along a
+    second Weyl sequence and mix64-scrambled, so the per-shard streams are
+    pairwise disjoint with overwhelming probability over any realistic
+    draw count. A distributed campaign gives each contiguous sample-index
+    shard its own substream; which process evaluates the shard (or how
+    often a lease is re-issued) cannot change the draws. Raises
+    [Invalid_argument] on a negative [shard]. *)
+
 val state : t -> int64
 (** The full generator state (SplitMix64 carries a single 64-bit word).
     Together with {!of_state} this makes the stream durably snapshottable:

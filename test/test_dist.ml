@@ -1,0 +1,492 @@
+(* Tests for the distributed campaign service: RNG substream isolation,
+   the shared tally/quarantine wire codecs, lease epoch fencing
+   (exactly-once), coordinator checkpointing, permutation-invariant
+   merging, and a full loopback campaign over a Unix socket with a
+   worker dying mid-run — whose merged report must be bit-identical to
+   the single-process sharded reference. *)
+
+module Programs = Fmc_isa.Programs
+module Rng = Fmc_prelude.Rng
+open Fmc
+open Fmc_dist
+
+let ctx = lazy (Experiments.context ())
+let engine () = Experiments.engine_for (Lazy.force ctx) Programs.illegal_write
+
+let prepare strategy =
+  let e = engine () in
+  Sampler.prepare ~static_vuln:(Engine.static_vulnerable e) strategy
+    (Experiments.default_attack (Lazy.force ctx))
+    (Experiments.precharac (Lazy.force ctx))
+    ~placement:(Engine.placement e)
+
+let exact = Alcotest.(check (float 0.))
+
+let check_reports_equal (a : Ssf.report) (b : Ssf.report) =
+  Alcotest.(check string) "strategy" a.Ssf.strategy b.Ssf.strategy;
+  Alcotest.(check int) "n" a.Ssf.n b.Ssf.n;
+  exact "ssf" a.Ssf.ssf b.Ssf.ssf;
+  exact "ssf_upper" a.Ssf.ssf_upper b.Ssf.ssf_upper;
+  exact "variance" a.Ssf.variance b.Ssf.variance;
+  exact "ess" a.Ssf.ess b.Ssf.ess;
+  exact "sum_w" a.Ssf.sum_w b.Ssf.sum_w;
+  exact "sum_w2" a.Ssf.sum_w2 b.Ssf.sum_w2;
+  Alcotest.(check int) "successes" a.Ssf.successes b.Ssf.successes;
+  Alcotest.(check int) "masked" a.Ssf.outcomes.Ssf.masked b.Ssf.outcomes.Ssf.masked;
+  Alcotest.(check int) "mem_only" a.Ssf.outcomes.Ssf.mem_only b.Ssf.outcomes.Ssf.mem_only;
+  Alcotest.(check int) "resumed" a.Ssf.outcomes.Ssf.resumed b.Ssf.outcomes.Ssf.resumed;
+  Alcotest.(check int) "quarantined" a.Ssf.outcomes.Ssf.quarantined
+    b.Ssf.outcomes.Ssf.quarantined;
+  Alcotest.(check int) "by_direct" a.Ssf.success_by_direct b.Ssf.success_by_direct;
+  Alcotest.(check int) "by_comb" a.Ssf.success_by_comb b.Ssf.success_by_comb;
+  Alcotest.(check (list (pair int (float 0.)))) "trace" a.Ssf.trace b.Ssf.trace;
+  Alcotest.(check (list (pair (pair string int) (float 0.))))
+    "contributions" a.Ssf.contributions b.Ssf.contributions
+
+(* ------------------------------------------------------------------ *)
+(* RNG substreams *)
+
+let test_substream_deterministic () =
+  let a = Rng.substream ~seed:42L ~shard:3 in
+  let b = Rng.substream ~seed:42L ~shard:3 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same draw" (Rng.int64 a) (Rng.int64 b)
+  done;
+  let c = Rng.substream ~seed:42L ~shard:4 in
+  Alcotest.(check bool) "different shard diverges" true (Rng.int64 a <> Rng.int64 c)
+
+let test_substream_disjoint () =
+  (* Pairwise disjoint over 10^6 draws across 4 shards: SplitMix64 with
+     distinct start states collides with probability ~ (10^6)^2 / 2^64
+     per pair — effectively never; a collision here means the substream
+     spacing is broken. *)
+  let seen = Hashtbl.create (1 lsl 20) in
+  let collisions = ref 0 in
+  for shard = 0 to 3 do
+    let rng = Rng.substream ~seed:7L ~shard in
+    for _ = 1 to 250_000 do
+      let v = Rng.int64 rng in
+      (match Hashtbl.find_opt seen v with
+      | Some other when other <> shard -> incr collisions
+      | _ -> ());
+      Hashtbl.replace seen v shard
+    done
+  done;
+  Alcotest.(check int) "no cross-shard collisions" 0 !collisions
+
+(* ------------------------------------------------------------------ *)
+(* Shared codecs *)
+
+let sample_shard () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  Campaign.run_shard e prep ~seed:11 ~shard:1 ~start:40 ~len:40
+
+let test_tally_codec_roundtrip () =
+  let sh = sample_shard () in
+  let s = sh.Campaign.sh_snapshot in
+  match Ssf.Tally.of_string (Ssf.Tally.to_string s) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok s' ->
+      Alcotest.(check bool) "snapshot round-trips bit-exactly" true (s = s');
+      (* and the decoded snapshot reports identically *)
+      check_reports_equal
+        (Campaign.shard_report ~strategy:"mixed" s)
+        (Campaign.shard_report ~strategy:"mixed" s')
+
+let quarantine_fixture =
+  {
+    Campaign.q_index = 123;
+    q_disposition = Campaign.Crashed "Failure(\"boom with spaces\nand a newline\")";
+    q_stratum = Sampler.Vulnerable;
+    q_t = 7;
+    q_center = 991;
+    q_radius = 3.25;
+    q_width = 110.5;
+    q_time_frac = 0.625;
+    q_weight = 1.75e-3;
+  }
+
+let test_quarantine_codec_roundtrip () =
+  let check e =
+    match Campaign.quarantine_entry_of_string (Campaign.quarantine_entry_to_string e) with
+    | Error msg -> Alcotest.failf "decode failed: %s" msg
+    | Ok e' ->
+        Alcotest.(check int) "index" e.Campaign.q_index e'.Campaign.q_index;
+        Alcotest.(check bool) "stratum" true (e.Campaign.q_stratum = e'.Campaign.q_stratum);
+        exact "weight" e.Campaign.q_weight e'.Campaign.q_weight;
+        exact "radius" e.Campaign.q_radius e'.Campaign.q_radius;
+        (match (e.Campaign.q_disposition, e'.Campaign.q_disposition) with
+        | Campaign.Timed_out, Campaign.Timed_out -> ()
+        | Campaign.Crashed m, Campaign.Crashed m' ->
+            (* newlines are flattened to spaces; everything else survives *)
+            Alcotest.(check string) "message"
+              (String.map (function '\n' -> ' ' | c -> c) m)
+              m'
+        | _ -> Alcotest.fail "disposition changed")
+  in
+  check quarantine_fixture;
+  check { quarantine_fixture with Campaign.q_disposition = Campaign.Timed_out }
+
+let test_protocol_roundtrip () =
+  let client_msgs =
+    [
+      Protocol.Hello { version = 1; worker = "w1"; fingerprint = "v1 strategy=mixed seed=7" };
+      Protocol.Request_shard;
+      Protocol.Heartbeat { shard = 3; epoch = 2; samples_done = 40 };
+      Protocol.Shard_done
+        {
+          shard = 3;
+          epoch = 2;
+          tally = "line one\nline two\n";
+          quarantined = [ quarantine_fixture ];
+        };
+      Protocol.Fetch_report;
+      Protocol.Goodbye;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let tag, payload = Protocol.encode_client m in
+      match Protocol.decode_client tag payload with
+      | Error msg -> Alcotest.failf "client decode failed: %s" msg
+      | Ok m' -> (
+          (* the quarantine message flattens newlines in crash payloads;
+             compare everything else structurally *)
+          match (m, m') with
+          | Protocol.Shard_done a, Protocol.Shard_done b ->
+              Alcotest.(check int) "shard" a.shard b.shard;
+              Alcotest.(check int) "epoch" a.epoch b.epoch;
+              Alcotest.(check string) "tally" a.tally b.tally;
+              Alcotest.(check int) "nq" (List.length a.quarantined) (List.length b.quarantined)
+          | _ -> Alcotest.(check bool) "client msg round-trips" true (m = m')))
+    client_msgs;
+  let server_msgs =
+    [
+      Protocol.Welcome { version = 1 };
+      Protocol.Assign { shard = 0; epoch = 1; start = 0; len = 100 };
+      Protocol.No_work { finished = true };
+      Protocol.No_work { finished = false };
+      Protocol.Ack { accepted = false; reason = "stale epoch" };
+      Protocol.Report
+        { shards = [ (0, "a\nb\n"); (1, "c\n") ]; quarantined = []; elapsed_s = 1.5 };
+      Protocol.Report_pending;
+      Protocol.Reject { reason = "fingerprint mismatch" };
+    ]
+  in
+  List.iter
+    (fun m ->
+      let tag, payload = Protocol.encode_server m in
+      match Protocol.decode_server tag payload with
+      | Error msg -> Alcotest.failf "server decode failed: %s" msg
+      | Ok m' -> Alcotest.(check bool) "server msg round-trips" true (m = m'))
+    server_msgs
+
+(* ------------------------------------------------------------------ *)
+(* Lease table *)
+
+let plan3 = [| (0, 10); (10, 10); (20, 5) |]
+
+let test_lease_lifecycle () =
+  let t = Lease.create ~plan:plan3 ~ttl:10. in
+  Alcotest.(check int) "total" 3 (Lease.total t);
+  (match Lease.acquire t ~now:0. ~worker:"a" with
+  | `Assign { Lease.shard = 0; epoch = 1; start = 0; len = 10 } -> ()
+  | _ -> Alcotest.fail "expected shard 0 epoch 1");
+  Alcotest.(check int) "in flight" 1 (Lease.in_flight t);
+  Alcotest.(check (option string)) "holder" (Some "a") (Lease.holder t ~shard:0);
+  (* heartbeat extends the deadline *)
+  Alcotest.(check bool) "heartbeat ok" true (Lease.heartbeat t ~now:5. ~shard:0 ~epoch:1 = `Ok);
+  Alcotest.(check int) "no expiry before deadline" 0 (Lease.sweep t ~now:12.);
+  Alcotest.(check int) "expiry after deadline" 1 (Lease.sweep t ~now:16.);
+  Alcotest.(check bool) "late heartbeat stale" true
+    (Lease.heartbeat t ~now:16. ~shard:0 ~epoch:1 = `Stale);
+  (* the shard comes back under a bumped epoch *)
+  (match Lease.acquire t ~now:16. ~worker:"b" with
+  | `Assign { Lease.shard = 0; epoch = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected shard 0 epoch 2");
+  Alcotest.(check bool) "stale complete fenced" true
+    (Lease.complete t ~shard:0 ~epoch:1 = `Stale);
+  Alcotest.(check bool) "current complete accepted" true
+    (Lease.complete t ~shard:0 ~epoch:2 = `Accepted);
+  Alcotest.(check bool) "re-delivery is duplicate" true
+    (Lease.complete t ~shard:0 ~epoch:2 = `Duplicate);
+  Alcotest.(check bool) "unknown shard" true (Lease.complete t ~shard:99 ~epoch:1 = `Unknown);
+  (* drain the rest *)
+  List.iter
+    (fun _ ->
+      match Lease.acquire t ~now:20. ~worker:"b" with
+      | `Assign { Lease.shard; epoch; _ } ->
+          Alcotest.(check bool) "accepted" true (Lease.complete t ~shard ~epoch = `Accepted)
+      | _ -> Alcotest.fail "expected an assignment")
+    [ (); () ];
+  Alcotest.(check bool) "finished" true (Lease.finished t);
+  Alcotest.(check bool) "acquire after finish" true
+    (Lease.acquire t ~now:21. ~worker:"c" = `Finished)
+
+let test_lease_wait_when_all_leased () =
+  let t = Lease.create ~plan:[| (0, 5) |] ~ttl:10. in
+  (match Lease.acquire t ~now:0. ~worker:"a" with `Assign _ -> () | _ -> Alcotest.fail "assign");
+  Alcotest.(check bool) "second worker waits" true (Lease.acquire t ~now:1. ~worker:"b" = `Wait)
+
+(* Epoch fencing end to end over real shard results: the stale result is
+   rejected, the shard re-runs, and the merged report covers exactly the
+   requested sample count — no double counting, no holes. *)
+let test_fencing_exactly_once () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 120 and shard_size = 30 and seed = 5 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let lease = Lease.create ~plan ~ttl:1. in
+  let blobs = Hashtbl.create 8 in
+  let run_one shard =
+    let start, len = plan.(shard) in
+    let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+    Ssf.Tally.to_string sh.Campaign.sh_snapshot
+  in
+  (* worker a leases shard 0 and dies *)
+  (match Lease.acquire lease ~now:0. ~worker:"a" with
+  | `Assign { Lease.shard = 0; epoch = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected shard 0");
+  Alcotest.(check int) "lease expires" 1 (Lease.sweep lease ~now:2.);
+  (* worker b drains everything under live epochs *)
+  let rec drain now =
+    match Lease.acquire lease ~now ~worker:"b" with
+    | `Assign { Lease.shard; epoch; _ } ->
+        let blob = run_one shard in
+        Alcotest.(check bool) "accepted" true (Lease.complete lease ~shard ~epoch = `Accepted);
+        Hashtbl.replace blobs shard blob;
+        drain (now +. 0.1)
+    | `Finished -> ()
+    | `Wait -> Alcotest.fail "unexpected wait"
+  in
+  drain 2.;
+  (* worker a's zombie result arrives after the fact: fenced *)
+  Alcotest.(check bool) "zombie fenced" true (Lease.complete lease ~shard:0 ~epoch:1 = `Stale);
+  Alcotest.(check int) "every shard exactly once" (Array.length plan) (Lease.completed lease);
+  let shards = Hashtbl.fold (fun i b acc -> (i, b) :: acc) blobs [] in
+  match Merge.report_of_blobs ~strategy:(Sampler.name prep) shards with
+  | Error msg -> Alcotest.failf "merge failed: %s" msg
+  | Ok report ->
+      Alcotest.(check int) "report covers every requested sample" samples report.Ssf.n;
+      let reference = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+      check_reports_equal reference.Campaign.report report
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator checkpoint *)
+
+let test_ckpt_roundtrip () =
+  let path = Filename.temp_file "fmc-dist" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let state =
+        {
+          Ckpt.st_fingerprint = "v1 strategy=mixed benchmark=write samples=100 seed=7";
+          st_shards = [ (0, "alpha\nbeta\n"); (2, "gamma\n") ];
+          st_quarantined = [ quarantine_fixture ];
+        }
+      in
+      Ckpt.save ~path state;
+      match Ckpt.load ~path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok s ->
+          Alcotest.(check string) "fingerprint" state.Ckpt.st_fingerprint s.Ckpt.st_fingerprint;
+          Alcotest.(check (list (pair int string))) "shards" state.Ckpt.st_shards s.Ckpt.st_shards;
+          Alcotest.(check int) "quarantine count" 1 (List.length s.Ckpt.st_quarantined))
+
+(* ------------------------------------------------------------------ *)
+(* Permutation-invariant merging *)
+
+let test_merge_order_invariant () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 120 and shard_size = 30 and seed = 9 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let blobs =
+    Array.to_list
+      (Array.mapi
+         (fun shard (start, len) ->
+           let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+           (shard, Ssf.Tally.to_string sh.Campaign.sh_snapshot))
+         plan)
+  in
+  let merged order =
+    match Merge.report_of_blobs ~strategy:(Sampler.name prep) order with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "merge failed: %s" msg
+  in
+  let reference = merged blobs in
+  check_reports_equal reference (merged (List.rev blobs));
+  (match blobs with
+  | a :: b :: rest -> check_reports_equal reference (merged (b :: (rest @ [ a ])))
+  | _ -> Alcotest.fail "expected several shards");
+  (* and the sharded single-process runner is the same computation *)
+  let local = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+  check_reports_equal local.Campaign.report reference
+
+(* ------------------------------------------------------------------ *)
+(* Loopback campaign over a Unix socket *)
+
+let send conn msg =
+  let tag, payload = Protocol.encode_client msg in
+  Wire.write_frame conn ~tag payload
+
+let recv conn =
+  let tag, payload = Wire.read_frame conn in
+  match Protocol.decode_server tag payload with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "server sent garbage: %s" msg
+
+let test_loopback_campaign_with_dead_worker () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 120 and shard_size = 30 and seed = 5 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let fingerprint =
+    Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
+      ~shard_size ~sample_budget:None
+  in
+  let sock_path = Filename.temp_file "fmc-dist" ".sock" in
+  Sys.remove sock_path;
+  let ckpt_path = Filename.temp_file "fmc-dist" ".ckpt" in
+  Sys.remove ckpt_path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ sock_path; ckpt_path ])
+    (fun () ->
+      let addr = Wire.Unix_path sock_path in
+      let config =
+        {
+          (Coordinator.default_config addr) with
+          Coordinator.ttl_s = 1.0;
+          linger_s = 1.5;
+          checkpoint_path = Some ckpt_path;
+        }
+      in
+      let reg = Fmc_obs.Metrics.create () in
+      let obs = Fmc_obs.Obs.create ~metrics:reg () in
+      let outcome = ref None in
+      let server =
+        Thread.create
+          (fun () -> outcome := Some (Coordinator.serve ~obs config ~fingerprint ~plan))
+          ()
+      in
+      (* A worker takes the first lease and dies without completing it:
+         connect, hello, lease, go silent past the TTL, then report the
+         (well-formed!) result under the now-fenced epoch. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn (Protocol.Hello { version = Protocol.version; worker = "dying"; fingerprint });
+      (match recv conn with
+      | Protocol.Welcome _ -> ()
+      | _ -> Alcotest.fail "expected welcome");
+      send conn Protocol.Request_shard;
+      let shard, epoch, start, len =
+        match recv conn with
+        | Protocol.Assign { shard; epoch; start; len } -> (shard, epoch, start, len)
+        | _ -> Alcotest.fail "expected an assignment"
+      in
+      Alcotest.(check int) "first lease epoch" 1 epoch;
+      let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+      let blob = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+      Thread.delay 1.6 (* past the TTL: the coordinator expires the lease *);
+      send conn (Protocol.Shard_done { shard; epoch; tally = blob; quarantined = [] });
+      (match recv conn with
+      | Protocol.Ack { accepted = false; _ } -> ()
+      | _ -> Alcotest.fail "zombie result must be fenced");
+      Wire.close conn;
+      (* A healthy worker finishes the campaign, re-running the orphaned
+         shard under its bumped epoch. *)
+      let wcfg =
+        {
+          (Worker.default_config ~addr ~worker_name:"healthy") with
+          Worker.heartbeat_every = 7;
+          retry_delay_s = 0.1;
+        }
+      in
+      let accepted = Worker.run wcfg ~fingerprint e prep ~seed in
+      Alcotest.(check int) "healthy worker ran every shard" (Array.length plan) accepted;
+      Thread.join server;
+      let oc = match !outcome with Some o -> o | None -> Alcotest.fail "no outcome" in
+      Alcotest.(check int) "all shard results" (Array.length plan)
+        (List.length oc.Coordinator.oc_shards);
+      Alcotest.(check int) "nothing quarantined" 0 (List.length oc.Coordinator.oc_quarantined);
+      let dist =
+        match Merge.report_of_blobs ~strategy:(Sampler.name prep) oc.Coordinator.oc_shards with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "merge failed: %s" msg
+      in
+      let reference = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+      check_reports_equal reference.Campaign.report dist;
+      (* Coordinator metrics recorded the failure story: one expired
+         lease, one fenced stale result, every shard completed. *)
+      let metric name =
+        match Fmc_obs.Metrics.find (Fmc_obs.Metrics.snapshot reg) name with
+        | Some (Fmc_obs.Metrics.Counter v) -> v
+        | _ -> Alcotest.failf "missing counter %s" name
+      in
+      Alcotest.(check bool) "lease expired" true (metric "fmc_dist_leases_expired_total" >= 1.);
+      Alcotest.(check bool) "stale result fenced" true
+        (metric "fmc_dist_stale_results_total" >= 1.);
+      exact "shards completed"
+        (float_of_int (Array.length plan))
+        (metric "fmc_dist_shards_completed_total");
+      (* The checkpoint now holds the whole campaign: a restarted
+         coordinator resumes finished and serves the same report. *)
+      let outcome2 = ref None in
+      let server2 =
+        Thread.create (fun () -> outcome2 := Some (Coordinator.serve config ~fingerprint ~plan)) ()
+      in
+      let fcfg = Worker.default_config ~addr ~worker_name:"report-client" in
+      (match Worker.fetch_report ~poll_s:0.05 ~timeout_s:10. fcfg ~fingerprint:"different" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fingerprint mismatch must be rejected");
+      (match Worker.fetch_report ~poll_s:0.05 ~timeout_s:10. fcfg ~fingerprint with
+      | Error msg -> Alcotest.failf "fetch failed: %s" msg
+      | Ok (shards, quarantined, _) ->
+          Alcotest.(check int) "resumed shards" (Array.length plan) (List.length shards);
+          Alcotest.(check int) "resumed quarantines" 0 (List.length quarantined);
+          let fetched =
+            match Merge.report_of_blobs ~strategy:(Sampler.name prep) shards with
+            | Ok r -> r
+            | Error msg -> Alcotest.failf "merge failed: %s" msg
+          in
+          check_reports_equal reference.Campaign.report fetched);
+      Thread.join server2;
+      match !outcome2 with
+      | Some o ->
+          Alcotest.(check int) "restart served from checkpoint" (Array.length plan)
+            (List.length o.Coordinator.oc_shards)
+      | None -> Alcotest.fail "no outcome from restarted coordinator")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "substream deterministic" `Quick test_substream_deterministic;
+          Alcotest.test_case "substreams disjoint" `Quick test_substream_disjoint;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "tally round-trip" `Quick test_tally_codec_roundtrip;
+          Alcotest.test_case "quarantine round-trip" `Quick test_quarantine_codec_roundtrip;
+          Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "lifecycle and fencing" `Quick test_lease_lifecycle;
+          Alcotest.test_case "wait when all leased" `Quick test_lease_wait_when_all_leased;
+          Alcotest.test_case "exactly-once accounting" `Quick test_fencing_exactly_once;
+        ] );
+      ("ckpt", [ Alcotest.test_case "save/load round-trip" `Quick test_ckpt_roundtrip ]);
+      ("merge", [ Alcotest.test_case "order invariant" `Quick test_merge_order_invariant ]);
+      ( "loopback",
+        [
+          Alcotest.test_case "dead worker, bit-exact merge" `Quick
+            test_loopback_campaign_with_dead_worker;
+        ] );
+    ]
