@@ -188,6 +188,88 @@ let shard_size_arg =
   in
   Arg.(value & opt int default_shard_size & info [ "shard-size" ] ~docv:"N" ~doc)
 
+(* Chaos harness plumbing (serve/worker): interpose the deterministic
+   fault-injection proxy on the campaign's transport. The hidden side of
+   the proxy always uses a private Unix-domain socket, so no ephemeral
+   TCP port needs picking. *)
+
+let chaos_plan_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-plan" ] ~docv:"PLAN"
+        ~doc:
+          (Printf.sprintf
+             "Run the %s behind the deterministic fault-injection proxy executing $(docv): either \
+              a plan file or inline clauses (e.g. \"bitflip p=0.02; drop p=0.01\"). See the chaos \
+              plan grammar in DESIGN.md."
+             cmd))
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the chaos proxy's fault decisions; the same (seed, plan) pair replays the \
+           same fault stream.")
+
+let chaos_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-log" ] ~docv:"FILE" ~doc:"Append one line per injected chaos fault to $(docv).")
+
+let load_chaos_plan spec =
+  let result =
+    if Sys.file_exists spec then Fmc_chaos.Plan.load ~path:spec else Fmc_chaos.Plan.parse spec
+  in
+  match result with
+  | Ok plan when not (Fmc_chaos.Plan.is_empty plan) -> plan
+  | Ok _ ->
+      Format.eprintf "faultmc: --chaos-plan %S contains no fault clauses@." spec;
+      exit 2
+  | Error msg ->
+      Format.eprintf "faultmc: bad chaos plan: %s@." msg;
+      exit 2
+
+(* A thread-safe line logger for the chaos event log (pump threads call
+   it concurrently); returns the sink and a close hook. *)
+let chaos_logger = function
+  | None -> ((fun _ -> ()), fun () -> ())
+  | Some path ->
+      let oc = open_out path in
+      let m = Mutex.create () in
+      let log line =
+        Mutex.lock m;
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock m
+      in
+      (log, fun () -> close_out_noerr oc)
+
+let chaos_socket_path prefix =
+  Filename.temp_file ("faultmc-" ^ prefix) ".sock"
+
+(* Start the proxy between [public] (where clients dial) and [upstream];
+   returns a stop hook that also reports the injected-fault tally. *)
+let start_chaos_proxy ~obs ~plan ~seed ~log ~close_log ~public ~upstream =
+  let proxy =
+    Fmc_chaos.Proxy.start ~obs ~on_event:log ~listen:public ~upstream ~plan
+      ~seed:(Int64.of_int seed) ()
+  in
+  fun () ->
+    Fmc_chaos.Proxy.stop proxy;
+    let tally = Fmc_chaos.Proxy.fault_counts proxy in
+    if tally <> [] then
+      Format.eprintf "chaos: %s over %d connection(s)@."
+        (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) tally))
+        (Fmc_chaos.Proxy.connections proxy)
+    else
+      Format.eprintf "chaos: no faults fired over %d connection(s)@."
+        (Fmc_chaos.Proxy.connections proxy);
+    close_log ()
+
 (* evaluate *)
 
 let evaluate_cmd =
@@ -231,8 +313,8 @@ let evaluate_cmd =
         in
         let config = Fmc_dist.Worker.default_config ~addr ~worker_name:"report-client" in
         (match Fmc_dist.Worker.fetch_report ~obs config ~fingerprint with
-        | Error msg ->
-            Format.eprintf "faultmc: %s@." msg;
+        | Error err ->
+            Format.eprintf "faultmc: %s@." (Fmc_dist.Worker.fetch_error_message err);
             exit 1
         | Ok (shards, quarantined, elapsed_s) -> (
             match
@@ -734,8 +816,9 @@ let bench_cmd =
 (* serve *)
 
 let serve_cmd =
-  let run benchmark strategy samples seed addr shard_size ttl linger checkpoint sample_budget json
-      metrics_out trace_out =
+  let run benchmark strategy samples seed addr shard_size ttl linger checkpoint sample_budget
+      require_workers io_deadline breaker_failures breaker_cooldown chaos_plan chaos_seed chaos_log
+      json metrics_out trace_out =
     let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
     let plan =
       try Fmc.Ssf.shard_plan ~samples ~shard_size
@@ -749,14 +832,40 @@ let serve_cmd =
     if not json then
       Format.fprintf ppf "serving %d samples as %d shard(s) of <=%d on %s@." samples
         (Array.length plan) shard_size (Fmc_dist.Wire.addr_to_string addr);
+    (* Under --chaos-plan the coordinator binds a private Unix socket and
+       the fault-injection proxy takes over the public address, so every
+       worker byte crosses the chaos layer. *)
+    let listen_addr, stop_chaos =
+      match chaos_plan with
+      | None -> (addr, fun () -> ())
+      | Some spec ->
+          let cplan = load_chaos_plan spec in
+          let hidden = Fmc_dist.Wire.Unix_path (chaos_socket_path "serve") in
+          let log, close_log = chaos_logger chaos_log in
+          (hidden, start_chaos_proxy ~obs ~plan:cplan ~seed:chaos_seed ~log ~close_log
+                     ~public:addr ~upstream:hidden)
+    in
     let config =
-      { Fmc_dist.Coordinator.addr; ttl_s = ttl; checkpoint_path = checkpoint; linger_s = linger }
+      {
+        Fmc_dist.Coordinator.addr = listen_addr;
+        ttl_s = ttl;
+        checkpoint_path = checkpoint;
+        linger_s = linger;
+        io_deadline_s = io_deadline;
+        require_workers;
+        breaker =
+          { Fmc_dist.Breaker.failure_threshold = breaker_failures; cooldown_s = breaker_cooldown };
+      }
     in
     let outcome =
-      try Fmc_dist.Coordinator.serve ~obs config ~fingerprint ~plan
-      with Failure msg ->
-        Format.eprintf "faultmc: %s@." msg;
-        exit 2
+      match Fmc_dist.Coordinator.serve ~obs config ~fingerprint ~plan with
+      | outcome ->
+          stop_chaos ();
+          outcome
+      | exception Failure msg ->
+          stop_chaos ();
+          Format.eprintf "faultmc: %s@." msg;
+          exit 2
     in
     match
       Fmc_dist.Merge.report_of_blobs
@@ -817,6 +926,38 @@ let serve_cmd =
       & info [ "sample-budget" ] ~docv:"CYCLES"
           ~doc:"Per-sample RTL cycle budget workers must apply (part of the campaign identity).")
   in
+  let require_workers =
+    Arg.(
+      value & opt int 0
+      & info [ "require-workers" ] ~docv:"N"
+          ~doc:
+            "Pause shard leasing (answering $(b,No_work)) while fewer than $(docv) healthy workers \
+             are connected; 0 disables the floor. Visible on the fmc_dist_leasing_paused gauge.")
+  in
+  let io_deadline =
+    Arg.(
+      value & opt float 120.
+      & info [ "io-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection socket read/write deadline; a peer stalling a frame longer than this \
+             is disconnected.")
+  in
+  let breaker_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "breaker-failures" ] ~docv:"N"
+          ~doc:
+            "Consecutive protocol errors, corrupt frames or lease expiries that trip a worker's \
+             circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 10.
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:
+            "How long a tripped breaker parks its worker (connections answered with Retry_later) \
+             before admitting a probe.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the final report as JSON.") in
   Cmd.v
     (Cmd.info "serve"
@@ -825,14 +966,16 @@ let serve_cmd =
           merge bit-exactly.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
-      $ shard_size_arg $ ttl $ linger $ checkpoint $ sample_budget $ json $ metrics_out_arg
-      $ trace_out_arg)
+      $ shard_size_arg $ ttl $ linger $ checkpoint $ sample_budget $ require_workers $ io_deadline
+      $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator" $ chaos_seed_arg
+      $ chaos_log_arg $ json $ metrics_out_arg $ trace_out_arg)
 
 (* worker *)
 
 let worker_cmd =
   let run benchmark strategy samples seed addr shard_size sample_budget name heartbeat_every
-      metrics_out trace_out progress =
+      io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed chaos_log metrics_out
+      trace_out progress =
     with_context @@ fun ctx ->
     let engine, prep = prepared ctx benchmark strategy in
     let obs = build_obs ~metrics_out ~trace_out ~progress in
@@ -842,19 +985,55 @@ let worker_cmd =
     let name =
       match name with Some n -> n | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
     in
-    let config =
-      { (Fmc_dist.Worker.default_config ~addr ~worker_name:name) with heartbeat_every }
+    (* Under --chaos-plan the worker dials a local fault-injection proxy
+       that forwards to the real coordinator. *)
+    let connect_addr, stop_chaos =
+      match chaos_plan with
+      | None -> (addr, fun () -> ())
+      | Some spec ->
+          let cplan = load_chaos_plan spec in
+          let public = Fmc_dist.Wire.Unix_path (chaos_socket_path "worker") in
+          let log, close_log = chaos_logger chaos_log in
+          (public, start_chaos_proxy ~obs ~plan:cplan ~seed:chaos_seed ~log ~close_log
+                     ~public ~upstream:addr)
     in
-    match Fmc_dist.Worker.run ~obs ?sample_budget config ~fingerprint engine prep ~seed with
+    let config =
+      {
+        (Fmc_dist.Worker.default_config ~addr:connect_addr ~worker_name:name) with
+        heartbeat_every;
+        io_deadline_s = io_deadline;
+        retry =
+          {
+            Fmc_dist.Worker.default_retry with
+            max_attempts = reconnect_attempts;
+            budget_s = reconnect_budget;
+          };
+      }
+    in
+    let on_reconnect ~attempt ~sleep_s ~reason =
+      Format.eprintf "worker %s: reconnect #%d in %.2fs (%s)@." name attempt sleep_s reason
+    in
+    let finish code =
+      stop_chaos ();
+      if code <> 0 then exit code
+    in
+    match
+      Fmc_dist.Worker.run ~obs ?sample_budget ~on_reconnect config ~fingerprint engine prep ~seed
+    with
     | accepted ->
         Format.fprintf ppf "worker %s: %d shard result(s) accepted@." name accepted;
-        flush_obs_outputs ~metrics_out ~trace_out obs
+        flush_obs_outputs ~metrics_out ~trace_out obs;
+        finish 0
     | exception Fmc_dist.Worker.Rejected reason ->
         Format.eprintf "faultmc: coordinator rejected us: %s@." reason;
-        exit 2
+        finish 2
+    | exception Failure msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        flush_obs_outputs ~metrics_out ~trace_out obs;
+        finish 1
     | exception Unix.Unix_error (e, _, _) ->
         Format.eprintf "faultmc: coordinator connection failed: %s@." (Unix.error_message e);
-        exit 1
+        finish 1
   in
   let addr =
     Arg.(
@@ -882,6 +1061,26 @@ let worker_cmd =
       & info [ "heartbeat-every" ] ~docv:"N"
           ~doc:"Samples between lease heartbeats (0 disables heartbeating).")
   in
+  let io_deadline =
+    Arg.(
+      value & opt float 120.
+      & info [ "io-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Socket read/write deadline; a stalled coordinator link times out (and triggers a \
+             reconnect) after this long.")
+  in
+  let reconnect_attempts =
+    Arg.(
+      value & opt int 10
+      & info [ "reconnect-attempts" ] ~docv:"N"
+          ~doc:"Consecutive failed reconnect attempts before the worker gives up.")
+  in
+  let reconnect_budget =
+    Arg.(
+      value & opt float 300.
+      & info [ "reconnect-budget" ] ~docv:"SECONDS"
+          ~doc:"Total backoff sleep allowed across the whole run before the worker gives up.")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
@@ -889,8 +1088,9 @@ let worker_cmd =
           --shard-size and --sample-budget must match the coordinator's campaign.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
-      $ shard_size_arg $ sample_budget $ name_arg $ heartbeat_every $ metrics_out_arg $ trace_out_arg
-      $ progress_arg)
+      $ shard_size_arg $ sample_budget $ name_arg $ heartbeat_every $ io_deadline
+      $ reconnect_attempts $ reconnect_budget $ chaos_plan_arg "worker's coordinator link"
+      $ chaos_seed_arg $ chaos_log_arg $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* experiments *)
 

@@ -1,0 +1,131 @@
+(* Declarative fault plans for the chaos proxy.
+
+   A plan is an ordered list of fault clauses; the proxy consults them
+   in order for every forwarded chunk (and, for partitions, for every
+   accept). The grammar is one clause per line (or ';'-separated),
+   keyword first, then key=value parameters:
+
+     delay p=0.1 min=0.005 max=0.05
+     bitflip p=0.02
+     truncate p=0.01
+     dup p=0.02
+     drop p=0.005
+     partition every=5 for=1
+     # comments and blank lines are ignored
+
+   Probabilities are per forwarded chunk, evaluated against the
+   connection's seeded RNG substream — the same (seed, plan) pair
+   replays the same fault decisions. *)
+
+type fault =
+  | Delay of { prob : float; min_s : float; max_s : float }
+  | Drop of { prob : float }
+  | Truncate of { prob : float }
+  | Bit_flip of { prob : float }
+  | Duplicate of { prob : float }
+  | Partition of { every_s : float; open_s : float }
+
+type t = { faults : fault list }
+
+let empty = { faults = [] }
+let is_empty t = t.faults = []
+
+let fault_name = function
+  | Delay _ -> "delay"
+  | Drop _ -> "drop"
+  | Truncate _ -> "truncate"
+  | Bit_flip _ -> "bitflip"
+  | Duplicate _ -> "dup"
+  | Partition _ -> "partition"
+
+let fault_to_string = function
+  | Delay { prob; min_s; max_s } -> Printf.sprintf "delay p=%g min=%g max=%g" prob min_s max_s
+  | Drop { prob } -> Printf.sprintf "drop p=%g" prob
+  | Truncate { prob } -> Printf.sprintf "truncate p=%g" prob
+  | Bit_flip { prob } -> Printf.sprintf "bitflip p=%g" prob
+  | Duplicate { prob } -> Printf.sprintf "dup p=%g" prob
+  | Partition { every_s; open_s } -> Printf.sprintf "partition every=%g for=%g" every_s open_s
+
+let to_string t = String.concat "\n" (List.map fault_to_string t.faults)
+
+(* -- parsing ------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let split_clauses s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let parse_params tokens =
+  let rec go acc = function
+    | [] -> Ok acc
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" tok)
+        | Some i -> (
+            let key = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match float_of_string_opt v with
+            | None -> Error (Printf.sprintf "parameter %s: not a number: %S" key v)
+            | Some f -> go ((key, f) :: acc) rest))
+  in
+  go [] tokens
+
+let get params key =
+  match List.assoc_opt key params with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing parameter %s" key)
+
+let prob params =
+  let* p = get params "p" in
+  if p < 0. || p > 1. then Error (Printf.sprintf "p=%g outside [0, 1]" p) else Ok p
+
+let parse_clause line =
+  let annotate r = Result.map_error (fun e -> Printf.sprintf "%S: %s" line e) r in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Error "empty clause"
+  | keyword :: rest ->
+      annotate
+        (let* params = parse_params rest in
+         match keyword with
+         | "delay" ->
+             let* p = prob params in
+             let* min_s = get params "min" in
+             let* max_s = get params "max" in
+             if min_s < 0. || max_s < min_s then Error "need 0 <= min <= max"
+             else Ok (Delay { prob = p; min_s; max_s })
+         | "drop" ->
+             let* p = prob params in
+             Ok (Drop { prob = p })
+         | "truncate" ->
+             let* p = prob params in
+             Ok (Truncate { prob = p })
+         | "bitflip" ->
+             let* p = prob params in
+             Ok (Bit_flip { prob = p })
+         | "dup" ->
+             let* p = prob params in
+             Ok (Duplicate { prob = p })
+         | "partition" ->
+             let* every_s = get params "every" in
+             let* open_s = get params "for" in
+             if every_s <= 0. then Error "need every > 0"
+             else if open_s <= 0. || open_s >= every_s then
+               Error "need 0 < for < every (the link must heal between windows)"
+             else Ok (Partition { every_s; open_s })
+         | _ -> Error (Printf.sprintf "unknown fault %S" keyword))
+
+let parse s =
+  let rec go acc = function
+    | [] -> Ok { faults = List.rev acc }
+    | clause :: rest -> (
+        match parse_clause clause with Ok f -> go (f :: acc) rest | Error _ as e -> e)
+  in
+  go [] (split_clauses s)
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg

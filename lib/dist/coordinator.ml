@@ -4,29 +4,52 @@
    Concurrency model: one listener loop (the caller's thread) accepting
    connections and sweeping expired leases on a short tick; one thread
    per connection running the request/reply protocol. All shared state
-   (lease table, accepted blobs, quarantine log, metrics) lives behind
-   one mutex — the critical sections are table lookups and small writes,
-   far off the hot path (workers do the actual Monte Carlo work).
+   (lease table, accepted blobs, quarantine log, worker health, metrics)
+   lives behind one mutex — the critical sections are table lookups and
+   small writes, far off the hot path (workers do the actual Monte Carlo
+   work).
 
    Exactly-once: Lease.complete is the single gate. A Shard_done whose
    epoch is stale is counted, acked negatively and dropped; a duplicate
    of the accepted epoch is acked positively (the worker may have missed
    the first ack) but not re-merged. Since shard results depend only on
-   (seed, shard), any accepted result for a shard is THE result. *)
+   (seed, shard), any accepted result for a shard is THE result.
+
+   Graceful degradation: every post-Hello connection is attributed to a
+   worker name, and a per-worker circuit breaker accumulates protocol
+   errors, corrupt frames and heartbeat-gap lease expiries. A tripped
+   breaker answers that worker's frames (and re-Hellos) with Retry_later
+   for a cooldown window while the campaign continues on healthy
+   workers; an optional fleet floor (require_workers) pauses leasing —
+   visible on the fmc_dist_leasing_paused gauge — rather than spinning
+   shards onto a collapsed fleet. All time reads go through the
+   Fmc_obs.Clock seam so tests can drive the sweep with a fake clock. *)
 
 open Fmc
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
+module Clock = Fmc_obs.Clock
 
 type config = {
   addr : Wire.addr;
   ttl_s : float;  (* lease deadline without a heartbeat *)
   checkpoint_path : string option;
   linger_s : float;  (* keep serving Fetch_report after completion *)
+  io_deadline_s : float;  (* per-connection socket read/write deadline *)
+  require_workers : int;  (* pause leasing below this many connected workers *)
+  breaker : Breaker.config;  (* per-worker circuit breaker *)
 }
 
 let default_config addr =
-  { addr; ttl_s = 30.; checkpoint_path = None; linger_s = 5. }
+  {
+    addr;
+    ttl_s = 30.;
+    checkpoint_path = None;
+    linger_s = 5.;
+    io_deadline_s = 120.;
+    require_workers = 0;
+    breaker = Breaker.default_config;
+  }
 
 type outcome = {
   oc_shards : (int * string) list;
@@ -45,8 +68,12 @@ type mx = {
   heartbeats : Metrics.counter option;
   bytes_sent : Metrics.counter option;
   bytes_received : Metrics.counter option;
+  frames_corrupt : Metrics.counter option;
+  breaker_trips : Metrics.counter option;
   in_flight : Metrics.gauge option;
   workers_connected : Metrics.gauge option;
+  circuit_open : Metrics.gauge option;
+  leasing_paused : Metrics.gauge option;
 }
 
 let mx_create (obs : Obs.t) =
@@ -61,8 +88,12 @@ let mx_create (obs : Obs.t) =
         heartbeats = None;
         bytes_sent = None;
         bytes_received = None;
+        frames_corrupt = None;
+        breaker_trips = None;
         in_flight = None;
         workers_connected = None;
+        circuit_open = None;
+        leasing_paused = None;
       }
   | Some r ->
       let c ?help name = Some (Metrics.counter r ?help name) in
@@ -76,8 +107,16 @@ let mx_create (obs : Obs.t) =
         heartbeats = c ~help:"heartbeats received" "fmc_dist_heartbeats_total";
         bytes_sent = c ~help:"protocol bytes sent" "fmc_dist_bytes_sent_total";
         bytes_received = c ~help:"protocol bytes received" "fmc_dist_bytes_received_total";
+        frames_corrupt =
+          c ~help:"frames dropped for CRC or framing violations" "fmc_dist_frames_corrupt_total";
+        breaker_trips =
+          c ~help:"circuit-breaker open transitions" "fmc_dist_breaker_opened_total";
         in_flight = g ~help:"shards currently leased" "fmc_dist_shards_in_flight";
         workers_connected = g ~help:"open worker connections" "fmc_dist_workers_connected";
+        circuit_open = g ~help:"workers behind an open circuit breaker" "fmc_dist_circuit_open";
+        leasing_paused =
+          g ~help:"1 while leasing is paused below the require-workers floor"
+            "fmc_dist_leasing_paused";
       }
 
 let cinc c = Option.iter Metrics.inc c
@@ -106,6 +145,12 @@ type state = {
   (* worker -> (last heartbeat time, shard, epoch, samples_done) for the
      per-worker throughput gauge *)
   rates : (string, float * int * int * int) Hashtbl.t;
+  (* worker -> circuit breaker; entries are created on first sighting
+     and live for the whole campaign (a worker's bad reputation survives
+     its reconnects). *)
+  health : (string, Breaker.t) Hashtbl.t;
+  (* worker -> live post-Hello connection count, for the fleet floor *)
+  conn_workers : (string, int) Hashtbl.t;
 }
 
 let locked st f =
@@ -141,8 +186,62 @@ let report_msg st =
     {
       shards;
       quarantined = sorted_quarantined st;
-      elapsed_s = Unix.gettimeofday () -. st.started_at;
+      elapsed_s = Clock.now () -. st.started_at;
     }
+
+(* -- worker health (call under the lock) -------------------------------- *)
+
+let breaker_for st worker =
+  match Hashtbl.find_opt st.health worker with
+  | Some b -> b
+  | None ->
+      let b = Breaker.create st.config.breaker in
+      Hashtbl.add st.health worker b;
+      b
+
+let open_breakers st ~now =
+  Hashtbl.fold
+    (fun _ b n -> if Breaker.state b ~now = Breaker.Open then n + 1 else n)
+    st.health 0
+
+let refresh_circuit_gauge st ~now = gset st.mx.circuit_open (open_breakers st ~now)
+
+let note_worker_failure st ~worker ~now =
+  let b = breaker_for st worker in
+  let trips_before = Breaker.trips b in
+  Breaker.record_failure b ~now;
+  if Breaker.trips b > trips_before then cinc st.mx.breaker_trips;
+  refresh_circuit_gauge st ~now
+
+let note_worker_success st ~worker ~now =
+  Breaker.record_success (breaker_for st worker) ~now;
+  refresh_circuit_gauge st ~now
+
+(* Distinct worker names with a live connection and no open breaker —
+   the population the require_workers floor is measured against. *)
+let healthy_workers st ~now =
+  Hashtbl.fold
+    (fun worker refs n ->
+      if refs > 0 && Breaker.state (breaker_for st worker) ~now <> Breaker.Open then n + 1
+      else n)
+    st.conn_workers 0
+
+let leasing_pause st ~now =
+  let paused =
+    st.config.require_workers > 0 && healthy_workers st ~now < st.config.require_workers
+  in
+  gset st.mx.leasing_paused (if paused then 1 else 0);
+  paused
+
+let sweep_locked st ~now =
+  let expired = Lease.sweep_expired st.lease ~now in
+  if expired <> [] then begin
+    cadd st.mx.leases_expired (List.length expired);
+    (* A heartbeat gap big enough to lose the lease is a health event
+       for the worker that was holding it. *)
+    List.iter (fun (_, worker) -> note_worker_failure st ~worker ~now) expired
+  end;
+  gset st.mx.in_flight (Lease.in_flight st.lease)
 
 let note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done =
   match st.mx.registry with
@@ -165,28 +264,30 @@ let note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done =
 exception Done_serving
 
 let handle_msg st ~worker msg =
-  let now = Unix.gettimeofday () in
+  let now = Clock.now () in
   match (msg : Protocol.client_msg) with
   | Protocol.Hello _ -> Protocol.Reject { reason = "duplicate hello" }
   | Protocol.Request_shard ->
       locked st (fun () ->
-          let expired = Lease.sweep st.lease ~now in
-          if expired > 0 then cadd st.mx.leases_expired expired;
-          let reply =
-            match Lease.acquire st.lease ~now ~worker with
-            | `Assign { Lease.shard; epoch; start; len } ->
-                cinc st.mx.leases_issued;
-                Protocol.Assign { shard; epoch; start; len }
-            | `Finished -> Protocol.No_work { finished = true }
-            | `Wait -> Protocol.No_work { finished = false }
-          in
-          gset st.mx.in_flight (Lease.in_flight st.lease);
-          reply)
+          sweep_locked st ~now;
+          if leasing_pause st ~now then Protocol.No_work { finished = false }
+          else
+            let reply =
+              match Lease.acquire st.lease ~now ~worker with
+              | `Assign { Lease.shard; epoch; start; len } ->
+                  cinc st.mx.leases_issued;
+                  Protocol.Assign { shard; epoch; start; len }
+              | `Finished -> Protocol.No_work { finished = true }
+              | `Wait -> Protocol.No_work { finished = false }
+            in
+            gset st.mx.in_flight (Lease.in_flight st.lease);
+            reply)
   | Protocol.Heartbeat { shard; epoch; samples_done } ->
       locked st (fun () ->
           cinc st.mx.heartbeats;
           match Lease.heartbeat st.lease ~now ~shard ~epoch with
           | `Ok ->
+              note_worker_success st ~worker ~now;
               note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done;
               Protocol.Ack { accepted = true; reason = "" }
           | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
@@ -196,6 +297,7 @@ let handle_msg st ~worker msg =
              not consume the shard's one accepted completion. *)
           match Ssf.Tally.of_string tally with
           | Error msg ->
+              note_worker_failure st ~worker ~now;
               Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
           | Ok _ -> (
               match Lease.complete st.lease ~shard ~epoch with
@@ -203,6 +305,7 @@ let handle_msg st ~worker msg =
                   Hashtbl.replace st.blobs shard tally;
                   st.quarantined <- List.rev_append quarantined st.quarantined;
                   cinc st.mx.shards_completed;
+                  note_worker_success st ~worker ~now;
                   gset st.mx.in_flight (Lease.in_flight st.lease);
                   checkpoint_locked st;
                   if Lease.finished st.lease && st.finished_at = None then
@@ -222,60 +325,128 @@ let send conn msg =
   let tag, payload = Protocol.encode_server msg in
   Wire.write_frame conn ~tag payload
 
+(* The first frame must be a valid, matching v2 Hello. Corrupt first
+   frames are sniffed for a legacy v1 Hello so old workers get a
+   rejection they can decode instead of a silent hangup; a worker behind
+   an open circuit breaker is parked with Retry_later. Returns the
+   worker name, or raises Done_serving after answering. *)
+let expect_hello st conn =
+  let reject reason =
+    send conn (Protocol.Reject { reason });
+    raise Done_serving
+  in
+  match Wire.read_frame_raw conn with
+  | `Corrupt (tag, raw) -> (
+      locked st (fun () -> cinc st.mx.frames_corrupt);
+      match Protocol.v1_hello ~tag raw with
+      | Some v ->
+          let _, payload =
+            Protocol.encode_server
+              (Protocol.Reject
+                 {
+                   reason =
+                     Printf.sprintf
+                       "protocol version %d is no longer supported: this coordinator speaks \
+                        v%d (frames carry CRC-32 trailers); upgrade the worker"
+                       v Protocol.version;
+                 })
+          in
+          Wire.write_frame_v1 conn ~tag:'X' payload;
+          raise Done_serving
+      | None -> raise Done_serving)
+  | `Ok (tag, payload) -> (
+      match Protocol.decode_client tag payload with
+      | Ok (Protocol.Hello { version; worker; fingerprint }) ->
+          if version <> Protocol.version then
+            reject
+              (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
+          else if fingerprint <> st.fingerprint then
+            reject "campaign fingerprint mismatch"
+          else begin
+            let now = Clock.now () in
+            let admitted =
+              locked st (fun () ->
+                  let b = breaker_for st worker in
+                  if Breaker.allow b ~now then Ok ()
+                  else Error (Float.max 0.1 (Breaker.cooldown_remaining b ~now)))
+            in
+            match admitted with
+            | Error cooldown_s ->
+                send conn (Protocol.Retry_later { cooldown_s });
+                raise Done_serving
+            | Ok () ->
+                send conn (Protocol.Welcome { version = Protocol.version });
+                worker
+          end
+      | Ok _ | Error _ -> reject "expected hello")
+
 let handle_conn st fd =
   let conn =
-    Wire.conn fd
+    Wire.conn fd ~deadline_s:st.config.io_deadline_s
       ~on_sent:(fun n -> locked st (fun () -> cadd st.mx.bytes_sent n))
       ~on_recv:(fun n -> locked st (fun () -> cadd st.mx.bytes_received n))
   in
+  let worker_name = ref None in
   let finally () =
     Wire.close conn;
     locked st (fun () ->
         st.connected <- st.connected - 1;
-        gset st.mx.workers_connected st.connected)
+        gset st.mx.workers_connected st.connected;
+        match !worker_name with
+        | None -> ()
+        | Some w ->
+            let refs = Option.value (Hashtbl.find_opt st.conn_workers w) ~default:1 in
+            Hashtbl.replace st.conn_workers w (refs - 1))
   in
   locked st (fun () ->
       st.connected <- st.connected + 1;
       gset st.mx.workers_connected st.connected);
   Fun.protect ~finally (fun () ->
       try
-        (* First frame must be a valid, matching Hello. *)
-        let tag, payload = Wire.read_frame conn in
-        let worker =
-          match Protocol.decode_client tag payload with
-          | Ok (Protocol.Hello { version; worker; fingerprint }) ->
-              if version <> Protocol.version then begin
-                send conn
-                  (Protocol.Reject
-                     { reason = Printf.sprintf "protocol version %d, want %d" version Protocol.version });
-                raise Done_serving
-              end
-              else if fingerprint <> st.fingerprint then begin
-                send conn (Protocol.Reject { reason = "campaign fingerprint mismatch" });
-                raise Done_serving
-              end
-              else begin
-                send conn (Protocol.Welcome { version = Protocol.version });
-                worker
-              end
-          | Ok _ | Error _ ->
-              send conn (Protocol.Reject { reason = "expected hello" });
-              raise Done_serving
-        in
+        let worker = expect_hello st conn in
+        worker_name := Some worker;
+        locked st (fun () ->
+            let refs = Option.value (Hashtbl.find_opt st.conn_workers worker) ~default:0 in
+            Hashtbl.replace st.conn_workers worker (refs + 1));
         let rec loop () =
-          let tag, payload = Wire.read_frame conn in
-          (match Protocol.decode_client tag payload with
-          | Ok msg -> send conn (handle_msg st ~worker msg)
-          | Error msg -> send conn (Protocol.Reject { reason = msg }));
+          (match Wire.read_frame_raw conn with
+          | `Corrupt _ ->
+              (* Framing survived (the length word is checksummed by
+                 construction of the read), but the content cannot be
+                 trusted; charge the worker, answer with a typed
+                 Retry_later so it knows to reconnect, and hang up. *)
+              let now = Clock.now () in
+              let cooldown_s =
+                locked st (fun () ->
+                    cinc st.mx.frames_corrupt;
+                    note_worker_failure st ~worker ~now;
+                    Float.max 0.05
+                      (Breaker.cooldown_remaining (breaker_for st worker) ~now))
+              in
+              send conn (Protocol.Retry_later { cooldown_s });
+              raise Done_serving
+          | `Ok (tag, payload) -> (
+              match Protocol.decode_client tag payload with
+              | Ok msg -> send conn (handle_msg st ~worker msg)
+              | Error msg ->
+                  let now = Clock.now () in
+                  locked st (fun () -> note_worker_failure st ~worker ~now);
+                  send conn (Protocol.Reject { reason = msg })));
           loop ()
         in
         loop ()
-      with Done_serving | Wire.Closed | Unix.Unix_error _ | Sys_error _ -> ())
+      with
+      | Done_serving | Wire.Closed | Wire.Protocol_error _ | Wire.Timeout
+      | Unix.Unix_error _ | Sys_error _
+      ->
+        ())
 
 (* -- the serve loop ----------------------------------------------------- *)
 
 let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
   if Array.length plan = 0 then invalid_arg "Coordinator.serve: empty plan";
+  if config.require_workers < 0 then
+    invalid_arg "Coordinator.serve: negative require_workers";
   let lease = Lease.create ~plan ~ttl:config.ttl_s in
   let st =
     {
@@ -285,11 +456,13 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
       quarantined = [];
       connected = 0;
       finished_at = None;
-      started_at = Unix.gettimeofday ();
+      started_at = Clock.now ();
       fingerprint;
       config;
       mx = mx_create obs;
       rates = Hashtbl.create 8;
+      health = Hashtbl.create 8;
+      conn_workers = Hashtbl.create 8;
     }
   in
   (* Resume: pre-complete every checkpointed shard whose fingerprint
@@ -333,11 +506,11 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
                 let fd, _ = Unix.accept sock in
                 ignore (Thread.create (fun () -> handle_conn st fd) ())
             | _ -> ());
-            let now = Unix.gettimeofday () in
+            let now = Clock.now () in
             locked st (fun () ->
-                let expired = Lease.sweep st.lease ~now in
-                if expired > 0 then cadd st.mx.leases_expired expired;
-                gset st.mx.in_flight (Lease.in_flight st.lease);
+                sweep_locked st ~now;
+                refresh_circuit_gauge st ~now;
+                ignore (leasing_pause st ~now);
                 match st.finished_at with
                 | Some t when now -. t >= config.linger_s && st.connected = 0 -> running := false
                 | Some t when now -. t >= 4. *. config.linger_s ->
@@ -354,5 +527,5 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
       {
         oc_shards = shards;
         oc_quarantined = sorted_quarantined st;
-        oc_elapsed_s = Unix.gettimeofday () -. st.started_at;
+        oc_elapsed_s = Clock.now () -. st.started_at;
       })

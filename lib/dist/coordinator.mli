@@ -7,6 +7,16 @@
     [Campaign.estimate_sharded] over the same plan, independent of
     worker count, scheduling or mid-campaign deaths.
 
+    Degradation (DESIGN.md §11): every post-Hello connection is
+    attributed to a worker name, and a per-worker {!Breaker} accumulates
+    corrupt frames, protocol errors and heartbeat-gap lease expiries.
+    While a breaker is open that worker is parked with
+    [Protocol.Retry_later] instead of served; [require_workers] pauses
+    leasing entirely (visible on the [fmc_dist_leasing_paused] gauge)
+    when the healthy fleet shrinks below the floor. All time reads go
+    through {!Fmc_obs.Clock} so tests can drive sweeps and breaker
+    cooldowns with a fake clock.
+
     Threading: {!serve} runs the accept/sweep loop on the calling thread
     and spawns one thread per connection; shared state sits behind one
     mutex. The coordinator does no Monte Carlo work itself and never
@@ -26,10 +36,22 @@ type config = {
       (** after the last shard completes, keep answering [Fetch_report]
           this long (and until the last client disconnects, capped at
           4x) so report clients and goodbyes drain *)
+  io_deadline_s : float;
+      (** per-connection socket read/write deadline; a peer that stalls
+          a frame longer than this gets a typed [Wire.Timeout] and its
+          connection closed. Generous by default — workers legitimately
+          go quiet between heartbeats. *)
+  require_workers : int;
+      (** minimum healthy connected workers before shards are leased;
+          0 disables the floor. While below it, [Request_shard] answers
+          [No_work {finished = false}] and [fmc_dist_leasing_paused]
+          reads 1. *)
+  breaker : Breaker.config;  (** per-worker circuit breaker tuning *)
 }
 
 val default_config : Wire.addr -> config
-(** ttl 30s, no checkpoint, linger 5s. *)
+(** ttl 30s, no checkpoint, linger 5s, io deadline 120s, no worker
+    floor, {!Breaker.default_config}. *)
 
 type outcome = {
   oc_shards : (int * string) list;
@@ -47,7 +69,8 @@ val serve :
     [Ssf.shard_plan ~samples ~shard_size] — the same cut every worker
     and the single-process reference use. Under [obs], exposes the
     [fmc_dist_*] counters/gauges (leases issued/expired, stale results,
-    shards completed, heartbeats, wire bytes both ways, in-flight
-    shards, connected workers, per-worker samples/sec) and a ["serve"]
-    span. Raises [Failure] on a corrupt or mismatched checkpoint and
-    [Invalid_argument] on an empty plan. *)
+    shards completed, heartbeats, wire bytes both ways, corrupt frames,
+    breaker trips, in-flight shards, connected workers, open circuits,
+    leasing-paused flag, per-worker samples/sec) and a ["serve"] span.
+    Raises [Failure] on a corrupt or mismatched checkpoint and
+    [Invalid_argument] on an empty plan or negative [require_workers]. *)

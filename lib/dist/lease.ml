@@ -46,17 +46,19 @@ let finished t = t.done_count = total t
 let in_flight t =
   Array.fold_left (fun n -> function Leased _ -> n + 1 | _ -> n) 0 t.slots
 
-let sweep t ~now =
-  let expired = ref 0 in
+let sweep_expired t ~now =
+  let expired = ref [] in
   Array.iteri
     (fun i slot ->
       match slot with
-      | Leased { deadline; _ } when deadline < now ->
+      | Leased { deadline; worker; _ } when deadline < now ->
           t.slots.(i) <- Unleased;
-          incr expired
+          expired := (i, worker) :: !expired
       | _ -> ())
     t.slots;
-  !expired
+  List.rev !expired
+
+let sweep t ~now = List.length (sweep_expired t ~now)
 
 let acquire t ~now ~worker =
   ignore (sweep t ~now);

@@ -39,6 +39,11 @@ val sweep : t -> now:float -> int
 (** Expire overdue leases; returns how many expired (for the
     [fmc_dist_leases_expired_total] counter). *)
 
+val sweep_expired : t -> now:float -> (int * string) list
+(** Like {!sweep}, but returns the expired [(shard, holding worker)]
+    pairs so the coordinator can charge the heartbeat gap to the right
+    worker's circuit breaker. *)
+
 val force_complete : t -> shard:int -> unit
 (** Mark a shard done without a lease — checkpoint restore only. *)
 

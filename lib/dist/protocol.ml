@@ -10,7 +10,11 @@
 
 open Fmc
 
-let version = 1
+(* v2: frames carry a CRC-32 trailer (Wire), and the server can answer a
+   Hello with Retry_later (circuit breaker open / fleet floor not met)
+   instead of a terminal Reject. v1 peers are detected by their
+   checksum-less frames and refused with a readable v1-framed Reject. *)
+let version = 2
 
 type client_msg =
   | Hello of { version : int; worker : string; fingerprint : string }
@@ -37,6 +41,7 @@ type server_msg =
     }
   | Report_pending
   | Reject of { reason : string }
+  | Retry_later of { cooldown_s : float }
 
 let fingerprint ~strategy ~benchmark ~samples ~seed ~shard_size ~sample_budget =
   Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
@@ -205,6 +210,7 @@ let encode_server = function
       ('P', Buffer.contents buf)
   | Report_pending -> ('Y', "")
   | Reject { reason } -> ('X', one_line reason ^ "\n")
+  | Retry_later { cooldown_s } -> ('L', Printf.sprintf "%h\n" cooldown_s)
 
 let decode_server tag payload =
   let c = { rest = lines_of payload } in
@@ -255,9 +261,24 @@ let decode_server tag payload =
       | _ -> bad "malformed elapsed line")
   | 'Y' -> Ok Report_pending
   | 'X' -> Ok (Reject { reason = String.concat " " (fields (next c)) })
+  | 'L' -> Ok (Retry_later { cooldown_s = float_of "cooldown" (next c) })
   | t -> bad "unknown server tag %C" t
 
 let decode_server tag payload =
   match decode_server tag payload with
   | r -> r
   | exception Bad msg -> Error msg
+
+(* -- legacy (v1) peer detection ----------------------------------------- *)
+
+(* A v1 peer's checksum-less frames surface from Wire.read_frame_raw as
+   `Corrupt (tag, raw_v1_payload). A v1 Hello is recognizable by its
+   plain-text payload (the Hello payload layout is unchanged since v1),
+   so the coordinator can answer with a v1-framed Reject the old peer
+   can actually decode, instead of hanging up silently. *)
+let v1_hello ~tag raw =
+  if tag <> 'H' then None
+  else
+    match decode_client 'H' raw with
+    | Ok (Hello { version; _ }) when version < 2 -> Some version
+    | Ok _ | Error _ -> None

@@ -12,6 +12,8 @@
 open Fmc
 
 val version : int
+(** 2 since the CRC-framed wire format; v1 peers are refused at Hello
+    with a v1-framed {!Reject} they can decode (see {!v1_hello}). *)
 
 type client_msg =
   | Hello of { version : int; worker : string; fingerprint : string }
@@ -45,6 +47,11 @@ type server_msg =
     }
   | Report_pending  (** campaign not finished yet — poll again *)
   | Reject of { reason : string }
+      (** terminal: version/fingerprint mismatch — do not retry *)
+  | Retry_later of { cooldown_s : float }
+      (** transient refusal (the worker's circuit breaker is open, or
+          the coordinator is holding the fleet floor): reconnect after
+          at least [cooldown_s] seconds *)
 
 val fingerprint :
   strategy:string ->
@@ -63,3 +70,10 @@ val encode_client : client_msg -> char * string
 val decode_client : char -> string -> (client_msg, string) result
 val encode_server : server_msg -> char * string
 val decode_server : char -> string -> (server_msg, string) result
+
+val v1_hello : tag:char -> string -> int option
+(** Recognize a protocol-v1 Hello in a corrupt-frame body
+    ([Wire.read_frame_raw]'s [`Corrupt] payload): returns the peer's
+    claimed version when the bytes parse as a pre-v2 Hello. The
+    coordinator answers such peers with a v1-framed Reject naming the
+    version gap, because a v1 peer cannot decode v2 frames. *)

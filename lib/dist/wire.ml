@@ -1,15 +1,44 @@
 (* Byte-level transport for the distributed campaign service: address
-   parsing/listening/connecting plus the length-prefixed frame codec.
-   Everything above this layer deals in (tag, payload) pairs; everything
-   below is Unix. *)
+   parsing/listening/connecting plus the CRC-protected length-prefixed
+   frame codec. Everything above this layer deals in (tag, payload)
+   pairs; everything below is Unix.
+
+   Failure taxonomy (all typed, nothing escapes as a bare Unix error
+   from the frame codec's own checks):
+     Closed          — peer EOF (mid-frame counts)
+     Protocol_error  — the bytes violate the framing: bad length word,
+                       CRC mismatch, short frame
+     Timeout         — a read/write deadline expired (SO_RCVTIMEO /
+                       SO_SNDTIMEO on the socket) *)
 
 exception Closed
+exception Protocol_error of string
+exception Timeout
 
-(* A frame is 4 bytes of big-endian payload length, 1 tag byte, then the
-   payload. The length covers the payload only. The cap is far above any
-   legitimate message (the largest frames carry tally snapshots, tens of
-   kilobytes) and exists so a corrupt or hostile length word cannot make
-   us allocate gigabytes. *)
+(* A peer severed mid-write (which the chaos proxy does on purpose and
+   flaky networks do by accident) must surface as EPIPE — mapped to
+   Closed below — not as a process-killing SIGPIPE. Linking this module
+   implies owning sockets, so claiming the disposition here is safe. *)
+let () =
+  if Sys.os_type = "Unix" then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* v2 frame layout:
+
+     [4-byte BE word = 4 + |payload|][1 tag byte][4-byte BE CRC32][payload]
+
+   The leading word counts everything after the tag byte (checksum
+   included), so a reader always consumes exactly the bytes the sender
+   wrote — even when the checksum turns out wrong — and stream framing
+   survives payload corruption. The CRC covers tag ++ payload. A legacy
+   v1 frame ([word = |payload|][tag][payload]) therefore parses as a
+   short/CRC-failing v2 frame without ever desynchronizing the stream,
+   which is what lets the handshake reject v1 peers with a readable
+   message instead of hanging (see read_frame_raw / write_frame_v1).
+
+   The cap is far above any legitimate message (the largest frames carry
+   tally snapshots, tens of kilobytes) and exists so a corrupt or
+   hostile length word cannot make us allocate gigabytes. *)
 let max_frame = 64 * 1024 * 1024
 
 type conn = {
@@ -20,42 +49,96 @@ type conn = {
 
 let ignore_count (_ : int) = ()
 
-let conn ?(on_sent = ignore_count) ?(on_recv = ignore_count) fd =
+let set_deadline fd s =
+  if s > 0. then begin
+    (* Unix sockets on some platforms reject these options; a transport
+       without deadlines is degraded, not broken. *)
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with Unix.Unix_error _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s with Unix.Unix_error _ -> ()
+  end
+
+let conn ?(on_sent = ignore_count) ?(on_recv = ignore_count) ?(deadline_s = 0.) fd =
+  set_deadline fd deadline_s;
   { fd; on_sent; on_recv }
 
 let rec write_all fd buf off len =
   if len > 0 then begin
-    let n = Unix.write fd buf off len in
+    let n =
+      try Unix.write fd buf off len with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
     write_all fd buf (off + n) (len - n)
   end
 
 let rec read_all fd buf off len =
   if len > 0 then begin
-    let n = Unix.read fd buf off len in
+    let n =
+      try Unix.read fd buf off len with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
+      | Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed
+      | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    in
     if n = 0 then raise Closed;
-    read_all fd buf (off + n) (len - n)
+    if n < 0 then read_all fd buf off len else read_all fd buf (off + n) (len - n)
   end
+
+let put_u32 buf off v = Bytes.set_int32_be buf off (Int32.of_int v)
+let get_u32 buf off = Int32.to_int (Bytes.get_int32_be buf off) land 0xffffffff
+
+let frame_crc ~tag payload = Crc32.extend (Crc32.string (String.make 1 tag)) payload
 
 let write_frame t ~tag payload =
   let len = String.length payload in
   if len > max_frame then invalid_arg "Wire.write_frame: oversized frame";
+  let buf = Bytes.create (9 + len) in
+  put_u32 buf 0 (4 + len);
+  Bytes.set buf 4 tag;
+  put_u32 buf 5 (frame_crc ~tag payload);
+  Bytes.blit_string payload 0 buf 9 len;
+  write_all t.fd buf 0 (Bytes.length buf);
+  t.on_sent (Bytes.length buf)
+
+(* A bare v1 frame ([len][tag][payload], no checksum) — kept only so a
+   v2 endpoint can deliver a readable Reject to a v1 peer before
+   hanging up. *)
+let write_frame_v1 t ~tag payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Wire.write_frame_v1: oversized frame";
   let buf = Bytes.create (5 + len) in
-  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  put_u32 buf 0 len;
   Bytes.set buf 4 tag;
   Bytes.blit_string payload 0 buf 5 len;
   write_all t.fd buf 0 (Bytes.length buf);
   t.on_sent (Bytes.length buf)
 
-let read_frame t =
+let read_frame_raw t =
   let header = Bytes.create 5 in
   read_all t.fd header 0 5;
-  let len = Int32.to_int (Bytes.get_int32_be header 0) in
-  if len < 0 || len > max_frame then raise Closed;
+  let word = get_u32 header 0 in
+  if word > max_frame + 4 then
+    raise (Protocol_error (Printf.sprintf "frame length %d exceeds the %d-byte cap" word max_frame));
   let tag = Bytes.get header 4 in
-  let payload = Bytes.create len in
-  read_all t.fd payload 0 len;
-  t.on_recv (5 + len);
-  (tag, Bytes.unsafe_to_string payload)
+  let body = Bytes.create word in
+  read_all t.fd body 0 word;
+  t.on_recv (5 + word);
+  if word < 4 then
+    (* Too short to carry a checksum: a v1 peer's tiny frame (empty
+       payloads are common: Request_shard, Goodbye) or plain garbage. *)
+    `Corrupt (tag, Bytes.unsafe_to_string body)
+  else begin
+    let claimed = get_u32 body 0 in
+    let actual = Crc32.extend_sub (Crc32.string (String.make 1 tag)) body ~pos:4 ~len:(word - 4) in
+    if claimed = actual then `Ok (tag, Bytes.sub_string body 4 (word - 4))
+    else `Corrupt (tag, Bytes.unsafe_to_string body)
+  end
+
+let read_frame t =
+  match read_frame_raw t with
+  | `Ok (tag, payload) -> (tag, payload)
+  | `Corrupt (tag, _) ->
+      raise (Protocol_error (Printf.sprintf "frame checksum mismatch (tag %C)" tag))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

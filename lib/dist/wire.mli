@@ -1,26 +1,61 @@
-(** Byte transport for the distributed campaign service (DESIGN.md §10).
+(** Byte transport for the distributed campaign service (DESIGN.md §10–11).
 
-    A frame is [4-byte big-endian payload length][1 tag byte][payload].
+    A v2 frame is
+    [[4-byte BE word = 4 + payload length][1 tag byte][4-byte BE CRC-32][payload]].
     The tag identifies the message ({!Protocol} owns the tag space); the
-    payload is an opaque string. Length words above {!max_frame} tear the
-    connection down rather than allocating attacker-controlled amounts. *)
+    payload is an opaque string; the checksum covers tag ++ payload. The
+    length word counts everything after the tag byte, so a reader
+    consumes exactly the sender's bytes even when the checksum fails —
+    payload corruption can never desynchronize the stream. Length words
+    above {!max_frame} tear the connection down rather than allocating
+    attacker-controlled amounts. *)
 
 exception Closed
-(** Peer closed the connection (EOF mid-frame counts) or sent a frame
-    violating the length cap. *)
+(** Peer closed the connection (EOF mid-frame counts). *)
+
+exception Protocol_error of string
+(** The byte stream violates the framing: oversized length word, frame
+    too short to carry its checksum, or CRC mismatch. The connection
+    must be abandoned ({!read_frame} consumed the frame, but its content
+    cannot be trusted). *)
+
+exception Timeout
+(** A socket deadline expired ([deadline_s] on {!conn}) mid-read or
+    mid-write. *)
 
 val max_frame : int
 
 type conn
 
-val conn : ?on_sent:(int -> unit) -> ?on_recv:(int -> unit) -> Unix.file_descr -> conn
+val conn :
+  ?on_sent:(int -> unit) ->
+  ?on_recv:(int -> unit) ->
+  ?deadline_s:float ->
+  Unix.file_descr ->
+  conn
 (** Wrap a connected socket. [on_sent]/[on_recv] observe the exact wire
     byte counts (header included) of each frame — the hook the metrics
     counters ([fmc_dist_bytes_sent_total] / [..._received_total]) hang
-    off. *)
+    off. [deadline_s > 0] bounds every subsequent read and write
+    ([SO_RCVTIMEO]/[SO_SNDTIMEO]); an expired deadline raises
+    {!Timeout}. Default: unbounded. *)
 
 val write_frame : conn -> tag:char -> string -> unit
+
+val write_frame_v1 : conn -> tag:char -> string -> unit
+(** Emit a legacy checksum-less v1 frame. Only used to deliver a
+    readable [Reject] to a protocol-v1 peer before closing — v1 peers
+    cannot parse v2 frames. *)
+
 val read_frame : conn -> char * string
+(** Raises {!Protocol_error} on a corrupt frame. *)
+
+val read_frame_raw : conn -> [ `Ok of char * string | `Corrupt of char * string ]
+(** Like {!read_frame}, but surfaces a corrupt frame's tag and raw body
+    (checksum bytes included) instead of raising. A v1 peer's frame
+    always lands here as [`Corrupt (tag, v1_payload)] — the handshake
+    uses this to detect v1 Hellos and answer them in kind. *)
+
 val close : conn -> unit
 
 (** {2 Addresses} *)

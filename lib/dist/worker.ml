@@ -8,37 +8,98 @@
    hook outside its crash guard precisely so this aborts the shard
    instead of quarantining a sample. The abandoned work is harmless: the
    re-issued lease re-runs the shard from its substream and produces the
-   bit-identical snapshot. *)
+   bit-identical snapshot.
+
+   Reconnect state machine (DESIGN.md §11): a session is one
+   connect/handshake/lease loop. Any transport-level failure mid-session
+   (peer gone, corrupt stream, socket deadline, mid-session reject,
+   Retry_later parking) abandons the in-flight shard and re-enters
+   connecting with exponential backoff and decorrelated jitter — the
+   sleep is drawn from the worker's own RNG substream, so a given
+   (seed, worker name) retries on a replayable schedule. Epoch fencing
+   on the coordinator makes the abandon/retry loop safe: whichever lease
+   epoch completes first wins, every other completion is fenced. Only a
+   handshake Reject (version/fingerprint mismatch) is terminal. *)
 
 open Fmc
+open Fmc_prelude
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
+module Clock = Fmc_obs.Clock
 
 exception Lease_lost
 exception Rejected of string
+
+(* Internal: mid-session protocol trouble that should tear the session
+   down and reconnect rather than kill the worker. *)
+exception Session_error of string
+
+(* Internal: the coordinator parked us (circuit breaker open); reconnect
+   no earlier than the given cooldown. *)
+exception Parked of float
+
+type retry = {
+  base_s : float;
+  cap_s : float;
+  max_attempts : int;
+  budget_s : float;
+}
+
+let default_retry = { base_s = 0.2; cap_s = 10.; max_attempts = 10; budget_s = 300. }
 
 type config = {
   addr : Wire.addr;
   worker_name : string;
   heartbeat_every : int;  (* samples between heartbeats; 0 disables *)
-  retry_delay_s : float;  (* backoff when every shard is leased out *)
-  connect_attempts : int;
+  retry_delay_s : float;  (* poll delay when every shard is leased out *)
+  connect_attempts : int;  (* TCP connect retries within one session attempt *)
+  io_deadline_s : float;  (* socket read/write deadline *)
+  retry : retry;  (* reconnect state-machine tuning *)
 }
 
 let default_config ~addr ~worker_name =
-  { addr; worker_name; heartbeat_every = 100; retry_delay_s = 0.5; connect_attempts = 20 }
+  {
+    addr;
+    worker_name;
+    heartbeat_every = 100;
+    retry_delay_s = 0.5;
+    connect_attempts = 20;
+    io_deadline_s = 120.;
+    retry = default_retry;
+  }
 
-let protocol_error what = failwith ("protocol error: unexpected reply to " ^ what)
+type mx = {
+  reconnects : Metrics.counter option;
+  backoff : Metrics.histogram option;
+}
 
-let wire_conn (obs : Obs.t) fd =
+let mx_create (obs : Obs.t) =
   match obs.Obs.metrics with
-  | None -> Wire.conn fd
+  | None -> { reconnects = None; backoff = None }
+  | Some r ->
+      {
+        reconnects =
+          Some
+            (Metrics.counter r ~help:"session teardowns that re-entered connecting"
+               "fmc_dist_reconnects_total");
+        backoff =
+          Some
+            (Metrics.histogram r ~help:"reconnect backoff sleeps"
+               ~buckets:[| 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10.; 30. |]
+               "fmc_dist_reconnect_backoff_seconds");
+      }
+
+let protocol_error what = raise (Session_error ("unexpected reply to " ^ what))
+
+let wire_conn (obs : Obs.t) ~deadline_s fd =
+  match obs.Obs.metrics with
+  | None -> Wire.conn ~deadline_s fd
   | Some r ->
       let sent = Metrics.counter r ~help:"protocol bytes sent" "fmc_dist_bytes_sent_total" in
       let received =
         Metrics.counter r ~help:"protocol bytes received" "fmc_dist_bytes_received_total"
       in
-      Wire.conn fd
+      Wire.conn ~deadline_s fd
         ~on_sent:(fun n -> Metrics.add sent (float_of_int n))
         ~on_recv:(fun n -> Metrics.add received (float_of_int n))
 
@@ -49,9 +110,13 @@ let send conn msg =
 let recv conn what =
   let tag, payload = Wire.read_frame conn in
   match Protocol.decode_server tag payload with
+  | Ok (Protocol.Retry_later { cooldown_s }) -> raise (Parked cooldown_s)
   | Ok msg -> msg
-  | Error msg -> failwith ("protocol error: " ^ msg ^ " (reply to " ^ what ^ ")")
+  | Error msg -> raise (Session_error (msg ^ " (reply to " ^ what ^ ")"))
 
+(* A handshake Reject is terminal (wrong version or wrong campaign — no
+   amount of retrying fixes that); any Reject after the Welcome is a
+   session-level complaint and goes through the reconnect machinery. *)
 let handshake conn ~worker ~fingerprint =
   send conn (Protocol.Hello { version = Protocol.version; worker; fingerprint });
   match recv conn "hello" with
@@ -63,7 +128,7 @@ let connect ?(obs = Obs.disabled) config ~fingerprint =
   let fd =
     Wire.connect ~attempts:config.connect_attempts ~delay_s:config.retry_delay_s config.addr
   in
-  let conn = wire_conn obs fd in
+  let conn = wire_conn obs ~deadline_s:config.io_deadline_s fd in
   (match handshake conn ~worker:config.worker_name ~fingerprint with
   | () -> ()
   | exception e ->
@@ -71,84 +136,180 @@ let connect ?(obs = Obs.disabled) config ~fingerprint =
       raise e);
   conn
 
-let run ?(obs = Obs.disabled) ?causal ?sample_budget config ~fingerprint engine prepared
-    ~seed =
-  let conn = connect ~obs config ~fingerprint in
+(* -- the reconnect state machine ---------------------------------------- *)
+
+let transient_reason = function
+  | Wire.Closed -> Some "connection closed"
+  | Wire.Timeout -> Some "socket deadline"
+  | Wire.Protocol_error msg -> Some msg
+  | Session_error msg -> Some msg
+  | Parked cooldown_s -> Some (Printf.sprintf "parked for %.1fs by the coordinator" cooldown_s)
+  | Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
+  | Sys_error msg -> Some msg
+  | _ -> None
+
+(* Decorrelated jitter (base grows multiplicatively but each sleep is a
+   fresh uniform draw in [base, prev * 3]), capped per-sleep. *)
+let next_backoff rng retry ~prev =
+  let hi = Float.max (retry.base_s *. 1.5) (prev *. 3.) in
+  Float.min retry.cap_s (retry.base_s +. Rng.float rng (hi -. retry.base_s))
+
+let run ?(obs = Obs.disabled) ?causal ?sample_budget
+    ?(on_reconnect = fun ~attempt:_ ~sleep_s:_ ~reason:_ -> ()) config ~fingerprint engine
+    prepared ~seed =
+  let mx = mx_create obs in
   let completed = ref 0 in
-  let run_one (a : Protocol.server_msg) =
-    match a with
-    | Protocol.Assign { shard; epoch; start; len } ->
-        let on_sample i =
-          if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
-            send conn (Protocol.Heartbeat { shard; epoch; samples_done = i });
-            match recv conn "heartbeat" with
-            | Protocol.Ack { accepted = true; _ } -> ()
-            | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
-            | _ -> protocol_error "heartbeat"
-          end
+  (* One session: serve leases until the campaign finishes. Raises on
+     any transport trouble; returns on No_work{finished}. *)
+  let session () =
+    let conn = connect ~obs config ~fingerprint in
+    let run_one (a : Protocol.server_msg) =
+      match a with
+      | Protocol.Assign { shard; epoch; start; len } ->
+          let on_sample i =
+            if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
+              send conn (Protocol.Heartbeat { shard; epoch; samples_done = i });
+              match recv conn "heartbeat" with
+              | Protocol.Ack { accepted = true; _ } -> ()
+              | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
+              | _ -> protocol_error "heartbeat"
+            end
+          in
+          (match
+             Campaign.run_shard ~obs ?causal ?sample_budget ~on_sample engine prepared ~seed
+               ~shard ~start ~len
+           with
+          | sh ->
+              send conn
+                (Protocol.Shard_done
+                   {
+                     shard;
+                     epoch;
+                     tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
+                     quarantined = sh.Campaign.sh_quarantined;
+                   });
+              (match recv conn "shard_done" with
+              | Protocol.Ack { accepted; _ } -> if accepted then incr completed
+              | _ -> protocol_error "shard_done")
+          | exception Lease_lost -> ());
+          `Continue
+      | Protocol.No_work { finished = true } -> `Finished
+      | Protocol.No_work { finished = false } ->
+          Unix.sleepf config.retry_delay_s;
+          `Continue
+      | Protocol.Reject { reason } -> raise (Session_error ("rejected: " ^ reason))
+      | _ -> protocol_error "request_shard"
+    in
+    Fun.protect
+      ~finally:(fun () -> Wire.close conn)
+      (fun () ->
+        let rec loop () =
+          send conn Protocol.Request_shard;
+          match run_one (recv conn "request_shard") with
+          | `Continue -> loop ()
+          | `Finished -> (
+              try send conn Protocol.Goodbye
+              with Wire.Closed | Wire.Timeout | Unix.Unix_error _ -> ())
         in
-        (match
-           Campaign.run_shard ~obs ?causal ?sample_budget ~on_sample engine prepared ~seed
-             ~shard ~start ~len
-         with
-        | sh ->
-            send conn
-              (Protocol.Shard_done
-                 {
-                   shard;
-                   epoch;
-                   tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
-                   quarantined = sh.Campaign.sh_quarantined;
-                 });
-            (match recv conn "shard_done" with
-            | Protocol.Ack { accepted; _ } -> if accepted then incr completed
-            | _ -> protocol_error "shard_done")
-        | exception Lease_lost -> ());
-        `Continue
-    | Protocol.No_work { finished = true } -> `Finished
-    | Protocol.No_work { finished = false } ->
-        Unix.sleepf config.retry_delay_s;
-        `Continue
-    | Protocol.Reject { reason } -> raise (Rejected reason)
-    | _ -> protocol_error "request_shard"
+        loop ())
   in
-  Fun.protect
-    ~finally:(fun () -> Wire.close conn)
-    (fun () ->
-      let rec loop () =
-        send conn Protocol.Request_shard;
-        match run_one (recv conn "request_shard") with
-        | `Continue -> loop ()
-        | `Finished -> send conn Protocol.Goodbye
-      in
-      loop ());
+  (* The worker's backoff schedule is drawn from its own substream of
+     the campaign seed, so a (seed, worker name) pair retries on a
+     replayable schedule under the chaos harness. *)
+  let rng =
+    Rng.substream ~seed:(Int64.of_int seed)
+      ~shard:(Hashtbl.hash config.worker_name land 0x3FFFFFFF)
+  in
+  let retry = config.retry in
+  let attempt = ref 0 in
+  let slept = ref 0. in
+  let prev = ref retry.base_s in
+  let finished = ref false in
+  while not !finished do
+    let before = !completed in
+    match session () with
+    | () -> finished := true
+    | exception e -> (
+        match transient_reason e with
+        | None -> raise e
+        | Some reason ->
+            (* A session that completed at least one shard was real
+               progress: the consecutive-attempt count restarts (the
+               total sleep budget never does, so a terminally flapping
+               link still terminates). *)
+            if !completed > before then attempt := 1 else incr attempt;
+            if !attempt > retry.max_attempts then
+              failwith
+                (Printf.sprintf "giving up after %d reconnect attempts (last: %s)"
+                   retry.max_attempts reason);
+            let sleep_s = next_backoff rng retry ~prev:!prev in
+            (* A Parked cooldown is a floor, not a suggestion: coming
+               back early just burns another breaker probe. *)
+            let sleep_s =
+              match e with Parked cooldown_s -> Float.max sleep_s cooldown_s | _ -> sleep_s
+            in
+            if !slept +. sleep_s > retry.budget_s then
+              failwith
+                (Printf.sprintf "reconnect budget (%.1fs) exhausted after %d attempts (last: %s)"
+                   retry.budget_s !attempt reason);
+            prev := sleep_s;
+            slept := !slept +. sleep_s;
+            Option.iter Metrics.inc mx.reconnects;
+            Option.iter (fun h -> Metrics.observe h sleep_s) mx.backoff;
+            on_reconnect ~attempt:!attempt ~sleep_s ~reason;
+            Obs.span obs ~cat:"dist" "reconnect-backoff" (fun () -> Unix.sleepf sleep_s))
+  done;
   !completed
 
-let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.5) ?(timeout_s = 600.) config
-    ~fingerprint =
+(* -- report fetching ----------------------------------------------------- *)
+
+type fetch_error =
+  | Fetch_timeout of float
+  | Fetch_rejected of string
+  | Fetch_unreachable of string
+  | Fetch_protocol of string
+
+let fetch_error_message = function
+  | Fetch_timeout waited ->
+      Printf.sprintf "timed out after %.1fs waiting for the campaign to finish" waited
+  | Fetch_rejected reason -> "rejected by coordinator: " ^ reason
+  | Fetch_unreachable reason -> "cannot reach coordinator: " ^ reason
+  | Fetch_protocol reason -> "protocol error: " ^ reason
+
+let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(timeout_s = 600.)
+    config ~fingerprint =
   match connect ~obs config ~fingerprint with
-  | exception Rejected reason -> Error ("rejected by coordinator: " ^ reason)
-  | exception Unix.Unix_error (e, _, _) ->
-      Error ("cannot reach coordinator: " ^ Unix.error_message e)
+  | exception Rejected reason -> Error (Fetch_rejected reason)
+  | exception Parked cooldown_s ->
+      Error (Fetch_rejected (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s))
+  | exception Unix.Unix_error (e, _, _) -> Error (Fetch_unreachable (Unix.error_message e))
   | conn ->
-      let deadline = Unix.gettimeofday () +. timeout_s in
+      let started = Clock.now () in
       Fun.protect
         ~finally:(fun () -> Wire.close conn)
         (fun () ->
-          let rec poll () =
+          (* The poll interval backs off geometrically to its cap: quick
+             answers stay quick, long campaigns do not get hammered. *)
+          let rec poll interval =
             send conn Protocol.Fetch_report;
             match recv conn "fetch_report" with
             | Protocol.Report { shards; quarantined; elapsed_s } ->
                 (try send conn Protocol.Goodbye with Wire.Closed | Unix.Unix_error _ -> ());
                 Ok (shards, quarantined, elapsed_s)
             | Protocol.Report_pending ->
-                if Unix.gettimeofday () > deadline then
-                  Error "timed out waiting for the campaign to finish"
+                let waited = Clock.now () -. started in
+                if waited > timeout_s then Error (Fetch_timeout waited)
                 else begin
-                  Unix.sleepf poll_s;
-                  poll ()
+                  Unix.sleepf interval;
+                  poll (Float.min poll_cap_s (interval *. 1.5))
                 end
-            | Protocol.Reject { reason } -> Error ("rejected: " ^ reason)
-            | _ -> Error "protocol error: unexpected reply to fetch_report"
+            | Protocol.Reject { reason } -> Error (Fetch_rejected reason)
+            | _ -> Error (Fetch_protocol "unexpected reply to fetch_report")
           in
-          try poll () with Wire.Closed -> Error "coordinator closed the connection")
+          try poll poll_s with
+          | Wire.Closed -> Error (Fetch_unreachable "coordinator closed the connection")
+          | Wire.Timeout -> Error (Fetch_timeout (Clock.now () -. started))
+          | Wire.Protocol_error msg -> Error (Fetch_protocol msg)
+          | Session_error msg -> Error (Fetch_protocol msg)
+          | Parked cooldown_s ->
+              Error (Fetch_rejected (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s)))

@@ -7,29 +7,64 @@
     the tally snapshot + quarantine entries back. Heartbeats are sent
     from the per-sample hook; a negatively-acked heartbeat (lost lease)
     abandons the shard mid-run — the re-issued lease reproduces the
-    bit-identical result elsewhere. *)
+    bit-identical result elsewhere.
+
+    Reconnects (DESIGN.md §11): a transport failure mid-campaign
+    (connection drop, corrupt stream, socket deadline, mid-session
+    reject, [Retry_later] parking) no longer kills the worker. The
+    in-flight shard is abandoned to epoch fencing and the worker
+    re-enters connecting with exponential backoff and decorrelated
+    jitter, bounded by {!retry.max_attempts} consecutive attempts and a
+    {!retry.budget_s} total-sleep budget. The backoff schedule draws
+    from the worker's own RNG substream of the campaign seed, so it
+    replays under the chaos harness. Only a handshake [Reject]
+    (version or fingerprint mismatch) is terminal. *)
 
 open Fmc
 
+exception Lease_lost
+(** Raised (internally) out of the heartbeat hook when the coordinator
+    fenced our lease; exposed for tests that drive the hook directly. *)
+
 exception Rejected of string
-(** The coordinator refused the connection (protocol version or campaign
-    fingerprint mismatch). *)
+(** The coordinator refused the handshake (protocol version or campaign
+    fingerprint mismatch). Terminal: retrying cannot help. *)
+
+type retry = {
+  base_s : float;  (** first backoff sleep *)
+  cap_s : float;  (** per-sleep ceiling *)
+  max_attempts : int;  (** consecutive failed sessions before giving up *)
+  budget_s : float;  (** total backoff sleep across the whole run *)
+}
+
+val default_retry : retry
+(** base 0.2s, cap 10s, 10 attempts, 300s budget. *)
+
+val next_backoff : Fmc_prelude.Rng.t -> retry -> prev:float -> float
+(** One decorrelated-jitter draw: uniform in
+    [\[base_s, max (1.5 * base_s) (3 * prev)\]], capped at [cap_s].
+    Exposed so the jitter bounds are testable; {!run} feeds each sleep
+    back as the next [prev]. *)
 
 type config = {
   addr : Wire.addr;
   worker_name : string;
   heartbeat_every : int;  (** samples between heartbeats; 0 disables *)
-  retry_delay_s : float;  (** backoff when all shards are leased out *)
-  connect_attempts : int;  (** connect retries (worker may start first) *)
+  retry_delay_s : float;  (** poll delay when all shards are leased out *)
+  connect_attempts : int;  (** TCP connect retries within one session *)
+  io_deadline_s : float;  (** socket read/write deadline ({!Wire.conn}) *)
+  retry : retry;  (** reconnect state-machine tuning *)
 }
 
 val default_config : addr:Wire.addr -> worker_name:string -> config
-(** heartbeat every 100 samples, 0.5s retry, 20 connect attempts. *)
+(** heartbeat every 100 samples, 0.5s retry, 20 connect attempts, 120s
+    io deadline, {!default_retry}. *)
 
 val run :
   ?obs:Fmc_obs.Obs.t ->
   ?causal:bool ->
   ?sample_budget:int ->
+  ?on_reconnect:(attempt:int -> sleep_s:float -> reason:string -> unit) ->
   config ->
   fingerprint:string ->
   Engine.t ->
@@ -40,19 +75,34 @@ val run :
     the number of shard results this worker got accepted. [causal],
     [sample_budget] and [seed] must match the fingerprint's campaign
     (the fingerprint encodes them — a mismatch is rejected at hello).
-    Under [obs], counts wire bytes and inherits {!Campaign.run_shard}'s
-    spans and tally metrics. Raises {!Rejected} or [Failure] on protocol
-    errors, [Unix.Unix_error] if the coordinator is unreachable. *)
+    [on_reconnect] fires before each backoff sleep (CLI logging).
+    Under [obs], counts wire bytes, [fmc_dist_reconnects_total], the
+    [fmc_dist_reconnect_backoff_seconds] histogram, and inherits
+    {!Campaign.run_shard}'s spans and tally metrics. Raises {!Rejected}
+    on a handshake refusal and [Failure] once the reconnect attempt cap
+    or time budget is exhausted. *)
+
+type fetch_error =
+  | Fetch_timeout of float  (** waited this many seconds *)
+  | Fetch_rejected of string
+  | Fetch_unreachable of string
+  | Fetch_protocol of string
+
+val fetch_error_message : fetch_error -> string
 
 val fetch_report :
   ?obs:Fmc_obs.Obs.t ->
   ?poll_s:float ->
+  ?poll_cap_s:float ->
   ?timeout_s:float ->
   config ->
   fingerprint:string ->
-  ((int * string) list * Campaign.quarantine_entry list * float, string) result
-(** Poll the coordinator (every [poll_s], default 0.5s, up to
-    [timeout_s], default 600) until the campaign finishes; returns the
+  ((int * string) list * Campaign.quarantine_entry list * float, fetch_error) result
+(** Poll the coordinator until the campaign finishes; returns the
     per-shard tally blobs (ascending shard id), the quarantine log
     (sorted by global sample index) and the coordinator's elapsed
-    seconds — feed the blobs to {!Merge.report_of_blobs}. *)
+    seconds — feed the blobs to {!Merge.report_of_blobs}. The poll
+    interval starts at [poll_s] (default 0.25s) and backs off
+    geometrically to [poll_cap_s] (default 2s); after [timeout_s]
+    (default 600) of [Report_pending] the result is [Fetch_timeout].
+    All failures are typed ({!fetch_error}), never raised. *)

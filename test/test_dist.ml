@@ -131,7 +131,8 @@ let test_quarantine_codec_roundtrip () =
 let test_protocol_roundtrip () =
   let client_msgs =
     [
-      Protocol.Hello { version = 1; worker = "w1"; fingerprint = "v1 strategy=mixed seed=7" };
+      Protocol.Hello
+        { version = Protocol.version; worker = "w1"; fingerprint = "v2 strategy=mixed seed=7" };
       Protocol.Request_shard;
       Protocol.Heartbeat { shard = 3; epoch = 2; samples_done = 40 };
       Protocol.Shard_done
@@ -163,7 +164,8 @@ let test_protocol_roundtrip () =
     client_msgs;
   let server_msgs =
     [
-      Protocol.Welcome { version = 1 };
+      Protocol.Welcome { version = Protocol.version };
+      Protocol.Retry_later { cooldown_s = 2.5 };
       Protocol.Assign { shard = 0; epoch = 1; start = 0; len = 100 };
       Protocol.No_work { finished = true };
       Protocol.No_work { finished = false };
@@ -443,7 +445,7 @@ let test_loopback_campaign_with_dead_worker () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "fingerprint mismatch must be rejected");
       (match Worker.fetch_report ~poll_s:0.05 ~timeout_s:10. fcfg ~fingerprint with
-      | Error msg -> Alcotest.failf "fetch failed: %s" msg
+      | Error err -> Alcotest.failf "fetch failed: %s" (Worker.fetch_error_message err)
       | Ok (shards, quarantined, _) ->
           Alcotest.(check int) "resumed shards" (Array.length plan) (List.length shards);
           Alcotest.(check int) "resumed quarantines" 0 (List.length quarantined);
