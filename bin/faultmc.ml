@@ -10,7 +10,11 @@
      lint          static-analysis passes over the benchmark netlists
      bench         standard benchmarks under full observability (BENCH_<rev>.json)
      serve         distributed-campaign coordinator (shard leases over TCP/Unix sockets)
-     worker        distributed-campaign worker (leases shards from a coordinator)
+     worker        distributed-campaign worker (leases shards from a coordinator or pool)
+     sched         multi-campaign scheduler (durable WAL queue, crash recovery, shedding)
+     submit        queue a campaign on a scheduler (and optionally wait for its report)
+     status        a scheduler's queue, progress and ETAs
+     cancel        cancel a queued or running campaign
      experiments   regenerate every paper figure and table *)
 
 open Cmdliner
@@ -27,16 +31,30 @@ let seed_arg =
   let doc = "Random seed (runs are fully deterministic for a fixed seed)." in
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Name → value resolution shared by the arg parsers and the pool
+   worker's spec resolver (specs carry names over the wire). *)
+let benchmark_of_name = function
+  | "write" | "illegal-write" -> Some Fmc_isa.Programs.illegal_write
+  | "read" | "illegal-read" -> Some Fmc_isa.Programs.illegal_read
+  | "exec" | "illegal-exec" -> Some Fmc_isa.Programs.illegal_exec
+  | _ -> None
+
+let strategy_of_name = function
+  | "random" -> Some Fmc.Sampler.Random
+  | "cone" | "fanin-cone" -> Some Fmc.Sampler.Fanin_cone
+  | "importance" -> Some Fmc.Sampler.default_importance
+  | "mixed" -> Some Fmc.Sampler.default_mixed
+  | _ -> None
+
 let benchmark_arg =
   let doc =
     "Benchmark program: $(b,write) (illegal memory write), $(b,read) (illegal memory read) or \
      $(b,exec) (illegal execution of privileged code)."
   in
-  let parse = function
-    | "write" -> Ok Fmc_isa.Programs.illegal_write
-    | "read" -> Ok Fmc_isa.Programs.illegal_read
-    | "exec" -> Ok Fmc_isa.Programs.illegal_exec
-    | s -> Error (`Msg (Printf.sprintf "unknown benchmark %S (expected write|read|exec)" s))
+  let parse s =
+    match benchmark_of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S (expected write|read|exec)" s))
   in
   let print fmt (p : Fmc_isa.Programs.t) = Format.fprintf fmt "%s" p.Fmc_isa.Programs.name in
   Arg.(
@@ -49,12 +67,10 @@ let strategy_arg =
     "Sampling strategy: $(b,random), $(b,cone) (fan-in-cone restricted), $(b,importance), or \
      $(b,mixed) (the paper's hybrid of importance sampling and analytical evaluation)."
   in
-  let parse = function
-    | "random" -> Ok Fmc.Sampler.Random
-    | "cone" -> Ok Fmc.Sampler.Fanin_cone
-    | "importance" -> Ok Fmc.Sampler.default_importance
-    | "mixed" -> Ok Fmc.Sampler.default_mixed
-    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  let parse s =
+    match strategy_of_name s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
   in
   let print fmt s = Format.fprintf fmt "%s" (Fmc.Sampler.strategy_name s) in
   Arg.(value & opt (conv (parse, print)) Fmc.Sampler.default_mixed & info [ "s"; "strategy" ] ~docv:"STRAT" ~doc)
@@ -168,6 +184,16 @@ let dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_bud
     ~strategy:(Fmc.Sampler.strategy_name strategy)
     ~benchmark:benchmark.Fmc_isa.Programs.name ~samples ~seed ~shard_size ~sample_budget
 
+let spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget =
+  {
+    Fmc_dist.Protocol.sp_benchmark = benchmark.Fmc_isa.Programs.name;
+    sp_strategy = Fmc.Sampler.strategy_name strategy;
+    sp_samples = samples;
+    sp_seed = seed;
+    sp_shard_size = shard_size;
+    sp_sample_budget = sample_budget;
+  }
+
 let parse_addr_or_die s =
   match Fmc_dist.Wire.parse_addr s with
   | Ok a -> a
@@ -178,6 +204,28 @@ let parse_addr_or_die s =
 let addr_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Fmc_dist.Wire.parse_addr s) in
   let print fmt a = Format.fprintf fmt "%s" (Fmc_dist.Wire.addr_to_string a) in
+  Arg.conv (parse, print)
+
+(* Durations: a bare number is seconds; "ms"/"s"/"m"/"h" suffixes scale. *)
+let parse_duration s =
+  let scaled num unit =
+    match float_of_string_opt num with
+    | Some v when v >= 0. -> Ok (v *. unit)
+    | _ -> Error (Printf.sprintf "bad duration %S (want e.g. 30, 30s, 500ms, 5m, 1h)" s)
+  in
+  let n = String.length s in
+  if n = 0 then Error "empty duration"
+  else if n >= 2 && String.sub s (n - 2) 2 = "ms" then scaled (String.sub s 0 (n - 2)) 0.001
+  else
+    match s.[n - 1] with
+    | 's' -> scaled (String.sub s 0 (n - 1)) 1.
+    | 'm' -> scaled (String.sub s 0 (n - 1)) 60.
+    | 'h' -> scaled (String.sub s 0 (n - 1)) 3600.
+    | _ -> scaled s 1.
+
+let duration_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (parse_duration s) in
+  let print fmt v = Format.fprintf fmt "%gs" v in
   Arg.conv (parse, print)
 
 let shard_size_arg =
@@ -380,8 +428,8 @@ let evaluate_cmd =
                   | Some path -> Fmc.Campaign.resume ~config ~obs engine prep ~path
                   | None -> Fmc.Campaign.run ~config ~obs engine prep ~samples ~seed
                 with
-                | Fmc.Campaign.Corrupt_checkpoint msg ->
-                    Format.eprintf "faultmc: unusable checkpoint: %s@." msg;
+                | Fmc.Campaign.Checkpoint_corrupt { path; reason } ->
+                    Format.eprintf "faultmc: unusable checkpoint %s: %s@." path reason;
                     exit 2
                 | Sys_error msg ->
                     Format.eprintf "faultmc: %s@." msg;
@@ -816,9 +864,9 @@ let bench_cmd =
 (* serve *)
 
 let serve_cmd =
-  let run benchmark strategy samples seed addr shard_size ttl linger checkpoint sample_budget
-      require_workers io_deadline breaker_failures breaker_cooldown chaos_plan chaos_seed chaos_log
-      json metrics_out trace_out =
+  let run benchmark strategy samples seed addr shard_size ttl linger max_idle checkpoint
+      sample_budget require_workers io_deadline breaker_failures breaker_cooldown chaos_plan
+      chaos_seed chaos_log json metrics_out trace_out =
     let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
     let plan =
       try Fmc.Ssf.shard_plan ~samples ~shard_size
@@ -853,6 +901,7 @@ let serve_cmd =
         linger_s = linger;
         io_deadline_s = io_deadline;
         require_workers;
+        max_idle_s = max_idle;
         breaker =
           { Fmc_dist.Breaker.failure_threshold = breaker_failures; cooldown_s = breaker_cooldown };
       }
@@ -906,9 +955,21 @@ let serve_cmd =
   in
   let linger =
     Arg.(
-      value & opt float 5.
-      & info [ "linger" ] ~docv:"SECONDS"
-          ~doc:"Keep answering report fetches this long after the campaign completes.")
+      value
+      & opt duration_conv 5.
+      & info [ "linger" ] ~docv:"DURATION"
+          ~doc:
+            "Keep answering report fetches this long after the campaign completes (a bare number \
+             is seconds; $(b,ms)/$(b,s)/$(b,m)/$(b,h) suffixes work, e.g. $(b,5m)).")
+  in
+  let max_idle =
+    Arg.(
+      value
+      & opt duration_conv 0.
+      & info [ "max-idle" ] ~docv:"DURATION"
+          ~doc:
+            "Exit with an error if the campaign is unfinished and no worker has been connected \
+             for $(docv) (same duration syntax as $(b,--linger)); 0 waits forever.")
   in
   let checkpoint =
     Arg.(
@@ -966,22 +1027,18 @@ let serve_cmd =
           merge bit-exactly.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
-      $ shard_size_arg $ ttl $ linger $ checkpoint $ sample_budget $ require_workers $ io_deadline
-      $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator" $ chaos_seed_arg
-      $ chaos_log_arg $ json $ metrics_out_arg $ trace_out_arg)
+      $ shard_size_arg $ ttl $ linger $ max_idle $ checkpoint $ sample_budget $ require_workers
+      $ io_deadline $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator"
+      $ chaos_seed_arg $ chaos_log_arg $ json $ metrics_out_arg $ trace_out_arg)
 
 (* worker *)
 
 let worker_cmd =
-  let run benchmark strategy samples seed addr shard_size sample_budget name heartbeat_every
+  let run benchmark strategy samples seed addr pool shard_size sample_budget name heartbeat_every
       io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed chaos_log metrics_out
       trace_out progress =
     with_context @@ fun ctx ->
-    let engine, prep = prepared ctx benchmark strategy in
     let obs = build_obs ~metrics_out ~trace_out ~progress in
-    let fingerprint =
-      dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
-    in
     let name =
       match name with Some n -> n | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
     in
@@ -1017,9 +1074,32 @@ let worker_cmd =
       stop_chaos ();
       if code <> 0 then exit code
     in
-    match
-      Fmc_dist.Worker.run ~obs ?sample_budget ~on_reconnect config ~fingerprint engine prep ~seed
-    with
+    let campaign () =
+      if pool then
+        (* Pool mode: the scheduler names each job's campaign in its
+           spec; resolve benchmarks/strategies from those names. *)
+        let resolve (spec : Fmc_dist.Protocol.spec) =
+          match
+            (benchmark_of_name spec.Fmc_dist.Protocol.sp_benchmark,
+             strategy_of_name spec.Fmc_dist.Protocol.sp_strategy)
+          with
+          | None, _ ->
+              Error (Printf.sprintf "unknown benchmark %S" spec.Fmc_dist.Protocol.sp_benchmark)
+          | _, None ->
+              Error (Printf.sprintf "unknown strategy %S" spec.Fmc_dist.Protocol.sp_strategy)
+          | Some b, Some s -> Ok (prepared ctx b s)
+        in
+        Fmc_dist.Worker.run_pool ~obs ~on_reconnect config ~resolve ()
+      else begin
+        let engine, prep = prepared ctx benchmark strategy in
+        let fingerprint =
+          dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
+        in
+        Fmc_dist.Worker.run ~obs ?sample_budget ~on_reconnect config ~fingerprint engine prep
+          ~seed
+      end
+    in
+    match campaign () with
     | accepted ->
         Format.fprintf ppf "worker %s: %d shard result(s) accepted@." name accepted;
         flush_obs_outputs ~metrics_out ~trace_out obs;
@@ -1040,6 +1120,15 @@ let worker_cmd =
       required
       & opt (some addr_conv) None
       & info [ "connect" ] ~docv:"ADDR" ~doc:"Coordinator address: HOST:PORT or unix:PATH.")
+  in
+  let pool =
+    Arg.(
+      value & flag
+      & info [ "pool" ]
+          ~doc:
+            "Shared-pool mode against a multi-campaign scheduler ($(b,faultmc sched)): lease \
+             shards from whichever campaign the scheduler picks (its job messages carry the \
+             campaign spec), until it drains. The campaign-identity options are ignored.")
   in
   let sample_budget =
     Arg.(
@@ -1087,10 +1176,321 @@ let worker_cmd =
          "Run distributed-campaign shards for a coordinator. The benchmark, strategy, -n, --seed, \
           --shard-size and --sample-budget must match the coordinator's campaign.")
     Term.(
-      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr $ pool
       $ shard_size_arg $ sample_budget $ name_arg $ heartbeat_every $ io_deadline
       $ reconnect_attempts $ reconnect_budget $ chaos_plan_arg "worker's coordinator link"
       $ chaos_seed_arg $ chaos_log_arg $ metrics_out_arg $ trace_out_arg $ progress_arg)
+
+(* sched / submit / status / cancel — the multi-campaign scheduler *)
+
+let connect_arg what =
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:(Printf.sprintf "%s address: HOST:PORT or unix:PATH." what))
+
+let client_config addr =
+  Fmc_dist.Worker.default_config ~addr
+    ~worker_name:(Printf.sprintf "client-%d" (Unix.getpid ()))
+
+let state_name = function
+  | Fmc_dist.Protocol.Queued -> "queued"
+  | Fmc_dist.Protocol.Running -> "running"
+  | Fmc_dist.Protocol.Finished -> "finished"
+  | Fmc_dist.Protocol.Parked -> "parked"
+  | Fmc_dist.Protocol.Cancelled -> "cancelled"
+
+let eta_string eta = if eta < 0. then "-" else Printf.sprintf "%.0fs" eta
+
+let render_status_entry ppf (e : Fmc_dist.Protocol.status_entry) =
+  let position =
+    if e.Fmc_dist.Protocol.st_position < 0 then "-"
+    else
+      Printf.sprintf "%d/%d" e.Fmc_dist.Protocol.st_position e.Fmc_dist.Protocol.st_queue_len
+  in
+  Format.fprintf ppf "%-9s pos %s  %d/%d samples  %.0f samples/s  eta %s  %s%s"
+    (state_name e.Fmc_dist.Protocol.st_state)
+    position
+    e.Fmc_dist.Protocol.st_samples_done e.Fmc_dist.Protocol.st_samples_total
+    (Float.max 0. e.Fmc_dist.Protocol.st_rate)
+    (eta_string e.Fmc_dist.Protocol.st_eta_s)
+    e.Fmc_dist.Protocol.st_fingerprint
+    (if e.Fmc_dist.Protocol.st_detail = "" then ""
+     else Printf.sprintf "  (%s)" e.Fmc_dist.Protocol.st_detail)
+
+let sched_cmd =
+  let run addr state_dir queue_depth ttl wall_budget retry_after max_idle io_deadline
+      metrics_out trace_out =
+    let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
+    let config =
+      {
+        Fmc_sched.Service.addr;
+        state_dir;
+        sched =
+          {
+            Fmc_sched.Sched.default_config with
+            queue_depth;
+            ttl_s = ttl;
+            wall_budget_s = wall_budget;
+            retry_after_s = retry_after;
+          };
+        max_idle_s = max_idle;
+        io_deadline_s = io_deadline;
+        handle_signals = true;
+      }
+    in
+    Format.eprintf "scheduler on %s, state in %s@." (Fmc_dist.Wire.addr_to_string addr) state_dir;
+    match Fmc_sched.Service.serve ~obs config with
+    | outcome ->
+        Format.fprintf ppf "scheduler exiting: %s@."
+          (match outcome.Fmc_sched.Service.sv_reason with
+          | Fmc_sched.Service.Drained -> "drained"
+          | Fmc_sched.Service.Idle -> "idle past --max-idle");
+        flush_obs_outputs ~metrics_out ~trace_out obs;
+        0
+    | exception Failure msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        flush_obs_outputs ~metrics_out ~trace_out obs;
+        exit 2
+  in
+  let addr =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR" ~doc:"Listen address: HOST:PORT or unix:PATH.")
+  in
+  let state_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable scheduler state: the submission-queue WAL and per-campaign checkpoints. \
+             Restarting with the same $(docv) recovers every queued, running and finished \
+             campaign — even after kill -9.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission control: submissions beyond $(docv) queued-or-running campaigns are shed \
+             with a typed rejection and a retry-after hint; 0 disables.")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 30.
+      & info [ "lease-ttl" ] ~docv:"SECONDS"
+          ~doc:"Shard lease lifetime without a heartbeat, as for $(b,faultmc serve).")
+  in
+  let wall_budget =
+    Arg.(
+      value
+      & opt duration_conv 0.
+      & info [ "wall-budget" ] ~docv:"DURATION"
+          ~doc:
+            "Park any campaign still unfinished this long after its first lease (it stops \
+             consuming the pool; the scheduler lives on). 0 disables.")
+  in
+  let retry_after =
+    Arg.(
+      value
+      & opt duration_conv 5.
+      & info [ "retry-after" ] ~docv:"DURATION"
+          ~doc:"Retry hint carried by queue-full rejections.")
+  in
+  let max_idle =
+    Arg.(
+      value
+      & opt duration_conv 0.
+      & info [ "max-idle" ] ~docv:"DURATION"
+          ~doc:
+            "Exit once the queue has been empty (nothing queued or running) this long; 0 serves \
+             forever. Same duration syntax as $(b,--linger) on $(b,serve).")
+  in
+  let io_deadline =
+    Arg.(
+      value & opt float 120.
+      & info [ "io-deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-connection socket read/write deadline.")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Run the multi-campaign scheduler: a durable WAL-backed submission queue leasing shards \
+          of every active campaign to a shared worker pool, with crash recovery, report caching \
+          and overload shedding.")
+    Term.(
+      const run $ addr $ state_dir $ queue_depth $ ttl $ wall_budget $ retry_after $ max_idle
+      $ io_deadline $ metrics_out_arg $ trace_out_arg)
+
+let submit_cmd =
+  let run benchmark strategy samples seed shard_size sample_budget addr wait timeout json
+      metrics_out trace_out =
+    let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
+    let spec = spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget in
+    let config = client_config addr in
+    match Fmc_dist.Worker.submit ~obs config spec with
+    | Error msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 1
+    | Ok (Fmc_dist.Worker.Submit_rejected { retry_after_s; reason }) ->
+        (* Typed shed: exit 3 so scripts can tell "try later" from
+           real failures, as the retry-after hint suggests. *)
+        Format.eprintf "faultmc: submission rejected: %s; retry in %.0fs@." reason retry_after_s;
+        exit 3
+    | Ok reply -> (
+        (match reply with
+        | Fmc_dist.Worker.Submit_cached ->
+            Format.eprintf "campaign already finished; report is cached@."
+        | Fmc_dist.Worker.Submit_queued position ->
+            Format.eprintf "queued at position %d@." position
+        | Fmc_dist.Worker.Submit_rejected _ -> assert false);
+        if not wait then 0
+        else begin
+          (* Wait for the report on a campaign-scoped connection,
+             surfacing queue position and ETA while it is pending. *)
+          let last = ref "" in
+          let on_pending e =
+            let line = Format.asprintf "%a" render_status_entry e in
+            if line <> !last then begin
+              last := line;
+              Format.eprintf "%s@." line
+            end
+          in
+          let fingerprint = Fmc_dist.Protocol.spec_fingerprint spec in
+          match
+            Fmc_dist.Worker.fetch_report ~obs ~timeout_s:timeout ~on_pending config ~fingerprint
+          with
+          | Error err ->
+              Format.eprintf "faultmc: %s@." (Fmc_dist.Worker.fetch_error_message err);
+              exit 1
+          | Ok (shards, quarantined, elapsed_s) -> (
+              match
+                Fmc_dist.Merge.report_of_blobs
+                  ~strategy:(Fmc.Sampler.strategy_name strategy)
+                  shards
+              with
+              | Error msg ->
+                  Format.eprintf "faultmc: %s@." msg;
+                  exit 1
+              | Ok report ->
+                  let q = List.length quarantined in
+                  if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
+                  if json then print_endline (Fmc.Export.report_json report)
+                  else begin
+                    Format.fprintf ppf "benchmark: %s@.%a@." benchmark.Fmc_isa.Programs.name
+                      Fmc.Report.ssf_report report;
+                    let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+                    Format.fprintf ppf "95%% confidence interval: [%.5f, %.5f]@." lo hi;
+                    Format.fprintf ppf "campaign wall clock: %.2f s (scheduled)@." elapsed_s
+                  end;
+                  flush_obs_outputs ~metrics_out ~trace_out obs;
+                  0)
+        end)
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:"Block until the campaign finishes and print its report (like $(b,evaluate)).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt duration_conv 600.
+      & info [ "timeout" ] ~docv:"DURATION" ~doc:"Give up waiting after this long (with --wait).")
+  in
+  let sample_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"CYCLES"
+          ~doc:"Per-sample RTL cycle budget (part of the campaign identity).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON (with --wait).") in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a multi-campaign scheduler. Resubmitting a finished campaign is \
+          free: the scheduler answers from its report cache.")
+    Term.(
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ shard_size_arg
+      $ sample_budget $ connect_arg "Scheduler" $ wait $ timeout $ json $ metrics_out_arg
+      $ trace_out_arg)
+
+let status_cmd =
+  let run addr fingerprint =
+    let config = client_config addr in
+    match Fmc_dist.Worker.sched_status config ~fingerprint with
+    | Error msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 1
+    | Ok [] ->
+        Format.fprintf ppf "no campaigns@.";
+        0
+    | Ok entries ->
+        List.iter (fun e -> Format.fprintf ppf "%a@." render_status_entry e) entries;
+        0
+  in
+  let fingerprint =
+    Arg.(
+      value & opt string ""
+      & info [ "fingerprint" ] ~docv:"FP"
+          ~doc:
+            "Show only this campaign (the fingerprint $(b,submit) printed); default lists every \
+             campaign in submission order.")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show a multi-campaign scheduler's queue, progress and ETAs.")
+    Term.(const run $ connect_arg "Scheduler" $ fingerprint)
+
+let cancel_cmd =
+  let run benchmark strategy samples seed shard_size sample_budget addr fingerprint =
+    let config = client_config addr in
+    let fingerprint =
+      match fingerprint with
+      | Some fp -> fp
+      | None ->
+          Fmc_dist.Protocol.spec_fingerprint
+            (spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget)
+    in
+    match Fmc_dist.Worker.cancel config ~fingerprint with
+    | Error msg ->
+        Format.eprintf "faultmc: %s@." msg;
+        exit 1
+    | Ok (true, _) ->
+        Format.fprintf ppf "cancelled@.";
+        0
+    | Ok (false, reason) ->
+        Format.eprintf "faultmc: not cancelled: %s@." reason;
+        exit 1
+  in
+  let fingerprint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fingerprint" ] ~docv:"FP"
+          ~doc:
+            "Cancel by exact fingerprint instead of recomputing it from the campaign-identity \
+             options.")
+  in
+  let sample_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-budget" ] ~docv:"CYCLES"
+          ~doc:"Per-sample RTL cycle budget (part of the campaign identity).")
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a queued or running campaign on a multi-campaign scheduler. Resubmitting the \
+          same spec later starts it from scratch.")
+    Term.(
+      const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ shard_size_arg
+      $ sample_budget $ connect_arg "Scheduler" $ fingerprint)
 
 (* experiments *)
 
@@ -1120,4 +1520,5 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
     [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; bench_cmd;
-      serve_cmd; worker_cmd; trace_cmd; dot_cmd; experiments_cmd ]))
+      serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; trace_cmd; dot_cmd;
+      experiments_cmd ]))

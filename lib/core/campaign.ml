@@ -44,41 +44,52 @@ type result = {
   samples_per_sec : float;
 }
 
-let checkpoint_version = 3
+let checkpoint_version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialization: a line-oriented, versioned text format.
    Since v3 the whole tally state is the shared {!Ssf.Tally.to_string}
    codec (the same serializer the distributed wire protocol ships shard
    results with); the checkpoint adds a campaign header (strategy, seed,
-   RNG state) around it. Floats are hex float literals ("%h"), which
-   round-trip bit-exactly through [float_of_string]; the RNG state is the
-   SplitMix64 int64 word. The file is written to a sibling ".tmp" and
-   atomically renamed into place, so a kill mid-write can never destroy
-   the previous good checkpoint. *)
+   RNG state) around it. v4 appends a "crc %08x" trailer line — the
+   CRC-32 of every byte up to and including the "end" marker — so a
+   truncated or bit-flipped checkpoint is detected before any of it is
+   parsed. Floats are hex float literals ("%h"), which round-trip
+   bit-exactly through [float_of_string]; the RNG state is the SplitMix64
+   int64 word. The file is written to a sibling ".tmp" and atomically
+   renamed into place, so a kill mid-write can never destroy the previous
+   good checkpoint. *)
 
-exception Corrupt_checkpoint of string
+exception Checkpoint_corrupt of { path : string; reason : string }
 
 let () =
   Printexc.register_printer (function
-    | Corrupt_checkpoint msg -> Some (Printf.sprintf "Campaign.Corrupt_checkpoint(%s)" msg)
+    | Checkpoint_corrupt { path; reason } ->
+        Some (Printf.sprintf "Campaign.Checkpoint_corrupt(%s: %s)" path reason)
     | _ -> None)
 
-let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt_checkpoint msg)) fmt
+let corrupt_at path fmt =
+  Printf.ksprintf (fun reason -> raise (Checkpoint_corrupt { path; reason })) fmt
 
 let hexf = Printf.sprintf "%h"
 
+let checkpoint_body ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
+  let body = Buffer.create 1024 in
+  Printf.bprintf body "faultmc-campaign %d\n" checkpoint_version;
+  Printf.bprintf body "strategy %s\n" strategy;
+  Printf.bprintf body "seed %d\n" seed;
+  Printf.bprintf body "rng %Ld\n" rng_state;
+  Buffer.add_string body (Ssf.Tally.to_string s);
+  Buffer.add_string body "end\n";
+  Buffer.contents body
+
 let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
+  let body = checkpoint_body ~seed ~strategy ~rng_state s in
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   (try
-     let pr fmt = Printf.fprintf oc fmt in
-     pr "faultmc-campaign %d\n" checkpoint_version;
-     pr "strategy %s\n" strategy;
-     pr "seed %d\n" seed;
-     pr "rng %Ld\n" rng_state;
-     output_string oc (Ssf.Tally.to_string s);
-     pr "end\n"
+     output_string oc body;
+     Printf.fprintf oc "crc %08x\n" (Fmc_prelude.Crc32.string body)
    with e ->
      close_out_noerr oc;
      raise e);
@@ -92,13 +103,72 @@ type checkpoint = {
   ck_snapshot : Ssf.Tally.snapshot;
 }
 
-let read_checkpoint path =
-  let ic = open_in path in
+let read_whole_file path =
+  let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* Strip and verify the v4 "crc %08x" trailer, returning the covered
+   body. Any framing defect — no trailing newline, no trailer line, a
+   malformed word, a digest mismatch — means the file was truncated or
+   corrupted after it was sealed, and is reported as such rather than as
+   whatever parse error the damaged body would have produced. *)
+let verify_crc_trailer path raw =
+  let corrupt fmt = corrupt_at path fmt in
+  let n = String.length raw in
+  if n = 0 || raw.[n - 1] <> '\n' then corrupt "truncated: missing CRC trailer";
+  let tl_start =
+    match String.rindex_from_opt raw (n - 2) '\n' with Some i -> i + 1 | None -> 0
+  in
+  let trailer = String.sub raw tl_start (n - tl_start - 1) in
+  let stored =
+    match String.split_on_char ' ' trailer with
+    | [ "crc"; v ] when String.length v = 8 -> (
+        match int_of_string_opt ("0x" ^ v) with
+        | Some c -> c
+        | None -> corrupt "malformed CRC trailer %S" trailer)
+    | _ -> corrupt "truncated: missing CRC trailer (last line %S)" trailer
+  in
+  let body = String.sub raw 0 tl_start in
+  let computed = Fmc_prelude.Crc32.string body in
+  if computed <> stored then
+    corrupt "CRC mismatch: stored %08x, computed %08x (truncated or corrupted)" stored computed;
+  body
+
+let read_checkpoint path =
+  let corrupt fmt = corrupt_at path fmt in
+  let raw =
+    try read_whole_file path with Sys_error msg -> corrupt "unreadable: %s" msg
+  in
+  let header =
+    match String.index_opt raw '\n' with
+    | Some i -> String.sub raw 0 i
+    | None -> corrupt "missing header line"
+  in
+  let version =
+    match String.split_on_char ' ' header with
+    | [ "faultmc-campaign"; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> corrupt "malformed version %S" v)
+    | _ -> corrupt "malformed header %S" header
+  in
+  let body =
+    if version = checkpoint_version then verify_crc_trailer path raw
+    else if version = 3 then raw (* pre-CRC format, still readable *)
+    else
+      corrupt "unsupported checkpoint version %d (this binary reads v3-v%d)" version
+        checkpoint_version
+  in
+  let lines = ref (String.split_on_char '\n' body) in
   let lineno = ref 0 in
   let line () =
     incr lineno;
-    try input_line ic with End_of_file -> corrupt "truncated checkpoint at line %d" !lineno
+    match !lines with
+    | [] | [ "" ] -> corrupt "truncated checkpoint at line %d" !lineno
+    | l :: rest ->
+        lines := rest;
+        l
   in
   let fields key =
     let l = line () in
@@ -111,17 +181,14 @@ let read_checkpoint path =
     match fields key with [ v ] -> v | l -> corrupt "line %d: %s wants 1 field, got %d" !lineno key (List.length l)
   in
   let int_of key v = try int_of_string v with _ -> corrupt "line %d: bad int %S in %s" !lineno v key in
-  (match fields "faultmc-campaign" with
-  | [ v ] when int_of "version" v = checkpoint_version -> ()
-  | [ v ] -> corrupt "unsupported checkpoint version %s (this binary reads v%d)" v checkpoint_version
-  | _ -> corrupt "malformed header");
+  ignore (fields "faultmc-campaign" : string list);
   let strategy = one "strategy" in
   let seed = int_of "seed" (one "seed") in
   let rng =
     let v = one "rng" in
     try Int64.of_string v with _ -> corrupt "line %d: bad rng state %S" !lineno v
   in
-  (* The rest of the file up to the "end" marker is the shared tally codec. *)
+  (* The rest of the body up to the "end" marker is the shared tally codec. *)
   let buf = Buffer.create 1024 in
   let rec collect () =
     match line () with
@@ -437,7 +504,8 @@ let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample
 let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?stop engine prepared ~path =
   let ck = read_checkpoint path in
   if ck.ck_strategy <> Sampler.name prepared then
-    corrupt "checkpoint was taken under strategy %S, not %S (the sample stream would diverge)"
+    corrupt_at path
+      "checkpoint was taken under strategy %S, not %S (the sample stream would diverge)"
       ck.ck_strategy (Sampler.name prepared);
   let config =
     let c = Option.value config ~default:default_config in

@@ -17,18 +17,22 @@
 
     {2 Checkpoint format}
 
-    A versioned line-oriented text file (header [faultmc-campaign 3];
+    A versioned line-oriented text file (header [faultmc-campaign 4];
     v3 factored the whole tally state out into the shared
     {!Ssf.Tally.to_string} codec — the same serializer the distributed
     campaign service ([Fmc_dist]) ships shard results and coordinator
     state with — leaving the checkpoint a campaign header (strategy,
-    seed, RNG state) around that blob. Older versions are refused rather
-    than silently misread. Every float is a hex float literal ([%h]) so
-    the round-trip through [float_of_string] is bit-exact; the RNG state
-    is the raw SplitMix64 int64 word. Checkpoints are written to
-    [path ^ ".tmp"] and renamed into place, so a crash mid-write never
-    corrupts the previous checkpoint. Unknown versions and malformed
-    files raise {!Corrupt_checkpoint}.
+    seed, RNG state) around that blob; v4 seals the file with a
+    [crc %08x] trailer line (CRC-32 of every byte up to and including
+    the [end] marker), so truncation or bit rot is detected before any
+    of the body is parsed. v3 files (no trailer) are still read; older
+    versions are refused rather than silently misread. Every float is a
+    hex float literal ([%h]) so the round-trip through
+    [float_of_string] is bit-exact; the RNG state is the raw SplitMix64
+    int64 word. Checkpoints are written to [path ^ ".tmp"] and renamed
+    into place, so a crash mid-write never corrupts the previous
+    checkpoint. Unknown versions, CRC mismatches and malformed files
+    raise {!Checkpoint_corrupt} carrying the offending path.
 
     {2 Failure journal}
 
@@ -84,7 +88,11 @@ type result = {
           downtime before its checkpoint); 0 when [elapsed_s] is 0 *)
 }
 
-exception Corrupt_checkpoint of string
+exception Checkpoint_corrupt of { path : string; reason : string }
+(** A checkpoint file that cannot be trusted: unreadable, truncated,
+    failing its CRC-32 trailer, malformed, an unsupported version, or
+    taken under a different sampling strategy. [path] is the offending
+    file. *)
 
 val run :
   ?config:config ->
@@ -212,5 +220,5 @@ val resume :
     benchmark, strategy and parameters) — the checkpoint carries the
     strategy name and refuses a mismatch, but cannot verify the rest.
     Unless [config] overrides [checkpoint_path], further checkpoints are
-    written back to [path]. Raises {!Corrupt_checkpoint} on a malformed,
-    truncated or version-mismatched file. *)
+    written back to [path]. Raises {!Checkpoint_corrupt} on a malformed,
+    truncated, CRC-failing or version-mismatched file. *)

@@ -2,14 +2,17 @@
    accepted shard result, written with the same atomic tmp+rename
    discipline and the same embedded serializers (Ssf.Tally.to_string,
    Campaign.quarantine_entry_to_string) as the single-process campaign
-   checkpoint. Restoring seeds the lease table's Done set, so a crashed
-   coordinator resumes without re-running finished shards — and because
-   shard results depend only on (seed, shard), the resumed campaign's
-   merged report is still bit-identical. *)
+   checkpoint. v2 seals the file with a "crc %08x" trailer (CRC-32 of
+   every byte up to and including the "end" marker), mirroring the
+   campaign checkpoint's v4 trailer; v1 files are still read. Restoring
+   seeds the lease table's Done set, so a crashed coordinator resumes
+   without re-running finished shards — and because shard results depend
+   only on (seed, shard), the resumed campaign's merged report is still
+   bit-identical. *)
 
 open Fmc
 
-let format_version = 1
+let format_version = 2
 
 type state = {
   st_fingerprint : string;
@@ -22,26 +25,34 @@ let blob_lines blob =
   | "" :: rest -> List.rev rest
   | parts -> List.rev parts
 
+let body_of state =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.bprintf buf fmt in
+  pr "faultmc-dist %d\n" format_version;
+  pr "fingerprint %s\n" state.st_fingerprint;
+  pr "shards %d\n" (List.length state.st_shards);
+  List.iter
+    (fun (i, blob) ->
+      let ls = blob_lines blob in
+      pr "shard %d %d\n" i (List.length ls);
+      List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) ls)
+    state.st_shards;
+  pr "quarantined %d\n" (List.length state.st_quarantined);
+  List.iter
+    (fun e -> Buffer.add_string buf (Campaign.quarantine_entry_to_string e ^ "\n"))
+    state.st_quarantined;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
 let save ~path state =
+  let body = body_of state in
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "faultmc-dist %d\n" format_version;
-      Printf.fprintf oc "fingerprint %s\n" state.st_fingerprint;
-      Printf.fprintf oc "shards %d\n" (List.length state.st_shards);
-      List.iter
-        (fun (i, blob) ->
-          let ls = blob_lines blob in
-          Printf.fprintf oc "shard %d %d\n" i (List.length ls);
-          List.iter (fun l -> output_string oc (l ^ "\n")) ls)
-        state.st_shards;
-      Printf.fprintf oc "quarantined %d\n" (List.length state.st_quarantined);
-      List.iter
-        (fun e -> output_string oc (Campaign.quarantine_entry_to_string e ^ "\n"))
-        state.st_quarantined;
-      output_string oc "end\n";
+      output_string oc body;
+      Printf.fprintf oc "crc %08x\n" (Crc32.string body);
       flush oc);
   Sys.rename tmp path
 
@@ -49,13 +60,54 @@ exception Bad of string
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
 
+(* Strip and verify the v2 trailer; the returned body is what the line
+   parser below consumes. *)
+let verify_trailer raw =
+  let n = String.length raw in
+  if n = 0 || raw.[n - 1] <> '\n' then bad "truncated: missing CRC trailer";
+  let tl_start =
+    match String.rindex_from_opt raw (n - 2) '\n' with Some i -> i + 1 | None -> 0
+  in
+  let trailer = String.sub raw tl_start (n - tl_start - 1) in
+  let stored =
+    match String.split_on_char ' ' trailer with
+    | [ "crc"; v ] when String.length v = 8 -> (
+        match int_of_string_opt ("0x" ^ v) with
+        | Some c -> c
+        | None -> bad "malformed CRC trailer %S" trailer)
+    | _ -> bad "truncated: missing CRC trailer (last line %S)" trailer
+  in
+  let body = String.sub raw 0 tl_start in
+  let computed = Crc32.string body in
+  if computed <> stored then
+    bad "CRC mismatch: stored %08x, computed %08x (truncated or corrupted)" stored computed;
+  body
+
 let load ~path =
-  let ic = open_in path in
-  let next () = try input_line ic with End_of_file -> bad "truncated checkpoint" in
-  let parse () =
-    (match String.split_on_char ' ' (next ()) with
-    | [ "faultmc-dist"; v ] when int_of_string_opt v = Some format_version -> ()
-    | _ -> bad "not a faultmc-dist v%d checkpoint" format_version);
+  let parse_raw raw =
+    let version =
+      let header =
+        match String.index_opt raw '\n' with
+        | Some i -> String.sub raw 0 i
+        | None -> bad "missing header line"
+      in
+      match String.split_on_char ' ' header with
+      | [ "faultmc-dist"; v ] -> (
+          match int_of_string_opt v with
+          | Some n when n = 1 || n = format_version -> n
+          | _ -> bad "unsupported faultmc-dist version %S (this binary reads v1-v%d)" v format_version)
+      | _ -> bad "not a faultmc-dist checkpoint"
+    in
+    let body = if version = format_version then verify_trailer raw else raw in
+    let lines = ref (String.split_on_char '\n' body) in
+    let next () =
+      match !lines with
+      | [] | [ "" ] -> bad "truncated checkpoint"
+      | l :: rest ->
+          lines := rest;
+          l
+    in
+    ignore (next () : string);
     let fp_line = next () in
     let st_fingerprint =
       if String.length fp_line >= 12 && String.sub fp_line 0 12 = "fingerprint " then
@@ -94,6 +146,11 @@ let load ~path =
     if next () <> "end" then bad "missing end marker";
     { st_fingerprint; st_shards; st_quarantined }
   in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> match parse () with s -> Ok s | exception Bad m -> Error m)
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | raw -> ( match parse_raw raw with s -> Ok s | exception Bad m -> Error m)
+  | exception Sys_error m -> Error m

@@ -2,10 +2,13 @@
 
     Written atomically ([path ^ ".tmp"] then rename) after every
     accepted shard, embedding the shared [Ssf.Tally.to_string] and
-    quarantine-entry serializers. A restarted coordinator whose
-    checkpoint fingerprint matches its campaign resumes with those
-    shards pre-completed; since shard results depend only on
-    [(seed, shard)], the final merged report is unchanged. *)
+    quarantine-entry serializers, and sealed (since v2) with a
+    [crc %08x] CRC-32 trailer so truncation or corruption surfaces as a
+    load error instead of a misparse; v1 files (no trailer) still load.
+    A restarted coordinator whose checkpoint fingerprint matches its
+    campaign resumes with those shards pre-completed; since shard
+    results depend only on [(seed, shard)], the final merged report is
+    unchanged. *)
 
 open Fmc
 

@@ -37,6 +37,7 @@ type config = {
   linger_s : float;  (* keep serving Fetch_report after completion *)
   io_deadline_s : float;  (* per-connection socket read/write deadline *)
   require_workers : int;  (* pause leasing below this many connected workers *)
+  max_idle_s : float;  (* give up when unfinished and workerless this long; 0 = wait forever *)
   breaker : Breaker.config;  (* per-worker circuit breaker *)
 }
 
@@ -48,6 +49,7 @@ let default_config addr =
     linger_s = 5.;
     io_deadline_s = 120.;
     require_workers = 0;
+    max_idle_s = 0.;
     breaker = Breaker.default_config;
   }
 
@@ -138,6 +140,7 @@ type state = {
   mutable quarantined : Campaign.quarantine_entry list;  (* reverse arrival *)
   mutable connected : int;
   mutable finished_at : float option;
+  mutable last_worker_at : float;  (* most recent moment a connection was open *)
   started_at : float;
   fingerprint : string;
   config : config;
@@ -320,6 +323,10 @@ let handle_msg st ~worker msg =
       locked st (fun () ->
           if Lease.finished st.lease then report_msg st else Protocol.Report_pending)
   | Protocol.Goodbye -> raise Done_serving
+  | Protocol.Submit _ | Protocol.Status_req _ | Protocol.Cancel _ | Protocol.Job_heartbeat _
+  | Protocol.Job_done _ ->
+      (* Scheduler-only traffic; this is a single-campaign coordinator. *)
+      Protocol.Reject { reason = "not a scheduler (single-campaign serve)" }
 
 let send conn msg =
   let tag, payload = Protocol.encode_server msg in
@@ -456,6 +463,7 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
       quarantined = [];
       connected = 0;
       finished_at = None;
+      last_worker_at = Clock.now ();
       started_at = Clock.now ();
       fingerprint;
       config;
@@ -511,13 +519,21 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
                 sweep_locked st ~now;
                 refresh_circuit_gauge st ~now;
                 ignore (leasing_pause st ~now);
+                if st.connected > 0 then st.last_worker_at <- now;
                 match st.finished_at with
                 | Some t when now -. t >= config.linger_s && st.connected = 0 -> running := false
                 | Some t when now -. t >= 4. *. config.linger_s ->
                     (* Workers that never said goodbye do not hold the
                        coordinator hostage forever. *)
                     running := false
-                | _ -> ())
+                | Some _ -> ()
+                | None ->
+                    if config.max_idle_s > 0. && now -. st.last_worker_at >= config.max_idle_s
+                    then
+                      failwith
+                        (Printf.sprintf
+                           "no worker connected for %.0f s with the campaign unfinished (--max-idle)"
+                           config.max_idle_s))
           done));
   locked st (fun () ->
       let shards =

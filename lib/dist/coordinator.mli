@@ -46,12 +46,16 @@ type config = {
           0 disables the floor. While below it, [Request_shard] answers
           [No_work {finished = false}] and [fmc_dist_leasing_paused]
           reads 1. *)
+  max_idle_s : float;
+      (** while the campaign is unfinished, abort ([Failure]) after this
+          long with zero connections — an abandoned coordinator frees
+          its port instead of waiting forever; 0 disables *)
   breaker : Breaker.config;  (** per-worker circuit breaker tuning *)
 }
 
 val default_config : Wire.addr -> config
 (** ttl 30s, no checkpoint, linger 5s, io deadline 120s, no worker
-    floor, {!Breaker.default_config}. *)
+    floor, no idle limit, {!Breaker.default_config}. *)
 
 type outcome = {
   oc_shards : (int * string) list;

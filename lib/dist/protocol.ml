@@ -13,8 +13,39 @@ open Fmc
 (* v2: frames carry a CRC-32 trailer (Wire), and the server can answer a
    Hello with Retry_later (circuit breaker open / fleet floor not met)
    instead of a terminal Reject. v1 peers are detected by their
-   checksum-less frames and refused with a readable v1-framed Reject. *)
-let version = 2
+   checksum-less frames and refused with a readable v1-framed Reject.
+   v3: the multi-campaign scheduler — campaign specs travel in Submit
+   and Job messages, pool-scope connections (fingerprint "*") lease
+   shards from any queued campaign via Job/Job_heartbeat/Job_done, and
+   Status carries queue positions and ETAs. *)
+let version = 3
+
+(* The full identity of a campaign: every parameter that must agree
+   between the submitting client and the evaluating worker for the shard
+   results to be meaningful. This is what a Submit enqueues and a Job
+   hands to a pool worker. *)
+type spec = {
+  sp_benchmark : string;
+  sp_strategy : string;
+  sp_samples : int;
+  sp_seed : int;
+  sp_shard_size : int;
+  sp_sample_budget : int option;
+}
+
+type campaign_state = Queued | Running | Finished | Parked | Cancelled
+
+type status_entry = {
+  st_fingerprint : string;
+  st_state : campaign_state;
+  st_position : int;
+  st_queue_len : int;
+  st_samples_done : int;
+  st_samples_total : int;
+  st_rate : float;
+  st_eta_s : float;
+  st_detail : string;
+}
 
 type client_msg =
   | Hello of { version : int; worker : string; fingerprint : string }
@@ -28,6 +59,17 @@ type client_msg =
     }
   | Fetch_report
   | Goodbye
+  | Submit of { spec : spec }
+  | Status_req of { fingerprint : string }
+  | Cancel of { fingerprint : string }
+  | Job_heartbeat of { fingerprint : string; shard : int; epoch : int; samples_done : int }
+  | Job_done of {
+      fingerprint : string;
+      shard : int;
+      epoch : int;
+      tally : string;
+      quarantined : Campaign.quarantine_entry list;
+    }
 
 type server_msg =
   | Welcome of { version : int }
@@ -42,11 +84,80 @@ type server_msg =
   | Report_pending
   | Reject of { reason : string }
   | Retry_later of { cooldown_s : float }
+  | Job of { spec : spec; shard : int; epoch : int; start : int; len : int }
+  | Submitted of { fingerprint : string; position : int; cached : bool }
+  | Sched_rejected of { retry_after_s : float; reason : string }
+  | Status of { entries : status_entry list }
 
 let fingerprint ~strategy ~benchmark ~samples ~seed ~shard_size ~sample_budget =
   Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
     version strategy benchmark samples seed shard_size
     (match sample_budget with Some b -> string_of_int b | None -> "-")
+
+(* The scope a pool worker or control client announces in Hello instead
+   of a concrete campaign fingerprint. *)
+let pool_fingerprint = "*"
+
+let spec_fingerprint sp =
+  fingerprint ~strategy:sp.sp_strategy ~benchmark:sp.sp_benchmark ~samples:sp.sp_samples
+    ~seed:sp.sp_seed ~shard_size:sp.sp_shard_size ~sample_budget:sp.sp_sample_budget
+
+let budget_word = function Some b -> string_of_int b | None -> "-"
+
+let spec_line sp =
+  Printf.sprintf "benchmark=%s strategy=%s samples=%d seed=%d shard_size=%d budget=%s"
+    sp.sp_benchmark sp.sp_strategy sp.sp_samples sp.sp_seed sp.sp_shard_size
+    (budget_word sp.sp_sample_budget)
+
+let spec_of_line line =
+  let err msg = Error (Printf.sprintf "campaign spec %S: %s" line msg) in
+  let kv key word =
+    let plen = String.length key + 1 in
+    if String.length word > plen && String.sub word 0 plen = key ^ "=" then
+      Ok (String.sub word plen (String.length word - plen))
+    else Error (Printf.sprintf "expected %s=..., found %S" key word)
+  in
+  match String.split_on_char ' ' line with
+  | [ b; st; sa; se; sh; bu ] -> (
+      let ( let* ) = Result.bind in
+      match
+        let* sp_benchmark = kv "benchmark" b in
+        let* sp_strategy = kv "strategy" st in
+        let* sa = kv "samples" sa in
+        let* se = kv "seed" se in
+        let* sh = kv "shard_size" sh in
+        let* bu = kv "budget" bu in
+        let num what v =
+          match int_of_string_opt v with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "bad %s %S" what v)
+        in
+        let* sp_samples = num "samples" sa in
+        let* sp_seed = num "seed" se in
+        let* sp_shard_size = num "shard_size" sh in
+        let* sp_sample_budget =
+          if bu = "-" then Ok None else Result.map Option.some (num "budget" bu)
+        in
+        Ok { sp_benchmark; sp_strategy; sp_samples; sp_seed; sp_shard_size; sp_sample_budget }
+      with
+      | Ok sp -> Ok sp
+      | Error msg -> err msg)
+  | _ -> err "wants 6 space-separated key=value fields"
+
+let state_token = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Finished -> "finished"
+  | Parked -> "parked"
+  | Cancelled -> "cancelled"
+
+let state_of_token = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "finished" -> Some Finished
+  | "parked" -> Some Parked
+  | "cancelled" -> Some Cancelled
+  | _ -> None
 
 (* -- payload helpers ---------------------------------------------------- *)
 
@@ -148,6 +259,20 @@ let encode_client = function
       ('D', Buffer.contents buf)
   | Fetch_report -> ('F', "")
   | Goodbye -> ('G', "")
+  | Submit { spec } -> ('S', Printf.sprintf "spec %s\n" (spec_line spec))
+  | Status_req { fingerprint } -> ('Q', Printf.sprintf "fingerprint %s\n" (one_line fingerprint))
+  | Cancel { fingerprint } -> ('C', Printf.sprintf "fingerprint %s\n" (one_line fingerprint))
+  | Job_heartbeat { fingerprint; shard; epoch; samples_done } ->
+      ( 'h',
+        Printf.sprintf "fingerprint %s\n%d %d %d\n" (one_line fingerprint) shard epoch
+          samples_done )
+  | Job_done { fingerprint; shard; epoch; tally; quarantined } ->
+      let buf = Buffer.create (String.length tally + 256) in
+      Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (one_line fingerprint));
+      Buffer.add_string buf (Printf.sprintf "shard %d epoch %d\n" shard epoch);
+      emit_blob buf "tally" tally;
+      emit_quarantined buf quarantined;
+      ('j', Buffer.contents buf)
 
 let decode_client tag payload =
   let c = { rest = lines_of payload } in
@@ -185,6 +310,44 @@ let decode_client tag payload =
       | _ -> bad "malformed shard_done header")
   | 'F' -> Ok Fetch_report
   | 'G' -> Ok Goodbye
+  | 'S' -> (
+      match spec_of_line (rest_of_line "spec" (next c)) with
+      | Ok spec -> Ok (Submit { spec })
+      | Error msg -> bad "%s" msg)
+  | 'Q' -> Ok (Status_req { fingerprint = rest_of_line "fingerprint" (next c) })
+  | 'C' -> Ok (Cancel { fingerprint = rest_of_line "fingerprint" (next c) })
+  | 'h' -> (
+      let fingerprint = rest_of_line "fingerprint" (next c) in
+      match fields (next c) with
+      | [ s; e; d ] ->
+          Ok
+            (Job_heartbeat
+               {
+                 fingerprint;
+                 shard = int_of "shard" s;
+                 epoch = int_of "epoch" e;
+                 samples_done = int_of "samples_done" d;
+               })
+      | _ -> bad "malformed job heartbeat")
+  | 'j' -> (
+      let fingerprint = rest_of_line "fingerprint" (next c) in
+      match fields (next c) with
+      | [ "shard"; s; "epoch"; e ] -> (
+          match expect_kw "tally" (next c) with
+          | [ n ] ->
+              let tally = restore_blob (take c (int_of "tally line count" n)) in
+              let quarantined = read_quarantined c in
+              Ok
+                (Job_done
+                   {
+                     fingerprint;
+                     shard = int_of "shard" s;
+                     epoch = int_of "epoch" e;
+                     tally;
+                     quarantined;
+                   })
+          | _ -> bad "malformed tally line")
+      | _ -> bad "malformed job_done header")
   | t -> bad "unknown client tag %C" t
 
 let decode_client tag payload =
@@ -211,6 +374,27 @@ let encode_server = function
   | Report_pending -> ('Y', "")
   | Reject { reason } -> ('X', one_line reason ^ "\n")
   | Retry_later { cooldown_s } -> ('L', Printf.sprintf "%h\n" cooldown_s)
+  | Job { spec; shard; epoch; start; len } ->
+      ('J', Printf.sprintf "spec %s\n%d %d %d %d\n" (spec_line spec) shard epoch start len)
+  | Submitted { fingerprint; position; cached } ->
+      ( 'U',
+        Printf.sprintf "fingerprint %s\nposition %d cached %s\n" (one_line fingerprint) position
+          (if cached then "yes" else "no") )
+  | Sched_rejected { retry_after_s; reason } ->
+      ('E', Printf.sprintf "%h %s\n" retry_after_s (one_line reason))
+  | Status { entries } ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf (Printf.sprintf "entries %d\n" (List.length entries));
+      List.iter
+        (fun e ->
+          Buffer.add_string buf (Printf.sprintf "fingerprint %s\n" (one_line e.st_fingerprint));
+          Buffer.add_string buf
+            (Printf.sprintf "state %s position %d queue %d done %d total %d rate %h eta %h\n"
+               (state_token e.st_state) e.st_position e.st_queue_len e.st_samples_done
+               e.st_samples_total e.st_rate e.st_eta_s);
+          Buffer.add_string buf (Printf.sprintf "detail %s\n" (one_line e.st_detail)))
+        entries;
+      ('T', Buffer.contents buf)
 
 let decode_server tag payload =
   let c = { rest = lines_of payload } in
@@ -262,6 +446,74 @@ let decode_server tag payload =
   | 'Y' -> Ok Report_pending
   | 'X' -> Ok (Reject { reason = String.concat " " (fields (next c)) })
   | 'L' -> Ok (Retry_later { cooldown_s = float_of "cooldown" (next c) })
+  | 'J' -> (
+      match spec_of_line (rest_of_line "spec" (next c)) with
+      | Error msg -> bad "%s" msg
+      | Ok spec -> (
+          match fields (next c) with
+          | [ s; e; st; l ] ->
+              Ok
+                (Job
+                   {
+                     spec;
+                     shard = int_of "shard" s;
+                     epoch = int_of "epoch" e;
+                     start = int_of "start" st;
+                     len = int_of "len" l;
+                   })
+          | _ -> bad "malformed job assignment"))
+  | 'U' -> (
+      let fingerprint = rest_of_line "fingerprint" (next c) in
+      match fields (next c) with
+      | [ "position"; p; "cached"; cd ] ->
+          Ok
+            (Submitted
+               {
+                 fingerprint;
+                 position = int_of "position" p;
+                 cached =
+                   (match cd with
+                   | "yes" -> true
+                   | "no" -> false
+                   | w -> bad "bad cached flag %S" w);
+               })
+      | _ -> bad "malformed submitted line")
+  | 'E' -> (
+      match fields (next c) with
+      | retry :: reason ->
+          Ok
+            (Sched_rejected
+               { retry_after_s = float_of "retry_after" retry; reason = String.concat " " reason })
+      | [] -> bad "malformed sched_rejected")
+  | 'T' -> (
+      match expect_kw "entries" (next c) with
+      | [ n ] ->
+          let entries =
+            List.init (int_of "entry count" n) (fun _ ->
+                let st_fingerprint = rest_of_line "fingerprint" (next c) in
+                match fields (next c) with
+                | [ "state"; tok; "position"; p; "queue"; q; "done"; d; "total"; t; "rate"; r;
+                    "eta"; eta ] ->
+                    let st_state =
+                      match state_of_token tok with
+                      | Some s -> s
+                      | None -> bad "unknown campaign state %S" tok
+                    in
+                    {
+                      st_fingerprint;
+                      st_state;
+                      st_position = int_of "position" p;
+                      st_queue_len = int_of "queue" q;
+                      st_samples_done = int_of "done" d;
+                      st_samples_total = int_of "total" t;
+                      st_rate = float_of "rate" r;
+                      st_eta_s = float_of "eta" eta;
+                      st_detail = rest_of_line "detail" (next c);
+                    }
+                | _ -> bad "malformed status entry")
+          in
+          Ok (Status { entries })
+      | _ -> bad "malformed entries line")
   | t -> bad "unknown server tag %C" t
 
 let decode_server tag payload =

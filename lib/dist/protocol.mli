@@ -12,12 +12,46 @@
 open Fmc
 
 val version : int
-(** 2 since the CRC-framed wire format; v1 peers are refused at Hello
-    with a v1-framed {!Reject} they can decode (see {!v1_hello}). *)
+(** 3 since the multi-campaign scheduler messages (v2 introduced the
+    CRC-framed wire format); v1 peers are refused at Hello with a
+    v1-framed {!Reject} they can decode (see {!v1_hello}). *)
+
+type spec = {
+  sp_benchmark : string;
+  sp_strategy : string;
+  sp_samples : int;
+  sp_seed : int;
+  sp_shard_size : int;
+  sp_sample_budget : int option;
+}
+(** The full identity of a campaign — what a {!Submit} enqueues and a
+    {!Job} hands to a pool worker. Benchmark and strategy names must not
+    contain spaces (they never do; the codec would garble them). *)
+
+type campaign_state = Queued | Running | Finished | Parked | Cancelled
+
+type status_entry = {
+  st_fingerprint : string;
+  st_state : campaign_state;
+  st_position : int;
+      (** 0-based position in the scheduler's queue (0 = next to run, or
+          currently leasing shards); -1 when not applicable *)
+  st_queue_len : int;  (** total campaigns queued or running *)
+  st_samples_done : int;
+  st_samples_total : int;
+  st_rate : float;  (** pool-wide throughput, samples/second *)
+  st_eta_s : float;
+      (** estimated seconds until this campaign's report is ready,
+          counting the backlog ahead of it; negative when unknown (no
+          throughput observed yet) *)
+  st_detail : string;  (** human-readable note (park reason, ...) *)
+}
 
 type client_msg =
   | Hello of { version : int; worker : string; fingerprint : string }
-      (** must be the first message on every connection *)
+      (** must be the first message on every connection; the scheduler
+          accepts {!pool_fingerprint} for pool-worker and control
+          connections *)
   | Request_shard
   | Heartbeat of { shard : int; epoch : int; samples_done : int }
       (** renews the lease; answered with {!Ack} — [accepted = false]
@@ -31,6 +65,23 @@ type client_msg =
     }
   | Fetch_report
   | Goodbye
+  | Submit of { spec : spec }
+      (** enqueue a campaign; answered with {!Submitted} or
+          {!Sched_rejected} *)
+  | Status_req of { fingerprint : string }
+      (** [""] asks for every campaign the scheduler knows; a concrete
+          fingerprint for just that one (unknown → {!Reject}) *)
+  | Cancel of { fingerprint : string }  (** answered with {!Ack} *)
+  | Job_heartbeat of { fingerprint : string; shard : int; epoch : int; samples_done : int }
+      (** pool-scope {!Heartbeat}: names the campaign the lease belongs
+          to *)
+  | Job_done of {
+      fingerprint : string;
+      shard : int;
+      epoch : int;
+      tally : string;
+      quarantined : Campaign.quarantine_entry list;
+    }  (** pool-scope {!Shard_done} *)
 
 type server_msg =
   | Welcome of { version : int }
@@ -52,6 +103,19 @@ type server_msg =
       (** transient refusal (the worker's circuit breaker is open, or
           the coordinator is holding the fleet floor): reconnect after
           at least [cooldown_s] seconds *)
+  | Job of { spec : spec; shard : int; epoch : int; start : int; len : int }
+      (** pool-scope {!Assign}: carries the campaign spec so the worker
+          can build (or reuse) the right engine and sampler *)
+  | Submitted of { fingerprint : string; position : int; cached : bool }
+      (** the campaign is queued at [position] (0 = front), or [cached]:
+          its report is already durable — fetch it for free *)
+  | Sched_rejected of { retry_after_s : float; reason : string }
+      (** typed admission-control refusal (queue full): resubmit after
+          at least [retry_after_s] seconds *)
+  | Status of { entries : status_entry list }
+      (** answer to {!Status_req}, and to {!Fetch_report} for a campaign
+          that is not finished (the entry carries queue position and
+          ETA) *)
 
 val fingerprint :
   strategy:string ->
@@ -65,6 +129,27 @@ val fingerprint :
     must agree between coordinator and worker for the shard results to
     be meaningful (the sample plan, the seed, and the evaluation knobs
     that change per-sample outcomes). Includes the protocol version. *)
+
+val pool_fingerprint : string
+(** ["*"] — the Hello scope of a connection that is not bound to one
+    campaign: pool workers (leased shards from any queued campaign) and
+    control clients (submit/status/cancel). *)
+
+val spec_fingerprint : spec -> string
+(** {!fingerprint} of a spec — the key campaigns are deduplicated and
+    their reports cached under. *)
+
+val spec_line : spec -> string
+(** Single-line spec codec ([key=value] words), embedded in Submit and
+    Job payloads and in the scheduler's WAL records. *)
+
+val spec_of_line : string -> (spec, string) result
+
+val state_token : campaign_state -> string
+(** Wire word for a campaign state ([queued], [running], ...), also
+    used verbatim in CLI status output. *)
+
+val state_of_token : string -> campaign_state option
 
 val encode_client : client_msg -> char * string
 val decode_client : char -> string -> (client_msg, string) result

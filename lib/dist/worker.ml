@@ -154,6 +154,51 @@ let next_backoff rng retry ~prev =
   let hi = Float.max (retry.base_s *. 1.5) (prev *. 3.) in
   Float.min retry.cap_s (retry.base_s +. Rng.float rng (hi -. retry.base_s))
 
+(* Drive [session] to completion through the reconnect state machine:
+   any transient failure sleeps a decorrelated-jitter backoff and
+   retries; [progress] is sampled around each session so a session that
+   accomplished something resets the consecutive-attempt counter (the
+   total sleep budget never resets). *)
+let with_reconnects ~obs ~mx ~rng ~retry ~on_reconnect ~progress session =
+  let attempt = ref 0 in
+  let slept = ref 0. in
+  let prev = ref retry.base_s in
+  let finished = ref false in
+  while not !finished do
+    let before = progress () in
+    match session () with
+    | () -> finished := true
+    | exception e -> (
+        match transient_reason e with
+        | None -> raise e
+        | Some reason ->
+            (* A session that completed at least one shard was real
+               progress: the consecutive-attempt count restarts (the
+               total sleep budget never does, so a terminally flapping
+               link still terminates). *)
+            if progress () > before then attempt := 1 else incr attempt;
+            if !attempt > retry.max_attempts then
+              failwith
+                (Printf.sprintf "giving up after %d reconnect attempts (last: %s)"
+                   retry.max_attempts reason);
+            let sleep_s = next_backoff rng retry ~prev:!prev in
+            (* A Parked cooldown is a floor, not a suggestion: coming
+               back early just burns another breaker probe. *)
+            let sleep_s =
+              match e with Parked cooldown_s -> Float.max sleep_s cooldown_s | _ -> sleep_s
+            in
+            if !slept +. sleep_s > retry.budget_s then
+              failwith
+                (Printf.sprintf "reconnect budget (%.1fs) exhausted after %d attempts (last: %s)"
+                   retry.budget_s !attempt reason);
+            prev := sleep_s;
+            slept := !slept +. sleep_s;
+            Option.iter Metrics.inc mx.reconnects;
+            Option.iter (fun h -> Metrics.observe h sleep_s) mx.backoff;
+            on_reconnect ~attempt:!attempt ~sleep_s ~reason;
+            Obs.span obs ~cat:"dist" "reconnect-backoff" (fun () -> Unix.sleepf sleep_s))
+  done
+
 let run ?(obs = Obs.disabled) ?causal ?sample_budget
     ?(on_reconnect = fun ~attempt:_ ~sleep_s:_ ~reason:_ -> ()) config ~fingerprint engine
     prepared ~seed =
@@ -220,45 +265,101 @@ let run ?(obs = Obs.disabled) ?causal ?sample_budget
     Rng.substream ~seed:(Int64.of_int seed)
       ~shard:(Hashtbl.hash config.worker_name land 0x3FFFFFFF)
   in
-  let retry = config.retry in
-  let attempt = ref 0 in
-  let slept = ref 0. in
-  let prev = ref retry.base_s in
-  let finished = ref false in
-  while not !finished do
-    let before = !completed in
-    match session () with
-    | () -> finished := true
-    | exception e -> (
-        match transient_reason e with
-        | None -> raise e
-        | Some reason ->
-            (* A session that completed at least one shard was real
-               progress: the consecutive-attempt count restarts (the
-               total sleep budget never does, so a terminally flapping
-               link still terminates). *)
-            if !completed > before then attempt := 1 else incr attempt;
-            if !attempt > retry.max_attempts then
-              failwith
-                (Printf.sprintf "giving up after %d reconnect attempts (last: %s)"
-                   retry.max_attempts reason);
-            let sleep_s = next_backoff rng retry ~prev:!prev in
-            (* A Parked cooldown is a floor, not a suggestion: coming
-               back early just burns another breaker probe. *)
-            let sleep_s =
-              match e with Parked cooldown_s -> Float.max sleep_s cooldown_s | _ -> sleep_s
-            in
-            if !slept +. sleep_s > retry.budget_s then
-              failwith
-                (Printf.sprintf "reconnect budget (%.1fs) exhausted after %d attempts (last: %s)"
-                   retry.budget_s !attempt reason);
-            prev := sleep_s;
-            slept := !slept +. sleep_s;
-            Option.iter Metrics.inc mx.reconnects;
-            Option.iter (fun h -> Metrics.observe h sleep_s) mx.backoff;
-            on_reconnect ~attempt:!attempt ~sleep_s ~reason;
-            Obs.span obs ~cat:"dist" "reconnect-backoff" (fun () -> Unix.sleepf sleep_s))
-  done;
+  with_reconnects ~obs ~mx ~rng ~retry:config.retry ~on_reconnect
+    ~progress:(fun () -> !completed)
+    session;
+  !completed
+
+(* -- pool mode: serve every campaign the scheduler holds ----------------- *)
+
+let run_pool ?(obs = Obs.disabled) ?causal
+    ?(on_reconnect = fun ~attempt:_ ~sleep_s:_ ~reason:_ -> ()) config ~resolve () =
+  let mx = mx_create obs in
+  let completed = ref 0 in
+  (* Engines are expensive to elaborate; resolve each spec's toolchain
+     once and reuse it for every later job of the same campaign (and, in
+     the resolver's discretion, across campaigns sharing a benchmark). *)
+  let resolved : (string, Engine.t * Sampler.prepared) Hashtbl.t = Hashtbl.create 8 in
+  let toolchain_for spec =
+    let fp = Protocol.spec_fingerprint spec in
+    match Hashtbl.find_opt resolved fp with
+    | Some pair -> Ok pair
+    | None -> (
+        match resolve spec with
+        | Ok pair ->
+            Hashtbl.replace resolved fp pair;
+            Ok pair
+        | Error _ as e -> e)
+  in
+  let session () =
+    let conn = connect ~obs config ~fingerprint:Protocol.pool_fingerprint in
+    let run_one (a : Protocol.server_msg) =
+      match a with
+      | Protocol.Job { spec; shard; epoch; start; len } -> (
+          let fingerprint = Protocol.spec_fingerprint spec in
+          match toolchain_for spec with
+          | Error reason ->
+              (* We cannot build this campaign (unknown benchmark or
+                 strategy on this host). Tear the session down: the
+                 abandoned lease expires to another worker, and if every
+                 session hits the same wall the reconnect budget turns
+                 the misconfiguration into a clear terminal failure. *)
+              raise (Session_error ("cannot build campaign: " ^ reason))
+          | Ok (engine, prepared) ->
+              let on_sample i =
+                if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
+                  send conn (Protocol.Job_heartbeat { fingerprint; shard; epoch; samples_done = i });
+                  match recv conn "job_heartbeat" with
+                  | Protocol.Ack { accepted = true; _ } -> ()
+                  | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
+                  | _ -> protocol_error "job_heartbeat"
+                end
+              in
+              (match
+                 Campaign.run_shard ~obs ?causal ?sample_budget:spec.Protocol.sp_sample_budget
+                   ~on_sample engine prepared ~seed:spec.Protocol.sp_seed ~shard ~start ~len
+               with
+              | sh ->
+                  send conn
+                    (Protocol.Job_done
+                       {
+                         fingerprint;
+                         shard;
+                         epoch;
+                         tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
+                         quarantined = sh.Campaign.sh_quarantined;
+                       });
+                  (match recv conn "job_done" with
+                  | Protocol.Ack { accepted; _ } -> if accepted then incr completed
+                  | _ -> protocol_error "job_done")
+              | exception Lease_lost -> ());
+              `Continue)
+      | Protocol.No_work { finished = true } -> `Finished
+      | Protocol.No_work { finished = false } ->
+          Unix.sleepf config.retry_delay_s;
+          `Continue
+      | Protocol.Reject { reason } -> raise (Session_error ("rejected: " ^ reason))
+      | _ -> protocol_error "request_shard"
+    in
+    Fun.protect
+      ~finally:(fun () -> Wire.close conn)
+      (fun () ->
+        let rec loop () =
+          send conn Protocol.Request_shard;
+          match run_one (recv conn "request_shard") with
+          | `Continue -> loop ()
+          | `Finished -> (
+              try send conn Protocol.Goodbye
+              with Wire.Closed | Wire.Timeout | Unix.Unix_error _ -> ())
+        in
+        loop ())
+  in
+  let rng =
+    Rng.substream ~seed:1L ~shard:(Hashtbl.hash config.worker_name land 0x3FFFFFFF)
+  in
+  with_reconnects ~obs ~mx ~rng ~retry:config.retry ~on_reconnect
+    ~progress:(fun () -> !completed)
+    session;
   !completed
 
 (* -- report fetching ----------------------------------------------------- *)
@@ -277,7 +378,7 @@ let fetch_error_message = function
   | Fetch_protocol reason -> "protocol error: " ^ reason
 
 let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(timeout_s = 600.)
-    config ~fingerprint =
+    ?on_pending config ~fingerprint =
   match connect ~obs config ~fingerprint with
   | exception Rejected reason -> Error (Fetch_rejected reason)
   | exception Parked cooldown_s ->
@@ -303,6 +404,22 @@ let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(tim
                   Unix.sleepf interval;
                   poll (Float.min poll_cap_s (interval *. 1.5))
                 end
+            (* A scheduler answers a pending fetch with the campaign's
+               queue entry instead of a bare Report_pending, so the
+               waiting client can show position and ETA. *)
+            | Protocol.Status { entries } -> (
+                match entries with
+                | { Protocol.st_state = Protocol.Cancelled; _ } :: _ ->
+                    Error (Fetch_rejected "campaign was cancelled")
+                | entry :: _ ->
+                    (match on_pending with Some f -> f entry | None -> ());
+                    let waited = Clock.now () -. started in
+                    if waited > timeout_s then Error (Fetch_timeout waited)
+                    else begin
+                      Unix.sleepf interval;
+                      poll (Float.min poll_cap_s (interval *. 1.5))
+                    end
+                | [] -> Error (Fetch_rejected "unknown campaign"))
             | Protocol.Reject { reason } -> Error (Fetch_rejected reason)
             | _ -> Error (Fetch_protocol "unexpected reply to fetch_report")
           in
@@ -313,3 +430,59 @@ let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(tim
           | Session_error msg -> Error (Fetch_protocol msg)
           | Parked cooldown_s ->
               Error (Fetch_rejected (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s)))
+
+(* -- scheduler control clients ------------------------------------------- *)
+
+type submit_reply =
+  | Submit_queued of int
+  | Submit_cached
+  | Submit_rejected of { retry_after_s : float; reason : string }
+
+(* One-shot request/reply on a pool-scoped connection; every failure is
+   a typed Error string (control commands are run by humans and scripts,
+   not the reconnect state machine). *)
+let control ?(obs = Obs.disabled) config msg ~what ~reply =
+  match connect ~obs config ~fingerprint:Protocol.pool_fingerprint with
+  | exception Rejected reason -> Error ("rejected: " ^ reason)
+  | exception Parked cooldown_s -> Error (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("cannot reach scheduler: " ^ Unix.error_message e)
+  | conn ->
+      Fun.protect
+        ~finally:(fun () -> Wire.close conn)
+        (fun () ->
+          try
+            send conn msg;
+            let r = reply (recv conn what) in
+            (try send conn Protocol.Goodbye with Wire.Closed | Unix.Unix_error _ -> ());
+            r
+          with
+          | Wire.Closed -> Error "scheduler closed the connection"
+          | Wire.Timeout -> Error "socket deadline expired"
+          | Wire.Protocol_error msg | Session_error msg -> Error msg
+          | Parked cooldown_s -> Error (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s))
+
+let submit ?obs config spec =
+  control ?obs config (Protocol.Submit { spec }) ~what:"submit" ~reply:(function
+    | Protocol.Submitted { cached = true; _ } -> Ok Submit_cached
+    | Protocol.Submitted { position; _ } -> Ok (Submit_queued position)
+    | Protocol.Sched_rejected { retry_after_s; reason } ->
+        Ok (Submit_rejected { retry_after_s; reason })
+    | Protocol.Reject { reason } -> Error reason
+    | _ -> Error "unexpected reply to submit")
+
+let sched_status ?obs config ~fingerprint =
+  control ?obs config
+    (Protocol.Status_req { fingerprint })
+    ~what:"status" ~reply:(function
+    | Protocol.Status { entries } -> Ok entries
+    | Protocol.Reject { reason } -> Error reason
+    | _ -> Error "unexpected reply to status")
+
+let cancel ?obs config ~fingerprint =
+  control ?obs config
+    (Protocol.Cancel { fingerprint })
+    ~what:"cancel" ~reply:(function
+    | Protocol.Ack { accepted; reason } -> Ok (accepted, reason)
+    | Protocol.Reject { reason } -> Error reason
+    | _ -> Error "unexpected reply to cancel")

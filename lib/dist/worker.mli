@@ -82,6 +82,28 @@ val run :
     on a handshake refusal and [Failure] once the reconnect attempt cap
     or time budget is exhausted. *)
 
+val run_pool :
+  ?obs:Fmc_obs.Obs.t ->
+  ?causal:bool ->
+  ?on_reconnect:(attempt:int -> sleep_s:float -> reason:string -> unit) ->
+  config ->
+  resolve:(Protocol.spec -> (Engine.t * Sampler.prepared, string) result) ->
+  unit ->
+  int
+(** Pool mode ([faultmc worker --pool]): hello with
+    {!Protocol.pool_fingerprint} and lease shards from whichever
+    campaign the scheduler wants run, until it answers
+    [No_work {finished = true}] (drained and told to exit). Each
+    {!Protocol.Job} carries its campaign's {!Protocol.spec}; [resolve]
+    turns a spec into the local engine and prepared sampler (typically
+    by elaborating the named benchmark) — resolutions are cached by
+    fingerprint for the process lifetime, and a resolution [Error]
+    tears the session down (the lease expires to another worker; a
+    worker that can never resolve exhausts its reconnect budget and
+    fails loudly). Seed and sample budget come from the spec itself.
+    Returns the number of accepted shard results; shares {!run}'s
+    reconnect machinery, metrics and terminal failures. *)
+
 type fetch_error =
   | Fetch_timeout of float  (** waited this many seconds *)
   | Fetch_rejected of string
@@ -95,6 +117,7 @@ val fetch_report :
   ?poll_s:float ->
   ?poll_cap_s:float ->
   ?timeout_s:float ->
+  ?on_pending:(Protocol.status_entry -> unit) ->
   config ->
   fingerprint:string ->
   ((int * string) list * Campaign.quarantine_entry list * float, fetch_error) result
@@ -104,5 +127,36 @@ val fetch_report :
     seconds — feed the blobs to {!Merge.report_of_blobs}. The poll
     interval starts at [poll_s] (default 0.25s) and backs off
     geometrically to [poll_cap_s] (default 2s); after [timeout_s]
-    (default 600) of [Report_pending] the result is [Fetch_timeout].
-    All failures are typed ({!fetch_error}), never raised. *)
+    (default 600) of pending replies the result is [Fetch_timeout].
+    A scheduler answers a pending fetch with the campaign's
+    {!Protocol.status_entry} (queue position, ETA) instead of a bare
+    [Report_pending]; [on_pending] observes each such reply (progress
+    display), and a [Cancelled] entry ends the wait as
+    [Fetch_rejected]. All failures are typed ({!fetch_error}), never
+    raised. *)
+
+(** {2 Scheduler control clients}
+
+    One-shot pool-scoped requests against a multi-campaign scheduler
+    ([faultmc sched]); transport and protocol failures come back as
+    [Error] strings, never exceptions. *)
+
+type submit_reply =
+  | Submit_queued of int  (** accepted at this queue position *)
+  | Submit_cached  (** finished earlier — fetch the report right away *)
+  | Submit_rejected of { retry_after_s : float; reason : string }
+      (** admission control shed the submission; retry after the hint *)
+
+val submit :
+  ?obs:Fmc_obs.Obs.t -> config -> Protocol.spec -> (submit_reply, string) result
+
+val sched_status :
+  ?obs:Fmc_obs.Obs.t ->
+  config ->
+  fingerprint:string ->
+  (Protocol.status_entry list, string) result
+(** [""] lists every campaign in submission order. *)
+
+val cancel :
+  ?obs:Fmc_obs.Obs.t -> config -> fingerprint:string -> (bool * string, string) result
+(** [(accepted, reason)] from the scheduler's ack. *)

@@ -1,0 +1,56 @@
+(* Exponentially-weighted throughput estimator over an injected clock.
+
+   Each [observe] folds the instantaneous rate of the batch just
+   completed (amount / dt) into the running estimate with a weight that
+   depends on how much wall clock the batch spanned: a batch covering a
+   whole half-life replaces half of the old evidence, a tiny batch
+   nudges it. Reading the rate decays the estimate by the silence since
+   the last observation, so a stalled producer's ETA grows instead of
+   freezing at its last known speed. Everything takes [now] explicitly
+   (no wall-clock reads), matching the Clock-seam style of the rest of
+   the observability layer, so tests drive it deterministically. *)
+
+type t = {
+  halflife_s : float;
+  mutable rate : float;  (* units per second, as of [last] *)
+  mutable last : float;  (* time of the latest observation *)
+  mutable primed : bool;  (* first observation seeds the estimate *)
+}
+
+let create ?(halflife_s = 30.) ~now () =
+  if halflife_s <= 0. then invalid_arg "Rate.create: non-positive halflife";
+  { halflife_s; rate = 0.; last = now; primed = false }
+
+let observe t ~now amount =
+  if amount < 0. then invalid_arg "Rate.observe: negative amount";
+  let dt = now -. t.last in
+  if dt <= 0. then
+    (* Same-instant (or clock-skewed) batch: fold it into the current
+       estimate as if it took one millisecond — the amount still counts,
+       and the estimate stays finite. *)
+    t.rate <- t.rate +. (amount /. 1e-3 -. t.rate) *. 1e-3
+  else begin
+    let inst = amount /. dt in
+    if not t.primed then begin
+      t.rate <- inst;
+      t.primed <- true
+    end
+    else begin
+      let alpha = 1. -. (0.5 ** (dt /. t.halflife_s)) in
+      t.rate <- t.rate +. (alpha *. (inst -. t.rate))
+    end;
+    t.last <- now
+  end
+
+let per_sec t ~now =
+  let silence = Float.max 0. (now -. t.last) in
+  (* Decay only past one half-life of silence: gaps shorter than the
+     averaging window are expected (observations arrive in batches). *)
+  if silence <= t.halflife_s then t.rate
+  else t.rate *. (0.5 ** ((silence -. t.halflife_s) /. t.halflife_s))
+
+let eta_s t ~now ~remaining =
+  if remaining <= 0 then Some 0.
+  else
+    let r = per_sec t ~now in
+    if r > 1e-9 then Some (float_of_int remaining /. r) else None

@@ -1,0 +1,31 @@
+(** Exponentially-weighted throughput estimator (units/second) over an
+    injected clock — the ETA source for scheduler [Status] replies
+    (DESIGN.md §12).
+
+    All functions take [now] explicitly (seconds, any epoch, monotone
+    non-decreasing); nothing here reads the wall clock, so tests drive
+    the estimator deterministically. *)
+
+type t
+
+val create : ?halflife_s:float -> now:float -> unit -> t
+(** Fresh estimator reading 0 units/s. [halflife_s] (default 30) is the
+    averaging window: an observation spanning one half-life replaces
+    half of the accumulated evidence. Raises [Invalid_argument] on a
+    non-positive half-life. *)
+
+val observe : t -> now:float -> float -> unit
+(** [observe t ~now amount]: [amount] units completed between the
+    previous observation and [now]. The first observation seeds the
+    estimate with the batch's own rate. Raises [Invalid_argument] on a
+    negative amount. *)
+
+val per_sec : t -> now:float -> float
+(** Current estimate. Silence beyond one half-life decays the estimate
+    exponentially, so a stalled producer reads progressively slower
+    instead of freezing at its last known speed. *)
+
+val eta_s : t -> now:float -> remaining:int -> float option
+(** Seconds until [remaining] units complete at the current rate;
+    [None] while the rate is (effectively) zero, [Some 0.] when nothing
+    remains. *)

@@ -1,0 +1,32 @@
+(* Table-driven CRC-32 (IEEE 802.3), the standard reflected form with
+   polynomial 0xEDB88320. Digests live in plain ints (always within 32
+   bits, so no boxing and no Int32 churn on the frame hot path). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xffffffff
+
+let feed_byte c b = (Lazy.force table).((c lxor b) land 0xff) lxor (c lsr 8)
+
+let extend crc s =
+  let c = ref (crc lxor mask) in
+  String.iter (fun ch -> c := feed_byte !c (Char.code ch)) s;
+  !c lxor mask
+
+let extend_sub crc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.extend_sub";
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := feed_byte !c (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !c lxor mask
+
+let string s = extend 0 s

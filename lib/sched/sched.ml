@@ -1,0 +1,620 @@
+(* The multi-campaign scheduler core (DESIGN.md §12): a durable
+   submission queue keyed by campaign fingerprint, one lease table per
+   campaign, round-robin shard dispatch across every active campaign,
+   and report caching.
+
+   Durability is split between two artifacts, each reusing an existing
+   codec:
+
+     <dir>/wal/seg-*.wal      the queue itself (Wal): which campaigns
+                              were submitted, finished, parked or
+                              cancelled — idempotent records, replayed
+                              and compacted at startup;
+     <dir>/campaigns/<md5>.ckpt
+                              per-campaign progress (Fmc_dist.Ckpt v2):
+                              every accepted shard blob, written after
+                              each completion.
+
+   kill -9 recovery is therefore: replay the WAL to rebuild the queue in
+   submission order, then reattach each campaign's checkpoint to seed
+   its lease table's Done set. A campaign whose checkpoint holds every
+   shard is finished even if the crash beat the "finished" WAL record;
+   a campaign whose WAL says finished but whose checkpoint is missing
+   shards is quietly re-queued — shard results depend only on
+   (seed, shard), so re-running them reproduces the identical report.
+
+   Nothing here reads the wall clock or takes locks: every operation is
+   given [now] and the service serializes calls under its own mutex,
+   the same split Lease and Coordinator use. *)
+
+open Fmc
+module Protocol = Fmc_dist.Protocol
+module Lease = Fmc_dist.Lease
+module Ckpt = Fmc_dist.Ckpt
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+module Rate = Fmc_obs.Rate
+
+type config = {
+  queue_depth : int;  (* max campaigns queued or running; 0 = unbounded *)
+  ttl_s : float;  (* shard lease lifetime without a heartbeat *)
+  wall_budget_s : float;  (* running wall clock before a campaign is parked; 0 = off *)
+  retry_after_s : float;  (* resubmission hint in admission rejections *)
+  rate_halflife_s : float;  (* pool throughput EWMA window *)
+}
+
+let default_config =
+  { queue_depth = 16; ttl_s = 30.; wall_budget_s = 0.; retry_after_s = 5.; rate_halflife_s = 30. }
+
+type phase = Active | Finished | Parked of string | Cancelled
+
+type entry = {
+  spec : Protocol.spec;
+  fp : string;
+  key : string;  (* md5 hex of fp: checkpoint filename *)
+  plan : (int * int) array;
+  lease : Lease.t;
+  blobs : (int, string) Hashtbl.t;
+  mutable quarantined : Campaign.quarantine_entry list;  (* newest first *)
+  mutable phase : phase;
+  mutable started_at : float option;
+  mutable done_samples : int;
+  mutable elapsed_s : float;  (* start-to-finish wall clock, once Finished *)
+}
+
+type mx = {
+  submissions : Metrics.counter option;
+  rejected : Metrics.counter option;
+  cache_hits : Metrics.counter option;
+  recoveries : Metrics.counter option;
+  finished : Metrics.counter option;
+  parked : Metrics.counter option;
+  cancelled : Metrics.counter option;
+  wal_records : Metrics.counter option;
+  wal_torn : Metrics.counter option;
+  q_depth : Metrics.gauge option;
+  running : Metrics.gauge option;
+  in_flight : Metrics.gauge option;
+}
+
+let mx_create (obs : Obs.t) =
+  match obs.Obs.metrics with
+  | None ->
+      {
+        submissions = None;
+        rejected = None;
+        cache_hits = None;
+        recoveries = None;
+        finished = None;
+        parked = None;
+        cancelled = None;
+        wal_records = None;
+        wal_torn = None;
+        q_depth = None;
+        running = None;
+        in_flight = None;
+      }
+  | Some r ->
+      let c help name = Some (Metrics.counter r ~help name) in
+      let g help name = Some (Metrics.gauge r ~help name) in
+      {
+        submissions = c "campaign submissions accepted" "fmc_sched_submissions_total";
+        rejected = c "submissions refused by admission control" "fmc_sched_rejected_total";
+        cache_hits = c "submissions answered from the report cache" "fmc_sched_cache_hits_total";
+        recoveries = c "campaigns recovered from WAL + checkpoints" "fmc_sched_recoveries_total";
+        finished = c "campaigns run to completion" "fmc_sched_campaigns_finished_total";
+        parked = c "campaigns parked by quarantine policy" "fmc_sched_parked_total";
+        cancelled = c "campaigns cancelled by request" "fmc_sched_cancelled_total";
+        wal_records = c "intact WAL records replayed at startup" "fmc_sched_wal_records_total";
+        wal_torn = c "torn WAL tails detected at startup" "fmc_sched_wal_torn_records_total";
+        q_depth = g "campaigns queued or running" "fmc_sched_queue_depth";
+        running = g "campaigns with completed or in-flight shards" "fmc_sched_campaigns_running";
+        in_flight = g "shard leases currently live across campaigns" "fmc_sched_shards_in_flight";
+      }
+
+let cinc = Option.iter Metrics.inc
+let cadd c v = Option.iter (fun c -> Metrics.add c v) c
+let gset g v = Option.iter (fun g -> Metrics.set g (float_of_int v)) g
+
+type t = {
+  config : config;
+  dir : string;
+  wal : Wal.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* submission order, oldest first *)
+  mutable rotation : int;  (* round-robin cursor over active entries *)
+  rate : Rate.t;
+  mutable draining : bool;
+  mutable last_activity : float;
+  mx : mx;
+}
+
+(* -- WAL records --------------------------------------------------------- *)
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+let rec_submit spec = "submit\n" ^ Protocol.spec_line spec
+let rec_finished fp elapsed = Printf.sprintf "finished\n%s\n%h" fp elapsed
+let rec_parked fp reason = Printf.sprintf "parked\n%s\n%s" fp (one_line reason)
+let rec_cancelled fp = "cancelled\n" ^ fp
+
+type wal_op =
+  | Op_submit of Protocol.spec
+  | Op_finished of string * float
+  | Op_parked of string * string
+  | Op_cancelled of string
+
+let parse_record payload =
+  match String.split_on_char '\n' payload with
+  | [ "submit"; line ] -> (
+      match Protocol.spec_of_line line with Ok sp -> Some (Op_submit sp) | Error _ -> None)
+  | [ "finished"; fp; e ] ->
+      Some (Op_finished (fp, Option.value (float_of_string_opt e) ~default:0.))
+  | [ "parked"; fp; reason ] -> Some (Op_parked (fp, reason))
+  | [ "cancelled"; fp ] -> Some (Op_cancelled fp)
+  | _ -> None
+
+(* -- entries ------------------------------------------------------------- *)
+
+let ckpt_dir_of dir = Filename.concat dir "campaigns"
+let ckpt_dir t = ckpt_dir_of t.dir
+let ckpt_path_of dir e = Filename.concat (ckpt_dir_of dir) (e.key ^ ".ckpt")
+let ckpt_path t e = ckpt_path_of t.dir e
+
+let make_entry config spec =
+  let fp = Protocol.spec_fingerprint spec in
+  let plan =
+    Ssf.shard_plan ~samples:spec.Protocol.sp_samples ~shard_size:spec.Protocol.sp_shard_size
+  in
+  {
+    spec;
+    fp;
+    key = Digest.to_hex (Digest.string fp);
+    plan;
+    lease = Lease.create ~plan ~ttl:config.ttl_s;
+    blobs = Hashtbl.create 16;
+    quarantined = [];
+    phase = Active;
+    started_at = None;
+    done_samples = 0;
+    elapsed_s = 0.;
+  }
+
+let spec_valid (sp : Protocol.spec) =
+  if sp.Protocol.sp_samples <= 0 then Error "non-positive sample count"
+  else if sp.Protocol.sp_shard_size <= 0 then Error "non-positive shard size"
+  else Ok ()
+
+let active e = match e.phase with Active -> true | Finished | Parked _ | Cancelled -> false
+
+let iter_ordered t f =
+  List.iter (fun fp -> match Hashtbl.find_opt t.entries fp with Some e -> f e | None -> ()) t.order
+
+let active_entries t =
+  List.filter_map
+    (fun fp ->
+      match Hashtbl.find_opt t.entries fp with Some e when active e -> Some e | _ -> None)
+    t.order
+
+let refresh_gauges t =
+  let act = active_entries t in
+  gset t.mx.q_depth (List.length act);
+  gset t.mx.running
+    (List.length (List.filter (fun e -> e.done_samples > 0 || Lease.in_flight e.lease > 0) act));
+  gset t.mx.in_flight (List.fold_left (fun n e -> n + Lease.in_flight e.lease) 0 act)
+
+let save_ckpt t e =
+  let shards =
+    Hashtbl.fold (fun i b acc -> (i, b) :: acc) e.blobs []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  (if not (Sys.file_exists (ckpt_dir t)) then
+     try Unix.mkdir (ckpt_dir t) 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Ckpt.save ~path:(ckpt_path t e)
+    { Ckpt.st_fingerprint = e.fp; st_shards = shards; st_quarantined = List.rev e.quarantined }
+
+(* -- recovery ------------------------------------------------------------ *)
+
+let shard_len e shard = if shard >= 0 && shard < Array.length e.plan then snd e.plan.(shard) else 0
+
+let attach_ckpt ~dir e =
+  let path = ckpt_path_of dir e in
+  if Sys.file_exists path then
+    match Ckpt.load ~path with
+    | Error _ -> ()  (* unreadable progress: re-run the campaign from scratch *)
+    | Ok st when st.Ckpt.st_fingerprint <> e.fp -> ()
+    | Ok st ->
+        List.iter
+          (fun (shard, blob) ->
+            if shard >= 0 && shard < Array.length e.plan && not (Hashtbl.mem e.blobs shard)
+            then begin
+              Lease.force_complete e.lease ~shard;
+              Hashtbl.replace e.blobs shard blob;
+              e.done_samples <- e.done_samples + shard_len e shard
+            end)
+          st.Ckpt.st_shards;
+        e.quarantined <- List.rev st.Ckpt.st_quarantined
+
+(* Rebuild the queue from replayed WAL records, then reattach each
+   campaign's checkpoint. Runs before the WAL handle exists (the old
+   segments must survive until the compacted one is durable), so it
+   only touches the entry tables. *)
+let recover ~config ~dir ~entries records =
+  let order = ref [] in
+  List.iter
+    (fun payload ->
+      match parse_record payload with
+      | None -> ()
+      | Some (Op_submit spec) -> (
+          match spec_valid spec with
+          | Error _ -> ()
+          | Ok () -> (
+              let fp = Protocol.spec_fingerprint spec in
+              match Hashtbl.find_opt entries fp with
+              | Some e ->
+                  (* Revival after a cancel; duplicates from compaction
+                     land here too and change nothing. *)
+                  if e.phase = Cancelled then e.phase <- Active
+              | None ->
+                  let e = make_entry config spec in
+                  Hashtbl.replace entries fp e;
+                  order := fp :: !order))
+      | Some (Op_finished (fp, elapsed)) -> (
+          match Hashtbl.find_opt entries fp with
+          | Some e ->
+              e.phase <- Finished;
+              e.elapsed_s <- elapsed
+          | None -> ())
+      | Some (Op_parked (fp, reason)) -> (
+          match Hashtbl.find_opt entries fp with
+          | Some e -> if e.phase <> Finished then e.phase <- Parked reason
+          | None -> ())
+      | Some (Op_cancelled fp) -> (
+          match Hashtbl.find_opt entries fp with
+          | Some e -> if e.phase <> Finished then e.phase <- Cancelled
+          | None -> ()))
+    records;
+  let order = List.rev !order in
+  (* Reconcile phases against the evidence: a complete checkpoint
+     finishes the campaign even if the crash beat the "finished" WAL
+     record, and a "finished" record without the shards to back it
+     re-queues the campaign (re-running is free and bit-exact). *)
+  List.iter
+    (fun fp ->
+      match Hashtbl.find_opt entries fp with
+      | None -> ()
+      | Some e -> (
+          attach_ckpt ~dir e;
+          match e.phase with
+          | Finished -> if not (Lease.finished e.lease) then e.phase <- Active
+          | Active -> if Lease.finished e.lease then e.phase <- Finished
+          | Parked _ -> if Lease.finished e.lease then e.phase <- Finished
+          | Cancelled -> ()))
+    order;
+  order
+
+let records_of_state ~entries order =
+  List.concat_map
+    (fun fp ->
+      match Hashtbl.find_opt entries fp with
+      | None -> []
+      | Some e -> (
+          let base = rec_submit e.spec in
+          match e.phase with
+          | Active -> [ base ]
+          | Finished -> [ base; rec_finished e.fp e.elapsed_s ]
+          | Parked reason -> [ base; rec_parked e.fp reason ]
+          | Cancelled -> [ base; rec_cancelled e.fp ]))
+    order
+
+let create ?(obs = Obs.disabled) config ~dir ~now =
+  if config.ttl_s <= 0. then invalid_arg "Sched.create: non-positive ttl";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let wal_dir = Filename.concat dir "wal" in
+  let replayed = Wal.replay ~dir:wal_dir in
+  let mx = mx_create obs in
+  cadd mx.wal_records (float_of_int (List.length replayed.Wal.records));
+  cadd mx.wal_torn (float_of_int replayed.Wal.torn);
+  let entries = Hashtbl.create 16 in
+  let order = recover ~config ~dir ~entries replayed.Wal.records in
+  let recovered = Hashtbl.length entries in
+  if recovered > 0 then cadd mx.recoveries (float_of_int recovered);
+  (* Compacting here also truncates any torn tail: the next replay reads
+     a minimal, tear-free log. *)
+  let t =
+    {
+      config;
+      dir;
+      wal = Wal.start ~dir:wal_dir ~initial:(records_of_state ~entries order);
+      entries;
+      order;
+      rotation = 0;
+      rate = Rate.create ~halflife_s:config.rate_halflife_s ~now ();
+      draining = false;
+      last_activity = now;
+      mx;
+    }
+  in
+  refresh_gauges t;
+  t
+
+(* -- phase transitions --------------------------------------------------- *)
+
+let finalize t e ~now =
+  if e.phase <> Finished then begin
+    e.phase <- Finished;
+    e.elapsed_s <- (match e.started_at with Some s -> now -. s | None -> 0.);
+    Wal.append t.wal (rec_finished e.fp e.elapsed_s);
+    cinc t.mx.finished;
+    refresh_gauges t
+  end
+
+let park t e reason =
+  if active e then begin
+    e.phase <- Parked reason;
+    Wal.append t.wal (rec_parked e.fp reason);
+    cinc t.mx.parked;
+    refresh_gauges t
+  end
+
+(* -- submission ---------------------------------------------------------- *)
+
+let position_of t e =
+  let rec go n = function
+    | [] -> n
+    | fp :: rest ->
+        if fp = e.fp then n
+        else
+          go
+            (match Hashtbl.find_opt t.entries fp with
+            | Some o when active o -> n + 1
+            | _ -> n)
+            rest
+  in
+  go 0 t.order
+
+let submit t ~now spec =
+  t.last_activity <- now;
+  match spec_valid spec with
+  | Error reason -> `Invalid reason
+  | Ok () -> (
+      let fp = Protocol.spec_fingerprint spec in
+      match Hashtbl.find_opt t.entries fp with
+      | Some e -> (
+          match e.phase with
+          | Finished ->
+              cinc t.mx.cache_hits;
+              `Cached
+          | Cancelled ->
+              e.phase <- Active;
+              Wal.append t.wal (rec_submit e.spec);
+              cinc t.mx.submissions;
+              refresh_gauges t;
+              `Queued (position_of t e)
+          | Active | Parked _ -> `Queued (position_of t e))
+      | None ->
+          let live = List.length (active_entries t) in
+          if t.config.queue_depth > 0 && live >= t.config.queue_depth then begin
+            cinc t.mx.rejected;
+            `Rejected t.config.retry_after_s
+          end
+          else begin
+            let e = make_entry t.config spec in
+            Hashtbl.replace t.entries fp e;
+            t.order <- t.order @ [ fp ];
+            Wal.append t.wal (rec_submit spec);
+            cinc t.mx.submissions;
+            refresh_gauges t;
+            `Queued (position_of t e)
+          end)
+
+let cancel t ~fingerprint =
+  match Hashtbl.find_opt t.entries fingerprint with
+  | None -> `Unknown
+  | Some e -> (
+      match e.phase with
+      | Finished -> `Already_finished
+      | Cancelled -> `Cancelled
+      | Active | Parked _ ->
+          e.phase <- Cancelled;
+          Wal.append t.wal (rec_cancelled e.fp);
+          cinc t.mx.cancelled;
+          refresh_gauges t;
+          `Cancelled)
+
+(* -- dispatch ------------------------------------------------------------ *)
+
+let sweep t ~now =
+  iter_ordered t (fun e ->
+      if active e then begin
+        ignore (Lease.sweep e.lease ~now : int);
+        (match (e.started_at, t.config.wall_budget_s) with
+        | Some s, budget when budget > 0. && now -. s > budget ->
+            park t e
+              (Printf.sprintf "wall-clock budget exhausted (%.1fs > %.1fs)" (now -. s) budget)
+        | _ -> ());
+        if Lease.finished e.lease then finalize t e ~now
+      end);
+  refresh_gauges t
+
+let next_job t ~now ~worker ~scope =
+  t.last_activity <- now;
+  if t.draining then `Drained
+  else
+    let try_entry e =
+      if not (active e) then None
+      else
+        match Lease.acquire e.lease ~now ~worker with
+        | `Assign a ->
+            if e.started_at = None then e.started_at <- Some now;
+            Some (`Job (e.spec, a))
+        | `Finished ->
+            finalize t e ~now;
+            None
+        | `Wait -> None
+    in
+    if scope = Protocol.pool_fingerprint then begin
+      let act = active_entries t in
+      let n = List.length act in
+      if n = 0 then `Wait
+      else begin
+        (* Round-robin across campaigns: start one past the campaign
+           that got the previous lease, so one long campaign cannot
+           starve the rest of the queue. *)
+        let arr = Array.of_list act in
+        let start = t.rotation mod n in
+        let rec probe i =
+          if i = n then `Wait
+          else
+            let idx = (start + i) mod n in
+            match try_entry arr.(idx) with
+            | Some job ->
+                t.rotation <- idx + 1;
+                refresh_gauges t;
+                job
+            | None -> probe (i + 1)
+        in
+        probe 0
+      end
+    end
+    else
+      match Hashtbl.find_opt t.entries scope with
+      | None -> `Unknown_scope
+      | Some e -> (
+          match e.phase with
+          | Finished -> `Drained
+          | Cancelled -> `Drained
+          | Parked _ -> `Wait
+          | Active -> (
+              match try_entry e with
+              | Some job ->
+                  refresh_gauges t;
+                  job
+              | None -> if Lease.finished e.lease then `Drained else `Wait))
+
+let heartbeat t ~now ~fingerprint ~shard ~epoch =
+  t.last_activity <- now;
+  match Hashtbl.find_opt t.entries fingerprint with
+  | None -> `Stale
+  | Some e -> (
+      match e.phase with
+      | Active | Parked _ -> Lease.heartbeat e.lease ~now ~shard ~epoch
+      | Finished | Cancelled -> `Stale)
+
+let complete t ~now ~fingerprint ~shard ~epoch ~tally ~quarantined =
+  t.last_activity <- now;
+  match Hashtbl.find_opt t.entries fingerprint with
+  | None -> `Unknown
+  | Some e -> (
+      match e.phase with
+      | Cancelled -> `Unknown
+      | Finished | Active | Parked _ -> (
+          match Ssf.Tally.of_string tally with
+          | Error msg -> `Invalid msg
+          | Ok _ -> (
+              match Lease.complete e.lease ~shard ~epoch with
+              | `Accepted ->
+                  Hashtbl.replace e.blobs shard tally;
+                  e.quarantined <- List.rev_append quarantined e.quarantined;
+                  e.done_samples <- e.done_samples + shard_len e shard;
+                  Rate.observe t.rate ~now (float_of_int (shard_len e shard));
+                  save_ckpt t e;
+                  if Lease.finished e.lease && e.phase = Active then finalize t e ~now;
+                  refresh_gauges t;
+                  `Accepted
+              | (`Duplicate | `Stale | `Unknown) as r -> r)))
+
+(* -- reports and status -------------------------------------------------- *)
+
+let report t ~fingerprint =
+  match Hashtbl.find_opt t.entries fingerprint with
+  | Some e when e.phase = Finished ->
+      let shards =
+        Hashtbl.fold (fun i b acc -> (i, b) :: acc) e.blobs []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      let quarantined =
+        List.sort
+          (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
+          (List.rev e.quarantined)
+      in
+      Some (shards, quarantined, e.elapsed_s)
+  | Some _ | None -> None
+
+let status_entry t ~now e =
+  let queue_len = List.length (active_entries t) in
+  let state, position, detail =
+    match e.phase with
+    | Finished -> (Protocol.Finished, -1, "")
+    | Cancelled -> (Protocol.Cancelled, -1, "")
+    | Parked reason -> (Protocol.Parked, -1, reason)
+    | Active ->
+        let st =
+          if e.done_samples > 0 || Lease.in_flight e.lease > 0 then Protocol.Running
+          else Protocol.Queued
+        in
+        (st, position_of t e, "")
+  in
+  let rate = Rate.per_sec t.rate ~now in
+  let eta =
+    match e.phase with
+    | Finished | Cancelled -> 0.
+    | Parked _ -> -1.
+    | Active ->
+        let own = e.spec.Protocol.sp_samples - e.done_samples in
+        (* Everything queued ahead shares the pool, so its backlog is
+           in front of ours in expectation. *)
+        let ahead =
+          List.fold_left
+            (fun (acc, seen) fp ->
+              if seen || fp = e.fp then (acc, true)
+              else
+                match Hashtbl.find_opt t.entries fp with
+                | Some o when active o ->
+                    (acc + (o.spec.Protocol.sp_samples - o.done_samples), false)
+                | _ -> (acc, false))
+            (0, false) t.order
+          |> fst
+        in
+        (match Rate.eta_s t.rate ~now ~remaining:(own + ahead) with Some s -> s | None -> -1.)
+  in
+  {
+    Protocol.st_fingerprint = e.fp;
+    st_state = state;
+    st_position = position;
+    st_queue_len = queue_len;
+    st_samples_done = e.done_samples;
+    st_samples_total = e.spec.Protocol.sp_samples;
+    st_rate = rate;
+    st_eta_s = eta;
+    st_detail = detail;
+  }
+
+let status t ~now ~fingerprint =
+  if fingerprint = "" then
+    List.rev
+      (List.fold_left
+         (fun acc fp ->
+           match Hashtbl.find_opt t.entries fp with
+           | Some e -> status_entry t ~now e :: acc
+           | None -> acc)
+         [] t.order)
+  else
+    match Hashtbl.find_opt t.entries fingerprint with
+    | Some e -> [ status_entry t ~now e ]
+    | None -> []
+
+(* -- lifecycle ----------------------------------------------------------- *)
+
+let drain t = t.draining <- true
+let draining t = t.draining
+let in_flight t = List.fold_left (fun n e -> n + Lease.in_flight e.lease) 0 (active_entries t)
+let idle t = active_entries t = []
+let last_activity t = t.last_activity
+
+let shutdown t =
+  (* Rewrite the WAL as one compacted segment of the final state — the
+     next startup replays a minimal, tear-free log. *)
+  let wal_dir = Wal.dir t.wal in
+  Wal.close t.wal;
+  let w = Wal.start ~dir:wal_dir ~initial:(records_of_state ~entries:t.entries t.order) in
+  Wal.close w

@@ -1,0 +1,120 @@
+(** Multi-campaign scheduler core (DESIGN.md §12): durable submission
+    queue, per-campaign lease tables, round-robin shard dispatch, and
+    report caching by campaign fingerprint.
+
+    State lives under one directory: [<dir>/wal/] holds the {!Wal}
+    segments describing the queue (submit/finished/parked/cancelled,
+    all idempotent), [<dir>/campaigns/<md5>.ckpt] the per-campaign
+    {!Fmc_dist.Ckpt} progress written after every accepted shard.
+    {!create} recovers both after [kill -9]: the WAL replay rebuilds
+    the queue in submission order (counted on
+    [fmc_sched_recoveries_total]), checkpoints reattach finished
+    shards, and the log is compacted to a fresh tear-free segment.
+
+    Like {!Fmc_dist.Lease}, nothing here reads the wall clock ([now] is
+    always injected) and nothing takes locks — the {!Service} wraps
+    every call in its connection-handling mutex. *)
+
+open Fmc
+module Protocol = Fmc_dist.Protocol
+module Lease = Fmc_dist.Lease
+
+type config = {
+  queue_depth : int;
+      (** max campaigns queued or running before submissions are
+          rejected; 0 disables admission control *)
+  ttl_s : float;  (** shard lease lifetime without a heartbeat *)
+  wall_budget_s : float;
+      (** a campaign running (wall clock since its first lease) longer
+          than this is parked — it stops consuming the pool but the
+          service lives on; 0 disables *)
+  retry_after_s : float;  (** resubmission hint carried by rejections *)
+  rate_halflife_s : float;  (** pool-throughput EWMA window ({!Fmc_obs.Rate}) *)
+}
+
+val default_config : config
+(** depth 16, ttl 30s, no wall budget, retry-after 5s, 30s half-life. *)
+
+type t
+
+val create : ?obs:Fmc_obs.Obs.t -> config -> dir:string -> now:float -> t
+(** Open (creating if needed) the state directory, replay + compact the
+    WAL, reattach campaign checkpoints. Under [obs], registers the
+    [fmc_sched_*] counters and gauges. *)
+
+val submit :
+  t ->
+  now:float ->
+  Protocol.spec ->
+  [ `Queued of int  (** accepted (or already queued) at this position *)
+  | `Cached  (** finished earlier — the report is ready to fetch *)
+  | `Rejected of float  (** queue full; retry after this many seconds *)
+  | `Invalid of string  (** malformed spec (non-positive samples/shard) *) ]
+
+val cancel : t -> fingerprint:string -> [ `Cancelled | `Already_finished | `Unknown ]
+(** Cancelled campaigns stop receiving leases and drop in-flight results;
+    resubmitting the same spec revives them from scratch. *)
+
+val next_job :
+  t ->
+  now:float ->
+  worker:string ->
+  scope:string ->
+  [ `Job of Protocol.spec * Lease.assignment
+  | `Wait  (** nothing leasable right now — poll again *)
+  | `Drained  (** stop asking: draining, or the scoped campaign is done *)
+  | `Unknown_scope  (** concrete scope names a campaign never submitted *) ]
+(** [scope] is the connection's Hello fingerprint:
+    {!Protocol.pool_fingerprint} draws round-robin from every active
+    campaign (expiring overdue leases on the way); a concrete
+    fingerprint serves only that campaign, which is how pre-scheduler
+    [faultmc worker] processes keep working. *)
+
+val heartbeat :
+  t -> now:float -> fingerprint:string -> shard:int -> epoch:int -> [ `Ok | `Stale ]
+
+val complete :
+  t ->
+  now:float ->
+  fingerprint:string ->
+  shard:int ->
+  epoch:int ->
+  tally:string ->
+  quarantined:Campaign.quarantine_entry list ->
+  [ `Accepted | `Duplicate | `Stale | `Unknown | `Invalid of string ]
+(** [`Accepted] persists the campaign checkpoint before returning and
+    finalizes the campaign (WAL "finished" record, report cached) when
+    it was the last shard. [`Invalid]: the tally blob does not decode —
+    refused without consuming the shard's one completion. *)
+
+val report :
+  t ->
+  fingerprint:string ->
+  ((int * string) list * Campaign.quarantine_entry list * float) option
+(** The finished campaign's (shard blobs ascending, quarantine log by
+    sample index, start-to-finish seconds); [None] until finished. *)
+
+val status : t -> now:float -> fingerprint:string -> Protocol.status_entry list
+(** [""] lists every campaign in submission order; a concrete
+    fingerprint yields one entry, or [] if unknown. ETAs combine the
+    pool {!Fmc_obs.Rate} with the backlog queued ahead. *)
+
+val sweep : t -> now:float -> unit
+(** Expire overdue leases and park campaigns over their wall budget —
+    the service calls this on its select tick. *)
+
+val drain : t -> unit
+(** Stop issuing leases ({!next_job} answers [`Drained]); in-flight
+    shards still heartbeat and complete. *)
+
+val draining : t -> bool
+val in_flight : t -> int
+val idle : t -> bool
+(** No campaign is queued or running (finished/parked/cancelled only). *)
+
+val last_activity : t -> float
+(** [now] of the most recent submit/lease/heartbeat/complete — the
+    idle-exit clock. *)
+
+val shutdown : t -> unit
+(** Flush and compact the WAL to a single segment of the final state. *)

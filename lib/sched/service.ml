@@ -1,0 +1,299 @@
+(* The scheduler's socket service ([faultmc sched]): accept loop,
+   per-connection threads, and the mapping between Protocol messages and
+   Sched operations. Mirrors Fmc_dist.Coordinator's structure — select
+   tick + thread per connection + one state mutex — but every connection
+   carries a scope (its Hello fingerprint): pool workers and control
+   clients announce Protocol.pool_fingerprint, while campaign-scoped
+   connections (legacy [faultmc worker], [evaluate --connect], and
+   [submit --wait]) name one campaign and speak the pre-scheduler
+   message set against it unchanged.
+
+   Shutdown protocol: SIGTERM (or SIGINT, or a test's request_drain)
+   sets the drain flag; the tick stops leasing, in-flight shards finish
+   and are checkpointed, and once none remain the loop exits, compacts
+   the WAL and returns. An idle scheduler (no campaign queued or
+   running) exits on its own after [max_idle_s] of no useful work. *)
+
+module Protocol = Fmc_dist.Protocol
+module Wire = Fmc_dist.Wire
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+module Clock = Fmc_obs.Clock
+
+type config = {
+  addr : Wire.addr;
+  state_dir : string;
+  sched : Sched.config;
+  max_idle_s : float;  (* exit after this long idle with an empty queue; 0 = never *)
+  io_deadline_s : float;
+  handle_signals : bool;
+}
+
+let default_config ~addr ~state_dir =
+  {
+    addr;
+    state_dir;
+    sched = Sched.default_config;
+    max_idle_s = 0.;
+    io_deadline_s = 120.;
+    handle_signals = true;
+  }
+
+type stop_reason = Drained | Idle
+
+type outcome = { sv_reason : stop_reason }
+
+type state = {
+  mutex : Mutex.t;
+  sched : Sched.t;
+  config : config;
+  drain_flag : bool Atomic.t;
+  mutable connected : int;
+  connections : Metrics.gauge option;
+  draining_g : Metrics.gauge option;
+}
+
+type control = { request_drain : unit -> unit }
+
+let locked st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+
+let gset g v = Option.iter (fun g -> Metrics.set g (float_of_int v)) g
+
+exception Done_serving
+
+(* -- message handling (call under the lock) ------------------------------ *)
+
+let complete_reply = function
+  | `Accepted -> Protocol.Ack { accepted = true; reason = "" }
+  | `Duplicate -> Protocol.Ack { accepted = true; reason = "duplicate" }
+  | `Stale -> Protocol.Ack { accepted = false; reason = "stale epoch" }
+  | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown shard or campaign" }
+  | `Invalid msg -> Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
+
+let handle_msg st ~scope ~worker msg =
+  let now = Clock.now () in
+  let sched = st.sched in
+  let pool = scope = Protocol.pool_fingerprint in
+  match (msg : Protocol.client_msg) with
+  | Protocol.Hello _ -> Protocol.Reject { reason = "duplicate hello" }
+  | Protocol.Submit { spec } -> (
+      match Sched.submit sched ~now spec with
+      | `Queued position ->
+          Protocol.Submitted
+            { fingerprint = Protocol.spec_fingerprint spec; position; cached = false }
+      | `Cached ->
+          Protocol.Submitted
+            { fingerprint = Protocol.spec_fingerprint spec; position = 0; cached = true }
+      | `Rejected retry_after_s ->
+          Protocol.Sched_rejected { retry_after_s; reason = "queue full" }
+      | `Invalid reason -> Protocol.Reject { reason = "invalid campaign spec: " ^ reason })
+  | Protocol.Status_req { fingerprint } -> (
+      match Sched.status sched ~now ~fingerprint with
+      | [] when fingerprint <> "" -> Protocol.Reject { reason = "unknown campaign" }
+      | entries -> Protocol.Status { entries })
+  | Protocol.Cancel { fingerprint } -> (
+      match Sched.cancel sched ~fingerprint with
+      | `Cancelled -> Protocol.Ack { accepted = true; reason = "" }
+      | `Already_finished ->
+          Protocol.Ack { accepted = false; reason = "already finished (report is cached)" }
+      | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown campaign" })
+  | Protocol.Request_shard -> (
+      match Sched.next_job sched ~now ~worker ~scope with
+      | `Job (spec, { Sched.Lease.shard; epoch; start; len }) ->
+          if pool then Protocol.Job { spec; shard; epoch; start; len }
+          else Protocol.Assign { shard; epoch; start; len }
+      | `Wait -> Protocol.No_work { finished = false }
+      | `Drained -> Protocol.No_work { finished = true }
+      | `Unknown_scope -> Protocol.Reject { reason = "unknown campaign" })
+  | Protocol.Heartbeat { shard; epoch; samples_done = _ } ->
+      if pool then Protocol.Reject { reason = "pool connections heartbeat with job_heartbeat" }
+      else (
+        match Sched.heartbeat sched ~now ~fingerprint:scope ~shard ~epoch with
+        | `Ok -> Protocol.Ack { accepted = true; reason = "" }
+        | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
+  | Protocol.Job_heartbeat { fingerprint; shard; epoch; samples_done = _ } -> (
+      match Sched.heartbeat sched ~now ~fingerprint ~shard ~epoch with
+      | `Ok -> Protocol.Ack { accepted = true; reason = "" }
+      | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
+  | Protocol.Shard_done { shard; epoch; tally; quarantined } ->
+      if pool then Protocol.Reject { reason = "pool connections complete with job_done" }
+      else
+        complete_reply
+          (Sched.complete sched ~now ~fingerprint:scope ~shard ~epoch ~tally ~quarantined)
+  | Protocol.Job_done { fingerprint; shard; epoch; tally; quarantined } ->
+      complete_reply (Sched.complete sched ~now ~fingerprint ~shard ~epoch ~tally ~quarantined)
+  | Protocol.Fetch_report ->
+      if pool then Protocol.Reject { reason = "fetch_report needs a campaign-scoped connection" }
+      else (
+        match Sched.report sched ~fingerprint:scope with
+        | Some (shards, quarantined, elapsed_s) ->
+            Protocol.Report { shards; quarantined; elapsed_s }
+        | None -> (
+            match Sched.status sched ~now ~fingerprint:scope with
+            | [] -> Protocol.Reject { reason = "unknown campaign" }
+            | entries -> Protocol.Status { entries }))
+  | Protocol.Goodbye -> raise Done_serving
+
+(* -- per-connection protocol --------------------------------------------- *)
+
+let send conn msg =
+  let tag, payload = Protocol.encode_server msg in
+  Wire.write_frame conn ~tag payload
+
+(* First frame must be a current-version Hello; any fingerprint is an
+   acceptable scope (a concrete one may name a campaign that is about
+   to be submitted on this very connection). v1 peers get a v1-framed
+   Reject they can decode, as the coordinator does. *)
+let expect_hello conn =
+  let reject reason =
+    send conn (Protocol.Reject { reason });
+    raise Done_serving
+  in
+  match Wire.read_frame_raw conn with
+  | `Corrupt (tag, raw) -> (
+      match Protocol.v1_hello ~tag raw with
+      | Some v ->
+          let _, payload =
+            Protocol.encode_server
+              (Protocol.Reject
+                 {
+                   reason =
+                     Printf.sprintf
+                       "protocol version %d is no longer supported: this scheduler speaks v%d; \
+                        upgrade the worker"
+                       v Protocol.version;
+                 })
+          in
+          Wire.write_frame_v1 conn ~tag:'X' payload;
+          raise Done_serving
+      | None -> raise Done_serving)
+  | `Ok (tag, payload) -> (
+      match Protocol.decode_client tag payload with
+      | Ok (Protocol.Hello { version; worker; fingerprint }) ->
+          if version <> Protocol.version then
+            reject (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
+          else begin
+            send conn (Protocol.Welcome { version = Protocol.version });
+            (worker, fingerprint)
+          end
+      | Ok _ | Error _ -> reject "expected hello")
+
+let handle_conn st fd =
+  let conn = Wire.conn fd ~deadline_s:st.config.io_deadline_s in
+  let finally () =
+    Wire.close conn;
+    locked st (fun () ->
+        st.connected <- st.connected - 1;
+        gset st.connections st.connected)
+  in
+  locked st (fun () ->
+      st.connected <- st.connected + 1;
+      gset st.connections st.connected);
+  Fun.protect ~finally (fun () ->
+      try
+        let worker, scope = expect_hello conn in
+        let rec loop () =
+          (match Wire.read_frame_raw conn with
+          | `Corrupt _ ->
+              (* The content cannot be trusted; tell the peer to back
+                 off and reconnect, then hang up. *)
+              send conn (Protocol.Retry_later { cooldown_s = 0.5 });
+              raise Done_serving
+          | `Ok (tag, payload) -> (
+              match Protocol.decode_client tag payload with
+              | Ok msg -> send conn (locked st (fun () -> handle_msg st ~scope ~worker msg))
+              | Error msg -> send conn (Protocol.Reject { reason = msg })));
+          loop ()
+        in
+        loop ()
+      with
+      | Done_serving | Wire.Closed | Wire.Protocol_error _ | Wire.Timeout | Unix.Unix_error _
+      | Sys_error _
+      ->
+        ())
+
+(* -- the serve loop ------------------------------------------------------ *)
+
+let install_drain_handlers flag =
+  let install s =
+    try Some (s, Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set flag true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  List.filter_map install [ Sys.sigterm; Sys.sigint ]
+
+let restore_handlers saved =
+  List.iter
+    (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ())
+    saved
+
+let serve ?(obs = Obs.disabled) ?(on_ready = fun (_ : control) -> ()) (config : config) =
+  let now = Clock.now () in
+  let sched = Sched.create ~obs config.sched ~dir:config.state_dir ~now in
+  let connections, draining_g =
+    match obs.Obs.metrics with
+    | None -> (None, None)
+    | Some r ->
+        ( Some (Metrics.gauge r ~help:"live scheduler connections" "fmc_sched_connections"),
+          Some (Metrics.gauge r ~help:"1 while draining after SIGTERM" "fmc_sched_draining") )
+  in
+  let st =
+    {
+      mutex = Mutex.create ();
+      sched;
+      config;
+      drain_flag = Atomic.make false;
+      connected = 0;
+      connections;
+      draining_g;
+    }
+  in
+  let saved = if config.handle_signals then install_drain_handlers st.drain_flag else [] in
+  let sock = Wire.listen config.addr in
+  let finally () =
+    restore_handlers saved;
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (match config.addr with
+    | Wire.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ());
+    locked st (fun () -> Sched.shutdown st.sched)
+  in
+  Fun.protect ~finally (fun () ->
+      on_ready { request_drain = (fun () -> Atomic.set st.drain_flag true) };
+      Obs.span obs ~cat:"sched" "serve" (fun () ->
+          let reason = ref Drained in
+          let running = ref true in
+          while !running do
+            let readable, _, _ =
+              try Unix.select [ sock ] [] [] 0.2
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            (match readable with
+            | [ _ ] ->
+                let fd, _ = Unix.accept sock in
+                ignore (Thread.create (fun () -> handle_conn st fd) ())
+            | _ -> ());
+            let now = Clock.now () in
+            locked st (fun () ->
+                Sched.sweep st.sched ~now;
+                if Atomic.get st.drain_flag && not (Sched.draining st.sched) then begin
+                  Sched.drain st.sched;
+                  gset st.draining_g 1
+                end;
+                if Sched.draining st.sched then begin
+                  (* Stop leasing, let in-flight shards land, then go. *)
+                  if Sched.in_flight st.sched = 0 then begin
+                    reason := Drained;
+                    running := false
+                  end
+                end
+                else if
+                  config.max_idle_s > 0. && Sched.idle st.sched
+                  && now -. Sched.last_activity st.sched >= config.max_idle_s
+                then begin
+                  reason := Idle;
+                  running := false
+                end)
+          done;
+          { sv_reason = !reason }))

@@ -1,0 +1,37 @@
+(** Socket service for the multi-campaign scheduler ([faultmc sched]).
+
+    Accepts {!Fmc_dist.Wire} connections, reads a v{!Fmc_dist.Protocol.version}
+    Hello whose fingerprint becomes the connection's scope —
+    {!Fmc_dist.Protocol.pool_fingerprint} for pool workers and control
+    clients, a concrete campaign fingerprint for legacy single-campaign
+    workers and report fetchers — and serves {!Sched} over it, one
+    handler thread per connection, every scheduler call behind one
+    mutex.
+
+    SIGTERM/SIGINT (when [handle_signals]) drain: leasing stops,
+    in-flight shards finish and checkpoint, the WAL is compacted, and
+    {!serve} returns. With [max_idle_s > 0] an idle scheduler — empty
+    queue, nothing running — exits on its own. *)
+
+type config = {
+  addr : Fmc_dist.Wire.addr;
+  state_dir : string;  (** WAL + campaign checkpoints live here *)
+  sched : Sched.config;
+  max_idle_s : float;  (** exit after this long idle; 0 = serve forever *)
+  io_deadline_s : float;  (** per-connection read/write deadline *)
+  handle_signals : bool;  (** install SIGTERM/SIGINT drain handlers *)
+}
+
+val default_config : addr:Fmc_dist.Wire.addr -> state_dir:string -> config
+
+type stop_reason = Drained | Idle
+
+type outcome = { sv_reason : stop_reason }
+
+type control = { request_drain : unit -> unit }
+(** Handed to [on_ready]; lets tests trigger the SIGTERM path without
+    signalling the process. *)
+
+val serve : ?obs:Fmc_obs.Obs.t -> ?on_ready:(control -> unit) -> config -> outcome
+(** Blocks until drained or idle-expired. [on_ready] fires once the
+    socket is listening, before the first accept. *)

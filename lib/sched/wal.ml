@@ -1,0 +1,158 @@
+(* Write-ahead log for the multi-campaign scheduler (DESIGN.md §12).
+
+   A WAL directory holds numbered segment files (seg-00000001.wal, ...);
+   each segment is a sequence of CRC-framed records:
+
+     [u32 BE payload length][u32 BE CRC-32 of payload][payload bytes]
+
+   the same checksum (Fmc_prelude.Crc32) the wire codec and the durable
+   checkpoints use. Appends are flushed and fsynced before the mutating
+   call returns, so an acknowledged submission survives kill -9 of the
+   scheduler the instant after the ack.
+
+   Replay walks the segments in order and stops at the first record that
+   does not check out — a short header, a length running past the end of
+   the segment, or a CRC mismatch. That is the torn tail a crash
+   mid-append leaves behind; everything before it was fsynced and is
+   trusted. Compaction ([start]) writes the surviving state into a fresh
+   segment under a .tmp name, renames it into place, and only then
+   unlinks the older segments — a crash between the rename and the
+   unlinks leaves duplicate records, which is why every record type the
+   scheduler logs is idempotent under replay. *)
+
+let max_record = 16 * 1024 * 1024
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.unsafe_to_string b
+
+let read_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let segment_name n = Printf.sprintf "seg-%08d.wal" n
+
+let segment_number name =
+  if String.length name = 16 && String.sub name 0 4 = "seg-" && Filename.check_suffix name ".wal"
+  then int_of_string_opt (String.sub name 4 8)
+  else None
+
+let segments dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n -> Option.map (fun i -> (i, n)) (segment_number n))
+      |> List.sort compare
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+type replayed = { records : string list; torn : int; segments : int }
+
+(* Decode one segment's records; [`Torn] if the byte stream ends in a
+   record that does not check out. *)
+let decode_segment raw =
+  let n = String.length raw in
+  let rec go acc pos =
+    if pos = n then (List.rev acc, false)
+    else if n - pos < 8 then (List.rev acc, true)
+    else
+      let len = read_be32 raw pos in
+      let crc = read_be32 raw (pos + 4) in
+      if len < 0 || len > max_record || len > n - pos - 8 then (List.rev acc, true)
+      else
+        let payload = String.sub raw (pos + 8) len in
+        if Fmc_prelude.Crc32.string payload <> crc then (List.rev acc, true)
+        else go (payload :: acc) (pos + 8 + len)
+  in
+  go [] 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay ~dir =
+  ensure_dir dir;
+  let segs = segments dir in
+  (* A torn record ends replay entirely: within a segment nothing after
+     the tear is trustworthy, and later segments were written after it —
+     applying them without their predecessors could resurrect state the
+     torn records changed. In practice a tear is always the final append
+     of the final segment. *)
+  let rec walk acc torn = function
+    | [] -> (acc, torn)
+    | (_, name) :: rest ->
+        let records, is_torn = decode_segment (read_file (Filename.concat dir name)) in
+        let acc = List.rev_append records acc in
+        if is_torn then (acc, torn + 1) else walk acc torn rest
+  in
+  let records_rev, torn = walk [] 0 segs in
+  { records = List.rev records_rev; torn; segments = List.length segs }
+
+type t = {
+  dir : string;
+  oc : out_channel;
+  fd : Unix.file_descr;
+  mutable closed : bool;
+}
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write_record oc payload =
+  output_string oc (be32 (String.length payload));
+  output_string oc (be32 (Fmc_prelude.Crc32.string payload));
+  output_string oc payload
+
+let start ~dir ~initial =
+  ensure_dir dir;
+  let segs = segments dir in
+  let next = (match List.rev segs with (i, _) :: _ -> i + 1 | [] -> 1) in
+  let name = segment_name next in
+  let path = Filename.concat dir name in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     List.iter (write_record oc) initial;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path;
+  fsync_dir dir;
+  (* Only after the compacted segment is durable do the old ones go. *)
+  List.iter (fun (_, n) -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ()) segs;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  { dir; oc; fd; closed = false }
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: closed";
+  if String.length payload > max_record then invalid_arg "Wal.append: oversized record";
+  write_record t.oc payload;
+  flush t.oc;
+  Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    close_out_noerr t.oc
+  end
+
+let dir t = t.dir

@@ -1,0 +1,36 @@
+(** CRC-framed write-ahead log for the scheduler's submission queue
+    (DESIGN.md §12).
+
+    A WAL directory holds numbered segments ([seg-%08d.wal]) of records
+    framed as [[u32 BE len][u32 BE CRC-32][payload]]. {!append} fsyncs
+    before returning, so an acknowledged record survives [kill -9].
+    {!replay} stops at the first torn record (short header, impossible
+    length, or CRC mismatch) — the residue of a crash mid-append —
+    counting it rather than failing. Record payloads are opaque here;
+    the scheduler keeps every record type idempotent under replay
+    because compaction can leave duplicates (see {!start}). *)
+
+type replayed = {
+  records : string list;  (** every intact record, oldest first *)
+  torn : int;  (** 1 if replay stopped at a torn record, else 0 *)
+  segments : int;  (** segment files present before compaction *)
+}
+
+val replay : dir:string -> replayed
+(** Read every segment in order. Creates [dir] if missing. *)
+
+type t
+
+val start : dir:string -> initial:string list -> t
+(** Compact: write [initial] (the records describing the current state)
+    into a fresh segment — built as a [.tmp], fsynced, renamed — then
+    unlink the older segments and return a handle appending to the new
+    one. A crash between rename and unlink leaves duplicates, which
+    idempotent replay absorbs. *)
+
+val append : t -> string -> unit
+(** Frame, write, flush and fsync one record. Raises [Invalid_argument]
+    on a closed handle or a record over 16 MiB. *)
+
+val close : t -> unit
+val dir : t -> string

@@ -249,7 +249,7 @@ let test_corrupt_checkpoint_rejected () =
     (try
        ignore (Campaign.resume ~config:no_signals e prep ~path);
        false
-     with Campaign.Corrupt_checkpoint _ -> true);
+     with Campaign.Checkpoint_corrupt { path = p; _ } -> p = path);
   (* A future format version is refused rather than misread. *)
   let oc = open_out path in
   output_string oc "faultmc-campaign 99\n";
@@ -258,7 +258,7 @@ let test_corrupt_checkpoint_rejected () =
     (try
        ignore (Campaign.resume ~config:no_signals e prep ~path);
        false
-     with Campaign.Corrupt_checkpoint _ -> true)
+     with Campaign.Checkpoint_corrupt { path = p; _ } -> p = path)
 
 let () =
   Alcotest.run "campaign"
