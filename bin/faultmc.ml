@@ -8,6 +8,7 @@
      sweep         temporal / spatial attack-accuracy sweeps (Fig 11)
      harden        critical registers and hardening trade-off
      lint          static-analysis passes over the benchmark netlists
+     sva           sound masking certificates (workload constants, observability windows)
      bench         standard benchmarks under full observability (BENCH_<rev>.json)
      serve         distributed-campaign coordinator (shard leases over TCP/Unix sockets)
      worker        distributed-campaign worker (leases shards from a coordinator or pool)
@@ -322,7 +323,7 @@ let start_chaos_proxy ~obs ~plan ~seed ~log ~close_log ~public ~upstream =
 
 let evaluate_cmd =
   let run benchmark strategy samples seed half_width json csv_prefix checkpoint checkpoint_every
-      resume journal sample_budget connect shard_size metrics_out trace_out progress =
+      resume journal sample_budget connect shard_size prune_flag metrics_out trace_out progress =
     let obs = build_obs ~metrics_out ~trace_out ~progress in
     let render report =
       if json then print_endline (Fmc.Export.report_json report)
@@ -353,6 +354,10 @@ let evaluate_cmd =
           prerr_endline "faultmc: --connect only combines with the campaign-identity options";
           exit 2
         end;
+        if prune_flag then begin
+          prerr_endline "faultmc: --prune needs local evaluation; it cannot combine with --connect";
+          exit 2
+        end;
         let addr = parse_addr_or_die addrstr in
         let fingerprint =
           dist_fingerprint ~benchmark ~strategy ~samples ~seed
@@ -381,10 +386,21 @@ let evaluate_cmd =
     | None -> (
         with_context @@ fun ctx ->
         let engine, prep = prepared ctx benchmark strategy in
+        (* The analytical pruner: sound per-sample masking certificates
+           (Fmc_sva). A covered sample skips simulation and is tallied as
+           masked with its original weight — the report stays
+           byte-identical to the unpruned run, only faster. *)
+        let pruner = if prune_flag then Some (Fmc_sva.Pruner.create ~obs engine) else None in
+        let prune = Option.map (fun p sample -> Fmc_sva.Pruner.check p sample) pruner in
+        let clock_suffix () =
+          match pruner with
+          | None -> ""
+          | Some p -> Printf.sprintf ", prune ratio %.1f%%" (100. *. Fmc_sva.Pruner.prune_ratio p)
+        in
         let report =
           match (half_width, shard_size, campaign_mode) with
           | Some hw, None, false when sample_budget = None ->
-              Fmc.Ssf.estimate_until ~obs engine prep ~half_width:hw ~z:1.96 ~seed
+              Fmc.Ssf.estimate_until ~obs ?prune engine prep ~half_width:hw ~z:1.96 ~seed
           | Some _, _, _ ->
               prerr_endline "faultmc: --half-width cannot be combined with campaign options";
               exit 2
@@ -397,17 +413,18 @@ let evaluate_cmd =
               (* The single-process reference for a distributed run with
                  the same (samples, seed, shard size): bit-identical. *)
               let result =
-                Fmc.Campaign.estimate_sharded ~obs ?sample_budget engine prep ~samples ~seed
-                  ~shard_size:sz
+                Fmc.Campaign.estimate_sharded ~obs ?sample_budget ?prune engine prep ~samples
+                  ~seed ~shard_size:sz
               in
               let q = List.length result.Fmc.Campaign.quarantined in
               if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
               if not json then
-                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
-                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
+                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s%s)@."
+                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec
+                  (clock_suffix ());
               result.Fmc.Campaign.report
           | None, None, false when sample_budget = None ->
-              Fmc.Ssf.estimate ~obs engine prep ~samples ~seed
+              Fmc.Ssf.estimate ~obs ?prune engine prep ~samples ~seed
           | None, None, _ ->
               if checkpoint_every <= 0 then begin
                 prerr_endline "faultmc: --checkpoint-every must be positive";
@@ -425,8 +442,8 @@ let evaluate_cmd =
               let result =
                 try
                   match resume with
-                  | Some path -> Fmc.Campaign.resume ~config ~obs engine prep ~path
-                  | None -> Fmc.Campaign.run ~config ~obs engine prep ~samples ~seed
+                  | Some path -> Fmc.Campaign.resume ~config ~obs ?prune engine prep ~path
+                  | None -> Fmc.Campaign.run ~config ~obs ?prune engine prep ~samples ~seed
                 with
                 | Fmc.Campaign.Checkpoint_corrupt { path; reason } ->
                     Format.eprintf "faultmc: unusable checkpoint %s: %s@." path reason;
@@ -448,10 +465,19 @@ let evaluate_cmd =
                 Format.eprintf "%d sample(s) quarantined%s@." q
                   (match journal with Some p -> Printf.sprintf "; details in %s" p | None -> "");
               if not json then
-                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s)@."
-                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec;
+                Format.fprintf ppf "campaign wall clock: %.2f s (%.0f samples/s%s)@."
+                  result.Fmc.Campaign.elapsed_s result.Fmc.Campaign.samples_per_sec
+                  (clock_suffix ());
               result.Fmc.Campaign.report
         in
+        (match pruner with
+        | None -> ()
+        | Some p ->
+            let st = Fmc_sva.Pruner.stats p in
+            Format.eprintf "sva prune: %d/%d samples pruned (%.1f%%), %d certificates@."
+              st.Fmc_sva.Pruner.pruned st.checked
+              (100. *. Fmc_sva.Pruner.prune_ratio p)
+              st.certificates);
         render report)
   in
   let half_width =
@@ -525,12 +551,22 @@ let evaluate_cmd =
              samples, each under its own RNG substream, and merge — the bit-exact single-process \
              reference for a distributed run with the same shard size.")
   in
+  let prune_flag =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "Skip simulating samples covered by a sound Fmc_sva masking certificate and tally \
+             them analytically as masked with their original weight. The report is byte-identical \
+             to the unpruned run for the same seed — only faster. Cannot combine with \
+             $(b,--connect).")
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Estimate the System Security Factor of a benchmark.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json
       $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget $ connect
-      $ shard_size_opt $ metrics_out_arg $ trace_out_arg $ progress_arg)
+      $ shard_size_opt $ prune_flag $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* characterize *)
 
@@ -745,6 +781,55 @@ let lint_cmd =
           verifier) over the benchmark netlists.")
     Term.(const run $ target $ passes $ json $ fail_on $ list_passes)
 
+(* sva *)
+
+let sva_cmd =
+  let run benchmark json check =
+    with_context @@ fun ctx ->
+    let engine = Fmc.Experiments.engine_for ctx benchmark in
+    let cert = Fmc_sva.Cert.build engine in
+    if json then print_endline (Fmc_sva.Cert.to_json cert)
+    else Format.fprintf ppf "%a" Fmc_sva.Cert.summary cert;
+    match check with
+    | None -> ()
+    | Some points ->
+        let pruner = Fmc_sva.Pruner.create engine in
+        let claimed, violations = Fmc_sva.Pruner.self_check ~points pruner in
+        if violations = [] then
+          Format.eprintf
+            "sva check: %d/%d random (cell, cycle) points claimed masked; every claim confirmed \
+             by full simulation@."
+            claimed points
+        else begin
+          Format.eprintf
+            "sva check: UNSOUND — %d of %d claimed-masked points were NOT masked under full \
+             simulation:@."
+            (List.length violations) claimed;
+          List.iter
+            (fun (dff, te) -> Format.eprintf "  node %d at injection cycle %d@." dff te)
+            violations;
+          exit 1
+        end
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the certificate under the faultmc-sva-v1 schema.")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "check" ] ~docv:"N"
+          ~doc:
+            "Soundness cross-check: draw $(docv) random (cell, cycle) points the certificates \
+             claim masked, run the full engine on each, and exit non-zero on any disagreement.")
+  in
+  Cmd.v
+    (Cmd.info "sva"
+       ~doc:
+         "Compute the sound masking certificates (workload constants, observability don't-cares, \
+          temporal masking bounds) for a benchmark.")
+    Term.(const run $ benchmark_arg $ json $ check)
+
 (* bench *)
 
 let bench_rev () =
@@ -761,17 +846,16 @@ let bench_rev () =
       with _ -> "dev")
 
 let bench_cmd =
-  let run samples out_dir seed =
+  let run samples out_dir seed rev_override =
     with_context @@ fun ctx ->
     (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let strategy = Fmc.Sampler.default_mixed in
     let bench_one idx (program : Fmc_isa.Programs.t) =
+      let name = program.Fmc_isa.Programs.name in
       let engine, prep = prepared ctx program strategy in
       let reg = Fmc_obs.Metrics.create () in
       let tracer = Fmc_obs.Span.create ~tid:(idx + 1) () in
-      let conv_path =
-        Filename.concat out_dir ("convergence-" ^ program.Fmc_isa.Programs.name ^ ".jsonl")
-      in
+      let conv_path = Filename.concat out_dir ("convergence-" ^ name ^ ".jsonl") in
       let conv_oc = open_out conv_path in
       let obs =
         Fmc_obs.Obs.create ~metrics:reg ~tracer
@@ -782,34 +866,74 @@ let bench_cmd =
       let elapsed = Unix.gettimeofday () -. t0 in
       close_out conv_oc;
       let sps = if elapsed > 0. then float_of_int samples /. elapsed else 0. in
-      Format.fprintf ppf "bench %s: SSF %.5f, %.2f s (%.0f samples/s); wrote %s@."
-        program.Fmc_isa.Programs.name report.Fmc.Ssf.ssf elapsed sps conv_path;
-      ( program.Fmc_isa.Programs.name,
+      Format.fprintf ppf "bench %s: SSF %.5f, %.2f s (%.0f samples/s); wrote %s@." name
+        report.Fmc.Ssf.ssf elapsed sps conv_path;
+      (* Pruned re-run with the same seed under the same sink kinds (so the
+         timing comparison is apples to apples): must be byte-identical —
+         this is the in-tree soundness assertion of the --prune path. *)
+      let preg = Fmc_obs.Metrics.create () in
+      let ptracer = Fmc_obs.Span.create ~tid:(100 + idx + 1) () in
+      let pconv_oc = open_out (Filename.concat out_dir ("convergence-" ^ name ^ "-pruned.jsonl")) in
+      let pobs =
+        Fmc_obs.Obs.create ~metrics:preg ~tracer:ptracer
+          ~progress:(Fmc_obs.Progress.jsonl_sink pconv_oc) ()
+      in
+      let pruner = Fmc_sva.Pruner.create ~obs:pobs engine in
+      let t1 = Unix.gettimeofday () in
+      let pruned_report =
+        Fmc.Ssf.estimate ~obs:pobs
+          ~prune:(fun s -> Fmc_sva.Pruner.check pruner s)
+          engine prep ~samples ~seed
+      in
+      let pruned_elapsed = Unix.gettimeofday () -. t1 in
+      close_out pconv_oc;
+      if Fmc.Export.report_json pruned_report <> Fmc.Export.report_json report then begin
+        Format.eprintf
+          "faultmc bench: pruned report diverged from the reference on %s — certificate unsound@."
+          name;
+        exit 1
+      end;
+      let psps = if pruned_elapsed > 0. then float_of_int samples /. pruned_elapsed else 0. in
+      let pstats = Fmc_sva.Pruner.stats pruner in
+      Format.fprintf ppf
+        "bench %s (pruned): byte-identical report, %.2f s (%.0f samples/s, prune ratio %.1f%%, \
+         speedup %.2fx)@."
+        name pruned_elapsed psps
+        (100. *. Fmc_sva.Pruner.prune_ratio pruner)
+        (if sps > 0. then psps /. sps else 0.);
+      ( name,
         report,
         elapsed,
-        Fmc_obs.Metrics.snapshot reg,
+        (pruned_elapsed, Fmc_sva.Pruner.prune_ratio pruner, pstats.Fmc_sva.Pruner.certificates),
+        Fmc_obs.Metrics.merge (Fmc_obs.Metrics.snapshot reg) (Fmc_obs.Metrics.snapshot preg),
         Fmc_obs.Span.events tracer,
         Fmc_obs.Span.totals tracer )
     in
     let results =
       List.mapi bench_one [ Fmc_isa.Programs.illegal_write; Fmc_isa.Programs.illegal_read ]
     in
-    let rev = bench_rev () in
+    let rev = match rev_override with Some r -> r | None -> bench_rev () in
     let buf = Buffer.create 2048 in
     let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    pr "{\"schema\":\"faultmc-bench-v1\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
+    pr "{\"schema\":\"faultmc-bench-v2\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
       (Fmc_obs.Jsonx.escape rev)
       (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
       samples seed;
     List.iteri
-      (fun i (name, (report : Fmc.Ssf.report), elapsed, _, _, totals) ->
+      (fun i (name, (report : Fmc.Ssf.report), elapsed, (pelapsed, pratio, certs), _, _, totals) ->
         if i > 0 then pr ",";
         let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
         let sps = if elapsed > 0. then float_of_int report.Fmc.Ssf.n /. elapsed else 0. in
+        let psps = if pelapsed > 0. then float_of_int report.Fmc.Ssf.n /. pelapsed else 0. in
         pr
-          "{\"name\":\"%s\",\"samples\":%d,\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"ess\":%.2f,\"phases\":["
+          "{\"name\":\"%s\",\"samples\":%d,\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"ess\":%.2f,"
           (Fmc_obs.Jsonx.escape name) report.Fmc.Ssf.n elapsed sps report.Fmc.Ssf.ssf lo hi
           report.Fmc.Ssf.ess;
+        pr
+          "\"pruned\":{\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"prune_ratio\":%.4f,\"certificates\":%d,\"speedup\":%.3f},"
+          pelapsed psps pratio certs
+          (if sps > 0. then psps /. sps else 0.);
+        pr "\"phases\":[";
         List.iteri
           (fun j (span, (count, total_us)) ->
             if j > 0 then pr ",";
@@ -825,14 +949,14 @@ let bench_cmd =
     Format.fprintf ppf "wrote %s@." bench_path;
     let merged_metrics =
       List.fold_left
-        (fun acc (_, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
+        (fun acc (_, _, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
         [] results
     in
     let prom_path = Filename.concat out_dir "metrics.prom" in
     let mjson_path = Filename.concat out_dir "metrics.json" in
     write_file prom_path (Fmc_obs.Metrics.to_prometheus merged_metrics);
     write_file mjson_path (Fmc_obs.Metrics.to_json merged_metrics);
-    let all_events = List.concat_map (fun (_, _, _, _, events, _) -> events) results in
+    let all_events = List.concat_map (fun (_, _, _, _, _, events, _) -> events) results in
     let trace_path = Filename.concat out_dir "trace.json" in
     write_file trace_path (Fmc_obs.Span.to_chrome_json all_events);
     Format.fprintf ppf "wrote %s, %s, %s@." prom_path mjson_path trace_path
@@ -854,12 +978,23 @@ let bench_cmd =
       value & opt string "."
       & info [ "out-dir" ] ~docv:"DIR" ~doc:"Directory for the bench artifacts (created if missing).")
   in
+  let rev_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rev" ] ~docv:"REV"
+          ~doc:
+            "Override the revision tag in the artifact name and JSON (default: the current git \
+             revision). Used to commit a stable $(b,BENCH_baseline.json).")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Run the standard benchmarks under full observability and write BENCH_<rev>.json \
-          (per-phase timings, throughput, SSF + CI) plus metrics, trace and convergence artifacts.")
-    Term.(const run $ samples $ out_dir $ seed_arg)
+         "Run the standard benchmarks under full observability — each once unpruned and once with \
+          the Fmc_sva analytical pruner (asserting byte-identical reports) — and write \
+          BENCH_<rev>.json (per-phase timings, throughput, prune ratio, speedup, SSF + CI) plus \
+          metrics, trace and convergence artifacts.")
+    Term.(const run $ samples $ out_dir $ seed_arg $ rev_arg)
 
 (* serve *)
 
@@ -1519,6 +1654,6 @@ let () =
   let doc = "cross-level Monte Carlo fault-attack vulnerability evaluation" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
-    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; bench_cmd;
-      serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; trace_cmd; dot_cmd;
-      experiments_cmd ]))
+    [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; sva_cmd;
+      bench_cmd; serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; trace_cmd;
+      dot_cmd; experiments_cmd ]))

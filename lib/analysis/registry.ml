@@ -1,4 +1,4 @@
-let all = Structural.all @ Security.all
+let all = Structural.all @ Security.all @ Sva_passes.all
 
 let find name = List.find_opt (fun p -> p.Pass.name = name) all
 

@@ -42,29 +42,9 @@ let dead_gate =
 (* ------------------------------------------------------------------ *)
 (* const-gate: bounded constant propagation + identity folds *)
 
-(* Three-valued evaluation: [None] is unknown, [Some b] a proven constant. *)
-let eval3 kind (vals : bool option array) =
-  let all_known () = Array.for_all Option.is_some vals in
-  let forced v = Array.exists (fun x -> x = Some v) vals in
-  match kind with
-  | K.And -> if forced false then Some false else if all_known () then Some true else None
-  | K.Nand -> if forced false then Some true else if all_known () then Some false else None
-  | K.Or -> if forced true then Some true else if all_known () then Some false else None
-  | K.Nor -> if forced true then Some false else if all_known () then Some true else None
-  | K.Xor | K.Xnor ->
-      if all_known () then
-        let x = Array.fold_left (fun acc v -> acc <> Option.get v) false vals in
-        Some (if kind = K.Xor then x else not x)
-      else None
-  | K.Not -> Option.map not vals.(0)
-  | K.Buf -> vals.(0)
-  | K.Mux -> (
-      match vals.(0) with
-      | Some sel -> if sel then vals.(2) else vals.(1)
-      | None -> (
-          match (vals.(1), vals.(2)) with
-          | Some a, Some b when a = b -> Some a
-          | _ -> None))
+(* Three-valued evaluation: [None] is unknown, [Some b] a proven constant.
+   Shared with the Fmc_sva abstract interpreter. *)
+let eval3 = K.eval3
 
 (* If the gate output provably equals one of its fan-ins given the known
    constants, return that fan-in. *)
@@ -201,6 +181,24 @@ let commutative = function
   | K.And | K.Or | K.Nand | K.Nor | K.Xor | K.Xnor -> true
   | K.Not | K.Buf | K.Mux -> false
 
+(* And/Or/Nand/Nor are idempotent: a repeated operand does not change the
+   function, so [and(a,a,b)] and [and(a,b)] are the same gate. Xor/Xnor are
+   NOT ([xor(a,a,b) = b], a different arity-1 function), so they only get
+   the commutative sort. *)
+let idempotent = function
+  | K.And | K.Or | K.Nand | K.Nor -> true
+  | K.Xor | K.Xnor | K.Not | K.Buf | K.Mux -> false
+
+let canonical_operands kind fanins =
+  let fanins = Array.copy fanins in
+  if commutative kind then Array.sort compare fanins;
+  if idempotent kind then
+    Array.of_list
+      (List.fold_right
+         (fun f acc -> match acc with g :: _ when g = f -> acc | _ -> f :: acc)
+         (Array.to_list fanins) [])
+  else fanins
+
 let duplicate_gate =
   let run (t : Pass.target) =
     let net = t.Pass.net in
@@ -209,8 +207,7 @@ let duplicate_gate =
       (fun g ->
         match N.kind net g with
         | K.Gate kind ->
-            let fanins = Array.copy (N.fanins net g) in
-            if commutative kind then Array.sort compare fanins;
+            let fanins = canonical_operands kind (N.fanins net g) in
             let key =
               K.gate_to_string kind ^ ":"
               ^ String.concat "," (List.map string_of_int (Array.to_list fanins))

@@ -1,0 +1,93 @@
+(* Registry adapters for the Fmc_sva certificate analyses.
+
+   These passes run on a bare netlist target, so they expose the
+   workload-independent slice of the certificates: reset-constant logic
+   ([sva-const], inputs unconstrained) and cycle-aware observability
+   distances ([sva-masking]). The workload-seeded variants — and the
+   pruner the certificates feed — live behind [faultmc sva], which has
+   the benchmark context a lint target lacks. *)
+
+module N = Fmc_netlist.Netlist
+module Seqconst = Fmc_sva.Seqconst
+module Window = Fmc_sva.Window
+module D = Diagnostic
+
+let sva_const =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let r = Seqconst.analyze net in
+    let stuck = Seqconst.stuck_dffs net r in
+    let const_gates = Seqconst.constant_gates net r in
+    let summary =
+      D.make ~pass:"sva-const" ~severity:D.Info
+        ~data:
+          [
+            ("stuck_dff_bits", float_of_int (List.length stuck));
+            ("constant_gates", float_of_int (List.length const_gates));
+            ("iterations", float_of_int r.Seqconst.iterations);
+          ]
+        (Printf.sprintf
+           "sequential constant propagation: %d flip-flop bits and %d gates provably hold their \
+            reset-derived value at every cycle (%d fixpoint rounds)"
+           (List.length stuck) (List.length const_gates) r.Seqconst.iterations)
+    in
+    let per_group =
+      List.filter_map
+        (fun (group, members) ->
+          let n =
+            Array.fold_left
+              (fun acc m -> if Seqconst.constant r m <> None then acc + 1 else acc)
+              0 members
+          in
+          if n = 0 then None
+          else
+            Some
+              (D.make ~pass:"sva-const" ~severity:D.Info ~groups:[ group ]
+                 ~data:[ ("stuck_bits", float_of_int n) ]
+                 (Printf.sprintf
+                    "register group %s: %d/%d bits stuck at reset value — faults there can only \
+                     matter through transient pulses, never through retained state"
+                    group n (Array.length members))))
+        (N.register_groups net)
+    in
+    summary :: per_group
+  in
+  {
+    Pass.name = "sva-const";
+    doc = "sequential (multi-cycle) constant propagation: provably stuck registers and gates";
+    default_severity = D.Info;
+    run;
+  }
+
+let sva_masking =
+  let run (t : Pass.target) =
+    let net = t.Pass.net in
+    let win = Window.distances net ~roots:(Pass.roots t) in
+    List.map
+      (fun (group, members) ->
+        match Window.group_distance win members with
+        | None ->
+            D.make ~pass:"sva-masking" ~severity:D.Info ~groups:[ group ]
+              (Printf.sprintf
+                 "register group %s can never influence the observables in any number of cycles: \
+                  every fault there is provably masked (SSF-invisible)"
+                 group)
+        | Some d ->
+            D.make ~pass:"sva-masking" ~severity:D.Info ~groups:[ group ]
+              ~data:[ ("min_cycles_to_observable", float_of_int d) ]
+              (Printf.sprintf
+                 "register group %s needs >= %d cycle%s to reach an observable: errors injected \
+                  with fewer than %d cycles left before halt are provably dead by deadline"
+                 group d
+                 (if d = 1 then "" else "s")
+                 d))
+      (N.register_groups net)
+  in
+  {
+    Pass.name = "sva-masking";
+    doc = "cycle-aware observability: per-group minimum error-propagation distance to the roots";
+    default_severity = D.Info;
+    run;
+  }
+
+let all = [ sva_const; sva_masking ]

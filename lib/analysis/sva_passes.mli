@@ -1,0 +1,12 @@
+(** Registered lint passes backed by the {!Fmc_sva} certificate engine.
+
+    [sva-const] reports sequential (multi-cycle) constant propagation:
+    flip-flop bits and gates provably stuck at their reset-derived value
+    at every reachable cycle ({!Fmc_sva.Seqconst} with unconstrained
+    inputs). [sva-masking] reports the cycle-aware observability
+    distances of {!Fmc_sva.Window} per register group — the temporal
+    refinement of the coverage certificate's visible/invisible split. *)
+
+val sva_const : Pass.t
+val sva_masking : Pass.t
+val all : Pass.t list

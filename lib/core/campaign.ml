@@ -282,15 +282,22 @@ let quarantine_entry_of_string line =
 (* ------------------------------------------------------------------ *)
 (* Supervised per-sample evaluation. *)
 
-let evaluate_guarded ~causal ?sample_budget ?fault_hook engine rng i sample =
+let evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune engine rng i sample =
   match
-    (match fault_hook with Some h -> h i sample | None -> ());
-    let result = Engine.run_sample engine ?cycle_budget:sample_budget rng sample in
-    let attributed =
-      if result.Engine.success && causal then Engine.causal_flips engine result
-      else result.Engine.flips
-    in
-    (result, attributed)
+    match prune with
+    | Some covered when covered sample ->
+        (* Certified masked (see Ssf.estimate): skip the simulation, tally
+           analytically. The fault hook is an evaluation-crash injection
+           point, so a skipped evaluation also skips it. *)
+        (Ssf.pruned_result engine sample, [])
+    | _ ->
+        (match fault_hook with Some h -> h i sample | None -> ());
+        let result = Engine.run_sample engine ?cycle_budget:sample_budget rng sample in
+        let attributed =
+          if result.Engine.success && causal then Engine.causal_flips engine result
+          else result.Engine.flips
+        in
+        (result, attributed)
   with
   | r -> Ok r
   | exception System.Cycle_budget_exhausted _ -> Error Timed_out
@@ -307,7 +314,7 @@ let install_handlers flag =
 let restore_handlers saved =
   List.iter (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ()) saved
 
-let run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed =
+let run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed =
   if config.checkpoint_every <= 0 then invalid_arg "Campaign: non-positive checkpoint_every";
   let samples = Ssf.Tally.total tally in
   let strategy = Sampler.name prepared in
@@ -354,8 +361,8 @@ let run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~
       let i = Ssf.Tally.processed tally + 1 in
       let sample = Sampler.draw ~obs prepared rng in
       (match
-         evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook engine rng i
-           sample
+         evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook ?prune engine
+           rng i sample
        with
       | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
       | Error disposition ->
@@ -401,11 +408,11 @@ let run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~
   }
 
 let run ?(config = default_config) ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?fault_hook
-    ?stop engine prepared ~samples ~seed =
+    ?prune ?stop engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Campaign.run: non-positive sample count";
   let rng = Rng.create seed in
   let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:samples in
-  run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed
+  run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed
 
 (* ------------------------------------------------------------------ *)
 (* Shard-seeded execution: the unit of work of a distributed campaign.
@@ -426,7 +433,7 @@ type shard_result = {
 }
 
 let run_shard ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
-    ?on_sample engine prepared ~seed ~shard ~start ~len =
+    ?prune ?on_sample engine prepared ~seed ~shard ~start ~len =
   if len <= 0 then invalid_arg "Campaign.run_shard: non-positive shard length";
   if start < 0 then invalid_arg "Campaign.run_shard: negative shard start";
   let rng = Rng.substream ~seed:(Int64.of_int seed) ~shard in
@@ -439,7 +446,7 @@ let run_shard ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget
       for i = 1 to len do
         let gi = start + i in
         let sample = Sampler.draw ~obs prepared rng in
-        (match evaluate_guarded ~causal ?sample_budget ?fault_hook engine rng gi sample with
+        (match evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune engine rng gi sample with
         | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
         | Error disposition ->
             let reason =
@@ -476,7 +483,7 @@ let shard_report ~strategy (s : Ssf.Tally.snapshot) =
   Ssf.Tally.report (Ssf.Tally.restore s) ~strategy
 
 let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
-    ?(shard_size = 1000) engine prepared ~samples ~seed =
+    ?prune ?(shard_size = 1000) engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Campaign.estimate_sharded: non-positive sample count";
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let t_start = Fmc_obs.Clock.now () in
@@ -484,8 +491,8 @@ let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample
     Array.to_list
       (Array.mapi
          (fun shard (start, len) ->
-           run_shard ~obs ?trace_every ~causal ?sample_budget ?fault_hook engine prepared ~seed
-             ~shard ~start ~len)
+           run_shard ~obs ?trace_every ~causal ?sample_budget ?fault_hook ?prune engine prepared
+             ~seed ~shard ~start ~len)
          plan)
   in
   let strategy = Sampler.name prepared in
@@ -501,7 +508,8 @@ let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample
     samples_per_sec = (if elapsed_s > 0. then float_of_int samples /. elapsed_s else 0.);
   }
 
-let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?stop engine prepared ~path =
+let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?prune ?stop engine prepared
+    ~path =
   let ck = read_checkpoint path in
   if ck.ck_strategy <> Sampler.name prepared then
     corrupt_at path
@@ -514,4 +522,4 @@ let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?stop engi
   in
   let rng = Rng.of_state ck.ck_rng in
   let tally = Ssf.Tally.restore ~obs ck.ck_snapshot in
-  run_loop config ~obs ~causal ?fault_hook ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed
+  run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed

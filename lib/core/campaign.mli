@@ -100,6 +100,7 @@ val run :
   ?trace_every:int ->
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?prune:(Sampler.sample -> bool) ->
   ?stop:(int -> bool) ->
   Engine.t ->
   Sampler.prepared ->
@@ -112,7 +113,10 @@ val run :
     draw (a [true] stops the campaign exactly like a signal would);
     [fault_hook] runs inside the per-sample guard before evaluation — an
     exception it raises quarantines that sample (test fault-injection
-    point). [obs] (default disabled) attaches observability: the tally's
+    point). [prune] is the analytical masking oracle of [Ssf.estimate]:
+    a covered sample skips evaluation (and the fault hook) and is tallied
+    as masked with its original weight, keeping the report byte-identical
+    to the unpruned campaign. [obs] (default disabled) attaches observability: the tally's
     convergence telemetry, a ["checkpoint_write"] span plus
     [fmc_checkpoints_total] counter per durable checkpoint, and the
     engine's phase spans (the handle is installed on [engine] for the
@@ -160,6 +164,7 @@ val run_shard :
   ?causal:bool ->
   ?sample_budget:int ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?prune:(Sampler.sample -> bool) ->
   ?on_sample:(int -> unit) ->
   Engine.t ->
   Sampler.prepared ->
@@ -190,6 +195,7 @@ val estimate_sharded :
   ?causal:bool ->
   ?sample_budget:int ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?prune:(Sampler.sample -> bool) ->
   ?shard_size:int ->
   Engine.t ->
   Sampler.prepared ->
@@ -210,6 +216,7 @@ val resume :
   ?obs:Fmc_obs.Obs.t ->
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
+  ?prune:(Sampler.sample -> bool) ->
   ?stop:(int -> bool) ->
   Engine.t ->
   Sampler.prepared ->

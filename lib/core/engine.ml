@@ -46,6 +46,7 @@ type t = {
   precharac : Precharac.t;
   circuit : Circuit.t;
   placement : Placement.t;
+  pindex : Placement.index;  (* same query results as [placement], O(disc area) *)
   tconfig : Transient.config;
   timing : Glitch.timing;
   program : Programs.t;
@@ -75,6 +76,7 @@ let create ?(checkpoint_every = 16) ?(placement_seed = 1) ~precharac program =
     precharac;
     circuit;
     placement;
+    pindex = Placement.index placement;
     tconfig;
     timing;
     program;
@@ -158,7 +160,11 @@ let gate_level_cycle t sys (sample : Sampler.sample) gate_strikes =
   result.Transient.latched
 
 let partition_disc ?(cell_filter = fun _ -> true) t center radius =
-  let cells = Array.of_list (List.filter cell_filter (Array.to_list (Placement.within t.placement ~center ~radius))) in
+  let cells =
+    Array.of_list
+      (List.filter cell_filter
+         (Array.to_list (Placement.within_indexed t.pindex ~center ~radius)))
+  in
   let dffs = ref [] and gates = ref [] in
   Array.iter
     (fun c ->

@@ -559,9 +559,33 @@ module Tally = struct
     | exception Bad msg -> Error msg
 end
 
+(* The analytical result a pruned sample is tallied with: exactly what
+   [Engine.run_sample] returns for a provably masked sample. The pruner's
+   certificate guarantees outcome/success/flips; [direct]/[latched]/
+   [struck_cells] are only read by [Tally.record] on successful samples,
+   which a masked one never is. *)
+let pruned_result engine (sample : Sampler.sample) =
+  {
+    Engine.sample;
+    te = Golden.target_cycle (Engine.golden engine) - sample.Sampler.t;
+    outcome = Engine.Masked;
+    success = false;
+    flips = [];
+    direct = [||];
+    latched = [||];
+    struck_cells = 0;
+  }
+
+let check_prune_compat ~who prune ~cell_filter ~impact_cycles ~hardened =
+  if prune <> None && (cell_filter <> None || impact_cycles <> None || hardened <> None) then
+    invalid_arg
+      (who ^ ": ?prune cannot be combined with ?cell_filter/?impact_cycles/?hardened (the \
+              certificates assume the unmodified single-cycle fault model)")
+
 let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles
-    ?hardened ?resilience engine prepared ~samples ~seed =
+    ?hardened ?resilience ?prune engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Ssf.estimate: non-positive sample count";
+  check_prune_compat ~who:"Ssf.estimate" prune ~cell_filter ~impact_cycles ~hardened;
   let rng = Rng.create seed in
   let tally = Tally.create ~obs ~trace_every prepared ~total:samples in
   (* Route the handle into the engine's phase instrumentation for the
@@ -572,18 +596,28 @@ let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_fi
   Fun.protect ~finally:(fun () -> Option.iter (Engine.set_obs engine) saved) @@ fun () ->
   for _ = 1 to samples do
     let sample = Sampler.draw ~obs prepared rng in
-    let result = Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample in
-    let attributed =
-      (* Leave-one-out causal attribution strips incidental co-flips; it
-         replays deterministically, so it is disabled when hardening
-         randomness is in play, and also under a cell filter (the replay
-         would not see the filter). *)
-      if result.Engine.success
-         && causal && hardened = None && cell_filter = None && impact_cycles = None
-      then Engine.causal_flips engine result
-      else result.Engine.flips
-    in
-    Tally.record tally sample result ~attributed
+    match prune with
+    | Some covered when covered sample ->
+        (* Certified masked: skip the simulation and tally analytically
+           with the original weight. [run_sample] consumes no randomness
+           without ?hardened, so the RNG stream — and hence every later
+           draw and the final report — is untouched by the skip. *)
+        Tally.record tally sample (pruned_result engine sample) ~attributed:[]
+    | _ ->
+        let result =
+          Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample
+        in
+        let attributed =
+          (* Leave-one-out causal attribution strips incidental co-flips; it
+             replays deterministically, so it is disabled when hardening
+             randomness is in play, and also under a cell filter (the replay
+             would not see the filter). *)
+          if result.Engine.success
+             && causal && hardened = None && cell_filter = None && impact_cycles = None
+          then Engine.causal_flips engine result
+          else result.Engine.flips
+        in
+        Tally.record tally sample result ~attributed
   done;
   Tally.report tally ~strategy:(Sampler.name prepared)
 
@@ -798,8 +832,8 @@ let confidence_interval report ~z =
   let half = z *. sqrt (report.variance /. float_of_int (max 1 report.n)) in
   (Float.max 0. (report.ssf -. half), Float.min 1. (report.ssf +. half))
 
-let estimate_until ?obs ?trace_every ?causal ?(batch = 500) ?(max_samples = 200_000) engine prepared
-    ~half_width ~z ~seed =
+let estimate_until ?obs ?trace_every ?causal ?prune ?(batch = 500) ?(max_samples = 200_000) engine
+    prepared ~half_width ~z ~seed =
   if half_width <= 0. then invalid_arg "Ssf.estimate_until: non-positive half_width";
   if batch <= 0 then invalid_arg "Ssf.estimate_until: non-positive batch";
   (* Deterministic growth: re-estimate with a growing sample count so the
@@ -808,7 +842,7 @@ let estimate_until ?obs ?trace_every ?causal ?(batch = 500) ?(max_samples = 200_
      Metrics and spans accumulate over every pass — they report the work
      actually done, which for the doubling schedule exceeds the final n. *)
   let rec go n =
-    let report = estimate ?obs ?trace_every ?causal engine prepared ~samples:n ~seed in
+    let report = estimate ?obs ?trace_every ?causal ?prune engine prepared ~samples:n ~seed in
     let lo, hi = confidence_interval report ~z in
     if (hi -. lo) /. 2. <= half_width || n >= max_samples then report
     else go (min max_samples (max (n + batch) (2 * n)))

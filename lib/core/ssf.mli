@@ -149,6 +149,13 @@ val shard_plan : samples:int -> shard_size:int -> (int * int) array
     determines every draw. Raises [Invalid_argument] on non-positive
     arguments. *)
 
+val pruned_result : Engine.t -> Sampler.sample -> Engine.run_result
+(** The analytical result a certified-masked sample is tallied with:
+    field-for-field what {!Engine.run_sample} returns on its masked path
+    ([outcome = Masked], [success = false], no flips). Shared by
+    {!estimate} and [Campaign]'s pruned paths so both stay bit-identical
+    to the simulated run. *)
+
 val estimate :
   ?obs:Fmc_obs.Obs.t ->
   ?trace_every:int ->
@@ -157,12 +164,23 @@ val estimate :
   ?impact_cycles:int ->
   ?hardened:(Fmc_netlist.Netlist.node -> bool) ->
   ?resilience:float ->
+  ?prune:(Sampler.sample -> bool) ->
   Engine.t ->
   Sampler.prepared ->
   samples:int ->
   seed:int ->
   report
-(** Deterministic for fixed arguments, including under [obs]:
+(** [prune] is an analytical masking oracle (e.g.
+    [Fmc_sva.Pruner.check]): when it returns true the sample {e must} be
+    one the engine would classify as exactly [Masked] — the simulation is
+    skipped and the sample is tallied analytically as a masked failure
+    with its original weight, leaving the report byte-identical to the
+    unpruned run (an unsound oracle silently biases the estimate; use the
+    certified pruner). Raises [Invalid_argument] when combined with
+    [cell_filter]/[impact_cycles]/[hardened], whose modified fault models
+    the certificates do not cover.
+
+    Deterministic for fixed arguments, including under [obs]:
     observability reads the sample stream but never the RNG, so an
     instrumented run returns the bit-identical report. While the run is in
     flight the handle is also installed on [engine] (its previous handle is
@@ -231,6 +249,7 @@ val estimate_until :
   ?obs:Fmc_obs.Obs.t ->
   ?trace_every:int ->
   ?causal:bool ->
+  ?prune:(Sampler.sample -> bool) ->
   ?batch:int ->
   ?max_samples:int ->
   Engine.t ->

@@ -65,4 +65,43 @@ let within t ~center ~radius =
     t.placed;
   Array.of_list (List.rev !hit)
 
+(* The placement is a unit lattice with at most one cell per site, so a
+   dense site map answers disc queries in O(area) instead of O(cells). *)
+type index = {
+  base : t;
+  cols : int;
+  rows : int;
+  site : int array;  (* row-major; node id, or -1 for an empty site *)
+}
+
+let index t =
+  let cols = int_of_float t.width and rows = int_of_float t.height in
+  let site = Array.make (cols * rows) (-1) in
+  Array.iter
+    (fun c -> site.((int_of_float t.ys.(c) * cols) + int_of_float t.xs.(c)) <- c)
+    t.placed;
+  { base = t; cols; rows; site }
+
+let within_indexed ix ~center ~radius =
+  if radius < 0. then invalid_arg "Placement.within_indexed: negative radius";
+  let t = ix.base in
+  let cx, cy = position t center in
+  (* The bounding box over-covers by one site on each edge so that the
+     hypot predicate below — bit-identical to [within]'s — is the only
+     arbiter even under floating-point rounding. *)
+  let x0 = max 0 (int_of_float (Float.floor (cx -. radius)) - 1)
+  and x1 = min (ix.cols - 1) (int_of_float (Float.ceil (cx +. radius)) + 1)
+  and y0 = max 0 (int_of_float (Float.floor (cy -. radius)) - 1)
+  and y1 = min (ix.rows - 1) (int_of_float (Float.ceil (cy +. radius)) + 1) in
+  let hit = ref [] in
+  for y = y1 downto y0 do
+    for x = x1 downto x0 do
+      let c = ix.site.((y * ix.cols) + x) in
+      if c >= 0 && Float.hypot (t.xs.(c) -. cx) (t.ys.(c) -. cy) <= radius then hit := c :: !hit
+    done
+  done;
+  let arr = Array.of_list !hit in
+  Array.sort compare arr;
+  arr
+
 let extent t = (t.width, t.height)

@@ -30,5 +30,16 @@ val within : t -> center:Fmc_netlist.Netlist.node -> radius:float -> Fmc_netlist
 (** Cells within [radius] of [center] (including [center] itself), ascending
     id. Raises [Invalid_argument] if [center] is unplaced or [radius < 0]. *)
 
+type index
+(** Dense site map over the placement lattice for fast disc queries. *)
+
+val index : t -> index
+
+val within_indexed :
+  index -> center:Fmc_netlist.Netlist.node -> radius:float -> Fmc_netlist.Netlist.node array
+(** Same result as {!within} — same cells, same ascending order — in
+    O(disc area) rather than O(placed cells). The Monte Carlo hot loop
+    and the {!Fmc_sva} pruner both sit on this query. *)
+
 val extent : t -> float * float
 (** Bounding box (width, height) of the placement. *)

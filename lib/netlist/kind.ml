@@ -21,6 +21,30 @@ let check_arity gate n =
   | Some _ -> ()
   | None -> if n < 2 then invalid_arg "Kind.eval: variadic gate needs >= 2 fan-ins"
 
+let eval3 gate (inputs : bool option array) =
+  check_arity gate (Array.length inputs);
+  let all_known () = Array.for_all Option.is_some inputs in
+  let forced v = Array.exists (fun x -> x = Some v) inputs in
+  match gate with
+  | And -> if forced false then Some false else if all_known () then Some true else None
+  | Nand -> if forced false then Some true else if all_known () then Some false else None
+  | Or -> if forced true then Some true else if all_known () then Some false else None
+  | Nor -> if forced true then Some false else if all_known () then Some true else None
+  | Xor | Xnor ->
+      if all_known () then
+        let x = Array.fold_left (fun acc v -> acc <> Option.get v) false inputs in
+        Some (if gate = Xor then x else not x)
+      else None
+  | Not -> Option.map not inputs.(0)
+  | Buf -> inputs.(0)
+  | Mux -> (
+      match inputs.(0) with
+      | Some sel -> if sel then inputs.(2) else inputs.(1)
+      | None -> (
+          match (inputs.(1), inputs.(2)) with
+          | Some a, Some b when a = b -> Some a
+          | _ -> None))
+
 let eval gate inputs =
   let n = Array.length inputs in
   check_arity gate n;

@@ -40,5 +40,15 @@ val eval : gate -> bool array -> bool
 (** Evaluate a gate on concrete fan-in values. Raises [Invalid_argument] on
     an arity violation. *)
 
+val eval3 : gate -> bool option array -> bool option
+(** Three-valued (Kleene) evaluation: [None] is unknown/X, [Some b] a
+    definite value. Sound over-approximation of {!eval}: whenever [eval3]
+    returns [Some b], [eval] returns [b] for every concretization of the
+    unknown fan-ins. A known controlling value forces the output through
+    unknown siblings (And/Nand/Or/Nor); a mux with an unknown select is
+    definite when both data fan-ins agree. Shared by the const-gate lint
+    and the {!Fmc_sva} abstract interpreter. Raises [Invalid_argument] on
+    an arity violation. *)
+
 val gate_to_string : gate -> string
 val to_string : t -> string

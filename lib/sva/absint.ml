@@ -1,0 +1,18 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+
+type v = bool option
+
+let comb_pass ?(forced = fun _ -> false) net (values : v array) =
+  Array.iter
+    (fun g ->
+      if forced g then values.(g) <- None
+      else
+        match N.kind net g with
+        | K.Gate kind ->
+            values.(g) <- K.eval3 kind (Array.map (fun f -> values.(f)) (N.fanins net g))
+        | _ -> ())
+    (N.gates net)
+
+let refutes (abstract : v) (concrete : bool) =
+  match abstract with Some b -> b <> concrete | None -> false

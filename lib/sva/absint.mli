@@ -1,0 +1,27 @@
+(** Three-valued (Kleene) abstract interpretation over a netlist.
+
+    The lattice per node is [Some false < None > Some true]: [Some b] means
+    the node provably carries [b] in every concretization of the unknowns,
+    [None] means unknown/X. Gate transfer functions are {!Fmc_netlist.Kind.eval3}
+    — a known controlling value forces the output through unknown siblings,
+    mirroring the logical-masking rule of the transient simulator
+    ({!Fmc_gatesim.Transient}), which is what makes definiteness a sound
+    certificate that neither the settled value nor any transient pulse can
+    differ from the seed values (see DESIGN.md §13). *)
+
+type v = bool option
+
+val comb_pass : ?forced:(Fmc_netlist.Netlist.node -> bool) -> Fmc_netlist.Netlist.t -> v array -> unit
+(** One combinational sweep in topological order: recompute every gate's
+    abstract value from its fan-ins. Flip-flop, input and constant entries
+    are left untouched (they are the seed). A node for which [forced]
+    holds is pinned to unknown regardless of its fan-ins (used to model
+    struck gates, whose output carries an injected pulse). Because
+    {!Fmc_netlist.Netlist.gates} is topologically sorted, a single pass
+    reaches the combinational fixpoint for a fixed seed. *)
+
+val refutes : v -> bool -> bool
+(** [refutes a c] is true when the abstract value [a] contradicts the
+    concrete value [c] — i.e. [a = Some b] with [b <> c]. Soundness means
+    this never happens when the seed agrees with the concrete evaluation;
+    the property test in [test/test_sva.ml] checks exactly that. *)

@@ -1,0 +1,139 @@
+module N = Fmc_netlist.Netlist
+module Circuit = Fmc_cpu.Circuit
+module Jsonx = Fmc_obs.Jsonx
+module Engine = Fmc.Engine
+module Golden = Fmc.Golden
+module Precharac = Fmc.Precharac
+module Lifetime = Fmc.Lifetime
+module Programs = Fmc_isa.Programs
+
+type group_cert = {
+  group : string;
+  bits : int;
+  min_cycles_to_observable : int option;
+  observable_until_te : int option;
+  stuck_bits : int;
+  max_lifetime : float;
+}
+
+type t = {
+  benchmark : string;
+  target_cycle : int;
+  halt_cycle : int;
+  nodes : int;
+  dff_count : int;
+  gate_count : int;
+  workload_cycles : int;
+  input_bits : int;
+  constant_input_bits : int;
+  stuck_dff_bits : int;
+  constant_gates : int;
+  iterations : int;
+  groups : group_cert list;
+}
+
+let build engine =
+  let circuit = Engine.circuit engine in
+  let net = circuit.Circuit.net in
+  let golden = Engine.golden engine in
+  let program = Engine.program engine in
+  let precharac = Engine.precharac engine in
+  let halt = Golden.halt_cycle golden in
+  let workload =
+    Workload.replay circuit program ~max_cycles:program.Programs.max_cycles
+  in
+  let seq = Seqconst.analyze ~input_value:(Workload.input_value workload) net in
+  let roots =
+    Circuit.responding_signals circuit @ List.map snd (N.outputs net)
+    |> List.sort_uniq compare
+  in
+  let win = Window.distances net ~roots in
+  let lifetimes = Precharac.lifetimes precharac in
+  let groups =
+    List.map
+      (fun (group, members) ->
+        let stuck_bits =
+          Array.fold_left
+            (fun acc m -> if Seqconst.constant seq m <> None then acc + 1 else acc)
+            0 members
+        in
+        let max_lifetime =
+          Array.fold_left (fun acc m -> max acc (Lifetime.lifetime lifetimes m)) 0. members
+        in
+        {
+          group;
+          bits = Array.length members;
+          min_cycles_to_observable = Window.group_distance win members;
+          observable_until_te = Window.observable_until win ~halt members;
+          stuck_bits;
+          max_lifetime;
+        })
+      (N.register_groups net)
+  in
+  {
+    benchmark = program.Programs.name;
+    target_cycle = Golden.target_cycle golden;
+    halt_cycle = halt;
+    nodes = N.num_nodes net;
+    dff_count = Array.length (N.dffs net);
+    gate_count = Array.length (N.gates net);
+    workload_cycles = workload.Workload.cycles;
+    input_bits = workload.Workload.input_bits;
+    constant_input_bits = workload.Workload.constant_bits;
+    stuck_dff_bits = List.length (Seqconst.stuck_dffs net seq);
+    constant_gates = List.length (Seqconst.constant_gates net seq);
+    iterations = seq.Seqconst.iterations;
+    groups;
+  }
+
+let opt_int = function None -> "null" | Some i -> string_of_int i
+
+let to_json t =
+  let b = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\"schema\":\"faultmc-sva-v1\",\"benchmark\":\"%s\"," (Jsonx.escape t.benchmark);
+  pr "\"target_cycle\":%d,\"halt_cycle\":%d," t.target_cycle t.halt_cycle;
+  pr "\"netlist\":{\"nodes\":%d,\"dffs\":%d,\"gates\":%d}," t.nodes t.dff_count t.gate_count;
+  pr "\"workload\":{\"cycles\":%d,\"input_bits\":%d,\"constant_input_bits\":%d},"
+    t.workload_cycles t.input_bits t.constant_input_bits;
+  pr "\"constants\":{\"stuck_dff_bits\":%d,\"constant_gates\":%d,\"iterations\":%d},"
+    t.stuck_dff_bits t.constant_gates t.iterations;
+  pr "\"groups\":[";
+  List.iteri
+    (fun i g ->
+      if i > 0 then pr ",";
+      pr
+        "{\"group\":\"%s\",\"bits\":%d,\"min_cycles_to_observable\":%s,\"observable_until_te\":%s,\"stuck_bits\":%d,\"max_lifetime\":%s}"
+        (Jsonx.escape g.group) g.bits
+        (opt_int g.min_cycles_to_observable)
+        (opt_int g.observable_until_te)
+        g.stuck_bits
+        (Jsonx.number g.max_lifetime))
+    t.groups;
+  pr "]}";
+  Buffer.contents b
+
+let summary ppf t =
+  Format.fprintf ppf "benchmark %s: target cycle %d, halt cycle %d@." t.benchmark t.target_cycle
+    t.halt_cycle;
+  Format.fprintf ppf "netlist: %d nodes (%d dffs, %d gates)@." t.nodes t.dff_count t.gate_count;
+  Format.fprintf ppf
+    "workload: %d cycles replayed, %d/%d input bits constant; %d dff bits and %d gates \
+     workload-constant (%d fixpoint rounds)@."
+    t.workload_cycles t.constant_input_bits t.input_bits t.stuck_dff_bits t.constant_gates
+    t.iterations;
+  List.iter
+    (fun g ->
+      match g.min_cycles_to_observable with
+      | None ->
+          Format.fprintf ppf
+            "  %-10s %2d bits: never observable (SSF-invisible), %d stuck bits@." g.group g.bits
+            g.stuck_bits
+      | Some d ->
+          Format.fprintf ppf
+            "  %-10s %2d bits: observable in >= %d cycles (dead for te > %s), %d stuck bits, max \
+             lifetime %.1f@."
+            g.group g.bits d
+            (match g.observable_until_te with None -> "-" | Some c -> string_of_int c)
+            g.stuck_bits g.max_lifetime)
+    t.groups

@@ -1,0 +1,43 @@
+(** Machine-readable masking certificates per (flip-flop group, cycle window).
+
+    Bundles the three certificate classes of the analysis — workload
+    constants ({!Seqconst} seeded by {!Workload}), structural
+    observability don't-cares and temporal masking bounds ({!Window}) —
+    into one artifact, emitted by [faultmc sva --json] under the
+    [faultmc-sva-v1] schema documented in the README. These certificates
+    are descriptive (reports, sampling diagnostics); the hot-loop pruner
+    ({!Pruner}) recomputes its own joint per-sample certificates because
+    the per-cell facts here do not compose soundly for multi-cell
+    strikes. *)
+
+type group_cert = {
+  group : string;
+  bits : int;
+  min_cycles_to_observable : int option;
+      (** [None] = no path to any observable in any number of cycles *)
+  observable_until_te : int option;
+      (** errors injected later than this cycle are provably dead by
+          deadline; [None] when the group is unreachable at every cycle *)
+  stuck_bits : int;  (** bits provably constant under the workload *)
+  max_lifetime : float;  (** empirical (pre-characterization), not a bound *)
+}
+
+type t = {
+  benchmark : string;
+  target_cycle : int;
+  halt_cycle : int;
+  nodes : int;
+  dff_count : int;
+  gate_count : int;
+  workload_cycles : int;
+  input_bits : int;
+  constant_input_bits : int;
+  stuck_dff_bits : int;
+  constant_gates : int;
+  iterations : int;
+  groups : group_cert list;
+}
+
+val build : Fmc.Engine.t -> t
+val to_json : t -> string
+val summary : Format.formatter -> t -> unit

@@ -1,0 +1,317 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+module Rng = Fmc_prelude.Rng
+module Cycle_sim = Fmc_gatesim.Cycle_sim
+module Placement = Fmc_layout.Placement
+module Circuit = Fmc_cpu.Circuit
+module Netsys = Fmc_cpu.Netsys
+module System = Fmc_cpu.System
+module Obs = Fmc_obs.Obs
+module Metrics = Fmc_obs.Metrics
+module Engine = Fmc.Engine
+module Golden = Fmc.Golden
+module Sampler = Fmc.Sampler
+
+type stats = { mutable checked : int; mutable pruned : int; mutable certificates : int }
+
+type inst = {
+  m_checked : Metrics.counter;
+  m_pruned : Metrics.counter;
+  m_certs : Metrics.counter;
+  m_ratio : Metrics.gauge;
+}
+
+(* The abstract state lives in a byte per node — [b_false]/[b_true] are
+   definite (equal to golden), [b_unknown] is X. Bytes keep the per-sample
+   state reset a plain memmove (a boxed option array pays a write barrier
+   per element); the option view required by the shared
+   {!Fmc_netlist.Kind.eval3} kernel is reconstructed at the evaluation
+   boundary from shared constants, so no second evaluation semantics
+   exists anywhere in the pruner. *)
+let b_false = '\000'
+let b_true = '\001'
+let b_unknown = '\002'
+
+let some_false = Some false
+let some_true = Some true
+
+let decode c = if c = b_false then some_false else if c = b_true then some_true else None
+
+type t = {
+  engine : Engine.t;
+  net : N.t;
+  circuit : Circuit.t;
+  pindex : Placement.index;
+  harness : Netsys.t;  (* private gate-level system; never touches the engine's *)
+  target_cycle : int;
+  pc_members : N.node array;
+  sink : int array;
+      (* bit 1: flip-flop D input or the memory write-enable; bit 2:
+         write-port bus bit (address/data), a sink only on golden-write
+         cycles. An X reaching a live sink refutes the certificate. *)
+  golden : (int, Bytes.t) Hashtbl.t;  (* te -> settled fault-free node values *)
+  values : Bytes.t;  (* scratch abstract state *)
+  buckets : N.node array array;  (* scratch worklist, one stack per logic level *)
+  bucket_len : int array;
+  queued : int array;  (* epoch stamps: queued.(g) = epoch iff g enqueued *)
+  mutable epoch : int;
+  stats : stats;
+  inst : inst option;
+}
+
+let create ?(obs = Obs.disabled) engine =
+  let circuit = Engine.circuit engine in
+  let net = circuit.Circuit.net in
+  let inst =
+    match obs.Obs.metrics with
+    | None -> None
+    | Some reg ->
+        Some
+          {
+            m_checked =
+              Metrics.counter reg ~help:"samples tested against masking certificates"
+                "fmc_sva_samples_checked_total";
+            m_pruned =
+              Metrics.counter reg ~help:"samples pruned: tallied analytically as masked"
+                "fmc_sva_samples_pruned_total";
+            m_certs =
+              Metrics.counter reg ~help:"per-sample joint masking certificates computed"
+                "fmc_sva_certificates_total";
+            m_ratio =
+              Metrics.gauge reg ~help:"fraction of checked samples pruned"
+                "fmc_sva_prune_ratio";
+          }
+  in
+  let n = N.num_nodes net in
+  let sink = Array.make n 0 in
+  Array.iter (fun f -> sink.(N.dff_d net f) <- sink.(N.dff_d net f) lor 1) (N.dffs net);
+  sink.(circuit.Circuit.dmem_we) <- sink.(circuit.Circuit.dmem_we) lor 1;
+  Array.iter (fun b -> sink.(b) <- sink.(b) lor 2) circuit.Circuit.dmem_addr;
+  Array.iter (fun b -> sink.(b) <- sink.(b) lor 2) circuit.Circuit.dmem_wdata;
+  {
+    engine;
+    net;
+    circuit;
+    pindex = Placement.index (Engine.placement engine);
+    harness = Netsys.create circuit (Engine.program engine);
+    target_cycle = Golden.target_cycle (Engine.golden engine);
+    pc_members = N.register_group net "pc";
+    sink;
+    golden = Hashtbl.create 97;
+    values = Bytes.make n b_false;
+    buckets = Array.make (N.max_level net + 1) [||];
+    bucket_len = Array.make (N.max_level net + 1) 0;
+    queued = Array.make n (-1);
+    epoch = -1;
+    stats = { checked = 0; pruned = 0; certificates = 0 };
+    inst;
+  }
+
+let stats t = t.stats
+
+let prune_ratio t =
+  if t.stats.checked = 0 then 0.
+  else float_of_int t.stats.pruned /. float_of_int t.stats.checked
+
+(* Settled fault-free node values at the start of cycle [te]: restore the
+   RTL golden state, mirror it (registers + data memory) into the private
+   gate-level harness and settle — the same protocol as the engine's
+   injection cycle, minus the strikes. *)
+let golden_values t te =
+  match Hashtbl.find_opt t.golden te with
+  | Some v -> v
+  | None ->
+      let sys = Golden.restore_at (Engine.golden t.engine) te in
+      let net_dmem = Netsys.dmem t.harness in
+      Array.blit (System.dmem sys) 0 net_dmem 0 (Array.length net_dmem);
+      Netsys.load_arch t.harness (System.state sys);
+      Netsys.settle t.harness;
+      let sim = Netsys.sim t.harness in
+      let v =
+        Bytes.init (N.num_nodes t.net) (fun n ->
+            if Cycle_sim.value sim n then b_true else b_false)
+      in
+      Hashtbl.add t.golden te v;
+      v
+
+let any_unknown values nodes = Array.exists (fun n -> Bytes.get values n = b_unknown) nodes
+
+exception Refuted
+
+(* Gate-evaluation budget per certificate. Maskable samples have small
+   X-fronts (the unknowns die at controlling values within a few levels);
+   refutations, by contrast, can walk almost the whole fan-out cone
+   before the X reaches a D input. Giving up at the budget and reporting
+   "not covered" is sound (the sample is simply simulated) and
+   deterministic (the walk order is a function of the struck set alone),
+   and bounds the pruner's per-sample cost far below one simulation. *)
+let work_budget = 160
+
+(* Joint abstract evaluation of one injection cycle: golden values
+   everywhere, X at every struck cell. Rather than sweeping the whole
+   netlist, the X-front is chased through the struck cells' fan-out cone
+   with a worklist ordered by logic level (sound because the
+   combinational part is acyclic and [N.level] respects fan-in order) —
+   for maskable samples the front dies out after a handful of gates, and
+   for the rest the first X that reaches a live sink (a flip-flop D
+   input, the memory write-enable, or the write-port buses on a
+   golden-write cycle) refutes the certificate immediately.
+
+   The processor's two input buses are state-dependent ([instr =
+   imem[pc]], [dmem_rdata = dmem[dmem_addr]]): an unknown stored pc bit
+   poisons the fetched word up front (register values never change during
+   the sweep), and an unknown address bit poisons the read data, which
+   re-enters the worklist. The address bus cannot itself depend on
+   [dmem_rdata] (Netsys settles it first), so one widening round is a
+   fixpoint; any dependence the netlist did have would re-taint through
+   the ordinary gate propagation after the widening.
+
+   Covered iff no live sink was ever tainted: every flip-flop D and the
+   memory write port are then definite and equal to golden, so the
+   latched state and memory provably equal the golden run at [te + 1] and
+   the engine would classify the sample as exactly [Masked]. *)
+let compute t ~te ~(cells : N.node array) =
+  let net = t.net in
+  let gold = golden_values t te in
+  let values = t.values in
+  Bytes.blit gold 0 values 0 (Bytes.length gold);
+  t.epoch <- t.epoch + 1;
+  let lo = ref (Array.length t.buckets) in
+  let push g =
+    (* Only combinational gates are evaluated; register/output fanouts of a
+       tainted node are judged through the sink flags alone. *)
+    if t.queued.(g) <> t.epoch then begin
+      t.queued.(g) <- t.epoch;
+      let l = N.level net g in
+      let len = t.bucket_len.(l) in
+      if len >= Array.length t.buckets.(l) then begin
+        let grown = Array.make (max 8 (2 * len)) g in
+        Array.blit t.buckets.(l) 0 grown 0 len;
+        t.buckets.(l) <- grown
+      end;
+      t.buckets.(l).(len) <- g;
+      t.bucket_len.(l) <- len + 1;
+      if l < !lo then lo := l
+    end
+  in
+  let gold_we = Bytes.get gold t.circuit.Circuit.dmem_we = b_true in
+  let taint n =
+    if Bytes.get values n <> b_unknown then begin
+      let s = t.sink.(n) in
+      if s land 1 <> 0 || (gold_we && s land 2 <> 0) then raise Refuted;
+      Bytes.set values n b_unknown;
+      Array.iter
+        (fun f -> match N.kind net f with K.Gate _ -> push f | _ -> ())
+        (N.fanouts net n)
+    end
+  in
+  let work = ref 0 in
+  let drain () =
+    while !lo < Array.length t.buckets do
+      if t.bucket_len.(!lo) = 0 then incr lo
+      else begin
+        let l = !lo in
+        let g = t.buckets.(l).(t.bucket_len.(l) - 1) in
+        t.bucket_len.(l) <- t.bucket_len.(l) - 1;
+        if Bytes.get values g <> b_unknown then
+          match N.kind net g with
+          | K.Gate kind ->
+              incr work;
+              if !work > work_budget then raise Refuted;
+              let fi = N.fanins net g in
+              let vs = Array.map (fun f -> decode (Bytes.get values f)) fi in
+              if K.eval3 kind vs = None then taint g
+          | _ -> ()
+      end
+    done
+  in
+  let reset_buckets () = Array.fill t.bucket_len 0 (Array.length t.bucket_len) 0 in
+  let struck_any = ref false in
+  let covered =
+    try
+      Array.iter
+        (fun c ->
+          match N.kind net c with
+          | K.Dff _ | K.Gate _ ->
+              (* A struck gate carries an injected pulse: X regardless of its
+                 inputs. [taint] pins it to X permanently, which subsumes the
+                 forced-output treatment. Input/const strikes are ignored,
+                 matching the engine's strike partition. *)
+              struck_any := true;
+              taint c
+          | K.Input | K.Const _ -> ())
+        cells;
+      if !struck_any then begin
+        (* The fetched word indexes imem by the pc register group's stored
+           bits (Netsys.settle), so any struck pc bit poisons instr. *)
+        if any_unknown values t.pc_members then Array.iter taint t.circuit.Circuit.instr;
+        drain ();
+        if any_unknown values t.circuit.Circuit.dmem_addr then begin
+          (* New epoch so gates settled definite in the first round are
+             re-enqueued when the widened read data re-taints them. *)
+          t.epoch <- t.epoch + 1;
+          Array.iter taint t.circuit.Circuit.dmem_rdata;
+          drain ()
+        end
+      end;
+      true
+    with Refuted -> false
+  in
+  reset_buckets ();
+  covered
+
+let covered t (sample : Sampler.sample) =
+  let te = t.target_cycle - sample.Sampler.t in
+  if te < 1 then true (* the engine short-circuits to Masked *)
+  else begin
+    let cells =
+      Placement.within_indexed t.pindex ~center:sample.Sampler.center
+        ~radius:sample.Sampler.radius
+    in
+    let v = compute t ~te ~cells in
+    t.stats.certificates <- t.stats.certificates + 1;
+    (match t.inst with Some i -> Metrics.inc i.m_certs | None -> ());
+    v
+  end
+
+let check t sample =
+  t.stats.checked <- t.stats.checked + 1;
+  (match t.inst with Some i -> Metrics.inc i.m_checked | None -> ());
+  let v = covered t sample in
+  if v then begin
+    t.stats.pruned <- t.stats.pruned + 1;
+    match t.inst with Some i -> Metrics.inc i.m_pruned | None -> ()
+  end;
+  (match t.inst with Some i -> Metrics.set i.m_ratio (prune_ratio t) | None -> ());
+  v
+
+let self_check ?(points = 50) ?(seed = 7) t =
+  let dffs = N.dffs t.net in
+  let draw_rng = Rng.create seed in
+  let sim_rng = Rng.create (seed + 1) in
+  let checked = ref 0 in
+  let tried = ref 0 in
+  let violations = ref [] in
+  let max_tries = points * 200 in
+  while !checked < points && !tried < max_tries do
+    incr tried;
+    let f = Rng.choose draw_rng dffs in
+    let te = Rng.int_in draw_rng 1 (max 1 t.target_cycle) in
+    let sample =
+      {
+        Sampler.t = t.target_cycle - te;
+        center = f;
+        radius = 0.;
+        width = 80.;
+        time_frac = 0.3;
+        weight = 1.;
+        stratum = Sampler.All;
+      }
+    in
+    if covered t sample then begin
+      incr checked;
+      let r = Engine.run_sample t.engine sim_rng sample in
+      if r.Engine.outcome <> Engine.Masked then violations := (f, te) :: !violations
+    end
+  done;
+  (!checked, List.rev !violations)

@@ -1,0 +1,39 @@
+module N = Fmc_netlist.Netlist
+module K = Fmc_netlist.Kind
+
+type result = { values : Absint.v array; iterations : int }
+
+let analyze ?(input_value = fun _ -> None) net =
+  let n = N.num_nodes net in
+  let values = Array.make n None in
+  Array.iter
+    (fun c -> match N.kind net c with K.Const b -> values.(c) <- Some b | _ -> ())
+    (N.consts net);
+  Array.iter (fun i -> values.(i) <- input_value i) (N.inputs net);
+  Array.iter (fun d -> values.(d) <- Some (N.dff_init net d)) (N.dffs net);
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    changed := false;
+    Absint.comb_pass net values;
+    Array.iter
+      (fun d ->
+        match (values.(d), values.(N.dff_d net d)) with
+        | Some cur, Some next when cur = next -> ()
+        | Some _, _ ->
+            (* The register can leave its current invariant: widen to X. *)
+            values.(d) <- None;
+            changed := true
+        | None, _ -> ())
+      (N.dffs net)
+  done;
+  { values; iterations = !iterations }
+
+let constant r node = r.values.(node)
+
+let stuck_dffs net r =
+  Array.to_list (N.dffs net) |> List.filter (fun d -> r.values.(d) <> None)
+
+let constant_gates net r =
+  Array.to_list (N.gates net) |> List.filter (fun g -> r.values.(g) <> None)

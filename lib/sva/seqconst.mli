@@ -1,0 +1,31 @@
+(** Sequential constant propagation (workload-constant logic).
+
+    Computes, per node, a value the node provably holds at {e every}
+    reachable cycle: registers start at their reset value and are widened
+    to unknown as soon as their D input can disagree; gates follow by
+    three-valued evaluation ({!Absint.comb_pass}). The fixpoint is a
+    decreasing iteration on a finite lattice (each round either widens at
+    least one flip-flop or terminates), so it converges in at most
+    [#dffs + 1] rounds.
+
+    With the default [input_value] (everything unknown) the result is the
+    workload-independent reset-constant set. Seeding [input_value] from a
+    benchmark replay ({!Workload.input_constants}) yields the
+    workload-constant set of the paper's "constant under the benchmark"
+    certificate class. *)
+
+type result = { values : Absint.v array; iterations : int }
+
+val analyze :
+  ?input_value:(Fmc_netlist.Netlist.node -> Absint.v) -> Fmc_netlist.Netlist.t -> result
+(** [input_value] gives the assumed invariant of each primary input
+    ([None] = unconstrained). The result is sound only under that
+    assumption. *)
+
+val constant : result -> Fmc_netlist.Netlist.node -> Absint.v
+
+val stuck_dffs : Fmc_netlist.Netlist.t -> result -> Fmc_netlist.Netlist.node list
+(** Flip-flops provably stuck at their reset value for the whole run. *)
+
+val constant_gates : Fmc_netlist.Netlist.t -> result -> Fmc_netlist.Netlist.node list
+(** Gates whose output is provably constant at every cycle. *)

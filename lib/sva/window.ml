@@ -1,0 +1,36 @@
+module N = Fmc_netlist.Netlist
+module Cone = Fmc_netlist.Cone
+
+type t = (N.node, int) Hashtbl.t
+
+let distances net ~roots =
+  let dist : t = Hashtbl.create 97 in
+  let queue = Queue.create () in
+  let visit f d =
+    if not (Hashtbl.mem dist f) then begin
+      Hashtbl.replace dist f d;
+      Queue.add f queue
+    end
+  in
+  Array.iter (fun f -> visit f 0) (Cone.fanin net ~roots).Cone.registers;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    let d = Hashtbl.find dist g in
+    let preds = (Cone.fanin net ~roots:[ N.dff_d net g ]).Cone.registers in
+    Array.iter (fun f -> visit f (d + 1)) preds
+  done;
+  dist
+
+let distance t f = Hashtbl.find_opt t f
+
+let group_distance t members =
+  Array.fold_left
+    (fun acc f ->
+      match (acc, Hashtbl.find_opt t f) with
+      | None, d -> d
+      | Some a, Some d -> Some (min a d)
+      | Some a, None -> Some a)
+    None members
+
+let observable_until t ~halt members =
+  match group_distance t members with None -> None | Some d -> Some (halt - d)

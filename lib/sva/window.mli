@@ -1,0 +1,34 @@
+(** Cycle-aware structural observability (temporal masking bounds).
+
+    Generalizes the cone-closure fixpoint of [Fmc_analysis.Security] with a
+    distance metric: [distance f] is the minimum number of clock cycles an
+    error sitting in flip-flop [f] needs before it can first influence any
+    root node (0 = [f] feeds a root's combinational cone directly,
+    [None] = no path in any number of cycles, i.e. the register is
+    SSF-invisible). Computed as a multi-source BFS over the register
+    dependency graph: edge [f -> g] when [f] is in the fan-in cone frontier
+    of [g]'s D input.
+
+    The temporal certificate follows: an error injected at cycle [te] in a
+    group with distance [d] cannot reach any observable before cycle
+    [te + d], so for [te > halt - d] it is provably dead by deadline. These
+    bounds feed the certificate artifact and the [sva-masking] analysis
+    pass; they are {e not} used by the hot-loop pruner, which needs the
+    stronger "outcome is exactly Masked" guarantee (see DESIGN.md §13). *)
+
+type t
+
+val distances : Fmc_netlist.Netlist.t -> roots:Fmc_netlist.Netlist.node list -> t
+
+val distance : t -> Fmc_netlist.Netlist.node -> int option
+(** Minimum cycles for an error in this flip-flop to reach a root;
+    [None] when unreachable. *)
+
+val group_distance : t -> Fmc_netlist.Netlist.node array -> int option
+(** Minimum over the member bits; [None] when no bit can ever reach a
+    root. *)
+
+val observable_until : t -> halt:int -> Fmc_netlist.Netlist.node array -> int option
+(** Latest injection cycle [te] at which an error in this group can still
+    reach a root before the run halts; [None] when the group is
+    unreachable (masked at every cycle). *)

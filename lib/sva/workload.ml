@@ -1,0 +1,48 @@
+module N = Fmc_netlist.Netlist
+module Circuit = Fmc_cpu.Circuit
+module Netsys = Fmc_cpu.Netsys
+module Cycle_sim = Fmc_gatesim.Cycle_sim
+
+type t = { constants : Absint.v array; cycles : int; input_bits : int; constant_bits : int }
+
+let replay circuit program ~max_cycles =
+  let net = circuit.Circuit.net in
+  let sys = Netsys.create circuit program in
+  let sim = Netsys.sim sys in
+  let inputs = N.inputs net in
+  let seen = Array.make (N.num_nodes net) None in
+  let varying = Array.make (N.num_nodes net) false in
+  let cycles = ref 0 in
+  while !cycles < max_cycles && not (Netsys.halted sys) do
+    Netsys.settle sys;
+    Array.iter
+      (fun i ->
+        if not varying.(i) then
+          let v = Cycle_sim.value sim i in
+          match seen.(i) with
+          | None -> seen.(i) <- Some v
+          | Some w when w = v -> ()
+          | Some _ ->
+              varying.(i) <- true;
+              seen.(i) <- None)
+      inputs;
+    incr cycles;
+    Netsys.step sys
+  done;
+  let constants = Array.make (N.num_nodes net) None in
+  let constant_bits = ref 0 in
+  Array.iter
+    (fun i ->
+      if (not varying.(i)) && seen.(i) <> None then begin
+        constants.(i) <- seen.(i);
+        incr constant_bits
+      end)
+    inputs;
+  {
+    constants;
+    cycles = !cycles;
+    input_bits = Array.length inputs;
+    constant_bits = !constant_bits;
+  }
+
+let input_value t node = t.constants.(node)

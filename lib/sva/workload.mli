@@ -1,0 +1,24 @@
+(** Benchmark input constancy, measured by gate-level replay.
+
+    Runs the fault-free benchmark on a private {!Fmc_cpu.Netsys} harness
+    and records, per primary-input node (instruction-word and
+    data-memory-read bits), whether it holds one constant value across
+    every settled cycle of the run. The result seeds
+    {!Seqconst.analyze}'s [input_value] to obtain workload-constant logic:
+    sound for statements about the fault-free run (and hence for the
+    certificate artifact), {e not} for the hot-loop pruner, since a fault
+    can steer [pc] and change the fetched instruction stream. *)
+
+type t = {
+  constants : Absint.v array;
+      (** per-node: [Some v] for a primary input constant at [v] over the
+          replay, [None] elsewhere *)
+  cycles : int;  (** settled cycles observed before halt or cap *)
+  input_bits : int;
+  constant_bits : int;
+}
+
+val replay : Fmc_cpu.Circuit.t -> Fmc_isa.Programs.t -> max_cycles:int -> t
+
+val input_value : t -> Fmc_netlist.Netlist.node -> Absint.v
+(** Suitable as {!Seqconst.analyze}'s [input_value]. *)

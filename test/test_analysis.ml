@@ -46,8 +46,10 @@ let test_severity_order () =
   Alcotest.(check bool) "json nodes" true (contains "\"nodes\":[1,2]")
 
 let test_registry () =
-  Alcotest.(check int) "eight passes" 8 (List.length Registry.all);
+  Alcotest.(check int) "ten passes" 10 (List.length Registry.all);
   Alcotest.(check bool) "find dead-gate" true (Registry.find "dead-gate" <> None);
+  Alcotest.(check bool) "find sva-const" true (Registry.find "sva-const" <> None);
+  Alcotest.(check bool) "find sva-masking" true (Registry.find "sva-masking" <> None);
   (match Registry.select [ "tmr-verifier"; "dead-gate" ] with
   | Ok [ a; b ] ->
       Alcotest.(check string) "order kept" "tmr-verifier" a.Pass.name;
@@ -134,6 +136,24 @@ let test_duplicate_gate () =
   let diags = by_pass "duplicate-gate" (run_pass Structural.duplicate_gate net) in
   Alcotest.(check int) "one duplicate set" 1 (List.length diags);
   Alcotest.(check (list int)) "both gates listed" [ d1; d2 ] (List.hd diags).D.nodes
+
+let test_duplicate_gate_idempotent () =
+  (* and(i,i,q) computes the same function as and(i,q): the canonical form
+     drops repeated operands of idempotent gates. xor is NOT idempotent
+     (xor(i,i,q) = q), so the same shape must stay un-flagged there. *)
+  let net, d1, d2 =
+    with_base (fun b i q ->
+        let d1 = B.add_gate b K.And [| i; q |] in
+        let d2 = B.add_gate b K.And [| i; i; q |] in
+        let x1 = B.add_gate b K.Xor [| i; q |] in
+        let x2 = B.add_gate b K.Xor [| i; i; q |] in
+        let sink = B.add_gate b K.Or [| d1; d2; x1; x2 |] in
+        B.set_output b ~name:"sink" sink;
+        (N.of_builder b, d1, d2))
+  in
+  let diags = by_pass "duplicate-gate" (run_pass Structural.duplicate_gate net) in
+  Alcotest.(check int) "only the and pair flagged" 1 (List.length diags);
+  Alcotest.(check (list int)) "and pair listed" [ d1; d2 ] (List.hd diags).D.nodes
 
 let test_fanout_hotspot () =
   let net, hub =
@@ -371,6 +391,48 @@ let test_tmr_partial_protection () =
     (not (List.exists (fun d -> d.D.groups = [ "aux" ]) diags))
 
 (* ------------------------------------------------------------------ *)
+(* SVA certificate passes *)
+
+let msg_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_sva_const_pass () =
+  (* A register whose D input is wired to its own reset value is provably
+     stuck; the base register q follows the free input i and is not. *)
+  let net =
+    with_base (fun b _ _ ->
+        let zero = B.add_const b false in
+        let s = B.add_dff b ~group:"s" ~bit:0 ~init:false in
+        B.connect_dff b s ~d:zero;
+        B.set_output b ~name:"s_out" s;
+        N.of_builder b)
+  in
+  let diags = by_pass "sva-const" (run_pass Sva_passes.sva_const net) in
+  let for_group g = List.find_opt (fun d -> d.D.groups = [ g ]) diags in
+  (match for_group "s" with
+  | Some d ->
+      Alcotest.(check (option (float 0.))) "s stuck bits" (Some 1.)
+        (List.assoc_opt "stuck_bits" d.D.data)
+  | None -> Alcotest.fail "stuck group s not reported");
+  Alcotest.(check bool) "free-running q not claimed stuck" true (for_group "q" = None);
+  (* The summary diagnostic carries the aggregate counts. *)
+  let summary = List.find (fun d -> d.D.groups = []) diags in
+  Alcotest.(check (option (float 0.))) "summary stuck dffs" (Some 1.)
+    (List.assoc_opt "stuck_dff_bits" summary.D.data)
+
+let test_sva_masking_pass () =
+  let net, responding = split_net () in
+  let t = Pass.target ~name:"split" ~responding:[ responding ] net in
+  let diags = by_pass "sva-masking" (Pass.run Sva_passes.sva_masking t) in
+  let for_group g = List.find (fun d -> d.D.groups = [ g ]) diags in
+  Alcotest.(check bool) "invis group provably masked" true
+    (msg_contains (for_group "invis").D.message "SSF-invisible");
+  Alcotest.(check (option (float 0.))) "vis feeds the root combinationally" (Some 0.)
+    (List.assoc_opt "min_cycles_to_observable" (for_group "vis").D.data)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "analysis"
@@ -387,7 +449,13 @@ let () =
           Alcotest.test_case "floating input" `Quick test_floating_input;
           Alcotest.test_case "unread register group" `Quick test_unread_register;
           Alcotest.test_case "duplicate gates" `Quick test_duplicate_gate;
+          Alcotest.test_case "idempotent operand dedup" `Quick test_duplicate_gate_idempotent;
           Alcotest.test_case "fanout hotspot" `Quick test_fanout_hotspot;
+        ] );
+      ( "sva",
+        [
+          Alcotest.test_case "sequential constant pass" `Quick test_sva_const_pass;
+          Alcotest.test_case "cycle-aware masking pass" `Quick test_sva_masking_pass;
         ] );
       ( "coverage",
         [

@@ -120,6 +120,18 @@ let cpu_props =
           |> List.filter (fun x -> Placement.distance p center x <= radius)
         in
         Array.to_list got = expect);
+    (* The indexed disc query must be indistinguishable from the reference
+       scan — the Monte Carlo engine and the sva pruner both rely on the
+       two returning identical arrays (same cells, same order). *)
+    QCheck.Test.make ~name:"cpu netlist: within_indexed equals within" ~count:40
+      QCheck.(pair (int_range 0 5000) (float_range 0. 12.))
+      (fun (pick, radius) ->
+        let c = Lazy.force circuit in
+        let p = Placement.place c.Fmc_cpu.Circuit.net in
+        let ix = Placement.index p in
+        let cells = Placement.cells p in
+        let center = cells.(pick mod Array.length cells) in
+        Placement.within_indexed ix ~center ~radius = Placement.within p ~center ~radius);
   ]
 
 let () =
