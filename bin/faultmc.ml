@@ -113,6 +113,23 @@ let build_obs ~metrics_out ~trace_out ~progress =
   in
   Fmc_obs.Obs.create ?metrics ?tracer ?progress ()
 
+(* Fleet commands (serve/worker/sched) always carry an in-memory
+   registry and tracer: the v4 telemetry piggyback and the --http-port
+   scrape surface read them even when no --metrics-out/--trace-out file
+   was requested. Observation-only — reports are byte-identical either
+   way. *)
+let fleet_obs ~progress =
+  let progress =
+    match progress with
+    | `Off -> None
+    | `Jsonl -> Some (Fmc_obs.Progress.jsonl_sink stderr)
+    | `Human -> Some (Fmc_obs.Progress.human_sink stderr)
+  in
+  Fmc_obs.Obs.create
+    ~metrics:(Fmc_obs.Metrics.create ())
+    ~tracer:(Fmc_obs.Span.create ())
+    ?progress ()
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
@@ -236,6 +253,175 @@ let shard_size_arg =
      run for the reports to be bit-identical."
   in
   Arg.(value & opt int default_shard_size & info [ "shard-size" ] ~docv:"N" ~doc)
+
+(* Campaign-status rendering, shared by `status`, `top` and the scrape
+   endpoint's text routes. *)
+
+let state_name = function
+  | Fmc_dist.Protocol.Queued -> "queued"
+  | Fmc_dist.Protocol.Running -> "running"
+  | Fmc_dist.Protocol.Finished -> "finished"
+  | Fmc_dist.Protocol.Parked -> "parked"
+  | Fmc_dist.Protocol.Cancelled -> "cancelled"
+
+let eta_string eta = if eta < 0. then "-" else Printf.sprintf "%.0fs" eta
+
+let render_status_entry ppf (e : Fmc_dist.Protocol.status_entry) =
+  let position =
+    if e.Fmc_dist.Protocol.st_position < 0 then "-"
+    else
+      Printf.sprintf "%d/%d" e.Fmc_dist.Protocol.st_position e.Fmc_dist.Protocol.st_queue_len
+  in
+  Format.fprintf ppf "%-9s pos %s  %d/%d samples  %.0f samples/s  eta %s  %s%s"
+    (state_name e.Fmc_dist.Protocol.st_state)
+    position
+    e.Fmc_dist.Protocol.st_samples_done e.Fmc_dist.Protocol.st_samples_total
+    (Float.max 0. e.Fmc_dist.Protocol.st_rate)
+    (eta_string e.Fmc_dist.Protocol.st_eta_s)
+    e.Fmc_dist.Protocol.st_fingerprint
+    (if e.Fmc_dist.Protocol.st_detail = "" then ""
+     else Printf.sprintf "  (%s)" e.Fmc_dist.Protocol.st_detail)
+
+let breaker_state_name = function
+  | Fmc_dist.Breaker.Closed -> "closed"
+  | Fmc_dist.Breaker.Open -> "open"
+  | Fmc_dist.Breaker.Half_open -> "half-open"
+
+let status_entry_json (e : Fmc_dist.Protocol.status_entry) =
+  Printf.sprintf
+    "{\"fingerprint\":\"%s\",\"state\":\"%s\",\"position\":%d,\"queue_len\":%d,\"samples_done\":%d,\"samples_total\":%d,\"rate\":%.3f,\"eta_s\":%.3f,\"detail\":\"%s\"}"
+    (Fmc_obs.Jsonx.escape e.Fmc_dist.Protocol.st_fingerprint)
+    (state_name e.Fmc_dist.Protocol.st_state)
+    e.Fmc_dist.Protocol.st_position e.Fmc_dist.Protocol.st_queue_len
+    e.Fmc_dist.Protocol.st_samples_done e.Fmc_dist.Protocol.st_samples_total
+    e.Fmc_dist.Protocol.st_rate e.Fmc_dist.Protocol.st_eta_s
+    (Fmc_obs.Jsonx.escape e.Fmc_dist.Protocol.st_detail)
+
+(* The --http-port scrape endpoint (ISSUE 8): /metrics, /healthz,
+   /readyz, /campaigns (JSON), /campaigns.txt + /workers.txt (the
+   whitespace-separated tables `faultmc top` polls) and /trace (the
+   stitched fleet trace). Route handlers are thunks over the view the
+   coordinator/scheduler hands us via ?on_view — every one
+   observation-only. *)
+
+let http_port_arg what =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "http-port" ] ~docv:"PORT"
+        ~doc:
+          (Printf.sprintf
+             "Serve a read-only scrape endpoint for the %s on $(docv): $(b,/metrics) (Prometheus \
+              text, the local registry merged with every worker's piggybacked snapshot), \
+              $(b,/healthz), $(b,/readyz), $(b,/campaigns) (JSON), $(b,/campaigns.txt), \
+              $(b,/workers.txt) and $(b,/trace) (stitched fleet trace). Port 0 binds an ephemeral \
+              port (printed on stderr)."
+             what))
+
+let fleet_trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fleet-trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the stitched fleet trace (this process plus every v4 worker on its own track, \
+           Chrome trace_event JSON) to $(docv) on exit.")
+
+let bool_json b = if b then "true" else "false"
+
+let coordinator_routes (v : Fmc_dist.Coordinator.view) =
+  let open Fmc_dist.Coordinator in
+  let health_body () =
+    let h = v.vw_health () in
+    Printf.sprintf
+      "{\"finished\":%s,\"shards_done\":%d,\"shards_total\":%d,\"in_flight\":%d,\"connected\":%d,\"healthy_workers\":%d,\"breakers_open\":%d,\"leasing_paused\":%s}"
+      (bool_json h.h_finished) h.h_shards_done h.h_shards_total h.h_in_flight h.h_connected
+      h.h_healthy_workers h.h_breakers_open (bool_json h.h_leasing_paused)
+  in
+  let workers_txt () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "# worker breaker conns samples_per_sec spans last_wall\n";
+    List.iter
+      (fun w ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %s %d %.1f %d %.3f\n" w.w_name (breaker_state_name w.w_breaker)
+             w.w_connections w.w_rate w.w_spans w.w_last_wall))
+      (v.vw_workers ());
+    Buffer.contents b
+  in
+  [
+    ("/metrics", fun () -> Fmc_obs.Httpd.text (v.vw_metrics ()));
+    ("/healthz", fun () -> Fmc_obs.Httpd.json (health_body ()));
+    ( "/readyz",
+      fun () ->
+        let h = v.vw_health () in
+        let status = if h.h_leasing_paused then 503 else 200 in
+        Fmc_obs.Httpd.json ~status (health_body ()) );
+    ("/campaigns", fun () -> Fmc_obs.Httpd.json ("[" ^ status_entry_json (v.vw_status ()) ^ "]"));
+    ( "/campaigns.txt",
+      fun () -> Fmc_obs.Httpd.text (Format.asprintf "%a@." render_status_entry (v.vw_status ())) );
+    ("/workers.txt", fun () -> Fmc_obs.Httpd.text (workers_txt ()));
+    ("/trace", fun () -> Fmc_obs.Httpd.json (v.vw_trace_json ()));
+  ]
+
+let scheduler_routes (v : Fmc_sched.Service.view) =
+  let open Fmc_sched.Service in
+  let health_body () =
+    let h = v.vw_health () in
+    Printf.sprintf
+      "{\"draining\":%s,\"queue_depth\":%d,\"in_flight\":%d,\"connected\":%d,\"wal_torn\":%d}"
+      (bool_json h.h_draining) h.h_queue_depth h.h_in_flight h.h_connected h.h_wal_torn
+  in
+  let workers_txt () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "# worker spans last_wall trace\n";
+    List.iter
+      (fun (name, (wi : Fmc_obs.Fleet.worker_info)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %d %.3f %s\n" name wi.Fmc_obs.Fleet.wi_span_count
+             wi.Fmc_obs.Fleet.wi_last_wall
+             (if wi.Fmc_obs.Fleet.wi_trace_id = "" then "-" else wi.Fmc_obs.Fleet.wi_trace_id)))
+      (v.vw_workers ());
+    Buffer.contents b
+  in
+  [
+    ("/metrics", fun () -> Fmc_obs.Httpd.text (v.vw_metrics ()));
+    ("/healthz", fun () -> Fmc_obs.Httpd.json (health_body ()));
+    ( "/readyz",
+      fun () ->
+        let h = v.vw_health () in
+        let status = if h.h_draining then 503 else 200 in
+        Fmc_obs.Httpd.json ~status (health_body ()) );
+    ( "/campaigns",
+      fun () ->
+        Fmc_obs.Httpd.json
+          ("[" ^ String.concat "," (List.map status_entry_json (v.vw_status ())) ^ "]") );
+    ( "/campaigns.txt",
+      fun () ->
+        Fmc_obs.Httpd.text
+          (String.concat ""
+             (List.map (fun e -> Format.asprintf "%a@." render_status_entry e) (v.vw_status ()))) );
+    ("/workers.txt", fun () -> Fmc_obs.Httpd.text (workers_txt ()));
+    ("/trace", fun () -> Fmc_obs.Httpd.json (v.vw_trace_json ()));
+  ]
+
+let start_endpoint ~what ~routes = function
+  | None -> None
+  | Some port ->
+      let h = Fmc_obs.Httpd.start ~port ~routes () in
+      (* stderr so --json stdout stays machine-parseable. *)
+      Format.eprintf "%s scrape endpoint on port %d (/metrics /healthz /readyz /campaigns /trace)@."
+        what (Fmc_obs.Httpd.port h);
+      Some h
+
+let stop_endpoint h = Option.iter Fmc_obs.Httpd.stop h
+
+let write_fleet_trace ~fleet_trace_out trace_json =
+  match (fleet_trace_out, trace_json) with
+  | Some path, Some json ->
+      write_file path (json ());
+      Format.eprintf "wrote %s@." path
+  | _ -> ()
 
 (* Chaos harness plumbing (serve/worker): interpose the deterministic
    fault-injection proxy on the campaign's transport. The hidden side of
@@ -915,23 +1101,32 @@ let bench_cmd =
     let rev = match rev_override with Some r -> r | None -> bench_rev () in
     let buf = Buffer.create 2048 in
     let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    pr "{\"schema\":\"faultmc-bench-v2\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
+    pr "{\"schema\":\"faultmc-bench-v3\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
       (Fmc_obs.Jsonx.escape rev)
       (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
       samples seed;
     List.iteri
-      (fun i (name, (report : Fmc.Ssf.report), elapsed, (pelapsed, pratio, certs), _, _, totals) ->
+      (fun i (name, (report : Fmc.Ssf.report), elapsed, (pelapsed, pratio, certs), snap, _, totals)
+         ->
         if i > 0 then pr ",";
         let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
         let sps = if elapsed > 0. then float_of_int report.Fmc.Ssf.n /. elapsed else 0. in
         let psps = if pelapsed > 0. then float_of_int report.Fmc.Ssf.n /. pelapsed else 0. in
+        (* v3: the pruner's own fmc_sva_prune_ratio gauge, read back from
+           the merged metrics snapshot — lets CI cross-check the derived
+           ratio against the live metric. *)
+        let prune_ratio_gauge =
+          match Fmc_obs.Metrics.find snap "fmc_sva_prune_ratio" with
+          | Some (Fmc_obs.Metrics.Gauge g) -> g
+          | _ -> 0.
+        in
         pr
           "{\"name\":\"%s\",\"samples\":%d,\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"ess\":%.2f,"
           (Fmc_obs.Jsonx.escape name) report.Fmc.Ssf.n elapsed sps report.Fmc.Ssf.ssf lo hi
           report.Fmc.Ssf.ess;
         pr
-          "\"pruned\":{\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"prune_ratio\":%.4f,\"certificates\":%d,\"speedup\":%.3f},"
-          pelapsed psps pratio certs
+          "\"pruned\":{\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"prune_ratio\":%.4f,\"prune_ratio_gauge\":%.4f,\"certificates\":%d,\"speedup\":%.3f},"
+          pelapsed psps pratio prune_ratio_gauge certs
           (if sps > 0. then psps /. sps else 0.);
         pr "\"phases\":[";
         List.iteri
@@ -1001,8 +1196,8 @@ let bench_cmd =
 let serve_cmd =
   let run benchmark strategy samples seed addr shard_size ttl linger max_idle checkpoint
       sample_budget require_workers io_deadline breaker_failures breaker_cooldown chaos_plan
-      chaos_seed chaos_log json metrics_out trace_out =
-    let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
+      chaos_seed chaos_log http_port fleet_trace_out json metrics_out trace_out =
+    let obs = fleet_obs ~progress:`Off in
     let plan =
       try Fmc.Ssf.shard_plan ~samples ~shard_size
       with Invalid_argument msg ->
@@ -1041,12 +1236,25 @@ let serve_cmd =
           { Fmc_dist.Breaker.failure_threshold = breaker_failures; cooldown_s = breaker_cooldown };
       }
     in
+    let endpoint = ref None in
+    let fleet_view = ref None in
+    let on_view (v : Fmc_dist.Coordinator.view) =
+      fleet_view := Some v;
+      endpoint := start_endpoint ~what:"coordinator" ~routes:(coordinator_routes v) http_port
+    in
+    let finish_observability () =
+      stop_endpoint !endpoint;
+      write_fleet_trace ~fleet_trace_out
+        (Option.map (fun v -> v.Fmc_dist.Coordinator.vw_trace_json) !fleet_view)
+    in
     let outcome =
-      match Fmc_dist.Coordinator.serve ~obs config ~fingerprint ~plan with
+      match Fmc_dist.Coordinator.serve ~obs ~on_view config ~fingerprint ~plan with
       | outcome ->
+          finish_observability ();
           stop_chaos ();
           outcome
       | exception Failure msg ->
+          finish_observability ();
           stop_chaos ();
           Format.eprintf "faultmc: %s@." msg;
           exit 2
@@ -1164,7 +1372,8 @@ let serve_cmd =
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
       $ shard_size_arg $ ttl $ linger $ max_idle $ checkpoint $ sample_budget $ require_workers
       $ io_deadline $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator"
-      $ chaos_seed_arg $ chaos_log_arg $ json $ metrics_out_arg $ trace_out_arg)
+      $ chaos_seed_arg $ chaos_log_arg $ http_port_arg "campaign" $ fleet_trace_out_arg $ json
+      $ metrics_out_arg $ trace_out_arg)
 
 (* worker *)
 
@@ -1173,7 +1382,7 @@ let worker_cmd =
       io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed chaos_log metrics_out
       trace_out progress =
     with_context @@ fun ctx ->
-    let obs = build_obs ~metrics_out ~trace_out ~progress in
+    let obs = fleet_obs ~progress in
     let name =
       match name with Some n -> n | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
     in
@@ -1329,38 +1538,26 @@ let client_config addr =
   Fmc_dist.Worker.default_config ~addr
     ~worker_name:(Printf.sprintf "client-%d" (Unix.getpid ()))
 
-let state_name = function
-  | Fmc_dist.Protocol.Queued -> "queued"
-  | Fmc_dist.Protocol.Running -> "running"
-  | Fmc_dist.Protocol.Finished -> "finished"
-  | Fmc_dist.Protocol.Parked -> "parked"
-  | Fmc_dist.Protocol.Cancelled -> "cancelled"
-
-let eta_string eta = if eta < 0. then "-" else Printf.sprintf "%.0fs" eta
-
-let render_status_entry ppf (e : Fmc_dist.Protocol.status_entry) =
-  let position =
-    if e.Fmc_dist.Protocol.st_position < 0 then "-"
-    else
-      Printf.sprintf "%d/%d" e.Fmc_dist.Protocol.st_position e.Fmc_dist.Protocol.st_queue_len
-  in
-  Format.fprintf ppf "%-9s pos %s  %d/%d samples  %.0f samples/s  eta %s  %s%s"
-    (state_name e.Fmc_dist.Protocol.st_state)
-    position
-    e.Fmc_dist.Protocol.st_samples_done e.Fmc_dist.Protocol.st_samples_total
-    (Float.max 0. e.Fmc_dist.Protocol.st_rate)
-    (eta_string e.Fmc_dist.Protocol.st_eta_s)
-    e.Fmc_dist.Protocol.st_fingerprint
-    (if e.Fmc_dist.Protocol.st_detail = "" then ""
-     else Printf.sprintf "  (%s)" e.Fmc_dist.Protocol.st_detail)
-
 let sched_cmd =
-  let run addr state_dir queue_depth ttl wall_budget retry_after max_idle io_deadline
-      metrics_out trace_out =
-    let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
+  let run addr state_dir queue_depth ttl wall_budget retry_after max_idle io_deadline chaos_plan
+      chaos_seed chaos_log http_port fleet_trace_out metrics_out trace_out =
+    let obs = fleet_obs ~progress:`Off in
+    (* Under --chaos-plan the scheduler binds a private Unix socket and
+       the fault-injection proxy takes over the public address, exactly
+       as `faultmc serve` does. *)
+    let listen_addr, stop_chaos =
+      match chaos_plan with
+      | None -> (addr, fun () -> ())
+      | Some spec ->
+          let cplan = load_chaos_plan spec in
+          let hidden = Fmc_dist.Wire.Unix_path (chaos_socket_path "sched") in
+          let log, close_log = chaos_logger chaos_log in
+          (hidden, start_chaos_proxy ~obs ~plan:cplan ~seed:chaos_seed ~log ~close_log
+                     ~public:addr ~upstream:hidden)
+    in
     let config =
       {
-        Fmc_sched.Service.addr;
+        Fmc_sched.Service.addr = listen_addr;
         state_dir;
         sched =
           {
@@ -1376,16 +1573,30 @@ let sched_cmd =
       }
     in
     Format.eprintf "scheduler on %s, state in %s@." (Fmc_dist.Wire.addr_to_string addr) state_dir;
-    match Fmc_sched.Service.serve ~obs config with
+    let endpoint = ref None in
+    let fleet_view = ref None in
+    let on_view (v : Fmc_sched.Service.view) =
+      fleet_view := Some v;
+      endpoint := start_endpoint ~what:"scheduler" ~routes:(scheduler_routes v) http_port
+    in
+    let finish_observability () =
+      stop_endpoint !endpoint;
+      write_fleet_trace ~fleet_trace_out
+        (Option.map (fun v -> v.Fmc_sched.Service.vw_trace_json) !fleet_view);
+      stop_chaos ()
+    in
+    match Fmc_sched.Service.serve ~obs ~on_view config with
     | outcome ->
         Format.fprintf ppf "scheduler exiting: %s@."
           (match outcome.Fmc_sched.Service.sv_reason with
           | Fmc_sched.Service.Drained -> "drained"
           | Fmc_sched.Service.Idle -> "idle past --max-idle");
+        finish_observability ();
         flush_obs_outputs ~metrics_out ~trace_out obs;
         0
     | exception Failure msg ->
         Format.eprintf "faultmc: %s@." msg;
+        finish_observability ();
         flush_obs_outputs ~metrics_out ~trace_out obs;
         exit 2
   in
@@ -1458,7 +1669,8 @@ let sched_cmd =
           and overload shedding.")
     Term.(
       const run $ addr $ state_dir $ queue_depth $ ttl $ wall_budget $ retry_after $ max_idle
-      $ io_deadline $ metrics_out_arg $ trace_out_arg)
+      $ io_deadline $ chaos_plan_arg "scheduler" $ chaos_seed_arg $ chaos_log_arg
+      $ http_port_arg "fleet" $ fleet_trace_out_arg $ metrics_out_arg $ trace_out_arg)
 
 let submit_cmd =
   let run benchmark strategy samples seed shard_size sample_budget addr wait timeout json
@@ -1627,6 +1839,111 @@ let cancel_cmd =
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ shard_size_arg
       $ sample_budget $ connect_arg "Scheduler" $ fingerprint)
 
+(* top — live fleet view over the --http-port scrape endpoint *)
+
+let top_cmd =
+  let run addr interval once =
+    let host, port =
+      match addr with
+      | Fmc_dist.Wire.Tcp (h, p) -> (h, p)
+      | Fmc_dist.Wire.Unix_path _ ->
+          Format.eprintf "faultmc: top polls an HTTP scrape endpoint — use HOST:PORT@.";
+          exit 2
+    in
+    let fetch path = Fmc_obs.Httpd.get ~deadline_s:5. ~host ~port ~path () in
+    (* Plain single-value series only (no '{' labels) — enough for the
+       handful of fleet gauges/counters top surfaces. *)
+    let metric_value body name =
+      List.find_map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some i
+            when String.sub line 0 i = name
+                 && (String.length line = 0 || line.[0] <> '#')
+                 && not (String.contains (String.sub line 0 i) '{') ->
+              float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+          | _ -> None)
+        (String.split_on_char '\n' body)
+    in
+    let screen () =
+      let b = Buffer.create 1024 in
+      let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let now = Unix.localtime (Unix.gettimeofday ()) in
+      add "faultmc top — %s:%d — %02d:%02d:%02d\n\n" host port now.Unix.tm_hour now.Unix.tm_min
+        now.Unix.tm_sec;
+      (match fetch "/healthz" with
+      | Ok (status, body) -> add "health   HTTP %d  %s\n" status (String.trim body)
+      | Error msg -> add "health   unreachable (%s)\n" msg);
+      (match fetch "/campaigns.txt" with
+      | Ok (200, body) ->
+          add "\ncampaigns:\n";
+          String.split_on_char '\n' body
+          |> List.iter (fun l -> if String.trim l <> "" then add "  %s\n" l)
+      | Ok (status, _) -> add "\ncampaigns: HTTP %d\n" status
+      | Error msg -> add "\ncampaigns: unreachable (%s)\n" msg);
+      (match fetch "/workers.txt" with
+      | Ok (200, body) ->
+          add "\nworkers:\n";
+          String.split_on_char '\n' body
+          |> List.iter (fun l -> if String.trim l <> "" then add "  %s\n" l)
+      | Ok (status, _) -> add "\nworkers: HTTP %d\n" status
+      | Error msg -> add "\nworkers: unreachable (%s)\n" msg);
+      (match fetch "/metrics" with
+      | Ok (200, body) ->
+          let interesting =
+            [
+              ("fmc_sva_prune_ratio", "prune ratio");
+              ("fmc_dist_leasing_paused", "leasing paused");
+              ("fmc_dist_reconnects_total", "worker reconnects");
+              ("fmc_dist_lease_expirations_total", "lease expiries");
+              ("fmc_sched_wal_torn_records_total", "torn WAL records");
+            ]
+          in
+          let found =
+            List.filter_map
+              (fun (name, label) ->
+                Option.map (fun v -> Printf.sprintf "%s %g" label v) (metric_value body name))
+              interesting
+          in
+          if found <> [] then add "\nfleet:   %s\n" (String.concat "  |  " found)
+      | Ok _ | Error _ -> ());
+      Buffer.contents b
+    in
+    if once then begin
+      print_string (screen ());
+      flush stdout;
+      0
+    end
+    else
+      let rec loop () =
+        (* Clear + home, then repaint in place. *)
+        print_string "\027[2J\027[H";
+        print_string (screen ());
+        flush stdout;
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  let interval =
+    Arg.(
+      value
+      & opt duration_conv 2.
+      & info [ "interval" ] ~docv:"DURATION" ~doc:"Refresh period (same syntax as $(b,--linger)).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print one snapshot and exit instead of refreshing in place.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live fleet view: poll a coordinator's or scheduler's $(b,--http-port) scrape endpoint \
+          and show campaign progress, ETAs, per-worker lease/breaker state and fleet gauges, \
+          refreshed in place.")
+    Term.(const run $ connect_arg "Scrape-endpoint" $ interval $ once)
+
 (* experiments *)
 
 let experiments_cmd =
@@ -1655,5 +1972,5 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
     [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; sva_cmd;
-      bench_cmd; serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; trace_cmd;
-      dot_cmd; experiments_cmd ]))
+      bench_cmd; serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; top_cmd;
+      trace_cmd; dot_cmd; experiments_cmd ]))

@@ -29,6 +29,11 @@ open Fmc
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Clock = Fmc_obs.Clock
+module Span = Fmc_obs.Span
+module Rate = Fmc_obs.Rate
+module Fleet = Fmc_obs.Fleet
+module Telemetry = Fmc_obs.Telemetry
+module Traceid = Fmc_obs.Traceid
 
 type config = {
   addr : Wire.addr;
@@ -59,6 +64,38 @@ type outcome = {
   oc_elapsed_s : float;
 }
 
+(* -- fleet view (scrape endpoint surface) -------------------------------- *)
+
+type health = {
+  h_finished : bool;
+  h_shards_done : int;
+  h_shards_total : int;
+  h_in_flight : int;
+  h_connected : int;
+  h_healthy_workers : int;
+  h_breakers_open : int;
+  h_leasing_paused : bool;
+}
+
+type worker_view = {
+  w_name : string;
+  w_breaker : Breaker.state;
+  w_rate : float;
+  w_connections : int;
+  w_last_wall : float;
+  w_spans : int;
+}
+
+type view = {
+  vw_fingerprint : string;
+  vw_trace_id : string;
+  vw_metrics : unit -> string;
+  vw_health : unit -> health;
+  vw_status : unit -> Protocol.status_entry;
+  vw_workers : unit -> worker_view list;
+  vw_trace_json : unit -> string;
+}
+
 (* -- metrics ------------------------------------------------------------ *)
 
 type mx = {
@@ -76,7 +113,10 @@ type mx = {
   workers_connected : Metrics.gauge option;
   circuit_open : Metrics.gauge option;
   leasing_paused : Metrics.gauge option;
+  roundtrip : Metrics.histogram option;
 }
+
+let roundtrip_buckets = [| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 30.; 60.; 120. |]
 
 let mx_create (obs : Obs.t) =
   match obs.Obs.metrics with
@@ -96,6 +136,7 @@ let mx_create (obs : Obs.t) =
         workers_connected = None;
         circuit_open = None;
         leasing_paused = None;
+        roundtrip = None;
       }
   | Some r ->
       let c ?help name = Some (Metrics.counter r ?help name) in
@@ -119,6 +160,10 @@ let mx_create (obs : Obs.t) =
         leasing_paused =
           g ~help:"1 while leasing is paused below the require-workers floor"
             "fmc_dist_leasing_paused";
+        roundtrip =
+          Some
+            (Metrics.histogram r ~help:"assign-to-accepted latency per shard"
+               ~buckets:roundtrip_buckets "fmc_dist_shard_roundtrip_seconds");
       }
 
 let cinc c = Option.iter Metrics.inc c
@@ -136,6 +181,7 @@ let sanitize_metric_part s =
 type state = {
   mutex : Mutex.t;
   lease : Lease.t;
+  plan : (int * int) array;
   blobs : (int, string) Hashtbl.t;
   mutable quarantined : Campaign.quarantine_entry list;  (* reverse arrival *)
   mutable connected : int;
@@ -143,8 +189,14 @@ type state = {
   mutable last_worker_at : float;  (* most recent moment a connection was open *)
   started_at : float;
   fingerprint : string;
+  trace_id : string;  (* Traceid.trace_id of the fingerprint *)
   config : config;
   mx : mx;
+  fleet : Fleet.t;  (* absorbed v4 worker telemetry; has its own lock *)
+  rate : Rate.t;  (* accepted samples/sec, for /campaigns progress *)
+  (* shard -> (epoch, assign time) for the roundtrip histogram; replaced
+     when an expired lease is re-issued under a bumped epoch *)
+  assigned : (int, int * float) Hashtbl.t;
   (* worker -> (last heartbeat time, shard, epoch, samples_done) for the
      per-worker throughput gauge *)
   rates : (string, float * int * int * int) Hashtbl.t;
@@ -279,6 +331,7 @@ let handle_msg st ~worker msg =
               match Lease.acquire st.lease ~now ~worker with
               | `Assign { Lease.shard; epoch; start; len } ->
                   cinc st.mx.leases_issued;
+                  Hashtbl.replace st.assigned shard (epoch, now);
                   Protocol.Assign { shard; epoch; start; len }
               | `Finished -> Protocol.No_work { finished = true }
               | `Wait -> Protocol.No_work { finished = false }
@@ -308,6 +361,15 @@ let handle_msg st ~worker msg =
                   Hashtbl.replace st.blobs shard tally;
                   st.quarantined <- List.rev_append quarantined st.quarantined;
                   cinc st.mx.shards_completed;
+                  (match Hashtbl.find_opt st.assigned shard with
+                  | Some (e, t0) when e = epoch ->
+                      Option.iter
+                        (fun h -> Metrics.observe h (Float.max 0. (now -. t0)))
+                        st.mx.roundtrip;
+                      Hashtbl.remove st.assigned shard
+                  | _ -> ());
+                  if shard >= 0 && shard < Array.length st.plan then
+                    Rate.observe st.rate ~now (float_of_int (snd st.plan.(shard)));
                   note_worker_success st ~worker ~now;
                   gset st.mx.in_flight (Lease.in_flight st.lease);
                   checkpoint_locked st;
@@ -328,15 +390,27 @@ let handle_msg st ~worker msg =
       (* Scheduler-only traffic; this is a single-campaign coordinator. *)
       Protocol.Reject { reason = "not a scheduler (single-campaign serve)" }
 
-let send conn msg =
-  let tag, payload = Protocol.encode_server msg in
+let send ?ext conn msg =
+  let tag, payload = Protocol.encode_server_ext ?ext msg in
   Wire.write_frame conn ~tag payload
+
+(* Outside the state mutex: the fleet store has its own lock and the
+   blob decode is pure. Telemetry is observation-only — an undecodable
+   blob is dropped, never an error the worker sees. *)
+let absorb_telemetry st ~worker (ext : Protocol.extension) =
+  match ext.Protocol.ext_telemetry with
+  | None -> ()
+  | Some blob -> (
+      match Telemetry.decode blob with
+      | Ok tm -> Fleet.absorb st.fleet ~worker tm
+      | Error _ -> ())
 
 (* The first frame must be a valid, matching v2 Hello. Corrupt first
    frames are sniffed for a legacy v1 Hello so old workers get a
    rejection they can decode instead of a silent hangup; a worker behind
    an open circuit breaker is parked with Retry_later. Returns the
-   worker name, or raises Done_serving after answering. *)
+   worker name and the negotiated protocol version, or raises
+   Done_serving after answering. *)
 let expect_hello st conn =
   let reject reason =
     send conn (Protocol.Reject { reason });
@@ -364,7 +438,7 @@ let expect_hello st conn =
   | `Ok (tag, payload) -> (
       match Protocol.decode_client tag payload with
       | Ok (Protocol.Hello { version; worker; fingerprint }) ->
-          if version <> Protocol.version then
+          if not (Protocol.accepts_version version) then
             reject
               (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
           else if fingerprint <> st.fingerprint then
@@ -382,8 +456,9 @@ let expect_hello st conn =
                 send conn (Protocol.Retry_later { cooldown_s });
                 raise Done_serving
             | Ok () ->
-                send conn (Protocol.Welcome { version = Protocol.version });
-                worker
+                let negotiated = Protocol.negotiate ~peer:version in
+                send conn (Protocol.Welcome { version = negotiated });
+                (worker, negotiated)
           end
       | Ok _ | Error _ -> reject "expected hello")
 
@@ -410,7 +485,7 @@ let handle_conn st fd =
       gset st.mx.workers_connected st.connected);
   Fun.protect ~finally (fun () ->
       try
-        let worker = expect_hello st conn in
+        let worker, negotiated = expect_hello st conn in
         worker_name := Some worker;
         locked st (fun () ->
             let refs = Option.value (Hashtbl.find_opt st.conn_workers worker) ~default:0 in
@@ -433,8 +508,23 @@ let handle_conn st fd =
               send conn (Protocol.Retry_later { cooldown_s });
               raise Done_serving
           | `Ok (tag, payload) -> (
-              match Protocol.decode_client tag payload with
-              | Ok msg -> send conn (handle_msg st ~worker msg)
+              match Protocol.decode_client_ext tag payload with
+              | Ok (msg, ext) ->
+                  if negotiated >= 4 then absorb_telemetry st ~worker ext;
+                  let reply = handle_msg st ~worker msg in
+                  let ext =
+                    match reply with
+                    | Protocol.Assign { shard; _ } when negotiated >= 4 ->
+                        {
+                          Protocol.no_extension with
+                          Protocol.ext_trace =
+                            Some
+                              ( st.trace_id,
+                                Traceid.span_id ~fingerprint:st.fingerprint ~shard );
+                        }
+                    | _ -> Protocol.no_extension
+                  in
+                  send ~ext conn reply
               | Error msg ->
                   let now = Clock.now () in
                   locked st (fun () -> note_worker_failure st ~worker ~now);
@@ -448,9 +538,115 @@ let handle_conn st fd =
       ->
         ())
 
+(* -- the fleet view ------------------------------------------------------ *)
+
+let samples_total plan = Array.fold_left (fun acc (_, len) -> acc + len) 0 plan
+
+let make_view st (obs : Obs.t) =
+  let base_snapshot () =
+    match st.mx.registry with None -> [] | Some r -> Metrics.snapshot r
+  in
+  let vw_metrics () =
+    Metrics.to_prometheus (Fleet.merged_snapshot st.fleet ~base:(base_snapshot ()))
+  in
+  let vw_health () =
+    let now = Clock.now () in
+    locked st (fun () ->
+        {
+          h_finished = Lease.finished st.lease;
+          h_shards_done = Lease.completed st.lease;
+          h_shards_total = Lease.total st.lease;
+          h_in_flight = Lease.in_flight st.lease;
+          h_connected = st.connected;
+          h_healthy_workers = healthy_workers st ~now;
+          h_breakers_open = open_breakers st ~now;
+          h_leasing_paused = leasing_pause st ~now;
+        })
+  in
+  let vw_status () =
+    let now = Clock.now () in
+    locked st (fun () ->
+        let total = samples_total st.plan in
+        let done_ =
+          Hashtbl.fold
+            (fun i _ acc ->
+              if i >= 0 && i < Array.length st.plan then acc + snd st.plan.(i) else acc)
+            st.blobs 0
+        in
+        let finished = Lease.finished st.lease in
+        {
+          Protocol.st_fingerprint = st.fingerprint;
+          st_state = (if finished then Protocol.Finished else Protocol.Running);
+          st_position = 0;
+          st_queue_len = 1;
+          st_samples_done = done_;
+          st_samples_total = total;
+          st_rate = Rate.per_sec st.rate ~now;
+          st_eta_s =
+            (if finished then 0.
+             else
+               match Rate.eta_s st.rate ~now ~remaining:(total - done_) with
+               | Some s -> s
+               | None -> -1.);
+          st_detail = "";
+        })
+  in
+  let vw_workers () =
+    let now = Clock.now () in
+    let fleet = Fleet.workers st.fleet in
+    let base = base_snapshot () in
+    let rate_of w =
+      match
+        Metrics.find base ("fmc_dist_worker_samples_per_sec:" ^ sanitize_metric_part w)
+      with
+      | Some (Metrics.Gauge v) -> v
+      | _ -> 0.
+    in
+    locked st (fun () ->
+        (* Every name the coordinator has seen by any channel:
+           connections, breakers, absorbed telemetry. *)
+        let names = Hashtbl.create 8 in
+        Hashtbl.iter (fun w _ -> Hashtbl.replace names w ()) st.conn_workers;
+        Hashtbl.iter (fun w _ -> Hashtbl.replace names w ()) st.health;
+        List.iter (fun (w, _) -> Hashtbl.replace names w ()) fleet;
+        Hashtbl.fold (fun w () acc -> w :: acc) names []
+        |> List.sort compare
+        |> List.map (fun w ->
+               let info = List.assoc_opt w fleet in
+               {
+                 w_name = w;
+                 w_breaker =
+                   (match Hashtbl.find_opt st.health w with
+                   | Some b -> Breaker.state b ~now
+                   | None -> Breaker.Closed);
+                 w_rate = rate_of w;
+                 w_connections =
+                   Option.value (Hashtbl.find_opt st.conn_workers w) ~default:0;
+                 w_last_wall =
+                   (match info with Some i -> i.Fleet.wi_last_wall | None -> 0.);
+                 w_spans =
+                   (match info with Some i -> i.Fleet.wi_span_count | None -> 0);
+               }))
+  in
+  let vw_trace_json () =
+    let own_events =
+      match obs.Obs.tracer with Some tr -> Span.events tr | None -> []
+    in
+    Fleet.to_chrome_json ~own_label:"coordinator" ~own_events st.fleet
+  in
+  {
+    vw_fingerprint = st.fingerprint;
+    vw_trace_id = st.trace_id;
+    vw_metrics;
+    vw_health;
+    vw_status;
+    vw_workers;
+    vw_trace_json;
+  }
+
 (* -- the serve loop ----------------------------------------------------- *)
 
-let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
+let serve ?(obs = Obs.disabled) ?on_view config ~fingerprint ~plan =
   if Array.length plan = 0 then invalid_arg "Coordinator.serve: empty plan";
   if config.require_workers < 0 then
     invalid_arg "Coordinator.serve: negative require_workers";
@@ -459,6 +655,7 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
     {
       mutex = Mutex.create ();
       lease;
+      plan;
       blobs = Hashtbl.create 64;
       quarantined = [];
       connected = 0;
@@ -466,8 +663,12 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
       last_worker_at = Clock.now ();
       started_at = Clock.now ();
       fingerprint;
+      trace_id = Traceid.trace_id ~fingerprint;
       config;
       mx = mx_create obs;
+      fleet = Fleet.create ();
+      rate = Rate.create ~now:(Clock.now ()) ();
+      assigned = Hashtbl.create 16;
       rates = Hashtbl.create 8;
       health = Hashtbl.create 8;
       conn_workers = Hashtbl.create 8;
@@ -494,6 +695,7 @@ let serve ?(obs = Obs.disabled) config ~fingerprint ~plan =
           st.quarantined <- List.rev ck.Ckpt.st_quarantined;
           if Lease.finished st.lease then st.finished_at <- Some st.started_at)
   | _ -> ());
+  Option.iter (fun f -> f (make_view st obs)) on_view;
   let sock = Wire.listen config.addr in
   let finally () =
     (try Unix.close sock with Unix.Unix_error _ -> ());

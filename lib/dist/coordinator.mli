@@ -66,8 +66,58 @@ type outcome = {
   oc_elapsed_s : float;  (** wall clock of this serve segment *)
 }
 
+(** {2 Fleet view}
+
+    The read-only surface [faultmc serve --http-port] mounts on its
+    scrape endpoint ({!Fmc_obs.Httpd}). {!serve} hands the caller a
+    {!view} — a bundle of thunks over the live coordinator state — via
+    [?on_view] just before it starts accepting connections; each thunk
+    is thread-safe (takes the state mutex, or reads the lock-protected
+    fleet store) and cheap enough to call per scrape. Everything here is
+    observation-only: nothing a scrape does can perturb the campaign. *)
+
+type health = {
+  h_finished : bool;
+  h_shards_done : int;
+  h_shards_total : int;
+  h_in_flight : int;
+  h_connected : int;  (** open connections (any state) *)
+  h_healthy_workers : int;  (** connected workers without an open breaker *)
+  h_breakers_open : int;
+  h_leasing_paused : bool;  (** below the [require_workers] floor *)
+}
+
+type worker_view = {
+  w_name : string;
+  w_breaker : Breaker.state;
+  w_rate : float;  (** samples/s from heartbeat deltas; 0 before the first *)
+  w_connections : int;  (** live post-Hello connections *)
+  w_last_wall : float;  (** wall clock of the last absorbed telemetry; 0 if none *)
+  w_spans : int;  (** span summaries absorbed from this worker *)
+}
+
+type view = {
+  vw_fingerprint : string;
+  vw_trace_id : string;  (** {!Fmc_obs.Traceid.trace_id} of the fingerprint *)
+  vw_metrics : unit -> string;
+      (** Prometheus text: the coordinator registry merged with every
+          worker's latest absorbed snapshot *)
+  vw_health : unit -> health;
+  vw_status : unit -> Protocol.status_entry;
+      (** single-entry campaign status: progress, EWMA rate, ETA *)
+  vw_workers : unit -> worker_view list;  (** sorted by name *)
+  vw_trace_json : unit -> string;
+      (** the stitched fleet trace ({!Fmc_obs.Fleet.to_chrome_json}):
+          coordinator spans on pid 1, each worker on its own track *)
+}
+
 val serve :
-  ?obs:Fmc_obs.Obs.t -> config -> fingerprint:string -> plan:(int * int) array -> outcome
+  ?obs:Fmc_obs.Obs.t ->
+  ?on_view:(view -> unit) ->
+  config ->
+  fingerprint:string ->
+  plan:(int * int) array ->
+  outcome
 (** Serve the campaign to completion. [fingerprint]
     ({!Protocol.fingerprint}) gates worker hellos; [plan] is
     [Ssf.shard_plan ~samples ~shard_size] — the same cut every worker
@@ -75,6 +125,12 @@ val serve :
     [fmc_dist_*] counters/gauges (leases issued/expired, stale results,
     shards completed, heartbeats, wire bytes both ways, corrupt frames,
     breaker trips, in-flight shards, connected workers, open circuits,
-    leasing-paused flag, per-worker samples/sec) and a ["serve"] span.
-    Raises [Failure] on a corrupt or mismatched checkpoint and
-    [Invalid_argument] on an empty plan or negative [require_workers]. *)
+    leasing-paused flag, per-worker samples/sec), the
+    [fmc_dist_shard_roundtrip_seconds] assign-to-accepted histogram and
+    a ["serve"] span. [on_view] (called once, before the listener binds)
+    receives the scrape surface described above. Workers that Hello with
+    protocol v4 get trace/span ids stamped on every [Assign] and their
+    piggybacked telemetry absorbed into the fleet store; v3 workers are
+    served identically minus the observability. Raises [Failure] on a
+    corrupt or mismatched checkpoint and [Invalid_argument] on an empty
+    plan or negative [require_workers]. *)

@@ -17,8 +17,25 @@ open Fmc
    v3: the multi-campaign scheduler — campaign specs travel in Submit
    and Job messages, pool-scope connections (fingerprint "*") lease
    shards from any queued campaign via Job/Job_heartbeat/Job_done, and
-   Status carries queue positions and ETAs. *)
-let version = 3
+   Status carries queue positions and ETAs.
+   v4: fleet observability — purely additive trailing sections carried
+   by the `extension` side-channel: Assign/Job may end with a
+   "trace <trace_id> <span_id>" line and Heartbeat/Shard_done/
+   Job_heartbeat/Job_done with a line-counted "telemetry" blob
+   (Fmc_obs.Telemetry, opaque here). v3 peers are still accepted: their
+   decoders use the same non-exhaustive line cursor as ours, so the
+   extra lines are invisible to them, and Welcome negotiates
+   min(peer, ours) so a v4 worker talking to a v3 coordinator sends
+   plain v3 messages. *)
+let version = 4
+
+(* The campaign fingerprint predates v4 and hashes only things that
+   change per-sample outcomes; v4 added no such thing, so the embedded
+   version stays 3 and v3 peers' fingerprints still match. *)
+let fingerprint_version = 3
+
+let accepts_version v = v = 3 || v = version
+let negotiate ~peer = min peer version
 
 (* The full identity of a campaign: every parameter that must agree
    between the submitting client and the evaluating worker for the shard
@@ -91,7 +108,7 @@ type server_msg =
 
 let fingerprint ~strategy ~benchmark ~samples ~seed ~shard_size ~sample_budget =
   Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
-    version strategy benchmark samples seed shard_size
+    fingerprint_version strategy benchmark samples seed shard_size
     (match sample_budget with Some b -> string_of_int b | None -> "-")
 
 (* The scope a pool worker or control client announces in Hello instead
@@ -241,6 +258,50 @@ let read_quarantined c =
   | [ n ] -> List.init (int_of "quarantine count" n) (fun _ -> quarantine_of_line (next c))
   | _ -> bad "malformed quarantined line"
 
+(* -- v4 extension sections ----------------------------------------------- *)
+
+(* The v4 additions ride as trailing sections after a message's v3
+   payload, carried out-of-band of the message variants so every v3
+   construction and match site keeps compiling unchanged. *)
+type extension = {
+  ext_trace : (string * string) option;
+      (* (trace_id, span_id) stamped on Assign/Job *)
+  ext_telemetry : string option;
+      (* encoded Fmc_obs.Telemetry blob on Heartbeat/Shard_done/
+         Job_heartbeat/Job_done; opaque at this layer *)
+}
+
+let no_extension = { ext_trace = None; ext_telemetry = None }
+
+let starts_with ~prefix line =
+  let n = String.length prefix in
+  String.length line >= n && String.sub line 0 n = prefix
+
+let read_ext_trace c =
+  match c.rest with
+  | line :: _ when starts_with ~prefix:"trace " line -> (
+      match fields (next c) with
+      | [ "trace"; t; s ] -> Some (t, s)
+      | _ -> bad "malformed trace line")
+  | _ -> None
+
+let read_ext_telemetry c =
+  match c.rest with
+  | line :: _ when starts_with ~prefix:"telemetry " line -> (
+      match expect_kw "telemetry" (next c) with
+      | [ n ] -> Some (restore_blob (take c (int_of "telemetry line count" n)))
+      | _ -> bad "malformed telemetry line")
+  | _ -> None
+
+let emit_ext_trace buf = function
+  | None -> ()
+  | Some (t, s) ->
+      Buffer.add_string buf (Printf.sprintf "trace %s %s\n" (one_line t) (one_line s))
+
+let emit_ext_telemetry buf = function
+  | None -> ()
+  | Some blob -> emit_blob buf "telemetry" blob
+
 (* -- client messages ---------------------------------------------------- *)
 
 let encode_client = function
@@ -274,8 +335,18 @@ let encode_client = function
       emit_quarantined buf quarantined;
       ('j', Buffer.contents buf)
 
-let decode_client tag payload =
-  let c = { rest = lines_of payload } in
+let encode_client_ext ?(ext = no_extension) msg =
+  let tag, payload = encode_client msg in
+  match msg with
+  | Heartbeat _ | Shard_done _ | Job_heartbeat _ | Job_done _
+    when ext.ext_telemetry <> None ->
+      let buf = Buffer.create (String.length payload + 256) in
+      Buffer.add_string buf payload;
+      emit_ext_telemetry buf ext.ext_telemetry;
+      (tag, Buffer.contents buf)
+  | _ -> (tag, payload)
+
+let decode_client_raising c tag =
   match tag with
   | 'H' -> (
       match expect_kw "version" (next c) with
@@ -350,10 +421,21 @@ let decode_client tag payload =
       | _ -> bad "malformed job_done header")
   | t -> bad "unknown client tag %C" t
 
-let decode_client tag payload =
-  match decode_client tag payload with
-  | r -> r
+let decode_client_ext tag payload =
+  let c = { rest = lines_of payload } in
+  match decode_client_raising c tag with
+  | Ok msg ->
+      let ext =
+        match msg with
+        | Heartbeat _ | Shard_done _ | Job_heartbeat _ | Job_done _ ->
+            { no_extension with ext_telemetry = read_ext_telemetry c }
+        | _ -> no_extension
+      in
+      Ok (msg, ext)
+  | Error msg -> Error msg
   | exception Bad msg -> Error msg
+
+let decode_client tag payload = Result.map fst (decode_client_ext tag payload)
 
 (* -- server messages ---------------------------------------------------- *)
 
@@ -396,8 +478,17 @@ let encode_server = function
         entries;
       ('T', Buffer.contents buf)
 
-let decode_server tag payload =
-  let c = { rest = lines_of payload } in
+let encode_server_ext ?(ext = no_extension) msg =
+  let tag, payload = encode_server msg in
+  match msg with
+  | (Assign _ | Job _) when ext.ext_trace <> None ->
+      let buf = Buffer.create (String.length payload + 64) in
+      Buffer.add_string buf payload;
+      emit_ext_trace buf ext.ext_trace;
+      (tag, Buffer.contents buf)
+  | _ -> (tag, payload)
+
+let decode_server_raising c tag =
   match tag with
   | 'W' -> (
       match expect_kw "version" (next c) with
@@ -516,10 +607,20 @@ let decode_server tag payload =
       | _ -> bad "malformed entries line")
   | t -> bad "unknown server tag %C" t
 
-let decode_server tag payload =
-  match decode_server tag payload with
-  | r -> r
+let decode_server_ext tag payload =
+  let c = { rest = lines_of payload } in
+  match decode_server_raising c tag with
+  | Ok msg ->
+      let ext =
+        match msg with
+        | Assign _ | Job _ -> { no_extension with ext_trace = read_ext_trace c }
+        | _ -> no_extension
+      in
+      Ok (msg, ext)
+  | Error msg -> Error msg
   | exception Bad msg -> Error msg
+
+let decode_server tag payload = Result.map fst (decode_server_ext tag payload)
 
 (* -- legacy (v1) peer detection ----------------------------------------- *)
 

@@ -12,9 +12,25 @@
 open Fmc
 
 val version : int
-(** 3 since the multi-campaign scheduler messages (v2 introduced the
-    CRC-framed wire format); v1 peers are refused at Hello with a
-    v1-framed {!Reject} they can decode (see {!v1_hello}). *)
+(** 4 since the fleet-observability extensions (v2 introduced the
+    CRC-framed wire format, v3 the multi-campaign scheduler messages).
+    The v4 additions are purely additive trailing sections (see
+    {!extension}), so v3 peers are still served: {!accepts_version}
+    admits both and {!Welcome} carries the {!negotiate}d version. v1
+    peers are refused at Hello with a v1-framed {!Reject} they can
+    decode (see {!v1_hello}). *)
+
+val fingerprint_version : int
+(** The version embedded in campaign fingerprints — still 3: v4 changed
+    no per-sample semantics, so v3 and v4 peers agree on campaign
+    identity. *)
+
+val accepts_version : int -> bool
+(** Hello versions a v4 server serves (3 and 4). *)
+
+val negotiate : peer:int -> int
+(** [min peer version] — what {!Welcome} answers; both sides only use
+    v4 extensions when the negotiated version is ≥ 4. *)
 
 type spec = {
   sp_benchmark : string;
@@ -155,6 +171,36 @@ val encode_client : client_msg -> char * string
 val decode_client : char -> string -> (client_msg, string) result
 val encode_server : server_msg -> char * string
 val decode_server : char -> string -> (server_msg, string) result
+
+(** {2 v4 extensions}
+
+    Fleet-observability data rides as trailing payload sections carried
+    out-of-band of the message variants, so v3 code (and the plain
+    codec above) neither sees nor breaks on them: every decoder in this
+    module reads payloads through a line cursor that ignores trailing
+    lines it does not consume. *)
+
+type extension = {
+  ext_trace : (string * string) option;
+      (** [(trace_id, span_id)] ({!Fmc_obs.Traceid}) stamped by the
+          coordinator on {!Assign}/{!Job} *)
+  ext_telemetry : string option;
+      (** encoded [Fmc_obs.Telemetry] blob attached by workers to
+          {!Heartbeat}/{!Shard_done}/{!Job_heartbeat}/{!Job_done};
+          opaque at this layer *)
+}
+
+val no_extension : extension
+
+val encode_client_ext : ?ext:extension -> client_msg -> char * string
+(** {!encode_client} plus any applicable extension sections. Fields
+    that do not apply to the message type are silently dropped. Only
+    send extensions on connections that negotiated v4 — a v3 peer
+    ignores them on the wire, but there is no point paying for them. *)
+
+val decode_client_ext : char -> string -> (client_msg * extension, string) result
+val encode_server_ext : ?ext:extension -> server_msg -> char * string
+val decode_server_ext : char -> string -> (server_msg * extension, string) result
 
 val v1_hello : tag:char -> string -> int option
 (** Recognize a protocol-v1 Hello in a corrupt-frame body

@@ -26,6 +26,8 @@ open Fmc_prelude
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Clock = Fmc_obs.Clock
+module Span = Fmc_obs.Span
+module Telemetry = Fmc_obs.Telemetry
 
 exception Lease_lost
 exception Rejected of string
@@ -103,24 +105,28 @@ let wire_conn (obs : Obs.t) ~deadline_s fd =
         ~on_sent:(fun n -> Metrics.add sent (float_of_int n))
         ~on_recv:(fun n -> Metrics.add received (float_of_int n))
 
-let send conn msg =
-  let tag, payload = Protocol.encode_client msg in
+let send ?ext conn msg =
+  let tag, payload = Protocol.encode_client_ext ?ext msg in
   Wire.write_frame conn ~tag payload
 
-let recv conn what =
+let recv_ext conn what =
   let tag, payload = Wire.read_frame conn in
-  match Protocol.decode_server tag payload with
-  | Ok (Protocol.Retry_later { cooldown_s }) -> raise (Parked cooldown_s)
-  | Ok msg -> msg
+  match Protocol.decode_server_ext tag payload with
+  | Ok (Protocol.Retry_later { cooldown_s }, _) -> raise (Parked cooldown_s)
+  | Ok pair -> pair
   | Error msg -> raise (Session_error (msg ^ " (reply to " ^ what ^ ")"))
+
+let recv conn what = fst (recv_ext conn what)
 
 (* A handshake Reject is terminal (wrong version or wrong campaign — no
    amount of retrying fixes that); any Reject after the Welcome is a
-   session-level complaint and goes through the reconnect machinery. *)
+   session-level complaint and goes through the reconnect machinery.
+   Returns the negotiated protocol version — telemetry piggybacks and
+   trace stamps only flow when it is >= 4. *)
 let handshake conn ~worker ~fingerprint =
   send conn (Protocol.Hello { version = Protocol.version; worker; fingerprint });
   match recv conn "hello" with
-  | Protocol.Welcome _ -> ()
+  | Protocol.Welcome { version } -> version
   | Protocol.Reject { reason } -> raise (Rejected reason)
   | _ -> protocol_error "hello"
 
@@ -129,12 +135,39 @@ let connect ?(obs = Obs.disabled) config ~fingerprint =
     Wire.connect ~attempts:config.connect_attempts ~delay_s:config.retry_delay_s config.addr
   in
   let conn = wire_conn obs ~deadline_s:config.io_deadline_s fd in
-  (match handshake conn ~worker:config.worker_name ~fingerprint with
-  | () -> ()
+  match handshake conn ~worker:config.worker_name ~fingerprint with
+  | negotiated -> (conn, negotiated)
   | exception e ->
       Wire.close conn;
-      raise e);
-  conn
+      raise e
+
+(* The v4 telemetry piggyback: the worker's full registry snapshot
+   (cumulative — the receiver replaces its previous copy rather than
+   adding) plus any newly completed shard span. Built fresh per message;
+   consumes no RNG and never touches sampling state, so attaching it
+   cannot perturb the campaign. *)
+let telemetry_ext (obs : Obs.t) ~trace_id ~spans =
+  let metrics =
+    match obs.Obs.metrics with Some r -> Metrics.snapshot r | None -> []
+  in
+  {
+    Protocol.no_extension with
+    Protocol.ext_telemetry =
+      Some (Telemetry.encode (Telemetry.make ~trace_id ~metrics ~spans ()));
+  }
+
+let shard_span (obs : Obs.t) ~span_id ~shard ~t0 =
+  {
+    Telemetry.ss_span_id = span_id;
+    ss_event =
+      {
+        Span.ev_name = Printf.sprintf "shard-%d" shard;
+        ev_cat = "dist";
+        ev_tid = (match obs.Obs.tracer with Some tr -> Span.tid tr | None -> 0);
+        ev_ts_us = t0;
+        ev_dur_us = Clock.now_us () -. t0;
+      };
+  }
 
 (* -- the reconnect state machine ---------------------------------------- *)
 
@@ -207,25 +240,38 @@ let run ?(obs = Obs.disabled) ?causal ?sample_budget
   (* One session: serve leases until the campaign finishes. Raises on
      any transport trouble; returns on No_work{finished}. *)
   let session () =
-    let conn = connect ~obs config ~fingerprint in
-    let run_one (a : Protocol.server_msg) =
+    let conn, negotiated = connect ~obs config ~fingerprint in
+    let v4 = negotiated >= 4 in
+    let run_one ((a : Protocol.server_msg), (aext : Protocol.extension)) =
       match a with
       | Protocol.Assign { shard; epoch; start; len } ->
+          let trace_id, span_id =
+            match aext.Protocol.ext_trace with
+            | Some (t, s) when v4 -> (t, s)
+            | _ -> ("", "")
+          in
+          let piggyback spans =
+            if v4 then Some (telemetry_ext obs ~trace_id ~spans) else None
+          in
           let on_sample i =
             if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
-              send conn (Protocol.Heartbeat { shard; epoch; samples_done = i });
+              send ?ext:(piggyback []) conn
+                (Protocol.Heartbeat { shard; epoch; samples_done = i });
               match recv conn "heartbeat" with
               | Protocol.Ack { accepted = true; _ } -> ()
               | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
               | _ -> protocol_error "heartbeat"
             end
           in
+          let t0 = Clock.now_us () in
           (match
              Campaign.run_shard ~obs ?causal ?sample_budget ~on_sample engine prepared ~seed
                ~shard ~start ~len
            with
           | sh ->
-              send conn
+              send
+                ?ext:(piggyback [ shard_span obs ~span_id ~shard ~t0 ])
+                conn
                 (Protocol.Shard_done
                    {
                      shard;
@@ -250,7 +296,7 @@ let run ?(obs = Obs.disabled) ?causal ?sample_budget
       (fun () ->
         let rec loop () =
           send conn Protocol.Request_shard;
-          match run_one (recv conn "request_shard") with
+          match run_one (recv_ext conn "request_shard") with
           | `Continue -> loop ()
           | `Finished -> (
               try send conn Protocol.Goodbye
@@ -292,8 +338,9 @@ let run_pool ?(obs = Obs.disabled) ?causal
         | Error _ as e -> e)
   in
   let session () =
-    let conn = connect ~obs config ~fingerprint:Protocol.pool_fingerprint in
-    let run_one (a : Protocol.server_msg) =
+    let conn, negotiated = connect ~obs config ~fingerprint:Protocol.pool_fingerprint in
+    let v4 = negotiated >= 4 in
+    let run_one ((a : Protocol.server_msg), (aext : Protocol.extension)) =
       match a with
       | Protocol.Job { spec; shard; epoch; start; len } -> (
           let fingerprint = Protocol.spec_fingerprint spec in
@@ -306,21 +353,33 @@ let run_pool ?(obs = Obs.disabled) ?causal
                  the misconfiguration into a clear terminal failure. *)
               raise (Session_error ("cannot build campaign: " ^ reason))
           | Ok (engine, prepared) ->
+              let trace_id, span_id =
+                match aext.Protocol.ext_trace with
+                | Some (t, s) when v4 -> (t, s)
+                | _ -> ("", "")
+              in
+              let piggyback spans =
+                if v4 then Some (telemetry_ext obs ~trace_id ~spans) else None
+              in
               let on_sample i =
                 if config.heartbeat_every > 0 && i mod config.heartbeat_every = 0 then begin
-                  send conn (Protocol.Job_heartbeat { fingerprint; shard; epoch; samples_done = i });
+                  send ?ext:(piggyback []) conn
+                    (Protocol.Job_heartbeat { fingerprint; shard; epoch; samples_done = i });
                   match recv conn "job_heartbeat" with
                   | Protocol.Ack { accepted = true; _ } -> ()
                   | Protocol.Ack { accepted = false; _ } -> raise Lease_lost
                   | _ -> protocol_error "job_heartbeat"
                 end
               in
+              let t0 = Clock.now_us () in
               (match
                  Campaign.run_shard ~obs ?causal ?sample_budget:spec.Protocol.sp_sample_budget
                    ~on_sample engine prepared ~seed:spec.Protocol.sp_seed ~shard ~start ~len
                with
               | sh ->
-                  send conn
+                  send
+                    ?ext:(piggyback [ shard_span obs ~span_id ~shard ~t0 ])
+                    conn
                     (Protocol.Job_done
                        {
                          fingerprint;
@@ -346,7 +405,7 @@ let run_pool ?(obs = Obs.disabled) ?causal
       (fun () ->
         let rec loop () =
           send conn Protocol.Request_shard;
-          match run_one (recv conn "request_shard") with
+          match run_one (recv_ext conn "request_shard") with
           | `Continue -> loop ()
           | `Finished -> (
               try send conn Protocol.Goodbye
@@ -384,7 +443,7 @@ let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(tim
   | exception Parked cooldown_s ->
       Error (Fetch_rejected (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s))
   | exception Unix.Unix_error (e, _, _) -> Error (Fetch_unreachable (Unix.error_message e))
-  | conn ->
+  | conn, _ ->
       let started = Clock.now () in
       Fun.protect
         ~finally:(fun () -> Wire.close conn)
@@ -447,7 +506,7 @@ let control ?(obs = Obs.disabled) config msg ~what ~reply =
   | exception Parked cooldown_s -> Error (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s)
   | exception Unix.Unix_error (e, _, _) ->
       Error ("cannot reach scheduler: " ^ Unix.error_message e)
-  | conn ->
+  | conn, _ ->
       Fun.protect
         ~finally:(fun () -> Wire.close conn)
         (fun () ->

@@ -18,7 +18,16 @@
     {!retry.budget_s} total-sleep budget. The backoff schedule draws
     from the worker's own RNG substream of the campaign seed, so it
     replays under the chaos harness. Only a handshake [Reject]
-    (version or fingerprint mismatch) is terminal. *)
+    (version or fingerprint mismatch) is terminal.
+
+    Fleet observability (protocol v4): when the handshake negotiates
+    v4, the worker reads the trace/span ids the coordinator stamps on
+    each [Assign]/[Job] and piggybacks a {!Fmc_obs.Telemetry} batch on
+    its existing messages — metrics-snapshot-only on heartbeats, the
+    snapshot plus one span summary covering the shard's wall time on
+    [Shard_done]/[Job_done]. The piggyback consumes no RNG and touches
+    no sampling state, so reports stay byte-identical with or without
+    it; against a v3 coordinator nothing extra is sent. *)
 
 open Fmc
 

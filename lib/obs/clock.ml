@@ -1,9 +1,38 @@
+(* Monotonized time over a swappable source. [Unix.gettimeofday] can step
+   backwards under NTP slews; folding every backward step into [offset]
+   keeps [now]/[now_us] non-decreasing so rates, ETAs and span timestamps
+   never go negative. [wall] stays raw for human-facing timestamps. *)
+
+let mx = Mutex.create ()
 let source = ref Unix.gettimeofday
-let epoch = ref (Unix.gettimeofday ())
+let offset = ref 0.
+let last = ref (Unix.gettimeofday ())
+let epoch = ref !last
 
 let set_source f =
+  Mutex.lock mx;
   source := f;
-  epoch := f ()
+  offset := 0.;
+  last := f ();
+  epoch := !last;
+  Mutex.unlock mx
 
-let now () = !source ()
-let now_us () = (!source () -. !epoch) *. 1e6
+let wall () = !source ()
+
+let now () =
+  Mutex.lock mx;
+  let raw = !source () +. !offset in
+  let t =
+    if raw < !last then (
+      (* the source stepped backwards: absorb the step so callers see
+         time holding still, then resuming forward *)
+      offset := !offset +. (!last -. raw);
+      !last)
+    else (
+      last := raw;
+      raw)
+  in
+  Mutex.unlock mx;
+  t
+
+let now_us () = (now () -. !epoch) *. 1e6

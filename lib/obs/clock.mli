@@ -1,20 +1,33 @@
 (** The observability layer's single time source.
 
-    Every timestamp in {!Metrics}, {!Span} and the telemetry sinks flows
-    through this module so tests can substitute a deterministic fake clock
-    and assert on exact durations. The default source is
-    [Unix.gettimeofday]. *)
+    Every timestamp in {!Metrics}, {!Span}, {!Rate} and the telemetry
+    sinks flows through this module so tests can substitute a
+    deterministic fake clock and assert on exact durations. The default
+    source is [Unix.gettimeofday].
+
+    {!now} and {!now_us} are {e monotonized}: a backward step in the
+    underlying source (NTP slew, manual clock change) is absorbed into an
+    internal offset, so consecutive reads never decrease — rates, ETAs
+    and span timestamps cannot go negative. {!wall} bypasses the
+    monotonizer for human-facing timestamps that should track the real
+    calendar clock. *)
 
 val set_source : (unit -> float) -> unit
-(** Replace the wall-clock source (seconds, monotonically non-decreasing).
-    The microsecond epoch for {!now_us} is re-anchored at the source's
-    current value, so a fake clock starting at any offset yields span
-    timestamps starting near 0. *)
+(** Replace the clock source (seconds). The microsecond epoch for
+    {!now_us} is re-anchored at the source's current value, so a fake
+    clock starting at any offset yields span timestamps starting near 0;
+    the monotonic offset is reset. *)
 
 val now : unit -> float
-(** Current time in seconds from the active source. *)
+(** Current time in seconds from the active source, monotonized: never
+    decreases between calls, even if the source steps backwards. *)
 
 val now_us : unit -> float
-(** Microseconds since the source was installed (process start for the
-    default source). Kept relative so the double mantissa retains
-    sub-microsecond resolution over long campaigns. *)
+(** Monotonized microseconds since the source was installed (process
+    start for the default source). Kept relative so the double mantissa
+    retains sub-microsecond resolution over long campaigns. *)
+
+val wall : unit -> float
+(** The raw (non-monotonized) source value — wall-clock seconds for
+    human-facing timestamps and for anchoring cross-process telemetry
+    batches onto a shared timeline. *)

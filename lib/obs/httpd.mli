@@ -1,0 +1,47 @@
+(** Embedded HTTP/1.0 scrape endpoint (zero-dep: Unix sockets + threads).
+
+    [faultmc serve --http-port] and [faultmc sched --http-port] mount a
+    fixed route table ([/metrics], [/healthz], ...) on this server: one
+    accept thread, a short-lived thread per connection, send/receive
+    deadlines on every socket so a stalled scraper cannot wedge the
+    host process, [Connection: close] on every reply. Only GET and HEAD
+    are served — everything a Prometheus scrape or a [faultmc top] poll
+    needs, and nothing more. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** [text/plain; charset=utf-8], default status 200. *)
+
+val json : ?status:int -> string -> response
+
+type route = string * (unit -> response)
+(** Exact path (query string already stripped) to handler. A handler
+    exception becomes a 500 with the exception text; it never kills the
+    server. *)
+
+val parse_request : string -> (string * string, string) result
+(** Parse an HTTP request line into [(method, path)], stripping any
+    query string. Exposed pure for tests. *)
+
+type t
+
+val start :
+  ?bind_addr:string -> ?io_deadline_s:float -> port:int -> routes:route list -> unit -> t
+(** Bind (default [0.0.0.0], deadline 10s) and start serving. [port] 0
+    binds an ephemeral port — read it back with {!port}. Raises
+    [Unix.Unix_error] when the bind fails and [Invalid_argument] on a
+    non-positive deadline. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Stop accepting, join the accept thread, close the socket.
+    Idempotent. *)
+
+val get :
+  ?deadline_s:float -> host:string -> port:int -> path:string -> unit -> (int * string, string) result
+(** Tiny blocking HTTP/1.0 GET client — [(status, body)] — used by
+    [faultmc top] and the tests. Transport problems come back as
+    [Error], never exceptions. *)

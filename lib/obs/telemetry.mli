@@ -1,0 +1,39 @@
+(** Wire codec for the v4 telemetry piggyback: a metrics snapshot plus
+    per-shard span summaries that workers attach to their existing
+    heartbeat and shard-result messages.
+
+    The payload is plain lines — one token per field, floats as [%h] hex
+    literals (bit-exact round-trip), free-form strings percent-encoded —
+    so the dist protocol can embed it as an opaque line-counted blob.
+    Decoding never raises: a malformed blob is an [Error], which
+    receivers drop (telemetry is observation-only; a garbled snapshot
+    must never fail a shard result). *)
+
+type span_summary = {
+  ss_span_id : string;  (** {!Traceid.span_id} of the shard; [""] if none *)
+  ss_event : Span.event;
+}
+
+type t = {
+  tm_trace_id : string;  (** campaign {!Traceid.trace_id}; [""] if none *)
+  tm_base_wall : float;
+      (** wall-clock seconds at the sender's monotonic microsecond
+          origin — receivers rebase span timestamps onto their own
+          timeline as [ts +. (sender_base -. receiver_base) *. 1e6] *)
+  tm_metrics : Metrics.snapshot;
+  tm_spans : span_summary list;
+}
+
+val empty : t
+
+val make :
+  ?trace_id:string -> ?metrics:Metrics.snapshot -> ?spans:span_summary list -> unit -> t
+(** Stamp a batch with this process's wall/monotonic anchor
+    ({!Clock.wall} minus {!Clock.now_us}). *)
+
+val encode : t -> string
+(** Newline-terminated lines; embeddable as a protocol blob. *)
+
+val decode : string -> (t, string) result
+(** Total inverse of {!encode}; snapshots and span timestamps round-trip
+    bit-exactly. *)

@@ -34,6 +34,7 @@ module Ckpt = Fmc_dist.Ckpt
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Rate = Fmc_obs.Rate
+module Clock = Fmc_obs.Clock
 
 type config = {
   queue_depth : int;  (* max campaigns queued or running; 0 = unbounded *)
@@ -75,6 +76,7 @@ type mx = {
   q_depth : Metrics.gauge option;
   running : Metrics.gauge option;
   in_flight : Metrics.gauge option;
+  wal_fsync : Metrics.histogram option;
 }
 
 let mx_create (obs : Obs.t) =
@@ -93,6 +95,7 @@ let mx_create (obs : Obs.t) =
         q_depth = None;
         running = None;
         in_flight = None;
+        wal_fsync = None;
       }
   | Some r ->
       let c help name = Some (Metrics.counter r ~help name) in
@@ -110,6 +113,11 @@ let mx_create (obs : Obs.t) =
         q_depth = g "campaigns queued or running" "fmc_sched_queue_depth";
         running = g "campaigns with completed or in-flight shards" "fmc_sched_campaigns_running";
         in_flight = g "shard leases currently live across campaigns" "fmc_sched_shards_in_flight";
+        wal_fsync =
+          Some
+            (Metrics.histogram r ~help:"durable WAL append latency (write + fsync)"
+               ~buckets:[| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1. |]
+               "fmc_sched_wal_fsync_seconds");
       }
 
 let cinc = Option.iter Metrics.inc
@@ -128,6 +136,18 @@ type t = {
   mutable last_activity : float;
   mx : mx;
 }
+
+(* Observation-only exception to the injected-[now] design: the fsync
+   stopwatch reads the process clock directly, because callers inject
+   logical time (tests drive a fake [now]) while the fsync cost being
+   measured is real. *)
+let wal_append t payload =
+  match t.mx.wal_fsync with
+  | None -> Wal.append t.wal payload
+  | Some h ->
+      let t0 = Clock.now () in
+      Wal.append t.wal payload;
+      Metrics.observe h (Float.max 0. (Clock.now () -. t0))
 
 (* -- WAL records --------------------------------------------------------- *)
 
@@ -343,7 +363,7 @@ let finalize t e ~now =
   if e.phase <> Finished then begin
     e.phase <- Finished;
     e.elapsed_s <- (match e.started_at with Some s -> now -. s | None -> 0.);
-    Wal.append t.wal (rec_finished e.fp e.elapsed_s);
+    wal_append t (rec_finished e.fp e.elapsed_s);
     cinc t.mx.finished;
     refresh_gauges t
   end
@@ -351,7 +371,7 @@ let finalize t e ~now =
 let park t e reason =
   if active e then begin
     e.phase <- Parked reason;
-    Wal.append t.wal (rec_parked e.fp reason);
+    wal_append t (rec_parked e.fp reason);
     cinc t.mx.parked;
     refresh_gauges t
   end
@@ -386,7 +406,7 @@ let submit t ~now spec =
               `Cached
           | Cancelled ->
               e.phase <- Active;
-              Wal.append t.wal (rec_submit e.spec);
+              wal_append t (rec_submit e.spec);
               cinc t.mx.submissions;
               refresh_gauges t;
               `Queued (position_of t e)
@@ -401,7 +421,7 @@ let submit t ~now spec =
             let e = make_entry t.config spec in
             Hashtbl.replace t.entries fp e;
             t.order <- t.order @ [ fp ];
-            Wal.append t.wal (rec_submit spec);
+            wal_append t (rec_submit spec);
             cinc t.mx.submissions;
             refresh_gauges t;
             `Queued (position_of t e)
@@ -416,7 +436,7 @@ let cancel t ~fingerprint =
       | Cancelled -> `Cancelled
       | Active | Parked _ ->
           e.phase <- Cancelled;
-          Wal.append t.wal (rec_cancelled e.fp);
+          wal_append t (rec_cancelled e.fp);
           cinc t.mx.cancelled;
           refresh_gauges t;
           `Cancelled)

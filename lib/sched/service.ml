@@ -19,6 +19,10 @@ module Wire = Fmc_dist.Wire
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Clock = Fmc_obs.Clock
+module Span = Fmc_obs.Span
+module Fleet = Fmc_obs.Fleet
+module Telemetry = Fmc_obs.Telemetry
+module Traceid = Fmc_obs.Traceid
 
 type config = {
   addr : Wire.addr;
@@ -43,6 +47,24 @@ type stop_reason = Drained | Idle
 
 type outcome = { sv_reason : stop_reason }
 
+(* -- fleet view (scrape endpoint surface) -------------------------------- *)
+
+type health = {
+  h_draining : bool;
+  h_queue_depth : int;  (* campaigns queued or running *)
+  h_in_flight : int;  (* live shard leases across campaigns *)
+  h_connected : int;
+  h_wal_torn : int;  (* torn WAL tails detected at the last startup *)
+}
+
+type view = {
+  vw_metrics : unit -> string;
+  vw_health : unit -> health;
+  vw_status : unit -> Protocol.status_entry list;
+  vw_workers : unit -> (string * Fmc_obs.Fleet.worker_info) list;
+  vw_trace_json : unit -> string;
+}
+
 type state = {
   mutex : Mutex.t;
   sched : Sched.t;
@@ -51,6 +73,7 @@ type state = {
   mutable connected : int;
   connections : Metrics.gauge option;
   draining_g : Metrics.gauge option;
+  fleet : Fleet.t;  (* absorbed v4 pool-worker telemetry; has its own lock *)
 }
 
 type control = { request_drain : unit -> unit }
@@ -138,11 +161,31 @@ let handle_msg st ~scope ~worker msg =
 
 (* -- per-connection protocol --------------------------------------------- *)
 
-let send conn msg =
-  let tag, payload = Protocol.encode_server msg in
+let send ?ext conn msg =
+  let tag, payload = Protocol.encode_server_ext ?ext msg in
   Wire.write_frame conn ~tag payload
 
-(* First frame must be a current-version Hello; any fingerprint is an
+(* Outside the state mutex; the fleet store has its own lock. A blob
+   that does not decode is dropped — telemetry is observation-only. *)
+let absorb_telemetry st ~worker (ext : Protocol.extension) =
+  match ext.Protocol.ext_telemetry with
+  | None -> ()
+  | Some blob -> (
+      match Telemetry.decode blob with
+      | Ok tm -> Fleet.absorb st.fleet ~worker tm
+      | Error _ -> ())
+
+(* Trace/span ids stamped on leases handed to v4 peers: pure functions
+   of the campaign fingerprint and shard index, so they agree with what
+   any other coordinator of the same campaign would stamp. *)
+let trace_ext ~fingerprint ~shard =
+  {
+    Protocol.no_extension with
+    Protocol.ext_trace =
+      Some (Traceid.trace_id ~fingerprint, Traceid.span_id ~fingerprint ~shard);
+  }
+
+(* First frame must be an accepted-version Hello; any fingerprint is an
    acceptable scope (a concrete one may name a campaign that is about
    to be submitted on this very connection). v1 peers get a v1-framed
    Reject they can decode, as the coordinator does. *)
@@ -172,11 +215,12 @@ let expect_hello conn =
   | `Ok (tag, payload) -> (
       match Protocol.decode_client tag payload with
       | Ok (Protocol.Hello { version; worker; fingerprint }) ->
-          if version <> Protocol.version then
+          if not (Protocol.accepts_version version) then
             reject (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
           else begin
-            send conn (Protocol.Welcome { version = Protocol.version });
-            (worker, fingerprint)
+            let negotiated = Protocol.negotiate ~peer:version in
+            send conn (Protocol.Welcome { version = negotiated });
+            (worker, fingerprint, negotiated)
           end
       | Ok _ | Error _ -> reject "expected hello")
 
@@ -193,7 +237,7 @@ let handle_conn st fd =
       gset st.connections st.connected);
   Fun.protect ~finally (fun () ->
       try
-        let worker, scope = expect_hello conn in
+        let worker, scope, negotiated = expect_hello conn in
         let rec loop () =
           (match Wire.read_frame_raw conn with
           | `Corrupt _ ->
@@ -202,8 +246,19 @@ let handle_conn st fd =
               send conn (Protocol.Retry_later { cooldown_s = 0.5 });
               raise Done_serving
           | `Ok (tag, payload) -> (
-              match Protocol.decode_client tag payload with
-              | Ok msg -> send conn (locked st (fun () -> handle_msg st ~scope ~worker msg))
+              match Protocol.decode_client_ext tag payload with
+              | Ok (msg, ext) ->
+                  if negotiated >= 4 then absorb_telemetry st ~worker ext;
+                  let reply = locked st (fun () -> handle_msg st ~scope ~worker msg) in
+                  let ext =
+                    match reply with
+                    | Protocol.Job { spec; shard; _ } when negotiated >= 4 ->
+                        trace_ext ~fingerprint:(Protocol.spec_fingerprint spec) ~shard
+                    | Protocol.Assign { shard; _ } when negotiated >= 4 ->
+                        trace_ext ~fingerprint:scope ~shard
+                    | _ -> Protocol.no_extension
+                  in
+                  send ~ext conn reply
               | Error msg -> send conn (Protocol.Reject { reason = msg })));
           loop ()
         in
@@ -213,6 +268,54 @@ let handle_conn st fd =
       | Sys_error _
       ->
         ())
+
+(* -- the fleet view ------------------------------------------------------ *)
+
+let make_view st (obs : Obs.t) =
+  let base_snapshot () =
+    match obs.Obs.metrics with Some r -> Metrics.snapshot r | None -> []
+  in
+  let count_int snap name =
+    match Metrics.find snap name with
+    | Some (Metrics.Counter v) -> int_of_float v
+    | _ -> 0
+  in
+  let vw_metrics () =
+    Metrics.to_prometheus (Fleet.merged_snapshot st.fleet ~base:(base_snapshot ()))
+  in
+  let vw_health () =
+    let now = Clock.now () in
+    locked st (fun () ->
+        let entries = Sched.status st.sched ~now ~fingerprint:"" in
+        let active =
+          List.length
+            (List.filter
+               (fun e ->
+                 match e.Protocol.st_state with
+                 | Protocol.Queued | Protocol.Running -> true
+                 | Protocol.Finished | Protocol.Parked | Protocol.Cancelled -> false)
+               entries)
+        in
+        {
+          h_draining = Sched.draining st.sched;
+          h_queue_depth = active;
+          h_in_flight = Sched.in_flight st.sched;
+          h_connected = st.connected;
+          h_wal_torn = count_int (base_snapshot ()) "fmc_sched_wal_torn_records_total";
+        })
+  in
+  let vw_status () =
+    let now = Clock.now () in
+    locked st (fun () -> Sched.status st.sched ~now ~fingerprint:"")
+  in
+  let vw_workers () = Fleet.workers st.fleet in
+  let vw_trace_json () =
+    let own_events =
+      match obs.Obs.tracer with Some tr -> Span.events tr | None -> []
+    in
+    Fleet.to_chrome_json ~own_label:"scheduler" ~own_events st.fleet
+  in
+  { vw_metrics; vw_health; vw_status; vw_workers; vw_trace_json }
 
 (* -- the serve loop ------------------------------------------------------ *)
 
@@ -228,7 +331,7 @@ let restore_handlers saved =
     (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ())
     saved
 
-let serve ?(obs = Obs.disabled) ?(on_ready = fun (_ : control) -> ()) (config : config) =
+let serve ?(obs = Obs.disabled) ?(on_ready = fun (_ : control) -> ()) ?on_view (config : config) =
   let now = Clock.now () in
   let sched = Sched.create ~obs config.sched ~dir:config.state_dir ~now in
   let connections, draining_g =
@@ -247,8 +350,10 @@ let serve ?(obs = Obs.disabled) ?(on_ready = fun (_ : control) -> ()) (config : 
       connected = 0;
       connections;
       draining_g;
+      fleet = Fleet.create ();
     }
   in
+  Option.iter (fun f -> f (make_view st obs)) on_view;
   let saved = if config.handle_signals then install_drain_handlers st.drain_flag else [] in
   let sock = Wire.listen config.addr in
   let finally () =

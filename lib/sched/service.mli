@@ -32,6 +32,44 @@ type control = { request_drain : unit -> unit }
 (** Handed to [on_ready]; lets tests trigger the SIGTERM path without
     signalling the process. *)
 
-val serve : ?obs:Fmc_obs.Obs.t -> ?on_ready:(control -> unit) -> config -> outcome
+(** {2 Fleet view}
+
+    The read-only surface [faultmc sched --http-port] mounts on its
+    scrape endpoint — thunks over live scheduler state, each thread-safe
+    and cheap enough to call per scrape. Pool workers that negotiate
+    protocol v4 get trace/span ids stamped on every [Job]/[Assign]
+    (pure functions of campaign fingerprint and shard) and their
+    piggybacked {!Fmc_obs.Telemetry} absorbed into a fleet store; the
+    view exposes the merged metrics and the stitched trace. *)
+
+type health = {
+  h_draining : bool;
+  h_queue_depth : int;  (** campaigns queued or running *)
+  h_in_flight : int;  (** live shard leases across campaigns *)
+  h_connected : int;
+  h_wal_torn : int;  (** torn WAL tails detected at the last startup *)
+}
+
+type view = {
+  vw_metrics : unit -> string;
+      (** Prometheus text: the scheduler registry merged with every
+          pool worker's latest absorbed snapshot *)
+  vw_health : unit -> health;
+  vw_status : unit -> Fmc_dist.Protocol.status_entry list;
+      (** every campaign, submission order — the [Status_req ""] answer *)
+  vw_workers : unit -> (string * Fmc_obs.Fleet.worker_info) list;
+      (** sorted by worker name *)
+  vw_trace_json : unit -> string;
+      (** stitched fleet trace: scheduler spans on pid 1, each pool
+          worker on its own track *)
+}
+
+val serve :
+  ?obs:Fmc_obs.Obs.t ->
+  ?on_ready:(control -> unit) ->
+  ?on_view:(view -> unit) ->
+  config ->
+  outcome
 (** Blocks until drained or idle-expired. [on_ready] fires once the
-    socket is listening, before the first accept. *)
+    socket is listening, before the first accept; [on_view] fires once
+    before that, with the scrape surface above. *)

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document read from stdin or a file.
+
+Stdlib-only, used by CI (obs-fleet-smoke) and handy locally:
+
+    curl -s http://127.0.0.1:9101/metrics | python3 scripts/check_exposition.py
+    python3 scripts/check_exposition.py metrics.prom
+
+Checks the subset of the exposition format the repo emits:
+
+  * every non-comment line is `<name>[{labels}] <float>`;
+  * metric names match the Prometheus grammar;
+  * every sample's base name is covered by a preceding `# TYPE` comment,
+    and TYPE/HELP comments are well-formed;
+  * histograms are internally consistent: `le` buckets are cumulative and
+    end with `+Inf`, `_count` equals the `+Inf` bucket, `_sum`/`_count`
+    are present exactly once per histogram;
+  * counters are finite and non-negative; no sample value is NaN;
+  * no metric name is emitted under two different TYPEs.
+
+Exits 0 and prints a one-line summary on success; prints every violation
+and exits 1 otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_name(name):
+    """Histogram samples share a family: strip the series suffix."""
+    for suffix in HISTO_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [metrics.prom]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        text = open(sys.argv[1], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    types = {}  # base metric name -> declared TYPE
+    helps = set()
+    samples = []  # (lineno, name, labels-dict, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    errors.append(f"line {lineno}: malformed TYPE comment: {line}")
+                    continue
+                name = parts[2]
+                if not NAME_RE.match(name):
+                    errors.append(f"line {lineno}: bad metric name in TYPE: {name}")
+                elif name in types and types[name] != parts[3]:
+                    errors.append(
+                        f"line {lineno}: {name} re-declared as {parts[3]} "
+                        f"(was {types[name]})"
+                    )
+                else:
+                    types[name] = parts[3]
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append(f"line {lineno}: malformed HELP comment: {line}")
+                else:
+                    helps.add(parts[2])
+            # other comments are legal free text
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample line: {line}")
+            continue
+        name, labelblob, raw = m.groups()
+        labels = {}
+        if labelblob:
+            body = labelblob[1:-1].strip()
+            if body:
+                for pair in body.rstrip(",").split(","):
+                    lm = LABEL_RE.match(pair.strip())
+                    if not lm:
+                        errors.append(f"line {lineno}: bad label pair {pair!r}")
+                    else:
+                        labels[lm.group(1)] = lm.group(2)
+        value = parse_value(raw)
+        if value is None or math.isnan(value):
+            errors.append(f"line {lineno}: bad sample value {raw!r} for {name}")
+            continue
+        family = base_name(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            errors.append(f"line {lineno}: sample {name} has no preceding # TYPE")
+            continue
+        if declared == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name} is negative ({value})")
+        samples.append((lineno, name, labels, value))
+
+    # Histogram consistency, one family at a time.
+    for family, kind in sorted(types.items()):
+        if kind != "histogram":
+            continue
+        buckets = []
+        sums = []
+        counts = []
+        for lineno, name, labels, value in samples:
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {name} missing le label")
+                    continue
+                parsed = parse_value(le)
+                if parsed is None:
+                    errors.append(f"line {lineno}: {name} has bad le={le!r}")
+                    continue
+                buckets.append((lineno, parsed, value))
+            elif name == family + "_sum":
+                sums.append(value)
+            elif name == family + "_count":
+                counts.append(value)
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        if len(sums) != 1 or len(counts) != 1:
+            errors.append(
+                f"histogram {family}: expected exactly one _sum and one _count, "
+                f"got {len(sums)}/{len(counts)}"
+            )
+            continue
+        if buckets[-1][1] != math.inf:
+            errors.append(f"histogram {family}: last bucket is not le=\"+Inf\"")
+        prev_le, prev_v = -math.inf, -math.inf
+        for lineno, le, v in buckets:
+            if le <= prev_le:
+                errors.append(
+                    f"line {lineno}: histogram {family} le buckets not increasing"
+                )
+            if v < prev_v:
+                errors.append(
+                    f"line {lineno}: histogram {family} buckets not cumulative"
+                )
+            prev_le, prev_v = le, v
+        if buckets[-1][2] != counts[0]:
+            errors.append(
+                f"histogram {family}: +Inf bucket {buckets[-1][2]} != "
+                f"_count {counts[0]}"
+            )
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"FAIL: {len(errors)} exposition violation(s)", file=sys.stderr)
+        return 1
+    histos = sum(1 for k in types.values() if k == "histogram")
+    print(
+        f"exposition OK: {len(samples)} samples, {len(types)} metric families "
+        f"({histos} histograms), {len(helps)} HELP comments"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

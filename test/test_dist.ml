@@ -463,6 +463,224 @@ let test_loopback_campaign_with_dead_worker () =
       | None -> Alcotest.fail "no outcome from restarted coordinator")
 
 (* ------------------------------------------------------------------ *)
+(* Fleet observability (protocol v4): version negotiation, trace-id
+   stamping on leases, worker telemetry piggybacked on existing
+   messages — and the invariant that none of it moves a single byte of
+   the merged report. *)
+
+let test_v4_negotiation () =
+  Alcotest.(check bool) "v3 accepted" true (Protocol.accepts_version 3);
+  Alcotest.(check bool) "v4 accepted" true (Protocol.accepts_version Protocol.version);
+  Alcotest.(check bool) "future version refused" false
+    (Protocol.accepts_version (Protocol.version + 1));
+  Alcotest.(check int) "negotiate down with a v3 peer" 3 (Protocol.negotiate ~peer:3);
+  Alcotest.(check int) "negotiate v4 with a v4 peer" Protocol.version
+    (Protocol.negotiate ~peer:Protocol.version);
+  (* The campaign fingerprint is part of the v3 handshake contract and
+     must not move with the wire version. *)
+  Alcotest.(check int) "fingerprint version stays 3" 3 Protocol.fingerprint_version
+
+let recv_ext conn =
+  let tag, payload = Wire.read_frame conn in
+  match Protocol.decode_server_ext tag payload with
+  | Ok pair -> pair
+  | Error msg -> Alcotest.failf "server sent garbage: %s" msg
+
+let contains hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+let test_loopback_fleet_telemetry () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 90 and shard_size = 30 and seed = 7 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let fingerprint =
+    Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
+      ~shard_size ~sample_budget:None
+  in
+  let sock_path = Filename.temp_file "fmc-dist" ".sock" in
+  Sys.remove sock_path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists sock_path then Sys.remove sock_path)
+    (fun () ->
+      let addr = Wire.Unix_path sock_path in
+      let config =
+        { (Coordinator.default_config addr) with Coordinator.ttl_s = 1.0; linger_s = 1.0 }
+      in
+      let obs =
+        Fmc_obs.Obs.create ~metrics:(Fmc_obs.Metrics.create ())
+          ~tracer:(Fmc_obs.Span.create ()) ()
+      in
+      let view = ref None in
+      let outcome = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            outcome :=
+              Some
+                (Coordinator.serve ~obs
+                   ~on_view:(fun v -> view := Some v)
+                   config ~fingerprint ~plan))
+          ()
+      in
+      let v =
+        let rec wait n =
+          match !view with
+          | Some v -> v
+          | None ->
+              if n = 0 then Alcotest.fail "coordinator never published its view"
+              else (
+                Thread.delay 0.05;
+                wait (n - 1))
+        in
+        wait 100
+      in
+      Alcotest.(check string) "view carries the deterministic trace id"
+        (Fmc_obs.Traceid.trace_id ~fingerprint)
+        v.Coordinator.vw_trace_id;
+      (* A v3 peer still negotiates and is served, with nothing extra. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn (Protocol.Hello { version = 3; worker = "legacy"; fingerprint });
+      (match recv conn with
+      | Protocol.Welcome { version } -> Alcotest.(check int) "negotiated down to v3" 3 version
+      | _ -> Alcotest.fail "expected welcome");
+      send conn Protocol.Request_shard;
+      (match recv_ext conn with
+      | Protocol.Assign _, ext ->
+          Alcotest.(check bool) "no trace ids for a v3 peer" true
+            (ext.Protocol.ext_trace = None)
+      | _ -> Alcotest.fail "expected an assignment");
+      Wire.close conn;
+      (* The lease the v3 peer abandoned by disconnecting expires on its
+         (short) TTL and is re-issued under a bumped epoch later. A v4
+         peer sees trace ids stamped on its lease and gets its
+         piggybacked telemetry absorbed into the fleet view. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn
+        (Protocol.Hello { version = Protocol.version; worker = "manual"; fingerprint });
+      (match recv conn with
+      | Protocol.Welcome { version } ->
+          Alcotest.(check int) "v4 negotiated" Protocol.version version
+      | _ -> Alcotest.fail "expected welcome");
+      send conn Protocol.Request_shard;
+      let (shard, epoch, start, len), ext =
+        match recv_ext conn with
+        | Protocol.Assign { shard; epoch; start; len }, ext -> ((shard, epoch, start, len), ext)
+        | _ -> Alcotest.fail "expected an assignment"
+      in
+      (match ext.Protocol.ext_trace with
+      | Some (tid, sid) ->
+          Alcotest.(check string) "campaign trace id stamped"
+            (Fmc_obs.Traceid.trace_id ~fingerprint)
+            tid;
+          Alcotest.(check string) "shard span id stamped"
+            (Fmc_obs.Traceid.span_id ~fingerprint ~shard)
+            sid
+      | None -> Alcotest.fail "a v4 assign must carry trace ids");
+      (* Heartbeat with a telemetry batch piggybacked on the side. *)
+      let wreg = Fmc_obs.Metrics.create () in
+      Fmc_obs.Metrics.add (Fmc_obs.Metrics.counter wreg "fmc_dist_worker_marker_total") 2.;
+      let batch =
+        Fmc_obs.Telemetry.make
+          ~trace_id:(Fmc_obs.Traceid.trace_id ~fingerprint)
+          ~metrics:(Fmc_obs.Metrics.snapshot wreg)
+          ~spans:
+            [
+              {
+                Fmc_obs.Telemetry.ss_span_id = Fmc_obs.Traceid.span_id ~fingerprint ~shard;
+                ss_event =
+                  {
+                    Fmc_obs.Span.ev_name = Printf.sprintf "shard-%d" shard;
+                    ev_cat = "dist";
+                    ev_tid = 1;
+                    ev_ts_us = 5.;
+                    ev_dur_us = 3.;
+                  };
+              };
+            ]
+          ()
+      in
+      let ext =
+        {
+          Protocol.no_extension with
+          Protocol.ext_telemetry = Some (Fmc_obs.Telemetry.encode batch);
+        }
+      in
+      let tag, payload =
+        Protocol.encode_client_ext ~ext (Protocol.Heartbeat { shard; epoch; samples_done = 1 })
+      in
+      Wire.write_frame conn ~tag payload;
+      (match recv conn with
+      | Protocol.Ack { accepted = true; _ } -> ()
+      | _ -> Alcotest.fail "live heartbeat must be acked");
+      (* The scrape surface reflects the absorbed batch. *)
+      (match List.find_opt (fun w -> w.Coordinator.w_name = "manual") (v.Coordinator.vw_workers ()) with
+      | Some w ->
+          Alcotest.(check int) "span summary absorbed" 1 w.Coordinator.w_spans;
+          Alcotest.(check bool) "wall clock stamped" true (w.Coordinator.w_last_wall > 0.)
+      | None -> Alcotest.fail "manual worker missing from the fleet view");
+      Alcotest.(check bool) "/metrics merges the worker snapshot" true
+        (contains (v.Coordinator.vw_metrics ()) "fmc_dist_worker_marker_total 2");
+      let health = v.Coordinator.vw_health () in
+      Alcotest.(check int) "shards total" (Array.length plan) health.Coordinator.h_shards_total;
+      Alcotest.(check bool) "not finished yet" false health.Coordinator.h_finished;
+      (* Complete the leased shard for real, telemetry on the side again. *)
+      let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+      let tag, payload =
+        Protocol.encode_client_ext ~ext
+          (Protocol.Shard_done
+             {
+               shard;
+               epoch;
+               tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
+               quarantined = [];
+             })
+      in
+      Wire.write_frame conn ~tag payload;
+      (match recv conn with
+      | Protocol.Ack { accepted = true; _ } -> ()
+      | _ -> Alcotest.fail "shard result must be accepted");
+      Wire.close conn;
+      (* A real v4 worker (with its own obs) finishes the campaign. *)
+      let wobs =
+        Fmc_obs.Obs.create ~metrics:(Fmc_obs.Metrics.create ())
+          ~tracer:(Fmc_obs.Span.create ()) ()
+      in
+      let wcfg =
+        {
+          (Worker.default_config ~addr ~worker_name:"v4-worker") with
+          Worker.heartbeat_every = 7;
+          retry_delay_s = 0.1;
+        }
+      in
+      let accepted = Worker.run ~obs:wobs wcfg ~fingerprint e prep ~seed in
+      Alcotest.(check int) "worker ran the remaining shards" (Array.length plan - 1) accepted;
+      Thread.join server;
+      let oc = match !outcome with Some o -> o | None -> Alcotest.fail "no outcome" in
+      let dist =
+        match Merge.report_of_blobs ~strategy:(Sampler.name prep) oc.Coordinator.oc_shards with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "merge failed: %s" msg
+      in
+      (* The acceptance bar: byte-identical JSON against the
+         single-process sharded reference, telemetry and all. *)
+      let reference = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+      Alcotest.(check string) "report JSON byte-identical under telemetry"
+        (Export.report_json reference.Campaign.report)
+        (Export.report_json dist);
+      (* The stitched fleet trace carries both workers on their own
+         tracks next to the coordinator's. *)
+      let trace = v.Coordinator.vw_trace_json () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " on the stitched trace") true (contains trace needle))
+        [ "process_name"; "manual"; "v4-worker"; "\"pid\":1"; "\"pid\":2"; "\"pid\":3" ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "dist"
@@ -490,5 +708,11 @@ let () =
         [
           Alcotest.test_case "dead worker, bit-exact merge" `Quick
             test_loopback_campaign_with_dead_worker;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "v4 negotiation" `Quick test_v4_negotiation;
+          Alcotest.test_case "telemetry piggyback, bit-exact merge" `Quick
+            test_loopback_fleet_telemetry;
         ] );
     ]

@@ -380,6 +380,191 @@ let test_obs_handle () =
   | _ -> Alcotest.fail "counter not absorbed");
   Alcotest.(check int) "worker span absorbed" 1 (List.length (Span.events tracer))
 
+(* ------------------------------------------------------------------ *)
+(* Fleet observability (ISSUE 8): deterministic trace ids, the telemetry
+   wire codec, the embedded scrape endpoint, and cross-process trace
+   stitching. *)
+
+module Traceid = Fmc_obs.Traceid
+module Telemetry = Fmc_obs.Telemetry
+module Fleet = Fmc_obs.Fleet
+module Httpd = Fmc_obs.Httpd
+
+let contains_sub hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+let test_traceid () =
+  let fp = "v3 mixed illegal_write n=5000 seed=42 shard=1000 budget=-" in
+  let t1 = Traceid.trace_id ~fingerprint:fp in
+  Alcotest.(check string) "trace id is a pure function" t1 (Traceid.trace_id ~fingerprint:fp);
+  Alcotest.(check int) "32 chars" 32 (String.length t1);
+  Alcotest.(check bool) "valid" true (Traceid.valid_trace_id t1);
+  Alcotest.(check bool) "campaigns differ" true (t1 <> Traceid.trace_id ~fingerprint:(fp ^ "x"));
+  let s0 = Traceid.span_id ~fingerprint:fp ~shard:0 in
+  let s1 = Traceid.span_id ~fingerprint:fp ~shard:1 in
+  Alcotest.(check bool) "span ids valid" true
+    (Traceid.valid_span_id s0 && Traceid.valid_span_id s1);
+  Alcotest.(check bool) "shards differ" true (s0 <> s1);
+  (* Stability across restarts: the id depends on nothing but the
+     arguments, so a resumed campaign re-issues the same ids. *)
+  Alcotest.(check string) "span id stable" s0 (Traceid.span_id ~fingerprint:fp ~shard:0);
+  Alcotest.(check bool) "span id is not trace-id shaped" false (Traceid.valid_trace_id s0);
+  Alcotest.(check bool) "negative shard raises" true
+    (try
+       ignore (Traceid.span_id ~fingerprint:fp ~shard:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_telemetry_roundtrip () =
+  with_fake_clock @@ fun t ->
+  t := 1234.5678;
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg ~help:"wire bytes" "fmc_dist_bytes_total") 17.25;
+  (* 0.1 has no finite binary expansion — %h must round-trip it bit-exactly. *)
+  Metrics.set (Metrics.gauge reg "fmc_worker_rate") 0.1;
+  let h = Metrics.histogram reg ~buckets:[| 0.001; 0.1; 1. |] "fmc_shard_seconds" in
+  List.iter (Metrics.observe h) [ 0.0005; 0.25; 3.5 ];
+  let ev =
+    {
+      Span.ev_name = "shard 3 \"odd\"\nname %";
+      ev_cat = "dist";
+      ev_tid = 7;
+      ev_ts_us = 123.456789;
+      ev_dur_us = 0.1 +. 0.2;
+    }
+  in
+  let batch =
+    Telemetry.make
+      ~trace_id:(Traceid.trace_id ~fingerprint:"fp")
+      ~metrics:(Metrics.snapshot reg)
+      ~spans:
+        [ { Telemetry.ss_span_id = Traceid.span_id ~fingerprint:"fp" ~shard:3; ss_event = ev } ]
+      ()
+  in
+  let blob = Telemetry.encode batch in
+  (match Telemetry.decode blob with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok got -> Alcotest.(check bool) "bit-exact roundtrip" true (got = batch));
+  Alcotest.(check bool) "empty batch roundtrips" true
+    (match Telemetry.decode (Telemetry.encode (Telemetry.make ())) with
+    | Ok _ -> true
+    | Error _ -> false);
+  Alcotest.(check bool) "garbage is an Error, not an exception" true
+    (match Telemetry.decode "not a batch\n" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "truncation is an Error" true
+    (match Telemetry.decode (String.sub blob 0 (String.length blob / 2)) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_httpd_parse () =
+  let ok line m p =
+    match Httpd.parse_request line with
+    | Ok (m', p') ->
+        Alcotest.(check string) (line ^ " method") m m';
+        Alcotest.(check string) (line ^ " path") p p'
+    | Error e -> Alcotest.failf "%s: unexpected parse error %s" line e
+  in
+  ok "GET /metrics HTTP/1.0" "GET" "/metrics";
+  ok "HEAD /healthz HTTP/1.1" "HEAD" "/healthz";
+  ok "GET /campaigns?verbose=1&x=2 HTTP/1.1" "GET" "/campaigns";
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" line) true
+        (match Httpd.parse_request line with Error _ -> true | Ok _ -> false))
+    [ ""; "GET"; "/metrics" ]
+
+let test_httpd_server () =
+  let reg = Metrics.create () in
+  Metrics.inc (Metrics.counter reg ~help:"requests" "fmc_test_requests_total");
+  let routes =
+    [
+      ("/ping", fun () -> Httpd.text "pong");
+      ("/metrics", fun () -> Httpd.text (Metrics.to_prometheus (Metrics.snapshot reg)));
+      ("/boom", fun () -> failwith "handler exploded");
+    ]
+  in
+  let srv = Httpd.start ~bind_addr:"127.0.0.1" ~port:0 ~routes () in
+  Fun.protect ~finally:(fun () -> Httpd.stop srv) @@ fun () ->
+  let port = Httpd.port srv in
+  Alcotest.(check bool) "ephemeral port bound" true (port > 0);
+  let get path = Httpd.get ~host:"127.0.0.1" ~port ~path () in
+  (match get "/ping" with
+  | Ok (200, "pong") -> ()
+  | Ok (st, body) -> Alcotest.failf "/ping: HTTP %d %S" st body
+  | Error e -> Alcotest.failf "/ping: %s" e);
+  (match get "/nope" with
+  | Ok (404, _) -> ()
+  | Ok (st, _) -> Alcotest.failf "expected 404, got %d" st
+  | Error e -> Alcotest.failf "/nope: %s" e);
+  (* A raising handler is a 500, never a dead server. *)
+  (match get "/boom" with
+  | Ok (500, _) -> ()
+  | Ok (st, _) -> Alcotest.failf "expected 500, got %d" st
+  | Error e -> Alcotest.failf "/boom: %s" e);
+  (match get "/metrics" with
+  | Ok (200, body) ->
+      let lines = String.split_on_char '\n' body in
+      Alcotest.(check bool) "exposition TYPE line" true
+        (List.mem "# TYPE fmc_test_requests_total counter" lines);
+      Alcotest.(check bool) "exposition sample line" true
+        (List.mem "fmc_test_requests_total 1" lines)
+  | Ok (st, _) -> Alcotest.failf "/metrics: HTTP %d" st
+  | Error e -> Alcotest.failf "/metrics: %s" e);
+  (* stop is idempotent (the protect finally stops it again). *)
+  Httpd.stop srv
+
+let test_fleet_stitching () =
+  with_fake_clock @@ fun t ->
+  let fp = "fleet-test-fp" in
+  let batch ~name ~wall ~samples =
+    t := wall;
+    let reg = Metrics.create () in
+    Metrics.add (Metrics.counter reg "fmc_dist_shard_results_total") (float_of_int samples);
+    let ev =
+      { Span.ev_name = name ^ "-shard"; ev_cat = "dist"; ev_tid = 1; ev_ts_us = 10.; ev_dur_us = 5. }
+    in
+    Telemetry.make
+      ~trace_id:(Traceid.trace_id ~fingerprint:fp)
+      ~metrics:(Metrics.snapshot reg)
+      ~spans:
+        [ { Telemetry.ss_span_id = Traceid.span_id ~fingerprint:fp ~shard:0; ss_event = ev } ]
+      ()
+  in
+  let fl = Fleet.create () in
+  Fleet.absorb fl ~worker:"w2" (batch ~name:"w2" ~wall:1002. ~samples:3);
+  Fleet.absorb fl ~worker:"w1" (batch ~name:"w1" ~wall:1001. ~samples:2);
+  (* Snapshots are cumulative: a later batch replaces, never adds. *)
+  Fleet.absorb fl ~worker:"w1" (batch ~name:"w1" ~wall:1003. ~samples:5);
+  Alcotest.(check (list string)) "workers sorted" [ "w1"; "w2" ] (List.map fst (Fleet.workers fl));
+  Alcotest.(check string) "campaign trace id surfaced"
+    (Traceid.trace_id ~fingerprint:fp)
+    (Fleet.trace_id fl);
+  Alcotest.(check int) "span summaries retained" 3 (Fleet.span_count fl);
+  let base =
+    let reg = Metrics.create () in
+    Metrics.add (Metrics.counter reg "fmc_dist_shard_results_total") 1.;
+    Metrics.snapshot reg
+  in
+  (match Metrics.find (Fleet.merged_snapshot fl ~base) "fmc_dist_shard_results_total" with
+  | Some (Metrics.Counter v) -> exact "base + latest worker snapshots" 9. v
+  | _ -> Alcotest.fail "merged counter missing");
+  let own =
+    [ { Span.ev_name = "sweep"; ev_cat = "dist"; ev_tid = 0; ev_ts_us = 1.; ev_dur_us = 2. } ]
+  in
+  let json = Fleet.to_chrome_json ~own_label:"coordinator" ~own_events:own fl in
+  valid_json "stitched fleet trace" json;
+  Alcotest.(check bool) "own track labelled" true (contains_sub json "coordinator");
+  Alcotest.(check bool) "worker tracks named" true
+    (contains_sub json "process_name" && contains_sub json "w1" && contains_sub json "w2");
+  (* Distinct pids: this process on 1, each worker on its own. *)
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool) (Printf.sprintf "pid %d present" pid) true
+        (contains_sub json (Printf.sprintf "\"pid\":%d" pid)))
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -403,4 +588,12 @@ let () =
           Alcotest.test_case "progress jsonl" `Quick test_progress_jsonl;
           Alcotest.test_case "obs handle" `Quick test_obs_handle;
         ] );
+      ("traceid", [ Alcotest.test_case "deterministic ids" `Quick test_traceid ]);
+      ("telemetry", [ Alcotest.test_case "wire roundtrip" `Quick test_telemetry_roundtrip ]);
+      ( "httpd",
+        [
+          Alcotest.test_case "request parsing" `Quick test_httpd_parse;
+          Alcotest.test_case "scrape server" `Quick test_httpd_server;
+        ] );
+      ("fleet", [ Alcotest.test_case "absorb and stitch" `Quick test_fleet_stitching ]);
     ]
