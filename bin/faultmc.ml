@@ -197,12 +197,14 @@ let info_cmd =
 
 let default_shard_size = 1000
 
-let dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget =
-  Fmc_dist.Protocol.fingerprint
+let dist_fingerprint ?fault_model ~benchmark ~strategy ~samples ~seed ~shard_size
+    ~sample_budget () =
+  Fmc_dist.Protocol.fingerprint ?fault_model
     ~strategy:(Fmc.Sampler.strategy_name strategy)
-    ~benchmark:benchmark.Fmc_isa.Programs.name ~samples ~seed ~shard_size ~sample_budget
+    ~benchmark:benchmark.Fmc_isa.Programs.name ~samples ~seed ~shard_size ~sample_budget ()
 
-let spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget =
+let spec_of_args ?(fault_model = Fmc_fault.Registry.default) ~benchmark ~strategy ~samples
+    ~seed ~shard_size ~sample_budget () =
   {
     Fmc_dist.Protocol.sp_benchmark = benchmark.Fmc_isa.Programs.name;
     sp_strategy = Fmc.Sampler.strategy_name strategy;
@@ -210,7 +212,24 @@ let spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget 
     sp_seed = seed;
     sp_shard_size = shard_size;
     sp_sample_budget = sample_budget;
+    sp_fault_model = fault_model;
   }
+
+(* --fault-model: parse at option-processing time so an unknown model or
+   a bad parameter is a usage error (exit 2) with the registry's typed
+   message, not a mid-campaign crash. *)
+let fault_model_of_arg_or_die spec =
+  match Fmc_fault.Registry.parse spec with
+  | Ok model -> model
+  | Error e ->
+      Format.eprintf "faultmc: %s@." (Fmc_fault.Registry.error_message e);
+      exit 2
+
+let list_fault_models ppf =
+  Format.fprintf ppf "registered fault models:@.";
+  List.iter
+    (fun (name, doc) -> Format.fprintf ppf "  %-16s %s@." name doc)
+    (Fmc_fault.Registry.list ())
 
 let parse_addr_or_die s =
   match Fmc_dist.Wire.parse_addr s with
@@ -507,9 +526,38 @@ let start_chaos_proxy ~obs ~plan ~seed ~log ~close_log ~public ~upstream =
 
 (* evaluate *)
 
+let fault_model_arg =
+  Arg.(
+    value
+    & opt string Fmc_fault.Registry.default
+    & info [ "fault-model" ] ~docv:"MODEL"
+        ~doc:
+          "Evaluate under fault model $(docv), written NAME or NAME:k=v,... (e.g. \
+           $(b,seu-burst:bits=4)). An unknown model or a bad parameter is a usage error. See \
+           $(b,--list-fault-models).")
+
+let list_fault_models_flag =
+  Arg.(
+    value & flag
+    & info [ "list-fault-models" ] ~doc:"List the registered fault models and exit.")
+
 let evaluate_cmd =
   let run benchmark strategy samples seed half_width json csv_prefix checkpoint checkpoint_every
-      resume journal sample_budget connect shard_size prune_flag metrics_out trace_out progress =
+      resume journal sample_budget connect shard_size prune_flag fault_model list_models
+      metrics_out trace_out progress =
+    if list_models then begin
+      list_fault_models ppf;
+      exit 0
+    end;
+    let model = fault_model_of_arg_or_die fault_model in
+    let inject = model.Fmc_fault.Model.inject in
+    if prune_flag && not model.Fmc_fault.Model.prunable then begin
+      Format.eprintf
+        "faultmc: --prune is only sound for the disc-transient model (masking certificates do \
+         not cover %s)@."
+        (Fmc_fault.Model.canonical model);
+      exit 2
+    end;
     let obs = build_obs ~metrics_out ~trace_out ~progress in
     let render report =
       if json then print_endline (Fmc.Export.report_json report)
@@ -546,9 +594,11 @@ let evaluate_cmd =
         end;
         let addr = parse_addr_or_die addrstr in
         let fingerprint =
-          dist_fingerprint ~benchmark ~strategy ~samples ~seed
+          dist_fingerprint
+            ~fault_model:(Fmc_fault.Model.canonical model)
+            ~benchmark ~strategy ~samples ~seed
             ~shard_size:(Option.value shard_size ~default:default_shard_size)
-            ~sample_budget
+            ~sample_budget ()
         in
         let config = Fmc_dist.Worker.default_config ~addr ~worker_name:"report-client" in
         (match Fmc_dist.Worker.fetch_report ~obs config ~fingerprint with
@@ -586,7 +636,8 @@ let evaluate_cmd =
         let report =
           match (half_width, shard_size, campaign_mode) with
           | Some hw, None, false when sample_budget = None ->
-              Fmc.Ssf.estimate_until ~obs ?prune engine prep ~half_width:hw ~z:1.96 ~seed
+              Fmc.Ssf.estimate_until ~obs ?prune ?inject engine prep ~half_width:hw ~z:1.96
+                ~seed
           | Some _, _, _ ->
               prerr_endline "faultmc: --half-width cannot be combined with campaign options";
               exit 2
@@ -599,8 +650,8 @@ let evaluate_cmd =
               (* The single-process reference for a distributed run with
                  the same (samples, seed, shard size): bit-identical. *)
               let result =
-                Fmc.Campaign.estimate_sharded ~obs ?sample_budget ?prune engine prep ~samples
-                  ~seed ~shard_size:sz
+                Fmc.Campaign.estimate_sharded ~obs ?sample_budget ?prune ?inject engine prep
+                  ~samples ~seed ~shard_size:sz
               in
               let q = List.length result.Fmc.Campaign.quarantined in
               if q > 0 then Format.eprintf "%d sample(s) quarantined@." q;
@@ -610,7 +661,7 @@ let evaluate_cmd =
                   (clock_suffix ());
               result.Fmc.Campaign.report
           | None, None, false when sample_budget = None ->
-              Fmc.Ssf.estimate ~obs ?prune engine prep ~samples ~seed
+              Fmc.Ssf.estimate ~obs ?prune ?inject engine prep ~samples ~seed
           | None, None, _ ->
               if checkpoint_every <= 0 then begin
                 prerr_endline "faultmc: --checkpoint-every must be positive";
@@ -628,8 +679,10 @@ let evaluate_cmd =
               let result =
                 try
                   match resume with
-                  | Some path -> Fmc.Campaign.resume ~config ~obs ?prune engine prep ~path
-                  | None -> Fmc.Campaign.run ~config ~obs ?prune engine prep ~samples ~seed
+                  | Some path ->
+                      Fmc.Campaign.resume ~config ~obs ?prune ?inject engine prep ~path
+                  | None ->
+                      Fmc.Campaign.run ~config ~obs ?prune ?inject engine prep ~samples ~seed
                 with
                 | Fmc.Campaign.Checkpoint_corrupt { path; reason } ->
                     Format.eprintf "faultmc: unusable checkpoint %s: %s@." path reason;
@@ -752,7 +805,8 @@ let evaluate_cmd =
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ half_width $ json
       $ csv_prefix $ checkpoint $ checkpoint_every $ resume $ journal $ sample_budget $ connect
-      $ shard_size_opt $ prune_flag $ metrics_out_arg $ trace_out_arg $ progress_arg)
+      $ shard_size_opt $ prune_flag $ fault_model_arg $ list_fault_models_flag $ metrics_out_arg
+      $ trace_out_arg $ progress_arg)
 
 (* characterize *)
 
@@ -1087,10 +1141,29 @@ let bench_cmd =
         name pruned_elapsed psps
         (100. *. Fmc_sva.Pruner.prune_ratio pruner)
         (if sps > 0. then psps /. sps else 0.);
+      (* v4: one row per registered fault model. The disc-transient row
+         reuses the headline run (same spec, same bytes); the synthetic
+         models are timed on their own estimate with the same seed. *)
+      let model_rows =
+        List.map
+          (fun mname ->
+            let m = Fmc_fault.Registry.parse_exn mname in
+            match m.Fmc_fault.Model.inject with
+            | None -> (m, report, elapsed)
+            | Some _ as inject ->
+                let t = Unix.gettimeofday () in
+                let r = Fmc.Ssf.estimate ?inject engine prep ~samples ~seed in
+                let e = Unix.gettimeofday () -. t in
+                Format.fprintf ppf "bench %s [%s]: SSF %.5f, %.2f s@." name mname r.Fmc.Ssf.ssf
+                  e;
+                (m, r, e))
+          Fmc_fault.Registry.names
+      in
       ( name,
         report,
         elapsed,
         (pruned_elapsed, Fmc_sva.Pruner.prune_ratio pruner, pstats.Fmc_sva.Pruner.certificates),
+        model_rows,
         Fmc_obs.Metrics.merge (Fmc_obs.Metrics.snapshot reg) (Fmc_obs.Metrics.snapshot preg),
         Fmc_obs.Span.events tracer,
         Fmc_obs.Span.totals tracer )
@@ -1101,13 +1174,20 @@ let bench_cmd =
     let rev = match rev_override with Some r -> r | None -> bench_rev () in
     let buf = Buffer.create 2048 in
     let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    pr "{\"schema\":\"faultmc-bench-v3\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
+    pr "{\"schema\":\"faultmc-bench-v4\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
       (Fmc_obs.Jsonx.escape rev)
       (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
       samples seed;
     List.iteri
-      (fun i (name, (report : Fmc.Ssf.report), elapsed, (pelapsed, pratio, certs), snap, _, totals)
-         ->
+      (fun i
+           ( name,
+             (report : Fmc.Ssf.report),
+             elapsed,
+             (pelapsed, pratio, certs),
+             model_rows,
+             snap,
+             _,
+             totals ) ->
         if i > 0 then pr ",";
         let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
         let sps = if elapsed > 0. then float_of_int report.Fmc.Ssf.n /. elapsed else 0. in
@@ -1128,6 +1208,19 @@ let bench_cmd =
           "\"pruned\":{\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"prune_ratio\":%.4f,\"prune_ratio_gauge\":%.4f,\"certificates\":%d,\"speedup\":%.3f},"
           pelapsed psps pratio prune_ratio_gauge certs
           (if sps > 0. then psps /. sps else 0.);
+        (* v4 per-model rows *)
+        pr "\"models\":[";
+        List.iteri
+          (fun j ((m : Fmc_fault.Model.t), (r : Fmc.Ssf.report), e) ->
+            if j > 0 then pr ",";
+            let mlo, mhi = Fmc.Ssf.confidence_interval r ~z:1.96 in
+            pr
+              "{\"model\":\"%s\",\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"successes\":%d,\"ess\":%.2f,\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f}"
+              (Fmc_obs.Jsonx.escape (Fmc_fault.Model.canonical m))
+              r.Fmc.Ssf.ssf mlo mhi r.Fmc.Ssf.successes r.Fmc.Ssf.ess e
+              (if e > 0. then float_of_int r.Fmc.Ssf.n /. e else 0.))
+          model_rows;
+        pr "],";
         pr "\"phases\":[";
         List.iteri
           (fun j (span, (count, total_us)) ->
@@ -1144,14 +1237,14 @@ let bench_cmd =
     Format.fprintf ppf "wrote %s@." bench_path;
     let merged_metrics =
       List.fold_left
-        (fun acc (_, _, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
+        (fun acc (_, _, _, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
         [] results
     in
     let prom_path = Filename.concat out_dir "metrics.prom" in
     let mjson_path = Filename.concat out_dir "metrics.json" in
     write_file prom_path (Fmc_obs.Metrics.to_prometheus merged_metrics);
     write_file mjson_path (Fmc_obs.Metrics.to_json merged_metrics);
-    let all_events = List.concat_map (fun (_, _, _, _, _, events, _) -> events) results in
+    let all_events = List.concat_map (fun (_, _, _, _, _, _, events, _) -> events) results in
     let trace_path = Filename.concat out_dir "trace.json" in
     write_file trace_path (Fmc_obs.Span.to_chrome_json all_events);
     Format.fprintf ppf "wrote %s, %s, %s@." prom_path mjson_path trace_path
@@ -1196,7 +1289,8 @@ let bench_cmd =
 let serve_cmd =
   let run benchmark strategy samples seed addr shard_size ttl linger max_idle checkpoint
       sample_budget require_workers io_deadline breaker_failures breaker_cooldown chaos_plan
-      chaos_seed chaos_log http_port fleet_trace_out json metrics_out trace_out =
+      chaos_seed chaos_log http_port fleet_trace_out json fault_model metrics_out trace_out =
+    let model = fault_model_of_arg_or_die fault_model in
     let obs = fleet_obs ~progress:`Off in
     let plan =
       try Fmc.Ssf.shard_plan ~samples ~shard_size
@@ -1205,7 +1299,9 @@ let serve_cmd =
         exit 2
     in
     let fingerprint =
-      dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
+      dist_fingerprint
+        ~fault_model:(Fmc_fault.Model.canonical model)
+        ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget ()
     in
     if not json then
       Format.fprintf ppf "serving %d samples as %d shard(s) of <=%d on %s@." samples
@@ -1373,14 +1469,15 @@ let serve_cmd =
       $ shard_size_arg $ ttl $ linger $ max_idle $ checkpoint $ sample_budget $ require_workers
       $ io_deadline $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator"
       $ chaos_seed_arg $ chaos_log_arg $ http_port_arg "campaign" $ fleet_trace_out_arg $ json
-      $ metrics_out_arg $ trace_out_arg)
+      $ fault_model_arg $ metrics_out_arg $ trace_out_arg)
 
 (* worker *)
 
 let worker_cmd =
-  let run benchmark strategy samples seed addr pool shard_size sample_budget name heartbeat_every
-      io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed chaos_log metrics_out
-      trace_out progress =
+  let run benchmark strategy samples seed addr pool shard_size sample_budget fault_model
+      name heartbeat_every io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed
+      chaos_log metrics_out trace_out progress =
+    let model = fault_model_of_arg_or_die fault_model in
     with_context @@ fun ctx ->
     let obs = fleet_obs ~progress in
     let name =
@@ -1425,22 +1522,28 @@ let worker_cmd =
         let resolve (spec : Fmc_dist.Protocol.spec) =
           match
             (benchmark_of_name spec.Fmc_dist.Protocol.sp_benchmark,
-             strategy_of_name spec.Fmc_dist.Protocol.sp_strategy)
+             strategy_of_name spec.Fmc_dist.Protocol.sp_strategy,
+             Fmc_fault.Registry.parse spec.Fmc_dist.Protocol.sp_fault_model)
           with
-          | None, _ ->
+          | None, _, _ ->
               Error (Printf.sprintf "unknown benchmark %S" spec.Fmc_dist.Protocol.sp_benchmark)
-          | _, None ->
+          | _, None, _ ->
               Error (Printf.sprintf "unknown strategy %S" spec.Fmc_dist.Protocol.sp_strategy)
-          | Some b, Some s -> Ok (prepared ctx b s)
+          | _, _, Error e -> Error (Fmc_fault.Registry.error_message e)
+          | Some b, Some s, Ok m ->
+              let engine, prep = prepared ctx b s in
+              Ok (engine, prep, m.Fmc_fault.Model.inject)
         in
         Fmc_dist.Worker.run_pool ~obs ~on_reconnect config ~resolve ()
       else begin
         let engine, prep = prepared ctx benchmark strategy in
         let fingerprint =
-          dist_fingerprint ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget
+          dist_fingerprint
+            ~fault_model:(Fmc_fault.Model.canonical model)
+            ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget ()
         in
-        Fmc_dist.Worker.run ~obs ?sample_budget ~on_reconnect config ~fingerprint engine prep
-          ~seed
+        Fmc_dist.Worker.run ~obs ?sample_budget ?inject:model.Fmc_fault.Model.inject
+          ~on_reconnect config ~fingerprint engine prep ~seed
       end
     in
     match campaign () with
@@ -1518,12 +1621,13 @@ let worker_cmd =
     (Cmd.info "worker"
        ~doc:
          "Run distributed-campaign shards for a coordinator. The benchmark, strategy, -n, --seed, \
-          --shard-size and --sample-budget must match the coordinator's campaign.")
+          --shard-size, --sample-budget and --fault-model must match the coordinator's campaign.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr $ pool
-      $ shard_size_arg $ sample_budget $ name_arg $ heartbeat_every $ io_deadline
-      $ reconnect_attempts $ reconnect_budget $ chaos_plan_arg "worker's coordinator link"
-      $ chaos_seed_arg $ chaos_log_arg $ metrics_out_arg $ trace_out_arg $ progress_arg)
+      $ shard_size_arg $ sample_budget $ fault_model_arg $ name_arg $ heartbeat_every
+      $ io_deadline $ reconnect_attempts $ reconnect_budget
+      $ chaos_plan_arg "worker's coordinator link" $ chaos_seed_arg $ chaos_log_arg
+      $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
 (* sched / submit / status / cancel — the multi-campaign scheduler *)
 
@@ -1673,10 +1777,19 @@ let sched_cmd =
       $ http_port_arg "fleet" $ fleet_trace_out_arg $ metrics_out_arg $ trace_out_arg)
 
 let submit_cmd =
-  let run benchmark strategy samples seed shard_size sample_budget addr wait timeout json
-      metrics_out trace_out =
+  let run benchmark strategy samples seed shard_size sample_budget fault_model list_models addr
+      wait timeout json metrics_out trace_out =
+    if list_models then begin
+      list_fault_models ppf;
+      exit 0
+    end;
+    let model = fault_model_of_arg_or_die fault_model in
     let obs = build_obs ~metrics_out ~trace_out ~progress:`Off in
-    let spec = spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget in
+    let spec =
+      spec_of_args
+        ~fault_model:(Fmc_fault.Model.canonical model)
+        ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget ()
+    in
     let config = client_config addr in
     match Fmc_dist.Worker.submit ~obs config spec with
     | Error msg ->
@@ -1764,8 +1877,8 @@ let submit_cmd =
           free: the scheduler answers from its report cache.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ shard_size_arg
-      $ sample_budget $ connect_arg "Scheduler" $ wait $ timeout $ json $ metrics_out_arg
-      $ trace_out_arg)
+      $ sample_budget $ fault_model_arg $ list_fault_models_flag $ connect_arg "Scheduler"
+      $ wait $ timeout $ json $ metrics_out_arg $ trace_out_arg)
 
 let status_cmd =
   let run addr fingerprint =
@@ -1794,14 +1907,17 @@ let status_cmd =
     Term.(const run $ connect_arg "Scheduler" $ fingerprint)
 
 let cancel_cmd =
-  let run benchmark strategy samples seed shard_size sample_budget addr fingerprint =
+  let run benchmark strategy samples seed shard_size sample_budget fault_model addr fingerprint =
     let config = client_config addr in
     let fingerprint =
       match fingerprint with
       | Some fp -> fp
       | None ->
+          let model = fault_model_of_arg_or_die fault_model in
           Fmc_dist.Protocol.spec_fingerprint
-            (spec_of_args ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget)
+            (spec_of_args
+               ~fault_model:(Fmc_fault.Model.canonical model)
+               ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget ())
     in
     match Fmc_dist.Worker.cancel config ~fingerprint with
     | Error msg ->
@@ -1837,7 +1953,223 @@ let cancel_cmd =
           same spec later starts it from scratch.")
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ shard_size_arg
-      $ sample_budget $ connect_arg "Scheduler" $ fingerprint)
+      $ sample_budget $ fault_model_arg $ connect_arg "Scheduler" $ fingerprint)
+
+(* matrix — cross-model campaign sweep *)
+
+let matrix_cmd =
+  let run models_csv benchmarks_csv strategies_csv samples seed shard_size fast json report_dir
+      connect list_models =
+    if list_models then begin
+      list_fault_models ppf;
+      exit 0
+    end;
+    let split csv =
+      List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' csv))
+    in
+    (* Comma also separates model parameters, so model specs are split
+       on '+' instead: "seu-burst:bits=4+instr-skip". *)
+    let split_models csv =
+      List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char '+' csv))
+    in
+    let models = List.map fault_model_of_arg_or_die (split_models models_csv) in
+    let benchmarks =
+      List.map
+        (fun name ->
+          match benchmark_of_name name with
+          | Some b -> b
+          | None ->
+              Format.eprintf "faultmc: unknown benchmark %S@." name;
+              exit 2)
+        (split benchmarks_csv)
+    in
+    let strategies =
+      List.map
+        (fun name ->
+          match strategy_of_name name with
+          | Some s -> s
+          | None ->
+              Format.eprintf "faultmc: unknown strategy %S@." name;
+              exit 2)
+        (split strategies_csv)
+    in
+    if models = [] || benchmarks = [] || strategies = [] then begin
+      prerr_endline "faultmc: matrix needs at least one model, benchmark and strategy";
+      exit 2
+    end;
+    let samples = if fast then min samples 300 else samples in
+    let shard_size = if fast then min shard_size 100 else shard_size in
+    Option.iter
+      (fun d -> try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      report_dir;
+    let cells =
+      List.concat_map
+        (fun (m : Fmc_fault.Model.t) ->
+          List.concat_map
+            (fun b -> List.map (fun s -> (m, b, s)) strategies)
+            benchmarks)
+        models
+    in
+    (* Each cell is exactly an `evaluate --shard-size` campaign (same
+       spec → same bytes), locally or through a scheduler's pool. *)
+    let eval_cell =
+      match connect with
+      | Some addr ->
+          let config = client_config addr in
+          fun (model, benchmark, strategy) ->
+            let spec =
+              spec_of_args
+                ~fault_model:(Fmc_fault.Model.canonical model)
+                ~benchmark ~strategy ~samples ~seed ~shard_size ~sample_budget:None ()
+            in
+            let fail msg =
+              Format.eprintf "faultmc: %s@." msg;
+              exit 1
+            in
+            (match Fmc_dist.Worker.submit config spec with
+            | Error msg -> fail msg
+            | Ok (Fmc_dist.Worker.Submit_rejected { retry_after_s; reason }) ->
+                Format.eprintf "faultmc: submission rejected: %s; retry in %.0fs@." reason
+                  retry_after_s;
+                exit 3
+            | Ok _ -> ());
+            let fingerprint = Fmc_dist.Protocol.spec_fingerprint spec in
+            (match Fmc_dist.Worker.fetch_report config ~fingerprint with
+            | Error err -> fail (Fmc_dist.Worker.fetch_error_message err)
+            | Ok (shards, quarantined, elapsed_s) -> (
+                match
+                  Fmc_dist.Merge.report_of_blobs
+                    ~strategy:(Fmc.Sampler.strategy_name strategy)
+                    shards
+                with
+                | Error msg -> fail msg
+                | Ok report -> (report, List.length quarantined, elapsed_s)))
+      | None ->
+          let ctx = lazy (Fmc.Experiments.context ()) in
+          fun (model, benchmark, strategy) ->
+            let engine, prep = prepared (Lazy.force ctx) benchmark strategy in
+            let result =
+              Fmc.Campaign.estimate_sharded ?inject:model.Fmc_fault.Model.inject engine prep
+                ~samples ~seed ~shard_size
+            in
+            ( result.Fmc.Campaign.report,
+              List.length result.Fmc.Campaign.quarantined,
+              result.Fmc.Campaign.elapsed_s )
+    in
+    let rows =
+      List.map
+        (fun ((model, benchmark, strategy) as cell) ->
+          let report, quarantined, elapsed_s = eval_cell cell in
+          (match report_dir with
+          | None -> ()
+          | Some dir ->
+              (* The per-cell report, verbatim Export.report_json bytes —
+                 what CI diffs against `evaluate --shard-size --json`. *)
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s-%s-%s.json"
+                     (Fmc_fault.Model.metric_name model)
+                     benchmark.Fmc_isa.Programs.name
+                     (Fmc.Sampler.strategy_name strategy))
+              in
+              write_file path (Fmc.Export.report_json report ^ "\n");
+              Format.eprintf "wrote %s@." path);
+          (model, benchmark, strategy, report, quarantined, elapsed_s))
+        cells
+    in
+    if json then begin
+      let buf = Buffer.create 2048 in
+      let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      pr "{\"schema\":\"faultmc-matrix-v1\",\"samples\":%d,\"seed\":%d,\"shard_size\":%d,\"rows\":["
+        samples seed shard_size;
+      List.iteri
+        (fun i (model, benchmark, strategy, (report : Fmc.Ssf.report), quarantined, elapsed_s) ->
+          if i > 0 then pr ",";
+          let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+          pr
+            "{\"model\":\"%s\",\"benchmark\":\"%s\",\"strategy\":\"%s\",\"ssf\":%.8f,\"ci95\":[%.8f,%.8f],\"samples\":%d,\"successes\":%d,\"ess\":%.2f,\"quarantined\":%d,\"elapsed_s\":%.6f}"
+            (Fmc_obs.Jsonx.escape (Fmc_fault.Model.canonical model))
+            (Fmc_obs.Jsonx.escape benchmark.Fmc_isa.Programs.name)
+            (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
+            report.Fmc.Ssf.ssf lo hi report.Fmc.Ssf.n report.Fmc.Ssf.successes
+            report.Fmc.Ssf.ess quarantined elapsed_s)
+        rows;
+      pr "]}";
+      print_endline (Buffer.contents buf)
+    end
+    else begin
+      Format.fprintf ppf "%-24s %-10s %-10s %10s %21s %7s %9s@." "model" "benchmark" "strategy"
+        "ssf" "ci95" "n" "ess";
+      List.iter
+        (fun (model, benchmark, strategy, (report : Fmc.Ssf.report), quarantined, elapsed_s) ->
+          let lo, hi = Fmc.Ssf.confidence_interval report ~z:1.96 in
+          Format.fprintf ppf "%-24s %-10s %-10s %10.5f [%9.5f,%9.5f] %7d %9.1f"
+            (Fmc_fault.Model.canonical model)
+            benchmark.Fmc_isa.Programs.name
+            (Fmc.Sampler.strategy_name strategy)
+            report.Fmc.Ssf.ssf lo hi report.Fmc.Ssf.n report.Fmc.Ssf.ess;
+          if quarantined > 0 then Format.fprintf ppf "  (%d quarantined)" quarantined;
+          Format.fprintf ppf "  %.2fs@." elapsed_s)
+        rows
+    end;
+    0
+  in
+  let models_csv =
+    Arg.(
+      value
+      & opt string "disc-transient+seu-burst+instr-skip+double-strike"
+      & info [ "models" ] ~docv:"MODELS"
+          ~doc:
+            "'+'-separated fault models to sweep, each NAME or NAME:k=v,... (default: all four \
+             registered models). See $(b,--list-fault-models).")
+  in
+  let benchmarks_csv =
+    Arg.(
+      value & opt string "write,read"
+      & info [ "benchmarks" ] ~docv:"NAMES" ~doc:"Comma-separated benchmarks to sweep.")
+  in
+  let strategies_csv =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "strategies" ] ~docv:"NAMES" ~doc:"Comma-separated sampling strategies to sweep.")
+  in
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:"CI smoke preset: caps samples at 300 and the shard size at 100 per cell.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the table under the faultmc-matrix-v1 schema.")
+  in
+  let report_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report-dir" ] ~docv:"DIR"
+          ~doc:
+            "Also write each cell's full campaign report (verbatim $(b,evaluate --json) bytes) \
+             to DIR/<model>-<benchmark>-<strategy>.json.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Run each cell through the multi-campaign scheduler at $(docv) (HOST:PORT or \
+             unix:PATH) instead of evaluating locally; cells are submitted and collected one at \
+             a time.")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Sweep fault models x benchmarks x strategies in one command: each cell is a full \
+          sharded campaign (bit-exact with $(b,evaluate --shard-size)), reported as a per-model \
+          SSF/CI table in text or JSON.")
+    Term.(
+      const run $ models_csv $ benchmarks_csv $ strategies_csv $ samples_arg 2000 $ seed_arg
+      $ shard_size_arg $ fast $ json $ report_dir $ connect $ list_fault_models_flag)
 
 (* top — live fleet view over the --http-port scrape endpoint *)
 
@@ -1972,5 +2304,5 @@ let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit (Cmd.eval' (Cmd.group ~default (Cmd.info "faultmc" ~version:"1.0.0" ~doc)
     [ info_cmd; evaluate_cmd; characterize_cmd; sweep_cmd; harden_cmd; lint_cmd; sva_cmd;
-      bench_cmd; serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd; cancel_cmd; top_cmd;
-      trace_cmd; dot_cmd; experiments_cmd ]))
+      bench_cmd; matrix_cmd; serve_cmd; worker_cmd; sched_cmd; submit_cmd; status_cmd;
+      cancel_cmd; top_cmd; trace_cmd; dot_cmd; experiments_cmd ]))

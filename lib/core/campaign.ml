@@ -44,7 +44,7 @@ type result = {
   samples_per_sec : float;
 }
 
-let checkpoint_version = 4
+let checkpoint_version = 5
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialization: a line-oriented, versioned text format.
@@ -54,11 +54,14 @@ let checkpoint_version = 4
    RNG state) around it. v4 appends a "crc %08x" trailer line — the
    CRC-32 of every byte up to and including the "end" marker — so a
    truncated or bit-flipped checkpoint is detected before any of it is
-   parsed. Floats are hex float literals ("%h"), which round-trip
-   bit-exactly through [float_of_string]; the RNG state is the SplitMix64
-   int64 word. The file is written to a sibling ".tmp" and atomically
-   renamed into place, so a kill mid-write can never destroy the previous
-   good checkpoint. *)
+   parsed. v5 adds a "model" header line carrying the canonical fault
+   model; v3/v4 files (no model line) are read as disc-transient, the
+   only model that existed when they were written. Floats are hex float
+   literals ("%h"), which round-trip bit-exactly through
+   [float_of_string]; the RNG state is the SplitMix64 int64 word. The
+   file is written to a sibling ".tmp" and atomically renamed into
+   place, so a kill mid-write can never destroy the previous good
+   checkpoint. *)
 
 exception Checkpoint_corrupt of { path : string; reason : string }
 
@@ -73,18 +76,19 @@ let corrupt_at path fmt =
 
 let hexf = Printf.sprintf "%h"
 
-let checkpoint_body ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
+let checkpoint_body ~seed ~strategy ~model ~rng_state (s : Ssf.Tally.snapshot) =
   let body = Buffer.create 1024 in
   Printf.bprintf body "faultmc-campaign %d\n" checkpoint_version;
   Printf.bprintf body "strategy %s\n" strategy;
+  Printf.bprintf body "model %s\n" model;
   Printf.bprintf body "seed %d\n" seed;
   Printf.bprintf body "rng %Ld\n" rng_state;
   Buffer.add_string body (Ssf.Tally.to_string s);
   Buffer.add_string body "end\n";
   Buffer.contents body
 
-let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
-  let body = checkpoint_body ~seed ~strategy ~rng_state s in
+let write_checkpoint path ~seed ~strategy ~model ~rng_state (s : Ssf.Tally.snapshot) =
+  let body = checkpoint_body ~seed ~strategy ~model ~rng_state s in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
@@ -98,6 +102,7 @@ let write_checkpoint path ~seed ~strategy ~rng_state (s : Ssf.Tally.snapshot) =
 
 type checkpoint = {
   ck_strategy : string;
+  ck_model : string;
   ck_seed : int;
   ck_rng : int64;
   ck_snapshot : Ssf.Tally.snapshot;
@@ -154,7 +159,7 @@ let read_checkpoint path =
     | _ -> corrupt "malformed header %S" header
   in
   let body =
-    if version = checkpoint_version then verify_crc_trailer path raw
+    if version = checkpoint_version || version = 4 then verify_crc_trailer path raw
     else if version = 3 then raw (* pre-CRC format, still readable *)
     else
       corrupt "unsupported checkpoint version %d (this binary reads v3-v%d)" version
@@ -183,6 +188,9 @@ let read_checkpoint path =
   let int_of key v = try int_of_string v with _ -> corrupt "line %d: bad int %S in %s" !lineno v key in
   ignore (fields "faultmc-campaign" : string list);
   let strategy = one "strategy" in
+  (* v3/v4 checkpoints predate fault-model plurality: no model line
+     means the only model that existed then, the native disc transient. *)
+  let model = if version >= 5 then one "model" else "disc-transient" in
   let seed = int_of "seed" (one "seed") in
   let rng =
     let v = one "rng" in
@@ -204,7 +212,7 @@ let read_checkpoint path =
     | Ok s -> s
     | Error msg -> corrupt "tally state: %s" msg
   in
-  { ck_strategy = strategy; ck_seed = seed; ck_rng = rng; ck_snapshot = snapshot }
+  { ck_strategy = strategy; ck_model = model; ck_seed = seed; ck_rng = rng; ck_snapshot = snapshot }
 
 (* ------------------------------------------------------------------ *)
 (* Failure journal: one JSON object per quarantined sample, appended and
@@ -282,7 +290,20 @@ let quarantine_entry_of_string line =
 (* ------------------------------------------------------------------ *)
 (* Supervised per-sample evaluation. *)
 
-let evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune engine rng i sample =
+(* Pruning under a non-native fault model would silently bias the tally
+   (the certificates prove masking of the disc transient only); refuse
+   the combination at every campaign entry point. *)
+let check_inject_compat ~who prune inject =
+  match (prune, inject) with
+  | Some _, Some (inj : Ssf.inject) ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: ?prune cannot be combined with fault model %s (analytical masking certificates \
+            are only sound for disc-transient)"
+           who inj.Ssf.inj_model)
+  | _ -> ()
+
+let evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune ?inject engine rng i sample =
   match
     match prune with
     | Some covered when covered sample ->
@@ -292,9 +313,16 @@ let evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune engine rng i samp
         (Ssf.pruned_result engine sample, [])
     | _ ->
         (match fault_hook with Some h -> h i sample | None -> ());
-        let result = Engine.run_sample engine ?cycle_budget:sample_budget rng sample in
+        let result =
+          match inject with
+          | None -> Engine.run_sample engine ?cycle_budget:sample_budget rng sample
+          | Some (inj : Ssf.inject) -> inj.Ssf.inj_run engine ?cycle_budget:sample_budget rng sample
+        in
         let attributed =
-          if result.Engine.success && causal then Engine.causal_flips engine result
+          if result.Engine.success && causal then
+            match inject with
+            | None -> Engine.causal_flips engine result
+            | Some inj -> inj.Ssf.inj_causal engine result
           else result.Engine.flips
         in
         (result, attributed)
@@ -314,7 +342,7 @@ let install_handlers flag =
 let restore_handlers saved =
   List.iter (fun (s, old) -> try Sys.set_signal s old with Invalid_argument _ | Sys_error _ -> ()) saved
 
-let run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed =
+let run_loop config ~obs ~causal ?fault_hook ?prune ?inject ?stop engine prepared ~tally ~rng ~seed =
   if config.checkpoint_every <= 0 then invalid_arg "Campaign: non-positive checkpoint_every";
   let samples = Ssf.Tally.total tally in
   let strategy = Sampler.name prepared in
@@ -336,8 +364,8 @@ let run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally
     | Some path ->
         Option.iter Metrics.inc ck_counter;
         Obs.span obs ~cat:"campaign" "checkpoint_write" (fun () ->
-            write_checkpoint path ~seed ~strategy ~rng_state:(Rng.state rng)
-              (Ssf.Tally.snapshot tally))
+            write_checkpoint path ~seed ~strategy ~model:(Ssf.inject_model inject)
+              ~rng_state:(Rng.state rng) (Ssf.Tally.snapshot tally))
   in
   let quarantines = ref [] in
   let interrupted = ref false in
@@ -361,8 +389,8 @@ let run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally
       let i = Ssf.Tally.processed tally + 1 in
       let sample = Sampler.draw ~obs prepared rng in
       (match
-         evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook ?prune engine
-           rng i sample
+         evaluate_guarded ~causal ?sample_budget:config.sample_budget ?fault_hook ?prune ?inject
+           engine rng i sample
        with
       | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
       | Error disposition ->
@@ -408,11 +436,12 @@ let run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally
   }
 
 let run ?(config = default_config) ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?fault_hook
-    ?prune ?stop engine prepared ~samples ~seed =
+    ?prune ?inject ?stop engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Campaign.run: non-positive sample count";
+  check_inject_compat ~who:"Campaign.run" prune inject;
   let rng = Rng.create seed in
   let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:samples in
-  run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed
+  run_loop config ~obs ~causal ?fault_hook ?prune ?inject ?stop engine prepared ~tally ~rng ~seed
 
 (* ------------------------------------------------------------------ *)
 (* Shard-seeded execution: the unit of work of a distributed campaign.
@@ -433,9 +462,10 @@ type shard_result = {
 }
 
 let run_shard ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
-    ?prune ?on_sample engine prepared ~seed ~shard ~start ~len =
+    ?prune ?inject ?on_sample engine prepared ~seed ~shard ~start ~len =
   if len <= 0 then invalid_arg "Campaign.run_shard: non-positive shard length";
   if start < 0 then invalid_arg "Campaign.run_shard: negative shard start";
+  check_inject_compat ~who:"Campaign.run_shard" prune inject;
   let rng = Rng.substream ~seed:(Int64.of_int seed) ~shard in
   let tally = Ssf.Tally.create ~obs ?trace_every prepared ~total:len in
   let quarantines = ref [] in
@@ -446,7 +476,9 @@ let run_shard ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget
       for i = 1 to len do
         let gi = start + i in
         let sample = Sampler.draw ~obs prepared rng in
-        (match evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune engine rng gi sample with
+        (match
+           evaluate_guarded ~causal ?sample_budget ?fault_hook ?prune ?inject engine rng gi sample
+         with
         | Ok (result, attributed) -> Ssf.Tally.record tally sample result ~attributed
         | Error disposition ->
             let reason =
@@ -483,7 +515,7 @@ let shard_report ~strategy (s : Ssf.Tally.snapshot) =
   Ssf.Tally.report (Ssf.Tally.restore s) ~strategy
 
 let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample_budget ?fault_hook
-    ?prune ?(shard_size = 1000) engine prepared ~samples ~seed =
+    ?prune ?inject ?(shard_size = 1000) engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Campaign.estimate_sharded: non-positive sample count";
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let t_start = Fmc_obs.Clock.now () in
@@ -491,8 +523,8 @@ let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample
     Array.to_list
       (Array.mapi
          (fun shard (start, len) ->
-           run_shard ~obs ?trace_every ~causal ?sample_budget ?fault_hook ?prune engine prepared
-             ~seed ~shard ~start ~len)
+           run_shard ~obs ?trace_every ~causal ?sample_budget ?fault_hook ?prune ?inject engine
+             prepared ~seed ~shard ~start ~len)
          plan)
   in
   let strategy = Sampler.name prepared in
@@ -508,13 +540,18 @@ let estimate_sharded ?(obs = Obs.disabled) ?trace_every ?(causal = true) ?sample
     samples_per_sec = (if elapsed_s > 0. then float_of_int samples /. elapsed_s else 0.);
   }
 
-let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?prune ?stop engine prepared
-    ~path =
+let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?prune ?inject ?stop engine
+    prepared ~path =
+  check_inject_compat ~who:"Campaign.resume" prune inject;
   let ck = read_checkpoint path in
   if ck.ck_strategy <> Sampler.name prepared then
     corrupt_at path
       "checkpoint was taken under strategy %S, not %S (the sample stream would diverge)"
       ck.ck_strategy (Sampler.name prepared);
+  if ck.ck_model <> Ssf.inject_model inject then
+    corrupt_at path
+      "checkpoint was taken under fault model %S, not %S (the evaluated outcomes would diverge)"
+      ck.ck_model (Ssf.inject_model inject);
   let config =
     let c = Option.value config ~default:default_config in
     (* Keep writing to the checkpoint we resumed from unless redirected. *)
@@ -522,4 +559,5 @@ let resume ?config ?(obs = Obs.disabled) ?(causal = true) ?fault_hook ?prune ?st
   in
   let rng = Rng.of_state ck.ck_rng in
   let tally = Ssf.Tally.restore ~obs ck.ck_snapshot in
-  run_loop config ~obs ~causal ?fault_hook ?prune ?stop engine prepared ~tally ~rng ~seed:ck.ck_seed
+  run_loop config ~obs ~causal ?fault_hook ?prune ?inject ?stop engine prepared ~tally ~rng
+    ~seed:ck.ck_seed

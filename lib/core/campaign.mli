@@ -17,7 +17,7 @@
 
     {2 Checkpoint format}
 
-    A versioned line-oriented text file (header [faultmc-campaign 4];
+    A versioned line-oriented text file (header [faultmc-campaign 5];
     v3 factored the whole tally state out into the shared
     {!Ssf.Tally.to_string} codec — the same serializer the distributed
     campaign service ([Fmc_dist]) ships shard results and coordinator
@@ -25,8 +25,12 @@
     seed, RNG state) around that blob; v4 seals the file with a
     [crc %08x] trailer line (CRC-32 of every byte up to and including
     the [end] marker), so truncation or bit rot is detected before any
-    of the body is parsed. v3 files (no trailer) are still read; older
-    versions are refused rather than silently misread. Every float is a
+    of the body is parsed; v5 adds a [model] header line carrying the
+    canonical fault model ({!Ssf.inject_model}), refused on resume
+    mismatch exactly like the strategy. v3/v4 files are still read (no
+    model line means disc-transient, the only model that existed when
+    they were written); older versions are refused rather than
+    silently misread. Every float is a
     hex float literal ([%h]) so the round-trip through
     [float_of_string] is bit-exact; the RNG state is the raw SplitMix64
     int64 word. Checkpoints are written to [path ^ ".tmp"] and renamed
@@ -101,6 +105,7 @@ val run :
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:Ssf.inject ->
   ?stop:(int -> bool) ->
   Engine.t ->
   Sampler.prepared ->
@@ -109,7 +114,11 @@ val run :
   result
 (** Run a fresh campaign. With no quarantines and no interruption the
     report is identical to [Ssf.estimate ~causal engine prepared ~samples
-    ~seed]. [stop] is polled with the processed-sample count before each
+    ~seed]. [inject] evaluates every sample under a pluggable fault model
+    instead of the native disc transient (see {!Ssf.inject}); it is
+    recorded in the checkpoint header and refused in combination with
+    [prune] (masking certificates are disc-transient-only).
+    [stop] is polled with the processed-sample count before each
     draw (a [true] stops the campaign exactly like a signal would);
     [fault_hook] runs inside the per-sample guard before evaluation — an
     exception it raises quarantines that sample (test fault-injection
@@ -165,6 +174,7 @@ val run_shard :
   ?sample_budget:int ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:Ssf.inject ->
   ?on_sample:(int -> unit) ->
   Engine.t ->
   Sampler.prepared ->
@@ -196,6 +206,7 @@ val estimate_sharded :
   ?sample_budget:int ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:Ssf.inject ->
   ?shard_size:int ->
   Engine.t ->
   Sampler.prepared ->
@@ -217,15 +228,17 @@ val resume :
   ?causal:bool ->
   ?fault_hook:(int -> Sampler.sample -> unit) ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:Ssf.inject ->
   ?stop:(int -> bool) ->
   Engine.t ->
   Sampler.prepared ->
   path:string ->
   result
-(** Continue a checkpointed campaign from [path]. The engine and prepared
-    sampler must be reconstructed identically to the original run (same
-    benchmark, strategy and parameters) — the checkpoint carries the
-    strategy name and refuses a mismatch, but cannot verify the rest.
+(** Continue a checkpointed campaign from [path]. The engine, prepared
+    sampler and fault model must be reconstructed identically to the
+    original run (same benchmark, strategy and parameters) — the
+    checkpoint carries the strategy name and canonical fault model and
+    refuses a mismatch of either, but cannot verify the rest.
     Unless [config] overrides [checkpoint_path], further checkpoints are
     written back to [path]. Raises {!Checkpoint_corrupt} on a malformed,
     truncated, CRC-failing or version-mismatched file. *)

@@ -89,6 +89,45 @@ val run_sample :
     aborted run. Unset means the benchmark's own [max_cycles + 100] cap
     alone bounds the resume. *)
 
+(** {2 Injection building blocks}
+
+    The primitive steps {!run_sample} is composed of, exported so
+    pluggable fault models ([Fmc_fault]) can assemble alternative
+    injection scenarios (direct SEU bursts, instruction skips, temporal
+    double strikes) against the same golden run, placement and
+    netlist-transfer machinery. All are deterministic. *)
+
+val partition_disc :
+  ?cell_filter:(Fmc_netlist.Netlist.node -> bool) ->
+  t ->
+  Fmc_netlist.Netlist.node ->
+  float ->
+  Fmc_netlist.Netlist.node list * Fmc_netlist.Netlist.node list * int
+(** [partition_disc t center radius] resolves the radiated disc on the
+    placement: [(struck flip-flops, struck gates, total struck cells)],
+    each list in deterministic placement-index order. *)
+
+val apply_flip : Fmc_cpu.System.t -> Fmc_netlist.Netlist.t -> Fmc_netlist.Netlist.node -> unit
+(** XOR one flip-flop's bit into the system's architectural state. *)
+
+val observables_differ : t -> Fmc_cpu.System.t -> bool
+(** Compare the system's observable memory values against the golden
+    run's final observables — the attack-success criterion. *)
+
+val state_bit_diffs : Fmc_cpu.Arch.t -> Fmc_cpu.Arch.t -> (string * int) list
+(** [(group, bit)] positions where the two architectural states differ,
+    in canonical group order — the exact register-error extraction
+    {!run_sample} performs against the golden reference. *)
+
+val gate_level_cycle :
+  t -> Fmc_cpu.System.t -> Sampler.sample -> Fmc_netlist.Netlist.node list -> Fmc_netlist.Netlist.node array
+(** Evaluate one injection cycle at gate level: transfer the system's
+    state into the netlist, settle, propagate voltage transients at the
+    struck gates ([sample]'s intra-cycle time and pulse width apply),
+    capture the memory write port, latch, and write the next state back.
+    The system is advanced one cycle; returns the flip-flops that
+    latched errors. *)
+
 type glitch_result = {
   g_te : int;
   g_success : bool;

@@ -576,16 +576,38 @@ let pruned_result engine (sample : Sampler.sample) =
     struck_cells = 0;
   }
 
-let check_prune_compat ~who prune ~cell_filter ~impact_cycles ~hardened =
+(* A pluggable per-sample injector (a fault model other than the
+   engine's native disc transient). The record is plain functions so
+   [lib/core] stays independent of the model registry ([Fmc_fault]
+   constructs these). [inj_model] is the canonical model string
+   ("name:k=v,...") recorded in campaign checkpoints and error
+   messages. *)
+type inject = {
+  inj_model : string;
+  inj_run : Engine.t -> ?cycle_budget:int -> Fmc_prelude.Rng.t -> Sampler.sample -> Engine.run_result;
+  inj_causal : Engine.t -> Engine.run_result -> (string * int) list;
+}
+
+let inject_model = function None -> "disc-transient" | Some i -> i.inj_model
+
+let check_prune_compat ~who prune ~cell_filter ~impact_cycles ~hardened ~inject =
   if prune <> None && (cell_filter <> None || impact_cycles <> None || hardened <> None) then
     invalid_arg
       (who ^ ": ?prune cannot be combined with ?cell_filter/?impact_cycles/?hardened (the \
-              certificates assume the unmodified single-cycle fault model)")
+              certificates assume the unmodified single-cycle fault model)");
+  match (prune, inject) with
+  | Some _, Some inj ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: ?prune cannot be combined with fault model %s (analytical masking certificates \
+            are only sound for disc-transient)"
+           who inj.inj_model)
+  | _ -> ()
 
 let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_filter ?impact_cycles
-    ?hardened ?resilience ?prune engine prepared ~samples ~seed =
+    ?hardened ?resilience ?prune ?inject engine prepared ~samples ~seed =
   if samples <= 0 then invalid_arg "Ssf.estimate: non-positive sample count";
-  check_prune_compat ~who:"Ssf.estimate" prune ~cell_filter ~impact_cycles ~hardened;
+  check_prune_compat ~who:"Ssf.estimate" prune ~cell_filter ~impact_cycles ~hardened ~inject;
   let rng = Rng.create seed in
   let tally = Tally.create ~obs ~trace_every prepared ~total:samples in
   (* Route the handle into the engine's phase instrumentation for the
@@ -605,7 +627,10 @@ let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_fi
         Tally.record tally sample (pruned_result engine sample) ~attributed:[]
     | _ ->
         let result =
-          Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample
+          match inject with
+          | None ->
+              Engine.run_sample engine ?cell_filter ?impact_cycles ?hardened ?resilience rng sample
+          | Some inj -> inj.inj_run engine rng sample
         in
         let attributed =
           (* Leave-one-out causal attribution strips incidental co-flips; it
@@ -614,7 +639,10 @@ let estimate ?(obs = Obs.disabled) ?(trace_every = 50) ?(causal = true) ?cell_fi
              would not see the filter). *)
           if result.Engine.success
              && causal && hardened = None && cell_filter = None && impact_cycles = None
-          then Engine.causal_flips engine result
+          then
+            match inject with
+            | None -> Engine.causal_flips engine result
+            | Some inj -> inj.inj_causal engine result
           else result.Engine.flips
         in
         Tally.record tally sample result ~attributed
@@ -832,8 +860,8 @@ let confidence_interval report ~z =
   let half = z *. sqrt (report.variance /. float_of_int (max 1 report.n)) in
   (Float.max 0. (report.ssf -. half), Float.min 1. (report.ssf +. half))
 
-let estimate_until ?obs ?trace_every ?causal ?prune ?(batch = 500) ?(max_samples = 200_000) engine
-    prepared ~half_width ~z ~seed =
+let estimate_until ?obs ?trace_every ?causal ?prune ?inject ?(batch = 500)
+    ?(max_samples = 200_000) engine prepared ~half_width ~z ~seed =
   if half_width <= 0. then invalid_arg "Ssf.estimate_until: non-positive half_width";
   if batch <= 0 then invalid_arg "Ssf.estimate_until: non-positive batch";
   (* Deterministic growth: re-estimate with a growing sample count so the
@@ -842,7 +870,7 @@ let estimate_until ?obs ?trace_every ?causal ?prune ?(batch = 500) ?(max_samples
      Metrics and spans accumulate over every pass — they report the work
      actually done, which for the doubling schedule exceeds the final n. *)
   let rec go n =
-    let report = estimate ?obs ?trace_every ?causal ?prune engine prepared ~samples:n ~seed in
+    let report = estimate ?obs ?trace_every ?causal ?prune ?inject engine prepared ~samples:n ~seed in
     let lo, hi = confidence_interval report ~z in
     if (hi -. lo) /. 2. <= half_width || n >= max_samples then report
     else go (min max_samples (max (n + batch) (2 * n)))

@@ -139,6 +139,35 @@ module Tally : sig
       line of a truncated, reordered or malformed snapshot. *)
 end
 
+(** {2 Pluggable fault models}
+
+    A per-sample injector substituted for the engine's native
+    disc-transient path. The estimator stays model-agnostic: it draws
+    the sample stream exactly as before and hands each drawn sample to
+    [inj_run] instead of {!Engine.run_sample}. [lib/core] deliberately
+    knows nothing about the model registry — [Fmc_fault] builds these
+    records; [None] everywhere means the native disc-transient model
+    and produces byte-identical reports to the pre-subsystem code. *)
+type inject = {
+  inj_model : string;
+      (** canonical model string ([name\[:k=v,...\]]) recorded in
+          campaign checkpoints and error messages *)
+  inj_run :
+    Engine.t -> ?cycle_budget:int -> Fmc_prelude.Rng.t -> Sampler.sample -> Engine.run_result;
+      (** evaluate one drawn sample under this model. Must be
+          deterministic for a fixed (engine, sample) pair up to its
+          declared RNG draws; [cycle_budget] arms the RTL-resume
+          watchdog exactly as in {!Engine.run_sample} *)
+  inj_causal : Engine.t -> Engine.run_result -> (string * int) list;
+      (** contribution attribution for a successful run (the model's
+          analogue of {!Engine.causal_flips}; returning
+          [result.flips] is always sound) *)
+}
+
+val inject_model : inject option -> string
+(** The canonical model string an injector option denotes:
+    ["disc-transient"] for [None]. *)
+
 val shard_plan : samples:int -> shard_size:int -> (int * int) array
 (** Cut a campaign into contiguous sample-index shards: [(start, len)]
     pairs covering [\[0, samples)] in order, every shard of size
@@ -165,12 +194,20 @@ val estimate :
   ?hardened:(Fmc_netlist.Netlist.node -> bool) ->
   ?resilience:float ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:inject ->
   Engine.t ->
   Sampler.prepared ->
   samples:int ->
   seed:int ->
   report
-(** [prune] is an analytical masking oracle (e.g.
+(** [inject] substitutes a pluggable fault model for the native
+    disc-transient evaluation (the sample stream is unchanged); it
+    cannot be combined with [prune] — masking certificates are only
+    sound for disc-transient — nor is [cell_filter]/[impact_cycles]/
+    [hardened] applied to an injected model (those modify the native
+    path only).
+
+    [prune] is an analytical masking oracle (e.g.
     [Fmc_sva.Pruner.check]): when it returns true the sample {e must} be
     one the engine would classify as exactly [Masked] — the simulation is
     skipped and the sample is tallied analytically as a masked failure
@@ -250,6 +287,7 @@ val estimate_until :
   ?trace_every:int ->
   ?causal:bool ->
   ?prune:(Sampler.sample -> bool) ->
+  ?inject:inject ->
   ?batch:int ->
   ?max_samples:int ->
   Engine.t ->

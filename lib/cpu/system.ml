@@ -6,6 +6,8 @@ type t = {
   mutable cycle : int;
   mutable watchdog : int;  (* remaining step budget; negative = unlimited *)
   mutable on_step : (unit -> unit) option;  (* observability hook; not checkpointed *)
+  mutable fetch_override : (pc:int -> int -> int) option;
+      (* fault-injection hook on the fetch path; not checkpointed *)
 }
 
 exception Cycle_budget_exhausted of int
@@ -37,6 +39,7 @@ let create (program : Fmc_isa.Programs.t) =
     cycle = 0;
     watchdog = -1;
     on_step = None;
+    fetch_override = None;
   }
 
 let program t = t.program
@@ -45,7 +48,9 @@ let dmem t = t.dmem
 let cycle t = t.cycle
 let halted t = t.st.Arch.halted
 
-let fetch t pc = if pc >= 0 && pc < Array.length t.imem then t.imem.(pc) else 0
+let fetch t pc =
+  let word = if pc >= 0 && pc < Array.length t.imem then t.imem.(pc) else 0 in
+  match t.fetch_override with None -> word | Some f -> f ~pc word
 
 let dmask t addr = addr land (Array.length t.dmem - 1)
 
@@ -59,6 +64,7 @@ let set_watchdog t budget =
   | Some n -> t.watchdog <- n
 
 let set_on_step t hook = t.on_step <- hook
+let set_fetch_override t hook = t.fetch_override <- hook
 
 let step t =
   if t.watchdog = 0 then raise (Cycle_budget_exhausted t.cycle);

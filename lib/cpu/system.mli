@@ -54,6 +54,15 @@ val set_on_step : t -> (unit -> unit) option -> unit
     is transient execution state: not part of a {!checkpoint}, and the
     default ([None]) costs a single branch per cycle. *)
 
+val set_fetch_override : t -> (pc:int -> int -> int) option -> unit
+(** Install (or clear) a fault-injection hook on the instruction fetch
+    path: every fetch passes the raw instruction word through the hook
+    (with the fetching [pc]) and executes the returned word instead —
+    the ISS-level substrate for instruction skip/corrupt fault models.
+    Like the watchdog it is transient execution state: not part of a
+    {!checkpoint}, and the default ([None]) costs one branch per
+    fetch. *)
+
 val step : t -> Model.outcome
 (** One cycle (no-op when halted, but still counts a cycle). *)
 

@@ -48,6 +48,9 @@ type spec = {
   sp_seed : int;
   sp_shard_size : int;
   sp_sample_budget : int option;
+  sp_fault_model : string;
+      (* canonical fault-model string; "disc-transient" for every spec
+         written before the field existed *)
 }
 
 type campaign_state = Queued | Running | Finished | Parked | Cancelled
@@ -106,25 +109,34 @@ type server_msg =
   | Sched_rejected of { retry_after_s : float; reason : string }
   | Status of { entries : status_entry list }
 
-let fingerprint ~strategy ~benchmark ~samples ~seed ~shard_size ~sample_budget =
-  Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
-    fingerprint_version strategy benchmark samples seed shard_size
-    (match sample_budget with Some b -> string_of_int b | None -> "-")
+let fingerprint ?(fault_model = "disc-transient") ~strategy ~benchmark ~samples ~seed
+    ~shard_size ~sample_budget () =
+  let base =
+    Printf.sprintf "v%d strategy=%s benchmark=%s samples=%d seed=%d shard_size=%d budget=%s"
+      fingerprint_version strategy benchmark samples seed shard_size
+      (match sample_budget with Some b -> string_of_int b | None -> "-")
+  in
+  (* Default-model fingerprints must stay byte-identical to what pre-
+     fault-model peers compute, so the model component only appears when
+     it deviates. Differing models still hash apart, which is all the
+     handshake's opaque string equality needs to reject a mismatch. *)
+  if fault_model = "disc-transient" then base else base ^ " model=" ^ fault_model
 
 (* The scope a pool worker or control client announces in Hello instead
    of a concrete campaign fingerprint. *)
 let pool_fingerprint = "*"
 
 let spec_fingerprint sp =
-  fingerprint ~strategy:sp.sp_strategy ~benchmark:sp.sp_benchmark ~samples:sp.sp_samples
-    ~seed:sp.sp_seed ~shard_size:sp.sp_shard_size ~sample_budget:sp.sp_sample_budget
+  fingerprint ~fault_model:sp.sp_fault_model ~strategy:sp.sp_strategy
+    ~benchmark:sp.sp_benchmark ~samples:sp.sp_samples ~seed:sp.sp_seed
+    ~shard_size:sp.sp_shard_size ~sample_budget:sp.sp_sample_budget ()
 
 let budget_word = function Some b -> string_of_int b | None -> "-"
 
 let spec_line sp =
-  Printf.sprintf "benchmark=%s strategy=%s samples=%d seed=%d shard_size=%d budget=%s"
+  Printf.sprintf "benchmark=%s strategy=%s samples=%d seed=%d shard_size=%d budget=%s model=%s"
     sp.sp_benchmark sp.sp_strategy sp.sp_samples sp.sp_seed sp.sp_shard_size
-    (budget_word sp.sp_sample_budget)
+    (budget_word sp.sp_sample_budget) sp.sp_fault_model
 
 let spec_of_line line =
   let err msg = Error (Printf.sprintf "campaign spec %S: %s" line msg) in
@@ -134,32 +146,47 @@ let spec_of_line line =
       Ok (String.sub word plen (String.length word - plen))
     else Error (Printf.sprintf "expected %s=..., found %S" key word)
   in
+  let parse6 b st sa se sh bu ~model =
+    let ( let* ) = Result.bind in
+    match
+      let* sp_benchmark = kv "benchmark" b in
+      let* sp_strategy = kv "strategy" st in
+      let* sa = kv "samples" sa in
+      let* se = kv "seed" se in
+      let* sh = kv "shard_size" sh in
+      let* bu = kv "budget" bu in
+      let* sp_fault_model = match model with None -> Ok "disc-transient" | Some m -> kv "model" m in
+      let num what v =
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad %s %S" what v)
+      in
+      let* sp_samples = num "samples" sa in
+      let* sp_seed = num "seed" se in
+      let* sp_shard_size = num "shard_size" sh in
+      let* sp_sample_budget =
+        if bu = "-" then Ok None else Result.map Option.some (num "budget" bu)
+      in
+      Ok
+        {
+          sp_benchmark;
+          sp_strategy;
+          sp_samples;
+          sp_seed;
+          sp_shard_size;
+          sp_sample_budget;
+          sp_fault_model;
+        }
+    with
+    | Ok sp -> Ok sp
+    | Error msg -> err msg
+  in
   match String.split_on_char ' ' line with
-  | [ b; st; sa; se; sh; bu ] -> (
-      let ( let* ) = Result.bind in
-      match
-        let* sp_benchmark = kv "benchmark" b in
-        let* sp_strategy = kv "strategy" st in
-        let* sa = kv "samples" sa in
-        let* se = kv "seed" se in
-        let* sh = kv "shard_size" sh in
-        let* bu = kv "budget" bu in
-        let num what v =
-          match int_of_string_opt v with
-          | Some i -> Ok i
-          | None -> Error (Printf.sprintf "bad %s %S" what v)
-        in
-        let* sp_samples = num "samples" sa in
-        let* sp_seed = num "seed" se in
-        let* sp_shard_size = num "shard_size" sh in
-        let* sp_sample_budget =
-          if bu = "-" then Ok None else Result.map Option.some (num "budget" bu)
-        in
-        Ok { sp_benchmark; sp_strategy; sp_samples; sp_seed; sp_shard_size; sp_sample_budget }
-      with
-      | Ok sp -> Ok sp
-      | Error msg -> err msg)
-  | _ -> err "wants 6 space-separated key=value fields"
+  (* 6-field lines predate the fault-model field (WALs written before
+     the bump replay as the default model). *)
+  | [ b; st; sa; se; sh; bu ] -> parse6 b st sa se sh bu ~model:None
+  | [ b; st; sa; se; sh; bu; m ] -> parse6 b st sa se sh bu ~model:(Some m)
+  | _ -> err "wants 6 or 7 space-separated key=value fields"
 
 let state_token = function
   | Queued -> "queued"

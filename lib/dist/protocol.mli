@@ -39,10 +39,15 @@ type spec = {
   sp_seed : int;
   sp_shard_size : int;
   sp_sample_budget : int option;
+  sp_fault_model : string;
+      (** canonical fault-model string ({!Fmc_fault.Model.canonical}
+          upstream); specs decoded from pre-field 6-word lines get
+          ["disc-transient"] *)
 }
 (** The full identity of a campaign — what a {!Submit} enqueues and a
-    {!Job} hands to a pool worker. Benchmark and strategy names must not
-    contain spaces (they never do; the codec would garble them). *)
+    {!Job} hands to a pool worker. Benchmark, strategy and model strings
+    must not contain spaces (they never do; the codec would garble
+    them). *)
 
 type campaign_state = Queued | Running | Finished | Parked | Cancelled
 
@@ -134,17 +139,23 @@ type server_msg =
           ETA) *)
 
 val fingerprint :
+  ?fault_model:string ->
   strategy:string ->
   benchmark:string ->
   samples:int ->
   seed:int ->
   shard_size:int ->
   sample_budget:int option ->
+  unit ->
   string
 (** The campaign identity compared on {!Hello}: every parameter that
     must agree between coordinator and worker for the shard results to
     be meaningful (the sample plan, the seed, and the evaluation knobs
-    that change per-sample outcomes). Includes the protocol version. *)
+    that change per-sample outcomes). Includes the protocol version.
+    [fault_model] (canonical string, default ["disc-transient"]) is
+    appended only when non-default, so default-model fingerprints stay
+    byte-identical to pre-field peers while cross-model mismatches
+    still fail the handshake's string equality. *)
 
 val pool_fingerprint : string
 (** ["*"] — the Hello scope of a connection that is not bound to one
@@ -157,9 +168,13 @@ val spec_fingerprint : spec -> string
 
 val spec_line : spec -> string
 (** Single-line spec codec ([key=value] words), embedded in Submit and
-    Job payloads and in the scheduler's WAL records. *)
+    Job payloads and in the scheduler's WAL records. Emits 7 words
+    ([model=] last). *)
 
 val spec_of_line : string -> (spec, string) result
+(** Accepts both the current 7-word form and the pre-fault-model 6-word
+    form (→ [sp_fault_model = "disc-transient"]), so WALs written
+    before the field replay unchanged. *)
 
 val state_token : campaign_state -> string
 (** Wire word for a campaign state ([queued], [running], ...), also

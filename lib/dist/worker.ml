@@ -232,7 +232,7 @@ let with_reconnects ~obs ~mx ~rng ~retry ~on_reconnect ~progress session =
             Obs.span obs ~cat:"dist" "reconnect-backoff" (fun () -> Unix.sleepf sleep_s))
   done
 
-let run ?(obs = Obs.disabled) ?causal ?sample_budget
+let run ?(obs = Obs.disabled) ?causal ?sample_budget ?inject
     ?(on_reconnect = fun ~attempt:_ ~sleep_s:_ ~reason:_ -> ()) config ~fingerprint engine
     prepared ~seed =
   let mx = mx_create obs in
@@ -265,8 +265,8 @@ let run ?(obs = Obs.disabled) ?causal ?sample_budget
           in
           let t0 = Clock.now_us () in
           (match
-             Campaign.run_shard ~obs ?causal ?sample_budget ~on_sample engine prepared ~seed
-               ~shard ~start ~len
+             Campaign.run_shard ~obs ?causal ?sample_budget ?inject ~on_sample engine prepared
+               ~seed ~shard ~start ~len
            with
           | sh ->
               send
@@ -325,16 +325,18 @@ let run_pool ?(obs = Obs.disabled) ?causal
   (* Engines are expensive to elaborate; resolve each spec's toolchain
      once and reuse it for every later job of the same campaign (and, in
      the resolver's discretion, across campaigns sharing a benchmark). *)
-  let resolved : (string, Engine.t * Sampler.prepared) Hashtbl.t = Hashtbl.create 8 in
+  let resolved : (string, Engine.t * Sampler.prepared * Ssf.inject option) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let toolchain_for spec =
     let fp = Protocol.spec_fingerprint spec in
     match Hashtbl.find_opt resolved fp with
-    | Some pair -> Ok pair
+    | Some triple -> Ok triple
     | None -> (
         match resolve spec with
-        | Ok pair ->
-            Hashtbl.replace resolved fp pair;
-            Ok pair
+        | Ok triple ->
+            Hashtbl.replace resolved fp triple;
+            Ok triple
         | Error _ as e -> e)
   in
   let session () =
@@ -352,7 +354,7 @@ let run_pool ?(obs = Obs.disabled) ?causal
                  session hits the same wall the reconnect budget turns
                  the misconfiguration into a clear terminal failure. *)
               raise (Session_error ("cannot build campaign: " ^ reason))
-          | Ok (engine, prepared) ->
+          | Ok (engine, prepared, inject) ->
               let trace_id, span_id =
                 match aext.Protocol.ext_trace with
                 | Some (t, s) when v4 -> (t, s)
@@ -374,7 +376,8 @@ let run_pool ?(obs = Obs.disabled) ?causal
               let t0 = Clock.now_us () in
               (match
                  Campaign.run_shard ~obs ?causal ?sample_budget:spec.Protocol.sp_sample_budget
-                   ~on_sample engine prepared ~seed:spec.Protocol.sp_seed ~shard ~start ~len
+                   ?inject ~on_sample engine prepared ~seed:spec.Protocol.sp_seed ~shard ~start
+                   ~len
                with
               | sh ->
                   send

@@ -73,6 +73,7 @@ val run :
   ?obs:Fmc_obs.Obs.t ->
   ?causal:bool ->
   ?sample_budget:int ->
+  ?inject:Ssf.inject ->
   ?on_reconnect:(attempt:int -> sleep_s:float -> reason:string -> unit) ->
   config ->
   fingerprint:string ->
@@ -82,8 +83,10 @@ val run :
   int
 (** Work until the coordinator reports the campaign finished; returns
     the number of shard results this worker got accepted. [causal],
-    [sample_budget] and [seed] must match the fingerprint's campaign
-    (the fingerprint encodes them — a mismatch is rejected at hello).
+    [sample_budget], [inject] (the campaign's fault-model injector,
+    omitted for disc-transient) and [seed] must match the fingerprint's
+    campaign (the fingerprint encodes them — a mismatch is rejected at
+    hello).
     [on_reconnect] fires before each backoff sleep (CLI logging).
     Under [obs], counts wire bytes, [fmc_dist_reconnects_total], the
     [fmc_dist_reconnect_backoff_seconds] histogram, and inherits
@@ -96,7 +99,7 @@ val run_pool :
   ?causal:bool ->
   ?on_reconnect:(attempt:int -> sleep_s:float -> reason:string -> unit) ->
   config ->
-  resolve:(Protocol.spec -> (Engine.t * Sampler.prepared, string) result) ->
+  resolve:(Protocol.spec -> (Engine.t * Sampler.prepared * Ssf.inject option, string) result) ->
   unit ->
   int
 (** Pool mode ([faultmc worker --pool]): hello with

@@ -1,0 +1,45 @@
+(** A first-class fault model: the physical attack scenario one Monte
+    Carlo sample is evaluated under.
+
+    The estimator ({!Fmc.Ssf}) stays model-agnostic — it draws the same
+    spatial/temporal sample stream regardless — and a model supplies the
+    per-sample injector that turns a drawn sample into a run result. The
+    native model, [disc-transient] (the paper's radiation disc inducing
+    voltage transients), carries no injector at all: its evaluation is
+    the engine's own {!Fmc.Engine.run_sample} path, so a campaign under
+    the default model is byte-identical to the pre-subsystem code.
+
+    Every model declares its RNG budget ([rng_draws], an upper bound on
+    randomness consumed per sample); all built-in models consume zero,
+    which is what makes per-model campaigns deterministic and shard
+    merging bit-exact. [prunable] marks whether {!Fmc_sva} masking
+    certificates are sound for the model — only the disc transient they
+    were proved against. *)
+
+type t = {
+  name : string;  (** registry name, e.g. ["seu-burst"] *)
+  params : (string * string) list;
+      (** non-default parameters, sorted by key — what {!canonical}
+          appends after the name *)
+  doc : string;  (** one-line description for [--list-fault-models] *)
+  rng_draws : int;  (** upper bound on RNG draws per sample (0 for all builtins) *)
+  prunable : bool;  (** analytical masking certificates sound for this model *)
+  inject : Fmc.Ssf.inject option;
+      (** the per-sample injector; [None] means the engine's native
+          disc-transient path (and byte-identical reports) *)
+}
+
+val canonical : t -> string
+(** The canonical model string: [name] alone when every parameter is at
+    its default, else [name:k=v,...] with parameters sorted by key.
+    This is the form recorded in campaign checkpoints, embedded in
+    distributed-campaign fingerprints and accepted back by
+    {!Registry.parse} — explicitly spelling a default parameter
+    canonicalizes away, so equal configurations always fingerprint
+    equally. *)
+
+val metric_name : t -> string
+(** The model's per-model metric component: the canonical string with
+    every character outside [[A-Za-z0-9_]] mapped to ['_'] (the metrics
+    registry accepts no other characters), e.g.
+    ["seu_burst_bits_4"]. *)

@@ -1,0 +1,70 @@
+type error = Unknown_model of string | Bad_params of { model : string; msg : string }
+
+let error_message = function
+  | Unknown_model name ->
+      Printf.sprintf "unknown fault model %S (try --list-fault-models)" name
+  | Bad_params { model; msg } -> Printf.sprintf "fault model %s: %s" model msg
+
+let builtins =
+  [
+    ("disc-transient", Models.disc_transient);
+    ("seu-burst", Models.seu_burst);
+    ("instr-skip", Models.instr_skip);
+    ("double-strike", Models.double_strike);
+  ]
+
+let names = List.map fst builtins
+
+let default = "disc-transient"
+
+(* "name[:k=v,...]" — the name up to the first ':', then comma-separated
+   k=v pairs split on their first '='. A pair with no '=' is a parameter
+   error on the named model, not an unknown model. *)
+let split_spec spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, Ok [])
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let params =
+        List.fold_right
+          (fun pair acc ->
+            match acc with
+            | Error _ -> acc
+            | Ok params -> (
+                match String.index_opt pair '=' with
+                | None when pair = "" -> Error "empty parameter"
+                | None -> Error (Printf.sprintf "bad parameter %S (expected k=v)" pair)
+                | Some j ->
+                    let k = String.sub pair 0 j in
+                    let v = String.sub pair (j + 1) (String.length pair - j - 1) in
+                    if k = "" then Error (Printf.sprintf "bad parameter %S (empty key)" pair)
+                    else Ok ((k, v) :: params)))
+          (String.split_on_char ',' rest) (Ok [])
+      in
+      (name, params)
+
+let parse spec =
+  let name, params = split_spec spec in
+  match List.assoc_opt name builtins with
+  | None -> Error (Unknown_model name)
+  | Some build -> (
+      match params with
+      | Error msg -> Error (Bad_params { model = name; msg })
+      | Ok params -> (
+          match build params with
+          | Ok model -> Ok model
+          | Error msg -> Error (Bad_params { model = name; msg })))
+
+let parse_exn spec =
+  match parse spec with Ok m -> m | Error e -> invalid_arg (error_message e)
+
+let list () =
+  List.map
+    (fun (name, build) ->
+      match build [] with
+      | Ok m -> (name, m.Model.doc)
+      | Error _ -> (name, "(defaults invalid — registry bug)"))
+    builtins
+
+let valid spec = match parse spec with Ok _ -> true | Error _ -> false

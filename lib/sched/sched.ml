@@ -202,7 +202,13 @@ let make_entry config spec =
 let spec_valid (sp : Protocol.spec) =
   if sp.Protocol.sp_samples <= 0 then Error "non-positive sample count"
   else if sp.Protocol.sp_shard_size <= 0 then Error "non-positive shard size"
-  else Ok ()
+  else
+    (* Reject unresolvable fault models at submission, not when a pool
+       worker fails to build the job (which would burn its reconnect
+       budget on a spec that can never run). *)
+    match Fmc_fault.Registry.parse sp.Protocol.sp_fault_model with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Fmc_fault.Registry.error_message e)
 
 let active e = match e.phase with Active -> true | Finished | Parked _ | Cancelled -> false
 

@@ -248,7 +248,7 @@ let test_breaker_parks_and_recovers () =
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let fingerprint =
     Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
-      ~shard_size ~sample_budget:None
+      ~shard_size ~sample_budget:None ()
   in
   let sock = temp_sock "fmc-chaos-brk" in
   Fun.protect
@@ -339,7 +339,7 @@ let chaos_round ~round =
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let fingerprint =
     Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
-      ~shard_size ~sample_budget:None
+      ~shard_size ~sample_budget:None ()
   in
   let hidden = temp_sock "fmc-chaos-up" in
   let public = temp_sock "fmc-chaos-pub" in

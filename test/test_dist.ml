@@ -347,7 +347,7 @@ let test_loopback_campaign_with_dead_worker () =
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let fingerprint =
     Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
-      ~shard_size ~sample_budget:None
+      ~shard_size ~sample_budget:None ()
   in
   let sock_path = Filename.temp_file "fmc-dist" ".sock" in
   Sys.remove sock_path;
@@ -498,7 +498,7 @@ let test_loopback_fleet_telemetry () =
   let plan = Ssf.shard_plan ~samples ~shard_size in
   let fingerprint =
     Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
-      ~shard_size ~sample_budget:None
+      ~shard_size ~sample_budget:None ()
   in
   let sock_path = Filename.temp_file "fmc-dist" ".sock" in
   Sys.remove sock_path;

@@ -1,0 +1,425 @@
+(* Tests for the pluggable fault-model subsystem (Fmc_fault): the
+   registry's parameter codec and typed errors, byte-identity of the
+   default model against the committed pre-subsystem reference reports,
+   per-model determinism (locally, sharded and through Fmc_dist with a
+   dead worker), the prune/inject soundness guard, the campaign
+   checkpoint's model line (v5) with v4 back-compat, and the
+   fault-model component of distributed fingerprints and spec lines. *)
+
+module Programs = Fmc_isa.Programs
+module Model = Fmc_fault.Model
+module Registry = Fmc_fault.Registry
+open Fmc
+open Fmc_dist
+
+let ctx = lazy (Experiments.context ())
+let engine () = Experiments.engine_for (Lazy.force ctx) Programs.illegal_write
+let engine_read () = Experiments.engine_for (Lazy.force ctx) Programs.illegal_read
+
+let prepare strategy =
+  let e = engine () in
+  Sampler.prepare ~static_vuln:(Engine.static_vulnerable e) strategy
+    (Experiments.default_attack (Lazy.force ctx))
+    (Experiments.precharac (Lazy.force ctx))
+    ~placement:(Engine.placement e)
+
+let no_signals = { Campaign.default_config with Campaign.handle_signals = false }
+
+let model spec =
+  match Registry.parse spec with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "model %S did not parse: %s" spec (Registry.error_message e)
+
+(* Strict structural equality through the export codec: every field the
+   report carries, in canonical bytes. *)
+let check_reports_equal what (a : Ssf.report) (b : Ssf.report) =
+  Alcotest.(check string) what (Export.report_json a) (Export.report_json b)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let with_tmp name f =
+  let path = Filename.temp_file "fmc-fault" name in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let contains hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Registry: codec, canonicalization, typed errors *)
+
+let test_registry_canonical () =
+  Alcotest.(check (list string))
+    "four registered models"
+    [ "disc-transient"; "seu-burst"; "instr-skip"; "double-strike" ]
+    Registry.names;
+  (* Explicitly-spelled defaults canonicalize away... *)
+  Alcotest.(check string) "default bits collapse" "seu-burst" (Model.canonical (model "seu-burst:bits=2"));
+  Alcotest.(check string) "default gap collapses" "double-strike" (Model.canonical (model "double-strike:gap=2"));
+  Alcotest.(check string) "skip mode collapses" "instr-skip" (Model.canonical (model "instr-skip:mode=skip"));
+  (* ...non-defaults survive, sorted by key, and round-trip. *)
+  let m = model "instr-skip:mode=corrupt,mask=255" in
+  Alcotest.(check string) "params sorted" "instr-skip:mask=255,mode=corrupt" (Model.canonical m);
+  Alcotest.(check string) "canonical round-trips" (Model.canonical m)
+    (Model.canonical (model (Model.canonical m)));
+  Alcotest.(check string) "metric name sanitized" "seu_burst_bits_4"
+    (Model.metric_name (model "seu-burst:bits=4"));
+  (* The default model is native: no injector, prunable. *)
+  let disc = model "disc-transient" in
+  Alcotest.(check bool) "disc has no injector" true (disc.Model.inject = None);
+  Alcotest.(check bool) "disc is prunable" true disc.Model.prunable;
+  List.iter
+    (fun name ->
+      let m = model name in
+      Alcotest.(check bool) (name ^ " carries an injector") true (m.Model.inject <> None);
+      Alcotest.(check bool) (name ^ " is not prunable") false m.Model.prunable;
+      Alcotest.(check int) (name ^ " draws no rng") 0 m.Model.rng_draws)
+    [ "seu-burst"; "instr-skip"; "double-strike" ]
+
+let test_registry_errors () =
+  let unknown = function Error (Registry.Unknown_model _) -> true | _ -> false in
+  let bad = function Error (Registry.Bad_params _) -> true | _ -> false in
+  Alcotest.(check bool) "unknown model" true (unknown (Registry.parse "zap-gun"));
+  Alcotest.(check bool) "unknown name with params" true (unknown (Registry.parse "zap:p=1"));
+  Alcotest.(check bool) "unknown key" true (bad (Registry.parse "seu-burst:gap=1"));
+  Alcotest.(check bool) "duplicate key" true (bad (Registry.parse "seu-burst:bits=2,bits=3"));
+  Alcotest.(check bool) "bad integer" true (bad (Registry.parse "seu-burst:bits=lots"));
+  Alcotest.(check bool) "out of range" true (bad (Registry.parse "seu-burst:bits=65"));
+  Alcotest.(check bool) "missing =" true (bad (Registry.parse "seu-burst:bits"));
+  Alcotest.(check bool) "bad mode" true (bad (Registry.parse "instr-skip:mode=random"));
+  Alcotest.(check bool) "mask needs corrupt" true (bad (Registry.parse "instr-skip:mask=255"));
+  Alcotest.(check bool) "disc takes no params" true (bad (Registry.parse "disc-transient:x=1"));
+  Alcotest.(check bool) "valid helper" true (Registry.valid "double-strike:gap=9");
+  Alcotest.(check bool) "invalid helper" false (Registry.valid "double-strike:gap=0");
+  (match Registry.parse "zap-gun" with
+  | Error e ->
+      Alcotest.(check bool) "message names the model" true
+        (contains (Registry.error_message e) "zap-gun")
+  | Ok _ -> Alcotest.fail "zap-gun must not parse")
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity of the default model against the pre-subsystem
+   reference reports committed under test/ref (generated at the commit
+   before the fault-model refactor landed). *)
+
+(* `dune runtest` runs the executable from test/'s build dir; `dune exec`
+   runs it from wherever it was invoked — accept both. *)
+let fixture name =
+  let local = Filename.concat "ref" name in
+  let path = if Sys.file_exists local then local else Filename.concat "test" local in
+  read_file path
+
+let test_byte_identity_plain () =
+  let prep = prepare Sampler.default_mixed in
+  let w = Ssf.estimate (engine ()) prep ~samples:400 ~seed:11 in
+  Alcotest.(check string) "write plain" (fixture "plain-write.json") (Export.report_json w ^ "\n");
+  let r = Ssf.estimate (engine_read ()) prep ~samples:400 ~seed:11 in
+  Alcotest.(check string) "read plain" (fixture "plain-read.json") (Export.report_json r ^ "\n")
+
+let test_byte_identity_sharded () =
+  let prep = prepare Sampler.default_mixed in
+  let w = Campaign.estimate_sharded (engine ()) prep ~samples:400 ~seed:11 ~shard_size:100 in
+  Alcotest.(check string) "write sharded" (fixture "sharded-write.json")
+    (Export.report_json w.Campaign.report ^ "\n");
+  let r =
+    Campaign.estimate_sharded (engine_read ()) prep ~samples:400 ~seed:11 ~shard_size:100
+  in
+  Alcotest.(check string) "read sharded" (fixture "sharded-read.json")
+    (Export.report_json r.Campaign.report ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Per-model determinism: all builtin injectors draw zero RNG, so the
+   same seed must reproduce the same report — plain and sharded. *)
+
+let test_per_model_determinism () =
+  let prep = prepare Sampler.default_mixed in
+  let e = engine () in
+  List.iter
+    (fun spec ->
+      let inject = (model spec).Model.inject in
+      let a = Ssf.estimate ?inject e prep ~samples:150 ~seed:23 in
+      let b = Ssf.estimate ?inject e prep ~samples:150 ~seed:23 in
+      check_reports_equal (spec ^ " plain deterministic") a b;
+      let sa = Campaign.estimate_sharded ?inject e prep ~samples:150 ~seed:23 ~shard_size:50 in
+      let sb = Campaign.estimate_sharded ?inject e prep ~samples:150 ~seed:23 ~shard_size:50 in
+      check_reports_equal (spec ^ " sharded deterministic") sa.Campaign.report
+        sb.Campaign.report)
+    [ "seu-burst"; "seu-burst:bits=8"; "instr-skip"; "instr-skip:mode=corrupt"; "double-strike" ]
+
+(* ------------------------------------------------------------------ *)
+(* Soundness guard: masking certificates only cover disc-transient, so
+   every prune+inject combination is refused with a typed error. *)
+
+let test_prune_inject_refused () =
+  let prep = prepare Sampler.default_mixed in
+  let e = engine () in
+  let inject = Option.get (model "seu-burst").Model.inject in
+  let refused f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "estimate refuses" true
+    (refused (fun () ->
+         Ssf.estimate ~prune:(fun _ -> false) ~inject e prep ~samples:10 ~seed:1));
+  Alcotest.(check bool) "estimate_sharded refuses" true
+    (refused (fun () ->
+         Campaign.estimate_sharded
+           ~prune:(fun _ -> false)
+           ~inject e prep ~samples:10 ~seed:1 ~shard_size:5));
+  Alcotest.(check bool) "run refuses" true
+    (refused (fun () ->
+         Campaign.run ~config:no_signals
+           ~prune:(fun _ -> false)
+           ~inject e prep ~samples:10 ~seed:1))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign checkpoints: v5 records the model; resuming under another
+   model is refused; a hand-built v4 checkpoint (no model line) still
+   reads, defaulting to disc-transient. *)
+
+let test_checkpoint_records_model () =
+  with_tmp "ckpt" @@ fun path ->
+  let prep = prepare Sampler.default_mixed in
+  let e = engine () in
+  let inject = (model "seu-burst:bits=3").Model.inject in
+  let uninterrupted = Campaign.run ~config:no_signals ?inject e prep ~samples:120 ~seed:9 in
+  let config =
+    { no_signals with Campaign.checkpoint_path = Some path; Campaign.checkpoint_every = 20 }
+  in
+  let half =
+    Campaign.run ~config ?inject ~stop:(fun i -> i >= 60) e prep ~samples:120 ~seed:9
+  in
+  Alcotest.(check bool) "interrupted" true (half.Campaign.status = Campaign.Interrupted);
+  let raw = read_file path in
+  Alcotest.(check bool) "v5 header" true
+    (String.length raw > 18 && String.sub raw 0 18 = "faultmc-campaign 5");
+  Alcotest.(check bool) "model line present" true
+    (contains raw "\nmodel seu-burst:bits=3\n");
+  (* Wrong model at resume: refused before any sample is evaluated. *)
+  Alcotest.(check bool) "model mismatch refused" true
+    (try
+       ignore (Campaign.resume ~config:no_signals e prep ~path);
+       false
+     with Campaign.Checkpoint_corrupt { path = p; _ } -> p = path);
+  let resumed = Campaign.resume ~config:no_signals ?inject e prep ~path in
+  Alcotest.(check bool) "resumed to completion" true
+    (resumed.Campaign.status = Campaign.Completed);
+  check_reports_equal "resume bit-exact under seu-burst" uninterrupted.Campaign.report
+    resumed.Campaign.report
+
+let test_checkpoint_v4_back_compat () =
+  with_tmp "v4" @@ fun path ->
+  let prep = prepare Sampler.default_mixed in
+  let e = engine () in
+  let uninterrupted = Campaign.run ~config:no_signals e prep ~samples:120 ~seed:9 in
+  let config =
+    { no_signals with Campaign.checkpoint_path = Some path; Campaign.checkpoint_every = 20 }
+  in
+  let half = Campaign.run ~config ~stop:(fun i -> i >= 60) e prep ~samples:120 ~seed:9 in
+  Alcotest.(check bool) "interrupted" true (half.Campaign.status = Campaign.Interrupted);
+  (* Downgrade the fresh v5 file to the v4 format a pre-fault-model
+     build wrote: version 4, no model line, CRC over the new body. *)
+  let raw = read_file path in
+  let starts_with prefix l =
+    String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix
+  in
+  let body_lines =
+    String.split_on_char '\n' raw
+    |> List.filter (fun l -> not (starts_with "model " l || starts_with "crc " l))
+    |> List.map (fun l -> if l = "faultmc-campaign 5" then "faultmc-campaign 4" else l)
+  in
+  (* split_on_char leaves a trailing "" for the final newline, so the
+     rejoin reproduces the byte-exact newline-terminated body. *)
+  let body = String.concat "\n" body_lines in
+  let oc = open_out_bin path in
+  output_string oc body;
+  Printf.fprintf oc "crc %08x\n" (Fmc_prelude.Crc32.string body);
+  close_out oc;
+  let resumed = Campaign.resume ~config:no_signals e prep ~path in
+  Alcotest.(check bool) "v4 resumed to completion" true
+    (resumed.Campaign.status = Campaign.Completed);
+  check_reports_equal "v4 resume bit-exact" uninterrupted.Campaign.report
+    resumed.Campaign.report
+
+(* ------------------------------------------------------------------ *)
+(* Distributed identity: the fingerprint only grows a model component
+   when it deviates from the default, and spec lines stay readable in
+   both the 6-word (pre-model) and 7-word forms. *)
+
+let test_fingerprint_model_component () =
+  let fp ?fault_model () =
+    Protocol.fingerprint ?fault_model ~strategy:"mixed" ~benchmark:"write" ~samples:100 ~seed:1
+      ~shard_size:25 ~sample_budget:None ()
+  in
+  Alcotest.(check string) "default model leaves the fingerprint unchanged" (fp ())
+    (fp ~fault_model:"disc-transient" ());
+  let seu = fp ~fault_model:"seu-burst:bits=4" () in
+  Alcotest.(check bool) "non-default model changes the fingerprint" true (seu <> fp ());
+  Alcotest.(check bool) "component is appended" true
+    (let suffix = " model=seu-burst:bits=4" in
+     let n = String.length suffix in
+     String.length seu > n && String.sub seu (String.length seu - n) n = suffix)
+
+let test_spec_line_codec () =
+  let spec =
+    {
+      Protocol.sp_benchmark = "illegal-write";
+      sp_strategy = "mixed";
+      sp_samples = 100;
+      sp_seed = 7;
+      sp_shard_size = 25;
+      sp_sample_budget = Some 4000;
+      sp_fault_model = "double-strike:gap=5";
+    }
+  in
+  (match Protocol.spec_of_line (Protocol.spec_line spec) with
+  | Ok rt -> Alcotest.(check bool) "7-word round trip" true (rt = spec)
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg);
+  (* A WAL line written before the model field existed. *)
+  (match
+     Protocol.spec_of_line "benchmark=illegal-write strategy=mixed samples=100 seed=7 shard_size=25 budget=-"
+   with
+  | Ok old ->
+      Alcotest.(check string) "pre-model line defaults the model" "disc-transient"
+        old.Protocol.sp_fault_model
+  | Error msg -> Alcotest.failf "6-word line must parse: %s" msg);
+  match Protocol.spec_of_line "benchmark=x strategy=y samples=1 seed=1 shard_size=1 budget=- nonsense=1" with
+  | Ok _ -> Alcotest.fail "a 7th word must be a model field"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Loopback distributed campaign under a non-default model: a worker
+   announcing the default model is rejected at the handshake; a worker
+   dies mid-run (lease expiry + epoch fencing); the healthy worker's
+   merged report is bit-identical to the local sharded reference under
+   the same injector. *)
+
+let send conn msg =
+  let tag, payload = Protocol.encode_client msg in
+  Wire.write_frame conn ~tag payload
+
+let recv conn =
+  let tag, payload = Wire.read_frame conn in
+  match Protocol.decode_server tag payload with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "server sent garbage: %s" msg
+
+let test_loopback_model_campaign () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let m = model "seu-burst:bits=4" in
+  let inject = m.Model.inject in
+  let samples = 90 and shard_size = 30 and seed = 13 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let fp ?fault_model () =
+    Protocol.fingerprint ?fault_model ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples
+      ~seed ~shard_size ~sample_budget:None ()
+  in
+  let fingerprint = fp ~fault_model:(Model.canonical m) () in
+  let sock_path = Filename.temp_file "fmc-fault-dist" ".sock" in
+  Sys.remove sock_path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists sock_path then Sys.remove sock_path)
+    (fun () ->
+      let addr = Wire.Unix_path sock_path in
+      let config =
+        { (Coordinator.default_config addr) with Coordinator.ttl_s = 1.0; linger_s = 0.5 }
+      in
+      let outcome = ref None in
+      let server =
+        Thread.create (fun () -> outcome := Some (Coordinator.serve config ~fingerprint ~plan)) ()
+      in
+      (* A worker configured for the default model: its fingerprint
+         lacks the model component, so the handshake refuses it. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn
+        (Protocol.Hello { version = Protocol.version; worker = "wrong-model"; fingerprint = fp () });
+      (match recv conn with
+      | Protocol.Reject _ -> ()
+      | _ -> Alcotest.fail "model mismatch must be rejected at hello");
+      Wire.close conn;
+      (* A worker under the right model takes a lease and dies. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn (Protocol.Hello { version = Protocol.version; worker = "dying"; fingerprint });
+      (match recv conn with
+      | Protocol.Welcome _ -> ()
+      | _ -> Alcotest.fail "expected welcome");
+      send conn Protocol.Request_shard;
+      let shard, epoch, start, len =
+        match recv conn with
+        | Protocol.Assign { shard; epoch; start; len } -> (shard, epoch, start, len)
+        | _ -> Alcotest.fail "expected an assignment"
+      in
+      let sh = Campaign.run_shard ?inject e prep ~seed ~shard ~start ~len in
+      let blob = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+      Thread.delay 1.6 (* past the TTL: the coordinator expires the lease *);
+      send conn (Protocol.Shard_done { shard; epoch; tally = blob; quarantined = [] });
+      (match recv conn with
+      | Protocol.Ack { accepted = false; _ } -> ()
+      | _ -> Alcotest.fail "zombie result must be fenced");
+      Wire.close conn;
+      (* The healthy worker runs the campaign under the injector. *)
+      let wcfg =
+        {
+          (Worker.default_config ~addr ~worker_name:"healthy") with
+          Worker.heartbeat_every = 7;
+          retry_delay_s = 0.1;
+        }
+      in
+      let accepted = Worker.run ?inject wcfg ~fingerprint e prep ~seed in
+      Alcotest.(check int) "healthy worker ran every shard" (Array.length plan) accepted;
+      Thread.join server;
+      let oc = match !outcome with Some o -> o | None -> Alcotest.fail "no outcome" in
+      let dist =
+        match Merge.report_of_blobs ~strategy:(Sampler.name prep) oc.Coordinator.oc_shards with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "merge failed: %s" msg
+      in
+      let reference = Campaign.estimate_sharded ?inject e prep ~samples ~seed ~shard_size in
+      check_reports_equal "distributed seu-burst bit-identical to local reference"
+        reference.Campaign.report dist)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fmc_fault"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "canonicalization and round trips" `Quick test_registry_canonical;
+          Alcotest.test_case "typed errors" `Quick test_registry_errors;
+        ] );
+      ( "byte-identity",
+        [
+          Alcotest.test_case "plain reports match pre-subsystem reference" `Slow
+            test_byte_identity_plain;
+          Alcotest.test_case "sharded reports match pre-subsystem reference" `Slow
+            test_byte_identity_sharded;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "per-model determinism" `Slow test_per_model_determinism;
+          Alcotest.test_case "prune+inject refused" `Quick test_prune_inject_refused;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "v5 records the model; mismatch refused" `Slow
+            test_checkpoint_records_model;
+          Alcotest.test_case "v4 checkpoint still reads" `Slow test_checkpoint_v4_back_compat;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "fingerprint model component" `Quick test_fingerprint_model_component;
+          Alcotest.test_case "spec line codec (6 and 7 words)" `Quick test_spec_line_codec;
+          Alcotest.test_case "loopback model campaign with dead worker" `Slow
+            test_loopback_model_campaign;
+        ] );
+    ]

@@ -39,7 +39,7 @@ let with_dir f =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
-let spec ?(samples = 40) ?(seed = 7) ?(shard_size = 20) () =
+let spec ?(samples = 40) ?(seed = 7) ?(shard_size = 20) ?(model = "disc-transient") () =
   {
     Protocol.sp_benchmark = "illegal-write";
     sp_strategy = "mixed";
@@ -47,6 +47,7 @@ let spec ?(samples = 40) ?(seed = 7) ?(shard_size = 20) () =
     sp_seed = seed;
     sp_shard_size = shard_size;
     sp_sample_budget = None;
+    sp_fault_model = model;
   }
 
 let metric reg name =
@@ -385,7 +386,7 @@ let test_service_loopback_pool () =
             let wcfg =
               { (Worker.default_config ~addr ~worker_name:"pool-1") with Worker.retry_delay_s = 0.05 }
             in
-            accepted := Worker.run_pool wcfg ~resolve:(fun _ -> Ok (e, prep)) ())
+            accepted := Worker.run_pool wcfg ~resolve:(fun _ -> Ok (e, prep, None)) ())
           ()
       in
       (* Wait for the report on a campaign-scoped connection; pending
