@@ -353,18 +353,21 @@ let coordinator_routes (v : Fmc_dist.Coordinator.view) =
   let health_body () =
     let h = v.vw_health () in
     Printf.sprintf
-      "{\"finished\":%s,\"shards_done\":%d,\"shards_total\":%d,\"in_flight\":%d,\"connected\":%d,\"healthy_workers\":%d,\"breakers_open\":%d,\"leasing_paused\":%s}"
+      "{\"finished\":%s,\"shards_done\":%d,\"shards_total\":%d,\"in_flight\":%d,\"connected\":%d,\"healthy_workers\":%d,\"breakers_open\":%d,\"leasing_paused\":%s,\"audits_pending\":%d,\"quarantined_workers\":%d}"
       (bool_json h.h_finished) h.h_shards_done h.h_shards_total h.h_in_flight h.h_connected
-      h.h_healthy_workers h.h_breakers_open (bool_json h.h_leasing_paused)
+      h.h_healthy_workers h.h_breakers_open (bool_json h.h_leasing_paused) h.h_audits_pending
+      h.h_quarantined_workers
   in
   let workers_txt () =
     let b = Buffer.create 256 in
-    Buffer.add_string b "# worker breaker conns samples_per_sec spans last_wall\n";
+    Buffer.add_string b "# worker breaker conns samples_per_sec spans last_wall quarantined mismatches\n";
     List.iter
       (fun w ->
         Buffer.add_string b
-          (Printf.sprintf "%s %s %d %.1f %d %.3f\n" w.w_name (breaker_state_name w.w_breaker)
-             w.w_connections w.w_rate w.w_spans w.w_last_wall))
+          (Printf.sprintf "%s %s %d %.1f %d %.3f %s %d\n" w.w_name
+             (breaker_state_name w.w_breaker) w.w_connections w.w_rate w.w_spans w.w_last_wall
+             (if w.w_quarantined then "yes" else "no")
+             w.w_mismatches))
       (v.vw_workers ());
     Buffer.contents b
   in
@@ -424,10 +427,10 @@ let scheduler_routes (v : Fmc_sched.Service.view) =
     ("/trace", fun () -> Fmc_obs.Httpd.json (v.vw_trace_json ()));
   ]
 
-let start_endpoint ~what ~routes = function
+let start_endpoint ?registry ~what ~routes = function
   | None -> None
   | Some port ->
-      let h = Fmc_obs.Httpd.start ~port ~routes () in
+      let h = Fmc_obs.Httpd.start ?registry ~port ~routes () in
       (* stderr so --json stdout stays machine-parseable. *)
       Format.eprintf "%s scrape endpoint on port %d (/metrics /healthz /readyz /campaigns /trace)@."
         what (Fmc_obs.Httpd.port h);
@@ -1159,11 +1162,57 @@ let bench_cmd =
                 (m, r, e))
           Fmc_fault.Registry.names
       in
+      (* v5: audit overhead — the same sharded campaign digested twice,
+         as a v5 worker digests every shard result: once with auditing
+         off, once re-executing a seeded --audit-rate 0.1 selection and
+         comparing digests (the coordinator's quorum check, minus the
+         wire). Also asserts shard-level determinism: a digest that
+         diverges between identical runs would make auditing useless. *)
+      let audit_rate = 0.1 in
+      let audit_shard_size = 250 in
+      let aplan = Fmc.Ssf.shard_plan ~samples ~shard_size:audit_shard_size in
+      let run_digest shard (start, len) =
+        let sh = Fmc.Campaign.run_shard engine prep ~seed ~shard ~start ~len in
+        Fmc_audit.Audit.Check.result_digest
+          ~tally:(Fmc.Ssf.Tally.to_string sh.Fmc.Campaign.sh_snapshot)
+          ~quarantined:sh.Fmc.Campaign.sh_quarantined
+      in
+      let t_off = Unix.gettimeofday () in
+      let digests = Array.mapi run_digest aplan in
+      let audit_off_s = Unix.gettimeofday () -. t_off in
+      let audit_seed = Int64.of_int seed in
+      let audited = ref 0 in
+      let t_on = Unix.gettimeofday () in
+      let digests_on = Array.mapi run_digest aplan in
+      Array.iteri
+        (fun shard d ->
+          if Fmc_audit.Audit.selected_pure ~rate:audit_rate ~seed:audit_seed ~shard then begin
+            incr audited;
+            if run_digest shard aplan.(shard) <> d then begin
+              Format.eprintf
+                "faultmc bench: audit re-execution diverged on %s shard %d — digests unsound@."
+                name shard;
+              exit 1
+            end
+          end)
+        digests_on;
+      let audit_on_s = Unix.gettimeofday () -. t_on in
+      if digests_on <> digests then begin
+        Format.eprintf "faultmc bench: shard digests diverged between runs on %s@." name;
+        exit 1
+      end;
+      Format.fprintf ppf "bench %s (audit): %d/%d shards audited at rate %g, overhead %.2fx@." name
+        !audited (Array.length aplan) audit_rate
+        (if audit_off_s > 0. then audit_on_s /. audit_off_s else 0.);
+      let audit_row =
+        (audit_rate, audit_shard_size, Array.length aplan, !audited, audit_off_s, audit_on_s)
+      in
       ( name,
         report,
         elapsed,
         (pruned_elapsed, Fmc_sva.Pruner.prune_ratio pruner, pstats.Fmc_sva.Pruner.certificates),
         model_rows,
+        audit_row,
         Fmc_obs.Metrics.merge (Fmc_obs.Metrics.snapshot reg) (Fmc_obs.Metrics.snapshot preg),
         Fmc_obs.Span.events tracer,
         Fmc_obs.Span.totals tracer )
@@ -1174,7 +1223,7 @@ let bench_cmd =
     let rev = match rev_override with Some r -> r | None -> bench_rev () in
     let buf = Buffer.create 2048 in
     let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-    pr "{\"schema\":\"faultmc-bench-v4\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
+    pr "{\"schema\":\"faultmc-bench-v5\",\"rev\":\"%s\",\"strategy\":\"%s\",\"samples\":%d,\"seed\":%d,\"benchmarks\":["
       (Fmc_obs.Jsonx.escape rev)
       (Fmc_obs.Jsonx.escape (Fmc.Sampler.strategy_name strategy))
       samples seed;
@@ -1185,6 +1234,7 @@ let bench_cmd =
              elapsed,
              (pelapsed, pratio, certs),
              model_rows,
+             (arate, ashard_size, ashards, aaudited, aoff, aon),
              snap,
              _,
              totals ) ->
@@ -1208,6 +1258,11 @@ let bench_cmd =
           "\"pruned\":{\"elapsed_s\":%.6f,\"samples_per_sec\":%.2f,\"prune_ratio\":%.4f,\"prune_ratio_gauge\":%.4f,\"certificates\":%d,\"speedup\":%.3f},"
           pelapsed psps pratio prune_ratio_gauge certs
           (if sps > 0. then psps /. sps else 0.);
+        (* v5 audit-overhead block: audit-off vs --audit-rate 0.1 *)
+        pr
+          "\"audit\":{\"rate\":%.4f,\"shard_size\":%d,\"shards\":%d,\"audited_shards\":%d,\"elapsed_off_s\":%.6f,\"elapsed_on_s\":%.6f,\"overhead_ratio\":%.4f},"
+          arate ashard_size ashards aaudited aoff aon
+          (if aoff > 0. then aon /. aoff else 0.);
         (* v4 per-model rows *)
         pr "\"models\":[";
         List.iteri
@@ -1237,14 +1292,14 @@ let bench_cmd =
     Format.fprintf ppf "wrote %s@." bench_path;
     let merged_metrics =
       List.fold_left
-        (fun acc (_, _, _, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
+        (fun acc (_, _, _, _, _, _, snap, _, _) -> Fmc_obs.Metrics.merge acc snap)
         [] results
     in
     let prom_path = Filename.concat out_dir "metrics.prom" in
     let mjson_path = Filename.concat out_dir "metrics.json" in
     write_file prom_path (Fmc_obs.Metrics.to_prometheus merged_metrics);
     write_file mjson_path (Fmc_obs.Metrics.to_json merged_metrics);
-    let all_events = List.concat_map (fun (_, _, _, _, _, _, events, _) -> events) results in
+    let all_events = List.concat_map (fun (_, _, _, _, _, _, _, events, _) -> events) results in
     let trace_path = Filename.concat out_dir "trace.json" in
     write_file trace_path (Fmc_obs.Span.to_chrome_json all_events);
     Format.fprintf ppf "wrote %s, %s, %s@." prom_path mjson_path trace_path
@@ -1286,10 +1341,31 @@ let bench_cmd =
 
 (* serve *)
 
+let audit_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "audit-rate" ] ~docv:"RATE"
+        ~doc:
+          "Fraction of accepted shards re-executed on a different worker and digest-compared \
+           (untrusted-worker defense, DESIGN.md §16). Disagreement triggers a third, arbitrating \
+           execution; the outvoted worker is quarantined and its unaudited results re-run. \
+           Selection is a pure function of the campaign fingerprint — restart-stable, and \
+           consuming zero engine-stream randomness. 0 disables auditing.")
+
+let speculate_factor_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "speculate-factor" ] ~docv:"K"
+        ~doc:
+          "Straggler speculation: duplicate a leased shard onto an idle worker once its holder's \
+           projected completion exceeds $(docv) times the fleet's per-shard EWMA. First valid \
+           result wins; the loser is fenced by the lease epoch. 0 disables.")
+
 let serve_cmd =
   let run benchmark strategy samples seed addr shard_size ttl linger max_idle checkpoint
-      sample_budget require_workers io_deadline breaker_failures breaker_cooldown chaos_plan
-      chaos_seed chaos_log http_port fleet_trace_out json fault_model metrics_out trace_out =
+      sample_budget require_workers io_deadline breaker_failures breaker_cooldown audit_rate
+      speculate_factor chaos_plan chaos_seed chaos_log http_port fleet_trace_out json fault_model
+      metrics_out trace_out =
     let model = fault_model_of_arg_or_die fault_model in
     let obs = fleet_obs ~progress:`Off in
     let plan =
@@ -1330,13 +1406,17 @@ let serve_cmd =
         max_idle_s = max_idle;
         breaker =
           { Fmc_dist.Breaker.failure_threshold = breaker_failures; cooldown_s = breaker_cooldown };
+        audit_rate;
+        speculate_factor;
       }
     in
     let endpoint = ref None in
     let fleet_view = ref None in
     let on_view (v : Fmc_dist.Coordinator.view) =
       fleet_view := Some v;
-      endpoint := start_endpoint ~what:"coordinator" ~routes:(coordinator_routes v) http_port
+      endpoint :=
+        start_endpoint ?registry:obs.Fmc_obs.Obs.metrics ~what:"coordinator"
+          ~routes:(coordinator_routes v) http_port
     in
     let finish_observability () =
       stop_endpoint !endpoint;
@@ -1467,16 +1547,16 @@ let serve_cmd =
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr
       $ shard_size_arg $ ttl $ linger $ max_idle $ checkpoint $ sample_budget $ require_workers
-      $ io_deadline $ breaker_failures $ breaker_cooldown $ chaos_plan_arg "coordinator"
-      $ chaos_seed_arg $ chaos_log_arg $ http_port_arg "campaign" $ fleet_trace_out_arg $ json
-      $ fault_model_arg $ metrics_out_arg $ trace_out_arg)
+      $ io_deadline $ breaker_failures $ breaker_cooldown $ audit_rate_arg $ speculate_factor_arg
+      $ chaos_plan_arg "coordinator" $ chaos_seed_arg $ chaos_log_arg $ http_port_arg "campaign"
+      $ fleet_trace_out_arg $ json $ fault_model_arg $ metrics_out_arg $ trace_out_arg)
 
 (* worker *)
 
 let worker_cmd =
   let run benchmark strategy samples seed addr pool shard_size sample_budget fault_model
-      name heartbeat_every io_deadline reconnect_attempts reconnect_budget chaos_plan chaos_seed
-      chaos_log metrics_out trace_out progress =
+      name heartbeat_every io_deadline reconnect_attempts reconnect_budget no_result_digest
+      chaos_plan chaos_seed chaos_log metrics_out trace_out progress =
     let model = fault_model_of_arg_or_die fault_model in
     with_context @@ fun ctx ->
     let obs = fleet_obs ~progress in
@@ -1500,6 +1580,7 @@ let worker_cmd =
         (Fmc_dist.Worker.default_config ~addr:connect_addr ~worker_name:name) with
         heartbeat_every;
         io_deadline_s = io_deadline;
+        send_digest = not no_result_digest;
         retry =
           {
             Fmc_dist.Worker.default_retry with
@@ -1617,6 +1698,15 @@ let worker_cmd =
       & info [ "reconnect-budget" ] ~docv:"SECONDS"
           ~doc:"Total backoff sleep allowed across the whole run before the worker gives up.")
   in
+  let no_result_digest =
+    Arg.(
+      value & flag
+      & info [ "no-result-digest" ]
+          ~doc:
+            "Do not attach the canonical result digest to shard results (testing aid). A v5 \
+             coordinator then falls back to recomputing the digest itself, exactly as for a v4 \
+             peer.")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
@@ -1625,7 +1715,7 @@ let worker_cmd =
     Term.(
       const run $ benchmark_arg $ strategy_arg $ samples_arg 5000 $ seed_arg $ addr $ pool
       $ shard_size_arg $ sample_budget $ fault_model_arg $ name_arg $ heartbeat_every
-      $ io_deadline $ reconnect_attempts $ reconnect_budget
+      $ io_deadline $ reconnect_attempts $ reconnect_budget $ no_result_digest
       $ chaos_plan_arg "worker's coordinator link" $ chaos_seed_arg $ chaos_log_arg
       $ metrics_out_arg $ trace_out_arg $ progress_arg)
 
@@ -1643,8 +1733,9 @@ let client_config addr =
     ~worker_name:(Printf.sprintf "client-%d" (Unix.getpid ()))
 
 let sched_cmd =
-  let run addr state_dir queue_depth ttl wall_budget retry_after max_idle io_deadline chaos_plan
-      chaos_seed chaos_log http_port fleet_trace_out metrics_out trace_out =
+  let run addr state_dir queue_depth ttl wall_budget retry_after max_idle io_deadline audit_rate
+      speculate_factor chaos_plan chaos_seed chaos_log http_port fleet_trace_out metrics_out
+      trace_out =
     let obs = fleet_obs ~progress:`Off in
     (* Under --chaos-plan the scheduler binds a private Unix socket and
        the fault-injection proxy takes over the public address, exactly
@@ -1670,6 +1761,8 @@ let sched_cmd =
             ttl_s = ttl;
             wall_budget_s = wall_budget;
             retry_after_s = retry_after;
+            audit_rate;
+            speculate_factor;
           };
         max_idle_s = max_idle;
         io_deadline_s = io_deadline;
@@ -1681,7 +1774,9 @@ let sched_cmd =
     let fleet_view = ref None in
     let on_view (v : Fmc_sched.Service.view) =
       fleet_view := Some v;
-      endpoint := start_endpoint ~what:"scheduler" ~routes:(scheduler_routes v) http_port
+      endpoint :=
+        start_endpoint ?registry:obs.Fmc_obs.Obs.metrics ~what:"scheduler"
+          ~routes:(scheduler_routes v) http_port
     in
     let finish_observability () =
       stop_endpoint !endpoint;
@@ -1773,8 +1868,9 @@ let sched_cmd =
           and overload shedding.")
     Term.(
       const run $ addr $ state_dir $ queue_depth $ ttl $ wall_budget $ retry_after $ max_idle
-      $ io_deadline $ chaos_plan_arg "scheduler" $ chaos_seed_arg $ chaos_log_arg
-      $ http_port_arg "fleet" $ fleet_trace_out_arg $ metrics_out_arg $ trace_out_arg)
+      $ io_deadline $ audit_rate_arg $ speculate_factor_arg $ chaos_plan_arg "scheduler"
+      $ chaos_seed_arg $ chaos_log_arg $ http_port_arg "fleet" $ fleet_trace_out_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 let submit_cmd =
   let run benchmark strategy samples seed shard_size sample_budget fault_model list_models addr
@@ -2197,6 +2293,10 @@ let top_cmd =
           | _ -> None)
         (String.split_on_char '\n' body)
     in
+    (* An unreachable endpoint is a typed one-line failure (exit 1), not
+       a screenful of "unreachable" rows: scripts probing a fleet with
+       `top --once` need the distinction, and an interactive top whose
+       endpoint vanished has nothing left to watch. *)
     let screen () =
       let b = Buffer.create 1024 in
       let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -2205,7 +2305,9 @@ let top_cmd =
         now.Unix.tm_sec;
       (match fetch "/healthz" with
       | Ok (status, body) -> add "health   HTTP %d  %s\n" status (String.trim body)
-      | Error msg -> add "health   unreachable (%s)\n" msg);
+      | Error msg ->
+          Format.eprintf "faultmc: scrape endpoint unreachable at %s:%d: %s@." host port msg;
+          exit 1);
       (match fetch "/campaigns.txt" with
       | Ok (200, body) ->
           add "\ncampaigns:\n";

@@ -1,0 +1,218 @@
+(* Untrusted-worker defense: canonical result digests, seeded shard
+   audits with quorum arbitration, and the bookkeeping the coordinator
+   and scheduler share to quarantine lying workers.
+
+   Like Lease, this module is a pure state machine: no clock, no
+   threads, no I/O. The caller (coordinator or scheduler) holds its own
+   lock around every call and injects [now]. Audit selection is drawn
+   from [Rng.substream ~seed ~shard] where the seed derives from the
+   campaign fingerprint, so which shards get audited is a pure function
+   of (campaign, audit rate) — restart-stable, and consuming zero
+   randomness from the engine's sample streams.
+
+   Lifecycle of one audited shard:
+
+     Clear --accept--> Due [primary]
+     Due --lease--> Auditing --complete--> Passed          (digests agree)
+                                       \-> Due (2 execs)   (dispute: needs arbiter)
+     Due (2 execs) --lease--> Auditing --complete--> Settled + verdict
+
+   A verdict names the minority executions (the liars). The caller
+   quarantines those workers and, via [victims], invalidates every
+   still-unaudited shard whose accepted result came from a liar. *)
+
+type exec = { ax_worker : string; ax_digest : string }
+
+type slot =
+  | Clear
+  | Due of exec list
+  | Auditing of { execs : exec list; auditor : string; epoch : int; deadline : float }
+  | Passed
+  | Settled
+
+type config = { rate : float; seed : int64; ttl_s : float }
+
+type t = {
+  config : config;
+  slots : slot array;
+  primaries : (int, exec) Hashtbl.t;
+}
+
+let default_ttl_s = 60.
+
+let selected_pure ~rate ~seed ~shard =
+  rate > 0.0
+  && (rate >= 1.0
+     || Fmc_prelude.Rng.float (Fmc_prelude.Rng.substream ~seed ~shard) 1.0 < rate)
+
+let create config ~nshards =
+  if config.rate < 0.0 || config.rate > 1.0 then
+    invalid_arg "Audit.create: rate must be in [0,1]";
+  { config; slots = Array.make (max nshards 0) Clear; primaries = Hashtbl.create 64 }
+
+let rate t = t.config.rate
+let selected t ~shard = selected_pure ~rate:t.config.rate ~seed:t.config.seed ~shard
+
+let note_accept t ~shard ~worker ~digest =
+  let exec = { ax_worker = worker; ax_digest = digest } in
+  Hashtbl.replace t.primaries shard exec;
+  if selected t ~shard then (
+    t.slots.(shard) <- Due [ exec ];
+    true)
+  else (
+    t.slots.(shard) <- Clear;
+    false)
+
+let ran_in execs worker = List.exists (fun e -> e.ax_worker = worker) execs
+
+let next_due t ~worker ~allow_self =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Due execs when allow_self || not (ran_in execs worker) -> Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let lease t ~shard ~auditor ~epoch ~now =
+  match t.slots.(shard) with
+  | Due execs ->
+      t.slots.(shard) <-
+        Auditing { execs; auditor; epoch; deadline = now +. t.config.ttl_s }
+  | _ -> invalid_arg "Audit.lease: shard is not due for audit"
+
+let audit_epoch t ~shard ~epoch =
+  shard >= 0 && shard < Array.length t.slots
+  &&
+  match t.slots.(shard) with
+  | Auditing a -> a.epoch = epoch
+  | _ -> false
+
+let heartbeat t ~shard ~epoch ~now =
+  match t.slots.(shard) with
+  | Auditing a when a.epoch = epoch ->
+      t.slots.(shard) <- Auditing { a with deadline = now +. t.config.ttl_s };
+      true
+  | _ -> false
+
+let release t ~shard ~epoch =
+  match t.slots.(shard) with
+  | Auditing a when a.epoch = epoch -> t.slots.(shard) <- Due a.execs
+  | _ -> ()
+
+let sweep t ~now =
+  let expired = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Auditing a when a.deadline < now ->
+          incr expired;
+          t.slots.(i) <- Due a.execs
+      | _ -> ())
+    t.slots;
+  !expired
+
+type verdict = { vd_liars : string list; vd_replace : bool }
+
+let complete t ~shard ~epoch ~worker ~digest =
+  match t.slots.(shard) with
+  | Auditing a when a.epoch = epoch -> (
+      let exec = { ax_worker = worker; ax_digest = digest } in
+      let execs = a.execs @ [ exec ] in
+      match execs with
+      | [ e1; e2 ] ->
+          if e1.ax_digest = e2.ax_digest then (
+            t.slots.(shard) <- Passed;
+            `Pass)
+          else (
+            (* Two-way disagreement: a third, independent execution
+               arbitrates by majority. *)
+            t.slots.(shard) <- Due execs;
+            `Dispute)
+      | [ e1; _; e3 ] ->
+          (* The first two executions disagree (else we'd have passed),
+             so if the arbiter matches either it holds a 2-of-3
+             majority. On a three-way split nobody does; the freshest
+             independent execution wins and both earlier executors are
+             treated as minority — conservative, since an honest fleet
+             can only split three ways if two workers are broken. *)
+          let majority = e3.ax_digest in
+          let liars =
+            List.filter_map
+              (fun e ->
+                if e.ax_digest <> majority && e.ax_worker <> "" then
+                  Some e.ax_worker
+                else None)
+              execs
+          in
+          let replace = e1.ax_digest <> majority in
+          t.slots.(shard) <- Settled;
+          `Verdict { vd_liars = liars; vd_replace = replace }
+      | _ -> invalid_arg "Audit.complete: impossible execution count")
+  | _ -> `Stale
+
+let invalidate t ~shard =
+  t.slots.(shard) <- Clear;
+  Hashtbl.remove t.primaries shard
+
+let victims t ~worker =
+  Hashtbl.fold
+    (fun shard exec acc ->
+      if
+        exec.ax_worker = worker
+        && (match t.slots.(shard) with Passed | Settled -> false | _ -> true)
+      then shard :: acc
+      else acc)
+    t.primaries []
+  |> List.sort compare
+
+let pending t =
+  Array.fold_left
+    (fun acc slot -> match slot with Due _ | Auditing _ -> acc + 1 | _ -> acc)
+    0 t.slots
+
+let finished t = pending t = 0
+
+type entry = { au_shard : int; au_worker : string; au_digest : string; au_passed : bool }
+
+let export t =
+  let entries = ref [] in
+  Hashtbl.iter
+    (fun shard exec ->
+      let passed =
+        match t.slots.(shard) with Passed | Settled -> true | _ -> false
+      in
+      entries :=
+        { au_shard = shard; au_worker = exec.ax_worker; au_digest = exec.ax_digest;
+          au_passed = passed }
+        :: !entries)
+    t.primaries;
+  List.sort (fun a b -> compare a.au_shard b.au_shard) !entries
+
+let restore config ~nshards entries =
+  let t = create config ~nshards in
+  List.iter
+    (fun e ->
+      if e.au_shard >= 0 && e.au_shard < nshards then (
+        let exec = { ax_worker = e.au_worker; ax_digest = e.au_digest } in
+        Hashtbl.replace t.primaries e.au_shard exec;
+        t.slots.(e.au_shard) <-
+          (if e.au_passed then Passed
+           else if selected t ~shard:e.au_shard then Due [ exec ]
+           else Clear)))
+    entries;
+  t
+
+module Check = struct
+  let result_digest ~tally ~quarantined =
+    let buf = Buffer.create (String.length tally + 64) in
+    Buffer.add_string buf tally;
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Fmc.Campaign.quarantine_entry_to_string e);
+        Buffer.add_char buf '\n')
+      quarantined;
+    Fmc.Ssf.Tally.digest_hex (Buffer.contents buf)
+end

@@ -1,0 +1,126 @@
+(** Untrusted-worker defense for distributed campaigns.
+
+    Three mechanisms, shared by the coordinator ([Fmc_dist]) and the
+    multi-campaign scheduler ([Fmc_sched]):
+
+    - {b Result digests} ({!Check.result_digest}): every shard result
+      carries an MD5 digest over its canonical tally encoding plus its
+      quarantine entries, computed worker-side and recomputed on accept.
+      A mismatch is a corrupt frame, charged to the worker's breaker.
+    - {b Seeded audits}: a restart-stable fraction of accepted shards
+      (drawn from [Rng.substream], zero engine-stream randomness) is
+      re-leased to a different worker. Digest disagreement triggers a
+      third, arbitrating execution; the minority worker is quarantined
+      and its unaudited accepted shards invalidated.
+    - {b Bookkeeping for speculation}: audit epochs ride the existing
+      lease epoch fence, so a straggler's late result and a speculative
+      duplicate resolve exactly like any other stale completion.
+
+    Pure state machine: no clock, threads or I/O. The caller holds its
+    own lock around every call and injects [now]. *)
+
+(** One execution of a shard: who ran it, what digest they reported. *)
+type exec = { ax_worker : string; ax_digest : string }
+
+type config = {
+  rate : float;  (** fraction of accepted shards to audit, in [0,1] *)
+  seed : int64;  (** selection seed, derived from the campaign fingerprint *)
+  ttl_s : float;  (** audit lease TTL before the obligation is re-offered *)
+}
+
+type t
+
+val default_ttl_s : float
+(** 60s — matches the coordinator's default shard-lease TTL. *)
+
+val selected_pure : rate:float -> seed:int64 -> shard:int -> bool
+(** The bare selection predicate: is [shard] audited under this (rate,
+    seed)? Pure and restart-stable; [create]/[restore] use the same
+    draw, so a resumed coordinator audits exactly the same shards. *)
+
+val create : config -> nshards:int -> t
+(** Raises [Invalid_argument] if [rate] is outside [0,1]. *)
+
+val rate : t -> float
+val selected : t -> shard:int -> bool
+
+val note_accept : t -> shard:int -> worker:string -> digest:string -> bool
+(** Record the primary (first accepted) execution of [shard]. Returns
+    [true] iff the shard is selected for audit — it is now due for
+    re-execution by a different worker. Re-noting a shard (after
+    {!invalidate}) replaces the primary and re-draws the same
+    selection. *)
+
+val next_due : t -> worker:string -> allow_self:bool -> int option
+(** Lowest-numbered shard due for audit that [worker] has not already
+    executed. [allow_self] lifts the different-worker requirement (used
+    when the fleet has only one live worker, where an audit still
+    catches nondeterminism if not collusion). *)
+
+val lease : t -> shard:int -> auditor:string -> epoch:int -> now:float -> unit
+(** Move a due shard to auditing under lease [epoch] (the caller bumps
+    the shard's lease-table epoch and hands it out as a normal
+    assignment). Raises [Invalid_argument] if the shard is not due. *)
+
+val audit_epoch : t -> shard:int -> epoch:int -> bool
+(** Does a completion under [epoch] belong to an in-flight audit (as
+    opposed to a primary lease)? Routes the coordinator's accept path. *)
+
+val heartbeat : t -> shard:int -> epoch:int -> now:float -> bool
+val release : t -> shard:int -> epoch:int -> unit
+(** Put an in-flight audit back to due (auditor disconnected or sent a
+    corrupt result). No-op unless [epoch] matches. *)
+
+val sweep : t -> now:float -> int
+(** Expire overdue audit leases back to due; returns how many. *)
+
+type verdict = {
+  vd_liars : string list;
+      (** minority executors to quarantine ("" entries are dropped) *)
+  vd_replace : bool;
+      (** the primary blob was the lie: the arriving (arbiter's) result
+          is the honest one and must replace it *)
+}
+
+val complete :
+  t ->
+  shard:int ->
+  epoch:int ->
+  worker:string ->
+  digest:string ->
+  [ `Pass  (** re-execution matched the primary *)
+  | `Dispute  (** two executions disagree; lease a third to arbitrate *)
+  | `Verdict of verdict  (** quorum reached *)
+  | `Stale  (** epoch fenced off — duplicate or superseded audit *) ]
+
+val invalidate : t -> shard:int -> unit
+(** Forget everything about [shard] (its primary came from a liar); the
+    caller reopens the shard's lease for honest re-execution. *)
+
+val victims : t -> worker:string -> int list
+(** Shards whose accepted primary came from [worker] and which no audit
+    has yet vindicated — exactly the set to invalidate when [worker] is
+    quarantined. Sorted ascending. *)
+
+val pending : t -> int
+(** Audits due or in flight. The campaign is not finished (reports must
+    not be served) until this reaches zero. *)
+
+val finished : t -> bool
+
+(** Durable form for checkpoints: one entry per accepted shard. *)
+type entry = { au_shard : int; au_worker : string; au_digest : string; au_passed : bool }
+
+val export : t -> entry list
+(** Sorted by shard. In-flight audit leases are not persisted — on
+    restart a selected, unvindicated shard is simply due again. *)
+
+val restore : config -> nshards:int -> entry list -> t
+
+module Check : sig
+  val result_digest : tally:string -> quarantined:Fmc.Campaign.quarantine_entry list -> string
+  (** The canonical shard-result digest: MD5 hex over the tally's
+      canonical encoding ([Ssf.Tally.to_string]) followed by each
+      quarantine entry's canonical line. Worker and coordinator compute
+      this identically; it is what audits compare. *)
+end

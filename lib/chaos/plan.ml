@@ -11,6 +11,7 @@
      dup p=0.02
      drop p=0.005
      partition every=5 for=1
+     lie p=0.3
      # comments and blank lines are ignored
 
    Probabilities are per forwarded chunk, evaluated against the
@@ -24,6 +25,10 @@ type fault =
   | Bit_flip of { prob : float }
   | Duplicate of { prob : float }
   | Partition of { every_s : float; open_s : float }
+  | Lie of { prob : float }
+      (* adversarial payload mutation: rewrite a result frame's tally
+         while keeping the framing and CRC-32 valid (Fmc_audit's threat
+         model, DESIGN.md §16) *)
 
 type t = { faults : fault list }
 
@@ -37,6 +42,7 @@ let fault_name = function
   | Bit_flip _ -> "bitflip"
   | Duplicate _ -> "dup"
   | Partition _ -> "partition"
+  | Lie _ -> "lie"
 
 let fault_to_string = function
   | Delay { prob; min_s; max_s } -> Printf.sprintf "delay p=%g min=%g max=%g" prob min_s max_s
@@ -45,6 +51,7 @@ let fault_to_string = function
   | Bit_flip { prob } -> Printf.sprintf "bitflip p=%g" prob
   | Duplicate { prob } -> Printf.sprintf "dup p=%g" prob
   | Partition { every_s; open_s } -> Printf.sprintf "partition every=%g for=%g" every_s open_s
+  | Lie { prob } -> Printf.sprintf "lie p=%g" prob
 
 let to_string t = String.concat "\n" (List.map fault_to_string t.faults)
 
@@ -115,6 +122,9 @@ let parse_clause line =
              else if open_s <= 0. || open_s >= every_s then
                Error "need 0 < for < every (the link must heal between windows)"
              else Ok (Partition { every_s; open_s })
+         | "lie" ->
+             let* p = prob params in
+             Ok (Lie { prob = p })
          | _ -> Error (Printf.sprintf "unknown fault %S" keyword))
 
 let parse s =

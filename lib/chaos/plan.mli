@@ -14,7 +14,14 @@
     dup p=PROB                              deliver a chunk twice
     drop p=PROB                             sever the connection
     partition every=SECONDS for=SECONDS     periodic full-partition window
-    v} *)
+    lie p=PROB                              adversarially mutate a result frame
+    v}
+
+    [lie] models a lying (not merely faulty) worker: the proxy
+    reassembles protocol frames and, on a result frame
+    (Shard_done/Job_done), rewrites the tally payload while recomputing
+    the CRC-32 — the frame arrives intact by every transport check and
+    only {!Fmc_audit}'s digest/quorum defenses can catch it. *)
 
 type fault =
   | Delay of { prob : float; min_s : float; max_s : float }
@@ -23,6 +30,7 @@ type fault =
   | Bit_flip of { prob : float }
   | Duplicate of { prob : float }
   | Partition of { every_s : float; open_s : float }
+  | Lie of { prob : float }
 
 type t = { faults : fault list }
 

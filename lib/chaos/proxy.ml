@@ -85,10 +85,67 @@ let write_all fd buf ~len =
     | exception Unix.Unix_error _ -> raise Severed
   done
 
-(* One pump direction: read a chunk, run the plan over it, forward. *)
+(* -- the lie fault -------------------------------------------------------
+   Adversarial payload mutation: given a complete wire frame
+   ([len u32][tag][crc u32][payload], Fmc_dist.Wire's v2 layout), rewrite
+   a result frame's tally so it still parses and re-seal the CRC-32. The
+   frame passes every transport check — only the audit layer's digests
+   can tell it lied. The mutation flips the low bit of the last byte of
+   the tally blob's first line ("samples N"): digits pair up under
+   [lxor 1], so the payload stays wire- and tally-codec-valid while the
+   decoded result differs. *)
+
+let get_u32 buf off = Int32.to_int (Bytes.get_int32_be buf off) land 0xffffffff
+let put_u32 buf off v = Bytes.set_int32_be buf off (Int32.of_int v)
+
+let lie_rewrite frame =
+  let word = get_u32 frame 0 in
+  let tag = Bytes.get frame 4 in
+  if (tag <> 'D' && tag <> 'j') || word < 4 then None
+  else begin
+    let payload = Bytes.sub_string frame 9 (word - 4) in
+    (* Locate the "tally N" header line, then the line after it. *)
+    let target =
+      let rec find_header pos =
+        if pos >= String.length payload then None
+        else
+          let line_end =
+            match String.index_from_opt payload pos '\n' with
+            | Some i -> i
+            | None -> String.length payload
+          in
+          let line = String.sub payload pos (line_end - pos) in
+          if String.length line > 6 && String.sub line 0 6 = "tally " then
+            (* First blob line: (line_end+1) .. next '\n'. *)
+            match String.index_from_opt payload (line_end + 1) '\n' with
+            | Some e when e > line_end + 1 -> Some (e - 1)
+            | _ -> None
+          else if line_end >= String.length payload then None
+          else find_header (line_end + 1)
+      in
+      find_header 0
+    in
+    match target with
+    | None -> None
+    | Some idx ->
+        let mutated = Bytes.of_string payload in
+        Bytes.set mutated idx (Char.chr (Char.code (Bytes.get mutated idx) lxor 1));
+        let mutated = Bytes.unsafe_to_string mutated in
+        let crc = Fmc_dist.Crc32.extend (Fmc_dist.Crc32.string (String.make 1 tag)) mutated in
+        Bytes.blit_string mutated 0 frame 9 (String.length mutated);
+        put_u32 frame 5 crc;
+        Some idx
+  end
+
+(* One pump direction: read a chunk, run the plan over it, forward.
+   With a [lie] clause in the plan the pump reassembles complete frames
+   first (the mutation must land inside one frame's payload and re-seal
+   its CRC); the other clauses then apply per frame instead of per raw
+   chunk. An unframeable stream (v1 peer, garbage, oversized length
+   word) falls back to raw forwarding for the rest of the connection. *)
 let pump t ~conn_id ~dir ~sever rng src dst =
   let buf = Bytes.create 4096 in
-  let forward len =
+  let forward fbuf len =
     (* Mutable per-chunk fault state threaded through the clauses. *)
     let len = ref len in
     let sever_after = ref false in
@@ -105,7 +162,7 @@ let pump t ~conn_id ~dir ~sever rng src dst =
           if !len > 0 && Rng.float rng 1.0 < prob then begin
             let byte = Rng.int rng !len in
             let bit = Rng.int rng 8 in
-            Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor (1 lsl bit)));
+            Bytes.set fbuf byte (Char.chr (Char.code (Bytes.get fbuf byte) lxor (1 lsl bit)));
             count t ~conn_id ~dir fault (Printf.sprintf "byte=%d bit=%d" byte bit)
           end
       | Plan.Truncate { prob } ->
@@ -130,23 +187,73 @@ let pump t ~conn_id ~dir ~sever rng src dst =
             count t ~conn_id ~dir fault "window";
             raise Severed
           end
+      | Plan.Lie { prob } ->
+          if !len > 9 && Rng.float rng 1.0 < prob then begin
+            match lie_rewrite fbuf with
+            | Some idx -> count t ~conn_id ~dir fault (Printf.sprintf "byte=%d" idx)
+            | None -> ()
+          end
     in
     List.iter apply t.plan.Plan.faults;
     for _ = 1 to !copies do
-      write_all dst buf ~len:!len
+      write_all dst fbuf ~len:!len
     done;
     if !sever_after then raise Severed
   in
-  let rec loop () =
+  let has_lie = List.exists (function Plan.Lie _ -> true | _ -> false) t.plan.Plan.faults in
+  let rec raw_loop () =
     match Unix.read src buf 0 (Bytes.length buf) with
     | 0 -> ()
     | n ->
-        forward n;
-        loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        forward buf n;
+        raw_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> raw_loop ()
     | exception Unix.Unix_error _ -> ()
   in
-  (try Obs.span t.obs ~cat:"chaos" ("pump." ^ dir) loop with Severed -> ());
+  let framed_loop () =
+    let pending = Buffer.create 8192 in
+    let degraded = ref false in
+    let flush_raw () =
+      let data = Buffer.contents pending in
+      Buffer.clear pending;
+      if data <> "" then forward (Bytes.of_string data) (String.length data)
+    in
+    let rec drain () =
+      if !degraded then flush_raw ()
+      else
+        let n = Buffer.length pending in
+        if n >= 5 then begin
+          let head = Bytes.of_string (Buffer.sub pending 0 (min n 5)) in
+          let word = get_u32 head 0 in
+          if word > Wire.max_frame + 4 then begin
+            (* Not a v2 stream we can reframe; stop pretending. *)
+            degraded := true;
+            flush_raw ()
+          end
+          else if n >= 5 + word then begin
+            let frame = Bytes.of_string (Buffer.sub pending 0 (5 + word)) in
+            let rest = Buffer.sub pending (5 + word) (n - 5 - word) in
+            Buffer.clear pending;
+            Buffer.add_string pending rest;
+            forward frame (Bytes.length frame);
+            drain ()
+          end
+        end
+    in
+    let rec loop () =
+      match Unix.read src buf 0 (Bytes.length buf) with
+      | 0 -> flush_raw ()
+      | n ->
+          Buffer.add_subbytes pending buf 0 n;
+          drain ();
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    loop ()
+  in
+  let run = if has_lie then framed_loop else raw_loop in
+  (try Obs.span t.obs ~cat:"chaos" ("pump." ^ dir) run with Severed -> ());
   sever ()
 
 let handle_client t client =

@@ -557,6 +557,11 @@ module Tally = struct
     with
     | s -> Ok s
     | exception Bad msg -> Error msg
+
+  (* Because [to_string] is canonical (one serializer, hex floats, fixed
+     line order), hashing the encoding hashes the statistics: equal
+     digests iff bit-identical accumulators. *)
+  let digest_hex blob = Stdlib.Digest.to_hex (Stdlib.Digest.string blob)
 end
 
 (* The analytical result a pruned sample is tallied with: exactly what

@@ -137,6 +137,12 @@ module Tally : sig
   val of_string : string -> (snapshot, string) result
   (** Decode {!to_string}'s encoding. [Error msg] names the first offending
       line of a truncated, reordered or malformed snapshot. *)
+
+  val digest_hex : string -> string
+  (** MD5 hex of a {!to_string} blob. Because the encoding is canonical
+      (one serializer, hex-float literals, fixed line order), equal
+      digests mean bit-identical accumulator states — the primitive the
+      distributed result audit ([Fmc_audit]) is built on. *)
 end
 
 (** {2 Pluggable fault models}

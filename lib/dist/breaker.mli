@@ -43,6 +43,13 @@ val record_success : t -> now:float -> unit
     completion). Resets the consecutive-failure count; a [Half_open]
     probe success closes the breaker. *)
 
+val trip : t -> now:float -> unit
+(** Force the breaker open immediately, regardless of the consecutive
+    failure count — the audit quarantine path, where one proven lie
+    outweighs any success history. The cooldown still applies; callers
+    that quarantine permanently must also track the worker themselves
+    (the coordinator's quarantined-workers set). *)
+
 val cooldown_remaining : t -> now:float -> float
 (** Seconds until an [Open] breaker admits a probe; 0 otherwise. The
     number the coordinator puts in [Retry_later]. *)

@@ -12,12 +12,22 @@
 
 open Fmc
 
-let format_version = 2
+let format_version = 3
+
+type audit_entry = {
+  au_shard : int;
+  au_worker : string;
+  au_digest : string;
+  au_passed : bool;
+}
+
+type audit = { au_entries : audit_entry list; au_banned : string list }
 
 type state = {
   st_fingerprint : string;
   st_shards : (int * string) list;  (* ascending shard id, tally blobs *)
   st_quarantined : Campaign.quarantine_entry list;
+  st_audit : audit option;
 }
 
 let blob_lines blob =
@@ -28,7 +38,10 @@ let blob_lines blob =
 let body_of state =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.bprintf buf fmt in
-  pr "faultmc-dist %d\n" format_version;
+  (* An unaudited campaign writes a byte-identical v2 file, so enabling
+     the audit subsystem never perturbs existing checkpoints. *)
+  let version = match state.st_audit with None -> 2 | Some _ -> format_version in
+  pr "faultmc-dist %d\n" version;
   pr "fingerprint %s\n" state.st_fingerprint;
   pr "shards %d\n" (List.length state.st_shards);
   List.iter
@@ -41,6 +54,20 @@ let body_of state =
   List.iter
     (fun e -> Buffer.add_string buf (Campaign.quarantine_entry_to_string e ^ "\n"))
     state.st_quarantined;
+  (match state.st_audit with
+  | None -> ()
+  | Some a ->
+      pr "audits %d\n" (List.length a.au_entries);
+      List.iter
+        (fun e ->
+          (* worker last: names may contain spaces, the rest parse as
+             single fields *)
+          pr "audit %d %d %s %s\n" e.au_shard
+            (if e.au_passed then 1 else 0)
+            e.au_digest e.au_worker)
+        a.au_entries;
+      pr "banned %d\n" (List.length a.au_banned);
+      List.iter (fun w -> Buffer.add_string buf (w ^ "\n")) a.au_banned);
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -94,11 +121,11 @@ let load ~path =
       match String.split_on_char ' ' header with
       | [ "faultmc-dist"; v ] -> (
           match int_of_string_opt v with
-          | Some n when n = 1 || n = format_version -> n
+          | Some n when n >= 1 && n <= format_version -> n
           | _ -> bad "unsupported faultmc-dist version %S (this binary reads v1-v%d)" v format_version)
       | _ -> bad "not a faultmc-dist checkpoint"
     in
-    let body = if version = format_version then verify_trailer raw else raw in
+    let body = if version >= 2 then verify_trailer raw else raw in
     let lines = ref (String.split_on_char '\n' body) in
     let next () =
       match !lines with
@@ -143,8 +170,35 @@ let load ~path =
           | Ok e -> e
           | Error m -> bad "quarantine entry: %s" m)
     in
+    let st_audit =
+      if version < 3 then None
+      else
+        let na = count "audits" in
+        let au_entries =
+          List.init na (fun _ ->
+              match String.split_on_char ' ' (next ()) with
+              | "audit" :: shard :: passed :: digest :: worker ->
+                  let au_shard =
+                    match int_of_string_opt shard with
+                    | Some i when i >= 0 -> i
+                    | _ -> bad "bad audit shard"
+                  in
+                  let au_passed =
+                    match passed with
+                    | "1" -> true
+                    | "0" -> false
+                    | _ -> bad "bad audit passed flag"
+                  in
+                  { au_shard; au_passed; au_digest = digest;
+                    au_worker = String.concat " " worker }
+              | _ -> bad "expected audit line")
+        in
+        let nb = count "banned" in
+        let au_banned = List.init nb (fun _ -> next ()) in
+        Some { au_entries; au_banned }
+    in
     if next () <> "end" then bad "missing end marker";
-    { st_fingerprint; st_shards; st_quarantined }
+    { st_fingerprint; st_shards; st_quarantined; st_audit }
   in
   match
     let ic = open_in_bin path in

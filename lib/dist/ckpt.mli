@@ -13,12 +13,33 @@
 open Fmc
 
 val format_version : int
+(** 3. An unaudited state ([st_audit = None]) is written as a
+    byte-identical v2 file; audit bookkeeping adds v3's trailing
+    [audits]/[banned] sections. v1 and v2 files still load. *)
+
+(** One accepted shard's audit bookkeeping: who produced the accepted
+    result, its canonical digest, and whether an audit has vindicated
+    it. In-flight audit leases are deliberately not persisted — on
+    restart a selected, unvindicated shard is due again (the selection
+    is a pure function of the fingerprint-derived seed). *)
+type audit_entry = {
+  au_shard : int;
+  au_worker : string;
+  au_digest : string;
+  au_passed : bool;
+}
+
+type audit = {
+  au_entries : audit_entry list;  (** ascending shard id *)
+  au_banned : string list;  (** quarantined worker names *)
+}
 
 type state = {
   st_fingerprint : string;
   st_shards : (int * string) list;
       (** [(shard id, tally blob)], ascending shard id *)
   st_quarantined : Campaign.quarantine_entry list;
+  st_audit : audit option;
 }
 
 val save : path:string -> state -> unit

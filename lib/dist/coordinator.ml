@@ -26,6 +26,7 @@
    Fmc_obs.Clock seam so tests can drive the sweep with a fake clock. *)
 
 open Fmc
+module Audit = Fmc_audit.Audit
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Clock = Fmc_obs.Clock
@@ -44,6 +45,10 @@ type config = {
   require_workers : int;  (* pause leasing below this many connected workers *)
   max_idle_s : float;  (* give up when unfinished and workerless this long; 0 = wait forever *)
   breaker : Breaker.config;  (* per-worker circuit breaker *)
+  audit_rate : float;  (* fraction of accepted shards re-executed for audit; 0 = off *)
+  speculate_factor : float;
+      (* duplicate a shard when its holder's projected time exceeds this
+         multiple of the fleet's per-shard EWMA; 0 = off *)
 }
 
 let default_config addr =
@@ -56,6 +61,8 @@ let default_config addr =
     require_workers = 0;
     max_idle_s = 0.;
     breaker = Breaker.default_config;
+    audit_rate = 0.;
+    speculate_factor = 0.;
   }
 
 type outcome = {
@@ -75,6 +82,8 @@ type health = {
   h_healthy_workers : int;
   h_breakers_open : int;
   h_leasing_paused : bool;
+  h_audits_pending : int;
+  h_quarantined_workers : int;
 }
 
 type worker_view = {
@@ -84,6 +93,8 @@ type worker_view = {
   w_connections : int;
   w_last_wall : float;
   w_spans : int;
+  w_quarantined : bool;
+  w_mismatches : int;
 }
 
 type view = {
@@ -114,6 +125,12 @@ type mx = {
   circuit_open : Metrics.gauge option;
   leasing_paused : Metrics.gauge option;
   roundtrip : Metrics.histogram option;
+  audit_mismatches : Metrics.counter option;
+  audit_audits : Metrics.counter option;
+  audit_disputes : Metrics.counter option;
+  audit_invalidated : Metrics.counter option;
+  audit_speculations : Metrics.counter option;
+  audit_quarantined : Metrics.gauge option;
 }
 
 let roundtrip_buckets = [| 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 30.; 60.; 120. |]
@@ -137,6 +154,12 @@ let mx_create (obs : Obs.t) =
         circuit_open = None;
         leasing_paused = None;
         roundtrip = None;
+        audit_mismatches = None;
+        audit_audits = None;
+        audit_disputes = None;
+        audit_invalidated = None;
+        audit_speculations = None;
+        audit_quarantined = None;
       }
   | Some r ->
       let c ?help name = Some (Metrics.counter r ?help name) in
@@ -164,6 +187,21 @@ let mx_create (obs : Obs.t) =
           Some
             (Metrics.histogram r ~help:"assign-to-accepted latency per shard"
                ~buckets:roundtrip_buckets "fmc_dist_shard_roundtrip_seconds");
+        audit_mismatches =
+          c ~help:"shard results whose digest did not match the payload"
+            "fmc_audit_mismatches_total";
+        audit_audits = c ~help:"audit re-executions leased" "fmc_audit_audits_total";
+        audit_disputes =
+          c ~help:"audits escalated to a third arbitrating execution"
+            "fmc_audit_disputes_total";
+        audit_invalidated =
+          c ~help:"accepted shards invalidated by a quarantine verdict"
+            "fmc_audit_invalidated_total";
+        audit_speculations =
+          c ~help:"speculative duplicate leases opened on stragglers"
+            "fmc_audit_speculations_total";
+        audit_quarantined =
+          g ~help:"workers quarantined by the result audit" "fmc_audit_quarantined_workers";
       }
 
 let cinc c = Option.iter Metrics.inc c
@@ -183,7 +221,15 @@ type state = {
   lease : Lease.t;
   plan : (int * int) array;
   blobs : (int, string) Hashtbl.t;
-  mutable quarantined : Campaign.quarantine_entry list;  (* reverse arrival *)
+  (* per-shard quarantine entries, so invalidating a liar's shard also
+     retracts the quarantine lines it reported *)
+  quarantines : (int, Campaign.quarantine_entry list) Hashtbl.t;
+  mutable audit : Audit.t;  (* replaced wholesale on checkpoint resume *)
+  mutable quarantined_workers : string list;
+  (* worker -> digest mismatches; repeat offenders are quarantined even
+     without an audit verdict *)
+  mismatches : (string, int) Hashtbl.t;
+  mutable shard_ewma : float option;  (* EWMA of accepted shard roundtrips *)
   mutable connected : int;
   mutable finished_at : float option;
   mutable last_worker_at : float;  (* most recent moment a connection was open *)
@@ -212,6 +258,12 @@ let locked st f =
   Mutex.lock st.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
 
+let sorted_quarantined st =
+  Hashtbl.fold (fun _ es acc -> List.rev_append es acc) st.quarantines []
+  |> List.sort (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
+
+let audit_enabled st = Audit.rate st.audit > 0.
+
 let checkpoint_locked st =
   match st.config.checkpoint_path with
   | None -> ()
@@ -220,17 +272,32 @@ let checkpoint_locked st =
         Hashtbl.fold (fun i b acc -> (i, b) :: acc) st.blobs []
         |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
       in
+      let st_audit =
+        (* Audit off writes the pre-v3 byte-identical checkpoint. *)
+        if not (audit_enabled st) && st.quarantined_workers = [] then None
+        else
+          Some
+            {
+              Ckpt.au_entries =
+                List.map
+                  (fun (e : Audit.entry) ->
+                    {
+                      Ckpt.au_shard = e.Audit.au_shard;
+                      au_worker = e.Audit.au_worker;
+                      au_digest = e.Audit.au_digest;
+                      au_passed = e.Audit.au_passed;
+                    })
+                  (Audit.export st.audit);
+              au_banned = List.rev st.quarantined_workers;
+            }
+      in
       Ckpt.save ~path
         {
           Ckpt.st_fingerprint = st.fingerprint;
           st_shards = shards;
-          st_quarantined = List.rev st.quarantined;
+          st_quarantined = sorted_quarantined st;
+          st_audit;
         }
-
-let sorted_quarantined st =
-  List.sort
-    (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
-    (List.rev st.quarantined)
 
 let report_msg st =
   let shards =
@@ -296,7 +363,109 @@ let sweep_locked st ~now =
        for the worker that was holding it. *)
     List.iter (fun (_, worker) -> note_worker_failure st ~worker ~now) expired
   end;
+  ignore (Audit.sweep st.audit ~now : int);
   gset st.mx.in_flight (Lease.in_flight st.lease)
+
+(* -- result auditing (call under the lock) ------------------------------- *)
+
+let campaign_finished st = Lease.finished st.lease && Audit.finished st.audit
+
+let maybe_finish st ~now =
+  if campaign_finished st then begin
+    if st.finished_at = None then st.finished_at <- Some now
+  end
+  else st.finished_at <- None
+
+let is_quarantined st worker = List.mem worker st.quarantined_workers
+
+(* A proven liar: force its breaker open, remember it for the rest of
+   the campaign (breakers half-open after cooldown; quarantine does
+   not), throw away every accepted-but-unvindicated result it produced
+   and put those shards back up for honest re-execution. *)
+let quarantine_worker st ~now worker =
+  if worker <> "" && not (is_quarantined st worker) then begin
+    st.quarantined_workers <- worker :: st.quarantined_workers;
+    let b = breaker_for st worker in
+    if Breaker.state b ~now <> Breaker.Open then cinc st.mx.breaker_trips;
+    Breaker.trip b ~now;
+    gset st.mx.audit_quarantined (List.length st.quarantined_workers);
+    refresh_circuit_gauge st ~now;
+    let victims = Audit.victims st.audit ~worker in
+    List.iter
+      (fun shard ->
+        Hashtbl.remove st.blobs shard;
+        Hashtbl.remove st.quarantines shard;
+        Audit.invalidate st.audit ~shard;
+        Lease.reopen st.lease ~shard)
+      victims;
+    cadd st.mx.audit_invalidated (List.length victims);
+    ignore (Lease.release_worker st.lease ~worker : int list);
+    gset st.mx.in_flight (Lease.in_flight st.lease);
+    maybe_finish st ~now
+  end
+
+let note_digest_mismatch st ~worker ~now =
+  cinc st.mx.audit_mismatches;
+  cinc st.mx.frames_corrupt;
+  note_worker_failure st ~worker ~now;
+  let n = 1 + Option.value (Hashtbl.find_opt st.mismatches worker) ~default:0 in
+  Hashtbl.replace st.mismatches worker n;
+  (* Three strikes: repeated mismatches are not line noise. *)
+  if n >= 3 then quarantine_worker st ~now worker
+
+(* Offer an audit re-execution to an otherwise idle worker. The audited
+   shard stays Done in the lease table; the re-run rides a fresh epoch
+   from the same fence, so its completion can never be mistaken for a
+   primary result. *)
+let audit_offer st ~worker ~now =
+  let allow_self = healthy_workers st ~now <= 1 in
+  match Audit.next_due st.audit ~worker ~allow_self with
+  | None -> None
+  | Some shard ->
+      let epoch = Lease.bump_epoch st.lease ~shard in
+      Audit.lease st.audit ~shard ~auditor:worker ~epoch ~now;
+      cinc st.mx.audit_audits;
+      Hashtbl.replace st.assigned shard (epoch, now);
+      let start, len = Lease.range st.lease ~shard in
+      Some (Protocol.Assign { shard; epoch; start; len })
+
+(* Speculatively duplicate the worst straggler: a leased shard whose
+   holder's projected completion time exceeds k x the fleet's per-shard
+   EWMA (projected from heartbeat progress when we have it, lease age
+   otherwise). First valid completion wins; the loser fences. *)
+let speculate_offer st ~worker ~now =
+  let k = st.config.speculate_factor in
+  match st.shard_ewma with
+  | Some mean when k > 0. && mean > 0. && not (is_quarantined st worker) ->
+      let candidate = ref None in
+      Hashtbl.iter
+        (fun shard (epoch, t0) ->
+          match Lease.holder st.lease ~shard with
+          | Some holder when holder <> worker && not (is_quarantined st holder) ->
+              let age = now -. t0 in
+              let projected =
+                match Hashtbl.find_opt st.rates holder with
+                | Some (_, s, e, samples_done)
+                  when s = shard && e = epoch && samples_done > 0
+                       && shard >= 0
+                       && shard < Array.length st.plan ->
+                    age *. float_of_int (snd st.plan.(shard))
+                    /. float_of_int samples_done
+                | _ -> age
+              in
+              if projected > k *. mean then (
+                match !candidate with
+                | Some (_, worst) when worst >= projected -> ()
+                | _ -> candidate := Some (shard, projected))
+          | _ -> ())
+        st.assigned;
+      Option.bind !candidate (fun (shard, _) ->
+          match Lease.speculate st.lease ~now ~shard ~worker with
+          | Some { Lease.shard; epoch; start; len } ->
+              cinc st.mx.audit_speculations;
+              Some (Protocol.Assign { shard; epoch; start; len })
+          | None -> None)
+  | _ -> None
 
 let note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done =
   match st.mx.registry with
@@ -318,14 +487,15 @@ let note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done =
 
 exception Done_serving
 
-let handle_msg st ~worker msg =
+let handle_msg st ~worker ~digest msg =
   let now = Clock.now () in
   match (msg : Protocol.client_msg) with
   | Protocol.Hello _ -> Protocol.Reject { reason = "duplicate hello" }
   | Protocol.Request_shard ->
       locked st (fun () ->
           sweep_locked st ~now;
-          if leasing_pause st ~now then Protocol.No_work { finished = false }
+          if leasing_pause st ~now || is_quarantined st worker then
+            Protocol.No_work { finished = false }
           else
             let reply =
               match Lease.acquire st.lease ~now ~worker with
@@ -333,57 +503,120 @@ let handle_msg st ~worker msg =
                   cinc st.mx.leases_issued;
                   Hashtbl.replace st.assigned shard (epoch, now);
                   Protocol.Assign { shard; epoch; start; len }
-              | `Finished -> Protocol.No_work { finished = true }
-              | `Wait -> Protocol.No_work { finished = false }
+              | (`Finished | `Wait) as r -> (
+                  (* No primary work: offer an audit re-execution, then
+                     a speculative duplicate of the worst straggler. *)
+                  match audit_offer st ~worker ~now with
+                  | Some assign -> assign
+                  | None -> (
+                      match
+                        if r = `Wait then speculate_offer st ~worker ~now else None
+                      with
+                      | Some assign -> assign
+                      | None -> Protocol.No_work { finished = campaign_finished st }))
             in
             gset st.mx.in_flight (Lease.in_flight st.lease);
             reply)
   | Protocol.Heartbeat { shard; epoch; samples_done } ->
       locked st (fun () ->
           cinc st.mx.heartbeats;
-          match Lease.heartbeat st.lease ~now ~shard ~epoch with
-          | `Ok ->
-              note_worker_success st ~worker ~now;
-              note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done;
-              Protocol.Ack { accepted = true; reason = "" }
-          | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
+          if Audit.heartbeat st.audit ~shard ~epoch ~now then begin
+            note_worker_success st ~worker ~now;
+            Protocol.Ack { accepted = true; reason = "" }
+          end
+          else
+            match Lease.heartbeat st.lease ~now ~shard ~epoch with
+            | `Ok ->
+                note_worker_success st ~worker ~now;
+                note_heartbeat_rate st ~worker ~now ~shard ~epoch ~samples_done;
+                Protocol.Ack { accepted = true; reason = "" }
+            | `Stale -> Protocol.Ack { accepted = false; reason = "lease lost" })
   | Protocol.Shard_done { shard; epoch; tally; quarantined } ->
       locked st (fun () ->
-          (* Validate before committing: a blob that does not decode must
-             not consume the shard's one accepted completion. *)
-          match Ssf.Tally.of_string tally with
-          | Error msg ->
-              note_worker_failure st ~worker ~now;
-              Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
-          | Ok _ -> (
-              match Lease.complete st.lease ~shard ~epoch with
-              | `Accepted ->
-                  Hashtbl.replace st.blobs shard tally;
-                  st.quarantined <- List.rev_append quarantined st.quarantined;
-                  cinc st.mx.shards_completed;
-                  (match Hashtbl.find_opt st.assigned shard with
-                  | Some (e, t0) when e = epoch ->
-                      Option.iter
-                        (fun h -> Metrics.observe h (Float.max 0. (now -. t0)))
-                        st.mx.roundtrip;
-                      Hashtbl.remove st.assigned shard
-                  | _ -> ());
-                  if shard >= 0 && shard < Array.length st.plan then
-                    Rate.observe st.rate ~now (float_of_int (snd st.plan.(shard)));
-                  note_worker_success st ~worker ~now;
-                  gset st.mx.in_flight (Lease.in_flight st.lease);
-                  checkpoint_locked st;
-                  if Lease.finished st.lease && st.finished_at = None then
-                    st.finished_at <- Some now;
-                  Protocol.Ack { accepted = true; reason = "" }
-              | `Duplicate -> Protocol.Ack { accepted = true; reason = "duplicate" }
-              | `Stale ->
-                  cinc st.mx.stale_results;
-                  Protocol.Ack { accepted = false; reason = "stale epoch" }
-              | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown shard" }))
+          (* The canonical digest of what actually arrived. Checked
+             against the worker's claim before anything is committed:
+             a mismatch means the payload was corrupted or forged
+             between tallying and framing, and is charged like a
+             corrupt frame. *)
+          let computed = Audit.Check.result_digest ~tally ~quarantined in
+          match digest with
+          | Some d when d <> computed ->
+              note_digest_mismatch st ~worker ~now;
+              Audit.release st.audit ~shard ~epoch;
+              Lease.release st.lease ~shard ~epoch;
+              Protocol.Ack { accepted = false; reason = "result digest mismatch" }
+          | _ -> (
+              (* Validate before committing: a blob that does not decode
+                 must not consume the shard's one accepted completion. *)
+              match Ssf.Tally.of_string tally with
+              | Error msg ->
+                  note_worker_failure st ~worker ~now;
+                  Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
+              | Ok _ when Audit.audit_epoch st.audit ~shard ~epoch -> (
+                  match
+                    Audit.complete st.audit ~shard ~epoch ~worker ~digest:computed
+                  with
+                  | `Pass ->
+                      note_worker_success st ~worker ~now;
+                      checkpoint_locked st;
+                      maybe_finish st ~now;
+                      Protocol.Ack { accepted = true; reason = "audit pass" }
+                  | `Dispute ->
+                      (* Somebody is lying, but we cannot yet say who:
+                         a third execution arbitrates. *)
+                      cinc st.mx.audit_disputes;
+                      Protocol.Ack { accepted = true; reason = "audit dispute" }
+                  | `Verdict { Audit.vd_liars; vd_replace } ->
+                      if vd_replace then begin
+                        (* The accepted primary was the lie; the
+                           arriving majority result replaces it. *)
+                        Hashtbl.replace st.blobs shard tally;
+                        Hashtbl.replace st.quarantines shard quarantined
+                      end;
+                      List.iter (quarantine_worker st ~now) vd_liars;
+                      if not (List.mem worker vd_liars) then
+                        note_worker_success st ~worker ~now;
+                      checkpoint_locked st;
+                      maybe_finish st ~now;
+                      Protocol.Ack { accepted = true; reason = "audit verdict" }
+                  | `Stale ->
+                      cinc st.mx.stale_results;
+                      Protocol.Ack { accepted = false; reason = "stale epoch" })
+              | Ok _ -> (
+                  match Lease.complete st.lease ~shard ~epoch with
+                  | `Accepted ->
+                      Hashtbl.replace st.blobs shard tally;
+                      Hashtbl.replace st.quarantines shard quarantined;
+                      cinc st.mx.shards_completed;
+                      (match Hashtbl.find_opt st.assigned shard with
+                      | Some (e, t0) when e = epoch ->
+                          let dt = Float.max 0. (now -. t0) in
+                          Option.iter (fun h -> Metrics.observe h dt) st.mx.roundtrip;
+                          st.shard_ewma <-
+                            Some
+                              (match st.shard_ewma with
+                              | Some m -> (0.7 *. m) +. (0.3 *. dt)
+                              | None -> dt);
+                          Hashtbl.remove st.assigned shard
+                      | _ -> ());
+                      if shard >= 0 && shard < Array.length st.plan then
+                        Rate.observe st.rate ~now (float_of_int (snd st.plan.(shard)));
+                      note_worker_success st ~worker ~now;
+                      ignore
+                        (Audit.note_accept st.audit ~shard ~worker ~digest:computed
+                          : bool);
+                      gset st.mx.in_flight (Lease.in_flight st.lease);
+                      checkpoint_locked st;
+                      maybe_finish st ~now;
+                      Protocol.Ack { accepted = true; reason = "" }
+                  | `Duplicate -> Protocol.Ack { accepted = true; reason = "duplicate" }
+                  | `Stale ->
+                      cinc st.mx.stale_results;
+                      Protocol.Ack { accepted = false; reason = "stale epoch" }
+                  | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown shard" })))
   | Protocol.Fetch_report ->
       locked st (fun () ->
-          if Lease.finished st.lease then report_msg st else Protocol.Report_pending)
+          if campaign_finished st then report_msg st else Protocol.Report_pending)
   | Protocol.Goodbye -> raise Done_serving
   | Protocol.Submit _ | Protocol.Status_req _ | Protocol.Cancel _ | Protocol.Job_heartbeat _
   | Protocol.Job_done _ ->
@@ -443,6 +676,8 @@ let expect_hello st conn =
               (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
           else if fingerprint <> st.fingerprint then
             reject "campaign fingerprint mismatch"
+          else if locked st (fun () -> is_quarantined st worker) then
+            reject "worker quarantined: failed result audit"
           else begin
             let now = Clock.now () in
             let admitted =
@@ -511,7 +746,16 @@ let handle_conn st fd =
               match Protocol.decode_client_ext tag payload with
               | Ok (msg, ext) ->
                   if negotiated >= 4 then absorb_telemetry st ~worker ext;
-                  let reply = handle_msg st ~worker msg in
+                  if locked st (fun () -> is_quarantined st worker) then begin
+                    (* A quarantine verdict mid-connection: terminal
+                       reject, not Retry_later — the worker must not
+                       come back. *)
+                    send conn
+                      (Protocol.Reject
+                         { reason = "worker quarantined: failed result audit" });
+                    raise Done_serving
+                  end;
+                  let reply = handle_msg st ~worker ~digest:ext.Protocol.ext_digest msg in
                   let ext =
                     match reply with
                     | Protocol.Assign { shard; _ } when negotiated >= 4 ->
@@ -553,7 +797,7 @@ let make_view st (obs : Obs.t) =
     let now = Clock.now () in
     locked st (fun () ->
         {
-          h_finished = Lease.finished st.lease;
+          h_finished = campaign_finished st;
           h_shards_done = Lease.completed st.lease;
           h_shards_total = Lease.total st.lease;
           h_in_flight = Lease.in_flight st.lease;
@@ -561,6 +805,8 @@ let make_view st (obs : Obs.t) =
           h_healthy_workers = healthy_workers st ~now;
           h_breakers_open = open_breakers st ~now;
           h_leasing_paused = leasing_pause st ~now;
+          h_audits_pending = Audit.pending st.audit;
+          h_quarantined_workers = List.length st.quarantined_workers;
         })
   in
   let vw_status () =
@@ -573,7 +819,7 @@ let make_view st (obs : Obs.t) =
               if i >= 0 && i < Array.length st.plan then acc + snd st.plan.(i) else acc)
             st.blobs 0
         in
-        let finished = Lease.finished st.lease in
+        let finished = campaign_finished st in
         {
           Protocol.st_fingerprint = st.fingerprint;
           st_state = (if finished then Protocol.Finished else Protocol.Running);
@@ -626,6 +872,9 @@ let make_view st (obs : Obs.t) =
                    (match info with Some i -> i.Fleet.wi_last_wall | None -> 0.);
                  w_spans =
                    (match info with Some i -> i.Fleet.wi_span_count | None -> 0);
+                 w_quarantined = is_quarantined st w;
+                 w_mismatches =
+                   Option.value (Hashtbl.find_opt st.mismatches w) ~default:0;
                }))
   in
   let vw_trace_json () =
@@ -646,18 +895,40 @@ let make_view st (obs : Obs.t) =
 
 (* -- the serve loop ----------------------------------------------------- *)
 
+(* The audit selection seed: any stable function of the fingerprint
+   works; CRC-32 keeps it cheap and dependency-free. Engine sample
+   streams never see this seed, so auditing cannot perturb results. *)
+let audit_seed ~fingerprint = Int64.of_int (Crc32.string fingerprint)
+
 let serve ?(obs = Obs.disabled) ?on_view config ~fingerprint ~plan =
   if Array.length plan = 0 then invalid_arg "Coordinator.serve: empty plan";
   if config.require_workers < 0 then
     invalid_arg "Coordinator.serve: negative require_workers";
+  if config.audit_rate < 0. || config.audit_rate > 1. then
+    invalid_arg "Coordinator.serve: audit_rate outside [0,1]";
+  if config.speculate_factor < 0. then
+    invalid_arg "Coordinator.serve: negative speculate_factor";
   let lease = Lease.create ~plan ~ttl:config.ttl_s in
+  let audit =
+    Audit.create
+      {
+        Audit.rate = config.audit_rate;
+        seed = audit_seed ~fingerprint;
+        ttl_s = config.ttl_s;
+      }
+      ~nshards:(Array.length plan)
+  in
   let st =
     {
       mutex = Mutex.create ();
       lease;
       plan;
       blobs = Hashtbl.create 64;
-      quarantined = [];
+      quarantines = Hashtbl.create 64;
+      audit;
+      quarantined_workers = [];
+      mismatches = Hashtbl.create 8;
+      shard_ewma = None;
       connected = 0;
       finished_at = None;
       last_worker_at = Clock.now ();
@@ -692,8 +963,60 @@ let serve ?(obs = Obs.disabled) ?on_view config ~fingerprint ~plan =
                 Lease.force_complete st.lease ~shard:i
               end)
             ck.Ckpt.st_shards;
-          st.quarantined <- List.rev ck.Ckpt.st_quarantined;
-          if Lease.finished st.lease then st.finished_at <- Some st.started_at)
+          (* Re-attribute the flat quarantine log to shards by global
+             sample index (1-based), so a later invalidation retracts
+             the right entries. *)
+          List.iter
+            (fun e ->
+              let qi = e.Campaign.q_index in
+              Array.iteri
+                (fun i (start, len) ->
+                  if qi > start && qi <= start + len then
+                    Hashtbl.replace st.quarantines i
+                      (Option.value (Hashtbl.find_opt st.quarantines i) ~default:[]
+                      @ [ e ]))
+                plan)
+            ck.Ckpt.st_quarantined;
+          (match ck.Ckpt.st_audit with
+          | Some a ->
+              st.quarantined_workers <- List.rev a.Ckpt.au_banned;
+              gset st.mx.audit_quarantined (List.length st.quarantined_workers);
+              List.iter
+                (fun w -> Breaker.trip (breaker_for st w) ~now:st.started_at)
+                st.quarantined_workers;
+              st.audit <-
+                Audit.restore
+                  {
+                    Audit.rate = config.audit_rate;
+                    seed = audit_seed ~fingerprint;
+                    ttl_s = config.ttl_s;
+                  }
+                  ~nshards:(Array.length plan)
+                  (List.map
+                     (fun (e : Ckpt.audit_entry) ->
+                       {
+                         Audit.au_shard = e.Ckpt.au_shard;
+                         au_worker = e.Ckpt.au_worker;
+                         au_digest = e.Ckpt.au_digest;
+                         au_passed = e.Ckpt.au_passed;
+                       })
+                     a.Ckpt.au_entries)
+          | None ->
+              if config.audit_rate > 0. then
+                (* Pre-audit (v2) checkpoint: recompute digests from the
+                   stored blobs. Producers are unknown, so every
+                   selected shard is simply due for audit again. *)
+                Hashtbl.iter
+                  (fun i blob ->
+                    let quarantined =
+                      Option.value (Hashtbl.find_opt st.quarantines i) ~default:[]
+                    in
+                    ignore
+                      (Audit.note_accept st.audit ~shard:i ~worker:""
+                         ~digest:(Audit.Check.result_digest ~tally:blob ~quarantined)
+                        : bool))
+                  st.blobs);
+          if campaign_finished st then st.finished_at <- Some st.started_at)
   | _ -> ());
   Option.iter (fun f -> f (make_view st obs)) on_view;
   let sock = Wire.listen config.addr in

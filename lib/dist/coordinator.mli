@@ -51,11 +51,23 @@ type config = {
           long with zero connections — an abandoned coordinator frees
           its port instead of waiting forever; 0 disables *)
   breaker : Breaker.config;  (** per-worker circuit breaker tuning *)
+  audit_rate : float;
+      (** fraction of accepted shards re-executed on a different worker
+          and digest-compared ([Fmc_audit], DESIGN.md §16). Selection is
+          a pure function of the fingerprint-derived seed — restart
+          stable, zero engine-stream randomness. 0 disables auditing and
+          restores pre-v5 behavior bit-for-bit. *)
+  speculate_factor : float;
+      (** straggler speculation: duplicate a leased shard onto an idle
+          worker when its holder's projected completion time exceeds
+          this multiple of the fleet's per-shard EWMA; first valid
+          completion wins, the loser fences. 0 disables. *)
 }
 
 val default_config : Wire.addr -> config
 (** ttl 30s, no checkpoint, linger 5s, io deadline 120s, no worker
-    floor, no idle limit, {!Breaker.default_config}. *)
+    floor, no idle limit, {!Breaker.default_config}, audit and
+    speculation off. *)
 
 type outcome = {
   oc_shards : (int * string) list;
@@ -85,6 +97,8 @@ type health = {
   h_healthy_workers : int;  (** connected workers without an open breaker *)
   h_breakers_open : int;
   h_leasing_paused : bool;  (** below the [require_workers] floor *)
+  h_audits_pending : int;  (** audit re-executions due or in flight *)
+  h_quarantined_workers : int;
 }
 
 type worker_view = {
@@ -94,6 +108,8 @@ type worker_view = {
   w_connections : int;  (** live post-Hello connections *)
   w_last_wall : float;  (** wall clock of the last absorbed telemetry; 0 if none *)
   w_spans : int;  (** span summaries absorbed from this worker *)
+  w_quarantined : bool;  (** permanently banned by a result-audit verdict *)
+  w_mismatches : int;  (** digest mismatches charged to this worker *)
 }
 
 type view = {
@@ -131,6 +147,11 @@ val serve :
     receives the scrape surface described above. Workers that Hello with
     protocol v4 get trace/span ids stamped on every [Assign] and their
     piggybacked telemetry absorbed into the fleet store; v3 workers are
-    served identically minus the observability. Raises [Failure] on a
-    corrupt or mismatched checkpoint and [Invalid_argument] on an empty
-    plan or negative [require_workers]. *)
+    served identically minus the observability. Workers that Hello with
+    v5 attach result digests, checked on every accept; with
+    [audit_rate] > 0 accepted shards are re-executed and compared per
+    DESIGN.md §16 ([Fetch_report] answers [Report_pending] until every
+    audit drains, so a finished report is always an audited one). Raises
+    [Failure] on a corrupt or mismatched checkpoint and
+    [Invalid_argument] on an empty plan, negative [require_workers],
+    [audit_rate] outside [0,1] or negative [speculate_factor]. *)

@@ -17,7 +17,15 @@ type assignment = { shard : int; epoch : int; start : int; len : int }
 
 type slot =
   | Unleased
-  | Leased of { epoch : int; worker : string; deadline : float }
+  | Leased of {
+      epoch : int;
+      worker : string;
+      deadline : float;
+      spare : (int * string * float) option;
+          (* speculative duplicate (epoch, worker, deadline): a second
+             live lease on the same shard, under its own (higher) epoch.
+             First valid completion wins; the other fences as stale. *)
+    }
   | Done of { epoch : int }
 
 type t = {
@@ -51,9 +59,25 @@ let sweep_expired t ~now =
   Array.iteri
     (fun i slot ->
       match slot with
-      | Leased { deadline; worker; _ } when deadline < now ->
-          t.slots.(i) <- Unleased;
-          expired := (i, worker) :: !expired
+      | Leased l ->
+          (* Expire the speculative duplicate independently of the
+             primary; a live spare is promoted when the primary dies. *)
+          let spare =
+            match l.spare with
+            | Some (_, w, d) when d < now ->
+                expired := (i, w) :: !expired;
+                None
+            | s -> s
+          in
+          if l.deadline < now then begin
+            expired := (i, l.worker) :: !expired;
+            t.slots.(i) <-
+              (match spare with
+              | Some (epoch, worker, deadline) ->
+                  Leased { epoch; worker; deadline; spare = None }
+              | None -> Unleased)
+          end
+          else if spare != l.spare then t.slots.(i) <- Leased { l with spare }
       | _ -> ())
     t.slots;
   List.rev !expired
@@ -73,7 +97,7 @@ let acquire t ~now ~worker =
     | Some i ->
         let epoch = t.epochs.(i) + 1 in
         t.epochs.(i) <- epoch;
-        t.slots.(i) <- Leased { epoch; worker; deadline = now +. t.ttl };
+        t.slots.(i) <- Leased { epoch; worker; deadline = now +. t.ttl; spare = None };
         let start, len = t.plan.(i) in
         `Assign { shard = i; epoch; start; len }
   end
@@ -85,6 +109,9 @@ let heartbeat t ~now ~shard ~epoch =
     | Leased l when l.epoch = epoch ->
         t.slots.(shard) <- Leased { l with deadline = now +. t.ttl };
         `Ok
+    | Leased ({ spare = Some (e, w, _); _ } as l) when e = epoch ->
+        t.slots.(shard) <- Leased { l with spare = Some (e, w, now +. t.ttl) };
+        `Ok
     | _ -> `Stale
 
 let complete t ~shard ~epoch =
@@ -92,6 +119,12 @@ let complete t ~shard ~epoch =
   else
     match t.slots.(shard) with
     | Leased { epoch = e; _ } when e = epoch ->
+        t.slots.(shard) <- Done { epoch };
+        t.done_count <- t.done_count + 1;
+        `Accepted
+    | Leased { spare = Some (e, _, _); _ } when e = epoch ->
+        (* The speculative duplicate finished first; the straggling
+           primary now fences as stale. *)
         t.slots.(shard) <- Done { epoch };
         t.done_count <- t.done_count + 1;
         `Accepted
@@ -109,3 +142,68 @@ let force_complete t ~shard =
 let holder t ~shard =
   if shard < 0 || shard >= total t then None
   else match t.slots.(shard) with Leased { worker; _ } -> Some worker | _ -> None
+
+let bump_epoch t ~shard =
+  if shard < 0 || shard >= total t then invalid_arg "Lease.bump_epoch: bad shard";
+  t.epochs.(shard) <- t.epochs.(shard) + 1;
+  t.epochs.(shard)
+
+let range t ~shard =
+  if shard < 0 || shard >= total t then invalid_arg "Lease.range: bad shard";
+  t.plan.(shard)
+
+let reopen t ~shard =
+  if shard < 0 || shard >= total t then invalid_arg "Lease.reopen: bad shard";
+  match t.slots.(shard) with
+  | Done _ ->
+      t.slots.(shard) <- Unleased;
+      t.done_count <- t.done_count - 1
+  | Unleased | Leased _ -> ()
+
+let release t ~shard ~epoch =
+  if shard < 0 || shard >= total t then ()
+  else
+    match t.slots.(shard) with
+    | Leased l when l.epoch = epoch ->
+        t.slots.(shard) <-
+          (match l.spare with
+          | Some (epoch, worker, deadline) ->
+              Leased { epoch; worker; deadline; spare = None }
+          | None -> Unleased)
+    | Leased ({ spare = Some (e, _, _); _ } as l) when e = epoch ->
+        t.slots.(shard) <- Leased { l with spare = None }
+    | _ -> ()
+
+let release_worker t ~worker =
+  let released = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Leased l ->
+          let spare =
+            match l.spare with Some (_, w, _) when w = worker -> None | s -> s
+          in
+          if l.worker = worker then begin
+            released := i :: !released;
+            t.slots.(i) <-
+              (match spare with
+              | Some (epoch, worker, deadline) ->
+                  Leased { epoch; worker; deadline; spare = None }
+              | None -> Unleased)
+          end
+          else if spare != l.spare then t.slots.(i) <- Leased { l with spare }
+      | _ -> ())
+    t.slots;
+  List.rev !released
+
+let speculate t ~now ~shard ~worker =
+  if shard < 0 || shard >= total t then None
+  else
+    match t.slots.(shard) with
+    | Leased l when l.spare = None && l.worker <> worker ->
+        let epoch = t.epochs.(shard) + 1 in
+        t.epochs.(shard) <- epoch;
+        t.slots.(shard) <- Leased { l with spare = Some (epoch, worker, now +. t.ttl) };
+        let start, len = t.plan.(shard) in
+        Some { shard; epoch; start; len }
+    | _ -> None

@@ -54,3 +54,35 @@ val total : t -> int
 
 val holder : t -> shard:int -> string option
 (** The worker currently holding the shard's lease, if any. *)
+
+val bump_epoch : t -> shard:int -> int
+(** Issue and return a fresh (strictly higher) epoch for [shard]
+    without touching its slot. Audit re-executions ride on this: the
+    shard stays [Done] while the audit runs under the fresh epoch, so
+    the audited completion can never be mistaken for a primary result.
+    Raises [Invalid_argument] on a shard outside the plan. *)
+
+val range : t -> shard:int -> int * int
+(** The plan's [(start, len)] for [shard]. *)
+
+val reopen : t -> shard:int -> unit
+(** [Done -> Unleased]: the accepted result was invalidated (its
+    producer got quarantined) and the shard must be honestly re-run.
+    No-op unless the shard is [Done]. *)
+
+val release : t -> shard:int -> epoch:int -> unit
+(** Drop the live lease matching [epoch] without expiring it (its
+    holder sent a corrupt or digest-mismatched result). A primary
+    release promotes any live speculative duplicate; a spare release
+    just drops the spare. No-op on a non-matching epoch. *)
+
+val release_worker : t -> worker:string -> int list
+(** Release every lease (primary or spare) held by [worker] —
+    quarantine path. Returns the shards whose primary lease dropped. *)
+
+val speculate : t -> now:float -> shard:int -> worker:string -> assignment option
+(** Open a speculative duplicate lease on a shard whose primary holder
+    is straggling: a second worker runs the same shard under a fresh
+    epoch, first valid completion wins, the loser fences as stale
+    (DESIGN.md §16). [None] if the shard is not leased, already has a
+    spare, or [worker] is the primary holder. *)

@@ -26,15 +26,22 @@ open Fmc
    decoders use the same non-exhaustive line cursor as ours, so the
    extra lines are invisible to them, and Welcome negotiates
    min(peer, ours) so a v4 worker talking to a v3 coordinator sends
-   plain v3 messages. *)
-let version = 4
+   plain v3 messages.
+   v5: result auditing — Shard_done/Job_done may end with a
+   "digest <hex>" line (before any telemetry section): the canonical
+   result digest (Fmc_audit.Check.result_digest) computed worker-side
+   so the coordinator can cheaply detect corrupt-in-transit or lying
+   payloads. Same additive-trailing-section scheme as v4; v3/v4 peers
+   negotiate down and run unaudited (the coordinator recomputes digests
+   itself on their results). *)
+let version = 5
 
 (* The campaign fingerprint predates v4 and hashes only things that
    change per-sample outcomes; v4 added no such thing, so the embedded
    version stays 3 and v3 peers' fingerprints still match. *)
 let fingerprint_version = 3
 
-let accepts_version v = v = 3 || v = version
+let accepts_version v = v = 3 || v = 4 || v = version
 let negotiate ~peer = min peer version
 
 (* The full identity of a campaign: every parameter that must agree
@@ -296,9 +303,12 @@ type extension = {
   ext_telemetry : string option;
       (* encoded Fmc_obs.Telemetry blob on Heartbeat/Shard_done/
          Job_heartbeat/Job_done; opaque at this layer *)
+  ext_digest : string option;
+      (* v5: canonical result digest on Shard_done/Job_done; opaque
+         here (Fmc_audit computes and compares it) *)
 }
 
-let no_extension = { ext_trace = None; ext_telemetry = None }
+let no_extension = { ext_trace = None; ext_telemetry = None; ext_digest = None }
 
 let starts_with ~prefix line =
   let n = String.length prefix in
@@ -320,6 +330,14 @@ let read_ext_telemetry c =
       | _ -> bad "malformed telemetry line")
   | _ -> None
 
+let read_ext_digest c =
+  match c.rest with
+  | line :: _ when starts_with ~prefix:"digest " line -> (
+      match fields (next c) with
+      | [ "digest"; d ] -> Some d
+      | _ -> bad "malformed digest line")
+  | _ -> None
+
 let emit_ext_trace buf = function
   | None -> ()
   | Some (t, s) ->
@@ -328,6 +346,10 @@ let emit_ext_trace buf = function
 let emit_ext_telemetry buf = function
   | None -> ()
   | Some blob -> emit_blob buf "telemetry" blob
+
+let emit_ext_digest buf = function
+  | None -> ()
+  | Some d -> Buffer.add_string buf (Printf.sprintf "digest %s\n" (one_line d))
 
 (* -- client messages ---------------------------------------------------- *)
 
@@ -364,11 +386,16 @@ let encode_client = function
 
 let encode_client_ext ?(ext = no_extension) msg =
   let tag, payload = encode_client msg in
+  let digest =
+    (* The digest section only rides on result messages. *)
+    match msg with Shard_done _ | Job_done _ -> ext.ext_digest | _ -> None
+  in
   match msg with
   | Heartbeat _ | Shard_done _ | Job_heartbeat _ | Job_done _
-    when ext.ext_telemetry <> None ->
+    when ext.ext_telemetry <> None || digest <> None ->
       let buf = Buffer.create (String.length payload + 256) in
       Buffer.add_string buf payload;
+      emit_ext_digest buf digest;
       emit_ext_telemetry buf ext.ext_telemetry;
       (tag, Buffer.contents buf)
   | _ -> (tag, payload)
@@ -454,7 +481,11 @@ let decode_client_ext tag payload =
   | Ok msg ->
       let ext =
         match msg with
-        | Heartbeat _ | Shard_done _ | Job_heartbeat _ | Job_done _ ->
+        | Shard_done _ | Job_done _ ->
+            (* Section order is fixed: digest, then telemetry. *)
+            let digest = read_ext_digest c in
+            { no_extension with ext_digest = digest; ext_telemetry = read_ext_telemetry c }
+        | Heartbeat _ | Job_heartbeat _ ->
             { no_extension with ext_telemetry = read_ext_telemetry c }
         | _ -> no_extension
       in

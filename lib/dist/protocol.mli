@@ -12,25 +12,25 @@
 open Fmc
 
 val version : int
-(** 4 since the fleet-observability extensions (v2 introduced the
-    CRC-framed wire format, v3 the multi-campaign scheduler messages).
-    The v4 additions are purely additive trailing sections (see
-    {!extension}), so v3 peers are still served: {!accepts_version}
-    admits both and {!Welcome} carries the {!negotiate}d version. v1
-    peers are refused at Hello with a v1-framed {!Reject} they can
-    decode (see {!v1_hello}). *)
+(** 5 since the result-audit digests (v2 introduced the CRC-framed wire
+    format, v3 the multi-campaign scheduler messages, v4 the
+    fleet-observability extensions). The v4/v5 additions are purely
+    additive trailing sections (see {!extension}), so v3 and v4 peers
+    are still served: {!accepts_version} admits all three and {!Welcome}
+    carries the {!negotiate}d version. v1 peers are refused at Hello
+    with a v1-framed {!Reject} they can decode (see {!v1_hello}). *)
 
 val fingerprint_version : int
-(** The version embedded in campaign fingerprints — still 3: v4 changed
-    no per-sample semantics, so v3 and v4 peers agree on campaign
+(** The version embedded in campaign fingerprints — still 3: v4/v5
+    changed no per-sample semantics, so v3..v5 peers agree on campaign
     identity. *)
 
 val accepts_version : int -> bool
-(** Hello versions a v4 server serves (3 and 4). *)
+(** Hello versions a v5 server serves (3, 4 and 5). *)
 
 val negotiate : peer:int -> int
 (** [min peer version] — what {!Welcome} answers; both sides only use
-    v4 extensions when the negotiated version is ≥ 4. *)
+    v4/v5 extensions when the negotiated version reaches them. *)
 
 type spec = {
   sp_benchmark : string;
@@ -203,6 +203,11 @@ type extension = {
       (** encoded [Fmc_obs.Telemetry] blob attached by workers to
           {!Heartbeat}/{!Shard_done}/{!Job_heartbeat}/{!Job_done};
           opaque at this layer *)
+  ext_digest : string option;
+      (** v5: canonical result digest ([Fmc_audit.Check.result_digest])
+          attached by workers to {!Shard_done}/{!Job_done}; the server
+          recomputes and compares, treating a mismatch as a corrupt
+          frame. Opaque at this layer. *)
 }
 
 val no_extension : extension

@@ -57,6 +57,7 @@ type config = {
   connect_attempts : int;  (* TCP connect retries within one session attempt *)
   io_deadline_s : float;  (* socket read/write deadline *)
   retry : retry;  (* reconnect state-machine tuning *)
+  send_digest : bool;  (* attach the v5 result digest to completions *)
 }
 
 let default_config ~addr ~worker_name =
@@ -68,6 +69,7 @@ let default_config ~addr ~worker_name =
     connect_attempts = 20;
     io_deadline_s = 120.;
     retry = default_retry;
+    send_digest = true;
   }
 
 type mx = {
@@ -155,6 +157,20 @@ let telemetry_ext (obs : Obs.t) ~trace_id ~spans =
     Protocol.ext_telemetry =
       Some (Telemetry.encode (Telemetry.make ~trace_id ~metrics ~spans ()));
   }
+
+(* The v5 digest piggyback: stamp the canonical result digest onto a
+   completion's extension so the server can verify the payload survived
+   the trip (and use it as the audit comparison key). *)
+let digest_ext config ~negotiated ~tally ~quarantined ext =
+  if negotiated >= 5 && config.send_digest then
+    let base = Option.value ext ~default:Protocol.no_extension in
+    Some
+      {
+        base with
+        Protocol.ext_digest =
+          Some (Fmc_audit.Audit.Check.result_digest ~tally ~quarantined);
+      }
+  else ext
 
 let shard_span (obs : Obs.t) ~span_id ~shard ~t0 =
   {
@@ -269,16 +285,14 @@ let run ?(obs = Obs.disabled) ?causal ?sample_budget ?inject
                ~seed ~shard ~start ~len
            with
           | sh ->
+              let tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+              let quarantined = sh.Campaign.sh_quarantined in
               send
-                ?ext:(piggyback [ shard_span obs ~span_id ~shard ~t0 ])
+                ?ext:
+                  (digest_ext config ~negotiated ~tally ~quarantined
+                     (piggyback [ shard_span obs ~span_id ~shard ~t0 ]))
                 conn
-                (Protocol.Shard_done
-                   {
-                     shard;
-                     epoch;
-                     tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
-                     quarantined = sh.Campaign.sh_quarantined;
-                   });
+                (Protocol.Shard_done { shard; epoch; tally; quarantined });
               (match recv conn "shard_done" with
               | Protocol.Ack { accepted; _ } -> if accepted then incr completed
               | _ -> protocol_error "shard_done")
@@ -380,17 +394,14 @@ let run_pool ?(obs = Obs.disabled) ?causal
                    ~len
                with
               | sh ->
+                  let tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+                  let quarantined = sh.Campaign.sh_quarantined in
                   send
-                    ?ext:(piggyback [ shard_span obs ~span_id ~shard ~t0 ])
+                    ?ext:
+                      (digest_ext config ~negotiated ~tally ~quarantined
+                         (piggyback [ shard_span obs ~span_id ~shard ~t0 ]))
                     conn
-                    (Protocol.Job_done
-                       {
-                         fingerprint;
-                         shard;
-                         epoch;
-                         tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
-                         quarantined = sh.Campaign.sh_quarantined;
-                       });
+                    (Protocol.Job_done { fingerprint; shard; epoch; tally; quarantined });
                   (match recv conn "job_done" with
                   | Protocol.Ack { accepted; _ } -> if accepted then incr completed
                   | _ -> protocol_error "job_done")
@@ -446,6 +457,11 @@ let fetch_report ?(obs = Obs.disabled) ?(poll_s = 0.25) ?(poll_cap_s = 2.) ?(tim
   | exception Parked cooldown_s ->
       Error (Fetch_rejected (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s))
   | exception Unix.Unix_error (e, _, _) -> Error (Fetch_unreachable (Unix.error_message e))
+  | exception Failure msg -> Error (Fetch_unreachable msg)
+  | exception Wire.Closed -> Error (Fetch_unreachable "connection closed during handshake")
+  | exception Wire.Timeout -> Error (Fetch_timeout 0.)
+  | exception Wire.Protocol_error msg -> Error (Fetch_protocol msg)
+  | exception Session_error msg -> Error (Fetch_protocol msg)
   | conn, _ ->
       let started = Clock.now () in
       Fun.protect
@@ -509,6 +525,11 @@ let control ?(obs = Obs.disabled) config msg ~what ~reply =
   | exception Parked cooldown_s -> Error (Printf.sprintf "parked for %.1fs (circuit open)" cooldown_s)
   | exception Unix.Unix_error (e, _, _) ->
       Error ("cannot reach scheduler: " ^ Unix.error_message e)
+  | exception Failure msg -> Error ("cannot reach scheduler: " ^ msg)
+  | exception Wire.Closed -> Error "scheduler closed the connection during handshake"
+  | exception Wire.Timeout -> Error "socket deadline expired during handshake"
+  | exception Wire.Protocol_error msg -> Error msg
+  | exception Session_error msg -> Error msg
   | conn, _ ->
       Fun.protect
         ~finally:(fun () -> Wire.close conn)

@@ -63,6 +63,10 @@ type config = {
   connect_attempts : int;  (** TCP connect retries within one session *)
   io_deadline_s : float;  (** socket read/write deadline ({!Wire.conn}) *)
   retry : retry;  (** reconnect state-machine tuning *)
+  send_digest : bool;
+      (** attach the canonical result digest to Shard_done/Job_done on
+          v5 connections (default). Disabling simulates a pre-v5 worker;
+          the server then recomputes digests itself. *)
 }
 
 val default_config : addr:Wire.addr -> worker_name:string -> config

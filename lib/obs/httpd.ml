@@ -17,6 +17,8 @@ let reason = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | _ -> "Status"
@@ -46,7 +48,7 @@ type t = {
   thread : Thread.t;
 }
 
-let max_request_bytes = 8192
+let default_max_request_bytes = 8192
 
 let write_all fd s =
   let n = String.length s in
@@ -66,22 +68,30 @@ let header_end s =
   in
   find 0
 
-let read_head fd =
-  (* read the full header block (requests are tiny; we never need a
-     body) so the close after our response does not race unread data *)
+(* Read the full header block (requests are tiny; we never need a
+   body) so the close after our response does not race unread data.
+   Misbehaving clients get a typed outcome instead of a silent drop:
+   a header block over [max_bytes] is [`Too_large] (431) and a socket
+   that stalls past the receive deadline is [`Timed_out] (408) — both
+   are counted as rejections by the caller. *)
+let read_head ~max_bytes fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 1024 in
   let rec go () =
-    if Buffer.length buf > max_request_bytes then None
+    if Buffer.length buf > max_bytes then `Too_large
     else
       let contents = Buffer.contents buf in
-      if header_end contents <> None then Some contents
+      if header_end contents <> None then `Head contents
       else
         match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | 0 -> if Buffer.length buf = 0 then `Empty else `Head (Buffer.contents buf)
         | n ->
             Buffer.add_subbytes buf chunk 0 n;
             go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+          ->
+            (* SO_RCVTIMEO fired mid-header: the peer is stalling. *)
+            `Timed_out
   in
   go ()
 
@@ -93,21 +103,28 @@ let respond fd ~head_only { status; content_type; body } =
   in
   write_all fd (if head_only then head else head ^ body)
 
-let handle_client routes deadline_s fd =
+let handle_client routes deadline_s max_bytes rejected fd =
+  let reject status msg =
+    Option.iter Metrics.inc rejected;
+    respond fd ~head_only:false (text ~status msg)
+  in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO deadline_s;
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO deadline_s;
-      match read_head fd with
-      | None -> ()
-      | Some raw -> (
+      match read_head ~max_bytes fd with
+      | `Empty -> ()
+      | `Too_large ->
+          reject 431 (Printf.sprintf "request header block exceeds %d bytes\n" max_bytes)
+      | `Timed_out -> reject 408 "request header not received within the read deadline\n"
+      | `Head raw -> (
           let line = match String.index_opt raw '\n' with
             | Some i -> String.sub raw 0 i
             | None -> raw
           in
           match parse_request line with
-          | Error msg -> respond fd ~head_only:false (text ~status:400 (msg ^ "\n"))
+          | Error msg -> reject 400 (msg ^ "\n")
           | Ok (meth, path) when meth = "GET" || meth = "HEAD" -> (
               let head_only = meth = "HEAD" in
               match List.assoc_opt path routes with
@@ -122,7 +139,7 @@ let handle_client routes deadline_s fd =
               respond fd ~head_only:false
                 (text ~status:405 (Printf.sprintf "method %s not allowed\n" meth))))
 
-let accept_loop sock running routes deadline_s () =
+let accept_loop sock running routes deadline_s max_bytes rejected () =
   while Atomic.get running do
     match Unix.select [ sock ] [] [] 0.25 with
     | [], _, _ -> ()
@@ -131,14 +148,23 @@ let accept_loop sock running routes deadline_s () =
         | fd, _ ->
             ignore
               (Thread.create
-                 (fun () -> try handle_client routes deadline_s fd with _ -> ())
+                 (fun () -> try handle_client routes deadline_s max_bytes rejected fd with _ -> ())
                  ())
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error _ -> ()
   done
 
-let start ?(bind_addr = "0.0.0.0") ?(io_deadline_s = 10.) ~port ~routes () =
+let start ?(bind_addr = "0.0.0.0") ?(io_deadline_s = 10.)
+    ?(max_request_bytes = default_max_request_bytes) ?registry ~port ~routes () =
   if io_deadline_s <= 0. then invalid_arg "Httpd.start: non-positive io_deadline_s";
+  if max_request_bytes <= 0 then invalid_arg "Httpd.start: non-positive max_request_bytes";
+  let rejected =
+    Option.map
+      (fun r ->
+        Metrics.counter r ~help:"HTTP requests rejected (malformed, oversized, or stalled)"
+          "fmc_obs_http_rejected_total")
+      registry
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -153,7 +179,9 @@ let start ?(bind_addr = "0.0.0.0") ?(io_deadline_s = 10.) ~port ~routes () =
     | _ -> port
   in
   let running = Atomic.make true in
-  let thread = Thread.create (accept_loop sock running routes io_deadline_s) () in
+  let thread =
+    Thread.create (accept_loop sock running routes io_deadline_s max_request_bytes rejected) ()
+  in
   { sock; port; running; thread }
 
 let port t = t.port

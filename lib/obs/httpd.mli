@@ -27,11 +27,22 @@ val parse_request : string -> (string * string, string) result
 type t
 
 val start :
-  ?bind_addr:string -> ?io_deadline_s:float -> port:int -> routes:route list -> unit -> t
+  ?bind_addr:string ->
+  ?io_deadline_s:float ->
+  ?max_request_bytes:int ->
+  ?registry:Metrics.registry ->
+  port:int ->
+  routes:route list ->
+  unit ->
+  t
 (** Bind (default [0.0.0.0], deadline 10s) and start serving. [port] 0
-    binds an ephemeral port — read it back with {!port}. Raises
-    [Unix.Unix_error] when the bind fails and [Invalid_argument] on a
-    non-positive deadline. *)
+    binds an ephemeral port — read it back with {!port}.
+    [max_request_bytes] (default 8192) caps the request header block: an
+    oversized request is answered 431, a client that stalls its header
+    past the receive deadline 408, and a malformed request line 400 —
+    all counted on [fmc_obs_http_rejected_total] when a [registry] is
+    supplied. Raises [Unix.Unix_error] when the bind fails and
+    [Invalid_argument] on a non-positive deadline or byte cap. *)
 
 val port : t -> int
 (** The actually bound port. *)

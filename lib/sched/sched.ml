@@ -31,6 +31,8 @@ open Fmc
 module Protocol = Fmc_dist.Protocol
 module Lease = Fmc_dist.Lease
 module Ckpt = Fmc_dist.Ckpt
+module Crc32 = Fmc_dist.Crc32
+module Audit = Fmc_audit.Audit
 module Obs = Fmc_obs.Obs
 module Metrics = Fmc_obs.Metrics
 module Rate = Fmc_obs.Rate
@@ -42,10 +44,20 @@ type config = {
   wall_budget_s : float;  (* running wall clock before a campaign is parked; 0 = off *)
   retry_after_s : float;  (* resubmission hint in admission rejections *)
   rate_halflife_s : float;  (* pool throughput EWMA window *)
+  audit_rate : float;  (* fraction of accepted shards re-executed (DESIGN.md §16); 0 = off *)
+  speculate_factor : float;  (* straggler duplication threshold over the shard EWMA; 0 = off *)
 }
 
 let default_config =
-  { queue_depth = 16; ttl_s = 30.; wall_budget_s = 0.; retry_after_s = 5.; rate_halflife_s = 30. }
+  {
+    queue_depth = 16;
+    ttl_s = 30.;
+    wall_budget_s = 0.;
+    retry_after_s = 5.;
+    rate_halflife_s = 30.;
+    audit_rate = 0.;
+    speculate_factor = 0.;
+  }
 
 type phase = Active | Finished | Parked of string | Cancelled
 
@@ -56,7 +68,9 @@ type entry = {
   plan : (int * int) array;
   lease : Lease.t;
   blobs : (int, string) Hashtbl.t;
-  mutable quarantined : Campaign.quarantine_entry list;  (* newest first *)
+  quarantines : (int, Campaign.quarantine_entry list) Hashtbl.t;  (* by producing shard *)
+  mutable audit : Audit.t;  (* replaced wholesale on checkpoint reattach *)
+  assigned_at : (int, float * string) Hashtbl.t;  (* shard -> (lease t0, holder) *)
   mutable phase : phase;
   mutable started_at : float option;
   mutable done_samples : int;
@@ -77,6 +91,12 @@ type mx = {
   running : Metrics.gauge option;
   in_flight : Metrics.gauge option;
   wal_fsync : Metrics.histogram option;
+  audits : Metrics.counter option;
+  audit_mismatches : Metrics.counter option;
+  audit_disputes : Metrics.counter option;
+  audit_invalidated : Metrics.counter option;
+  audit_speculations : Metrics.counter option;
+  audit_quarantined : Metrics.gauge option;
 }
 
 let mx_create (obs : Obs.t) =
@@ -96,6 +116,12 @@ let mx_create (obs : Obs.t) =
         running = None;
         in_flight = None;
         wal_fsync = None;
+        audits = None;
+        audit_mismatches = None;
+        audit_disputes = None;
+        audit_invalidated = None;
+        audit_speculations = None;
+        audit_quarantined = None;
       }
   | Some r ->
       let c help name = Some (Metrics.counter r ~help name) in
@@ -118,6 +144,12 @@ let mx_create (obs : Obs.t) =
             (Metrics.histogram r ~help:"durable WAL append latency (write + fsync)"
                ~buckets:[| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1. |]
                "fmc_sched_wal_fsync_seconds");
+        audits = c "audit re-executions leased" "fmc_audit_audits_total";
+        audit_mismatches = c "shard results whose digest failed verification" "fmc_audit_mismatches_total";
+        audit_disputes = c "audits escalated to a third arbitrating execution" "fmc_audit_disputes_total";
+        audit_invalidated = c "accepted shards invalidated by a quarantine" "fmc_audit_invalidated_total";
+        audit_speculations = c "speculative duplicate leases issued" "fmc_audit_speculations_total";
+        audit_quarantined = g "workers quarantined by audit verdicts" "fmc_audit_quarantined_workers";
       }
 
 let cinc = Option.iter Metrics.inc
@@ -134,6 +166,10 @@ type t = {
   rate : Rate.t;
   mutable draining : bool;
   mutable last_activity : float;
+  mutable banned : string list;  (* workers quarantined by audit verdicts, fleet-wide *)
+  mismatches : (string, int) Hashtbl.t;  (* digest-mismatch strikes per worker *)
+  workers_seen : (string, float) Hashtbl.t;  (* last next_job per worker: fleet-size estimate *)
+  mutable shard_ewma : float option;  (* fleet per-shard wall-clock EWMA (speculation) *)
   mx : mx;
 }
 
@@ -156,12 +192,14 @@ let rec_submit spec = "submit\n" ^ Protocol.spec_line spec
 let rec_finished fp elapsed = Printf.sprintf "finished\n%s\n%h" fp elapsed
 let rec_parked fp reason = Printf.sprintf "parked\n%s\n%s" fp (one_line reason)
 let rec_cancelled fp = "cancelled\n" ^ fp
+let rec_quarantine worker = "quarantined\n" ^ one_line worker
 
 type wal_op =
   | Op_submit of Protocol.spec
   | Op_finished of string * float
   | Op_parked of string * string
   | Op_cancelled of string
+  | Op_quarantine of string
 
 let parse_record payload =
   match String.split_on_char '\n' payload with
@@ -171,6 +209,7 @@ let parse_record payload =
       Some (Op_finished (fp, Option.value (float_of_string_opt e) ~default:0.))
   | [ "parked"; fp; reason ] -> Some (Op_parked (fp, reason))
   | [ "cancelled"; fp ] -> Some (Op_cancelled fp)
+  | [ "quarantined"; worker ] -> Some (Op_quarantine worker)
   | _ -> None
 
 (* -- entries ------------------------------------------------------------- *)
@@ -179,6 +218,11 @@ let ckpt_dir_of dir = Filename.concat dir "campaigns"
 let ckpt_dir t = ckpt_dir_of t.dir
 let ckpt_path_of dir e = Filename.concat (ckpt_dir_of dir) (e.key ^ ".ckpt")
 let ckpt_path t e = ckpt_path_of t.dir e
+
+let audit_seed ~fp = Int64.of_int (Crc32.string fp)
+
+let audit_config config ~fp =
+  { Audit.rate = config.audit_rate; seed = audit_seed ~fp; ttl_s = config.ttl_s }
 
 let make_entry config spec =
   let fp = Protocol.spec_fingerprint spec in
@@ -192,7 +236,9 @@ let make_entry config spec =
     plan;
     lease = Lease.create ~plan ~ttl:config.ttl_s;
     blobs = Hashtbl.create 16;
-    quarantined = [];
+    quarantines = Hashtbl.create 16;
+    audit = Audit.create (audit_config config ~fp) ~nshards:(Array.length plan);
+    assigned_at = Hashtbl.create 16;
     phase = Active;
     started_at = None;
     done_samples = 0;
@@ -228,6 +274,10 @@ let refresh_gauges t =
     (List.length (List.filter (fun e -> e.done_samples > 0 || Lease.in_flight e.lease > 0) act));
   gset t.mx.in_flight (List.fold_left (fun n e -> n + Lease.in_flight e.lease) 0 act)
 
+let sorted_quarantined e =
+  Hashtbl.fold (fun _ qs acc -> List.rev_append qs acc) e.quarantines []
+  |> List.sort (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
+
 let save_ckpt t e =
   let shards =
     Hashtbl.fold (fun i b acc -> (i, b) :: acc) e.blobs []
@@ -235,20 +285,68 @@ let save_ckpt t e =
   in
   (if not (Sys.file_exists (ckpt_dir t)) then
      try Unix.mkdir (ckpt_dir t) 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let st_audit =
+    (* Quarantined workers live in the WAL, not the per-campaign
+       checkpoint, so [au_banned] stays empty here; with auditing off the
+       checkpoint is written as a byte-identical v2 file. *)
+    if Audit.rate e.audit = 0. then None
+    else
+      Some
+        {
+          Ckpt.au_entries =
+            List.map
+              (fun (a : Audit.entry) ->
+                {
+                  Ckpt.au_shard = a.Audit.au_shard;
+                  au_worker = a.Audit.au_worker;
+                  au_digest = a.Audit.au_digest;
+                  au_passed = a.Audit.au_passed;
+                })
+              (Audit.export e.audit);
+          au_banned = [];
+        }
+  in
   Ckpt.save ~path:(ckpt_path t e)
-    { Ckpt.st_fingerprint = e.fp; st_shards = shards; st_quarantined = List.rev e.quarantined }
+    {
+      Ckpt.st_fingerprint = e.fp;
+      st_shards = shards;
+      st_quarantined = sorted_quarantined e;
+      st_audit;
+    }
 
 (* -- recovery ------------------------------------------------------------ *)
 
 let shard_len e shard = if shard >= 0 && shard < Array.length e.plan then snd e.plan.(shard) else 0
 
-let attach_ckpt ~dir e =
+(* Re-attribute a flat quarantine log to producing shards by global
+   sample index over the plan's ranges — v2 checkpoints (and the wire
+   protocol) carry the log flat, while invalidation needs to drop
+   exactly one shard's entries. *)
+let shard_of_qindex e qi =
+  let found = ref None in
+  Array.iteri
+    (fun shard (start, len) -> if !found = None && qi > start && qi <= start + len then found := Some shard)
+    e.plan;
+  !found
+
+let attach_quarantines e entries =
+  Hashtbl.reset e.quarantines;
+  List.iter
+    (fun q ->
+      match shard_of_qindex e q.Campaign.q_index with
+      | None -> ()
+      | Some shard ->
+          let prev = Option.value (Hashtbl.find_opt e.quarantines shard) ~default:[] in
+          Hashtbl.replace e.quarantines shard (q :: prev))
+    entries
+
+let attach_ckpt ~config ~dir e =
   let path = ckpt_path_of dir e in
   if Sys.file_exists path then
     match Ckpt.load ~path with
     | Error _ -> ()  (* unreadable progress: re-run the campaign from scratch *)
     | Ok st when st.Ckpt.st_fingerprint <> e.fp -> ()
-    | Ok st ->
+    | Ok st -> (
         List.iter
           (fun (shard, blob) ->
             if shard >= 0 && shard < Array.length e.plan && not (Hashtbl.mem e.blobs shard)
@@ -258,7 +356,57 @@ let attach_ckpt ~dir e =
               e.done_samples <- e.done_samples + shard_len e shard
             end)
           st.Ckpt.st_shards;
-        e.quarantined <- List.rev st.Ckpt.st_quarantined
+        attach_quarantines e st.Ckpt.st_quarantined;
+        let acfg = audit_config config ~fp:e.fp in
+        match st.Ckpt.st_audit with
+        | Some au ->
+            e.audit <-
+              Audit.restore acfg ~nshards:(Array.length e.plan)
+                (List.map
+                   (fun (a : Ckpt.audit_entry) ->
+                     {
+                       Audit.au_shard = a.Ckpt.au_shard;
+                       au_worker = a.Ckpt.au_worker;
+                       au_digest = a.Ckpt.au_digest;
+                       au_passed = a.Ckpt.au_passed;
+                     })
+                   au.Ckpt.au_entries)
+        | None ->
+            (* Pre-audit (v2) checkpoint under a now-auditing scheduler:
+               recompute each accepted shard's digest from its blob. The
+               primaries carry no producer name, so a later quarantine
+               cannot blame them — they are simply due for audit. *)
+            if config.audit_rate > 0. then
+              Hashtbl.iter
+                (fun shard blob ->
+                  let quarantined =
+                    Option.value (Hashtbl.find_opt e.quarantines shard) ~default:[]
+                  in
+                  ignore
+                    (Audit.note_accept e.audit ~shard ~worker:""
+                       ~digest:(Audit.Check.result_digest ~tally:blob ~quarantined)
+                      : bool))
+                e.blobs)
+
+let entry_complete e = Lease.finished e.lease && Audit.finished e.audit
+
+(* Drop every accepted-but-unvindicated shard [worker] produced in [e]:
+   the quarantine path, and its crash-recovery replay. Returns how many
+   shards were invalidated. *)
+let invalidate_victims_entry e ~worker =
+  let victims = Audit.victims e.audit ~worker in
+  List.iter
+    (fun shard ->
+      if Hashtbl.mem e.blobs shard then begin
+        Hashtbl.remove e.blobs shard;
+        Hashtbl.remove e.quarantines shard;
+        e.done_samples <- e.done_samples - shard_len e shard
+      end;
+      Audit.invalidate e.audit ~shard;
+      Lease.reopen e.lease ~shard;
+      Hashtbl.remove e.assigned_at shard)
+    victims;
+  List.length victims
 
 (* Rebuild the queue from replayed WAL records, then reattach each
    campaign's checkpoint. Runs before the WAL handle exists (the old
@@ -266,10 +414,13 @@ let attach_ckpt ~dir e =
    only touches the entry tables. *)
 let recover ~config ~dir ~entries records =
   let order = ref [] in
+  let banned = ref [] in
   List.iter
     (fun payload ->
       match parse_record payload with
       | None -> ()
+      | Some (Op_quarantine worker) ->
+          if not (List.mem worker !banned) then banned := worker :: !banned
       | Some (Op_submit spec) -> (
           match spec_valid spec with
           | Error _ -> ()
@@ -309,16 +460,24 @@ let recover ~config ~dir ~entries records =
       match Hashtbl.find_opt entries fp with
       | None -> ()
       | Some e -> (
-          attach_ckpt ~dir e;
+          attach_ckpt ~config ~dir e;
+          (* The quarantine WAL record is durable before the victims'
+             checkpoints are rewritten, so replay the invalidation — a
+             no-op when the crash came after it finished. *)
+          List.iter
+            (fun worker ->
+              if not (entry_complete e) || e.phase <> Finished then
+                ignore (invalidate_victims_entry e ~worker : int))
+            !banned;
           match e.phase with
-          | Finished -> if not (Lease.finished e.lease) then e.phase <- Active
-          | Active -> if Lease.finished e.lease then e.phase <- Finished
-          | Parked _ -> if Lease.finished e.lease then e.phase <- Finished
+          | Finished -> if not (entry_complete e) then e.phase <- Active
+          | Active -> if entry_complete e then e.phase <- Finished
+          | Parked _ -> if entry_complete e then e.phase <- Finished
           | Cancelled -> ()))
     order;
-  order
+  (order, !banned)
 
-let records_of_state ~entries order =
+let records_of_state ~entries ~banned order =
   List.concat_map
     (fun fp ->
       match Hashtbl.find_opt entries fp with
@@ -331,9 +490,13 @@ let records_of_state ~entries order =
           | Parked reason -> [ base; rec_parked e.fp reason ]
           | Cancelled -> [ base; rec_cancelled e.fp ]))
     order
+  @ List.rev_map rec_quarantine banned
 
 let create ?(obs = Obs.disabled) config ~dir ~now =
   if config.ttl_s <= 0. then invalid_arg "Sched.create: non-positive ttl";
+  if config.audit_rate < 0. || config.audit_rate > 1. then
+    invalid_arg "Sched.create: audit_rate outside [0,1]";
+  if config.speculate_factor < 0. then invalid_arg "Sched.create: negative speculate_factor";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let wal_dir = Filename.concat dir "wal" in
   let replayed = Wal.replay ~dir:wal_dir in
@@ -341,7 +504,7 @@ let create ?(obs = Obs.disabled) config ~dir ~now =
   cadd mx.wal_records (float_of_int (List.length replayed.Wal.records));
   cadd mx.wal_torn (float_of_int replayed.Wal.torn);
   let entries = Hashtbl.create 16 in
-  let order = recover ~config ~dir ~entries replayed.Wal.records in
+  let order, banned = recover ~config ~dir ~entries replayed.Wal.records in
   let recovered = Hashtbl.length entries in
   if recovered > 0 then cadd mx.recoveries (float_of_int recovered);
   (* Compacting here also truncates any torn tail: the next replay reads
@@ -350,29 +513,69 @@ let create ?(obs = Obs.disabled) config ~dir ~now =
     {
       config;
       dir;
-      wal = Wal.start ~dir:wal_dir ~initial:(records_of_state ~entries order);
+      wal = Wal.start ~dir:wal_dir ~initial:(records_of_state ~entries ~banned order);
       entries;
       order;
       rotation = 0;
       rate = Rate.create ~halflife_s:config.rate_halflife_s ~now ();
       draining = false;
       last_activity = now;
+      banned;
+      mismatches = Hashtbl.create 8;
+      workers_seen = Hashtbl.create 8;
+      shard_ewma = None;
       mx;
     }
   in
+  gset t.mx.audit_quarantined (List.length banned);
   refresh_gauges t;
   t
 
 (* -- phase transitions --------------------------------------------------- *)
 
 let finalize t e ~now =
-  if e.phase <> Finished then begin
+  (* A campaign is not finished until every pending audit drained: a
+     report served before its audits settle could carry a lie. *)
+  if e.phase <> Finished && entry_complete e then begin
     e.phase <- Finished;
     e.elapsed_s <- (match e.started_at with Some s -> now -. s | None -> 0.);
     wal_append t (rec_finished e.fp e.elapsed_s);
     cinc t.mx.finished;
     refresh_gauges t
   end
+
+let is_banned t ~worker = List.mem worker t.banned
+
+(* Fleet-wide quarantine: record durably, then invalidate every
+   unvindicated shard the liar produced in any still-active campaign so
+   honest workers re-run them. Finished campaigns keep their reports —
+   every shard in them was either audited or produced before auditing
+   drained, and reopening a served report would be worse than the
+   residual risk. *)
+let quarantine_worker t worker =
+  if worker <> "" && not (is_banned t ~worker) then begin
+    t.banned <- worker :: t.banned;
+    wal_append t (rec_quarantine worker);
+    gset t.mx.audit_quarantined (List.length t.banned);
+    iter_ordered t (fun e ->
+        if active e then begin
+          let dropped = invalidate_victims_entry e ~worker in
+          ignore (Lease.release_worker e.lease ~worker : int list);
+          if dropped > 0 then begin
+            cadd t.mx.audit_invalidated (float_of_int dropped);
+            save_ckpt t e
+          end
+        end);
+    refresh_gauges t
+  end
+
+let mismatch_strikes = 3
+
+let note_mismatch t worker =
+  cinc t.mx.audit_mismatches;
+  let strikes = 1 + Option.value (Hashtbl.find_opt t.mismatches worker) ~default:0 in
+  Hashtbl.replace t.mismatches worker strikes;
+  if strikes >= mismatch_strikes then quarantine_worker t worker
 
 let park t e reason =
   if active e then begin
@@ -453,18 +656,62 @@ let sweep t ~now =
   iter_ordered t (fun e ->
       if active e then begin
         ignore (Lease.sweep e.lease ~now : int);
+        ignore (Audit.sweep e.audit ~now : int);
         (match (e.started_at, t.config.wall_budget_s) with
         | Some s, budget when budget > 0. && now -. s > budget ->
             park t e
               (Printf.sprintf "wall-clock budget exhausted (%.1fs > %.1fs)" (now -. s) budget)
         | _ -> ());
-        if Lease.finished e.lease then finalize t e ~now
+        if entry_complete e then finalize t e ~now
       end);
   refresh_gauges t
 
+(* Live-fleet estimate from recent lease requests: with a single live
+   worker the different-auditor rule would deadlock the audit queue, so
+   self-audit is allowed (it still catches nondeterminism). *)
+let fleet_size t ~now =
+  Hashtbl.fold
+    (fun _ last n -> if now -. last <= 2. *. t.config.ttl_s then n + 1 else n)
+    t.workers_seen 0
+
+let audit_offer t e ~now ~worker =
+  match Audit.next_due e.audit ~worker ~allow_self:(fleet_size t ~now <= 1) with
+  | None -> None
+  | Some shard ->
+      let epoch = Lease.bump_epoch e.lease ~shard in
+      Audit.lease e.audit ~shard ~auditor:worker ~epoch ~now;
+      cinc t.mx.audits;
+      let start, len = Lease.range e.lease ~shard in
+      Some { Lease.shard; epoch; start; len }
+
+let speculate_offer t e ~now ~worker =
+  match t.shard_ewma with
+  | Some ewma when t.config.speculate_factor > 0. && not (Lease.finished e.lease) ->
+      let threshold = t.config.speculate_factor *. ewma in
+      let worst = ref None in
+      Hashtbl.iter
+        (fun shard (t0, holder) ->
+          let age = now -. t0 in
+          if holder <> worker && age > threshold then
+            match !worst with
+            | Some (a, _) when a >= age -> ()
+            | _ -> worst := Some (age, shard))
+        e.assigned_at;
+      (match !worst with
+      | None -> None
+      | Some (_, shard) -> (
+          match Lease.speculate e.lease ~now ~shard ~worker with
+          | Some a ->
+              cinc t.mx.audit_speculations;
+              Some a
+          | None -> None))
+  | _ -> None
+
 let next_job t ~now ~worker ~scope =
   t.last_activity <- now;
-  if t.draining then `Drained
+  Hashtbl.replace t.workers_seen worker now;
+  if is_banned t ~worker then `Banned
+  else if t.draining then `Drained
   else
     let try_entry e =
       if not (active e) then None
@@ -472,11 +719,17 @@ let next_job t ~now ~worker ~scope =
         match Lease.acquire e.lease ~now ~worker with
         | `Assign a ->
             if e.started_at = None then e.started_at <- Some now;
+            Hashtbl.replace e.assigned_at a.Lease.shard (now, worker);
             Some (`Job (e.spec, a))
-        | `Finished ->
-            finalize t e ~now;
-            None
-        | `Wait -> None
+        | `Finished | `Wait -> (
+            match audit_offer t e ~now ~worker with
+            | Some a -> Some (`Job (e.spec, a))
+            | None -> (
+                match speculate_offer t e ~now ~worker with
+                | Some a -> Some (`Job (e.spec, a))
+                | None ->
+                    if entry_complete e then finalize t e ~now;
+                    None))
     in
     if scope = Protocol.pool_fingerprint then begin
       let act = active_entries t in
@@ -515,7 +768,7 @@ let next_job t ~now ~worker ~scope =
               | Some job ->
                   refresh_gauges t;
                   job
-              | None -> if Lease.finished e.lease then `Drained else `Wait))
+              | None -> if entry_complete e then `Drained else `Wait))
 
 let heartbeat t ~now ~fingerprint ~shard ~epoch =
   t.last_activity <- now;
@@ -523,10 +776,12 @@ let heartbeat t ~now ~fingerprint ~shard ~epoch =
   | None -> `Stale
   | Some e -> (
       match e.phase with
-      | Active | Parked _ -> Lease.heartbeat e.lease ~now ~shard ~epoch
+      | Active | Parked _ ->
+          if Audit.heartbeat e.audit ~shard ~epoch ~now then `Ok
+          else Lease.heartbeat e.lease ~now ~shard ~epoch
       | Finished | Cancelled -> `Stale)
 
-let complete t ~now ~fingerprint ~shard ~epoch ~tally ~quarantined =
+let complete t ~now ~fingerprint ~shard ~epoch ~worker ~digest ~tally ~quarantined =
   t.last_activity <- now;
   match Hashtbl.find_opt t.entries fingerprint with
   | None -> `Unknown
@@ -537,17 +792,63 @@ let complete t ~now ~fingerprint ~shard ~epoch ~tally ~quarantined =
           match Ssf.Tally.of_string tally with
           | Error msg -> `Invalid msg
           | Ok _ -> (
-              match Lease.complete e.lease ~shard ~epoch with
-              | `Accepted ->
-                  Hashtbl.replace e.blobs shard tally;
-                  e.quarantined <- List.rev_append quarantined e.quarantined;
-                  e.done_samples <- e.done_samples + shard_len e shard;
-                  Rate.observe t.rate ~now (float_of_int (shard_len e shard));
-                  save_ckpt t e;
-                  if Lease.finished e.lease && e.phase = Active then finalize t e ~now;
-                  refresh_gauges t;
-                  `Accepted
-              | (`Duplicate | `Stale | `Unknown) as r -> r)))
+              let computed = Audit.Check.result_digest ~tally ~quarantined in
+              match digest with
+              | Some d when d <> computed ->
+                  (* The worker's own digest disagrees with its payload:
+                     corruption or a clumsy lie. Refuse without consuming
+                     the shard's completion and put the lease back. *)
+                  note_mismatch t worker;
+                  Audit.release e.audit ~shard ~epoch;
+                  Lease.release e.lease ~shard ~epoch;
+                  `Mismatch
+              | _ ->
+                  if Audit.audit_epoch e.audit ~shard ~epoch then (
+                    match Audit.complete e.audit ~shard ~epoch ~worker ~digest:computed with
+                    | `Pass ->
+                        save_ckpt t e;
+                        if e.phase = Active then finalize t e ~now;
+                        `Audited "audit pass"
+                    | `Dispute ->
+                        cinc t.mx.audit_disputes;
+                        `Audited "audit dispute: arbitrating"
+                    | `Verdict { Audit.vd_liars; vd_replace } ->
+                        if vd_replace then begin
+                          (* The accepted primary was the lie; the
+                             arbiter's result in hand is the honest one. *)
+                          Hashtbl.replace e.blobs shard tally;
+                          if quarantined = [] then Hashtbl.remove e.quarantines shard
+                          else Hashtbl.replace e.quarantines shard quarantined
+                        end;
+                        List.iter (quarantine_worker t) vd_liars;
+                        save_ckpt t e;
+                        if e.phase = Active then finalize t e ~now;
+                        `Audited "audit verdict"
+                    | `Stale -> `Stale)
+                  else
+                    match Lease.complete e.lease ~shard ~epoch with
+                    | `Accepted ->
+                        Hashtbl.replace e.blobs shard tally;
+                        if quarantined = [] then Hashtbl.remove e.quarantines shard
+                        else Hashtbl.replace e.quarantines shard quarantined;
+                        e.done_samples <- e.done_samples + shard_len e shard;
+                        Rate.observe t.rate ~now (float_of_int (shard_len e shard));
+                        (match Hashtbl.find_opt e.assigned_at shard with
+                        | Some (t0, _) ->
+                            let dt = Float.max 0. (now -. t0) in
+                            t.shard_ewma <-
+                              Some
+                                (match t.shard_ewma with
+                                | None -> dt
+                                | Some old -> (0.7 *. old) +. (0.3 *. dt));
+                            Hashtbl.remove e.assigned_at shard
+                        | None -> ());
+                        ignore (Audit.note_accept e.audit ~shard ~worker ~digest:computed : bool);
+                        save_ckpt t e;
+                        if e.phase = Active then finalize t e ~now;
+                        refresh_gauges t;
+                        `Accepted
+                    | (`Duplicate | `Stale | `Unknown) as r -> r)))
 
 (* -- reports and status -------------------------------------------------- *)
 
@@ -558,12 +859,7 @@ let report t ~fingerprint =
         Hashtbl.fold (fun i b acc -> (i, b) :: acc) e.blobs []
         |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
       in
-      let quarantined =
-        List.sort
-          (fun a b -> compare a.Campaign.q_index b.Campaign.q_index)
-          (List.rev e.quarantined)
-      in
-      Some (shards, quarantined, e.elapsed_s)
+      Some (shards, sorted_quarantined e, e.elapsed_s)
   | Some _ | None -> None
 
 let status_entry t ~now e =
@@ -642,5 +938,8 @@ let shutdown t =
      next startup replays a minimal, tear-free log. *)
   let wal_dir = Wal.dir t.wal in
   Wal.close t.wal;
-  let w = Wal.start ~dir:wal_dir ~initial:(records_of_state ~entries:t.entries t.order) in
+  let w =
+    Wal.start ~dir:wal_dir
+      ~initial:(records_of_state ~entries:t.entries ~banned:t.banned t.order)
+  in
   Wal.close w

@@ -30,10 +30,21 @@ type config = {
           service lives on; 0 disables *)
   retry_after_s : float;  (** resubmission hint carried by rejections *)
   rate_halflife_s : float;  (** pool-throughput EWMA window ({!Fmc_obs.Rate}) *)
+  audit_rate : float;
+      (** fraction of accepted shards re-executed on a different worker
+          and digest-compared ({!Fmc_audit.Audit}, DESIGN.md §16).
+          Selection is a pure function of each campaign's
+          fingerprint-derived seed — restart-stable across [kill -9].
+          0 disables and keeps checkpoints byte-identical to v2. *)
+  speculate_factor : float;
+      (** duplicate a leased shard onto an idle worker once its lease age
+          exceeds this multiple of the fleet per-shard EWMA; first valid
+          completion wins, the loser fences. 0 disables. *)
 }
 
 val default_config : config
-(** depth 16, ttl 30s, no wall budget, retry-after 5s, 30s half-life. *)
+(** depth 16, ttl 30s, no wall budget, retry-after 5s, 30s half-life,
+    audit and speculation off. *)
 
 type t
 
@@ -63,12 +74,20 @@ val next_job :
   [ `Job of Protocol.spec * Lease.assignment
   | `Wait  (** nothing leasable right now — poll again *)
   | `Drained  (** stop asking: draining, or the scoped campaign is done *)
-  | `Unknown_scope  (** concrete scope names a campaign never submitted *) ]
+  | `Unknown_scope  (** concrete scope names a campaign never submitted *)
+  | `Banned  (** the worker is quarantined: refuse it permanently *) ]
 (** [scope] is the connection's Hello fingerprint:
     {!Protocol.pool_fingerprint} draws round-robin from every active
     campaign (expiring overdue leases on the way); a concrete
     fingerprint serves only that campaign, which is how pre-scheduler
-    [faultmc worker] processes keep working. *)
+    [faultmc worker] processes keep working. With [audit_rate] > 0, a
+    campaign whose shards are all done may still hand out audit
+    re-executions (under fresh lease epochs); with [speculate_factor]
+    > 0, a straggling shard may be speculatively duplicated. *)
+
+val is_banned : t -> worker:string -> bool
+(** Quarantined by an audit verdict (or three digest mismatches) —
+    durable across restarts via the WAL. *)
 
 val heartbeat :
   t -> now:float -> fingerprint:string -> shard:int -> epoch:int -> [ `Ok | `Stale ]
@@ -79,13 +98,27 @@ val complete :
   fingerprint:string ->
   shard:int ->
   epoch:int ->
+  worker:string ->
+  digest:string option ->
   tally:string ->
   quarantined:Campaign.quarantine_entry list ->
-  [ `Accepted | `Duplicate | `Stale | `Unknown | `Invalid of string ]
+  [ `Accepted
+  | `Duplicate
+  | `Stale
+  | `Unknown
+  | `Invalid of string
+  | `Mismatch  (** the carried digest disagrees with the payload *)
+  | `Audited of string  (** an audit re-execution landed (reason text) *) ]
 (** [`Accepted] persists the campaign checkpoint before returning and
     finalizes the campaign (WAL "finished" record, report cached) when
-    it was the last shard. [`Invalid]: the tally blob does not decode —
-    refused without consuming the shard's one completion. *)
+    it was the last shard and no audit is pending. [`Invalid]: the tally
+    blob does not decode — refused without consuming the shard's one
+    completion. [digest] is the v5 extension's carried digest (if any);
+    it is always recomputed server-side, and a disagreement is a
+    [`Mismatch] strike against [worker] (three strikes quarantine it).
+    Completions under an audit epoch settle the audit instead of the
+    lease; a quorum verdict quarantines the minority worker and
+    invalidates its unvindicated shards across every active campaign. *)
 
 val report :
   t ->

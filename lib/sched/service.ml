@@ -94,8 +94,10 @@ let complete_reply = function
   | `Stale -> Protocol.Ack { accepted = false; reason = "stale epoch" }
   | `Unknown -> Protocol.Ack { accepted = false; reason = "unknown shard or campaign" }
   | `Invalid msg -> Protocol.Ack { accepted = false; reason = "undecodable tally: " ^ msg }
+  | `Mismatch -> Protocol.Ack { accepted = false; reason = "result digest mismatch" }
+  | `Audited reason -> Protocol.Ack { accepted = true; reason }
 
-let handle_msg st ~scope ~worker msg =
+let handle_msg st ~scope ~worker ~digest msg =
   let now = Clock.now () in
   let sched = st.sched in
   let pool = scope = Protocol.pool_fingerprint in
@@ -129,7 +131,8 @@ let handle_msg st ~scope ~worker msg =
           else Protocol.Assign { shard; epoch; start; len }
       | `Wait -> Protocol.No_work { finished = false }
       | `Drained -> Protocol.No_work { finished = true }
-      | `Unknown_scope -> Protocol.Reject { reason = "unknown campaign" })
+      | `Unknown_scope -> Protocol.Reject { reason = "unknown campaign" }
+      | `Banned -> Protocol.Reject { reason = "worker quarantined: failed result audit" })
   | Protocol.Heartbeat { shard; epoch; samples_done = _ } ->
       if pool then Protocol.Reject { reason = "pool connections heartbeat with job_heartbeat" }
       else (
@@ -144,9 +147,11 @@ let handle_msg st ~scope ~worker msg =
       if pool then Protocol.Reject { reason = "pool connections complete with job_done" }
       else
         complete_reply
-          (Sched.complete sched ~now ~fingerprint:scope ~shard ~epoch ~tally ~quarantined)
+          (Sched.complete sched ~now ~fingerprint:scope ~shard ~epoch ~worker ~digest ~tally
+             ~quarantined)
   | Protocol.Job_done { fingerprint; shard; epoch; tally; quarantined } ->
-      complete_reply (Sched.complete sched ~now ~fingerprint ~shard ~epoch ~tally ~quarantined)
+      complete_reply
+        (Sched.complete sched ~now ~fingerprint ~shard ~epoch ~worker ~digest ~tally ~quarantined)
   | Protocol.Fetch_report ->
       if pool then Protocol.Reject { reason = "fetch_report needs a campaign-scoped connection" }
       else (
@@ -187,9 +192,11 @@ let trace_ext ~fingerprint ~shard =
 
 (* First frame must be an accepted-version Hello; any fingerprint is an
    acceptable scope (a concrete one may name a campaign that is about
-   to be submitted on this very connection). v1 peers get a v1-framed
-   Reject they can decode, as the coordinator does. *)
-let expect_hello conn =
+   to be submitted on this very connection). Quarantined workers are
+   refused here, terminally — a handshake Reject is the one refusal a
+   worker does not retry. v1 peers get a v1-framed Reject they can
+   decode, as the coordinator does. *)
+let expect_hello st conn =
   let reject reason =
     send conn (Protocol.Reject { reason });
     raise Done_serving
@@ -217,6 +224,8 @@ let expect_hello conn =
       | Ok (Protocol.Hello { version; worker; fingerprint }) ->
           if not (Protocol.accepts_version version) then
             reject (Printf.sprintf "protocol version %d, want %d" version Protocol.version)
+          else if locked st (fun () -> Sched.is_banned st.sched ~worker) then
+            reject "worker quarantined: failed result audit"
           else begin
             let negotiated = Protocol.negotiate ~peer:version in
             send conn (Protocol.Welcome { version = negotiated });
@@ -237,7 +246,7 @@ let handle_conn st fd =
       gset st.connections st.connected);
   Fun.protect ~finally (fun () ->
       try
-        let worker, scope, negotiated = expect_hello conn in
+        let worker, scope, negotiated = expect_hello st conn in
         let rec loop () =
           (match Wire.read_frame_raw conn with
           | `Corrupt _ ->
@@ -249,7 +258,17 @@ let handle_conn st fd =
               match Protocol.decode_client_ext tag payload with
               | Ok (msg, ext) ->
                   if negotiated >= 4 then absorb_telemetry st ~worker ext;
-                  let reply = locked st (fun () -> handle_msg st ~scope ~worker msg) in
+                  (* A worker quarantined mid-session gets a terminal
+                     reject instead of service. *)
+                  if locked st (fun () -> Sched.is_banned st.sched ~worker) then begin
+                    send conn
+                      (Protocol.Reject { reason = "worker quarantined: failed result audit" });
+                    raise Done_serving
+                  end;
+                  let reply =
+                    locked st (fun () ->
+                        handle_msg st ~scope ~worker ~digest:ext.Protocol.ext_digest msg)
+                  in
                   let ext =
                     match reply with
                     | Protocol.Job { spec; shard; _ } when negotiated >= 4 ->

@@ -1,0 +1,232 @@
+(* Tests for Fmc_audit, the untrusted-worker defense: the seeded audit
+   sampler (pure, restart-stable, zero engine-stream randomness), the
+   canonical result digest, and the pass / dispute / verdict state
+   machine with its epoch fencing, TTL sweep and quarantine-victim
+   accounting. Pure state-machine tests — no engine, sockets or clock. *)
+
+module Audit = Fmc_audit.Audit
+
+let cfg ?(rate = 1.0) ?(seed = 42L) ?(ttl = 60.) () = { Audit.rate; seed; ttl_s = ttl }
+
+(* ------------------------------------------------------------------ *)
+(* sampler *)
+
+let test_sampler_pure_and_restart_stable () =
+  let seed = 7L in
+  let draws rate = List.init 200 (fun shard -> Audit.selected_pure ~rate ~seed ~shard) in
+  Alcotest.(check (list bool)) "same (rate, seed, shard) -> same draw" (draws 0.3) (draws 0.3);
+  Alcotest.(check bool) "rate 0 selects nothing" false
+    (List.exists Fun.id (draws 0.));
+  Alcotest.(check bool) "rate 1 selects everything" true
+    (List.for_all Fun.id (draws 1.));
+  let hits = List.length (List.filter Fun.id (draws 0.3)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate 0.3 selects a plausible fraction (%d/200)" hits)
+    true
+    (hits > 20 && hits < 100);
+  (* Different seeds disagree somewhere (else the seed is dead). *)
+  let other = List.init 200 (fun shard -> Audit.selected_pure ~rate:0.3 ~seed:99L ~shard) in
+  Alcotest.(check bool) "seed actually feeds the draw" true (other <> draws 0.3)
+
+let test_sampler_matches_state_machine () =
+  let c = cfg ~rate:0.3 ~seed:11L () in
+  let t = Audit.create c ~nshards:100 in
+  for shard = 0 to 99 do
+    let selected = Audit.note_accept t ~shard ~worker:"w" ~digest:"d" in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d selection agrees with selected_pure" shard)
+      (Audit.selected_pure ~rate:0.3 ~seed:11L ~shard)
+      selected;
+    Alcotest.(check bool) "selected agrees too" selected (Audit.selected t ~shard)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* digest *)
+
+let test_result_digest () =
+  let tally = "samples 40\nline two\n" in
+  let d = Audit.Check.result_digest ~tally ~quarantined:[] in
+  Alcotest.(check string) "no quarantine: digest of the tally blob alone"
+    (Fmc.Ssf.Tally.digest_hex tally) d;
+  Alcotest.(check string) "deterministic" d (Audit.Check.result_digest ~tally ~quarantined:[]);
+  let d' = Audit.Check.result_digest ~tally:"samples 41\nline two\n" ~quarantined:[] in
+  Alcotest.(check bool) "one tally digit flips the digest" true (d <> d')
+
+(* ------------------------------------------------------------------ *)
+(* state machine *)
+
+let test_audit_pass () =
+  let t = Audit.create (cfg ()) ~nshards:2 in
+  Alcotest.(check bool) "rate 1: accepted shard is due" true
+    (Audit.note_accept t ~shard:0 ~worker:"alice" ~digest:"d0");
+  Alcotest.(check int) "one pending" 1 (Audit.pending t);
+  Alcotest.(check bool) "not finished" false (Audit.finished t);
+  (* The primary executor never audits its own shard... *)
+  Alcotest.(check (option int)) "alice may not self-audit" None
+    (Audit.next_due t ~worker:"alice" ~allow_self:false);
+  (* ...unless the fleet is down to one worker. *)
+  Alcotest.(check (option int)) "allow_self lifts the bar" (Some 0)
+    (Audit.next_due t ~worker:"alice" ~allow_self:true);
+  Alcotest.(check (option int)) "bob is offered shard 0" (Some 0)
+    (Audit.next_due t ~worker:"bob" ~allow_self:false);
+  Audit.lease t ~shard:0 ~auditor:"bob" ~epoch:2 ~now:10.;
+  Alcotest.(check bool) "epoch 2 routes to the audit" true (Audit.audit_epoch t ~shard:0 ~epoch:2);
+  Alcotest.(check bool) "epoch 1 does not" false (Audit.audit_epoch t ~shard:0 ~epoch:1);
+  (match Audit.complete t ~shard:0 ~epoch:2 ~worker:"bob" ~digest:"d0" with
+  | `Pass -> ()
+  | _ -> Alcotest.fail "matching digest must pass");
+  Alcotest.(check int) "drained" 0 (Audit.pending t);
+  Alcotest.(check bool) "finished" true (Audit.finished t)
+
+let test_audit_dispute_verdict_against_primary () =
+  let t = Audit.create (cfg ()) ~nshards:1 in
+  ignore (Audit.note_accept t ~shard:0 ~worker:"alice" ~digest:"lie");
+  Audit.lease t ~shard:0 ~auditor:"bob" ~epoch:2 ~now:0.;
+  (match Audit.complete t ~shard:0 ~epoch:2 ~worker:"bob" ~digest:"truth" with
+  | `Dispute -> ()
+  | _ -> Alcotest.fail "disagreement must open a dispute");
+  Alcotest.(check int) "still pending while disputed" 1 (Audit.pending t);
+  (* Neither prior executor may arbitrate. *)
+  Alcotest.(check (option int)) "alice may not arbitrate" None
+    (Audit.next_due t ~worker:"alice" ~allow_self:false);
+  Alcotest.(check (option int)) "bob may not arbitrate" None
+    (Audit.next_due t ~worker:"bob" ~allow_self:false);
+  Alcotest.(check (option int)) "carol arbitrates" (Some 0)
+    (Audit.next_due t ~worker:"carol" ~allow_self:false);
+  Audit.lease t ~shard:0 ~auditor:"carol" ~epoch:3 ~now:1.;
+  (match Audit.complete t ~shard:0 ~epoch:3 ~worker:"carol" ~digest:"truth" with
+  | `Verdict { Audit.vd_liars = [ "alice" ]; vd_replace = true } -> ()
+  | `Verdict v ->
+      Alcotest.failf "wrong verdict: liars=[%s] replace=%b"
+        (String.concat ";" v.Audit.vd_liars)
+        v.Audit.vd_replace
+  | _ -> Alcotest.fail "quorum must yield a verdict");
+  Alcotest.(check bool) "settled" true (Audit.finished t)
+
+let test_audit_dispute_verdict_against_auditor () =
+  let t = Audit.create (cfg ()) ~nshards:1 in
+  ignore (Audit.note_accept t ~shard:0 ~worker:"alice" ~digest:"truth");
+  Audit.lease t ~shard:0 ~auditor:"bob" ~epoch:2 ~now:0.;
+  (match Audit.complete t ~shard:0 ~epoch:2 ~worker:"bob" ~digest:"lie" with
+  | `Dispute -> ()
+  | _ -> Alcotest.fail "dispute");
+  Audit.lease t ~shard:0 ~auditor:"carol" ~epoch:3 ~now:1.;
+  (match Audit.complete t ~shard:0 ~epoch:3 ~worker:"carol" ~digest:"truth" with
+  | `Verdict { Audit.vd_liars = [ "bob" ]; vd_replace = false } -> ()
+  | _ -> Alcotest.fail "the outvoted auditor is the liar; the primary blob stands")
+
+let test_epoch_fencing_release_sweep () =
+  let t = Audit.create (cfg ~ttl:5. ()) ~nshards:1 in
+  ignore (Audit.note_accept t ~shard:0 ~worker:"alice" ~digest:"d");
+  Audit.lease t ~shard:0 ~auditor:"bob" ~epoch:2 ~now:0.;
+  (match Audit.complete t ~shard:0 ~epoch:9 ~worker:"bob" ~digest:"d" with
+  | `Stale -> ()
+  | _ -> Alcotest.fail "a fenced epoch must be stale");
+  (* Heartbeats under the right epoch keep the audit lease alive. *)
+  Alcotest.(check bool) "heartbeat accepted" true (Audit.heartbeat t ~shard:0 ~epoch:2 ~now:4.);
+  Alcotest.(check bool) "wrong-epoch heartbeat refused" false
+    (Audit.heartbeat t ~shard:0 ~epoch:9 ~now:4.);
+  Alcotest.(check int) "nothing overdue yet" 0 (Audit.sweep t ~now:8.);
+  Alcotest.(check int) "TTL expiry re-offers the audit" 1 (Audit.sweep t ~now:20.);
+  Alcotest.(check (option int)) "due again" (Some 0)
+    (Audit.next_due t ~worker:"carol" ~allow_self:false);
+  (* Release after a disconnect does the same, but only under the
+     leased epoch. *)
+  Audit.lease t ~shard:0 ~auditor:"carol" ~epoch:3 ~now:21.;
+  Audit.release t ~shard:0 ~epoch:9;
+  Alcotest.(check (option int)) "wrong-epoch release is a no-op" None
+    (Audit.next_due t ~worker:"dave" ~allow_self:false);
+  Audit.release t ~shard:0 ~epoch:3;
+  Alcotest.(check (option int)) "released back to due" (Some 0)
+    (Audit.next_due t ~worker:"dave" ~allow_self:false)
+
+let test_victims_and_invalidate () =
+  let t = Audit.create (cfg ()) ~nshards:3 in
+  ignore (Audit.note_accept t ~shard:0 ~worker:"alice" ~digest:"a0");
+  ignore (Audit.note_accept t ~shard:1 ~worker:"alice" ~digest:"a1");
+  ignore (Audit.note_accept t ~shard:2 ~worker:"bob" ~digest:"b2");
+  (* Vindicate shard 0; shard 1 stays unaudited. *)
+  Audit.lease t ~shard:0 ~auditor:"bob" ~epoch:2 ~now:0.;
+  (match Audit.complete t ~shard:0 ~epoch:2 ~worker:"bob" ~digest:"a0" with
+  | `Pass -> ()
+  | _ -> Alcotest.fail "pass");
+  Alcotest.(check (list int)) "only the unvindicated shard is a victim" [ 1 ]
+    (Audit.victims t ~worker:"alice");
+  Alcotest.(check (list int)) "bob's shard is his own" [ 2 ] (Audit.victims t ~worker:"bob");
+  (* Invalidating forgets the primary; re-accepting re-draws selection. *)
+  Audit.invalidate t ~shard:1;
+  Alcotest.(check (list int)) "invalidated shard is no longer a victim" []
+    (Audit.victims t ~worker:"alice");
+  Alcotest.(check bool) "re-accept re-selects (rate 1)" true
+    (Audit.note_accept t ~shard:1 ~worker:"carol" ~digest:"c1")
+
+let test_export_restore_roundtrip () =
+  let c = cfg ~rate:0.5 ~seed:123L () in
+  let t = Audit.create c ~nshards:20 in
+  for shard = 0 to 19 do
+    ignore (Audit.note_accept t ~shard ~worker:(if shard mod 2 = 0 then "alice" else "bob")
+              ~digest:(Printf.sprintf "d%d" shard))
+  done;
+  (* Pass one of the due audits, lease another (in-flight leases must
+     NOT survive a restart — the obligation must). *)
+  (match Audit.next_due t ~worker:"carol" ~allow_self:false with
+  | Some shard -> (
+      Audit.lease t ~shard ~auditor:"carol" ~epoch:2 ~now:0.;
+      match Audit.complete t ~shard ~epoch:2 ~worker:"carol"
+              ~digest:(Printf.sprintf "d%d" shard)
+      with
+      | `Pass -> ()
+      | _ -> Alcotest.fail "pass")
+  | None -> Alcotest.fail "rate 0.5 over 20 shards should owe audits");
+  (match Audit.next_due t ~worker:"carol" ~allow_self:false with
+  | Some shard -> Audit.lease t ~shard ~auditor:"carol" ~epoch:3 ~now:1.
+  | None -> Alcotest.fail "a second audit should be due");
+  let pending_before = Audit.pending t in
+  let t' = Audit.restore c ~nshards:20 (Audit.export t) in
+  Alcotest.(check int) "pending survives restore (in-flight back to due)" pending_before
+    (Audit.pending t');
+  Alcotest.(check bool) "export/restore is a fixpoint" true
+    (Audit.export t = Audit.export t');
+  (* Drain the restored machine: every completion matches its primary. *)
+  let guard = ref 0 in
+  let rec drain () =
+    incr guard;
+    if !guard > 40 then Alcotest.fail "drain runaway";
+    match Audit.next_due t' ~worker:"carol" ~allow_self:false with
+    | None -> ()
+    | Some shard -> (
+        Audit.lease t' ~shard ~auditor:"carol" ~epoch:(10 + !guard) ~now:2.;
+        match Audit.complete t' ~shard ~epoch:(10 + !guard) ~worker:"carol"
+                ~digest:(Printf.sprintf "d%d" shard)
+        with
+        | `Pass -> drain ()
+        | _ -> Alcotest.fail "pass")
+  in
+  drain ();
+  Alcotest.(check bool) "restored machine drains to finished" true (Audit.finished t')
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fmc_audit"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "pure and restart-stable" `Quick test_sampler_pure_and_restart_stable;
+          Alcotest.test_case "state machine agrees with selected_pure" `Quick
+            test_sampler_matches_state_machine;
+        ] );
+      ("digest", [ Alcotest.test_case "canonical result digest" `Quick test_result_digest ]);
+      ( "state-machine",
+        [
+          Alcotest.test_case "pass" `Quick test_audit_pass;
+          Alcotest.test_case "dispute, verdict against primary" `Quick
+            test_audit_dispute_verdict_against_primary;
+          Alcotest.test_case "dispute, verdict against auditor" `Quick
+            test_audit_dispute_verdict_against_auditor;
+          Alcotest.test_case "epoch fencing, release, sweep" `Quick
+            test_epoch_fencing_release_sweep;
+          Alcotest.test_case "victims and invalidate" `Quick test_victims_and_invalidate;
+          Alcotest.test_case "export/restore roundtrip" `Quick test_export_restore_roundtrip;
+        ] );
+    ]

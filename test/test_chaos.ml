@@ -185,11 +185,11 @@ let test_breaker_lifecycle () =
 (* Fault-plan grammar *)
 
 let test_plan_parse_roundtrip () =
-  let src = "delay p=0.1 min=0.005 max=0.05\nbitflip p=0.02; dup p=0.01\n# comment\ndrop p=0.005\ntruncate p=0.01\npartition every=5 for=1" in
+  let src = "delay p=0.1 min=0.005 max=0.05\nbitflip p=0.02; dup p=0.01\n# comment\ndrop p=0.005\ntruncate p=0.01\npartition every=5 for=1\nlie p=0.3" in
   match Fmc_chaos.Plan.parse src with
   | Error msg -> Alcotest.failf "parse failed: %s" msg
   | Ok plan ->
-      Alcotest.(check int) "clauses" 6 (List.length plan.Fmc_chaos.Plan.faults);
+      Alcotest.(check int) "clauses" 7 (List.length plan.Fmc_chaos.Plan.faults);
       (match Fmc_chaos.Plan.parse (Fmc_chaos.Plan.to_string plan) with
       | Ok plan' ->
           Alcotest.(check string) "round-trips"
@@ -206,6 +206,8 @@ let test_plan_parse_rejects () =
       "partition every=1 for=2";  (* window wider than period *)
       "drop";  (* missing parameter *)
       "drop p=x";  (* not a number *)
+      "lie p=1.5";  (* probability out of range *)
+      "lie";  (* missing parameter *)
     ]
   in
   List.iter
@@ -451,6 +453,130 @@ let chaos_round ~round =
           Alcotest.(check bool) "event log saw every fault" true (!events >= faults && faults >= 0);
           faults))
 
+(* The adversarial fault: a proxy that rewrites result frames in
+   flight, re-sealing the CRC-32 so the lie passes every transport
+   check. A worker that attaches no digest gets its (mutated) results
+   accepted — and only the audit layer can recover: honest
+   re-execution disputes each lie, the lone remaining worker
+   arbitrates, the verdict quarantines the liar and invalidates its
+   unvindicated shards for honest re-execution. The merged report must
+   still come out byte-identical to the fault-free reference. *)
+let test_lying_proxy_caught_by_audit () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 90 and shard_size = 30 and seed = 5 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let fingerprint =
+    Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
+      ~shard_size ~sample_budget:None ()
+  in
+  let hidden = temp_sock "fmc-chaos-lie-up" in
+  let public = temp_sock "fmc-chaos-lie-pub" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ hidden; public ])
+    (fun () ->
+      let upstream = Wire.Unix_path hidden in
+      let proxy_addr = Wire.Unix_path public in
+      let config =
+        {
+          (Coordinator.default_config upstream) with
+          Coordinator.ttl_s = 5.0;
+          linger_s = 1.0;
+          audit_rate = 1.0;
+        }
+      in
+      let creg = Metrics.create () in
+      let cobs = Fmc_obs.Obs.create ~metrics:creg () in
+      let outcome = ref None in
+      let server =
+        Thread.create
+          (fun () -> outcome := Some (Coordinator.serve ~obs:cobs config ~fingerprint ~plan))
+          ()
+      in
+      let cplan =
+        match Fmc_chaos.Plan.parse "lie p=1" with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "chaos plan: %s" msg
+      in
+      let proxy = Fmc_chaos.Proxy.start ~listen:proxy_addr ~upstream ~plan:cplan ~seed:77L () in
+      Fun.protect
+        ~finally:(fun () -> Fmc_chaos.Proxy.stop proxy)
+        (fun () ->
+          (* The liar: runs every shard honestly but attaches no digest,
+             and every Shard_done crosses the lying proxy. The mutated
+             results arrive wire-valid and are accepted. *)
+          let fd = Wire.connect ~attempts:40 ~delay_s:0.05 proxy_addr in
+          let conn = Wire.conn fd in
+          send conn
+            (Protocol.Hello { version = Protocol.version; worker = "mallory"; fingerprint });
+          (match recv conn with
+          | Protocol.Welcome _ -> ()
+          | _ -> Alcotest.fail "expected welcome");
+          let rec grab n =
+            if n > 0 then begin
+              send conn Protocol.Request_shard;
+              match recv conn with
+              | Protocol.Assign { shard; epoch; start; len } ->
+                  let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+                  send conn
+                    (Protocol.Shard_done
+                       {
+                         shard;
+                         epoch;
+                         tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot;
+                         quarantined = sh.Campaign.sh_quarantined;
+                       });
+                  (match recv conn with
+                  | Protocol.Ack { accepted = true; _ } -> ()
+                  | _ -> Alcotest.fail "an undigested lie must be accepted");
+                  grab (n - 1)
+              | _ -> Alcotest.fail "expected an assignment"
+            end
+          in
+          grab (Array.length plan);
+          Wire.close conn;
+          (* The honest worker connects directly: no primary work left,
+             only audits — then the arbitrations, then the honest
+             re-runs of the invalidated shards. *)
+          let wcfg =
+            {
+              (Worker.default_config ~addr:upstream ~worker_name:"alice") with
+              Worker.heartbeat_every = 7;
+              retry_delay_s = 0.1;
+            }
+          in
+          let accepted = Worker.run wcfg ~fingerprint e prep ~seed in
+          Alcotest.(check bool) "honest worker executed audits and re-runs" true (accepted >= 1);
+          Thread.join server;
+          let oc = match !outcome with Some o -> o | None -> Alcotest.fail "no outcome" in
+          Alcotest.(check int) "all shard results" (Array.length plan)
+            (List.length oc.Coordinator.oc_shards);
+          let dist =
+            match Merge.report_of_blobs ~strategy:(Sampler.name prep) oc.Coordinator.oc_shards with
+            | Ok r -> r
+            | Error msg -> Alcotest.failf "merge failed: %s" msg
+          in
+          let reference = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+          check_byte_identical reference.Campaign.report dist;
+          Alcotest.(check bool) "proxy rewrote every result frame" true
+            (match List.assoc_opt "lie" (Fmc_chaos.Proxy.fault_counts proxy) with
+            | Some n -> n >= Array.length plan
+            | None -> false);
+          let counter name =
+            match Metrics.find (Metrics.snapshot creg) name with
+            | Some (Metrics.Counter v) -> v
+            | _ -> 0.
+          in
+          Alcotest.(check bool) "every lie disputed" true
+            (counter "fmc_audit_disputes_total" >= 1.);
+          Alcotest.(check bool) "unvindicated shards invalidated" true
+            (counter "fmc_audit_invalidated_total" >= 1.);
+          match Metrics.find (Metrics.snapshot creg) "fmc_audit_quarantined_workers" with
+          | Some (Metrics.Gauge v) ->
+              Alcotest.(check (float 0.)) "liar quarantined" 1. v
+          | _ -> Alcotest.fail "missing gauge fmc_audit_quarantined_workers"))
+
 let test_chaos_campaign_bit_exact () =
   (* Three seeded fault plans; the fault mix is probabilistic per round,
      so the "chaos actually happened" assertion aggregates. *)
@@ -490,5 +616,6 @@ let () =
         [
           Alcotest.test_case "breaker parks and recovers" `Slow test_breaker_parks_and_recovers;
           Alcotest.test_case "bit-exact under chaos" `Slow test_chaos_campaign_bit_exact;
+          Alcotest.test_case "lying proxy caught by audit" `Slow test_lying_proxy_caught_by_audit;
         ] );
     ]

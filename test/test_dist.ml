@@ -287,15 +287,38 @@ let test_ckpt_roundtrip () =
           Ckpt.st_fingerprint = "v1 strategy=mixed benchmark=write samples=100 seed=7";
           st_shards = [ (0, "alpha\nbeta\n"); (2, "gamma\n") ];
           st_quarantined = [ quarantine_fixture ];
+          st_audit = None;
         }
       in
       Ckpt.save ~path state;
-      match Ckpt.load ~path with
+      (match Ckpt.load ~path with
       | Error msg -> Alcotest.failf "load failed: %s" msg
       | Ok s ->
           Alcotest.(check string) "fingerprint" state.Ckpt.st_fingerprint s.Ckpt.st_fingerprint;
           Alcotest.(check (list (pair int string))) "shards" state.Ckpt.st_shards s.Ckpt.st_shards;
-          Alcotest.(check int) "quarantine count" 1 (List.length s.Ckpt.st_quarantined))
+          Alcotest.(check int) "quarantine count" 1 (List.length s.Ckpt.st_quarantined);
+          Alcotest.(check bool) "no audit block" true (s.Ckpt.st_audit = None));
+      (* v3: the audit block (accepted-shard digests + banned workers)
+         rides the same file and round-trips exactly. *)
+      let audited =
+        {
+          state with
+          Ckpt.st_audit =
+            Some
+              {
+                Ckpt.au_entries =
+                  [
+                    { Ckpt.au_shard = 0; au_worker = "alice"; au_digest = "d0"; au_passed = true };
+                    { Ckpt.au_shard = 2; au_worker = "bob"; au_digest = "d2"; au_passed = false };
+                  ];
+                au_banned = [ "mallory" ];
+              };
+        }
+      in
+      Ckpt.save ~path audited;
+      match Ckpt.load ~path with
+      | Error msg -> Alcotest.failf "audited load failed: %s" msg
+      | Ok s -> Alcotest.(check bool) "audit block round-trips" true (s.Ckpt.st_audit = audited.Ckpt.st_audit))
 
 (* ------------------------------------------------------------------ *)
 (* Permutation-invariant merging *)
@@ -470,15 +493,38 @@ let test_loopback_campaign_with_dead_worker () =
 
 let test_v4_negotiation () =
   Alcotest.(check bool) "v3 accepted" true (Protocol.accepts_version 3);
-  Alcotest.(check bool) "v4 accepted" true (Protocol.accepts_version Protocol.version);
+  Alcotest.(check bool) "v4 accepted" true (Protocol.accepts_version 4);
+  Alcotest.(check bool) "v5 accepted" true (Protocol.accepts_version Protocol.version);
   Alcotest.(check bool) "future version refused" false
     (Protocol.accepts_version (Protocol.version + 1));
   Alcotest.(check int) "negotiate down with a v3 peer" 3 (Protocol.negotiate ~peer:3);
-  Alcotest.(check int) "negotiate v4 with a v4 peer" Protocol.version
+  Alcotest.(check int) "negotiate down with a v4 peer" 4 (Protocol.negotiate ~peer:4);
+  Alcotest.(check int) "negotiate v5 with a v5 peer" Protocol.version
     (Protocol.negotiate ~peer:Protocol.version);
   (* The campaign fingerprint is part of the v3 handshake contract and
      must not move with the wire version. *)
   Alcotest.(check int) "fingerprint version stays 3" 3 Protocol.fingerprint_version
+
+(* The v5 digest extension rides Shard_done/Job_done and round-trips
+   next to the v4 telemetry sections. *)
+let test_digest_extension_roundtrip () =
+  let msg =
+    Protocol.Shard_done { shard = 1; epoch = 2; tally = "line one\n"; quarantined = [] }
+  in
+  let ext = { Protocol.no_extension with Protocol.ext_digest = Some "00ff00ffdeadbeef" } in
+  let tag, payload = Protocol.encode_client_ext ~ext msg in
+  (match Protocol.decode_client_ext tag payload with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok (m', ext') ->
+      Alcotest.(check bool) "message survives" true (m' = msg);
+      Alcotest.(check (option string)) "digest survives" (Some "00ff00ffdeadbeef")
+        ext'.Protocol.ext_digest);
+  (* And plain encodes carry no digest. *)
+  let tag, payload = Protocol.encode_client msg in
+  match Protocol.decode_client_ext tag payload with
+  | Error e -> Alcotest.failf "plain decode failed: %s" e
+  | Ok (_, ext') ->
+      Alcotest.(check (option string)) "absent by default" None ext'.Protocol.ext_digest
 
 let recv_ext conn =
   let tag, payload = Wire.read_frame conn in
@@ -681,6 +727,151 @@ let test_loopback_fleet_telemetry () =
         [ "process_name"; "manual"; "v4-worker"; "\"pid\":1"; "\"pid\":2"; "\"pid\":3" ])
 
 (* ------------------------------------------------------------------ *)
+(* Untrusted workers (protocol v5): the canonical result digest gates
+   acceptance, the seeded audit re-executes accepted shards, and a
+   quorum verdict quarantines a proven liar — with the merged report
+   still byte-identical to the single-process reference. *)
+
+let send_with_digest conn ~digest msg =
+  let ext = { Protocol.no_extension with Protocol.ext_digest = Some digest } in
+  let tag, payload = Protocol.encode_client_ext ~ext msg in
+  Wire.write_frame conn ~tag payload
+
+(* Flip the last digit of the tally's first line ("samples %d"): the
+   blob still decodes — Tally.of_string does not cross-check the header
+   against the strata — but the canonical digest moves. The cheapest
+   convincing lie. *)
+let mutate_tally blob =
+  let eol = String.index blob '\n' in
+  let b = Bytes.of_string blob in
+  Bytes.set b (eol - 1) (if Bytes.get b (eol - 1) = '0' then '1' else '0');
+  Bytes.to_string b
+
+let test_loopback_lying_worker_quarantined () =
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let samples = 90 and shard_size = 30 and seed = 7 in
+  let plan = Ssf.shard_plan ~samples ~shard_size in
+  let fingerprint =
+    Protocol.fingerprint ~strategy:(Sampler.name prep) ~benchmark:"write" ~samples ~seed
+      ~shard_size ~sample_budget:None ()
+  in
+  let sock_path = Filename.temp_file "fmc-dist" ".sock" in
+  Sys.remove sock_path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists sock_path then Sys.remove sock_path)
+    (fun () ->
+      let addr = Wire.Unix_path sock_path in
+      let config =
+        {
+          (Coordinator.default_config addr) with
+          Coordinator.ttl_s = 2.0;
+          linger_s = 2.0;
+          audit_rate = 1.0;
+        }
+      in
+      let reg = Fmc_obs.Metrics.create () in
+      let obs = Fmc_obs.Obs.create ~metrics:reg () in
+      let outcome = ref None in
+      let server =
+        Thread.create
+          (fun () -> outcome := Some (Coordinator.serve ~obs config ~fingerprint ~plan))
+          ()
+      in
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn (Protocol.Hello { version = Protocol.version; worker = "mallory"; fingerprint });
+      (match recv conn with
+      | Protocol.Welcome _ -> ()
+      | _ -> Alcotest.fail "expected welcome");
+      (* Leg 1: a forged digest over an honest payload. Refused before
+         anything is committed; the lease goes back in the pool. *)
+      send conn Protocol.Request_shard;
+      let shard, epoch, start, len =
+        match recv conn with
+        | Protocol.Assign { shard; epoch; start; len } -> (shard, epoch, start, len)
+        | _ -> Alcotest.fail "expected an assignment"
+      in
+      let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+      send_with_digest conn ~digest:"feedfacefeedface"
+        (Protocol.Shard_done
+           { shard; epoch; tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot; quarantined = [] });
+      (match recv conn with
+      | Protocol.Ack { accepted = false; reason } ->
+          Alcotest.(check bool) "mismatch named in the refusal" true (contains reason "digest")
+      | _ -> Alcotest.fail "a forged digest must be refused");
+      (* Leg 2: a consistent lie — mutate the tally, then digest the
+         mutated bytes. Passes the digest gate; only re-execution by
+         someone honest can catch it. *)
+      send conn Protocol.Request_shard;
+      let shard, epoch, start, len =
+        match recv conn with
+        | Protocol.Assign { shard; epoch; start; len } -> (shard, epoch, start, len)
+        | _ -> Alcotest.fail "expected a second assignment"
+      in
+      let sh = Campaign.run_shard e prep ~seed ~shard ~start ~len in
+      let lie = mutate_tally (Ssf.Tally.to_string sh.Campaign.sh_snapshot) in
+      send_with_digest conn
+        ~digest:(Fmc_audit.Audit.Check.result_digest ~tally:lie ~quarantined:[])
+        (Protocol.Shard_done { shard; epoch; tally = lie; quarantined = [] });
+      (match recv conn with
+      | Protocol.Ack { accepted = true; _ } -> ()
+      | _ -> Alcotest.fail "a consistent lie passes the digest gate");
+      Wire.close conn;
+      (* The honest worker drains the remaining primaries, then the
+         audit queue. Auditing mallory's shard disputes; being the only
+         healthy worker left, it also arbitrates — and the verdict
+         replaces the lie and quarantines mallory. *)
+      let wcfg =
+        {
+          (Worker.default_config ~addr ~worker_name:"honest") with
+          Worker.heartbeat_every = 7;
+          retry_delay_s = 0.1;
+        }
+      in
+      let accepted = Worker.run wcfg ~fingerprint e prep ~seed in
+      Alcotest.(check bool) "honest worker ran primaries and audits" true
+        (accepted >= Array.length plan - 1);
+      (* Quarantine is terminal: mallory's reconnect is rejected at hello. *)
+      let fd = Wire.connect ~attempts:40 ~delay_s:0.1 addr in
+      let conn = Wire.conn fd in
+      send conn (Protocol.Hello { version = Protocol.version; worker = "mallory"; fingerprint });
+      (match recv conn with
+      | Protocol.Reject { reason } ->
+          Alcotest.(check bool) "quarantine named in the rejection" true
+            (contains reason "quarantine")
+      | _ -> Alcotest.fail "a quarantined worker must be rejected at hello");
+      Wire.close conn;
+      Thread.join server;
+      let oc = match !outcome with Some o -> o | None -> Alcotest.fail "no outcome" in
+      Alcotest.(check int) "all shard results" (Array.length plan)
+        (List.length oc.Coordinator.oc_shards);
+      let dist =
+        match Merge.report_of_blobs ~strategy:(Sampler.name prep) oc.Coordinator.oc_shards with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "merge failed: %s" msg
+      in
+      let reference = Campaign.estimate_sharded e prep ~samples ~seed ~shard_size in
+      Alcotest.(check string) "report JSON byte-identical despite the liar"
+        (Export.report_json reference.Campaign.report)
+        (Export.report_json dist);
+      let snap = Fmc_obs.Metrics.snapshot reg in
+      let metric name =
+        match Fmc_obs.Metrics.find snap name with
+        | Some (Fmc_obs.Metrics.Counter v) -> v
+        | _ -> Alcotest.failf "missing counter %s" name
+      in
+      Alcotest.(check bool) "forged digest counted" true
+        (metric "fmc_audit_mismatches_total" >= 1.);
+      Alcotest.(check bool) "every accepted shard audited" true
+        (metric "fmc_audit_audits_total" >= float_of_int (Array.length plan));
+      Alcotest.(check bool) "dispute escalated to arbitration" true
+        (metric "fmc_audit_disputes_total" >= 1.);
+      match Fmc_obs.Metrics.find snap "fmc_audit_quarantined_workers" with
+      | Some (Fmc_obs.Metrics.Gauge v) -> exact "exactly one quarantined worker" 1. v
+      | _ -> Alcotest.fail "missing gauge fmc_audit_quarantined_workers")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "dist"
@@ -711,8 +902,15 @@ let () =
         ] );
       ( "fleet",
         [
-          Alcotest.test_case "v4 negotiation" `Quick test_v4_negotiation;
+          Alcotest.test_case "version negotiation" `Quick test_v4_negotiation;
           Alcotest.test_case "telemetry piggyback, bit-exact merge" `Quick
             test_loopback_fleet_telemetry;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "digest extension round-trip" `Quick
+            test_digest_extension_roundtrip;
+          Alcotest.test_case "lying worker quarantined, bit-exact merge" `Quick
+            test_loopback_lying_worker_quarantined;
         ] );
     ]

@@ -57,7 +57,7 @@ let metric reg name =
   | _ -> Alcotest.failf "missing metric %s" name
 
 (* Run one leased job on the local engine and feed the result back. *)
-let run_job sched ~now e prep (sp : Protocol.spec) (a : Lease.assignment) =
+let run_job ?(worker = "pump") sched ~now e prep (sp : Protocol.spec) (a : Lease.assignment) =
   let sh =
     Campaign.run_shard e prep ~seed:sp.Protocol.sp_seed ~shard:a.Lease.shard ~start:a.Lease.start
       ~len:a.Lease.len
@@ -65,12 +65,13 @@ let run_job sched ~now e prep (sp : Protocol.spec) (a : Lease.assignment) =
   match
     Sched.complete sched ~now
       ~fingerprint:(Protocol.spec_fingerprint sp)
-      ~shard:a.Lease.shard ~epoch:a.Lease.epoch
+      ~shard:a.Lease.shard ~epoch:a.Lease.epoch ~worker ~digest:None
       ~tally:(Ssf.Tally.to_string sh.Campaign.sh_snapshot)
       ~quarantined:sh.Campaign.sh_quarantined
   with
-  | `Accepted -> ()
-  | `Duplicate | `Stale | `Unknown | `Invalid _ -> Alcotest.fail "completion not accepted"
+  | `Accepted | `Audited _ -> ()
+  | `Duplicate | `Stale | `Unknown | `Invalid _ | `Mismatch ->
+      Alcotest.fail "completion not accepted"
 
 (* Pump [scope] until it has nothing leasable; returns jobs served. *)
 let pump sched ~now e prep ~scope =
@@ -83,6 +84,7 @@ let pump sched ~now e prep ~scope =
         run_job sched ~now e prep sp a;
         go ()
     | `Wait | `Drained -> ()
+    | `Banned -> Alcotest.fail "pump: banned"
     | `Unknown_scope -> Alcotest.fail "pump: unknown scope"
   in
   go ();
@@ -308,6 +310,90 @@ let test_kill9_recovery_bit_identical () =
   | _ -> Alcotest.fail "finished campaigns survive a clean restart");
   Sched.shutdown sched3
 
+(* kill -9 with audits in flight: both shards are done but unaudited;
+   the recovered scheduler must withhold the report, re-offer the audit
+   obligations to a different worker, and serve a bit-identical report
+   only once they pass. Also exercises the digest gate: a carried digest
+   that disagrees with the payload is a typed [`Mismatch] refusal. *)
+let test_kill9_mid_audit_preserves_obligations () =
+  with_dir @@ fun dir ->
+  let e = engine () in
+  let prep = prepare Sampler.default_mixed in
+  let now = 100. in
+  let config = { Sched.default_config with Sched.audit_rate = 1.0 } in
+  let s = spec ~samples:40 ~seed:5 () in
+  let fp = Protocol.spec_fingerprint s in
+  let honest ~tally ~quarantined =
+    Some (Fmc_audit.Audit.Check.result_digest ~tally ~quarantined)
+  in
+  let run_one sched ~worker ~digest_of =
+    match Sched.next_job sched ~now ~worker ~scope:fp with
+    | `Job (sp, a) ->
+        let sh =
+          Campaign.run_shard e prep ~seed:sp.Protocol.sp_seed ~shard:a.Lease.shard
+            ~start:a.Lease.start ~len:a.Lease.len
+        in
+        let tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+        let quarantined = sh.Campaign.sh_quarantined in
+        Sched.complete sched ~now ~fingerprint:fp ~shard:a.Lease.shard ~epoch:a.Lease.epoch
+          ~worker
+          ~digest:(digest_of ~tally ~quarantined)
+          ~tally ~quarantined
+    | `Wait | `Drained | `Banned | `Unknown_scope -> Alcotest.fail "expected a job"
+  in
+  let sched1 = Sched.create config ~dir ~now in
+  (match Sched.submit sched1 ~now s with `Queued 0 -> () | _ -> Alcotest.fail "submit");
+  (match run_one sched1 ~worker:"alice" ~digest_of:(fun ~tally:_ ~quarantined:_ -> Some "bogus")
+   with
+  | `Mismatch -> ()
+  | _ -> Alcotest.fail "a lying digest must be refused as a mismatch");
+  (match run_one sched1 ~worker:"alice" ~digest_of:honest with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "honest first shard accepted");
+  (match run_one sched1 ~worker:"alice" ~digest_of:honest with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "honest second shard accepted");
+  Alcotest.(check bool) "report withheld while audits are pending" true
+    (Sched.report sched1 ~fingerprint:fp = None);
+  (* sched1 is abandoned here — WAL handle, audit leases and all. *)
+  let sched2 = Sched.create config ~dir ~now in
+  Alcotest.(check bool) "audit obligations survive kill -9" true
+    (Sched.report sched2 ~fingerprint:fp = None);
+  (* A different worker drains the re-offered audits; once both pass
+     the campaign finalizes and the scope answers [`Drained]. *)
+  let audited = ref 0 in
+  let rec drain () =
+    if !audited > 4 then Alcotest.fail "audit runaway";
+    match Sched.next_job sched2 ~now ~worker:"bob" ~scope:fp with
+    | `Job (sp, a) -> (
+        let sh =
+          Campaign.run_shard e prep ~seed:sp.Protocol.sp_seed ~shard:a.Lease.shard
+            ~start:a.Lease.start ~len:a.Lease.len
+        in
+        let tally = Ssf.Tally.to_string sh.Campaign.sh_snapshot in
+        let quarantined = sh.Campaign.sh_quarantined in
+        match
+          Sched.complete sched2 ~now ~fingerprint:fp ~shard:a.Lease.shard ~epoch:a.Lease.epoch
+            ~worker:"bob"
+            ~digest:(honest ~tally ~quarantined)
+            ~tally ~quarantined
+        with
+        | `Audited _ ->
+            incr audited;
+            drain ()
+        | _ -> Alcotest.fail "re-execution must land as an audit")
+    | `Drained -> ()
+    | `Wait | `Banned | `Unknown_scope -> Alcotest.fail "audits must be offered until drained"
+  in
+  drain ();
+  Alcotest.(check int) "both audits re-ran" 2 !audited;
+  (match Sched.report sched2 ~fingerprint:fp with
+  | Some (blobs, _, _) ->
+      Alcotest.(check string) "audited report is bit-identical" (reference_json e prep s)
+        (merged_json "mixed" blobs)
+  | None -> Alcotest.fail "audited campaign must serve its report");
+  Sched.shutdown sched2
+
 let test_torn_submit_record_dropped () =
   with_dir @@ fun dir ->
   let now = 10. in
@@ -446,6 +532,8 @@ let () =
         [
           Alcotest.test_case "kill -9 recovery is bit-identical" `Slow
             test_kill9_recovery_bit_identical;
+          Alcotest.test_case "kill -9 mid-audit preserves obligations" `Slow
+            test_kill9_mid_audit_preserves_obligations;
           Alcotest.test_case "torn submit record dropped" `Quick test_torn_submit_record_dropped;
         ] );
       ( "service",
